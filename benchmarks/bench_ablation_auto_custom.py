@@ -1,0 +1,56 @@
+"""A7 — extension: automatic custom-instruction generation (§6).
+
+Runs the implemented profile→discover→synthesize→rewrite loop on the
+SHA workload and reports the cycles/slices trade-off of the top-k
+auto-generated fused operations, for k in {1, 2, 4}.
+"""
+
+import pytest
+
+from repro.backend import compile_ir_to_epic
+from repro.config import epic_with_alus
+from repro.core import EpicProcessor
+from repro.explore import discover_and_apply
+from repro.fpga import estimate_resources
+from repro.lang import compile_minic
+
+
+def _run(module, config, spec):
+    compilation = compile_ir_to_epic(module, config)
+    cpu = EpicProcessor(config, compilation.program,
+                        mem_words=spec.mem_words)
+    result = cpu.run()
+    base = compilation.symbols["hash"]
+    got = [cpu.memory.read(base + i) for i in range(8)]
+    assert got == spec.expected["hash"], "SHA output mismatch"
+    return result.cycles
+
+
+@pytest.mark.parametrize("top_k", [1, 2, 4])
+def test_auto_customisation_on_sha(benchmark, specs, top_k):
+    spec = specs["SHA"]
+
+    def run():
+        plain_config = epic_with_alus(4)
+        plain_cycles = _run(compile_minic(spec.source), plain_config, spec)
+
+        module = compile_minic(spec.source)
+        generated = discover_and_apply(module, top_k=top_k)
+        custom_config = epic_with_alus(4, custom_ops=tuple(generated))
+        custom_cycles = _run(module, custom_config, spec)
+        return plain_cycles, custom_cycles, generated, custom_config
+
+    plain_cycles, custom_cycles, generated, custom_config = \
+        benchmark.pedantic(run, rounds=1, iterations=1)
+
+    plain_slices = estimate_resources(epic_with_alus(4)).slices
+    custom_slices = estimate_resources(custom_config).slices
+    benchmark.extra_info["generated_ops"] = [
+        spec_.mnemonic for spec_ in generated
+    ]
+    benchmark.extra_info["cycles_plain"] = plain_cycles
+    benchmark.extra_info["cycles_customised"] = custom_cycles
+    benchmark.extra_info["speedup"] = round(plain_cycles / custom_cycles, 3)
+    benchmark.extra_info["extra_slices"] = custom_slices - plain_slices
+    assert custom_cycles <= plain_cycles
+    assert len(generated) <= top_k

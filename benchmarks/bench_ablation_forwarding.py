@@ -1,0 +1,50 @@
+"""A2 — ablation: result forwarding (§3.2).
+
+"This limitation is mitigated by forwarding of recently calculated
+results, which is also handled by the register file controller."
+Forwarding only affects *port pressure* in this design (values are in
+the register file either way), so its benefit shows up as avoided
+port-stall cycles on wide-issue code.
+"""
+
+import pytest
+
+from benchmarks.conftest import CompiledEpic
+
+
+@pytest.mark.parametrize("name", ["SHA", "DCT"])
+def test_forwarding_benefit(benchmark, specs, name):
+    spec = specs[name]
+    with_forwarding = CompiledEpic(spec, 4)
+    without = CompiledEpic(spec, 4, forwarding=False)
+
+    def run():
+        return with_forwarding.simulate(), without.simulate()
+
+    fwd, no_fwd = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["cycles_with_forwarding"] = fwd.cycles
+    benchmark.extra_info["cycles_without"] = no_fwd.cycles
+    benchmark.extra_info["port_stalls_with"] = fwd.stats.port_stall_cycles
+    benchmark.extra_info["port_stalls_without"] = \
+        no_fwd.stats.port_stall_cycles
+    assert fwd.cycles <= no_fwd.cycles
+    assert fwd.stats.port_stall_cycles <= no_fwd.stats.port_stall_cycles
+
+
+def test_forwarding_and_bandwidth_sharing_interact(benchmark, specs):
+    """Combines A2 with the §3.2 memory-bandwidth sharing switch: the
+    fetch-bandwidth stall model penalises every memory operation."""
+    spec = specs["DCT"]
+    plain = CompiledEpic(spec, 4)
+    shared = CompiledEpic(spec, 4, lsu_shares_fetch_bandwidth=True)
+
+    def run():
+        return plain.simulate(), shared.simulate()
+
+    base, with_sharing = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["cycles_dedicated_port"] = base.cycles
+    benchmark.extra_info["cycles_shared_bandwidth"] = with_sharing.cycles
+    benchmark.extra_info["fetch_stalls"] = \
+        with_sharing.stats.fetch_stall_cycles
+    assert with_sharing.cycles > base.cycles
+    assert with_sharing.stats.fetch_stall_cycles > 0

@@ -1,0 +1,44 @@
+"""A6 — extension: pipeline-depth trade-off (paper §6 future work).
+
+"Current and future work includes parameterising the level of
+pipelining..."  With the depth implemented as a configuration knob, this
+benchmark quantifies the trade the paper anticipated: each extra front-
+end stage buys clock rate (FPGA timing model) but costs one bubble per
+taken branch.  Straight-line DCT tolerates depth; branchy Dijkstra does
+not.
+"""
+
+import pytest
+
+from benchmarks.conftest import CompiledEpic
+from repro.fpga import estimate_clock_mhz
+
+
+@pytest.mark.parametrize("name", ["DCT", "Dijkstra"])
+def test_pipeline_depth_tradeoff(benchmark, specs, name):
+    spec = specs[name]
+
+    def run():
+        outcome = {}
+        for stages in (2, 3, 4):
+            compiled = CompiledEpic(spec, 4, pipeline_stages=stages)
+            cycles = compiled.simulate().cycles
+            mhz = estimate_clock_mhz(compiled.config)
+            outcome[stages] = (cycles, mhz, cycles / (mhz * 1e6))
+        return outcome
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    for stages, (cycles, mhz, seconds) in outcome.items():
+        benchmark.extra_info[f"stages{stages}_cycles"] = cycles
+        benchmark.extra_info[f"stages{stages}_mhz"] = mhz
+        benchmark.extra_info[f"stages{stages}_ms"] = round(seconds * 1e3, 4)
+
+    # Cycles never decrease with depth; the *time* ordering depends on
+    # branch density.
+    assert outcome[2][0] <= outcome[3][0] <= outcome[4][0]
+    if name == "DCT":
+        # Straight-line code: clock gain wins.
+        assert outcome[3][2] < outcome[2][2]
+    benchmark.extra_info["best_depth_by_time"] = min(
+        outcome, key=lambda stages: outcome[stages][2]
+    )

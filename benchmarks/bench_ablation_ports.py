@@ -1,0 +1,38 @@
+"""A1 — ablation: the register-file port budget (§3.2).
+
+The dual-port block-RAM register file behind a 4x-clock controller
+allows 8 read/write operations per processor cycle.  This ablation
+measures how many cycles that budget costs on the ILP-heavy benchmarks,
+and how the budget itself (4/8/16 ops per cycle) moves the number.
+"""
+
+import pytest
+
+from benchmarks.conftest import CompiledEpic, bench_simulation, EPIC_CLOCK_MHZ
+
+
+@pytest.mark.parametrize("name", ["SHA", "DCT"])
+def test_port_limit_cost(benchmark, specs, name):
+    spec = specs[name]
+    with_limit = CompiledEpic(spec, 4)
+    without = CompiledEpic(spec, 4, model_port_limit=False)
+
+    def run():
+        return with_limit.simulate().cycles, without.simulate().cycles
+
+    limited, unlimited = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["cycles_with_port_limit"] = limited
+    benchmark.extra_info["cycles_without"] = unlimited
+    benchmark.extra_info["overhead_percent"] = round(
+        100.0 * (limited - unlimited) / unlimited, 2
+    )
+    assert limited >= unlimited
+
+
+@pytest.mark.parametrize("budget", [4, 8, 16])
+def test_port_budget_sweep(benchmark, specs, budget):
+    compiled = CompiledEpic(specs["DCT"], 4, regfile_ops_per_cycle=budget)
+    result = bench_simulation(benchmark, compiled, EPIC_CLOCK_MHZ,
+                              f"EPIC-4ALU/{budget}ports")
+    benchmark.extra_info["port_budget"] = budget
+    benchmark.extra_info["port_stalls"] = result.stats.port_stall_cycles

@@ -1,0 +1,34 @@
+"""E3 — Figure 3: SHA execution time across the five processors.
+
+"Execution time is calculated as a product of clock length and the
+number of clock cycles taken" (SA-110 @ 100 MHz, EPIC @ 41.8 MHz).
+The paper's claim: the 4-ALU EPIC runs SHA ~60 % faster than the
+SA-110 despite the slower clock, and time falls as ALUs are added.
+"""
+
+from benchmarks.conftest import EPIC_CLOCK_MHZ, SA110_CLOCK_MHZ
+
+
+def test_fig3_sha_execution_time(benchmark, epic_compilations,
+                                 baseline_compilations):
+    def run():
+        seconds = {}
+        cycles = baseline_compilations["SHA"].simulate().cycles
+        seconds["SA-110"] = cycles / (SA110_CLOCK_MHZ * 1e6)
+        for n_alus in (1, 2, 3, 4):
+            cycles = epic_compilations[("SHA", n_alus)].simulate().cycles
+            seconds[f"EPIC-{n_alus}ALU"] = cycles / (EPIC_CLOCK_MHZ * 1e6)
+        return seconds
+
+    seconds = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["series_ms"] = {
+        machine: round(value * 1e3, 4) for machine, value in seconds.items()
+    }
+    benchmark.extra_info["epic4_speedup_over_sa110"] = round(
+        seconds["SA-110"] / seconds["EPIC-4ALU"], 2
+    )
+    # Figure 3's shape: EPIC-4 beats the SA-110 in wall-clock time, and
+    # time decreases monotonically with ALU count.
+    assert seconds["EPIC-4ALU"] < seconds["SA-110"]
+    series = [seconds[f"EPIC-{n}ALU"] for n in (1, 2, 3, 4)]
+    assert all(a >= b * 0.98 for a, b in zip(series, series[1:]))

@@ -1,0 +1,33 @@
+"""E5 — Figure 5: Dijkstra execution time across the five processors.
+
+The paper's counterpoint: Dijkstra's modest 1.7x cycle advantage cannot
+overcome the 100 / 41.8 MHz clock gap, so the SA-110 wins in time and
+adding ALUs barely moves the EPIC bars."""
+
+from benchmarks.conftest import EPIC_CLOCK_MHZ, SA110_CLOCK_MHZ
+
+
+def test_fig5_dijkstra_execution_time(benchmark, epic_compilations,
+                                      baseline_compilations):
+    def run():
+        seconds = {}
+        cycles = baseline_compilations["Dijkstra"].simulate().cycles
+        seconds["SA-110"] = cycles / (SA110_CLOCK_MHZ * 1e6)
+        for n_alus in (1, 2, 3, 4):
+            cycles = epic_compilations[("Dijkstra", n_alus)].simulate().cycles
+            seconds[f"EPIC-{n_alus}ALU"] = cycles / (EPIC_CLOCK_MHZ * 1e6)
+        return seconds
+
+    seconds = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["series_ms"] = {
+        machine: round(value * 1e3, 4) for machine, value in seconds.items()
+    }
+    benchmark.extra_info["epic4_speedup_over_sa110"] = round(
+        seconds["SA-110"] / seconds["EPIC-4ALU"], 2
+    )
+    # Figure 5's shape: the SA-110 wins, and the EPIC bars are flat in
+    # the number of ALUs.
+    for n_alus in (1, 2, 3, 4):
+        assert seconds[f"EPIC-{n_alus}ALU"] > seconds["SA-110"]
+    series = [seconds[f"EPIC-{n}ALU"] for n in (1, 2, 3, 4)]
+    assert max(series) < min(series) * 1.15

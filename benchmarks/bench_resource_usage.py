@@ -1,0 +1,50 @@
+"""E1 — §5.1 resource usage: slices / BRAM / multipliers / clock for
+EPIC designs with 1-4 ALUs, checked against the published numbers."""
+
+import pytest
+
+from repro.config import epic_config, epic_with_alus
+from repro.fpga import estimate_clock_mhz, estimate_resources
+from repro.harness.tables import PAPER_SLICES
+
+
+@pytest.mark.parametrize("n_alus", [1, 2, 3, 4])
+def test_resource_estimate(benchmark, n_alus):
+    config = epic_with_alus(n_alus)
+    estimate = benchmark(estimate_resources, config)
+    benchmark.extra_info["slices"] = estimate.slices
+    benchmark.extra_info["paper_slices"] = PAPER_SLICES[n_alus]
+    benchmark.extra_info["block_rams"] = estimate.block_rams
+    benchmark.extra_info["mult18x18"] = estimate.mult18x18
+    benchmark.extra_info["clock_mhz"] = estimate_clock_mhz(config)
+    assert estimate.slices == pytest.approx(PAPER_SLICES[n_alus], rel=0.01)
+
+
+def test_register_file_scaling(benchmark):
+    """§5.1: growing the register file costs block RAM, not slices."""
+
+    def sweep():
+        return [
+            estimate_resources(
+                epic_config(n_gprs=n, regs_per_instruction=n)
+            )
+            for n in (32, 64, 128, 256)
+        ]
+
+    estimates = benchmark(sweep)
+    benchmark.extra_info["slices_by_gprs"] = [e.slices for e in estimates]
+    benchmark.extra_info["brams_by_gprs"] = [e.block_rams for e in estimates]
+    assert len({e.slices for e in estimates}) == 1
+    assert estimates[-1].block_rams >= estimates[0].block_rams
+
+
+def test_clock_across_designs(benchmark):
+    """§5.1: 'varying the number of ALUs has little impact on the
+    critical path'."""
+
+    def sweep():
+        return [estimate_clock_mhz(epic_with_alus(n)) for n in (1, 2, 3, 4)]
+
+    clocks = benchmark(sweep)
+    benchmark.extra_info["clock_mhz_by_alus"] = clocks
+    assert max(clocks) - min(clocks) < 0.5

@@ -1,0 +1,64 @@
+"""Host-side toolchain throughput: compiler, assembler, encoder.
+
+These are conventional pytest-benchmarks (multiple rounds) — useful for
+tracking the reproduction's own performance over time.
+"""
+
+import pytest
+
+from repro.asm import assemble, disassemble
+from repro.backend import compile_minic_to_epic
+from repro.config import epic_config
+from repro.isa.encoding import InstructionFormat
+from repro.lang import compile_minic
+
+_SOURCE = """
+int table[16] = {1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16};
+int out[16];
+int scale(int x, int k) { return x * k + (x >>> 3); }
+int main() {
+  int i; int acc;
+  acc = 0;
+  unroll(4) for (i = 0; i < 16; i += 1) {
+    out[i] = scale(table[i], i + 1);
+    acc ^= out[i];
+  }
+  return acc;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def config():
+    return epic_config()
+
+
+@pytest.fixture(scope="module")
+def compiled(config):
+    return compile_minic_to_epic(_SOURCE, config)
+
+
+def test_frontend_throughput(benchmark):
+    module = benchmark(compile_minic, _SOURCE)
+    assert "main" in module.functions
+
+
+def test_full_compilation_throughput(benchmark, config):
+    compilation = benchmark(compile_minic_to_epic, _SOURCE, config)
+    assert compilation.code_bundles > 0
+
+
+def test_assembler_throughput(benchmark, config, compiled):
+    program = benchmark(assemble, compiled.assembly, config)
+    assert len(program) == len(compiled.program)
+
+
+def test_encoder_throughput(benchmark, config, compiled):
+    fmt = InstructionFormat(config)
+    words = benchmark(fmt.encode_program, compiled.program)
+    assert len(words) == compiled.program.n_slots
+
+
+def test_disassembler_throughput(benchmark, compiled):
+    text = benchmark(disassemble, compiled.program)
+    assert "main" in text

@@ -1,0 +1,106 @@
+"""Shared benchmark infrastructure.
+
+Each benchmark compiles its workload once (at fixture scope) and times
+the *simulation*; the architectural metric — the paper's clock-cycle
+count — is attached to the report as ``extra_info`` so a benchmark run
+regenerates the evaluation tables alongside host-time measurements.
+
+Benchmark input sizes are reduced relative to the paper (recorded in
+each workload's ``scale_note`` and in EXPERIMENTS.md); relative cycle
+counts, not absolute ones, carry the paper's conclusions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backend import compile_minic_to_epic
+from repro.baseline import Sa110Simulator, compile_minic_to_armlet
+from repro.config import epic_with_alus
+from repro.core import EpicProcessor
+from repro.workloads import (
+    aes_workload, dct_workload, dijkstra_workload, sha_workload,
+)
+
+#: Benchmark-scale instances (paper scale in parentheses):
+#: SHA 16x16 PPM (256x256), AES 5 iterations (1000), DCT 16x16
+#: (256x256), Dijkstra 12 nodes ("large graph").
+BENCH_SPECS = {
+    "SHA": lambda: sha_workload(16, 16),
+    "AES": lambda: aes_workload(5),
+    "DCT": lambda: dct_workload(16, 16),
+    "Dijkstra": lambda: dijkstra_workload(12),
+}
+
+EPIC_CLOCK_MHZ = 41.8
+SA110_CLOCK_MHZ = 100.0
+
+
+@pytest.fixture(scope="session")
+def specs():
+    return {name: build() for name, build in BENCH_SPECS.items()}
+
+
+class CompiledEpic:
+    def __init__(self, spec, n_alus, **config_overrides):
+        self.spec = spec
+        self.config = epic_with_alus(n_alus, **config_overrides)
+        self.compilation = compile_minic_to_epic(spec.source, self.config)
+
+    def simulate(self):
+        cpu = EpicProcessor(self.config, self.compilation.program,
+                            mem_words=self.spec.mem_words)
+        result = cpu.run()
+        self._check(cpu)
+        return result
+
+    def _check(self, cpu):
+        for name, expected in self.spec.expected.items():
+            base = self.compilation.symbols[name]
+            got = [cpu.memory.read(base + i) for i in range(len(expected))]
+            assert got == expected, f"{self.spec.name}: {name} mismatch"
+
+
+class CompiledBaseline:
+    def __init__(self, spec):
+        self.spec = spec
+        self.compilation = compile_minic_to_armlet(spec.source)
+
+    def simulate(self):
+        simulator = Sa110Simulator(
+            self.compilation.program, self.compilation.labels,
+            self.compilation.data, mem_words=self.spec.mem_words,
+        )
+        result = simulator.run()
+        for name, expected in self.spec.expected.items():
+            base = self.compilation.symbols[name]
+            got = simulator.memory[base:base + len(expected)]
+            assert got == expected, f"{self.spec.name}: {name} mismatch"
+        return result
+
+
+@pytest.fixture(scope="session")
+def epic_compilations(specs):
+    """All (benchmark, ALU-count) compilations, shared by the session."""
+    cache = {}
+    for name, spec in specs.items():
+        for n_alus in (1, 2, 3, 4):
+            cache[(name, n_alus)] = CompiledEpic(spec, n_alus)
+    return cache
+
+
+@pytest.fixture(scope="session")
+def baseline_compilations(specs):
+    return {name: CompiledBaseline(spec) for name, spec in specs.items()}
+
+
+def bench_simulation(benchmark, compiled, clock_mhz, machine):
+    """Benchmark one simulator run; report cycles and modelled time."""
+    result = benchmark.pedantic(compiled.simulate, rounds=1, iterations=1)
+    benchmark.extra_info["machine"] = machine
+    benchmark.extra_info["cycles"] = result.cycles
+    benchmark.extra_info["clock_mhz"] = clock_mhz
+    benchmark.extra_info["modelled_ms"] = round(
+        result.cycles / (clock_mhz * 1e3), 4
+    )
+    return result

@@ -1,0 +1,59 @@
+"""Performance/area design-space exploration (paper §1, §3.3).
+
+"Such customisable designs provide a platform for designers to explore
+performance/area trade-offs for a specific application using different
+implementations."
+
+This example sweeps ALU count, issue width and the divide feature on
+the DCT workload, costs each point with the Virtex-II model, and prints
+the Pareto frontier — the §3.3 customisation workflow end to end.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from repro.config import AluFeature, epic_config
+from repro.explore import pareto_frontier, sweep_configs
+from repro.workloads import dct_workload
+
+NO_DIV = frozenset({AluFeature.MULTIPLY, AluFeature.SHIFT})
+
+
+def design_points():
+    """The sweep: 1-4 ALUs x {full ALU, divider-free} x issue width."""
+    for n_alus in (1, 2, 3, 4):
+        for features in (None, NO_DIV):
+            overrides = {"n_alus": n_alus}
+            if features is not None:
+                overrides["alu_features"] = features
+            yield epic_config(**overrides)
+        if n_alus == 4:
+            yield epic_config(n_alus=4, issue_width=2)
+
+
+def main() -> None:
+    spec = dct_workload(16, 16)
+    print(f"workload: DCT, {spec.scale_note}\n")
+
+    points = sweep_configs(
+        spec, design_points(),
+        progress=lambda text: print(f"  evaluating {text}"),
+    )
+
+    print(f"\n{'configuration':<44}{'cycles':>9}{'slices':>8}"
+          f"{'ms':>8}{'AD':>10}")
+    for point in points:
+        print(f"{point.config.describe():<44}{point.cycles:>9}"
+              f"{point.slices:>8}{point.time_seconds * 1e3:>8.3f}"
+              f"{point.area_delay:>10.3f}")
+
+    frontier = pareto_frontier(points)
+    print("\nPareto frontier (time vs slices):")
+    for point in frontier:
+        print(f"  {point}")
+
+    best = min(points, key=lambda p: p.area_delay)
+    print(f"\nbest area-delay product: {best}")
+
+
+if __name__ == "__main__":
+    main()

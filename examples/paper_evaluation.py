@@ -1,0 +1,51 @@
+"""Reproduce the paper's evaluation section programmatically.
+
+Regenerates Table 1, Figures 3-5 and the §5.1 resource table at a
+reduced input scale, and scores every quantitative claim from §5.2
+(same outputs as the `epic-run` command, via the library API).
+
+Run:  python examples/paper_evaluation.py          (takes ~1 minute)
+"""
+
+import sys
+
+from repro.harness import build_table1, paper_comparison
+from repro.harness.figures import all_figures
+from repro.harness.report import render_report
+from repro.harness.tables import render_resource_table, resource_usage_table
+from repro.workloads import (
+    aes_workload, dct_workload, dijkstra_workload, sha_workload,
+)
+
+
+def main() -> None:
+    specs = [
+        sha_workload(16, 16),      # paper: 256x256 PPM
+        aes_workload(5),           # paper: 1000 iterations
+        dct_workload(16, 16),      # paper: 256x256 PPM
+        dijkstra_workload(12),     # paper: "a large graph"
+    ]
+    print("compiling and simulating 4 benchmarks x 5 processors "
+          "(every run is validated against the golden reference)...",
+          file=sys.stderr)
+    table = build_table1(
+        specs, progress=lambda text: print("  " + text, file=sys.stderr)
+    )
+
+    print("\nTable 1: Summary of the number of clock cycles required for "
+          "different benchmarks")
+    print(table.render())
+
+    for figure in all_figures(table):
+        print()
+        print(figure.render())
+
+    print()
+    print(render_report(paper_comparison(table)))
+
+    print("\nResource usage (paper §5.1):")
+    print(render_resource_table(resource_usage_table()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""Reproduction of "Customisable EPIC Processor: Architecture and Tools"
+(Chu, Dimond, Perrott, Seng and Luk — DATE 2004).
+
+Public API overview
+===================
+
+Configuration and ISA
+    :class:`~repro.config.MachineConfig`, :func:`~repro.config.epic_config`,
+    :class:`~repro.isa.InstructionFormat`, :class:`~repro.isa.CustomOpSpec`
+
+Toolchain
+    :func:`~repro.asm.assemble` (assembler),
+    :func:`~repro.lang.compile_minic` (MiniC front-end),
+    :func:`~repro.backend.compile_ir_to_epic` (scheduler + code generator)
+
+Simulators
+    :class:`~repro.core.EpicProcessor` (cycle-accurate EPIC core),
+    :class:`~repro.baseline.Sa110Simulator` (StrongARM-like scalar baseline)
+
+Evaluation
+    :mod:`repro.workloads` (SHA-256, AES, DCT, Dijkstra),
+    :mod:`repro.harness` (Table 1 / Fig. 3-5 regeneration),
+    :mod:`repro.fpga` (Virtex-II area and clock model),
+    :mod:`repro.explore` (design-space exploration)
+"""
+
+from repro.config import AluFeature, MachineConfig, epic_config, epic_with_alus
+from repro.errors import ReproError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AluFeature",
+    "MachineConfig",
+    "epic_config",
+    "epic_with_alus",
+    "ReproError",
+    "__version__",
+]

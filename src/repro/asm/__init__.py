@@ -1,0 +1,27 @@
+"""Assembler and disassembler for the customisable EPIC processor.
+
+The paper's assembler (§4.2) maps Trimaran's scheduled assembly onto EPIC
+machine code: it "filters the instructions for simulation purpose and
+counts the number of instructions actually available to execute in
+parallel.  If necessary, no-op instructions are used to make up the
+difference."  It adapts to any customisation through the configuration
+header file, "without the need for recompiling itself".
+
+This package reimplements that contract:
+
+* a line-oriented assembly language with explicit issue groups
+  (``{ op ; op ; ... }``), guard prefixes (``(p3) ADD ...``), ``.data`` /
+  ``.text`` sections and label resolution;
+* simulator-directive lines (prefix ``!``) are filtered out, mirroring
+  the Trimaran-output filtering;
+* every issue group is padded with NOPs to the configured issue width;
+* all operand and opcode validation is driven by the
+  :class:`~repro.config.MachineConfig` — custom opcodes become available
+  simply by appearing in the configuration (paper: "corresponding opcodes
+  should be inserted into the configuration file").
+"""
+
+from repro.asm.assembler import assemble, assemble_file
+from repro.asm.disassembler import disassemble, disassemble_words
+
+__all__ = ["assemble", "assemble_file", "disassemble", "disassemble_words"]

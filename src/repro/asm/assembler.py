@@ -1,0 +1,207 @@
+"""Two-pass assembler: raw statements -> :class:`~repro.isa.Program`.
+
+Pass 1 lays out data words and issue groups (one group = one bundle
+address) and collects symbols; pass 2 resolves operands against each
+opcode's signature, pads groups with NOPs to the configured issue width
+(paper §4.2) and validates everything by encoding it with the parametric
+instruction format.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.config import MachineConfig
+from repro.errors import AsmError, EncodingError
+from repro.isa import signatures as sig
+from repro.isa.bundle import Bundle, Program
+from repro.isa.encoding import InstructionFormat
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OpcodeInfo
+from repro.isa.operands import Btr, Lit, Operand, Pred, Reg
+from repro.asm.parser import ParsedUnit, RawGroup, RawInstruction, RawOperand, parse
+
+
+class _Resolver:
+    """Pass-2 operand resolution for one translation unit."""
+
+    def __init__(self, config: MachineConfig, fmt: InstructionFormat,
+                 code_labels: Dict[str, int], data_symbols: Dict[str, int]):
+        self.config = config
+        self.fmt = fmt
+        self.code_labels = code_labels
+        self.data_symbols = data_symbols
+
+    def _resolve_ident(self, name: str, line: int) -> int:
+        if name in self.code_labels:
+            return self.code_labels[name]
+        if name in self.data_symbols:
+            return self.data_symbols[name]
+        raise AsmError(f"undefined symbol {name!r}", line)
+
+    def _as_dest(self, kind: str, raw: RawOperand) -> Operand:
+        expected = {sig.GPR: "reg", sig.PRD: "pred", sig.BTR: "btr"}[kind]
+        if raw.kind != expected:
+            raise AsmError(
+                f"expected a {expected} operand, got {raw.kind} {raw.value!r}",
+                raw.line,
+            )
+        ctor = {sig.GPR: Reg, sig.PRD: Pred, sig.BTR: Btr}[kind]
+        return ctor(int(raw.value))
+
+    def _as_src(self, kind: str, raw: RawOperand,
+                mnemonic: str) -> "tuple[Operand, Optional[str]]":
+        """Returns (operand, label) where label records a symbolic target."""
+        if raw.kind == "ident":
+            value = self._resolve_ident(str(raw.value), raw.line)
+            if kind not in (sig.FLEX, sig.LIT, sig.LONG):
+                raise AsmError(
+                    f"symbol {raw.value!r} not allowed as a {kind} operand",
+                    raw.line,
+                )
+            return Lit(value), str(raw.value)
+        if raw.kind == "int":
+            if kind not in (sig.FLEX, sig.LIT, sig.LONG):
+                raise AsmError(
+                    f"literal not allowed as a {kind} operand of {mnemonic}",
+                    raw.line,
+                )
+            return Lit(int(raw.value)), None
+        expected = {sig.FLEX: "reg", sig.GPR: "reg",
+                    sig.PRD: "pred", sig.BTR: "btr"}.get(kind)
+        if expected is None or raw.kind != expected:
+            raise AsmError(
+                f"operand {raw.value!r} ({raw.kind}) does not fit a "
+                f"{kind} slot of {mnemonic}",
+                raw.line,
+            )
+        ctor = {"reg": Reg, "pred": Pred, "btr": Btr}[raw.kind]
+        return ctor(int(raw.value)), None
+
+    def resolve(self, raw: RawInstruction) -> Instruction:
+        try:
+            info: OpcodeInfo = self.fmt.table.lookup(raw.mnemonic)
+        except EncodingError as error:
+            raise AsmError(str(error), raw.line) from None
+        signature = sig.signature_of(info)
+
+        slots = [
+            ("dest", signature.dest1),
+            ("dest", signature.dest2),
+            ("src", signature.src1),
+            ("src", signature.src2),
+        ]
+        expected = [slot for slot in slots if slot[1] is not None]
+        if signature.src1 == sig.LONG:
+            # MOVI consumes SRC1 and SRC2 as a single long literal.
+            expected = [slot for slot in expected if slot[1] != sig.LONG]
+            expected.append(("src", sig.LONG))
+        if len(raw.operands) != len(expected):
+            raise AsmError(
+                f"{raw.mnemonic} expects {len(expected)} operand(s), "
+                f"got {len(raw.operands)}",
+                raw.line,
+            )
+
+        if not 0 <= raw.guard < self.config.n_preds:
+            raise AsmError(f"guard p{raw.guard} out of range", raw.line)
+
+        values: List[Operand] = []
+        label: Optional[str] = None
+        for (role, kind), operand in zip(expected, raw.operands):
+            if role == "dest" and not signature.dest1_is_source:
+                values.append(self._as_dest(kind, operand))
+            elif role == "dest":
+                # SW: the stored value occupies the DEST1 field but is a
+                # plain register read.
+                values.append(self._as_dest(kind, operand))
+            else:
+                op_value, op_label = self._as_src(kind, operand, raw.mnemonic)
+                if op_label is not None:
+                    label = op_label
+                values.append(op_value)
+
+        fields = {"dest1": None, "dest2": None, "src1": None, "src2": None}
+        index = 0
+        for (role, kind), value in zip(expected, values):
+            if role == "dest":
+                key = "dest1" if fields["dest1"] is None else "dest2"
+            else:
+                key = "src1" if fields["src1"] is None else "src2"
+            fields[key] = value
+            index += 1
+
+        instr = Instruction(
+            mnemonic=raw.mnemonic,
+            dest1=fields["dest1"],
+            dest2=fields["dest2"],
+            src1=fields["src1"],
+            src2=fields["src2"],
+            guard=Pred(raw.guard),
+            target_label=label,
+        )
+        try:
+            self.fmt.encode(instr)
+        except EncodingError as error:
+            raise AsmError(str(error), raw.line) from None
+        return instr
+
+
+def assemble_unit(unit: ParsedUnit, config: MachineConfig) -> Program:
+    """Assemble a parsed unit under one machine configuration."""
+    fmt = InstructionFormat(config)
+
+    # Pass 1: layout.
+    data_words: List[int] = []
+    data_symbols: Dict[str, int] = {}
+    for item in unit.data:
+        for name in item.labels:
+            if name in data_symbols:
+                raise AsmError(f"duplicate data symbol {name!r}", item.line)
+            data_symbols[name] = len(data_words)
+        data_words.extend(word & config.mask for word in item.words)
+
+    code_labels: Dict[str, int] = {}
+    for address, group in enumerate(unit.groups):
+        for name in group.labels:
+            if name in code_labels or name in data_symbols:
+                raise AsmError(f"duplicate label {name!r}", group.line)
+            code_labels[name] = address
+
+    # Pass 2: resolve and bundle.
+    resolver = _Resolver(config, fmt, code_labels, data_symbols)
+    bundles: List[Bundle] = []
+    for address, group in enumerate(unit.groups):
+        if len(group.instructions) > config.issue_width:
+            raise AsmError(
+                f"issue group has {len(group.instructions)} operations; "
+                f"this configuration issues at most {config.issue_width}",
+                group.line,
+            )
+        instrs = tuple(resolver.resolve(raw) for raw in group.instructions)
+        bundles.append(Bundle(instrs).padded(config.issue_width))
+
+    if unit.entry is not None:
+        if unit.entry not in code_labels:
+            raise AsmError(f".entry label {unit.entry!r} is undefined")
+        entry = code_labels[unit.entry]
+    else:
+        entry = code_labels.get("main", 0)
+
+    return Program(
+        bundles=bundles,
+        labels=code_labels,
+        data=data_words,
+        symbols=data_symbols,
+        entry=entry,
+    )
+
+
+def assemble(source: str, config: MachineConfig) -> Program:
+    """Assemble EPIC assembly text into a program."""
+    return assemble_unit(parse(source), config)
+
+
+def assemble_file(path: str, config: MachineConfig) -> Program:
+    with open(path) as handle:
+        return assemble(handle.read(), config)

@@ -1,0 +1,56 @@
+"""``epic-asm``: assemble a file and print the listing or binary stats."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.asm.assembler import assemble_file
+from repro.config import epic_config
+from repro.errors import ReproError
+from repro.isa.encoding import InstructionFormat
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="epic-asm",
+        description="Assemble EPIC assembly for a chosen configuration.",
+    )
+    parser.add_argument("source", help="assembly source file")
+    parser.add_argument("--alus", type=int, default=4, help="number of ALUs")
+    parser.add_argument("--issue", type=int, default=4, help="issue width")
+    parser.add_argument("--gprs", type=int, default=64,
+                        help="general-purpose registers")
+    parser.add_argument("--listing", action="store_true",
+                        help="print the bundle listing")
+    parser.add_argument("-o", "--output", help="write big-endian binary image")
+    arguments = parser.parse_args(argv)
+
+    config = epic_config(
+        n_alus=arguments.alus,
+        issue_width=arguments.issue,
+        n_gprs=arguments.gprs,
+    )
+    try:
+        program = assemble_file(arguments.source, config)
+    except ReproError as error:
+        print(f"epic-asm: {error}", file=sys.stderr)
+        return 1
+
+    fmt = InstructionFormat(config)
+    words = fmt.encode_program(program)
+    print(
+        f"{arguments.source}: {len(program)} bundles, "
+        f"{program.n_operations} operations, "
+        f"{len(words) * fmt.instruction_bits // 8} bytes"
+    )
+    if arguments.listing:
+        print(program.listing())
+    if arguments.output:
+        with open(arguments.output, "wb") as handle:
+            handle.write(fmt.to_bytes(words))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""Disassembler: encoded words or programs back to assembly text."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.config import MachineConfig
+from repro.isa.bundle import Bundle, Program
+from repro.isa.encoding import InstructionFormat
+
+
+def _render_bundle(bundle: Bundle) -> str:
+    ops = [str(instr) for instr in bundle.slots]
+    return "{ " + " ; ".join(ops) + " }"
+
+
+def disassemble(program: Program, show_labels: bool = True) -> str:
+    """Render a program as re-assemblable text."""
+    by_address: Dict[int, List[str]] = {}
+    if show_labels:
+        for name, address in program.labels.items():
+            by_address.setdefault(address, []).append(name)
+    lines: List[str] = []
+    if program.data:
+        lines.append(".data")
+        by_word: Dict[int, List[str]] = {}
+        for name, address in program.symbols.items():
+            by_word.setdefault(address, []).append(name)
+        cursor = 0
+        boundaries = sorted(by_word) + [len(program.data)]
+        # Emit data runs between symbol boundaries.
+        starts = sorted(set([0] + list(by_word)))
+        for index, start in enumerate(starts):
+            end = starts[index + 1] if index + 1 < len(starts) else len(program.data)
+            if start >= len(program.data):
+                continue
+            for name in sorted(by_word.get(start, [])):
+                lines.append(f"{name}:")
+            chunk = program.data[start:end]
+            for offset in range(0, len(chunk), 8):
+                words = ", ".join(str(word) for word in chunk[offset:offset + 8])
+                lines.append(f"  .word {words}")
+        lines.append(".text")
+    for address, bundle in enumerate(program.bundles):
+        for name in sorted(by_address.get(address, [])):
+            lines.append(f"{name}:")
+        lines.append(f"  {_render_bundle(bundle)}")
+    return "\n".join(lines) + "\n"
+
+
+def disassemble_words(words: List[int], config: MachineConfig,
+                      fmt: Optional[InstructionFormat] = None) -> str:
+    """Decode a flat binary image and render it."""
+    fmt = fmt if fmt is not None else InstructionFormat(config)
+    bundles = fmt.decode_program(words)
+    program = Program(bundles=bundles)
+    return disassemble(program, show_labels=False)

@@ -1,0 +1,215 @@
+"""Line-level parsing of EPIC assembly into raw statements.
+
+The grammar is deliberately small and regular::
+
+    line        := [label ':'] (directive | group | instruction)? comment?
+    group       := '{' instruction (';' instruction)* '}'
+    instruction := ['(' pred ')'] MNEMONIC operand (',' operand)*
+    operand     := 'r'N | 'p'N | 'b'N | integer | identifier
+    directive   := '.text' | '.data' | '.entry' name
+                 | '.word' int (',' int)* | '.space' count
+    comment     := ';;'? ';' ... | '//' ...
+
+Lines beginning with ``!`` are simulator directives (the Trimaran
+byproducts the paper's assembler filters out) and are skipped.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from repro.errors import AsmError
+
+_LABEL_RE = re.compile(r"^\s*([A-Za-z_.$][\w.$]*)\s*:\s*(.*)$")
+_GUARD_RE = re.compile(r"^\s*\(\s*p(\d+)\s*\)\s*(.*)$")
+_INT_RE = re.compile(r"^[+-]?(0[xX][0-9a-fA-F]+|\d+)$")
+_IDENT_RE = re.compile(r"^[A-Za-z_.$][\w.$]*$")
+
+
+@dataclass
+class RawOperand:
+    """An operand before kind resolution."""
+
+    kind: str          # "reg" | "pred" | "btr" | "int" | "ident"
+    value: Union[int, str]
+    line: int
+
+
+@dataclass
+class RawInstruction:
+    mnemonic: str
+    operands: List[RawOperand]
+    guard: int
+    line: int
+
+
+@dataclass
+class RawGroup:
+    """One issue group (a source bundle)."""
+
+    instructions: List[RawInstruction]
+    labels: List[str] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class RawData:
+    """One data directive: label(s) plus initial words."""
+
+    words: List[int]
+    labels: List[str] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class ParsedUnit:
+    groups: List[RawGroup]
+    data: List[RawData]
+    entry: Optional[str] = None
+
+
+def _strip_comment(text: str) -> str:
+    for marker in (";;", "//"):
+        index = text.find(marker)
+        if index >= 0:
+            text = text[:index]
+    # A bare ';' only starts a comment outside a { } group, where it is
+    # the instruction separator.  The splitter below handles groups; here
+    # we only strip trailing comments on non-group lines.
+    return text
+
+
+def _parse_int(token: str, line: int) -> int:
+    match = _INT_RE.match(token)
+    if not match:
+        raise AsmError(f"invalid integer literal {token!r}", line)
+    return int(token, 0)
+
+
+def parse_operand(token: str, line: int) -> RawOperand:
+    token = token.strip()
+    if not token:
+        raise AsmError("empty operand", line)
+    lowered = token.lower()
+    for prefix, kind in (("r", "reg"), ("p", "pred"), ("b", "btr")):
+        if lowered.startswith(prefix) and lowered[1:].isdigit():
+            return RawOperand(kind, int(lowered[1:]), line)
+    if _INT_RE.match(token):
+        return RawOperand("int", int(token, 0), line)
+    if _IDENT_RE.match(token):
+        return RawOperand("ident", token, line)
+    raise AsmError(f"cannot parse operand {token!r}", line)
+
+
+def parse_instruction(text: str, line: int) -> RawInstruction:
+    text = text.strip()
+    guard = 0
+    match = _GUARD_RE.match(text)
+    if match:
+        guard = int(match.group(1))
+        text = match.group(2).strip()
+    if not text:
+        raise AsmError("empty instruction", line)
+    parts = text.split(None, 1)
+    mnemonic = parts[0].upper()
+    operands: List[RawOperand] = []
+    if len(parts) == 2:
+        for token in parts[1].split(","):
+            operands.append(parse_operand(token, line))
+    return RawInstruction(mnemonic, operands, guard, line)
+
+
+def parse(source: str) -> ParsedUnit:
+    """Parse assembly text into raw groups, data items and the entry."""
+    groups: List[RawGroup] = []
+    data: List[RawData] = []
+    entry: Optional[str] = None
+    section = "text"
+    pending_labels: List[str] = []
+
+    for line_no, raw_line in enumerate(source.splitlines(), start=1):
+        if raw_line.lstrip().startswith("!"):
+            continue  # simulator directive (Trimaran filtering, §4.2)
+        text = raw_line.strip()
+        if not text:
+            continue
+
+        # Peel off leading labels (possibly several on one line).
+        while True:
+            match = _LABEL_RE.match(text)
+            if not match or match.group(1).startswith("."):
+                break
+            pending_labels.append(match.group(1))
+            text = match.group(2).strip()
+        if not text or text.startswith(";") or text.startswith("//"):
+            continue
+
+        if text.startswith("."):
+            fields = _strip_comment(text).split(None, 1)
+            directive = fields[0].lower()
+            argument = fields[1].strip() if len(fields) == 2 else ""
+            if directive == ".text":
+                section = "text"
+            elif directive == ".data":
+                section = "data"
+            elif directive == ".entry":
+                if not argument:
+                    raise AsmError(".entry requires a label", line_no)
+                entry = argument
+            elif directive == ".word":
+                if section != "data":
+                    raise AsmError(".word is only valid in .data", line_no)
+                words = [
+                    _parse_int(token.strip(), line_no)
+                    for token in argument.split(",")
+                    if token.strip()
+                ]
+                if not words:
+                    raise AsmError(".word requires at least one value", line_no)
+                data.append(RawData(words, pending_labels, line_no))
+                pending_labels = []
+            elif directive == ".space":
+                if section != "data":
+                    raise AsmError(".space is only valid in .data", line_no)
+                count = _parse_int(argument, line_no)
+                if count < 0:
+                    raise AsmError(".space count must be >= 0", line_no)
+                data.append(RawData([0] * count, pending_labels, line_no))
+                pending_labels = []
+            else:
+                raise AsmError(f"unknown directive {directive!r}", line_no)
+            continue
+
+        if section != "text":
+            raise AsmError("instructions are only allowed in .text", line_no)
+
+        if text.startswith("{"):
+            # Only '//' comments are allowed after a group, since ';' is
+            # the in-group separator.
+            body = text.split("//")[0].strip()
+            if not body.rstrip().endswith("}"):
+                raise AsmError("issue group must close on the same line", line_no)
+            inner = body.strip()[1:-1]
+            instrs = [
+                parse_instruction(piece, line_no)
+                for piece in inner.split(";")
+                if piece.strip()
+            ]
+            if not instrs:
+                raise AsmError("empty issue group", line_no)
+            groups.append(RawGroup(instrs, pending_labels, line_no))
+        else:
+            instr = parse_instruction(_strip_comment(text), line_no)
+            groups.append(RawGroup([instr], pending_labels, line_no))
+        pending_labels = []
+
+    if pending_labels:
+        # Trailing labels attach to an implicit terminating point; give
+        # them a clear diagnostic instead of silently dropping them.
+        raise AsmError(
+            f"labels {pending_labels} at end of file label nothing",
+            line=len(source.splitlines()),
+        )
+    return ParsedUnit(groups, data, entry)

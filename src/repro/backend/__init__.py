@@ -1,0 +1,36 @@
+"""EPIC code generation (elcor's role, §4.1).
+
+"The elcor module will then statically schedule the instructions by
+performing dependence analysis and resource conflict avoidance."
+
+Pipeline stages:
+
+1. **Instruction selection** (:mod:`repro.backend.isel`): IR -> machine
+   ops with virtual registers, including if-conversion of small diamonds
+   into predicated code (paper §2's "predicated instructions transform
+   control dependence to data dependence") and fusion of compares into
+   CMPP/branch pairs.
+2. **Register allocation** (:mod:`repro.sched.regalloc`): linear scan
+   over the configured register file, with calling-convention pools and
+   spilling.
+3. **Pseudo-op expansion** (:mod:`repro.backend.expand`): calls,
+   returns, prologue/epilogue and frame construction.
+4. **Scheduling** (:mod:`repro.sched`): dependence DAG + resource-
+   constrained list scheduling into issue groups, driven by the machine
+   description (mdes) so compile-time assumptions equal hardware
+   behaviour.
+5. **Emission** (:mod:`repro.backend.emit`): bundles -> assembly text,
+   consumed by the configuration-aware assembler.
+"""
+
+__all__ = ["EpicCompilation", "compile_ir_to_epic", "compile_minic_to_epic"]
+
+
+def __getattr__(name):
+    # Lazy re-exports (PEP 562): repro.sched and repro.backend import
+    # each other's submodules; resolving the pipeline entry points on
+    # first use keeps the package import graph acyclic.
+    if name in __all__:
+        from repro.backend import epic
+        return getattr(epic, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

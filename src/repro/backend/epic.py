@@ -1,0 +1,117 @@
+"""The complete EPIC compilation pipeline.
+
+``compile_ir_to_epic`` takes an IR module and a machine configuration
+and produces an assembled :class:`~repro.isa.Program` (plus the
+intermediate assembly text, for inspection), retargeting itself entirely
+from the configuration — the property the paper's §4 toolchain is built
+around ("the compiler is able to support our design, without the need
+for recompiling the compiler itself").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.asm import assemble
+from repro.backend.emit import render_program
+from repro.backend.expand import expand_function
+from repro.backend.isel import EpicISel
+from repro.backend.runtime import RUNTIME_SOURCE
+from repro.config import AluFeature, MachineConfig
+from repro.errors import ScheduleError
+from repro.ir import instructions as ir
+from repro.ir.module import Module
+from repro.ir.verify import verify_module
+from repro.isa.bundle import Program
+from repro.isa.encoding import InstructionFormat
+from repro.mdes import Mdes
+from repro.sched.convention import epic_convention
+from repro.sched.listsched import schedule_function
+from repro.sched.regalloc import allocate_registers
+
+
+@dataclass
+class EpicCompilation:
+    """Result of one compilation: program plus introspection artefacts."""
+
+    program: Program
+    assembly: str
+    config: MachineConfig
+    symbols: Dict[str, int]
+
+    @property
+    def code_bundles(self) -> int:
+        return len(self.program)
+
+
+def _module_uses_div(module: Module) -> bool:
+    for function in module.functions.values():
+        for instr in function.instructions():
+            if isinstance(instr, ir.BinOp) and instr.op in ("div", "rem"):
+                return True
+    return False
+
+
+def link_runtime(module: Module, optimize: bool = True) -> None:
+    """Merge the division runtime into ``module`` (idempotent)."""
+    if "__divsi3" in module.functions:
+        return
+    from repro.lang.compile import compile_minic  # local: avoid cycle
+
+    runtime = compile_minic(RUNTIME_SOURCE, unroll=False, optimize=optimize)
+    for name, function in runtime.functions.items():
+        if name not in module.functions:
+            module.functions[name] = function
+
+
+def compile_ir_to_epic(module: Module, config: MachineConfig,
+                       if_convert: bool = True,
+                       entry: str = "main") -> EpicCompilation:
+    """Compile an IR module for one EPIC configuration."""
+    if entry not in module.functions:
+        raise ScheduleError(f"entry function {entry!r} not found")
+    if not config.has_feature(AluFeature.DIVIDE) and _module_uses_div(module):
+        link_runtime(module)
+    verify_module(module)
+
+    fmt = InstructionFormat(config)
+    mdes = Mdes(config, fmt.table)
+    convention = epic_convention(config.n_gprs)
+    addresses = module.layout_globals()
+
+    scheduled = []
+    for function in module.functions.values():
+        mfunc = EpicISel(function, module, config, fmt, addresses,
+                         if_convert=if_convert).run()
+        allocation = allocate_registers(mfunc, convention)
+        expand_function(mfunc, convention, fmt, allocation)
+        scheduled.extend(schedule_function(mfunc, mdes))
+
+    assembly = render_program(module, scheduled, config.mask, entry)
+    program = assemble(assembly, config)
+
+    # The assembler lays data out in emission order; confirm it matches
+    # the layout instruction selection baked into literal addresses.
+    for name, address in addresses.items():
+        if program.symbols.get(name) != address:
+            raise ScheduleError(
+                f"data layout mismatch for {name!r}: "
+                f"{program.symbols.get(name)} != {address}"
+            )
+    return EpicCompilation(
+        program=program,
+        assembly=assembly,
+        config=config,
+        symbols=dict(program.symbols),
+    )
+
+
+def compile_minic_to_epic(source: str, config: MachineConfig,
+                          unroll: bool = True, optimize: bool = True,
+                          if_convert: bool = True) -> EpicCompilation:
+    """Convenience: MiniC source -> assembled EPIC program."""
+    from repro.lang.compile import compile_minic  # local: avoid cycle
+
+    module = compile_minic(source, unroll=unroll, optimize=optimize)
+    return compile_ir_to_epic(module, config, if_convert=if_convert)

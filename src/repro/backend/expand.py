@@ -1,0 +1,231 @@
+"""Post-allocation expansion: frames, prologue/epilogue, calls, returns.
+
+Frame layout (word offsets from the *new* stack pointer)::
+
+    sp + 0 .. A-1            local arrays (allocas)
+    sp + A .. A+S-1          spill slots
+    sp + A+S .. A+S+K-1      saved callee-saved registers (+ ra if needed)
+
+The ENTER pseudo becomes ``SUB sp`` + saves + parameter copies (resolved
+as a parallel copy so an incoming argument register is never clobbered
+before it is read); CALL becomes argument moves + PBR + BRL + a result
+copy; RET becomes the return-value move + restores + ``ADD sp`` +
+``MOVGBP``/``BR`` through a branch-target register.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.backend.mops import (
+    CALL, ENTER, MBlock, MFunction, MOp, RET, SpillRef, VR,
+)
+from repro.errors import ScheduleError
+from repro.isa.encoding import InstructionFormat
+from repro.isa.operands import Btr, Lit, Pred, Reg
+from repro.sched.convention import RegConvention
+from repro.sched.regalloc import AllocationResult
+
+_BTR_WINDOW = 8
+
+
+def sequentialize_parallel_copies(
+        pairs: Sequence[Tuple[int, int]], scratch: int) -> List[Tuple[int, int]]:
+    """Order (dst, src) register copies so no source is clobbered early.
+
+    Cycles are broken through ``scratch``.  Returns the sequential list
+    of (dst, src) moves to emit.
+    """
+    pending: Dict[int, int] = {}
+    for dst, src in pairs:
+        if dst == src:
+            continue
+        if dst in pending:
+            raise ScheduleError(f"duplicate copy destination r{dst}")
+        pending[dst] = src
+    order: List[Tuple[int, int]] = []
+    while pending:
+        sources = set(pending.values())
+        free = [dst for dst in pending if dst not in sources]
+        if free:
+            dst = free[0]
+            order.append((dst, pending.pop(dst)))
+            continue
+        # Pure cycle: park one source in the scratch register.
+        dst, src = next(iter(pending.items()))
+        order.append((scratch, src))
+        for key, value in list(pending.items()):
+            if value == src:
+                pending[key] = scratch
+    return order
+
+
+class _FrameInfo:
+    """Frame layout: allocas | spill slots | saved registers | incoming
+    stack arguments.  The incoming-argument area sits at the very top of
+    the frame so that the slots the *caller* wrote just below its own
+    stack pointer (at ``sp - E + e``) become ``sp + size - E + e`` after
+    the callee's prologue adjusts ``sp``."""
+
+    def __init__(self, mfunc: MFunction, saved: List[int],
+                 n_stack_params: int = 0):
+        self.alloca_offsets: Dict[int, int] = {}
+        cursor = 0
+        for index, (_, size) in enumerate(mfunc.allocas):
+            self.alloca_offsets[index] = cursor
+            cursor += size
+        self.spill_base = cursor
+        cursor += mfunc.spill_slots
+        self.save_offsets: Dict[int, int] = {}
+        for reg in saved:
+            self.save_offsets[reg] = cursor
+            cursor += 1
+        self.incoming_base = cursor
+        cursor += n_stack_params
+        self.size = cursor
+
+
+def count_stack_params(mfunc: MFunction, max_reg_args: int) -> int:
+    """Parameters beyond the register-argument window (ENTER's args)."""
+    for block in mfunc.blocks:
+        for mop in block.mops:
+            if mop.mnemonic == ENTER:
+                return max(0, len(mop.args) - max_reg_args)
+    return 0
+
+
+def expand_function(mfunc: MFunction, convention: RegConvention,
+                    fmt: InstructionFormat,
+                    allocation: AllocationResult) -> None:
+    """Expand pseudos and patch frame offsets in place."""
+    saved = list(allocation.used_callee_saved)
+    if mfunc.has_calls:
+        saved = [convention.ra] + saved
+    frame = _FrameInfo(mfunc, saved,
+                       count_stack_params(mfunc, convention.max_reg_args))
+    sp = Reg(convention.sp)
+    btr_cursor = [0]
+
+    def next_btr() -> Btr:
+        window = min(fmt.config.n_btrs, _BTR_WINDOW)
+        index = btr_cursor[0] % window
+        btr_cursor[0] += 1
+        return Btr(index)
+
+    def patch_marker(mop: MOp) -> None:
+        if mop.target is None:
+            return
+        if mop.target.startswith("alloca:"):
+            index = int(mop.target.split(":")[1])
+            mop.src2 = Lit(frame.alloca_offsets[index])
+            mop.target = None
+        elif mop.target.startswith("spill:"):
+            slot = int(mop.target.split(":")[1])
+            mop.src2 = Lit(frame.spill_base + slot)
+            mop.target = None
+
+    def move_into(dest: Reg, operand, out: List[MOp]) -> None:
+        if isinstance(operand, Lit):
+            mnemonic = "MOVE" if fmt.literal_fits(operand.value) else "MOVI"
+            out.append(MOp(mnemonic, dest1=dest, src1=operand))
+        elif isinstance(operand, SpillRef):
+            out.append(MOp("LW", dest1=dest, src1=sp,
+                           src2=Lit(frame.spill_base + operand.slot)))
+        elif isinstance(operand, Reg):
+            if operand.index != dest.index:
+                out.append(MOp("MOVE", dest1=dest, src1=operand))
+        else:
+            raise ScheduleError(f"unexpected operand {operand!r} at expansion")
+
+    def expand_enter(mop: MOp, out: List[MOp]) -> None:
+        if frame.size:
+            out.append(MOp("SUB", dest1=sp, src1=sp, src2=Lit(frame.size)))
+        for reg, offset in frame.save_offsets.items():
+            out.append(MOp("SW", dest1=Reg(reg), src1=sp, src2=Lit(offset)))
+        # Order matters: spill-stores read pristine incoming argument
+        # registers first; the parallel copies then move reg-params out
+        # of the argument registers; only after that may stack-passed
+        # params be loaded into registers that might alias the incoming
+        # argument registers.
+        reg_pairs: List[Tuple[int, int]] = []
+        stack_loads: List[MOp] = []
+        scratch = Reg(convention.scratch[0])
+        for position, param in enumerate(mop.args):
+            if position >= convention.max_reg_args:
+                # Stack-passed parameter: the caller left it in this
+                # frame's incoming area.
+                offset = frame.incoming_base + position \
+                    - convention.max_reg_args
+                if isinstance(param, SpillRef):
+                    stack_loads.append(MOp("LW", dest1=scratch, src1=sp,
+                                           src2=Lit(offset)))
+                    stack_loads.append(MOp(
+                        "SW", dest1=scratch, src1=sp,
+                        src2=Lit(frame.spill_base + param.slot)))
+                elif isinstance(param, Reg):
+                    stack_loads.append(MOp("LW", dest1=param, src1=sp,
+                                           src2=Lit(offset)))
+                else:
+                    raise ScheduleError(f"unallocated parameter {param!r}")
+                continue
+            arg_reg = convention.arg_regs[position]
+            if isinstance(param, SpillRef):
+                out.append(MOp("SW", dest1=Reg(arg_reg), src1=sp,
+                               src2=Lit(frame.spill_base + param.slot)))
+            elif isinstance(param, Reg):
+                reg_pairs.append((param.index, arg_reg))
+            else:
+                raise ScheduleError(f"unallocated parameter {param!r}")
+        for dst, src in sequentialize_parallel_copies(
+                reg_pairs, convention.scratch[0]):
+            out.append(MOp("MOVE", dest1=Reg(dst), src1=Reg(src)))
+        out.extend(stack_loads)
+
+    def expand_call(mop: MOp, out: List[MOp]) -> None:
+        n_extra = max(0, len(mop.args) - convention.max_reg_args)
+        scratch = Reg(convention.scratch[0])
+        for extra, argument in enumerate(mop.args[convention.max_reg_args:]):
+            # Below the current stack pointer: the callee's prologue will
+            # fold this region into its own frame.
+            offset = Lit(-n_extra + extra)
+            if isinstance(argument, Reg):
+                out.append(MOp("SW", dest1=argument, src1=sp, src2=offset))
+            else:
+                move_into(scratch, argument, out)
+                out.append(MOp("SW", dest1=scratch, src1=sp, src2=offset))
+        for position, argument in enumerate(
+                mop.args[:convention.max_reg_args]):
+            move_into(Reg(convention.arg_regs[position]), argument, out)
+        btr = next_btr()
+        out.append(MOp("PBR", dest1=btr, src1=Lit(0), target=mop.target))
+        out.append(MOp("BRL", dest1=Reg(convention.ra), src1=btr))
+        if mop.dest1 is not None:
+            if not isinstance(mop.dest1, Reg):
+                raise ScheduleError(f"unallocated call result {mop.dest1!r}")
+            out.append(MOp("MOVE", dest1=mop.dest1,
+                           src1=Reg(convention.rv)))
+
+    def expand_ret(mop: MOp, out: List[MOp]) -> None:
+        if mop.src1 is not None:
+            move_into(Reg(convention.rv), mop.src1, out)
+        for reg, offset in frame.save_offsets.items():
+            out.append(MOp("LW", dest1=Reg(reg), src1=sp, src2=Lit(offset)))
+        if frame.size:
+            out.append(MOp("ADD", dest1=sp, src1=sp, src2=Lit(frame.size)))
+        btr = next_btr()
+        out.append(MOp("MOVGBP", dest1=btr, src1=Reg(convention.ra)))
+        out.append(MOp("BR", src1=btr))
+
+    for block in mfunc.blocks:
+        expanded: List[MOp] = []
+        for mop in block.mops:
+            patch_marker(mop)
+            if mop.mnemonic == ENTER:
+                expand_enter(mop, expanded)
+            elif mop.mnemonic == CALL:
+                expand_call(mop, expanded)
+            elif mop.mnemonic == RET:
+                expand_ret(mop, expanded)
+            else:
+                expanded.append(mop)
+        block.mops = expanded

@@ -1,0 +1,519 @@
+"""Instruction selection: IR -> MOps with virtual registers.
+
+Includes the two EPIC-specific lowering tricks the paper's toolchain
+relies on:
+
+* **compare/branch fusion** — an IR ``Cmp`` whose only consumer is the
+  block's ``CondBr`` becomes a single CMPP feeding BRCT/BRCF through a
+  predicate register, never materialising a 0/1 word;
+* **if-conversion** — small diamonds/triangles become straight-line
+  predicated code ("predicated instructions transform control dependence
+  to data dependence", §2): one CMPP writes a true/false predicate pair
+  and both arms execute under opposite guards, squashing at write-back.
+
+Large constants are materialised with MOVI (the long-immediate move);
+short literals ride in the tagged SRC fields.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.config import AluFeature, MachineConfig
+from repro.errors import ScheduleError
+from repro.ir import instructions as ir
+from repro.ir.module import Function, Module
+from repro.ir.values import Const, Sym, Value, VReg
+from repro.isa.encoding import InstructionFormat
+from repro.isa.operands import Btr, Lit, Pred, Reg, PRED_TRUE
+from repro.backend.mops import CALL, ENTER, MBlock, MFunction, MOp, RET, VR
+
+_BIN_MNEMONIC = {
+    "add": "ADD", "sub": "SUB", "mul": "MUL", "div": "DIV", "rem": "REM",
+    "and": "AND", "or": "OR", "xor": "XOR",
+    "shl": "SHL", "shr": "SHR", "shra": "SHRA",
+}
+_CMP_MNEMONIC = {
+    "eq": "CMPP_EQ", "ne": "CMPP_NE", "lt": "CMPP_LT", "le": "CMPP_LE",
+    "gt": "CMPP_GT", "ge": "CMPP_GE", "ult": "CMPP_ULT", "uge": "CMPP_UGE",
+}
+
+#: Maximum IR operations per arm for if-conversion.
+IF_CONVERT_MAX_OPS = 8
+
+#: Rotating pools.  Predicate 0 is the hardwired true guard; BTRs rotate
+#: over a small window so nearby branch sites never collide.
+_BTR_WINDOW = 8
+
+
+def block_label(function_name: str, block_name: str, entry: str) -> str:
+    if block_name == entry:
+        return function_name
+    return f"{function_name}${block_name}"
+
+
+@dataclass
+class _Diamond:
+    then_name: Optional[str]
+    else_name: Optional[str]
+    join_name: str
+    merge_join: bool
+
+
+class EpicISel:
+    """Selects one IR function into an :class:`MFunction`."""
+
+    def __init__(self, function: Function, module: Module,
+                 config: MachineConfig, fmt: InstructionFormat,
+                 global_addresses: Dict[str, int],
+                 if_convert: bool = True):
+        self.function = function
+        self.module = module
+        self.config = config
+        self.fmt = fmt
+        self.addresses = global_addresses
+        self.if_convert = if_convert
+        self.mfunc = MFunction(name=function.name)
+        self.vreg_map: Dict[VReg, VR] = {}
+        self._pred_cursor = 0
+        self._btr_cursor = 0
+        self._use_counts = self._count_uses()
+        self._preds = function.predecessors()
+        self._blocks = {block.name: block for block in function.blocks}
+        self._order = [block.name for block in function.blocks]
+        self._consumed: Set[str] = set()
+        self._alloca_count = 0
+        if not config.has_feature(AluFeature.MULTIPLY):
+            raise ScheduleError(
+                "configurations without the multiply feature require the "
+                "software-multiply runtime, which is not wired up; enable "
+                "AluFeature.MULTIPLY"
+            )
+        self.expand_div = not config.has_feature(AluFeature.DIVIDE)
+        if not config.has_feature(AluFeature.SHIFT):
+            raise ScheduleError(
+                "the code generator requires the shift feature "
+                "(AluFeature.SHIFT)"
+            )
+
+    # -- small allocators ---------------------------------------------------
+
+    def _new_pred_pair(self) -> Tuple[Pred, Pred]:
+        count = self.config.n_preds - 1
+        if count < 2:
+            raise ScheduleError("need at least 3 predicate registers")
+        first = 1 + self._pred_cursor % count
+        self._pred_cursor += 1
+        second = 1 + self._pred_cursor % count
+        self._pred_cursor += 1
+        return Pred(first), Pred(second)
+
+    def _new_pred(self) -> Pred:
+        count = self.config.n_preds - 1
+        index = 1 + self._pred_cursor % count
+        self._pred_cursor += 1
+        return Pred(index)
+
+    def _new_btr(self) -> Btr:
+        window = min(self.config.n_btrs, _BTR_WINDOW)
+        index = self._btr_cursor % window
+        self._btr_cursor += 1
+        return Btr(index)
+
+    def _count_uses(self) -> Counter:
+        counts: Counter = Counter()
+        for instr in self.function.instructions():
+            for value in instr.uses():
+                if isinstance(value, VReg):
+                    counts[value] += 1
+        return counts
+
+    # -- operand legalisation --------------------------------------------------
+
+    def _vr(self, reg: VReg) -> VR:
+        if reg not in self.vreg_map:
+            self.vreg_map[reg] = self.mfunc.new_vr(reg.hint)
+        return self.vreg_map[reg]
+
+    def _address_of(self, sym: Sym) -> int:
+        try:
+            return self.addresses[sym.name] + sym.offset
+        except KeyError:
+            raise ScheduleError(f"undefined global {sym.name!r}") from None
+
+    def _materialize(self, out: List[MOp], value: int, guard: Pred,
+                     hint: str = "imm") -> VR:
+        temp = self.mfunc.new_vr(hint)
+        out.append(MOp("MOVI", dest1=temp, src1=Lit(value), guard=guard))
+        return temp
+
+    def _operand(self, out: List[MOp], value: Value, guard: Pred):
+        """Legalise an IR value into a register or short literal."""
+        if isinstance(value, VReg):
+            return self._vr(value)
+        if isinstance(value, Const):
+            if self.fmt.literal_fits(value.value):
+                return Lit(value.value)
+            return self._materialize(out, value.value, guard)
+        if isinstance(value, Sym):
+            address = self._address_of(value)
+            if self.fmt.literal_fits(address):
+                return Lit(address)
+            return self._materialize(out, address, guard, hint="addr")
+        raise ScheduleError(f"cannot legalise operand {value!r}")
+
+    def _register_operand(self, out: List[MOp], value: Value, guard: Pred):
+        """Legalise into a register (stores need a register value)."""
+        operand = self._operand(out, value, guard)
+        if isinstance(operand, Lit):
+            temp = self.mfunc.new_vr("tmp")
+            out.append(MOp("MOVE", dest1=temp, src1=operand, guard=guard))
+            return temp
+        return operand
+
+    # -- body selection -----------------------------------------------------------
+
+    def _select_body(self, instrs: Sequence[ir.Instr], out: List[MOp],
+                     guard: Pred, skip: Set[int] = frozenset()) -> None:
+        for index, instr in enumerate(instrs):
+            if index in skip:
+                continue
+            self._select_instr(instr, out, guard)
+
+    def _select_instr(self, instr: ir.Instr, out: List[MOp],
+                      guard: Pred) -> None:
+        if isinstance(instr, ir.BinOp):
+            if instr.op in ("div", "rem") and self.expand_div:
+                callee = "__divsi3" if instr.op == "div" else "__modsi3"
+                if guard.index != PRED_TRUE:
+                    raise ScheduleError(
+                        "cannot expand division under a guard"
+                    )
+                args = [self._operand(out, v, guard) for v in (instr.a, instr.b)]
+                out.append(MOp(CALL, dest1=self._vr(instr.dst),
+                               target=callee, args=args))
+                self.mfunc.has_calls = True
+                return
+            a = self._operand(out, instr.a, guard)
+            b = self._operand(out, instr.b, guard)
+            if isinstance(a, Lit) and isinstance(b, Lit):
+                # Should have been constant-folded; legalise anyway.
+                a = self._register_operand(out, Const(a.value), guard)
+            out.append(MOp(_BIN_MNEMONIC[instr.op], dest1=self._vr(instr.dst),
+                           src1=a, src2=b, guard=guard))
+            return
+
+        if isinstance(instr, ir.Cmp):
+            # Materialise a 0/1 word via a predicate pair and two guarded
+            # immediates (only for compares that were not branch-fused).
+            if guard.index != PRED_TRUE:
+                raise ScheduleError("cannot materialise a compare under a guard")
+            a = self._operand(out, instr.a, guard)
+            b = self._operand(out, instr.b, guard)
+            p_true, p_false = self._new_pred_pair()
+            dst = self._vr(instr.dst)
+            out.append(MOp(_CMP_MNEMONIC[instr.op], dest1=p_true,
+                           dest2=p_false, src1=a, src2=b, guard=guard))
+            out.append(MOp("MOVI", dest1=dst, src1=Lit(1), guard=p_true))
+            out.append(MOp("MOVI", dest1=dst, src1=Lit(0), guard=p_false))
+            return
+
+        if isinstance(instr, ir.Copy):
+            src = self._operand(out, instr.src, guard)
+            mnemonic = "MOVE"
+            if isinstance(src, Lit) and not self.fmt.literal_fits(src.value):
+                mnemonic = "MOVI"
+            out.append(MOp(mnemonic, dest1=self._vr(instr.dst), src1=src,
+                           guard=guard))
+            return
+
+        if isinstance(instr, ir.Load):
+            base, offset = self._address_pair(out, instr.base, instr.offset,
+                                              guard)
+            mnemonic = "LWS" if instr.speculative else "LW"
+            out.append(MOp(mnemonic, dest1=self._vr(instr.dst), src1=base,
+                           src2=offset, guard=guard))
+            return
+
+        if isinstance(instr, ir.Store):
+            value = self._register_operand(out, instr.value, guard)
+            base, offset = self._address_pair(out, instr.base, instr.offset,
+                                              guard)
+            out.append(MOp("SW", dest1=value, src1=base, src2=offset,
+                           guard=guard))
+            return
+
+        if isinstance(instr, ir.Alloca):
+            marker = f"alloca:{self._alloca_count}"
+            self._alloca_count += 1
+            vr = self._vr(instr.dst)
+            self.mfunc.allocas.append((vr, instr.size))
+            out.append(MOp("ADD", dest1=vr, src1=Reg(1), src2=Lit(0),
+                           guard=guard, target=marker))
+            return
+
+        if isinstance(instr, ir.Call):
+            # Custom-instruction intrinsics (paper §3.3): a call to a
+            # two-argument function whose name matches a configured
+            # custom opcode becomes that single ALU operation.  The
+            # function body remains the software fallback for targets
+            # without the instruction (golden interpreter, baseline,
+            # configurations that omit it).
+            mnemonic = instr.callee.upper()
+            if (instr.dst is not None and len(instr.args) == 2
+                    and mnemonic in self.fmt.table
+                    and self.fmt.table.lookup(mnemonic).is_custom):
+                a = self._operand(out, instr.args[0], guard)
+                b = self._operand(out, instr.args[1], guard)
+                out.append(MOp(mnemonic, dest1=self._vr(instr.dst),
+                               src1=a, src2=b, guard=guard))
+                return
+            if guard.index != PRED_TRUE:
+                raise ScheduleError("cannot call under a guard")
+            args = [self._operand(out, v, guard) for v in instr.args]
+            dest = self._vr(instr.dst) if instr.dst is not None else None
+            out.append(MOp(CALL, dest1=dest, target=instr.callee, args=args))
+            self.mfunc.has_calls = True
+            return
+
+        raise ScheduleError(f"cannot select {instr}")  # pragma: no cover
+
+    def _address_pair(self, out: List[MOp], base: Value, offset: Value,
+                      guard: Pred):
+        """Legalise a (base, offset) pair; folds const+const addresses."""
+        if isinstance(base, (Const, Sym)) and isinstance(offset, Const):
+            base_value = (
+                base.value if isinstance(base, Const)
+                else self._address_of(base)
+            )
+            total = base_value + offset.value
+            if self.fmt.literal_fits(total):
+                return Reg(0), Lit(total)
+            return self._materialize(out, total, guard, hint="addr"), Lit(0)
+        base_op = self._operand(out, base, guard)
+        offset_op = self._operand(out, offset, guard)
+        if isinstance(base_op, Lit) and isinstance(offset_op, Lit):
+            return Reg(0), Lit(base_op.value + offset_op.value)
+        if isinstance(base_op, Lit):
+            base_op, offset_op = offset_op, base_op
+        return base_op, offset_op
+
+    # -- compare/branch fusion -----------------------------------------------
+
+    def _fusible_cmp(self, block) -> Optional[int]:
+        """Index of a Cmp in ``block`` fused into its CondBr, if any."""
+        term = block.terminator
+        if not isinstance(term, ir.CondBr) or not isinstance(term.cond, VReg):
+            return None
+        if self._use_counts[term.cond] != 1:
+            return None
+        for index in range(len(block.instrs) - 2, -1, -1):
+            instr = block.instrs[index]
+            if term.cond in instr.defs():
+                if isinstance(instr, ir.Cmp):
+                    return index
+                return None
+        return None
+
+    # -- if-conversion ----------------------------------------------------------
+
+    def _arm_convertible(self, name: str, origin: str, join: str) -> bool:
+        if name == join:
+            return True
+        block = self._blocks[name]
+        if self._preds[name] != [origin]:
+            return False
+        term = block.terminator
+        if not isinstance(term, ir.Br) or term.target != join:
+            return False
+        body = block.body
+        if len(body) > IF_CONVERT_MAX_OPS:
+            return False
+        for instr in body:
+            if not isinstance(instr, (ir.BinOp, ir.Copy, ir.Load, ir.Store)):
+                return False
+            if isinstance(instr, ir.BinOp) and instr.op in ("div", "rem") \
+                    and self.expand_div:
+                return False
+        return True
+
+    def _find_diamond(self, block) -> Optional[_Diamond]:
+        if not self.if_convert:
+            return None
+        term = block.terminator
+        if not isinstance(term, ir.CondBr):
+            return None
+        then_name, else_name = term.if_true, term.if_false
+        if then_name == else_name:
+            return None
+
+        # Triangle with a fallthrough arm on either side.
+        candidates = []
+        then_block = self._blocks[then_name]
+        else_block = self._blocks[else_name]
+        then_term = then_block.terminator
+        else_term = else_block.terminator
+        if isinstance(then_term, ir.Br) and then_term.target == else_name:
+            candidates.append((then_name, None, else_name))
+        if isinstance(else_term, ir.Br) and else_term.target == then_name:
+            candidates.append((None, else_name, then_name))
+        if isinstance(then_term, ir.Br) and isinstance(else_term, ir.Br) \
+                and then_term.target == else_term.target:
+            candidates.append((then_name, else_name, then_term.target))
+
+        for then_arm, else_arm, join in candidates:
+            if join in (then_arm, else_arm) or join == block.name:
+                continue
+            arms_ok = True
+            for arm in (then_arm, else_arm):
+                if arm is not None and not self._arm_convertible(
+                        arm, block.name, join):
+                    arms_ok = False
+            if not arms_ok:
+                continue
+            join_preds = set(self._preds[join])
+            expected = {arm for arm in (then_arm, else_arm) if arm is not None}
+            if then_arm is None or else_arm is None:
+                expected.add(block.name)
+            merge_join = join_preds == expected
+            return _Diamond(then_arm, else_arm, join, merge_join)
+        return None
+
+    # -- block / terminator selection -----------------------------------------
+
+    def _next_in_layout(self, name: str) -> Optional[str]:
+        position = self._order.index(self._head)
+        for candidate in self._order[position + 1:]:
+            if candidate not in self._consumed:
+                return candidate
+        return None
+
+    def _label(self, block_name: str) -> str:
+        return block_label(self.function.name, block_name,
+                           self.function.entry.name)
+
+    def _emit_branch_to(self, out: List[MOp], target: str,
+                        fallthrough: Optional[str]) -> None:
+        if target == fallthrough:
+            return
+        btr = self._new_btr()
+        out.append(MOp("PBR", dest1=btr, src1=Lit(0),
+                       target=self._label(target)))
+        out.append(MOp("BR", src1=btr))
+
+    def _emit_cond_branch(self, out: List[MOp], block,
+                          skip: Set[int]) -> None:
+        term = block.terminator
+        fused_index = self._fusible_cmp(block)
+        if fused_index is not None and fused_index in skip:
+            cmp_instr = block.instrs[fused_index]
+            a = self._operand(out, cmp_instr.a, Pred(PRED_TRUE))
+            b = self._operand(out, cmp_instr.b, Pred(PRED_TRUE))
+            p_true = self._new_pred()
+            out.append(MOp(_CMP_MNEMONIC[cmp_instr.op], dest1=p_true,
+                           dest2=Pred(0), src1=a, src2=b))
+        else:
+            cond = self._operand(out, term.cond, Pred(PRED_TRUE))
+            if isinstance(cond, Lit):
+                cond = self._register_operand(out, Const(cond.value),
+                                              Pred(PRED_TRUE))
+            p_true = self._new_pred()
+            out.append(MOp("CMPP_NE", dest1=p_true, dest2=Pred(0),
+                           src1=cond, src2=Lit(0)))
+
+        fallthrough = self._next_in_layout(block.name)
+        then_name, else_name = term.if_true, term.if_false
+        if else_name == fallthrough:
+            btr = self._new_btr()
+            out.append(MOp("PBR", dest1=btr, src1=Lit(0),
+                           target=self._label(then_name)))
+            out.append(MOp("BRCT", src1=btr, src2=p_true))
+        elif then_name == fallthrough:
+            btr = self._new_btr()
+            out.append(MOp("PBR", dest1=btr, src1=Lit(0),
+                           target=self._label(else_name)))
+            out.append(MOp("BRCF", src1=btr, src2=p_true))
+        else:
+            btr_true = self._new_btr()
+            out.append(MOp("PBR", dest1=btr_true, src1=Lit(0),
+                           target=self._label(then_name)))
+            out.append(MOp("BRCT", src1=btr_true, src2=p_true))
+            self._emit_branch_to(out, else_name, fallthrough)
+
+    def _select_block_chain(self, name: str, out: List[MOp]) -> None:
+        """Select ``name`` and any if-converted continuation into ``out``."""
+        self._head = name
+        while True:
+            block = self._blocks[name]
+            term = block.terminator
+            skip: Set[int] = set()
+            fused = self._fusible_cmp(block)
+            if fused is not None:
+                skip.add(fused)
+
+            diamond = (
+                self._find_diamond(block)
+                if isinstance(term, ir.CondBr) else None
+            )
+            if diamond is not None:
+                self._select_body(block.body, out, Pred(PRED_TRUE), skip)
+                # One CMPP produces the true/false predicate pair.
+                p_true, p_false = self._new_pred_pair()
+                if fused is not None:
+                    cmp_instr = block.instrs[fused]
+                    a = self._operand(out, cmp_instr.a, Pred(PRED_TRUE))
+                    b = self._operand(out, cmp_instr.b, Pred(PRED_TRUE))
+                    out.append(MOp(_CMP_MNEMONIC[cmp_instr.op], dest1=p_true,
+                                   dest2=p_false, src1=a, src2=b))
+                else:
+                    cond = self._operand(out, term.cond, Pred(PRED_TRUE))
+                    if isinstance(cond, Lit):
+                        cond = self._register_operand(
+                            out, Const(cond.value), Pred(PRED_TRUE))
+                    out.append(MOp("CMPP_NE", dest1=p_true, dest2=p_false,
+                                   src1=cond, src2=Lit(0)))
+                for arm, pred in ((diamond.then_name, p_true),
+                                  (diamond.else_name, p_false)):
+                    if arm is None:
+                        continue
+                    self._consumed.add(arm)
+                    self._select_body(self._blocks[arm].body, out, pred)
+                if diamond.merge_join and diamond.join_name not in self._consumed:
+                    self._consumed.add(diamond.join_name)
+                    name = diamond.join_name
+                    continue
+                fallthrough = self._next_in_layout(block.name)
+                self._emit_branch_to(out, diamond.join_name, fallthrough)
+                return
+
+            self._select_body(block.body, out, Pred(PRED_TRUE), skip)
+            if isinstance(term, ir.Ret):
+                value = None
+                if term.value is not None:
+                    value = self._operand(out, term.value, Pred(PRED_TRUE))
+                out.append(MOp(RET, src1=value))
+                return
+            if isinstance(term, ir.Br):
+                fallthrough = self._next_in_layout(block.name)
+                self._emit_branch_to(out, term.target, fallthrough)
+                return
+            if isinstance(term, ir.CondBr):
+                self._emit_cond_branch(out, block, skip)
+                return
+            raise ScheduleError(f"unknown terminator {term}")  # pragma: no cover
+
+    def run(self) -> MFunction:
+        entry_name = self.function.entry.name
+        for name in self._order:
+            if name in self._consumed:
+                continue
+            self._consumed.add(name)
+            mblock = MBlock(self._label(name))
+            if name == entry_name:
+                params = [self._vr(param) for param in self.function.params]
+                mblock.mops.append(MOp(ENTER, args=list(params)))
+            self._select_block_chain(name, mblock.mops)
+            self.mfunc.blocks.append(mblock)
+        return self.mfunc

@@ -1,0 +1,194 @@
+"""Machine operations (MOps): the backend's working representation.
+
+A MOp mirrors an EPIC :class:`~repro.isa.Instruction` but may carry
+*virtual* general-purpose registers (:class:`VR`) before register
+allocation, symbolic branch targets before assembly, and three pseudo
+operations (``ENTER``, ``CALL``, ``RET``) that encapsulate the calling
+convention until it is expanded post-allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import ScheduleError
+from repro.isa.operands import Btr, Lit, Pred, Reg
+from repro.isa.operands import PRED_TRUE
+
+
+@dataclass(frozen=True)
+class VR:
+    """A virtual general-purpose register."""
+
+    id: int
+    hint: str = ""
+
+    def __str__(self) -> str:
+        return f"v{self.id}"
+
+
+@dataclass(frozen=True)
+class SpillRef:
+    """A spilled value referenced by a CALL/ENTER pseudo: resolved to a
+    frame slot access when the pseudo is expanded (the two scratch
+    registers cannot cover an arbitrary number of call arguments)."""
+
+    slot: int
+
+    def __str__(self) -> str:
+        return f"[spill {self.slot}]"
+
+
+MOperand = Union[VR, Reg, Pred, Btr, Lit, SpillRef]
+
+#: Pseudo mnemonics (expanded before scheduling).
+ENTER = "__ENTER"   # defines the parameter VRs from the arg registers
+CALL = "__CALL"     # srcs = argument VRs/operands, dest = result VR
+RET = "__RET"       # src = return value (or None)
+
+
+@dataclass
+class MOp:
+    """One machine operation; mutable so passes can rewrite in place."""
+
+    mnemonic: str
+    dest1: Optional[MOperand] = None
+    dest2: Optional[MOperand] = None
+    src1: Optional[MOperand] = None
+    src2: Optional[MOperand] = None
+    guard: Pred = Pred(PRED_TRUE)
+    #: Symbolic branch target (PBR) or callee name (CALL pseudo).
+    target: Optional[str] = None
+    #: CALL pseudo: argument operands beyond the src fields.
+    args: List[MOperand] = field(default_factory=list)
+
+    @property
+    def is_pseudo(self) -> bool:
+        return self.mnemonic in (ENTER, CALL, RET)
+
+    @property
+    def is_branch(self) -> bool:
+        return self.mnemonic in ("BR", "BRCT", "BRCF", "BRL", "HALT", CALL, RET)
+
+    def operands(self) -> List[MOperand]:
+        return [
+            op for op in (self.dest1, self.dest2, self.src1, self.src2)
+            if op is not None
+        ] + list(self.args)
+
+    # -- register read/write sets (virtual and physical GPRs) -------------
+
+    def gpr_reads(self) -> List[MOperand]:
+        """GPR-space operands this op reads (VR or Reg)."""
+        reads: List[MOperand] = []
+        if self.mnemonic == CALL:
+            reads.extend(a for a in self.args if isinstance(a, (VR, Reg)))
+            return reads
+        if self.mnemonic == RET:
+            if isinstance(self.src1, (VR, Reg)):
+                reads.append(self.src1)
+            return reads
+        if self.mnemonic == ENTER:
+            return reads
+        if self.mnemonic == "SW" and isinstance(self.dest1, (VR, Reg)):
+            reads.append(self.dest1)
+        for op in (self.src1, self.src2):
+            if isinstance(op, (VR, Reg)):
+                reads.append(op)
+        return reads
+
+    def gpr_writes(self) -> List[MOperand]:
+        """GPR-space operands this op writes."""
+        if self.mnemonic == ENTER:
+            return [a for a in self.args if isinstance(a, (VR, Reg))]
+        if self.mnemonic == "SW":
+            return []
+        writes: List[MOperand] = []
+        for op in (self.dest1, self.dest2):
+            if isinstance(op, (VR, Reg)):
+                writes.append(op)
+        return writes
+
+    def rewrite_registers(self, mapping: Dict[VR, Reg],
+                          partial: bool = False) -> None:
+        """Replace virtual registers according to ``mapping``.
+
+        With ``partial`` unmapped VRs are left untouched (used while
+        inserting spill code before the final rewrite); otherwise an
+        unmapped VR is an allocator bug and raises.
+        """
+
+        def swap(op: Optional[MOperand]) -> Optional[MOperand]:
+            if isinstance(op, VR):
+                if op in mapping:
+                    return mapping[op]
+                if partial:
+                    return op
+                raise ScheduleError(f"unallocated register {op}")
+            return op
+
+        self.dest1 = swap(self.dest1)
+        self.dest2 = swap(self.dest2)
+        self.src1 = swap(self.src1)
+        self.src2 = swap(self.src2)
+        self.args = [swap(a) for a in self.args]
+
+    def __str__(self) -> str:
+        pieces = [self.mnemonic]
+        rendered = [
+            str(op)
+            for op in (self.dest1, self.dest2, self.src1, self.src2)
+            if op is not None
+        ]
+        if self.args:
+            rendered.append("(" + ", ".join(str(a) for a in self.args) + ")")
+        if self.target:
+            rendered.append(f"@{self.target}")
+        text = " ".join([pieces[0], ", ".join(rendered)]) if rendered else pieces[0]
+        if self.guard.index != PRED_TRUE:
+            text = f"({self.guard}) {text}"
+        return text
+
+
+@dataclass
+class MBlock:
+    """A machine basic block with a unique assembly label."""
+
+    label: str
+    mops: List[MOp] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        lines = [f"{self.label}:"]
+        lines.extend(f"  {mop}" for mop in self.mops)
+        return "\n".join(lines)
+
+
+@dataclass
+class MFunction:
+    """A function in backend form."""
+
+    name: str
+    blocks: List[MBlock] = field(default_factory=list)
+    next_vr: int = 0
+    #: Frame slots used by allocas: list of (VR, size); offsets assigned
+    #: at expansion time.
+    allocas: List[Tuple[VR, int]] = field(default_factory=list)
+    #: Number of spill slots added by the register allocator.
+    spill_slots: int = 0
+    #: Whether the function contains CALL pseudos (non-leaf).
+    has_calls: bool = False
+
+    def new_vr(self, hint: str = "") -> VR:
+        reg = VR(self.next_vr, hint)
+        self.next_vr += 1
+        return reg
+
+    def mops(self):
+        for block in self.blocks:
+            yield from block.mops
+
+    def __str__(self) -> str:
+        return f"mfunc {self.name}:\n" + "\n".join(
+            str(block) for block in self.blocks
+        )

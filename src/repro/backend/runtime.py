@@ -1,0 +1,77 @@
+"""Compiler runtime library (MiniC source).
+
+Configurations whose ALUs drop the divide feature (paper §3.3: "ALUs do
+not need to support division if this operation is not required"), and
+the SA-110 baseline — whose ARM-style ISA has no divide instruction at
+all — expand ``/`` and ``%`` into calls to these shift-and-subtract
+routines, exactly as an ARM C compiler links ``__divsi3``.
+"""
+
+RUNTIME_FUNCTIONS = ("__uge", "__udivmod_q", "__udivmod_r",
+                     "__divsi3", "__modsi3")
+
+RUNTIME_SOURCE = """
+// Unsigned a >= b over full 32-bit words: compare the top 31 bits (which
+// are non-negative after a logical shift) and break ties on the low bit.
+int __uge(int a, int b) {
+  int ah; int bh;
+  ah = a >>> 1;
+  bh = b >>> 1;
+  if (ah > bh) { return 1; }
+  if (ah < bh) { return 0; }
+  return (a & 1) >= (b & 1);
+}
+
+// Unsigned 32-bit restoring division (quotient).
+int __udivmod_q(int n, int d) {
+  int q;
+  int r;
+  int i;
+  q = 0;
+  r = 0;
+  for (i = 31; i >= 0; i -= 1) {
+    r = (r << 1) | ((n >>> i) & 1);
+    if (__uge(r, d)) {
+      r = r - d;
+      q = q | (1 << i);
+    }
+  }
+  return q;
+}
+
+// Unsigned 32-bit restoring division (remainder).
+int __udivmod_r(int n, int d) {
+  int r;
+  int i;
+  r = 0;
+  for (i = 31; i >= 0; i -= 1) {
+    r = (r << 1) | ((n >>> i) & 1);
+    if (__uge(r, d)) {
+      r = r - d;
+    }
+  }
+  return r;
+}
+
+// Signed division truncating toward zero (C semantics).
+int __divsi3(int a, int b) {
+  int na; int nb; int q;
+  na = a; nb = b;
+  if (na < 0) { na = -na; }
+  if (nb < 0) { nb = -nb; }
+  q = __udivmod_q(na, nb);
+  if ((a < 0) != (b < 0)) { q = -q; }
+  return q;
+}
+
+// Signed remainder; the sign follows the dividend (C semantics).
+int __modsi3(int a, int b) {
+  int na; int nb; int r;
+  na = a; nb = b;
+  if (na < 0) { na = -na; }
+  if (nb < 0) { nb = -nb; }
+  r = __udivmod_r(na, nb);
+  if (a < 0) { r = -r; }
+  return r;
+}
+"""

@@ -1,0 +1,35 @@
+"""The StrongARM SA-110 baseline (SimIt-ARM's role, §5.2).
+
+The paper measures its EPIC designs against the StrongARM SA-110 at
+100 MHz, with cycle counts from the SimIt-ARM simulator.  We cannot run
+SimIt-ARM or an ARM compiler here, so this package provides the closest
+synthetic equivalent built from the same source programs:
+
+* **Armlet** — a scalar, ARM-flavoured RISC ISA: 16 registers, no
+  divide instruction (``/``/``%`` expand to the ``__divsi3`` runtime,
+  as on real ARM), fused compare-and-branch, full-word immediates
+  charged at ARM constant-synthesis cost;
+* a **code generator** from the *same IR* the EPIC backend consumes
+  (same front-end, same machine-independent optimisations), with the
+  same linear-scan allocator restricted to the 16-register file;
+* an **in-order timing model** with SA-110-style pipeline behaviour:
+  one instruction per cycle, a 1-cycle load-use interlock, a 2-cycle
+  taken-branch penalty, and an early-terminating multiplier (1-3 extra
+  cycles by multiplier magnitude).
+
+What this preserves from the paper's setup: a mature single-issue
+hardcore pipeline executing the identical algorithms, so the EPIC/SA-110
+*cycle-count ratios* reflect exploitable ILP rather than compiler or
+workload differences.
+"""
+
+from repro.baseline.backend import ArmletCompilation, compile_ir_to_armlet, compile_minic_to_armlet
+from repro.baseline.sa110 import Sa110Simulator, Sa110Timing
+
+__all__ = [
+    "ArmletCompilation",
+    "compile_ir_to_armlet",
+    "compile_minic_to_armlet",
+    "Sa110Simulator",
+    "Sa110Timing",
+]

@@ -1,0 +1,83 @@
+"""IR -> Armlet compilation pipeline for the SA-110 baseline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.backend.epic import link_runtime, _module_uses_div
+from repro.backend.mops import MFunction, MOp
+from repro.baseline.expand import expand_armlet_function
+from repro.baseline.isel import ArmletISel
+from repro.errors import ScheduleError
+from repro.ir.module import Module
+from repro.ir.verify import verify_module
+from repro.sched.convention import armlet_convention
+from repro.sched.regalloc import allocate_registers
+
+
+@dataclass
+class ArmletCompilation:
+    """A flattened scalar program ready for the SA-110 simulator."""
+
+    program: List[MOp]
+    labels: Dict[str, int]
+    data: List[int]
+    symbols: Dict[str, int]
+
+    @property
+    def n_instructions(self) -> int:
+        return len(self.program)
+
+    def listing(self) -> str:
+        by_index: Dict[int, List[str]] = {}
+        for name, index in self.labels.items():
+            by_index.setdefault(index, []).append(name)
+        lines = []
+        for index, mop in enumerate(self.program):
+            for name in sorted(by_index.get(index, [])):
+                lines.append(f"{name}:")
+            lines.append(f"  {index:5d}: {mop}")
+        return "\n".join(lines)
+
+
+def compile_ir_to_armlet(module: Module) -> ArmletCompilation:
+    """Compile an IR module to a flat Armlet program."""
+    if _module_uses_div(module):
+        link_runtime(module)
+    verify_module(module)
+    convention = armlet_convention()
+    addresses = module.layout_globals()
+
+    program: List[MOp] = []
+    labels: Dict[str, int] = {}
+    for function in module.functions.values():
+        mfunc = ArmletISel(function, module, addresses).run()
+        allocation = allocate_registers(mfunc, convention)
+        expand_armlet_function(mfunc, convention, allocation)
+        for block in mfunc.blocks:
+            if block.label in labels:
+                raise ScheduleError(f"duplicate label {block.label!r}")
+            labels[block.label] = len(program)
+            program.extend(block.mops)
+
+    return ArmletCompilation(
+        program=program,
+        labels=labels,
+        data=module.data_image(),
+        symbols=dict(addresses),
+    )
+
+
+def compile_minic_to_armlet(source: str, unroll: bool = False,
+                            optimize: bool = True) -> ArmletCompilation:
+    """Convenience: MiniC source -> Armlet program.
+
+    Unrolling defaults to *off* for the baseline: a scalar pipeline gains
+    little from it, and a 1990s ARM compiler would not have done it.
+    The flag exists so the effect can be measured.
+    """
+    from repro.lang.compile import compile_minic  # local: avoid cycle
+
+    module = compile_minic(source, unroll=unroll, optimize=optimize)
+    return compile_ir_to_armlet(module)

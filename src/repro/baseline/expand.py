@@ -1,0 +1,135 @@
+"""Pseudo-op expansion for the Armlet baseline (scalar conventions)."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.backend.expand import (
+    _FrameInfo, count_stack_params, sequentialize_parallel_copies,
+)
+from repro.backend.mops import CALL, ENTER, MFunction, MOp, RET, SpillRef
+from repro.errors import ScheduleError
+from repro.isa.operands import Lit, Reg
+from repro.sched.convention import RegConvention
+from repro.sched.regalloc import AllocationResult
+from repro.baseline.isel import ARM_IMM_LIMIT
+
+
+def expand_armlet_function(mfunc: MFunction, convention: RegConvention,
+                           allocation: AllocationResult) -> None:
+    """Expand ENTER/CALL/RET and patch frame offsets in place."""
+    saved = list(allocation.used_callee_saved)
+    if mfunc.has_calls:
+        saved = [convention.ra] + saved
+    frame = _FrameInfo(mfunc, saved,
+                       count_stack_params(mfunc, convention.max_reg_args))
+    sp = Reg(convention.sp)
+
+    def patch_marker(mop: MOp) -> None:
+        if mop.target is None:
+            return
+        if mop.target.startswith("alloca:"):
+            index = int(mop.target.split(":")[1])
+            mop.src2 = Lit(frame.alloca_offsets[index])
+            mop.target = None
+        elif mop.target.startswith("spill:"):
+            slot = int(mop.target.split(":")[1])
+            mop.src2 = Lit(frame.spill_base + slot)
+            mop.target = None
+
+    def move_into(dest: Reg, operand, out: List[MOp]) -> None:
+        if isinstance(operand, Lit):
+            mnemonic = (
+                "MOVE" if -ARM_IMM_LIMIT <= operand.value < ARM_IMM_LIMIT
+                else "MOVI"
+            )
+            out.append(MOp(mnemonic, dest1=dest, src1=operand))
+        elif isinstance(operand, SpillRef):
+            out.append(MOp("LW", dest1=dest, src1=sp,
+                           src2=Lit(frame.spill_base + operand.slot)))
+        elif isinstance(operand, Reg):
+            if operand.index != dest.index:
+                out.append(MOp("MOVE", dest1=dest, src1=operand))
+        else:
+            raise ScheduleError(f"unexpected operand {operand!r} at expansion")
+
+    def expand_enter(mop: MOp, out: List[MOp]) -> None:
+        if frame.size:
+            out.append(MOp("SUB", dest1=sp, src1=sp, src2=Lit(frame.size)))
+        for reg, offset in frame.save_offsets.items():
+            out.append(MOp("SW", dest1=Reg(reg), src1=sp, src2=Lit(offset)))
+        # Same ordering rules as the EPIC expander: spill-stores, then
+        # parallel copies, then stack-parameter loads.
+        reg_pairs: List[Tuple[int, int]] = []
+        stack_loads: List[MOp] = []
+        scratch = Reg(convention.scratch[0])
+        for position, param in enumerate(mop.args):
+            if position >= convention.max_reg_args:
+                offset = frame.incoming_base + position \
+                    - convention.max_reg_args
+                if isinstance(param, SpillRef):
+                    stack_loads.append(MOp("LW", dest1=scratch, src1=sp,
+                                           src2=Lit(offset)))
+                    stack_loads.append(MOp(
+                        "SW", dest1=scratch, src1=sp,
+                        src2=Lit(frame.spill_base + param.slot)))
+                elif isinstance(param, Reg):
+                    stack_loads.append(MOp("LW", dest1=param, src1=sp,
+                                           src2=Lit(offset)))
+                else:
+                    raise ScheduleError(f"unallocated parameter {param!r}")
+                continue
+            arg_reg = convention.arg_regs[position]
+            if isinstance(param, SpillRef):
+                out.append(MOp("SW", dest1=Reg(arg_reg), src1=sp,
+                               src2=Lit(frame.spill_base + param.slot)))
+            elif isinstance(param, Reg):
+                reg_pairs.append((param.index, arg_reg))
+            else:
+                raise ScheduleError(f"unallocated parameter {param!r}")
+        for dst, src in sequentialize_parallel_copies(
+                reg_pairs, convention.scratch[0]):
+            out.append(MOp("MOVE", dest1=Reg(dst), src1=Reg(src)))
+        out.extend(stack_loads)
+
+    def expand_call(mop: MOp, out: List[MOp]) -> None:
+        n_extra = max(0, len(mop.args) - convention.max_reg_args)
+        scratch = Reg(convention.scratch[0])
+        for extra, argument in enumerate(mop.args[convention.max_reg_args:]):
+            offset = Lit(-n_extra + extra)
+            if isinstance(argument, Reg):
+                out.append(MOp("SW", dest1=argument, src1=sp, src2=offset))
+            else:
+                move_into(scratch, argument, out)
+                out.append(MOp("SW", dest1=scratch, src1=sp, src2=offset))
+        for position, argument in enumerate(
+                mop.args[:convention.max_reg_args]):
+            move_into(Reg(convention.arg_regs[position]), argument, out)
+        out.append(MOp("JAL", target=mop.target))
+        if mop.dest1 is not None:
+            if not isinstance(mop.dest1, Reg):
+                raise ScheduleError(f"unallocated call result {mop.dest1!r}")
+            out.append(MOp("MOVE", dest1=mop.dest1, src1=Reg(convention.rv)))
+
+    def expand_ret(mop: MOp, out: List[MOp]) -> None:
+        if mop.src1 is not None:
+            move_into(Reg(convention.rv), mop.src1, out)
+        for reg, offset in frame.save_offsets.items():
+            out.append(MOp("LW", dest1=Reg(reg), src1=sp, src2=Lit(offset)))
+        if frame.size:
+            out.append(MOp("ADD", dest1=sp, src1=sp, src2=Lit(frame.size)))
+        out.append(MOp("JR", src1=Reg(convention.ra)))
+
+    for block in mfunc.blocks:
+        expanded: List[MOp] = []
+        for mop in block.mops:
+            patch_marker(mop)
+            if mop.mnemonic == ENTER:
+                expand_enter(mop, expanded)
+            elif mop.mnemonic == CALL:
+                expand_call(mop, expanded)
+            elif mop.mnemonic == RET:
+                expand_ret(mop, expanded)
+            else:
+                expanded.append(mop)
+        block.mops = expanded

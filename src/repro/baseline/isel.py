@@ -1,0 +1,279 @@
+"""Instruction selection for the Armlet scalar baseline.
+
+Same IR in, sequential scalar code out.  Compares fuse into conditional
+branches (``BEQ``/``BLT``/...); value-position compares materialise 0/1
+through a tiny branch diamond, as scalar RISC code generators do.
+Division expands to runtime calls — the ISA, like ARM, has none.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import ScheduleError
+from repro.ir import instructions as ir
+from repro.ir.module import Function, Module
+from repro.ir.values import Const, Sym, Value, VReg
+from repro.isa.operands import Lit, Reg
+from repro.backend.mops import CALL, ENTER, MBlock, MFunction, MOp, RET, VR
+
+_BIN_MNEMONIC = {
+    "add": "ADD", "sub": "SUB", "mul": "MUL",
+    "and": "AND", "or": "OR", "xor": "XOR",
+    "shl": "SHL", "shr": "SHR", "shra": "SHRA",
+}
+
+#: Fused compare-branch mnemonics ("branch when <op> holds").
+CMP_BRANCH = {
+    "eq": "BEQ", "ne": "BNE", "lt": "BLT", "le": "BLE",
+    "gt": "BGT", "ge": "BGE", "ult": "BLTU", "uge": "BGEU",
+}
+#: Negations, for branching to the false arm.
+CMP_NEGATE = {
+    "eq": "ne", "ne": "eq", "lt": "ge", "le": "gt",
+    "gt": "le", "ge": "lt", "ult": "uge", "uge": "ult",
+}
+
+#: Armlet immediates: ARM synthesises wide constants with mov/orr pairs
+#: or a literal-pool load; immediates up to 8 bits ride for free in the
+#: instruction (ARM's rotated imm8 — we approximate with a plain range
+#: check, biased generously in ARM's favour).
+ARM_IMM_LIMIT = 1 << 12
+
+
+def armlet_label(function_name: str, block_name: str, entry: str) -> str:
+    if block_name == entry:
+        return function_name
+    return f"{function_name}${block_name}"
+
+
+class ArmletISel:
+    """Selects one IR function into scalar Armlet MOps."""
+
+    def __init__(self, function: Function, module: Module,
+                 global_addresses: Dict[str, int]):
+        self.function = function
+        self.module = module
+        self.addresses = global_addresses
+        self.mfunc = MFunction(name=function.name)
+        self.vreg_map: Dict[VReg, VR] = {}
+        self._use_counts = self._count_uses()
+        self._order = [block.name for block in function.blocks]
+        self._alloca_count = 0
+        self._local_labels = 0
+
+    def _count_uses(self) -> Counter:
+        counts: Counter = Counter()
+        for instr in self.function.instructions():
+            for value in instr.uses():
+                if isinstance(value, VReg):
+                    counts[value] += 1
+        return counts
+
+    def _vr(self, reg: VReg) -> VR:
+        if reg not in self.vreg_map:
+            self.vreg_map[reg] = self.mfunc.new_vr(reg.hint)
+        return self.vreg_map[reg]
+
+    def _address_of(self, sym: Sym) -> int:
+        try:
+            return self.addresses[sym.name] + sym.offset
+        except KeyError:
+            raise ScheduleError(f"undefined global {sym.name!r}") from None
+
+    def _label(self, block_name: str) -> str:
+        return armlet_label(self.function.name, block_name,
+                            self.function.entry.name)
+
+    def _operand(self, out: List[MOp], value: Value):
+        if isinstance(value, VReg):
+            return self._vr(value)
+        raw = (
+            value.value if isinstance(value, Const)
+            else self._address_of(value)
+        )
+        if -ARM_IMM_LIMIT <= raw < ARM_IMM_LIMIT:
+            return Lit(raw)
+        temp = self.mfunc.new_vr("imm")
+        out.append(MOp("MOVI", dest1=temp, src1=Lit(raw)))
+        return temp
+
+    def _register_operand(self, out: List[MOp], value: Value):
+        operand = self._operand(out, value)
+        if isinstance(operand, Lit):
+            temp = self.mfunc.new_vr("tmp")
+            out.append(MOp("MOVE", dest1=temp, src1=operand))
+            return temp
+        return operand
+
+    # -- selection ----------------------------------------------------------
+
+    def _select_instr(self, instr: ir.Instr, out: List[MOp],
+                      emit_block) -> None:
+        if isinstance(instr, ir.BinOp):
+            if instr.op in ("div", "rem"):
+                callee = "__divsi3" if instr.op == "div" else "__modsi3"
+                args = [self._operand(out, v) for v in (instr.a, instr.b)]
+                out.append(MOp(CALL, dest1=self._vr(instr.dst),
+                               target=callee, args=args))
+                self.mfunc.has_calls = True
+                return
+            a = self._operand(out, instr.a)
+            b = self._operand(out, instr.b)
+            if isinstance(a, Lit):
+                a = self._register_operand(out, Const(a.value))
+            out.append(MOp(_BIN_MNEMONIC[instr.op], dest1=self._vr(instr.dst),
+                           src1=a, src2=b))
+            return
+
+        if isinstance(instr, ir.Cmp):
+            # dst = 1; Bcc over; dst = 0; over:
+            a = self._register_operand(out, instr.a)
+            b = self._operand(out, instr.b)
+            if isinstance(b, Lit):
+                b = self._register_operand(out, Const(b.value))
+            dst = self._vr(instr.dst)
+            label = f"{self.function.name}$$cmp{self._local_labels}"
+            self._local_labels += 1
+            out.append(MOp("MOVI", dest1=dst, src1=Lit(1)))
+            out.append(MOp(CMP_BRANCH[instr.op], src1=a, src2=b,
+                           target=label))
+            out.append(MOp("MOVI", dest1=dst, src1=Lit(0)))
+            emit_block(label)
+            return
+
+        if isinstance(instr, ir.Copy):
+            src = self._operand(out, instr.src)
+            mnemonic = "MOVE"
+            if isinstance(src, Lit) and not -ARM_IMM_LIMIT <= src.value \
+                    < ARM_IMM_LIMIT:
+                mnemonic = "MOVI"
+            out.append(MOp(mnemonic, dest1=self._vr(instr.dst), src1=src))
+            return
+
+        if isinstance(instr, ir.Load):
+            base, offset = self._address_pair(out, instr.base, instr.offset)
+            mnemonic = "LWS" if instr.speculative else "LW"
+            out.append(MOp(mnemonic, dest1=self._vr(instr.dst),
+                           src1=base, src2=offset))
+            return
+
+        if isinstance(instr, ir.Store):
+            value = self._register_operand(out, instr.value)
+            base, offset = self._address_pair(out, instr.base, instr.offset)
+            out.append(MOp("SW", dest1=value, src1=base, src2=offset))
+            return
+
+        if isinstance(instr, ir.Alloca):
+            marker = f"alloca:{self._alloca_count}"
+            self._alloca_count += 1
+            vr = self._vr(instr.dst)
+            self.mfunc.allocas.append((vr, instr.size))
+            out.append(MOp("ADD", dest1=vr, src1=Reg(1), src2=Lit(0),
+                           target=marker))
+            return
+
+        if isinstance(instr, ir.Call):
+            args = [self._operand(out, v) for v in instr.args]
+            dest = self._vr(instr.dst) if instr.dst is not None else None
+            out.append(MOp(CALL, dest1=dest, target=instr.callee, args=args))
+            self.mfunc.has_calls = True
+            return
+
+        raise ScheduleError(f"cannot select {instr}")  # pragma: no cover
+
+    def _address_pair(self, out: List[MOp], base: Value, offset: Value):
+        if isinstance(base, (Const, Sym)) and isinstance(offset, Const):
+            base_value = (
+                base.value if isinstance(base, Const)
+                else self._address_of(base)
+            )
+            total = base_value + offset.value
+            if -ARM_IMM_LIMIT <= total < ARM_IMM_LIMIT:
+                return Reg(0), Lit(total)
+            temp = self.mfunc.new_vr("addr")
+            out.append(MOp("MOVI", dest1=temp, src1=Lit(total)))
+            return temp, Lit(0)
+        base_op = self._operand(out, base)
+        offset_op = self._operand(out, offset)
+        if isinstance(base_op, Lit) and isinstance(offset_op, Lit):
+            return Reg(0), Lit(base_op.value + offset_op.value)
+        if isinstance(base_op, Lit):
+            base_op, offset_op = offset_op, base_op
+        return base_op, offset_op
+
+    def _fusible_cmp(self, block) -> Optional[int]:
+        term = block.terminator
+        if not isinstance(term, ir.CondBr) or not isinstance(term.cond, VReg):
+            return None
+        if self._use_counts[term.cond] != 1:
+            return None
+        for index in range(len(block.instrs) - 2, -1, -1):
+            instr = block.instrs[index]
+            if term.cond in instr.defs():
+                if isinstance(instr, ir.Cmp):
+                    return index
+                return None
+        return None
+
+    def run(self) -> MFunction:
+        entry_name = self.function.entry.name
+        current = MBlock("")  # placeholder, replaced in loop
+
+        def emit_block(label: str) -> None:
+            nonlocal current
+            current = MBlock(label)
+            self.mfunc.blocks.append(current)
+
+        for position, block in enumerate(self.function.blocks):
+            emit_block(self._label(block.name))
+            if block.name == entry_name:
+                params = [self._vr(p) for p in self.function.params]
+                current.mops.append(MOp(ENTER, args=list(params)))
+
+            fused = self._fusible_cmp(block)
+            for index, instr in enumerate(block.instrs[:-1]):
+                if index == fused:
+                    continue
+                self._select_instr(instr, current.mops, emit_block)
+
+            term = block.terminator
+            next_name = (
+                self.function.blocks[position + 1].name
+                if position + 1 < len(self.function.blocks) else None
+            )
+            out = current.mops
+            if isinstance(term, ir.Ret):
+                value = None
+                if term.value is not None:
+                    value = self._operand(out, term.value)
+                out.append(MOp(RET, src1=value))
+            elif isinstance(term, ir.Br):
+                if term.target != next_name:
+                    out.append(MOp("B", target=self._label(term.target)))
+            elif isinstance(term, ir.CondBr):
+                if fused is not None:
+                    cmp_instr = block.instrs[fused]
+                    op = cmp_instr.op
+                    a = self._register_operand(out, cmp_instr.a)
+                    b = self._operand(out, cmp_instr.b)
+                    if isinstance(b, Lit):
+                        b = self._register_operand(out, Const(b.value))
+                else:
+                    op = "ne"
+                    a = self._register_operand(out, term.cond)
+                    b = self._register_operand(out, Const(0))
+                if term.if_false == next_name:
+                    out.append(MOp(CMP_BRANCH[op], src1=a, src2=b,
+                                   target=self._label(term.if_true)))
+                elif term.if_true == next_name:
+                    out.append(MOp(CMP_BRANCH[CMP_NEGATE[op]], src1=a,
+                                   src2=b, target=self._label(term.if_false)))
+                else:
+                    out.append(MOp(CMP_BRANCH[op], src1=a, src2=b,
+                                   target=self._label(term.if_true)))
+                    out.append(MOp("B", target=self._label(term.if_false)))
+            else:  # pragma: no cover - defensive
+                raise ScheduleError(f"unknown terminator {term}")
+        return self.mfunc

@@ -1,0 +1,227 @@
+"""In-order timing simulator with SA-110-style pipeline behaviour.
+
+The StrongARM SA-110 is a single-issue, in-order, 5-stage pipeline at
+100-233 MHz.  The timing model charges:
+
+* 1 cycle per instruction (the paper's comparison is cycle-count based);
+* +2 cycles for every *taken* branch, call and return (branches resolve
+  late; the SA-110 has no branch prediction);
+* +1 cycle when an instruction consumes the result of the immediately
+  preceding load (the classic load-use interlock);
+* 1-3 extra cycles for multiplies, terminating early on small
+  multipliers (the SA-110's early-termination multiplier);
+* +1 cycle for full-width immediate builds (ARM synthesises wide
+  constants with instruction pairs or literal-pool loads).
+
+These constants are a configuration object so the sensitivity of the
+paper's conclusions to the baseline model can be explored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.backend.mops import MFunction, MOp
+from repro.errors import SimulationError
+from repro.isa.operands import Lit, Reg
+from repro.isa.semantics import ALU_SEMANTICS, CMP_SEMANTICS, to_signed, to_unsigned
+
+_ALU = {
+    "ADD": "ADD", "SUB": "SUB", "MUL": "MUL", "AND": "AND", "OR": "OR",
+    "XOR": "XOR", "SHL": "SHL", "SHR": "SHR", "SHRA": "SHRA",
+}
+_BRANCH_CMP = {
+    "BEQ": "CMPP_EQ", "BNE": "CMPP_NE", "BLT": "CMPP_LT", "BLE": "CMPP_LE",
+    "BGT": "CMPP_GT", "BGE": "CMPP_GE", "BLTU": "CMPP_ULT", "BGEU": "CMPP_UGE",
+}
+
+
+@dataclass(frozen=True)
+class Sa110Timing:
+    """Pipeline cost model (cycles)."""
+
+    taken_branch_penalty: int = 2
+    load_use_stall: int = 1
+    mul_small: int = 1      # |multiplier| < 2**8
+    mul_medium: int = 2     # |multiplier| < 2**20
+    mul_large: int = 3
+    wide_immediate: int = 1
+
+    def mul_extra(self, multiplier: int) -> int:
+        magnitude = abs(to_signed(multiplier, 32))
+        if magnitude < (1 << 8):
+            return self.mul_small
+        if magnitude < (1 << 20):
+            return self.mul_medium
+        return self.mul_large
+
+
+@dataclass
+class Sa110Stats:
+    cycles: int = 0
+    instructions: int = 0
+    branches: int = 0
+    branches_taken: int = 0
+    load_use_stalls: int = 0
+    memory_reads: int = 0
+    memory_writes: int = 0
+
+
+@dataclass
+class Sa110Result:
+    cycles: int
+    stats: Sa110Stats
+    return_value: int
+
+
+class Sa110Simulator:
+    """Executes a flattened Armlet program with SA-110 timing."""
+
+    def __init__(self, program: Sequence[MOp], labels: Dict[str, int],
+                 data: Sequence[int], mem_words: int = 1 << 16,
+                 timing: Optional[Sa110Timing] = None,
+                 entry: str = "main"):
+        self.program = list(program)
+        self.labels = dict(labels)
+        self.timing = timing if timing is not None else Sa110Timing()
+        if len(data) > mem_words:
+            raise SimulationError("data image exceeds memory")
+        self.memory: List[int] = list(data) + [0] * (mem_words - len(data))
+        self.regs: List[int] = [0] * 16
+        self.regs[1] = mem_words  # stack pointer
+        self.stats = Sa110Stats()
+        if entry not in labels:
+            raise SimulationError(f"entry label {entry!r} not found")
+        self._entry = labels[entry]
+
+    # -- helpers ------------------------------------------------------------
+
+    def _read(self, operand) -> int:
+        if isinstance(operand, Lit):
+            return to_unsigned(operand.value, 32)
+        if isinstance(operand, Reg):
+            return 0 if operand.index == 0 else self.regs[operand.index]
+        raise SimulationError(f"bad operand {operand!r}")
+
+    def _write(self, operand, value: int) -> None:
+        if not isinstance(operand, Reg):
+            raise SimulationError(f"bad destination {operand!r}")
+        if operand.index != 0:
+            self.regs[operand.index] = value & 0xFFFFFFFF
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, max_instructions: int = 500_000_000) -> Sa110Result:
+        timing = self.timing
+        stats = self.stats
+        pc = len(self.program)       # virtual start: call entry, then halt
+        link_halt = pc + 1
+        # Synthetic prologue: JAL entry; HALT.
+        self.regs[3] = link_halt
+        pc = self._entry
+        cycles = timing.taken_branch_penalty + 1  # the initial call
+        stats.instructions += 1
+        stats.branches += 1
+        stats.branches_taken += 1
+
+        pending_load_dest = -1
+        halted = False
+
+        while not halted:
+            if pc == link_halt:
+                break
+            if not 0 <= pc < len(self.program):
+                raise SimulationError(f"PC out of range: {pc}")
+            if stats.instructions >= max_instructions:
+                raise SimulationError("instruction budget exhausted")
+            mop = self.program[pc]
+            mnemonic = mop.mnemonic
+            stats.instructions += 1
+            cycles += 1
+
+            # Load-use interlock.
+            if pending_load_dest >= 0:
+                reads = [
+                    op.index for op in
+                    (mop.src1, mop.src2,
+                     mop.dest1 if mnemonic == "SW" else None)
+                    if isinstance(op, Reg)
+                ]
+                if pending_load_dest in reads:
+                    cycles += timing.load_use_stall
+                    stats.load_use_stalls += 1
+            pending_load_dest = -1
+
+            next_pc = pc + 1
+            if mnemonic in _ALU:
+                a = self._read(mop.src1)
+                b = self._read(mop.src2)
+                if mnemonic == "MUL":
+                    cycles += timing.mul_extra(b)
+                self._write(mop.dest1, ALU_SEMANTICS[mnemonic](a, b, 32))
+            elif mnemonic == "MOVE":
+                self._write(mop.dest1, self._read(mop.src1))
+            elif mnemonic == "MOVI":
+                cycles += timing.wide_immediate
+                self._write(mop.dest1, self._read(mop.src1))
+            elif mnemonic in ("LW", "LWS"):
+                address = to_signed(
+                    (self._read(mop.src1) + self._read(mop.src2))
+                    & 0xFFFFFFFF, 32)
+                if not 0 <= address < len(self.memory):
+                    if mnemonic == "LWS":
+                        value = 0
+                    else:
+                        raise SimulationError(
+                            f"load from invalid address {address}", pc=pc)
+                else:
+                    value = self.memory[address]
+                self._write(mop.dest1, value)
+                stats.memory_reads += 1
+                pending_load_dest = mop.dest1.index
+            elif mnemonic == "SW":
+                address = to_signed(
+                    (self._read(mop.src1) + self._read(mop.src2))
+                    & 0xFFFFFFFF, 32)
+                if not 0 <= address < len(self.memory):
+                    raise SimulationError(
+                        f"store to invalid address {address}", pc=pc)
+                self.memory[address] = self._read(mop.dest1)
+                stats.memory_writes += 1
+            elif mnemonic in _BRANCH_CMP:
+                stats.branches += 1
+                a = self._read(mop.src1)
+                b = self._read(mop.src2)
+                if CMP_SEMANTICS[_BRANCH_CMP[mnemonic]](a, b, 32):
+                    stats.branches_taken += 1
+                    cycles += timing.taken_branch_penalty
+                    next_pc = self.labels[mop.target]
+            elif mnemonic == "B":
+                stats.branches += 1
+                stats.branches_taken += 1
+                cycles += timing.taken_branch_penalty
+                next_pc = self.labels[mop.target]
+            elif mnemonic == "JAL":
+                stats.branches += 1
+                stats.branches_taken += 1
+                cycles += timing.taken_branch_penalty
+                self.regs[3] = pc + 1
+                next_pc = self.labels[mop.target]
+            elif mnemonic == "JR":
+                stats.branches += 1
+                stats.branches_taken += 1
+                cycles += timing.taken_branch_penalty
+                next_pc = self._read(mop.src1)
+            elif mnemonic == "HALT":
+                halted = True
+            elif mnemonic == "NOP":
+                pass
+            else:
+                raise SimulationError(
+                    f"unknown baseline opcode {mnemonic!r}", pc=pc)
+            pc = next_pc
+
+        stats.cycles = cycles
+        return Sa110Result(cycles=cycles, stats=stats,
+                           return_value=self.regs[2])

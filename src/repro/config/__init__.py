@@ -1,0 +1,27 @@
+"""Processor configuration: the paper's compile-time parameters (§3.3).
+
+The :class:`MachineConfig` captures every customisation knob the paper
+lists — number of ALUs, general-purpose/predicate/branch-target registers,
+instructions per issue, datapath width and the ALU functionality set —
+plus the custom-instruction registry hook.  All downstream tools (the
+instruction format, the machine description, the compiler backend, the
+assembler, the simulator and the FPGA model) are derived from one config
+object, mirroring the paper's single "configuration header file".
+"""
+
+from repro.config.machine import AluFeature, MachineConfig
+from repro.config.presets import (
+    DEFAULT_CONFIG,
+    epic_config,
+    epic_with_alus,
+    sweep_alus,
+)
+
+__all__ = [
+    "AluFeature",
+    "MachineConfig",
+    "DEFAULT_CONFIG",
+    "epic_config",
+    "epic_with_alus",
+    "sweep_alus",
+]

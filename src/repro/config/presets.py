@@ -1,0 +1,40 @@
+"""Named configurations used throughout the evaluation.
+
+The paper evaluates four EPIC instances (1, 2, 3 and 4 ALUs, everything
+else at defaults) against the StrongARM SA-110 at 100 MHz.  These helpers
+construct exactly those design points.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.config.machine import MachineConfig
+
+#: Paper clock rates (§5): the EPIC prototype runs at 41.8 MHz, the
+#: SA-110 comparison point at 100 MHz.
+EPIC_CLOCK_MHZ = 41.8
+SA110_CLOCK_MHZ = 100.0
+
+#: The paper's default parameterisation (§3.3): 4 ALUs, 64 GPRs, 32
+#: predicate registers, 16 branch target registers, 32-bit datapath,
+#: 4 instructions per issue.
+DEFAULT_CONFIG = MachineConfig()
+
+
+def epic_config(**overrides) -> MachineConfig:
+    """The paper-default EPIC configuration with optional overrides."""
+    if not overrides:
+        return DEFAULT_CONFIG
+    return DEFAULT_CONFIG.with_changes(**overrides)
+
+
+def epic_with_alus(n_alus: int, **overrides) -> MachineConfig:
+    """One of the paper's evaluated design points (1..4 ALUs)."""
+    return DEFAULT_CONFIG.with_changes(n_alus=n_alus, **overrides)
+
+
+def sweep_alus(low: int = 1, high: int = 4, **overrides) -> Iterator[MachineConfig]:
+    """Yield the ALU-count sweep evaluated in §5 (1..4 ALUs)."""
+    for n_alus in range(low, high + 1):
+        yield epic_with_alus(n_alus, **overrides)

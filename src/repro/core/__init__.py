@@ -1,0 +1,32 @@
+"""The customisable EPIC processor core (paper §3).
+
+`repro.core` is a cycle-accurate model of the 2-stage-pipeline datapath
+of Fig. 2: a Fetch/Decode/Issue stage feeding N ALUs, a load/store unit,
+a comparison unit and a branch unit (with branch-target registers), with
+results collected by a write-back unit into a block-RAM register file
+whose controller enforces the 8-operations-per-cycle port budget and
+forwards freshly computed results (§3.2).
+
+Timing follows the EPIC/HPL-PD contract the paper's toolchain relies on:
+latencies are *architecturally visible* — the compiler schedules
+consumers no earlier than the producer's latency, and the hardware does
+not interlock.  This is exactly what Trimaran's ReaCT-ILP cycle-level
+simulator (the source of the paper's cycle counts) assumes.
+"""
+
+from repro.core.machine import EpicProcessor, SimulationResult
+from repro.core.memory import DataMemory
+from repro.core.regfile import BtrFile, GprFile, PredFile
+from repro.core.stats import SimStats
+from repro.core.trace import Tracer
+
+__all__ = [
+    "EpicProcessor",
+    "SimulationResult",
+    "DataMemory",
+    "GprFile",
+    "PredFile",
+    "BtrFile",
+    "SimStats",
+    "Tracer",
+]

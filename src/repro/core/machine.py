@@ -1,0 +1,414 @@
+"""The cycle-accurate EPIC processor model (paper Fig. 2).
+
+Timing model
+============
+
+* **2-stage pipeline.**  Stage 1 (Fetch/Decode/Issue) launches one bundle
+  per cycle; stage 2 executes and writes back.  A *taken* branch is
+  resolved in stage 2 and flushes stage 1, costing one bubble cycle.
+* **Architecturally visible latencies** (the HPL-PD/Trimaran contract):
+  an operation issued in cycle ``T`` with latency ``L`` makes its result
+  visible to bundles issued at ``T+L`` or later.  The hardware does not
+  interlock — the compiler guarantees consumers are scheduled far enough
+  away, exactly as the paper's elcor-based toolchain does (§4.1).
+  Operations in the *same* bundle read the old register values (VLIW
+  parallel semantics).
+* **Register-file port budget** (§3.2): the dual-port block-RAM file is
+  driven by a controller at 4x the clock, allowing eight read/write
+  operations per processor cycle.  "Exceeding this limit would result in
+  processor stall.  Fortunately, this limitation is mitigated by
+  forwarding of recently calculated results."  We count the distinct GPRs
+  read by a bundle (reads satisfied by a value that completed in this
+  very cycle are forwarded when forwarding is on) plus the GPR write-backs
+  landing this cycle; every started group of eight beyond the first
+  costs one stall cycle.
+* **Memory bandwidth** (§3.2): four 32-bit banks behind a 2x-clock
+  controller deliver the 256 bits/cycle needed for a full fetch.  When
+  ``lsu_shares_fetch_bandwidth`` is set, data accesses steal fetch slots
+  and stall the front end (ablation A-series).
+* **Predication** (§2): an operation whose guard predicate reads false is
+  squashed — "only those instructions associated with a predicate
+  register showing a true condition will be committed; others will be
+  discarded."
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.config import MachineConfig
+from repro.core import decode as dec
+from repro.core.memory import DataMemory
+from repro.core.regfile import BtrFile, GprFile, PredFile
+from repro.core.stats import SimStats
+from repro.errors import SimulationError
+from repro.isa.bundle import Program
+from repro.isa.semantics import to_signed
+from repro.mdes import Mdes
+
+#: Default data-memory size in 32-bit words (256 KiB).
+DEFAULT_MEM_WORDS = 1 << 16
+
+# Pending-write target spaces.
+_SPACE_GPR = 0
+_SPACE_PRED = 1
+_SPACE_BTR = 2
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one run: cycle count, statistics and final state."""
+
+    cycles: int
+    stats: SimStats
+    halted: bool
+
+    def __str__(self) -> str:
+        return f"SimulationResult(cycles={self.cycles}, halted={self.halted})"
+
+
+class EpicProcessor:
+    """One configured EPIC core, loaded with a program.
+
+    >>> from repro.config import epic_config
+    >>> from repro.asm import assemble
+    >>> program = assemble("HALT", epic_config())
+    >>> EpicProcessor(epic_config(), program).run().cycles
+    1
+    """
+
+    def __init__(self, config: MachineConfig, program: Program,
+                 mem_words: int = DEFAULT_MEM_WORDS,
+                 mdes: Optional[Mdes] = None,
+                 strict_nual: bool = False):
+        #: Strict NUAL checking: raise if any operation reads a location
+        #: with a write still in flight from an *earlier* cycle.  The
+        #: compiler guarantees this never happens (consumers are
+        #: scheduled past producer latencies), so with compiled code this
+        #: mode is a scheduler validator; hand-written assembly may rely
+        #: on reading old values and should leave it off.
+        self.strict_nual = strict_nual
+        self.config = config
+        self.mdes = mdes if mdes is not None else Mdes(config)
+        self.program = program
+        self.gpr = GprFile(config.n_gprs, config.datapath_width)
+        self.pred = PredFile(config.n_preds)
+        self.btr = BtrFile(config.n_btrs)
+        if len(program.data) > mem_words:
+            raise SimulationError(
+                f"program data ({len(program.data)} words) exceeds memory "
+                f"({mem_words} words)"
+            )
+        self.memory = DataMemory(mem_words, program.data, config.datapath_width)
+        self.stats = SimStats()
+        self._bundles = [
+            dec.predecode_bundle(bundle, self.mdes, address)
+            for address, bundle in enumerate(program.bundles)
+        ]
+        self._mask = config.mask
+        self._width = config.datapath_width
+        # Stack grows down from the top of data memory.
+        self.gpr.write(1, mem_words)
+
+    # -- operand access ----------------------------------------------------
+
+    def _value(self, lit: bool, payload: int) -> int:
+        if lit:
+            return payload & self._mask
+        return self.gpr.read(payload)
+
+    # -- main loop ----------------------------------------------------------
+
+    def run(self, max_cycles: int = 200_000_000,
+            trace=None) -> SimulationResult:
+        """Execute until HALT; returns the cycle count and statistics.
+
+        ``trace``, if given, is called once per issued bundle with
+        ``(cycle, pc, bundle)`` where ``bundle`` is the architectural
+        :class:`~repro.isa.Bundle` — see :mod:`repro.core.trace` for a
+        ready-made text tracer.
+        """
+        config = self.config
+        stats = self.stats
+        bundles = self._bundles
+        n_bundles = len(bundles)
+        mask = self._mask
+        width = self._width
+        gpr = self.gpr
+        pred = self.pred
+        btr = self.btr
+        memory = self.memory
+
+        port_budget = config.regfile_ops_per_cycle
+        model_ports = config.model_port_limit
+        forwarding = config.forwarding
+        share_bandwidth = config.lsu_shares_fetch_bandwidth
+        fetch_bits = config.issue_width * 64
+        bank_bits = config.n_mem_banks * 32 * 2  # 2x-clock controller
+        branch_penalty = config.taken_branch_penalty
+
+        # Pending write-backs: heap of (ready_cycle, seq, space, index, value).
+        pending: List[Tuple[int, int, int, int, int]] = []
+        seq = 0
+        # Cycle at which each GPR last received a write-back (for forwarding).
+        gpr_ready_at: Dict[int, int] = {}
+        # Strict-NUAL bookkeeping: writes in flight from earlier cycles.
+        strict = self.strict_nual
+        inflight: Dict[Tuple[int, int], int] = {}
+
+        def check_read(space: int, index: int, pc_now: int,
+                       cycle_now: int) -> None:
+            if inflight.get((space, index), 0):
+                kind = {_SPACE_GPR: "r", _SPACE_PRED: "p",
+                        _SPACE_BTR: "b"}[space]
+                raise SimulationError(
+                    f"NUAL violation: read of {kind}{index} while a write "
+                    "is still in flight (scheduler bug?)",
+                    cycle=cycle_now, pc=pc_now,
+                )
+
+        cycle = 0
+        pc = self.program.entry
+        halted = False
+
+        while not halted:
+            if cycle >= max_cycles:
+                raise SimulationError(
+                    "cycle budget exhausted (runaway program?)",
+                    cycle=cycle, pc=pc,
+                )
+            if not 0 <= pc < n_bundles:
+                raise SimulationError(
+                    "control fell outside the program (missing HALT?)",
+                    cycle=cycle, pc=pc,
+                )
+
+            # Apply write-backs due by the start of this cycle; count those
+            # landing exactly now against this cycle's port budget.
+            writes_landing = 0
+            while pending and pending[0][0] <= cycle:
+                ready, _, space, index, value = heapq.heappop(pending)
+                if strict:
+                    inflight[(space, index)] -= 1
+                if space == _SPACE_GPR:
+                    gpr.write(index, value)
+                    gpr_ready_at[index] = ready
+                    stats.regfile_writes += 1
+                    if ready == cycle:
+                        writes_landing += 1
+                elif space == _SPACE_PRED:
+                    pred.write(index, value)
+                else:
+                    btr.write(index, value)
+
+            bundle = bundles[pc]
+            stats.bundles += 1
+            if trace is not None:
+                trace(cycle, pc, self.program.bundles[pc])
+            if strict:
+                seq_before_bundle = seq
+                for op in bundle.ops:
+                    if op.guard:
+                        check_read(_SPACE_PRED, op.guard, pc, cycle)
+                    if not pred.read(op.guard):
+                        continue
+                    for reg in op.gpr_reads:
+                        if reg:
+                            check_read(_SPACE_GPR, reg, pc, cycle)
+                    kind = op.kind
+                    if kind in (dec.K_BR, dec.K_BRL):
+                        check_read(_SPACE_BTR, op.s1, pc, cycle)
+                    elif kind in (dec.K_BRCT, dec.K_BRCF):
+                        check_read(_SPACE_BTR, op.s1, pc, cycle)
+                        check_read(_SPACE_PRED, op.s2, pc, cycle)
+
+            # ---- stage 1: read operands (all reads see pre-cycle state) --
+            reads = 0
+            forwarded = 0
+            for reg in bundle.gpr_read_set:
+                if reg == 0:
+                    continue  # r0 is not a real port
+                if forwarding and gpr_ready_at.get(reg) == cycle:
+                    forwarded += 1
+                else:
+                    reads += 1
+            stats.regfile_reads += reads + forwarded
+            stats.regfile_reads_forwarded += forwarded
+
+            # ---- stage 2: execute --------------------------------------
+            taken = False
+            target = 0
+            for op in bundle.ops:
+                kind = op.kind
+                if kind == dec.K_NOP:
+                    stats.nops += 1
+                    continue
+                if not pred.read(op.guard):
+                    stats.ops_squashed += 1
+                    continue
+                stats.ops_executed += 1
+                stats.note_fu(op.fu)
+
+                if kind == dec.K_ALU:
+                    a = self._value(op.s1_lit, op.s1)
+                    if op.fn is None:  # MOVE
+                        result = a
+                    else:
+                        result = op.fn(a, self._value(op.s2_lit, op.s2), width)
+                    seq += 1
+                    heapq.heappush(
+                        pending,
+                        (cycle + op.latency, seq, _SPACE_GPR, op.d1, result),
+                    )
+                elif kind == dec.K_CUSTOM:
+                    a = self._value(op.s1_lit, op.s1)
+                    b = self._value(op.s2_lit, op.s2)
+                    result = op.fn(a, b, mask)
+                    seq += 1
+                    heapq.heappush(
+                        pending,
+                        (cycle + op.latency, seq, _SPACE_GPR, op.d1, result),
+                    )
+                elif kind == dec.K_MOVI:
+                    seq += 1
+                    heapq.heappush(
+                        pending,
+                        (cycle + op.latency, seq, _SPACE_GPR, op.d1,
+                         op.s1 & mask),
+                    )
+                elif kind == dec.K_CMP:
+                    a = self._value(op.s1_lit, op.s1)
+                    b = self._value(op.s2_lit, op.s2)
+                    condition = op.fn(a, b, width)
+                    seq += 1
+                    heapq.heappush(
+                        pending,
+                        (cycle + op.latency, seq, _SPACE_PRED, op.d1, condition),
+                    )
+                    seq += 1
+                    heapq.heappush(
+                        pending,
+                        (cycle + op.latency, seq, _SPACE_PRED, op.d2,
+                         1 - condition),
+                    )
+                elif kind in (dec.K_LOAD, dec.K_LOAD_SPEC):
+                    base = self._value(op.s1_lit, op.s1)
+                    offset = self._value(op.s2_lit, op.s2)
+                    address = to_signed(base + offset & mask, width)
+                    if kind == dec.K_LOAD_SPEC:
+                        value = memory.read_speculative(address)
+                    else:
+                        try:
+                            value = memory.read(address)
+                        except SimulationError as error:
+                            raise SimulationError(
+                                str(error), cycle=cycle, pc=pc
+                            ) from None
+                    stats.memory_reads += 1
+                    seq += 1
+                    heapq.heappush(
+                        pending,
+                        (cycle + op.latency, seq, _SPACE_GPR, op.d1, value),
+                    )
+                elif kind == dec.K_STORE:
+                    base = self._value(op.s1_lit, op.s1)
+                    offset = self._value(op.s2_lit, op.s2)
+                    address = to_signed(base + offset & mask, width)
+                    try:
+                        memory.write(address, gpr.read(op.d1))
+                    except SimulationError as error:
+                        raise SimulationError(
+                            str(error), cycle=cycle, pc=pc
+                        ) from None
+                    stats.memory_writes += 1
+                elif kind == dec.K_PBR:
+                    seq += 1
+                    heapq.heappush(
+                        pending,
+                        (cycle + op.latency, seq, _SPACE_BTR, op.d1, op.s1),
+                    )
+                elif kind == dec.K_MOVGBP:
+                    seq += 1
+                    heapq.heappush(
+                        pending,
+                        (cycle + op.latency, seq, _SPACE_BTR, op.d1,
+                         self._value(op.s1_lit, op.s1)),
+                    )
+                elif kind == dec.K_BR:
+                    stats.branches += 1
+                    taken = True
+                    target = btr.read(op.s1)
+                elif kind == dec.K_BRCT:
+                    stats.branches += 1
+                    if pred.read(op.s2):
+                        taken = True
+                        target = btr.read(op.s1)
+                elif kind == dec.K_BRCF:
+                    stats.branches += 1
+                    if not pred.read(op.s2):
+                        taken = True
+                        target = btr.read(op.s1)
+                elif kind == dec.K_BRL:
+                    stats.branches += 1
+                    taken = True
+                    target = btr.read(op.s1)
+                    seq += 1
+                    heapq.heappush(
+                        pending,
+                        (cycle + op.latency, seq, _SPACE_GPR, op.d1,
+                         (pc + 1) & mask),
+                    )
+                elif kind == dec.K_HALT:
+                    halted = True
+                else:  # pragma: no cover - defensive
+                    raise SimulationError(
+                        f"unhandled op kind {kind}", cycle=cycle, pc=pc
+                    )
+
+            if strict:
+                # Writes enqueued by THIS bundle become "in flight" only
+                # for later cycles (same-cycle reads legally see the old
+                # values).
+                for entry in pending:
+                    if entry[1] > seq_before_bundle:
+                        key = (entry[2], entry[3])
+                        inflight[key] = inflight.get(key, 0) + 1
+
+            # ---- issue-cost accounting ----------------------------------
+            extra = 0
+            if model_ports:
+                port_ops = reads + writes_landing
+                if port_ops > port_budget:
+                    port_stall = (port_ops + port_budget - 1) // port_budget - 1
+                    stats.port_stall_cycles += port_stall
+                    extra += port_stall
+            if share_bandwidth and bundle.n_mem:
+                demand = fetch_bits + 32 * bundle.n_mem
+                fetch_stall = (demand + bank_bits - 1) // bank_bits - 1
+                stats.fetch_stall_cycles += fetch_stall
+                extra += fetch_stall
+
+            if taken and not halted:
+                stats.branches_taken += 1
+                stats.branch_bubble_cycles += branch_penalty
+                extra += branch_penalty
+                pc = target
+            else:
+                pc += 1
+
+            cycle += 1 + extra
+
+        # Drain outstanding write-backs so final state is architectural.
+        while pending:
+            _, _, space, index, value = heapq.heappop(pending)
+            if space == _SPACE_GPR:
+                gpr.write(index, value)
+            elif space == _SPACE_PRED:
+                pred.write(index, value)
+            else:
+                btr.write(index, value)
+
+        stats.cycles = cycle
+        return SimulationResult(cycles=cycle, stats=stats, halted=True)

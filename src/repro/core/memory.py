@@ -1,0 +1,71 @@
+"""Data memory: four external 32-bit banks behind a 2x-clock controller.
+
+The paper's design (§3.2) assumes four external 32-bit memory banks; a
+memory controller at twice the processor clock supplies the 256 bits per
+cycle needed to fetch a full issue group.  The data side is modelled as a
+flat word-addressed array (the toolchain compiles all scalars and arrays
+to 32-bit words); the bandwidth interaction between instruction fetch and
+data access is an ablation switch handled in the core's issue logic.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.errors import SimulationError
+
+
+class DataMemory:
+    """Word-addressed data memory with bounds checking.
+
+    Speculative loads (HPL-PD's dismissible loads, surfaced here as the
+    ``LWS`` opcode) read out-of-range addresses as zero instead of
+    faulting — the paper lists speculative loading among the EPIC
+    features its architecture supports (§2).
+    """
+
+    def __init__(self, words: int, image: Optional[Iterable[int]] = None,
+                 width: int = 32):
+        if words < 1:
+            raise SimulationError("memory must contain at least one word")
+        self._mask = (1 << width) - 1
+        self._words: List[int] = [0] * words
+        if image is not None:
+            image = list(image)
+            if len(image) > words:
+                raise SimulationError(
+                    f"initial image ({len(image)} words) exceeds memory size "
+                    f"({words} words)"
+                )
+            for address, value in enumerate(image):
+                self._words[address] = value & self._mask
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+    def read(self, address: int) -> int:
+        if not 0 <= address < len(self._words):
+            raise SimulationError(f"load from invalid address {address}")
+        return self._words[address]
+
+    def read_speculative(self, address: int) -> int:
+        """Dismissible load: bad addresses read as zero (LWS)."""
+        if not 0 <= address < len(self._words):
+            return 0
+        return self._words[address]
+
+    def write(self, address: int, value: int) -> None:
+        if not 0 <= address < len(self._words):
+            raise SimulationError(f"store to invalid address {address}")
+        self._words[address] = value & self._mask
+
+    def read_block(self, address: int, count: int) -> List[int]:
+        if count < 0 or not 0 <= address <= len(self._words) - count:
+            raise SimulationError(
+                f"block read [{address}, {address + count}) out of range"
+            )
+        return self._words[address:address + count]
+
+    def write_block(self, address: int, values: Iterable[int]) -> None:
+        for offset, value in enumerate(values):
+            self.write(address + offset, value)

@@ -1,0 +1,104 @@
+"""Register files: general-purpose, predicate and branch-target.
+
+The general-purpose file models the paper's conventions (§3.2): it is
+held in dual-port block RAM whose controller runs at 4x the processor
+clock, giving a budget of eight read/write operations per processor
+cycle (port accounting itself lives in the core's issue logic, since it
+is a property of a whole issue group).  Register 0 is hardwired to zero
+and predicate register 0 is hardwired true — the toolchain's "always
+execute" guard.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import SimulationError
+
+
+class GprFile:
+    """General-purpose registers; ``r0`` reads as zero, writes ignored."""
+
+    def __init__(self, count: int, width: int):
+        if count < 1:
+            raise SimulationError("GPR file needs at least one register")
+        self._count = count
+        self._mask = (1 << width) - 1
+        self._values: List[int] = [0] * count
+
+    def __len__(self) -> int:
+        return self._count
+
+    def read(self, index: int) -> int:
+        if not 0 <= index < self._count:
+            raise SimulationError(f"GPR index {index} out of range")
+        return self._values[index]
+
+    def write(self, index: int, value: int) -> None:
+        if not 0 <= index < self._count:
+            raise SimulationError(f"GPR index {index} out of range")
+        if index == 0:
+            return  # hardwired zero
+        self._values[index] = value & self._mask
+
+    def dump(self) -> List[int]:
+        return list(self._values)
+
+
+class PredFile:
+    """1-bit predicate registers; ``p0`` reads true, writes ignored."""
+
+    def __init__(self, count: int):
+        if count < 1:
+            raise SimulationError("predicate file needs at least one register")
+        self._count = count
+        self._values: List[int] = [0] * count
+        self._values[0] = 1
+
+    def __len__(self) -> int:
+        return self._count
+
+    def read(self, index: int) -> int:
+        if not 0 <= index < self._count:
+            raise SimulationError(f"predicate index {index} out of range")
+        return self._values[index]
+
+    def write(self, index: int, value: int) -> None:
+        if not 0 <= index < self._count:
+            raise SimulationError(f"predicate index {index} out of range")
+        if index == 0:
+            return  # hardwired true; also the CMPP "discard" destination
+        self._values[index] = 1 if value else 0
+
+    def dump(self) -> List[int]:
+        return list(self._values)
+
+
+class BtrFile:
+    """Branch-target registers: "destination addresses which are
+    calculated in advance and are likely to be required in the near
+    future" (paper §3.2).  Values are bundle addresses."""
+
+    def __init__(self, count: int):
+        if count < 1:
+            raise SimulationError("BTR file needs at least one register")
+        self._count = count
+        self._values: List[int] = [0] * count
+
+    def __len__(self) -> int:
+        return self._count
+
+    def read(self, index: int) -> int:
+        if not 0 <= index < self._count:
+            raise SimulationError(f"BTR index {index} out of range")
+        return self._values[index]
+
+    def write(self, index: int, value: int) -> None:
+        if not 0 <= index < self._count:
+            raise SimulationError(f"BTR index {index} out of range")
+        if value < 0:
+            raise SimulationError(f"negative branch target {value}")
+        self._values[index] = value
+
+    def dump(self) -> List[int]:
+        return list(self._values)

@@ -1,0 +1,74 @@
+"""Execution statistics collected by the EPIC core.
+
+The paper's evaluation (§5.2) is driven entirely by *clock cycles*;
+the stall breakdown and utilisation counters here additionally support
+the ablation benchmarks (register-file port budget, forwarding, memory
+bandwidth sharing) and design-space exploration reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class SimStats:
+    """Counters accumulated over one simulation run."""
+
+    cycles: int = 0
+    bundles: int = 0
+    ops_executed: int = 0       # guard-true, non-NOP operations
+    ops_squashed: int = 0       # guard-false operations (predication)
+    nops: int = 0
+    branches: int = 0
+    branches_taken: int = 0
+    memory_reads: int = 0
+    memory_writes: int = 0
+    port_stall_cycles: int = 0
+    fetch_stall_cycles: int = 0
+    branch_bubble_cycles: int = 0
+    regfile_reads: int = 0
+    regfile_reads_forwarded: int = 0
+    regfile_writes: int = 0
+    fu_busy: Dict[str, int] = field(default_factory=dict)
+
+    def note_fu(self, fu_class: str) -> None:
+        self.fu_busy[fu_class] = self.fu_busy.get(fu_class, 0) + 1
+
+    @property
+    def useful_ops(self) -> int:
+        return self.ops_executed
+
+    @property
+    def ilp(self) -> float:
+        """Achieved instruction-level parallelism (useful ops per cycle)."""
+        return self.ops_executed / self.cycles if self.cycles else 0.0
+
+    @property
+    def stall_cycles(self) -> int:
+        return (
+            self.port_stall_cycles
+            + self.fetch_stall_cycles
+            + self.branch_bubble_cycles
+        )
+
+    def summary(self) -> str:
+        lines = [
+            f"cycles            : {self.cycles}",
+            f"bundles issued    : {self.bundles}",
+            f"ops executed      : {self.ops_executed}",
+            f"ops squashed      : {self.ops_squashed}",
+            f"achieved ILP      : {self.ilp:.2f}",
+            f"branches (taken)  : {self.branches} ({self.branches_taken})",
+            f"memory r/w        : {self.memory_reads}/{self.memory_writes}",
+            f"stalls port/fetch/branch: "
+            f"{self.port_stall_cycles}/{self.fetch_stall_cycles}/"
+            f"{self.branch_bubble_cycles}",
+        ]
+        if self.fu_busy:
+            busy = ", ".join(
+                f"{name}={count}" for name, count in sorted(self.fu_busy.items())
+            )
+            lines.append(f"FU ops            : {busy}")
+        return "\n".join(lines)

@@ -1,0 +1,54 @@
+"""Execution tracing for the EPIC core.
+
+A :class:`Tracer` is a callable suitable for
+:meth:`~repro.core.EpicProcessor.run`'s ``trace`` parameter; it records
+one line per issued bundle (cycle, bundle address, slots).  Useful for
+debugging compiler output and for teaching — the trace shows exactly
+which operations launch together and where the pipeline bubbles are.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TextIO
+
+from repro.isa.bundle import Bundle
+
+
+class Tracer:
+    """Collects (and optionally streams) a per-bundle execution trace."""
+
+    def __init__(self, stream: Optional[TextIO] = None,
+                 max_lines: int = 100_000, show_nops: bool = False):
+        self.stream = stream
+        self.max_lines = max_lines
+        self.show_nops = show_nops
+        self.lines: List[str] = []
+        self._last_cycle: Optional[int] = None
+        self.truncated = False
+
+    def __call__(self, cycle: int, pc: int, bundle: Bundle) -> None:
+        if len(self.lines) >= self.max_lines:
+            self.truncated = True
+            return
+        if self._last_cycle is not None and cycle > self._last_cycle + 1:
+            stalls = cycle - self._last_cycle - 1
+            self._emit(f"{'':>10}  ... {stalls} stall/bubble cycle(s)")
+        slots = [
+            str(instr) for instr in bundle.slots
+            if self.show_nops or not instr.is_nop
+        ]
+        rendered = " ; ".join(slots) if slots else "(empty)"
+        self._emit(f"{cycle:>10}  @{pc:<6} {rendered}")
+        self._last_cycle = cycle
+
+    def _emit(self, line: str) -> None:
+        self.lines.append(line)
+        if self.stream is not None:
+            print(line, file=self.stream)
+
+    def text(self) -> str:
+        suffix = "\n... trace truncated ..." if self.truncated else ""
+        return "\n".join(self.lines) + suffix
+
+    def __len__(self) -> int:
+        return len(self.lines)

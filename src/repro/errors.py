@@ -1,0 +1,76 @@
+"""Exception hierarchy for the EPIC reproduction toolkit.
+
+Every error raised by the package derives from :class:`ReproError`, so
+callers can catch one type at a tool boundary.  Sub-hierarchies mirror the
+major subsystems: configuration, encoding, assembly, compilation,
+scheduling and simulation.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """An invalid or inconsistent :class:`~repro.config.MachineConfig`."""
+
+
+class EncodingError(ReproError):
+    """Instruction encode/decode failure (field overflow, bad opcode...)."""
+
+
+class AsmError(ReproError):
+    """Assembler failure, annotated with a source location when known."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        location = f"{line}:{column}: " if line else ""
+        super().__init__(f"{location}{message}")
+        self.line = line
+        self.column = column
+
+
+class CompileError(ReproError):
+    """MiniC front-end or IR lowering failure."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        location = f"{line}:{column}: " if line else ""
+        super().__init__(f"{location}{message}")
+        self.line = line
+        self.column = column
+
+
+class IRError(ReproError):
+    """Malformed IR detected by the verifier or a pass."""
+
+
+class ScheduleError(ReproError):
+    """The scheduler produced (or was given) an illegal schedule."""
+
+
+class RegAllocError(ReproError):
+    """Register allocation could not complete (e.g. too few registers)."""
+
+
+class SimulationError(ReproError):
+    """Runtime fault inside a simulator (bad memory access, bad opcode)."""
+
+    def __init__(self, message: str, cycle: int = -1, pc: int = -1):
+        context = []
+        if cycle >= 0:
+            context.append(f"cycle={cycle}")
+        if pc >= 0:
+            context.append(f"pc={pc:#x}")
+        suffix = f" [{', '.join(context)}]" if context else ""
+        super().__init__(f"{message}{suffix}")
+        self.cycle = cycle
+        self.pc = pc
+
+
+class MdesError(ReproError):
+    """Machine-description construction or parsing failure."""
+
+
+class WorkloadError(ReproError):
+    """Workload construction/input-generation failure."""

@@ -1,0 +1,33 @@
+"""Design-space exploration (paper §1, §3.3).
+
+"Such customisable designs provide a platform for designers to explore
+performance/area trade-offs for a specific application using different
+implementations."  This package automates that loop: sweep configuration
+parameters, measure cycles on the target application with the
+cycle-accurate core, estimate area with the FPGA model, and extract the
+Pareto frontier.
+"""
+
+from repro.explore.sweep import DesignPoint, sweep_configs, evaluate_config
+from repro.explore.pareto import pareto_frontier
+from repro.explore.custominsn import (
+    FusionCandidate,
+    FusionPattern,
+    apply_fusions,
+    discover_and_apply,
+    find_fusion_candidates,
+    profile_module,
+)
+
+__all__ = [
+    "DesignPoint",
+    "sweep_configs",
+    "evaluate_config",
+    "pareto_frontier",
+    "FusionCandidate",
+    "FusionPattern",
+    "apply_fusions",
+    "discover_and_apply",
+    "find_fusion_candidates",
+    "profile_module",
+]

@@ -1,0 +1,36 @@
+"""Pareto analysis of performance/area trade-offs."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+from repro.explore.sweep import DesignPoint
+
+
+def pareto_frontier(points: Sequence[DesignPoint],
+                    objectives: Tuple[Callable[[DesignPoint], float], ...] = (
+                        lambda p: p.time_seconds,
+                        lambda p: float(p.slices),
+                    )) -> List[DesignPoint]:
+    """Non-dominated points (all objectives minimised).
+
+    A point is dominated when another point is no worse in every
+    objective and strictly better in at least one.
+    """
+    frontier: List[DesignPoint] = []
+    for candidate in points:
+        candidate_values = [f(candidate) for f in objectives]
+        dominated = False
+        for other in points:
+            if other is candidate:
+                continue
+            other_values = [f(other) for f in objectives]
+            if all(o <= c for o, c in zip(other_values, candidate_values)) \
+                    and any(o < c for o, c in
+                            zip(other_values, candidate_values)):
+                dominated = True
+                break
+        if not dominated:
+            frontier.append(candidate)
+    frontier.sort(key=lambda point: objectives[0](point))
+    return frontier

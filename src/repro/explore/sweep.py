@@ -1,0 +1,64 @@
+"""Configuration sweeps: cycles x area x time per design point."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, List, Optional
+
+from repro.config import MachineConfig
+from repro.fpga import estimate_clock_mhz, estimate_resources
+from repro.harness.runner import run_on_epic
+from repro.workloads import WorkloadSpec
+
+
+@dataclass
+class DesignPoint:
+    """One evaluated configuration."""
+
+    config: MachineConfig
+    cycles: int
+    slices: int
+    block_rams: int
+    clock_mhz: float
+
+    @property
+    def time_seconds(self) -> float:
+        return self.cycles / (self.clock_mhz * 1e6)
+
+    @property
+    def area_delay(self) -> float:
+        """Classic area-delay product (slices x seconds)."""
+        return self.slices * self.time_seconds
+
+    def __str__(self) -> str:
+        return (
+            f"{self.config.describe()}: {self.cycles} cycles, "
+            f"{self.slices} slices, {self.time_seconds * 1e3:.3f} ms"
+        )
+
+
+def evaluate_config(spec: WorkloadSpec, config: MachineConfig,
+                    validate: bool = True) -> DesignPoint:
+    """Compile, simulate and cost one configuration on one workload."""
+    run = run_on_epic(spec, config, validate=validate)
+    estimate = estimate_resources(config)
+    return DesignPoint(
+        config=config,
+        cycles=run.cycles,
+        slices=estimate.slices,
+        block_rams=estimate.block_rams,
+        clock_mhz=estimate_clock_mhz(config),
+    )
+
+
+def sweep_configs(spec: WorkloadSpec, configs: Iterable[MachineConfig],
+                  validate: bool = True,
+                  progress: Optional[Callable[[str], None]] = None
+                  ) -> List[DesignPoint]:
+    """Evaluate every configuration on the workload."""
+    points = []
+    for config in configs:
+        if progress:
+            progress(config.describe())
+        points.append(evaluate_config(spec, config, validate=validate))
+    return points

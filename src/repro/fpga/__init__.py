@@ -1,0 +1,23 @@
+"""FPGA resource and timing model (paper §5.1).
+
+Stands in for Xilinx ISE place-and-route on the Virtex-II parts the
+paper targets.  The model is analytic, calibrated to the published
+numbers: designs with 1-4 ALUs occupy 4181/6779/9367/11955 slices (each
+ALU ≈ 2600 slices); the register file maps to SelectRAM block RAM so
+growing it costs block RAM, not slices; multiplication uses the on-chip
+MULT18x18 blocks; and the 41.8 MHz critical path is essentially
+independent of the ALU count because ALUs sit in parallel.
+"""
+
+from repro.fpga.resource_model import ResourceEstimate, estimate_resources
+from repro.fpga.timing_model import estimate_clock_mhz
+from repro.fpga.virtex2 import Virtex2Device, VIRTEX2_DEVICES, fits_on
+
+__all__ = [
+    "ResourceEstimate",
+    "estimate_resources",
+    "estimate_clock_mhz",
+    "Virtex2Device",
+    "VIRTEX2_DEVICES",
+    "fits_on",
+]

@@ -1,0 +1,119 @@
+"""Analytic Virtex-II slice/BRAM/multiplier model.
+
+Calibration targets (paper §5.1):
+
+* 1/2/3/4-ALU designs: 4181 / 6779 / 9367 / ~11955 slices — a fixed
+  base of ~1590 slices plus ~2591 per ALU;
+* "each individual ALU occupies around 2600 slices";
+* "the register file is mapped into SelectRam ... increasing the size of
+  register file has negligible effects on number of slices";
+* "multiplication is supported by on-chip block multiplier".
+
+The per-ALU budget is apportioned across feature groups so that the
+§3.3 customisations (dropping divide, dropping shifts, narrowing the
+datapath) shrink the estimate the way removing that logic would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.config import AluFeature, MachineConfig
+
+# -- calibrated constants (slices, 32-bit datapath) ------------------------
+
+#: Fixed datapath infrastructure (Fetch/Decode/Issue, write-back, LSU,
+#: CMPU, BRU, register-file controller).  Sums to 1590 at the paper's
+#: defaults (issue width 4).
+_FDI_PER_ISSUE = 160
+_WB_PER_ISSUE = 40
+_LSU = 230
+_CMPU = 170
+_BRU_BASE = 120
+_BRU_PER_BTR_WORD = 2        # BTR file lives in fabric registers
+_REGFILE_CONTROLLER = 240
+
+#: Per-ALU budget by feature group; totals 2591 with all features on.
+_ALU_DIVIDER = 1040
+_ALU_SHIFTER = 650
+_ALU_CORE = 780              # add/sub/logic/min/max and result muxing
+_ALU_MUL_GLUE = 121          # interface to the MULT18x18 blocks
+
+#: Predicate registers are 1-bit fabric flip-flops (2 per slice).
+_SLICES_PER_PRED = 0.5
+
+#: Virtex-II block RAM capacity in bits.
+_BRAM_BITS = 18 * 1024
+
+
+@dataclass(frozen=True)
+class ResourceEstimate:
+    """Estimated resource usage of one configuration."""
+
+    slices: int
+    block_rams: int
+    mult18x18: int
+    breakdown: Dict[str, int]
+
+    def __str__(self) -> str:
+        return (
+            f"{self.slices} slices, {self.block_rams} BRAM, "
+            f"{self.mult18x18} MULT18x18"
+        )
+
+
+def _alu_slices(config: MachineConfig) -> int:
+    scale = config.datapath_width / 32.0
+    slices = _ALU_CORE * scale
+    if config.has_feature(AluFeature.DIVIDE):
+        slices += _ALU_DIVIDER * scale
+    if config.has_feature(AluFeature.SHIFT):
+        slices += _ALU_SHIFTER * scale
+    if config.has_feature(AluFeature.MULTIPLY):
+        slices += _ALU_MUL_GLUE * scale
+    for spec in config.custom_ops:
+        slices += spec.slices * scale
+    return int(round(slices))
+
+
+def estimate_resources(config: MachineConfig) -> ResourceEstimate:
+    """Estimate slices, block RAMs and multipliers for a configuration."""
+    scale = config.datapath_width / 32.0
+    breakdown: Dict[str, int] = {}
+    breakdown["fetch_decode_issue"] = int(round(
+        _FDI_PER_ISSUE * config.issue_width * scale))
+    if config.pipeline_stages > 2:
+        # Extra pipeline registers across the issue-width datapath.
+        breakdown["pipeline_registers"] = int(round(
+            _WB_PER_ISSUE * config.issue_width * scale
+            * (config.pipeline_stages - 2)))
+    breakdown["write_back"] = int(round(
+        _WB_PER_ISSUE * config.issue_width * scale))
+    breakdown["lsu"] = int(round(_LSU * scale))
+    breakdown["cmpu"] = int(round(_CMPU * scale))
+    breakdown["bru"] = int(round(
+        (_BRU_BASE + _BRU_PER_BTR_WORD * config.n_btrs) * scale))
+    breakdown["regfile_controller"] = _REGFILE_CONTROLLER
+    breakdown["predicate_file"] = int(round(
+        _SLICES_PER_PRED * config.n_preds))
+    breakdown["alus"] = _alu_slices(config) * config.n_alus
+
+    slices = sum(breakdown.values())
+
+    # Register file: dual-port SelectRAM, two copies so the 4x-clock
+    # controller can service independent read streams.
+    regfile_bits = config.n_gprs * config.datapath_width
+    block_rams = 2 * max(1, -(-regfile_bits // _BRAM_BITS))
+
+    mult18x18 = 0
+    if config.has_feature(AluFeature.MULTIPLY):
+        per_alu = max(1, (config.datapath_width // 18 + 1) ** 2)
+        mult18x18 = per_alu * config.n_alus
+
+    return ResourceEstimate(
+        slices=slices,
+        block_rams=block_rams,
+        mult18x18=mult18x18,
+        breakdown=breakdown,
+    )

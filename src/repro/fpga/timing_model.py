@@ -1,0 +1,47 @@
+"""Clock-rate model.
+
+The paper's prototype closes timing at 41.8 MHz and reports that
+"varying the number of ALUs has little impact on the critical path; so
+is the case of enlarging the register file" — the ALUs sit side by side
+and the register file is block RAM behind a 4x-clock controller.  The
+model therefore starts from 41.8 MHz and applies only second-order
+effects: routing congestion from more parallel ALUs, multiplexer depth
+from a wider issue window, and carry-chain length from a wider datapath.
+"""
+
+from __future__ import annotations
+
+from repro.config import MachineConfig
+
+#: Calibration point: the paper's 4-ALU, 32-bit, issue-4 prototype.
+_BASE_MHZ = 41.8
+_BASE_ALUS = 4
+_BASE_ISSUE = 4
+_BASE_WIDTH = 32
+
+#: Second-order sensitivities (fractional slowdown per unit).
+_ALU_ROUTING_PENALTY = 0.004      # per extra ALU beyond the base design
+_ISSUE_MUX_PENALTY = 0.010        # per extra issue slot
+_WIDTH_EXPONENT = 0.25            # carry-chain scaling ~ width^0.25
+
+
+#: Extra pipelining shortens the fetch/decode/issue critical path;
+#: returns diminish as the register-file controller (already at 4x the
+#: core clock) becomes the limit.
+_PIPELINE_GAIN = 0.20
+_PIPELINE_DIMINISH = 0.04
+
+
+def estimate_clock_mhz(config: MachineConfig) -> float:
+    """Achievable clock (MHz) for a configuration on Virtex-II."""
+    mhz = _BASE_MHZ
+    extra_stages = config.pipeline_stages - 2
+    if extra_stages:
+        mhz *= (1.0 + _PIPELINE_GAIN * extra_stages
+                - _PIPELINE_DIMINISH * extra_stages ** 2)
+    mhz *= 1.0 - _ALU_ROUTING_PENALTY * max(0, config.n_alus - _BASE_ALUS)
+    mhz *= 1.0 - _ISSUE_MUX_PENALTY * max(0, config.issue_width - _BASE_ISSUE)
+    mhz *= (_BASE_WIDTH / config.datapath_width) ** _WIDTH_EXPONENT
+    # Narrower issue windows shave a little mux depth.
+    mhz *= 1.0 + 0.005 * max(0, _BASE_ISSUE - config.issue_width)
+    return round(mhz, 2)

@@ -1,0 +1,56 @@
+"""Xilinx Virtex-II device catalogue (the paper's target family).
+
+"Xilinx Virtex II series devices, each containing up to [33,792]
+configurable logic slices and up to [3] megabits of distributed
+configurable memory, are chosen as the target technology" (§5).
+Capacities below are from the Virtex-II data sheet (DS031).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.fpga.resource_model import ResourceEstimate
+
+
+@dataclass(frozen=True)
+class Virtex2Device:
+    name: str
+    slices: int
+    block_rams: int
+    mult18x18: int
+
+
+VIRTEX2_DEVICES: Dict[str, Virtex2Device] = {
+    device.name: device
+    for device in (
+        Virtex2Device("xc2v250", 1536, 24, 24),
+        Virtex2Device("xc2v500", 3072, 32, 32),
+        Virtex2Device("xc2v1000", 5120, 40, 40),
+        Virtex2Device("xc2v1500", 7680, 48, 48),
+        Virtex2Device("xc2v2000", 10752, 56, 56),
+        Virtex2Device("xc2v3000", 14336, 96, 96),
+        Virtex2Device("xc2v4000", 23040, 120, 120),
+        Virtex2Device("xc2v6000", 33792, 144, 144),
+        Virtex2Device("xc2v8000", 46592, 168, 168),
+    )
+}
+
+
+def fits_on(estimate: ResourceEstimate, device: Virtex2Device,
+            utilisation_cap: float = 0.9) -> bool:
+    """Whether a design plausibly places and routes on ``device``."""
+    return (
+        estimate.slices <= device.slices * utilisation_cap
+        and estimate.block_rams <= device.block_rams
+        and estimate.mult18x18 <= device.mult18x18
+    )
+
+
+def smallest_device(estimate: ResourceEstimate) -> Virtex2Device:
+    """Smallest catalogue device the estimate fits on (or the largest)."""
+    for device in sorted(VIRTEX2_DEVICES.values(), key=lambda d: d.slices):
+        if fits_on(estimate, device):
+            return device
+    return max(VIRTEX2_DEVICES.values(), key=lambda d: d.slices)

@@ -1,0 +1,124 @@
+"""``epic-run``: regenerate the paper's evaluation from the command line.
+
+Examples::
+
+    epic-run --quick               # scaled-down Table 1 + figures + claims
+    epic-run --bench SHA DCT       # a subset
+    epic-run --resources           # the §5.1 resource table only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.errors import ReproError
+from repro.harness.figures import all_figures
+from repro.harness.report import paper_comparison, render_report
+from repro.harness.tables import (
+    BENCHMARK_ORDER,
+    build_table1,
+    render_resource_table,
+    resource_usage_table,
+)
+from repro.workloads import WORKLOADS
+
+
+def quick_specs(names):
+    """Reduced-size instances for fast runs."""
+    from repro.workloads import (
+        aes_workload, dct_workload, dijkstra_workload, sha_workload,
+    )
+    table = {
+        "SHA": lambda: sha_workload(16, 16),
+        "AES": lambda: aes_workload(5),
+        "DCT": lambda: dct_workload(16, 16),
+        "Dijkstra": lambda: dijkstra_workload(12),
+    }
+    return [table[name]() for name in names]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="epic-run",
+        description="Reproduce the paper's evaluation (Table 1, Figs 3-5).",
+    )
+    parser.add_argument("--bench", nargs="*", default=list(BENCHMARK_ORDER),
+                        choices=list(BENCHMARK_ORDER),
+                        help="benchmarks to run")
+    parser.add_argument("--quick", action="store_true",
+                        help="use reduced input sizes")
+    parser.add_argument("--resources", action="store_true",
+                        help="print only the resource-usage table (§5.1)")
+    parser.add_argument("--alus", nargs="*", type=int, default=[1, 2, 3, 4],
+                        help="ALU counts to evaluate")
+    parser.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON instead of text")
+    arguments = parser.parse_args(argv)
+
+    if arguments.resources:
+        print(render_resource_table(resource_usage_table(arguments.alus)))
+        return 0
+
+    if arguments.quick:
+        specs = quick_specs(arguments.bench)
+    else:
+        specs = [WORKLOADS[name]() for name in arguments.bench]
+
+    try:
+        table = build_table1(
+            specs, alu_counts=arguments.alus,
+            progress=lambda message: print(f"  {message}", file=sys.stderr),
+        )
+    except ReproError as error:
+        print(f"epic-run: {error}", file=sys.stderr)
+        return 1
+
+    if arguments.json:
+        claims = paper_comparison(table)
+        payload = {
+            "table1_cycles": table.cycles,
+            "figures_seconds": {
+                figure.benchmark: dict(zip(figure.machines, figure.seconds))
+                for figure in all_figures(table)
+            },
+            "claims": [
+                {
+                    "claim": claim.claim,
+                    "paper": claim.paper_value,
+                    "measured": claim.measured_value,
+                    "holds": claim.holds,
+                }
+                for claim in claims
+            ],
+            "resources": [
+                {
+                    "n_alus": row.n_alus,
+                    "slices": row.slices,
+                    "paper_slices": row.paper_slices,
+                    "block_rams": row.block_rams,
+                    "mult18x18": row.mult18x18,
+                    "clock_mhz": row.clock_mhz,
+                }
+                for row in resource_usage_table(arguments.alus)
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    print("Table 1: clock cycles")
+    print(table.render())
+    print()
+    for figure in all_figures(table):
+        print(figure.render())
+        print()
+    print(render_report(paper_comparison(table)))
+    print()
+    print("Resource usage (§5.1):")
+    print(render_resource_table(resource_usage_table(arguments.alus)))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,68 @@
+"""Regeneration of Figures 3-5: execution time per processor.
+
+"Execution time is calculated as a product of clock length and the
+number of clock cycles taken" (§5.2), with the SA-110 at 100 MHz and
+the EPIC prototype at 41.8 MHz.  Each figure is one benchmark's bar
+series over the five processors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.harness.tables import Table1
+
+#: Which figure number the paper gives each benchmark's time chart.
+FIGURE_NUMBERS = {"SHA": 3, "DCT": 4, "Dijkstra": 5}
+
+
+@dataclass
+class FigureSeries:
+    """One execution-time figure: machine labels and seconds."""
+
+    benchmark: str
+    figure_number: int
+    machines: List[str]
+    seconds: List[float]
+
+    def speedup_over_sa110(self, machine: str) -> float:
+        sa110 = self.seconds[self.machines.index("SA-110")]
+        other = self.seconds[self.machines.index(machine)]
+        return sa110 / other
+
+    def render(self) -> str:
+        """ASCII bar chart (the paper's Figs. 3-5 are bar charts)."""
+        peak = max(self.seconds)
+        lines = [
+            f"Figure {self.figure_number}: execution time for "
+            f"{self.benchmark} (seconds)"
+        ]
+        for machine, value in zip(self.machines, self.seconds):
+            bar = "#" * max(1, int(round(40 * value / peak))) if peak else ""
+            lines.append(f"  {machine:<12} {value * 1e3:10.3f} ms  {bar}")
+        return "\n".join(lines)
+
+
+def execution_time_figure(table: Table1, benchmark: str) -> FigureSeries:
+    """Build the Fig. 3/4/5 series for one benchmark from Table 1 runs."""
+    machines = list(table.machines)
+    seconds = []
+    for machine in machines:
+        run = table.runs[machine][benchmark]
+        seconds.append(run.time_seconds)
+    return FigureSeries(
+        benchmark=benchmark,
+        figure_number=FIGURE_NUMBERS.get(benchmark, 0),
+        machines=machines,
+        seconds=seconds,
+    )
+
+
+def all_figures(table: Table1) -> List[FigureSeries]:
+    """Figures 3-5 (SHA, DCT, Dijkstra) in paper order."""
+    return [
+        execution_time_figure(table, name)
+        for name in ("SHA", "DCT", "Dijkstra")
+        if name in table.benchmarks
+    ]

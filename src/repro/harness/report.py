@@ -1,0 +1,117 @@
+"""Comparison against the paper's quantitative claims (§5.2).
+
+The copy of Table 1 in the available text is garbled, but the prose
+fixes several derived quantities exactly:
+
+* same-clock (cycle-count) advantage of the 4-ALU EPIC over the SA-110:
+  1.7x on Dijkstra, 3.8x on SHA, 12.3x on DCT;
+* wall-clock (100 MHz vs 41.8 MHz): EPIC-4 is 60 % faster on SHA and
+  515 % faster on DCT, while the SA-110 wins AES and Dijkstra;
+* SHA and DCT improve as ALUs are added; AES and Dijkstra "remain more
+  or less the same regardless of the number of ALUs deployed".
+
+:func:`paper_comparison` evaluates all of these against a measured
+Table 1 and reports which hold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.harness.tables import Table1
+
+#: Paper's same-clock cycle ratios for the 4-ALU design.
+PAPER_CYCLE_RATIOS = {"Dijkstra": 1.7, "SHA": 3.8, "DCT": 12.3}
+
+#: Clock ratio used by the paper's time figures.
+CLOCK_RATIO = 100.0 / 41.8
+
+
+@dataclass
+class PaperClaim:
+    """One claim, its paper value and our measurement."""
+
+    claim: str
+    paper_value: Optional[float]
+    measured_value: float
+    holds: bool
+
+    def __str__(self) -> str:
+        paper = f"{self.paper_value:.2f}" if self.paper_value is not None \
+            else "qualitative"
+        status = "HOLDS" if self.holds else "DIFFERS"
+        return (
+            f"[{status}] {self.claim}: paper={paper} "
+            f"measured={self.measured_value:.2f}"
+        )
+
+
+def paper_comparison(table: Table1,
+                     machine: str = "EPIC-4ALU") -> List[PaperClaim]:
+    """Evaluate every §5.2 claim against measured cycle counts."""
+    claims: List[PaperClaim] = []
+
+    for benchmark, paper_ratio in PAPER_CYCLE_RATIOS.items():
+        if benchmark not in table.benchmarks:
+            continue
+        measured = table.ratio(benchmark, machine)
+        # "Roughly the same factor": within ~2x of the paper's ratio and
+        # on the same side of break-even.
+        holds = (measured > 1.0) and (
+            0.5 <= measured / paper_ratio <= 2.0
+        )
+        claims.append(PaperClaim(
+            claim=f"{benchmark}: same-clock cycle advantage of {machine}",
+            paper_value=paper_ratio,
+            measured_value=measured,
+            holds=holds,
+        ))
+
+    # Wall-clock winners: EPIC wins a benchmark iff its cycle advantage
+    # exceeds the clock handicap.
+    for benchmark, epic_wins_in_paper in (
+        ("SHA", True), ("DCT", True), ("AES", False), ("Dijkstra", False),
+    ):
+        if benchmark not in table.benchmarks:
+            continue
+        measured = table.ratio(benchmark, machine) / CLOCK_RATIO
+        holds = (measured > 1.0) == epic_wins_in_paper
+        side = "wins" if epic_wins_in_paper else "loses"
+        claims.append(PaperClaim(
+            claim=f"{benchmark}: EPIC {side} in wall-clock time",
+            paper_value=None,
+            measured_value=measured,
+            holds=holds,
+        ))
+
+    # ALU-count sensitivity: SHA/DCT scale, AES/Dijkstra stay flat.
+    one_alu = "EPIC-1ALU"
+    if one_alu in table.machines and machine in table.machines:
+        for benchmark, should_scale in (
+            ("SHA", True), ("DCT", True), ("AES", False), ("Dijkstra", False),
+        ):
+            if benchmark not in table.benchmarks:
+                continue
+            gain = (
+                table.cycles[one_alu][benchmark]
+                / table.cycles[machine][benchmark]
+            )
+            holds = (gain >= 1.3) if should_scale else (gain < 1.3)
+            kind = "scales with" if should_scale else "is insensitive to"
+            claims.append(PaperClaim(
+                claim=f"{benchmark}: performance {kind} ALU count "
+                      f"(1->4 ALU cycle gain)",
+                paper_value=None,
+                measured_value=gain,
+                holds=holds,
+            ))
+    return claims
+
+
+def render_report(claims: List[PaperClaim]) -> str:
+    lines = ["Paper-claim scoreboard (§5.2):"]
+    lines.extend(f"  {claim}" for claim in claims)
+    held = sum(claim.holds for claim in claims)
+    lines.append(f"  => {held}/{len(claims)} claims hold")
+    return "\n".join(lines)

@@ -1,0 +1,120 @@
+"""Compile-and-simulate drivers with output validation.
+
+Every run cross-checks the simulator's architectural outputs (the
+workload's named global arrays and the checksum return value) against
+the golden reference before its cycle count is trusted — a number from
+a miscomputing machine is worthless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.baseline import Sa110Simulator, compile_minic_to_armlet
+from repro.backend import compile_minic_to_epic
+from repro.config import MachineConfig
+from repro.config.presets import SA110_CLOCK_MHZ
+from repro.core import EpicProcessor
+from repro.errors import SimulationError
+from repro.fpga import estimate_clock_mhz
+from repro.workloads import WorkloadSpec
+
+
+@dataclass
+class BenchmarkRun:
+    """One (workload, machine) measurement."""
+
+    workload: str
+    machine: str
+    cycles: int
+    clock_mhz: float
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def time_seconds(self) -> float:
+        return self.cycles / (self.clock_mhz * 1e6)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.workload} on {self.machine}: {self.cycles} cycles "
+            f"@ {self.clock_mhz} MHz = {self.time_seconds * 1e3:.3f} ms"
+        )
+
+
+def _check_outputs(name: str, machine: str, spec: WorkloadSpec,
+                   read_global, return_value: Optional[int]) -> None:
+    for global_name, expected in spec.expected.items():
+        got = read_global(global_name, len(expected))
+        if got != expected:
+            raise SimulationError(
+                f"{name} on {machine}: output {global_name!r} does not "
+                "match the golden reference"
+            )
+    if spec.expected_return is not None and return_value is not None:
+        if (return_value & 0xFFFFFFFF) != spec.expected_return:
+            raise SimulationError(
+                f"{name} on {machine}: checksum {return_value:#x} != "
+                f"{spec.expected_return:#x}"
+            )
+
+
+def run_on_epic(spec: WorkloadSpec, config: MachineConfig,
+                validate: bool = True,
+                max_cycles: int = 200_000_000) -> BenchmarkRun:
+    """Compile and run one workload on one EPIC configuration."""
+    compilation = compile_minic_to_epic(spec.source, config)
+    cpu = EpicProcessor(config, compilation.program,
+                        mem_words=spec.mem_words)
+    result = cpu.run(max_cycles=max_cycles)
+    machine = f"EPIC-{config.n_alus}ALU"
+    if validate:
+        def read_global(name: str, count: int):
+            base = compilation.symbols[name]
+            return [cpu.memory.read(base + i) for i in range(count)]
+
+        _check_outputs(spec.name, machine, spec, read_global,
+                       cpu.gpr.read(2))
+    stats = cpu.stats
+    return BenchmarkRun(
+        workload=spec.name,
+        machine=machine,
+        cycles=result.cycles,
+        clock_mhz=estimate_clock_mhz(config),
+        extra={
+            "ilp": stats.ilp,
+            "ops": float(stats.ops_executed),
+            "port_stalls": float(stats.port_stall_cycles),
+            "branch_bubbles": float(stats.branch_bubble_cycles),
+            "squashed": float(stats.ops_squashed),
+        },
+    )
+
+
+def run_on_baseline(spec: WorkloadSpec, validate: bool = True,
+                    max_instructions: int = 500_000_000) -> BenchmarkRun:
+    """Compile and run one workload on the SA-110 baseline."""
+    compilation = compile_minic_to_armlet(spec.source)
+    simulator = Sa110Simulator(
+        compilation.program, compilation.labels, compilation.data,
+        mem_words=spec.mem_words,
+    )
+    result = simulator.run(max_instructions=max_instructions)
+    if validate:
+        def read_global(name: str, count: int):
+            base = compilation.symbols[name]
+            return simulator.memory[base:base + count]
+
+        _check_outputs(spec.name, "SA-110", spec, read_global,
+                       result.return_value)
+    return BenchmarkRun(
+        workload=spec.name,
+        machine="SA-110",
+        cycles=result.cycles,
+        clock_mhz=SA110_CLOCK_MHZ,
+        extra={
+            "instructions": float(result.stats.instructions),
+            "load_use_stalls": float(result.stats.load_use_stalls),
+            "branches_taken": float(result.stats.branches_taken),
+        },
+    )

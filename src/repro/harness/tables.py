@@ -1,0 +1,137 @@
+"""Regeneration of the paper's tabular results.
+
+* :func:`build_table1` — Table 1, "Summary of the number of clock cycles
+  required for different benchmarks": rows SA-110 and EPIC with 1-4
+  ALUs, columns SHA / AES / DCT / Dijkstra.
+* :func:`resource_usage_table` — the §5.1 resource bullets: slices for
+  1-4 ALUs, per-ALU cost, block RAM and multiplier usage, clock rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.config import MachineConfig, epic_with_alus
+from repro.fpga import estimate_clock_mhz, estimate_resources
+from repro.harness.runner import BenchmarkRun, run_on_baseline, run_on_epic
+from repro.workloads import WORKLOADS, WorkloadSpec
+
+#: Table 1 benchmark order in the paper.
+BENCHMARK_ORDER = ("SHA", "AES", "DCT", "Dijkstra")
+
+
+@dataclass
+class Table1:
+    """Cycle counts per (machine, benchmark)."""
+
+    benchmarks: List[str]
+    machines: List[str]
+    cycles: Dict[str, Dict[str, int]]            # machine -> bench -> cycles
+    runs: Dict[str, Dict[str, BenchmarkRun]] = field(default_factory=dict)
+
+    def ratio(self, benchmark: str, machine: str = "EPIC-4ALU") -> float:
+        """Same-clock speedup of ``machine`` over the SA-110 (§5.2)."""
+        return self.cycles["SA-110"][benchmark] / self.cycles[machine][benchmark]
+
+    def render(self) -> str:
+        """Plain-text table in the paper's layout."""
+        width = max(len(m) for m in self.machines) + 2
+        header = " " * width + "".join(
+            f"{name:>12}" for name in self.benchmarks
+        )
+        lines = [header]
+        for machine in self.machines:
+            row = f"{machine:<{width}}" + "".join(
+                f"{self.cycles[machine][name]:>12}"
+                for name in self.benchmarks
+            )
+            lines.append(row)
+        return "\n".join(lines)
+
+
+def build_table1(specs: Optional[Sequence[WorkloadSpec]] = None,
+                 alu_counts: Iterable[int] = (1, 2, 3, 4),
+                 validate: bool = True,
+                 progress: Optional[Callable[[str], None]] = None) -> Table1:
+    """Run the full Table 1 matrix.
+
+    ``specs`` defaults to the four paper benchmarks at their default
+    (scaled-down) sizes; pass smaller instances for quick runs.
+    """
+    if specs is None:
+        specs = [WORKLOADS[name]() for name in BENCHMARK_ORDER]
+    machines = ["SA-110"] + [f"EPIC-{n}ALU" for n in alu_counts]
+    cycles: Dict[str, Dict[str, int]] = {m: {} for m in machines}
+    runs: Dict[str, Dict[str, BenchmarkRun]] = {m: {} for m in machines}
+
+    for spec in specs:
+        if progress:
+            progress(f"{spec.name} on SA-110 ...")
+        run = run_on_baseline(spec, validate=validate)
+        cycles["SA-110"][spec.name] = run.cycles
+        runs["SA-110"][spec.name] = run
+        for n_alus in alu_counts:
+            machine = f"EPIC-{n_alus}ALU"
+            if progress:
+                progress(f"{spec.name} on {machine} ...")
+            run = run_on_epic(spec, epic_with_alus(n_alus),
+                              validate=validate)
+            cycles[machine][spec.name] = run.cycles
+            runs[machine][spec.name] = run
+
+    return Table1(
+        benchmarks=[spec.name for spec in specs],
+        machines=machines,
+        cycles=cycles,
+        runs=runs,
+    )
+
+
+@dataclass
+class ResourceRow:
+    n_alus: int
+    slices: int
+    block_rams: int
+    mult18x18: int
+    clock_mhz: float
+    paper_slices: Optional[int]
+
+
+#: §5.1: "Designs with 1, 2, 3 and 4 ALUs take up 4181, 6779, 9367 and
+#: [~11955] slices respectively".  The 4-ALU figure is inferred from
+#: "each individual ALU occupies around 2600 slices".
+PAPER_SLICES = {1: 4181, 2: 6779, 3: 9367, 4: 11955}
+
+
+def resource_usage_table(alu_counts: Iterable[int] = (1, 2, 3, 4),
+                         base: Optional[MachineConfig] = None
+                         ) -> List[ResourceRow]:
+    """The §5.1 resource sweep."""
+    rows = []
+    for n_alus in alu_counts:
+        config = (base or epic_with_alus(n_alus)).with_changes(n_alus=n_alus)
+        estimate = estimate_resources(config)
+        rows.append(ResourceRow(
+            n_alus=n_alus,
+            slices=estimate.slices,
+            block_rams=estimate.block_rams,
+            mult18x18=estimate.mult18x18,
+            clock_mhz=estimate_clock_mhz(config),
+            paper_slices=PAPER_SLICES.get(n_alus),
+        ))
+    return rows
+
+
+def render_resource_table(rows: Sequence[ResourceRow]) -> str:
+    lines = [
+        f"{'ALUs':>5} {'slices':>8} {'paper':>8} {'BRAM':>6} "
+        f"{'MULT18':>7} {'MHz':>6}"
+    ]
+    for row in rows:
+        paper = str(row.paper_slices) if row.paper_slices else "-"
+        lines.append(
+            f"{row.n_alus:>5} {row.slices:>8} {paper:>8} "
+            f"{row.block_rams:>6} {row.mult18x18:>7} {row.clock_mhz:>6.1f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""Intermediate representation of the compiler (IMPACT's role, §4.1).
+
+A small, explicit three-address IR over 32-bit words: virtual registers,
+constants and symbol addresses; basic blocks with a single terminator;
+functions with register parameters; a module holding functions plus
+global word arrays (which become the data-memory image).
+
+The IR has an interpreter (:mod:`repro.ir.interp`) that serves as the
+golden model between the MiniC front-end and the two machine backends:
+the EPIC core and the SA-110 baseline must reproduce its observable
+results exactly.
+"""
+
+from repro.ir.values import Const, Sym, Value, VReg
+from repro.ir.instructions import (
+    Alloca,
+    BinOp,
+    Br,
+    Call,
+    Cmp,
+    CondBr,
+    Copy,
+    Instr,
+    Load,
+    Ret,
+    Store,
+    BINARY_OPS,
+    CMP_OPS,
+)
+from repro.ir.module import Block, Function, GlobalArray, Module
+from repro.ir.builder import FunctionBuilder, ModuleBuilder
+from repro.ir.verify import verify_module
+from repro.ir.interp import Interpreter, run_module
+
+__all__ = [
+    "Const", "Sym", "Value", "VReg",
+    "Alloca", "BinOp", "Br", "Call", "Cmp", "CondBr", "Copy", "Instr",
+    "Load", "Ret", "Store", "BINARY_OPS", "CMP_OPS",
+    "Block", "Function", "GlobalArray", "Module",
+    "FunctionBuilder", "ModuleBuilder",
+    "verify_module",
+    "Interpreter", "run_module",
+]

@@ -1,0 +1,155 @@
+"""Convenience builders for constructing IR by hand.
+
+The MiniC front-end lowers through these builders, and tests/workloads
+may construct IR directly when a C-level formulation is awkward.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import IRError
+from repro.ir.instructions import (
+    Alloca, BinOp, Br, Call, Cmp, CondBr, Copy, Load, Ret, Store,
+    BINARY_OPS, CMP_OPS,
+)
+from repro.ir.module import Block, Function, GlobalArray, Module
+from repro.ir.values import Const, Sym, Value, VReg
+
+ValueLike = Union[Value, int]
+
+
+def _value(value: ValueLike) -> Value:
+    if isinstance(value, int):
+        return Const(value)
+    return value
+
+
+class FunctionBuilder:
+    """Builds one function block-by-block with an insertion point."""
+
+    def __init__(self, name: str, param_hints: Sequence[str] = ()):
+        self.function = Function(name=name, params=[])
+        for hint in param_hints:
+            self.function.params.append(self.function.new_vreg(hint))
+        self._current: Optional[Block] = None
+        self._block_names: Dict[str, int] = {}
+
+    # -- blocks -----------------------------------------------------------
+
+    def new_block(self, hint: str = "bb") -> str:
+        index = self._block_names.get(hint, 0)
+        self._block_names[hint] = index + 1
+        name = f"{hint}{index}" if index or hint == "bb" else hint
+        block = Block(name=name)
+        self.function.blocks.append(block)
+        return name
+
+    def set_block(self, name: str) -> None:
+        self._current = self.function.block(name)
+
+    @property
+    def current_block(self) -> Block:
+        if self._current is None:
+            raise IRError("no insertion block selected")
+        return self._current
+
+    @property
+    def terminated(self) -> bool:
+        block = self.current_block
+        return bool(block.instrs) and block.instrs[-1].is_terminator
+
+    def _emit(self, instr) -> None:
+        block = self.current_block
+        if block.instrs and block.instrs[-1].is_terminator:
+            raise IRError(
+                f"emitting into terminated block {block.name!r}: {instr}"
+            )
+        block.instrs.append(instr)
+
+    # -- values -----------------------------------------------------------
+
+    def vreg(self, hint: str = "") -> VReg:
+        return self.function.new_vreg(hint)
+
+    @property
+    def params(self) -> List[VReg]:
+        return self.function.params
+
+    # -- instructions -------------------------------------------------------
+
+    def binop(self, op: str, a: ValueLike, b: ValueLike,
+              hint: str = "t") -> VReg:
+        if op not in BINARY_OPS:
+            raise IRError(f"unknown binary op {op!r}")
+        dst = self.vreg(hint)
+        self._emit(BinOp(op, dst, _value(a), _value(b)))
+        return dst
+
+    def cmp(self, op: str, a: ValueLike, b: ValueLike, hint: str = "c") -> VReg:
+        if op not in CMP_OPS:
+            raise IRError(f"unknown comparison {op!r}")
+        dst = self.vreg(hint)
+        self._emit(Cmp(op, dst, _value(a), _value(b)))
+        return dst
+
+    def copy_to(self, dst: VReg, src: ValueLike) -> None:
+        self._emit(Copy(dst, _value(src)))
+
+    def copy(self, src: ValueLike, hint: str = "t") -> VReg:
+        dst = self.vreg(hint)
+        self.copy_to(dst, src)
+        return dst
+
+    def load(self, base: ValueLike, offset: ValueLike = 0,
+             hint: str = "ld", speculative: bool = False) -> VReg:
+        dst = self.vreg(hint)
+        self._emit(Load(dst, _value(base), _value(offset), speculative))
+        return dst
+
+    def store(self, value: ValueLike, base: ValueLike,
+              offset: ValueLike = 0) -> None:
+        self._emit(Store(_value(value), _value(base), _value(offset)))
+
+    def alloca(self, size: int, hint: str = "frame") -> VReg:
+        dst = self.vreg(hint)
+        self._emit(Alloca(dst, size))
+        return dst
+
+    def call(self, callee: str, args: Sequence[ValueLike],
+             returns_value: bool = True, hint: str = "rv") -> Optional[VReg]:
+        dst = self.vreg(hint) if returns_value else None
+        self._emit(Call(callee, [_value(arg) for arg in args], dst))
+        return dst
+
+    def br(self, target: str) -> None:
+        self._emit(Br(target))
+
+    def cond_br(self, cond: ValueLike, if_true: str, if_false: str) -> None:
+        self._emit(CondBr(_value(cond), if_true, if_false))
+
+    def ret(self, value: Optional[ValueLike] = None) -> None:
+        self._emit(Ret(_value(value) if value is not None else None))
+
+
+class ModuleBuilder:
+    """Builds a module: globals plus functions."""
+
+    def __init__(self):
+        self.module = Module()
+
+    def global_array(self, name: str, size: int,
+                     init: Sequence[int] = (),
+                     immutable: bool = False) -> Sym:
+        self.module.add_global(
+            GlobalArray(name, size, tuple(init), immutable)
+        )
+        return Sym(name)
+
+    def function(self, name: str, param_hints: Sequence[str] = ()) -> FunctionBuilder:
+        builder = FunctionBuilder(name, param_hints)
+        self.module.add_function(builder.function)
+        return builder
+
+    def build(self) -> Module:
+        return self.module

@@ -1,0 +1,238 @@
+"""IR instruction set.
+
+Every instruction exposes ``uses()`` (values read), ``defs()`` (virtual
+registers written) and ``replace_uses(mapping)`` so optimisation passes
+can be written generically.  Memory is word-addressed; ``Load``/``Store``
+take separate base and offset values, matching both target ISAs'
+base+offset addressing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.values import Const, Sym, Value, VReg
+
+#: Binary arithmetic operators (two's-complement, 32-bit wrapping).
+BINARY_OPS = (
+    "add", "sub", "mul", "div", "rem",
+    "and", "or", "xor", "shl", "shr", "shra",
+)
+
+#: Comparison operators; results are 0/1 words.
+CMP_OPS = ("eq", "ne", "lt", "le", "gt", "ge", "ult", "uge")
+
+
+def _subst(value: Optional[Value], mapping: Dict[Value, Value]) -> Optional[Value]:
+    if value is None:
+        return None
+    return mapping.get(value, value)
+
+
+@dataclass
+class Instr:
+    """Base class; concrete instructions are the dataclasses below."""
+
+    def uses(self) -> List[Value]:
+        return []
+
+    def defs(self) -> List[VReg]:
+        return []
+
+    def replace_uses(self, mapping: Dict[Value, Value]) -> None:
+        raise NotImplementedError
+
+    @property
+    def is_terminator(self) -> bool:
+        return isinstance(self, (Br, CondBr, Ret))
+
+    @property
+    def has_side_effects(self) -> bool:
+        return isinstance(self, (Store, Call, Br, CondBr, Ret))
+
+
+@dataclass
+class BinOp(Instr):
+    op: str
+    dst: VReg
+    a: Value
+    b: Value
+
+    def uses(self) -> List[Value]:
+        return [self.a, self.b]
+
+    def defs(self) -> List[VReg]:
+        return [self.dst]
+
+    def replace_uses(self, mapping) -> None:
+        self.a = _subst(self.a, mapping)
+        self.b = _subst(self.b, mapping)
+
+    def __str__(self) -> str:
+        return f"{self.dst} = {self.op} {self.a}, {self.b}"
+
+
+@dataclass
+class Cmp(Instr):
+    op: str
+    dst: VReg
+    a: Value
+    b: Value
+
+    def uses(self) -> List[Value]:
+        return [self.a, self.b]
+
+    def defs(self) -> List[VReg]:
+        return [self.dst]
+
+    def replace_uses(self, mapping) -> None:
+        self.a = _subst(self.a, mapping)
+        self.b = _subst(self.b, mapping)
+
+    def __str__(self) -> str:
+        return f"{self.dst} = cmp.{self.op} {self.a}, {self.b}"
+
+
+@dataclass
+class Copy(Instr):
+    dst: VReg
+    src: Value
+
+    def uses(self) -> List[Value]:
+        return [self.src]
+
+    def defs(self) -> List[VReg]:
+        return [self.dst]
+
+    def replace_uses(self, mapping) -> None:
+        self.src = _subst(self.src, mapping)
+
+    def __str__(self) -> str:
+        return f"{self.dst} = {self.src}"
+
+
+@dataclass
+class Load(Instr):
+    dst: VReg
+    base: Value
+    offset: Value
+    #: Speculative (dismissible) load: out-of-range reads yield 0.
+    speculative: bool = False
+
+    def uses(self) -> List[Value]:
+        return [self.base, self.offset]
+
+    def defs(self) -> List[VReg]:
+        return [self.dst]
+
+    def replace_uses(self, mapping) -> None:
+        self.base = _subst(self.base, mapping)
+        self.offset = _subst(self.offset, mapping)
+
+    def __str__(self) -> str:
+        suffix = ".s" if self.speculative else ""
+        return f"{self.dst} = load{suffix} [{self.base} + {self.offset}]"
+
+
+@dataclass
+class Store(Instr):
+    value: Value
+    base: Value
+    offset: Value
+
+    def uses(self) -> List[Value]:
+        return [self.value, self.base, self.offset]
+
+    def defs(self) -> List[VReg]:
+        return []
+
+    def replace_uses(self, mapping) -> None:
+        self.value = _subst(self.value, mapping)
+        self.base = _subst(self.base, mapping)
+        self.offset = _subst(self.offset, mapping)
+
+    def __str__(self) -> str:
+        return f"store [{self.base} + {self.offset}] = {self.value}"
+
+
+@dataclass
+class Alloca(Instr):
+    """Reserve ``size`` words of stack frame; ``dst`` holds the address."""
+
+    dst: VReg
+    size: int
+
+    def uses(self) -> List[Value]:
+        return []
+
+    def defs(self) -> List[VReg]:
+        return [self.dst]
+
+    def replace_uses(self, mapping) -> None:
+        pass
+
+    def __str__(self) -> str:
+        return f"{self.dst} = alloca {self.size}"
+
+
+@dataclass
+class Call(Instr):
+    callee: str
+    args: List[Value]
+    dst: Optional[VReg] = None
+
+    def uses(self) -> List[Value]:
+        return list(self.args)
+
+    def defs(self) -> List[VReg]:
+        return [self.dst] if self.dst is not None else []
+
+    def replace_uses(self, mapping) -> None:
+        self.args = [_subst(arg, mapping) for arg in self.args]
+
+    def __str__(self) -> str:
+        args = ", ".join(str(arg) for arg in self.args)
+        prefix = f"{self.dst} = " if self.dst is not None else ""
+        return f"{prefix}call {self.callee}({args})"
+
+
+@dataclass
+class Br(Instr):
+    target: str
+
+    def replace_uses(self, mapping) -> None:
+        pass
+
+    def __str__(self) -> str:
+        return f"br {self.target}"
+
+
+@dataclass
+class CondBr(Instr):
+    cond: Value
+    if_true: str
+    if_false: str
+
+    def uses(self) -> List[Value]:
+        return [self.cond]
+
+    def replace_uses(self, mapping) -> None:
+        self.cond = _subst(self.cond, mapping)
+
+    def __str__(self) -> str:
+        return f"br {self.cond} ? {self.if_true} : {self.if_false}"
+
+
+@dataclass
+class Ret(Instr):
+    value: Optional[Value] = None
+
+    def uses(self) -> List[Value]:
+        return [self.value] if self.value is not None else []
+
+    def replace_uses(self, mapping) -> None:
+        self.value = _subst(self.value, mapping)
+
+    def __str__(self) -> str:
+        return f"ret {self.value}" if self.value is not None else "ret"

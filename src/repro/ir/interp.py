@@ -1,0 +1,196 @@
+"""IR interpreter — the toolchain's golden model.
+
+Executes a module with the same observable semantics the machine
+backends must implement: 32-bit two's-complement arithmetic, a flat
+word-addressed memory holding the globals (laid out exactly as
+``Module.layout_globals``), and a downward-growing stack for ``alloca``.
+
+Both the EPIC core and the SA-110 baseline are validated against this
+interpreter on every workload.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import IRError, SimulationError
+from repro.ir.instructions import (
+    Alloca, BinOp, Br, Call, Cmp, CondBr, Copy, Load, Ret, Store,
+)
+from repro.ir.module import Module
+from repro.ir.values import Const, Sym, Value, VReg
+from repro.isa.semantics import ALU_SEMANTICS, CMP_SEMANTICS, to_signed
+
+_BIN_TO_SEM = {
+    "add": "ADD", "sub": "SUB", "mul": "MUL", "div": "DIV", "rem": "REM",
+    "and": "AND", "or": "OR", "xor": "XOR",
+    "shl": "SHL", "shr": "SHR", "shra": "SHRA",
+}
+_CMP_TO_SEM = {
+    "eq": "CMPP_EQ", "ne": "CMPP_NE", "lt": "CMPP_LT", "le": "CMPP_LE",
+    "gt": "CMPP_GT", "ge": "CMPP_GE", "ult": "CMPP_ULT", "uge": "CMPP_UGE",
+}
+
+
+class Interpreter:
+    """Executes IR functions over a shared memory image."""
+
+    def __init__(self, module: Module, mem_words: int = 1 << 16,
+                 width: int = 32):
+        self.module = module
+        self.width = width
+        self.mask = (1 << width) - 1
+        self.addresses = module.layout_globals()
+        image = module.data_image(self.mask)
+        if len(image) > mem_words:
+            raise SimulationError(
+                f"globals ({len(image)} words) exceed memory "
+                f"({mem_words} words)"
+            )
+        self.memory: List[int] = image + [0] * (mem_words - len(image))
+        self._stack_pointer = mem_words
+        self.steps = 0
+        self.max_steps = 500_000_000
+        #: Optional execution profile: (function, block, instr index) ->
+        #: dynamic execution count.  Enable by assigning a Counter-like
+        #: mapping before running; used by repro.explore.custominsn.
+        self.profile = None
+
+    # -- memory ------------------------------------------------------------
+
+    def read(self, address: int, speculative: bool = False) -> int:
+        if not 0 <= address < len(self.memory):
+            if speculative:
+                return 0
+            raise SimulationError(f"IR load from invalid address {address}")
+        return self.memory[address]
+
+    def write(self, address: int, value: int) -> None:
+        if not 0 <= address < len(self.memory):
+            raise SimulationError(f"IR store to invalid address {address}")
+        self.memory[address] = value & self.mask
+
+    def read_global(self, name: str) -> List[int]:
+        array = self.module.globals[name]
+        base = self.addresses[name]
+        return self.memory[base:base + array.size]
+
+    def write_global(self, name: str, values: Sequence[int]) -> None:
+        array = self.module.globals[name]
+        if len(values) > array.size:
+            raise SimulationError(f"image larger than global {name!r}")
+        base = self.addresses[name]
+        for offset, value in enumerate(values):
+            self.memory[base + offset] = value & self.mask
+
+    # -- execution -----------------------------------------------------------
+
+    def _eval(self, env: Dict[VReg, int], value: Value) -> int:
+        if isinstance(value, Const):
+            return value.value & self.mask
+        if isinstance(value, Sym):
+            if value.name not in self.addresses:
+                raise IRError(f"undefined global {value.name!r}")
+            return (self.addresses[value.name] + value.offset) & self.mask
+        try:
+            return env[value]
+        except KeyError:
+            raise IRError(f"read of undefined register {value}") from None
+
+    def call(self, name: str, args: Sequence[int] = ()) -> Optional[int]:
+        """Call a function by name with integer arguments."""
+        try:
+            function = self.module.functions[name]
+        except KeyError:
+            raise IRError(f"undefined function {name!r}") from None
+        if len(args) != len(function.params):
+            raise IRError(
+                f"{name} expects {len(function.params)} args, got {len(args)}"
+            )
+        env: Dict[VReg, int] = {
+            param: value & self.mask
+            for param, value in zip(function.params, args)
+        }
+        frame_base = self._stack_pointer
+        blocks = {block.name: block for block in function.blocks}
+        block = function.entry
+        width = self.width
+
+        profile = self.profile
+        while True:
+            next_block: Optional[str] = None
+            for index, instr in enumerate(block.instrs):
+                if profile is not None:
+                    profile[(function.name, block.name, index)] += 1
+                self.steps += 1
+                if self.steps > self.max_steps:
+                    raise SimulationError("IR interpreter step budget exhausted")
+                if isinstance(instr, BinOp):
+                    a = self._eval(env, instr.a)
+                    b = self._eval(env, instr.b)
+                    env[instr.dst] = ALU_SEMANTICS[_BIN_TO_SEM[instr.op]](
+                        a, b, width
+                    )
+                elif isinstance(instr, Cmp):
+                    a = self._eval(env, instr.a)
+                    b = self._eval(env, instr.b)
+                    env[instr.dst] = CMP_SEMANTICS[_CMP_TO_SEM[instr.op]](
+                        a, b, width
+                    )
+                elif isinstance(instr, Copy):
+                    env[instr.dst] = self._eval(env, instr.src)
+                elif isinstance(instr, Load):
+                    address = to_signed(
+                        (self._eval(env, instr.base)
+                         + self._eval(env, instr.offset)) & self.mask,
+                        width,
+                    )
+                    env[instr.dst] = self.read(address, instr.speculative)
+                elif isinstance(instr, Store):
+                    address = to_signed(
+                        (self._eval(env, instr.base)
+                         + self._eval(env, instr.offset)) & self.mask,
+                        width,
+                    )
+                    self.write(address, self._eval(env, instr.value))
+                elif isinstance(instr, Alloca):
+                    self._stack_pointer -= instr.size
+                    if self._stack_pointer < 0:
+                        raise SimulationError("IR stack overflow")
+                    env[instr.dst] = self._stack_pointer
+                elif isinstance(instr, Call):
+                    result = self.call(
+                        instr.callee,
+                        [self._eval(env, arg) for arg in instr.args],
+                    )
+                    if instr.dst is not None:
+                        if result is None:
+                            raise IRError(
+                                f"{instr.callee} returned no value but the "
+                                "result is used"
+                            )
+                        env[instr.dst] = result
+                elif isinstance(instr, Br):
+                    next_block = instr.target
+                elif isinstance(instr, CondBr):
+                    taken = self._eval(env, instr.cond) != 0
+                    next_block = instr.if_true if taken else instr.if_false
+                elif isinstance(instr, Ret):
+                    self._stack_pointer = frame_base
+                    if instr.value is None:
+                        return None
+                    return self._eval(env, instr.value)
+                else:  # pragma: no cover - defensive
+                    raise IRError(f"interpreter cannot execute {instr}")
+            if next_block is None:
+                raise IRError(f"block {block.name!r} fell through")
+            block = blocks[next_block]
+
+
+def run_module(module: Module, entry: str = "main",
+               args: Sequence[int] = (),
+               mem_words: int = 1 << 16) -> Interpreter:
+    """Run ``entry`` and return the interpreter for state inspection."""
+    interpreter = Interpreter(module, mem_words)
+    interpreter.result = interpreter.call(entry, args)
+    return interpreter

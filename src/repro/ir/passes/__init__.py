@@ -1,0 +1,31 @@
+"""Machine-independent optimisation passes (IMPACT's role, §4.1).
+
+Given an application program, "the IMPACT module is employed to perform
+machine independent optimisations" before elcor schedules the result.
+The pipeline here plays that part: constant folding with algebraic
+simplification and strength reduction, local copy propagation, local
+common-subexpression elimination (including redundant-load elimination),
+dead-code elimination and control-flow simplification, iterated to a
+fixpoint.  Loop unrolling — the main ILP-exposing transformation — is
+performed at the MiniC AST level (:mod:`repro.lang.unroll`) before
+lowering.
+"""
+
+from repro.ir.passes.constfold import fold_constants
+from repro.ir.passes.constloads import fold_const_loads
+from repro.ir.passes.copyprop import propagate_copies
+from repro.ir.passes.cse import eliminate_common_subexpressions
+from repro.ir.passes.dce import eliminate_dead_code
+from repro.ir.passes.simplifycfg import simplify_cfg
+from repro.ir.passes.pipeline import optimize_module, optimize_function
+
+__all__ = [
+    "fold_constants",
+    "fold_const_loads",
+    "propagate_copies",
+    "eliminate_common_subexpressions",
+    "eliminate_dead_code",
+    "simplify_cfg",
+    "optimize_module",
+    "optimize_function",
+]

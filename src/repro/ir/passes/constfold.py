@@ -1,0 +1,91 @@
+"""Constant folding, algebraic simplification and strength reduction."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SimulationError
+from repro.ir.instructions import BinOp, Cmp, Copy, Instr
+from repro.ir.module import Function
+from repro.ir.values import Const, Value
+from repro.isa.semantics import ALU_SEMANTICS, CMP_SEMANTICS, to_signed
+
+_BIN_TO_SEM = {
+    "add": "ADD", "sub": "SUB", "mul": "MUL", "div": "DIV", "rem": "REM",
+    "and": "AND", "or": "OR", "xor": "XOR",
+    "shl": "SHL", "shr": "SHR", "shra": "SHRA",
+}
+_CMP_TO_SEM = {
+    "eq": "CMPP_EQ", "ne": "CMPP_NE", "lt": "CMPP_LT", "le": "CMPP_LE",
+    "gt": "CMPP_GT", "ge": "CMPP_GE", "ult": "CMPP_ULT", "uge": "CMPP_UGE",
+}
+_WIDTH = 32
+_MASK = 0xFFFFFFFF
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and value & (value - 1) == 0
+
+
+def _fold_binop(instr: BinOp) -> Optional[Instr]:
+    a, b = instr.a, instr.b
+    a_const = a.value & _MASK if isinstance(a, Const) else None
+    b_const = b.value & _MASK if isinstance(b, Const) else None
+
+    if a_const is not None and b_const is not None:
+        try:
+            value = ALU_SEMANTICS[_BIN_TO_SEM[instr.op]](a_const, b_const, _WIDTH)
+        except SimulationError:
+            return None  # division by zero: leave it to trap at run time
+        return Copy(instr.dst, Const(to_signed(value, _WIDTH)))
+
+    op = instr.op
+    # Identity elements.
+    if b_const == 0 and op in ("add", "sub", "or", "xor", "shl", "shr", "shra"):
+        return Copy(instr.dst, a)
+    if a_const == 0 and op in ("add", "or", "xor"):
+        return Copy(instr.dst, b)
+    if b_const == 1 and op in ("mul", "div"):
+        return Copy(instr.dst, a)
+    if a_const == 1 and op == "mul":
+        return Copy(instr.dst, b)
+    # Annihilators (operands are pure values, so dropping them is safe).
+    if 0 in (a_const, b_const) and op == "and":
+        return Copy(instr.dst, Const(0))
+    if b_const == 0 and op == "mul" or a_const == 0 and op == "mul":
+        return Copy(instr.dst, Const(0))
+    if b_const == 1 and op == "rem":
+        return Copy(instr.dst, Const(0))
+    if b_const == _MASK and op == "and":
+        return Copy(instr.dst, a)
+    # Strength reduction: multiply by a power of two becomes a shift.
+    if op == "mul" and b_const is not None and _is_power_of_two(b_const):
+        return BinOp("shl", instr.dst, a, Const(b_const.bit_length() - 1))
+    if op == "mul" and a_const is not None and _is_power_of_two(a_const):
+        return BinOp("shl", instr.dst, b, Const(a_const.bit_length() - 1))
+    return None
+
+
+def _fold_cmp(instr: Cmp) -> Optional[Instr]:
+    if isinstance(instr.a, Const) and isinstance(instr.b, Const):
+        value = CMP_SEMANTICS[_CMP_TO_SEM[instr.op]](
+            instr.a.value & _MASK, instr.b.value & _MASK, _WIDTH
+        )
+        return Copy(instr.dst, Const(value))
+    return None
+
+
+def fold_constants(function: Function) -> int:
+    """Fold constants in place; returns the number of rewrites."""
+    rewrites = 0
+    for block in function.blocks:
+        for index, instr in enumerate(block.instrs):
+            replacement = None
+            if isinstance(instr, BinOp):
+                replacement = _fold_binop(instr)
+            elif isinstance(instr, Cmp):
+                replacement = _fold_cmp(instr)
+            if replacement is not None:
+                block.instrs[index] = replacement
+                rewrites += 1
+    return rewrites

@@ -1,0 +1,44 @@
+"""Folding of loads from immutable globals at constant offsets.
+
+A ``const`` MiniC table (S-boxes, cosine bases, round constants) whose
+index becomes a compile-time constant — typically after loop unrolling —
+turns into an immediate, removing the load entirely.  On the EPIC core
+this relieves the single load/store unit, which is what lets the
+multiply-rich kernels scale with ALU count (the paper's DCT behaviour);
+on a table-driven workload like AES the indices are data-dependent, the
+loads stay, and adding ALUs does not help — also exactly the paper's
+observation (§5.2).
+"""
+
+from __future__ import annotations
+
+from repro.ir.instructions import Copy, Load
+from repro.ir.module import Function, Module
+from repro.ir.values import Const, Sym
+from repro.isa.semantics import to_signed
+
+
+def fold_const_loads(function: Function, module: Module) -> int:
+    """Rewrite foldable loads in place; returns the number folded."""
+    rewrites = 0
+    for block in function.blocks:
+        for index, instr in enumerate(block.instrs):
+            if not isinstance(instr, Load) or instr.speculative:
+                continue
+            base, offset = instr.base, instr.offset
+            if isinstance(base, Const) and isinstance(offset, Sym):
+                base, offset = offset, base
+            if not (isinstance(base, Sym) and isinstance(offset, Const)):
+                continue
+            array = module.globals.get(base.name)
+            if array is None or not array.immutable:
+                continue
+            word = base.offset + offset.value
+            if not 0 <= word < array.size:
+                continue  # out of range: leave it to fault at run time
+            value = array.init[word] if word < len(array.init) else 0
+            block.instrs[index] = Copy(
+                instr.dst, Const(to_signed(value, 32))
+            )
+            rewrites += 1
+    return rewrites

@@ -1,0 +1,47 @@
+"""Local copy propagation.
+
+Within each block, uses of a register that currently holds a copy of
+another value are rewritten to use the source directly.  Copies of both
+registers and constants propagate; a mapping entry dies when either side
+is redefined.  (The front-end emits all expression temporaries in-block,
+so local propagation catches essentially everything; the global cases
+are handled by later CSE/DCE iterations.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.ir.instructions import Copy, Instr
+from repro.ir.module import Function
+from repro.ir.values import Const, Value, VReg
+
+
+def propagate_copies(function: Function) -> int:
+    rewrites = 0
+    for block in function.blocks:
+        available: Dict[VReg, Value] = {}
+        for instr in block.instrs:
+            # Rewrite uses through the available copies (chase one level;
+            # chains resolve over pipeline iterations).
+            mapping = {
+                reg: value for reg, value in available.items()
+                if any(use == reg for use in instr.uses())
+            }
+            if mapping:
+                instr.replace_uses(mapping)
+                rewrites += len(mapping)
+
+            # Kill mappings invalidated by this instruction's definitions.
+            for defined in instr.defs():
+                available.pop(defined, None)
+                dead = [
+                    reg for reg, value in available.items() if value == defined
+                ]
+                for reg in dead:
+                    del available[reg]
+
+            if isinstance(instr, Copy) and isinstance(instr.src, (VReg, Const)):
+                if instr.src != instr.dst:
+                    available[instr.dst] = instr.src
+    return rewrites

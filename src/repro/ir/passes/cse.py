@@ -1,0 +1,79 @@
+"""Local common-subexpression, redundant-load elimination and
+store-to-load forwarding.
+
+Within a block, a pure expression computed twice with identical operands
+is replaced by a copy of the first result, provided no operand was
+redefined in between.  Loads participate too: a load from [base+offset]
+repeats a previous load — or picks up the value of a previous store —
+with the same address expression, as long as no *other* store or call
+intervened.  The memory model is conservative: any store or call kills
+all remembered loads (except the mapping created by the store itself,
+which is exact).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.ir.instructions import BinOp, Call, Cmp, Copy, Load, Store
+from repro.ir.module import Function
+from repro.ir.values import Const, Value, VReg
+
+
+def _key_of(instr) -> Tuple:
+    if isinstance(instr, BinOp):
+        # Commutative operators get a canonical operand order.
+        a, b = instr.a, instr.b
+        if instr.op in ("add", "mul", "and", "or", "xor"):
+            a, b = sorted((a, b), key=str)
+        return ("bin", instr.op, a, b)
+    if isinstance(instr, Cmp):
+        return ("cmp", instr.op, instr.a, instr.b)
+    if isinstance(instr, Load) and not instr.speculative:
+        return ("load", instr.base, instr.offset)
+    return ()
+
+
+def eliminate_common_subexpressions(function: Function) -> int:
+    rewrites = 0
+    for block in function.blocks:
+        available: Dict[Tuple, Value] = {}
+        for index, instr in enumerate(block.instrs):
+            if isinstance(instr, (Store, Call)):
+                # Conservative: memory changed; all remembered loads die.
+                available = {
+                    key: value for key, value in available.items()
+                    if key[0] != "load"
+                }
+
+            key = _key_of(instr)
+            if key and key in available:
+                block.instrs[index] = Copy(instr.defs()[0], available[key])
+                rewrites += 1
+                instr = block.instrs[index]
+
+            # Kill expressions whose operands this instruction redefines.
+            defined = set(instr.defs())
+            if defined:
+                dead: List[Tuple] = []
+                for expr_key, result in available.items():
+                    operands = [
+                        value for value in expr_key[1:]
+                        if isinstance(value, VReg)
+                    ]
+                    if (isinstance(result, VReg) and result in defined) or any(
+                        operand in defined for operand in operands
+                    ):
+                        dead.append(expr_key)
+                for expr_key in dead:
+                    del available[expr_key]
+
+            if key and key not in available:
+                available[key] = instr.defs()[0]
+
+            # Store-to-load forwarding: the stored value is exactly what
+            # a matching load would observe.
+            if isinstance(instr, Store) and isinstance(instr.value,
+                                                       (VReg, Const)):
+                available[("load", instr.base, instr.offset)] = instr.value
+    return rewrites

@@ -1,0 +1,49 @@
+"""Dead-code elimination.
+
+Removes instructions whose results are never used anywhere in the
+function and which have no side effects.  Iterates to a fixpoint so that
+chains of dead computations collapse.  ``Alloca`` is treated as pure —
+an unused frame allocation can be dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.ir.instructions import Load
+from repro.ir.module import Function
+from repro.ir.values import VReg
+
+
+def eliminate_dead_code(function: Function) -> int:
+    removed_total = 0
+    while True:
+        used: Set[VReg] = set()
+        for instr in function.instructions():
+            for value in instr.uses():
+                if isinstance(value, VReg):
+                    used.add(value)
+
+        removed = 0
+        for block in function.blocks:
+            kept = []
+            for instr in block.instrs:
+                defs = instr.defs()
+                is_dead = (
+                    defs
+                    and not instr.has_side_effects
+                    and not instr.is_terminator
+                    and all(reg not in used for reg in defs)
+                )
+                # A dead non-speculative load could still fault; removing
+                # it is the usual compiler licence (the address was
+                # computed by well-defined source), and it keeps parity
+                # with what IMPACT-style dead-code removal does.
+                if is_dead:
+                    removed += 1
+                else:
+                    kept.append(instr)
+            block.instrs = kept
+        removed_total += removed
+        if removed == 0:
+            return removed_total

@@ -1,0 +1,45 @@
+"""The standard optimisation pipeline, iterated to a fixpoint."""
+
+from __future__ import annotations
+
+from repro.ir.module import Function, Module
+from repro.ir.passes.constfold import fold_constants
+from repro.ir.passes.constloads import fold_const_loads
+from repro.ir.passes.copyprop import propagate_copies
+from repro.ir.passes.cse import eliminate_common_subexpressions
+from repro.ir.passes.dce import eliminate_dead_code
+from repro.ir.passes.simplifycfg import simplify_cfg
+from repro.ir.verify import verify_function, verify_module
+
+_MAX_ITERATIONS = 10
+
+
+def optimize_function(function: Function, verify: bool = False,
+                      module: Module = None) -> int:
+    """Optimise one function in place; returns total rewrites."""
+    total = 0
+    for _ in range(_MAX_ITERATIONS):
+        changed = 0
+        changed += fold_constants(function)
+        if module is not None:
+            changed += fold_const_loads(function, module)
+        changed += propagate_copies(function)
+        changed += eliminate_common_subexpressions(function)
+        changed += eliminate_dead_code(function)
+        changed += simplify_cfg(function)
+        if verify:
+            verify_function(function)
+        total += changed
+        if changed == 0:
+            break
+    return total
+
+
+def optimize_module(module: Module, verify: bool = True) -> int:
+    """Optimise every function; verifies the module afterwards."""
+    total = 0
+    for function in module.functions.values():
+        total += optimize_function(function, module=module)
+    if verify:
+        verify_module(module)
+    return total

@@ -1,0 +1,101 @@
+"""Control-flow simplification.
+
+* constant-condition branches become unconditional;
+* branches with identical arms become unconditional;
+* jump threading: a branch to a block containing only ``br X`` is
+  retargeted to ``X``;
+* unreachable blocks are deleted;
+* a block with a unique successor whose successor has a unique
+  predecessor is merged into it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.ir.instructions import Br, CondBr, Instr, Ret
+from repro.ir.module import Block, Function
+from repro.ir.values import Const
+
+
+def _thread_target(function: Function, name: str, limit: int = 8) -> str:
+    """Follow chains of trivial forwarding blocks."""
+    seen = set()
+    for _ in range(limit):
+        block = function.block(name)
+        if len(block.instrs) == 1 and isinstance(block.instrs[0], Br):
+            target = block.instrs[0].target
+            if target == name or target in seen:
+                return name  # self loop or cycle of empties: leave it
+            seen.add(name)
+            name = target
+        else:
+            return name
+    return name
+
+
+def simplify_cfg(function: Function) -> int:
+    changes = 0
+
+    # Fold constant and degenerate conditional branches; thread jumps.
+    for block in function.blocks:
+        term = block.terminator
+        if isinstance(term, CondBr):
+            if isinstance(term.cond, Const):
+                target = term.if_true if term.cond.value != 0 else term.if_false
+                block.instrs[-1] = Br(target)
+                changes += 1
+            elif term.if_true == term.if_false:
+                block.instrs[-1] = Br(term.if_true)
+                changes += 1
+        term = block.terminator
+        if isinstance(term, Br):
+            threaded = _thread_target(function, term.target)
+            if threaded != term.target:
+                term.target = threaded
+                changes += 1
+        elif isinstance(term, CondBr):
+            for attr in ("if_true", "if_false"):
+                threaded = _thread_target(function, getattr(term, attr))
+                if threaded != getattr(term, attr):
+                    setattr(term, attr, threaded)
+                    changes += 1
+
+    # Remove unreachable blocks.
+    reachable: Set[str] = set()
+    stack = [function.entry.name]
+    while stack:
+        name = stack.pop()
+        if name in reachable:
+            continue
+        reachable.add(name)
+        stack.extend(function.block(name).successors())
+    before = len(function.blocks)
+    function.blocks = [
+        block for block in function.blocks if block.name in reachable
+    ]
+    changes += before - len(function.blocks)
+
+    # Merge straight-line pairs.
+    merged = True
+    while merged:
+        merged = False
+        preds = function.predecessors()
+        for block in function.blocks:
+            term = block.terminator
+            if not isinstance(term, Br):
+                continue
+            succ_name = term.target
+            if succ_name == block.name:
+                continue
+            if len(preds[succ_name]) != 1:
+                continue
+            if succ_name == function.entry.name:
+                continue
+            successor = function.block(succ_name)
+            block.instrs = block.instrs[:-1] + successor.instrs
+            function.blocks.remove(successor)
+            changes += 1
+            merged = True
+            break
+    return changes

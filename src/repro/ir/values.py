@@ -1,0 +1,45 @@
+"""IR operand values: virtual registers, constants and symbol addresses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True)
+class VReg:
+    """A virtual register (SSA-ish: typically written once, but the IR
+    does not require it — the front-end reuses registers for mutable
+    scalars and passes do liveness analysis instead)."""
+
+    id: int
+    hint: str = ""
+
+    def __str__(self) -> str:
+        return f"%{self.hint}{self.id}" if self.hint else f"%{self.id}"
+
+
+@dataclass(frozen=True)
+class Const:
+    """A word constant (two's-complement 32-bit at the usual width)."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Sym:
+    """The address of a global array, plus a constant word offset."""
+
+    name: str
+    offset: int = 0
+
+    def __str__(self) -> str:
+        if self.offset:
+            return f"@{self.name}+{self.offset}"
+        return f"@{self.name}"
+
+
+Value = Union[VReg, Const, Sym]

@@ -1,0 +1,134 @@
+"""IR verifier: structural invariants checked between passes.
+
+Checks:
+* every block ends with exactly one terminator, and only at the end;
+* every branch target names a block of the same function;
+* every use of a virtual register is dominated by *some* definition on
+  every path from entry (conservative reaching-definitions check);
+* calls reference functions defined in the module (or known externals);
+* symbols reference declared globals;
+* the entry block has no predecessors via fallthrough assumptions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.errors import IRError
+from repro.ir.instructions import Call, Instr
+from repro.ir.module import Function, Module
+from repro.ir.values import Sym, VReg
+
+
+def _check_blocks(function: Function) -> None:
+    if not function.blocks:
+        raise IRError(f"{function.name}: function has no blocks")
+    names: Set[str] = set()
+    for block in function.blocks:
+        if block.name in names:
+            raise IRError(f"{function.name}: duplicate block {block.name!r}")
+        names.add(block.name)
+        if not block.instrs:
+            raise IRError(f"{function.name}: empty block {block.name!r}")
+        for instr in block.instrs[:-1]:
+            if instr.is_terminator:
+                raise IRError(
+                    f"{function.name}/{block.name}: terminator {instr} in "
+                    "the middle of a block"
+                )
+        if not block.instrs[-1].is_terminator:
+            raise IRError(
+                f"{function.name}/{block.name}: block does not end with a "
+                "terminator"
+            )
+    for block in function.blocks:
+        for succ in block.successors():
+            if succ not in names:
+                raise IRError(
+                    f"{function.name}/{block.name}: branch to unknown "
+                    f"block {succ!r}"
+                )
+
+
+def _check_defs_reach_uses(function: Function) -> None:
+    """Dataflow check: no path from entry can read an undefined vreg."""
+    defined_in: Dict[str, Set[VReg]] = {}
+    for block in function.blocks:
+        local: Set[VReg] = set()
+        for instr in block.instrs:
+            local.update(instr.defs())
+        defined_in[block.name] = local
+
+    preds = function.predecessors()
+    entry_name = function.entry.name
+    # "Definitely defined at block entry" via forward must-analysis.
+    live_in: Dict[str, Set[VReg]] = {
+        block.name: set() for block in function.blocks
+    }
+    all_defs: Set[VReg] = set(function.params)
+    for block in function.blocks:
+        all_defs |= defined_in[block.name]
+    for name in live_in:
+        live_in[name] = set(all_defs)
+    live_in[entry_name] = set(function.params)
+
+    changed = True
+    while changed:
+        changed = False
+        for block in function.blocks:
+            if block.name == entry_name:
+                incoming = set(function.params)
+            else:
+                sources = preds[block.name]
+                if sources:
+                    incoming = set.intersection(
+                        *(live_in[p] | defined_in[p] for p in sources)
+                    )
+                else:
+                    # Unreachable block: treat everything as defined; DCE
+                    # will remove it.
+                    incoming = set(all_defs)
+            if incoming != live_in[block.name]:
+                live_in[block.name] = incoming
+                changed = True
+
+    for block in function.blocks:
+        available = set(live_in[block.name])
+        for instr in block.instrs:
+            for value in instr.uses():
+                if isinstance(value, VReg) and value not in available:
+                    raise IRError(
+                        f"{function.name}/{block.name}: use of possibly "
+                        f"undefined register {value} in {instr}"
+                    )
+            available.update(instr.defs())
+
+
+def verify_function(function: Function, module: Module = None,
+                    externals: Set[str] = frozenset()) -> None:
+    _check_blocks(function)
+    _check_defs_reach_uses(function)
+    if module is None:
+        return
+    for instr in function.instructions():
+        if isinstance(instr, Call):
+            if instr.callee not in module.functions and \
+                    instr.callee not in externals:
+                raise IRError(
+                    f"{function.name}: call to undefined function "
+                    f"{instr.callee!r}"
+                )
+        for value in instr.uses():
+            if isinstance(value, Sym) and value.name not in module.globals:
+                raise IRError(
+                    f"{function.name}: reference to undefined global "
+                    f"{value.name!r}"
+                )
+
+
+def verify_module(module: Module, externals: Set[str] = frozenset()) -> None:
+    """Verify every function; raises :class:`IRError` on the first issue."""
+    if not module.functions:
+        raise IRError("module has no functions")
+    for function in module.functions.values():
+        verify_function(function, module, externals)

@@ -1,0 +1,47 @@
+"""Instruction-set architecture of the customisable EPIC processor.
+
+The ISA is "a proper subset of operations specified in the HPL-PD
+architecture" (paper §3.1), focused on integer operations including
+multiply and divide.  Every instruction is a fixed-width word laid out as
+six fields (paper Fig. 1)::
+
+    OPCODE | DEST1 | DEST2 | SRC1 | SRC2 | PRED
+    15 bit | 6 bit | 6 bit | 16 b | 16 b | 5 bit   (64 bits, defaults)
+
+Field widths are *parametric* (paper §3.3): a configuration with more than
+64 registers automatically widens the register-index fields and therefore
+the instruction word, mirroring the paper's "provision ... for such
+adjustment".
+"""
+
+from repro.isa.opcodes import (
+    FuClass,
+    Opcode,
+    OpcodeInfo,
+    OpcodeTable,
+    build_opcode_table,
+)
+from repro.isa.operands import Lit, Pred, Reg, Btr, Operand
+from repro.isa.instruction import Instruction, nop
+from repro.isa.bundle import Bundle, Program
+from repro.isa.encoding import InstructionFormat
+from repro.isa.custom import CustomOpSpec
+
+__all__ = [
+    "FuClass",
+    "Opcode",
+    "OpcodeInfo",
+    "OpcodeTable",
+    "build_opcode_table",
+    "Lit",
+    "Pred",
+    "Reg",
+    "Btr",
+    "Operand",
+    "Instruction",
+    "nop",
+    "Bundle",
+    "Program",
+    "InstructionFormat",
+    "CustomOpSpec",
+]

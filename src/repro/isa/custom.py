@@ -1,0 +1,59 @@
+"""Custom instructions (paper §3.3).
+
+"There are mainly two ways to customise the EPIC processor, by creation
+of customisable instructions or by the variation of its parameters ...
+inclusion or exclusion of a custom instruction only requires
+modifications of the concerned functional unit."
+
+A :class:`CustomOpSpec` bundles everything the toolchain needs: the
+mnemonic (which the assembler picks up from the configuration without
+being recompiled, §4.2), the functional unit that hosts it, its latency,
+its combinational semantics, and its FPGA area cost for the resource
+model.  Custom operations are pure functions of their two source operands
+— the shape §3.3 describes (e.g. replacing "a group of frequently-used
+instructions" with one fused operation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CustomOpSpec:
+    """Specification of one application-specific instruction."""
+
+    mnemonic: str
+    #: Combinational semantics: (src1, src2, datapath_mask) -> result.
+    func: Callable[[int, int, int], int]
+    #: Hosting functional unit; only "alu" custom ops are currently
+    #: supported (they occupy an ALU slot and issue like ALU ops).
+    fu_class: str = "alu"
+    #: Execution latency in processor cycles.
+    latency: int = 1
+    #: Estimated Virtex-II slice cost of the added datapath logic, fed to
+    #: the FPGA resource model (paper §5.1 style accounting).
+    slices: int = 150
+    description: str = ""
+
+    #: Opcode-table hook: custom latencies are resolved from the spec.
+    latency_class: str = "custom"
+
+    def __post_init__(self) -> None:
+        if not self.mnemonic or not self.mnemonic.isidentifier():
+            raise ConfigError(f"invalid custom mnemonic {self.mnemonic!r}")
+        if self.mnemonic != self.mnemonic.upper():
+            raise ConfigError("custom mnemonics must be upper-case")
+        if self.fu_class != "alu":
+            raise ConfigError("only ALU-class custom instructions are supported")
+        if self.latency < 1:
+            raise ConfigError("custom op latency must be >= 1")
+        if self.slices < 0:
+            raise ConfigError("custom op slice cost must be >= 0")
+
+    def evaluate(self, a: int, b: int, mask: int) -> int:
+        """Run the semantics and clamp the result to the datapath width."""
+        return self.func(a, b, mask) & mask

@@ -1,0 +1,301 @@
+"""Parametric binary instruction format (paper Fig. 1 and §3.3).
+
+Default layout, MSB first (the design "adopts a big-endian architecture"):
+
+    OPCODE(15) | DEST1(6) | DEST2(6) | SRC1(16) | SRC2(16) | PRED(5) = 64
+
+Each SRC field carries a tag bit (MSB of the field): 0 = register index,
+1 = literal, with the remaining bits holding a sign-extended literal or a
+register number.  The paper notes that the pre-defined format assumes
+ranges for the parameters ("as 6 bits are allocated to index a register,
+the maximum number of registers is assumed to be 64. Exceeding this limit
+requires a re-design of the instruction format ... provision has been
+made for such adjustment, with the instruction width and the width of
+each individual field made parameterisable").  :class:`InstructionFormat`
+implements exactly that provision: field widths grow automatically when a
+configuration exceeds the default ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.config import MachineConfig
+from repro.errors import EncodingError
+from repro.isa import signatures as sig
+from repro.isa.bundle import Bundle, Program
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OpcodeTable, build_opcode_table
+from repro.isa.operands import Btr, Lit, Operand, Pred, Reg
+
+_DEFAULT_OPCODE_BITS = 15
+_DEFAULT_DEST_BITS = 6
+_DEFAULT_SRC_BITS = 16
+_DEFAULT_PRED_BITS = 5
+
+
+def _bits_for(count: int) -> int:
+    """Bits needed to index ``count`` distinct values (at least 1)."""
+    if count <= 1:
+        return 1
+    return (count - 1).bit_length()
+
+
+def _sign_extend(value: int, bits: int) -> int:
+    mask = (1 << bits) - 1
+    value &= mask
+    if value & (1 << (bits - 1)):
+        value -= 1 << bits
+    return value
+
+
+@dataclass(frozen=True)
+class _Layout:
+    opcode_bits: int
+    dest_bits: int
+    src_bits: int
+    pred_bits: int
+
+    @property
+    def total_bits(self) -> int:
+        return (
+            self.opcode_bits
+            + 2 * self.dest_bits
+            + 2 * self.src_bits
+            + self.pred_bits
+        )
+
+
+class InstructionFormat:
+    """Encoder/decoder for one machine configuration."""
+
+    def __init__(self, config: MachineConfig, table: Optional[OpcodeTable] = None):
+        self.config = config
+        self.table = table if table is not None else build_opcode_table(config)
+        self.layout = self._derive_layout()
+
+    # -- layout ---------------------------------------------------------
+
+    def _derive_layout(self) -> _Layout:
+        config = self.config
+        reg_bits = max(
+            _bits_for(config.regs_per_instruction),
+            _bits_for(config.n_gprs),
+            _bits_for(config.n_preds),
+            _bits_for(config.n_btrs),
+        )
+        opcode_bits = max(_DEFAULT_OPCODE_BITS, _bits_for(self.table.max_code + 1))
+        dest_bits = max(_DEFAULT_DEST_BITS, reg_bits)
+        src_bits = max(_DEFAULT_SRC_BITS, reg_bits + 1)
+        pred_bits = max(_DEFAULT_PRED_BITS, _bits_for(config.n_preds))
+        return _Layout(opcode_bits, dest_bits, src_bits, pred_bits)
+
+    @property
+    def instruction_bits(self) -> int:
+        """Width of one encoded instruction (64 at paper defaults)."""
+        return self.layout.total_bits
+
+    @property
+    def literal_bits(self) -> int:
+        """Signed literal width of a tagged SRC field (15 at defaults)."""
+        return self.layout.src_bits - 1
+
+    @property
+    def long_literal_bits(self) -> int:
+        """Width of MOVI's concatenated SRC1||SRC2 literal (32 default)."""
+        return 2 * self.layout.src_bits
+
+    def literal_fits(self, value: int) -> bool:
+        bits = self.literal_bits
+        return -(1 << (bits - 1)) <= value < (1 << (bits - 1))
+
+    def long_literal_fits(self, value: int) -> bool:
+        bits = self.long_literal_bits
+        return -(1 << (bits - 1)) <= value < (1 << bits)
+
+    # -- field encoding ---------------------------------------------------
+
+    def _encode_dest(self, kind: Optional[str], op: Optional[Operand]) -> int:
+        if kind is None:
+            if op is not None:
+                raise EncodingError(f"unexpected destination operand {op}")
+            return 0
+        if op is None:
+            return 0  # "no destination" convention (e.g. CMPP single dest)
+        limits = {
+            sig.GPR: (Reg, self.config.n_gprs),
+            sig.PRD: (Pred, self.config.n_preds),
+            sig.BTR: (Btr, self.config.n_btrs),
+        }
+        expected, limit = limits[kind]
+        if not isinstance(op, expected):
+            raise EncodingError(f"expected {kind} destination, got {op}")
+        if not 0 <= op.index < limit:
+            raise EncodingError(f"{kind} index {op.index} out of range 0..{limit - 1}")
+        if op.index >= (1 << self.layout.dest_bits):
+            raise EncodingError(f"destination {op} does not fit the field width")
+        return op.index
+
+    def _encode_src(self, kind: Optional[str], op: Optional[Operand]) -> int:
+        if kind is None:
+            if op is not None:
+                raise EncodingError(f"unexpected source operand {op}")
+            return 0
+        if op is None:
+            raise EncodingError(f"missing {kind} source operand")
+        payload_bits = self.layout.src_bits - 1
+        tag = 1 << payload_bits
+        if isinstance(op, Lit):
+            if kind not in (sig.FLEX, sig.LIT):
+                raise EncodingError(f"literal not allowed in a {kind} field")
+            if not self.literal_fits(op.value):
+                raise EncodingError(
+                    f"literal {op.value} does not fit {payload_bits}-bit signed field"
+                )
+            return tag | (op.value & (tag - 1))
+        if kind == sig.LIT:
+            raise EncodingError(f"expected a literal, got {op}")
+        expected = {sig.FLEX: Reg, sig.GPR: Reg, sig.PRD: Pred, sig.BTR: Btr}[kind]
+        if not isinstance(op, expected):
+            raise EncodingError(f"expected {kind} source, got {op}")
+        limit = {
+            Reg: self.config.n_gprs,
+            Pred: self.config.n_preds,
+            Btr: self.config.n_btrs,
+        }[expected]
+        if not 0 <= op.index < limit:
+            raise EncodingError(f"{kind} index {op.index} out of range 0..{limit - 1}")
+        return op.index
+
+    # -- instruction encode/decode ---------------------------------------
+
+    def encode(self, instr: Instruction) -> int:
+        """Encode one instruction into an ``instruction_bits``-wide word."""
+        info = self.table.lookup(instr.mnemonic)
+        signature = sig.signature_of(info)
+        layout = self.layout
+
+        if not 0 <= instr.guard.index < self.config.n_preds:
+            raise EncodingError(f"guard {instr.guard} out of range")
+
+        word = info.code
+        word = (word << layout.dest_bits) | self._encode_dest(signature.dest1, instr.dest1)
+        word = (word << layout.dest_bits) | self._encode_dest(signature.dest2, instr.dest2)
+
+        if signature.src1 == sig.LONG:
+            if not isinstance(instr.src1, Lit):
+                raise EncodingError("MOVI requires a literal source")
+            if instr.src2 is not None:
+                raise EncodingError("MOVI takes a single long literal")
+            bits = self.long_literal_bits
+            if not self.long_literal_fits(instr.src1.value):
+                raise EncodingError(
+                    f"long literal {instr.src1.value} does not fit {bits} bits"
+                )
+            word = (word << bits) | (instr.src1.value & ((1 << bits) - 1))
+        else:
+            word = (word << layout.src_bits) | self._encode_src(signature.src1, instr.src1)
+            word = (word << layout.src_bits) | self._encode_src(signature.src2, instr.src2)
+
+        word = (word << layout.pred_bits) | instr.guard.index
+        return word
+
+    def _decode_dest(self, kind: Optional[str], raw: int) -> Optional[Operand]:
+        if kind is None:
+            return None
+        return {sig.GPR: Reg, sig.PRD: Pred, sig.BTR: Btr}[kind](raw)
+
+    def _decode_src(self, kind: Optional[str], raw: int) -> Optional[Operand]:
+        if kind is None:
+            return None
+        payload_bits = self.layout.src_bits - 1
+        tag = raw >> payload_bits
+        payload = raw & ((1 << payload_bits) - 1)
+        if tag:
+            return Lit(_sign_extend(payload, payload_bits))
+        if kind == sig.LIT:
+            # PBR targets are always literals; a clear tag bit with
+            # payload zero is the canonical "absent" encoding.
+            return Lit(payload)
+        return {sig.FLEX: Reg, sig.GPR: Reg, sig.PRD: Pred, sig.BTR: Btr}[kind](payload)
+
+    def decode(self, word: int) -> Instruction:
+        """Decode one encoded word back into an :class:`Instruction`."""
+        layout = self.layout
+        if word < 0 or word >= (1 << layout.total_bits):
+            raise EncodingError(f"encoded word {word:#x} out of range")
+
+        pred = word & ((1 << layout.pred_bits) - 1)
+        word >>= layout.pred_bits
+        src2_raw = word & ((1 << layout.src_bits) - 1)
+        word >>= layout.src_bits
+        src1_raw = word & ((1 << layout.src_bits) - 1)
+        word >>= layout.src_bits
+        dest2_raw = word & ((1 << layout.dest_bits) - 1)
+        word >>= layout.dest_bits
+        dest1_raw = word & ((1 << layout.dest_bits) - 1)
+        word >>= layout.dest_bits
+        info = self.table.by_code(word)
+        signature = sig.signature_of(info)
+
+        if signature.src1 == sig.LONG:
+            raw = (src1_raw << layout.src_bits) | src2_raw
+            src1: Optional[Operand] = Lit(_sign_extend(raw, self.long_literal_bits))
+            src2: Optional[Operand] = None
+        else:
+            src1 = self._decode_src(signature.src1, src1_raw)
+            src2 = self._decode_src(signature.src2, src2_raw)
+
+        dest2 = self._decode_dest(signature.dest2, dest2_raw)
+        # CMPP's "discard" second destination round-trips as p0.
+        return Instruction(
+            mnemonic=info.mnemonic,
+            dest1=self._decode_dest(signature.dest1, dest1_raw),
+            dest2=dest2,
+            src1=src1,
+            src2=src2,
+            guard=Pred(pred),
+        )
+
+    # -- whole-program encode/decode --------------------------------------
+
+    def encode_program(self, program: Program) -> List[int]:
+        """Encode a program as a flat list of instruction words.
+
+        Bundles are padded to the issue width first, so the image layout
+        matches the fetch hardware: ``issue_width`` consecutive words per
+        cycle (256 bits at paper defaults, §3.2).
+        """
+        words: List[int] = []
+        for bundle in program.bundles:
+            for instr in bundle.padded(self.config.issue_width):
+                words.append(self.encode(instr))
+        return words
+
+    def decode_program(self, words: List[int]) -> List[Bundle]:
+        """Decode a flat word image back into issue-width bundles."""
+        width = self.config.issue_width
+        if len(words) % width != 0:
+            raise EncodingError(
+                f"image length {len(words)} is not a multiple of issue width {width}"
+            )
+        bundles = []
+        for base in range(0, len(words), width):
+            slots = tuple(self.decode(word) for word in words[base:base + width])
+            bundles.append(Bundle(slots))
+        return bundles
+
+    def to_bytes(self, words: List[int]) -> bytes:
+        """Serialise instruction words big-endian (paper §3.1)."""
+        width_bytes = (self.instruction_bits + 7) // 8
+        return b"".join(word.to_bytes(width_bytes, "big") for word in words)
+
+    def from_bytes(self, blob: bytes) -> List[int]:
+        width_bytes = (self.instruction_bits + 7) // 8
+        if len(blob) % width_bytes != 0:
+            raise EncodingError("byte image is not a whole number of instructions")
+        return [
+            int.from_bytes(blob[i:i + width_bytes], "big")
+            for i in range(0, len(blob), width_bytes)
+        ]

@@ -1,0 +1,87 @@
+"""The :class:`Instruction` record shared by assembler, compiler and core.
+
+An instruction is a mnemonic plus up to two destinations, two sources and
+a guard predicate — a direct mirror of the six-field format of paper
+Fig. 1.  Field interpretation is opcode-dependent:
+
+===========  =======================  =======================  ==========
+opcode       DEST1 / DEST2            SRC1 / SRC2              PRED
+===========  =======================  =======================  ==========
+ALU ops      GPR / unused             GPR or literal           guard
+MOVI         GPR / unused             one full-width literal   guard
+CMPP_*       predicate / predicate    GPR or literal           guard
+LW, LWS      GPR / unused             base GPR, offset         guard
+SW           GPR (value) / unused     base GPR, offset         guard
+PBR          BTR / unused             literal target           guard
+MOVGBP       BTR / unused             GPR                      guard
+BR           unused                   BTR / unused             guard
+BRCT/BRCF    unused                   BTR / condition pred     guard
+BRL          GPR (link) / unused      BTR / unused             guard
+===========  =======================  =======================  ==========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.isa.operands import Btr, Lit, Operand, Pred, Reg, PRED_TRUE
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One EPIC operation; immutable so bundles can be shared freely."""
+
+    mnemonic: str
+    dest1: Optional[Operand] = None
+    dest2: Optional[Operand] = None
+    src1: Optional[Operand] = None
+    src2: Optional[Operand] = None
+    guard: Pred = Pred(PRED_TRUE)
+    #: Optional label this instruction's SRC1 literal refers to; resolved
+    #: by the assembler before encoding (kept for disassembly/round-trip).
+    target_label: Optional[str] = None
+
+    def operands(self) -> Tuple[Optional[Operand], ...]:
+        return (self.dest1, self.dest2, self.src1, self.src2)
+
+    @property
+    def is_nop(self) -> bool:
+        return self.mnemonic == "NOP"
+
+    def __str__(self) -> str:
+        parts = [self.mnemonic]
+        ops = [str(op) for op in (self.dest1, self.dest2) if op is not None]
+        srcs = []
+        for op in (self.src1, self.src2):
+            if op is None:
+                continue
+            if isinstance(op, Lit) and self.target_label:
+                srcs.append(self.target_label)
+            else:
+                srcs.append(str(op))
+        rendered = ", ".join(ops + srcs)
+        if rendered:
+            parts.append(rendered)
+        text = " ".join(parts)
+        if self.guard.index != PRED_TRUE:
+            text = f"({self.guard}) {text}"
+        return text
+
+
+def nop() -> Instruction:
+    """A no-op, used by the assembler to pad issue groups (paper §4.2)."""
+    return Instruction("NOP")
+
+
+def guarded(instr: Instruction, pred: Pred) -> Instruction:
+    """Return ``instr`` guarded by ``pred`` (if-conversion helper)."""
+    return Instruction(
+        mnemonic=instr.mnemonic,
+        dest1=instr.dest1,
+        dest2=instr.dest2,
+        src1=instr.src1,
+        src2=instr.src2,
+        guard=pred,
+        target_label=instr.target_label,
+    )

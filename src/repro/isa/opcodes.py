@@ -1,0 +1,278 @@
+"""Opcode definitions for the HPL-PD-subset instruction set.
+
+Opcodes are grouped by the functional unit that executes them (paper
+§3.2: a collection of ALUs, one load/store unit, one comparison unit and
+one branch unit).  Numeric opcode values place the functional-unit class
+in the upper bits and a Gray-coded index in the lower bits, following the
+paper's remark that "the opcode has been designed to minimise the Hamming
+distance between two instructions of the same type" (§3.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.config import AluFeature, MachineConfig
+from repro.errors import EncodingError
+
+
+class FuClass(enum.Enum):
+    """Functional-unit classes of the datapath (paper Fig. 2)."""
+
+    ALU = "alu"
+    LSU = "lsu"
+    CMPU = "cmpu"
+    BRU = "bru"
+    MISC = "misc"  # NOP / HALT, executed by the issue logic itself
+
+
+class Opcode(enum.Enum):
+    """Built-in operations (HPL-PD integer subset).
+
+    The value is the mnemonic; numeric encodings are assigned by
+    :func:`build_opcode_table` so that custom instructions and feature
+    exclusions (paper §3.3) can renumber without touching this enum.
+    """
+
+    # -- ALU ------------------------------------------------------------
+    ADD = "ADD"
+    SUB = "SUB"
+    MUL = "MUL"          # low word of the product (block multiplier)
+    DIV = "DIV"          # signed quotient, truncating
+    REM = "REM"          # signed remainder, sign follows the dividend
+    AND = "AND"
+    OR = "OR"
+    XOR = "XOR"
+    ANDCM = "ANDCM"      # a & ~b (HPL-PD's andcm)
+    SHL = "SHL"          # logical shift left
+    SHR = "SHR"          # logical shift right
+    SHRA = "SHRA"        # arithmetic shift right
+    MOVE = "MOVE"        # register/short-literal copy
+    MOVI = "MOVI"        # long-immediate move: SRC1||SRC2 hold a full word
+    MIN = "MIN"          # signed minimum (HPL-PD min)
+    MAX = "MAX"          # signed maximum (HPL-PD max)
+
+    # -- CMPU (CMPP family: writes up to two predicate registers) --------
+    CMPP_EQ = "CMPP_EQ"
+    CMPP_NE = "CMPP_NE"
+    CMPP_LT = "CMPP_LT"
+    CMPP_LE = "CMPP_LE"
+    CMPP_GT = "CMPP_GT"
+    CMPP_GE = "CMPP_GE"
+    CMPP_ULT = "CMPP_ULT"
+    CMPP_UGE = "CMPP_UGE"
+
+    # -- LSU --------------------------------------------------------------
+    LW = "LW"            # load word:  DEST1 <- mem[SRC1 + SRC2]
+    SW = "SW"            # store word: mem[SRC1 + SRC2] <- GPR[DEST1]
+    LWS = "LWS"          # speculative load: out-of-range reads return 0
+                         # instead of faulting (paper §2, speculative
+                         # loading)
+
+    # -- BRU --------------------------------------------------------------
+    PBR = "PBR"          # prepare-to-branch: BTR[DEST1] <- literal target
+    MOVGBP = "MOVGBP"    # BTR[DEST1] <- GPR[SRC1]  (returns / indirect)
+    BR = "BR"            # unconditional branch via BTR[SRC1]
+    BRCT = "BRCT"        # branch via BTR[SRC1] if predicate SRC2 is true
+    BRCF = "BRCF"        # branch via BTR[SRC1] if predicate SRC2 is false
+    BRL = "BRL"          # branch and link: GPR[DEST1] <- return address
+    HALT = "HALT"        # stop simulation (testbench convention)
+
+    # -- MISC -------------------------------------------------------------
+    NOP = "NOP"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Opcode.{self.name}"
+
+
+#: Functional-unit class of every built-in opcode.
+OPCODE_CLASS: Dict[Opcode, FuClass] = {
+    **{
+        op: FuClass.ALU
+        for op in (
+            Opcode.ADD, Opcode.SUB, Opcode.MUL, Opcode.DIV, Opcode.REM,
+            Opcode.AND, Opcode.OR, Opcode.XOR, Opcode.ANDCM,
+            Opcode.SHL, Opcode.SHR, Opcode.SHRA,
+            Opcode.MOVE, Opcode.MOVI, Opcode.MIN, Opcode.MAX,
+        )
+    },
+    **{
+        op: FuClass.CMPU
+        for op in (
+            Opcode.CMPP_EQ, Opcode.CMPP_NE, Opcode.CMPP_LT, Opcode.CMPP_LE,
+            Opcode.CMPP_GT, Opcode.CMPP_GE, Opcode.CMPP_ULT, Opcode.CMPP_UGE,
+        )
+    },
+    Opcode.LW: FuClass.LSU,
+    Opcode.SW: FuClass.LSU,
+    Opcode.LWS: FuClass.LSU,
+    Opcode.PBR: FuClass.BRU,
+    Opcode.MOVGBP: FuClass.BRU,
+    Opcode.BR: FuClass.BRU,
+    Opcode.BRCT: FuClass.BRU,
+    Opcode.BRCF: FuClass.BRU,
+    Opcode.BRL: FuClass.BRU,
+    Opcode.HALT: FuClass.BRU,
+    Opcode.NOP: FuClass.MISC,
+}
+
+#: Latency class (key into MachineConfig.latencies) of every opcode.
+OPCODE_LATENCY_CLASS: Dict[Opcode, str] = {
+    **{op: "alu" for op, cls in OPCODE_CLASS.items() if cls is FuClass.ALU},
+    Opcode.MUL: "mul",
+    Opcode.DIV: "div",
+    Opcode.REM: "div",
+    **{op: "cmp" for op, cls in OPCODE_CLASS.items() if cls is FuClass.CMPU},
+    Opcode.LW: "load",
+    Opcode.LWS: "load",
+    Opcode.SW: "store",
+    Opcode.PBR: "pbr",
+    Opcode.MOVGBP: "pbr",
+    Opcode.BR: "branch",
+    Opcode.BRCT: "branch",
+    Opcode.BRCF: "branch",
+    Opcode.BRL: "branch",
+    Opcode.HALT: "branch",
+    Opcode.NOP: "alu",
+}
+
+#: ALU opcodes gated by an optional feature (paper §3.3: "ALUs do not
+#: need to support division if this operation is not required").
+FEATURE_OPCODES: Dict[AluFeature, Tuple[Opcode, ...]] = {
+    AluFeature.MULTIPLY: (Opcode.MUL,),
+    AluFeature.DIVIDE: (Opcode.DIV, Opcode.REM),
+    AluFeature.SHIFT: (Opcode.SHL, Opcode.SHR, Opcode.SHRA),
+}
+
+
+def _gray(value: int) -> int:
+    """Binary-reflected Gray code of ``value``."""
+    return value ^ (value >> 1)
+
+
+@dataclass(frozen=True)
+class OpcodeInfo:
+    """Everything a tool needs to know about one operation."""
+
+    mnemonic: str
+    code: int                      # numeric encoding
+    fu_class: FuClass
+    latency_class: str
+    writes_pred: bool = False      # CMPP family: DEST1/DEST2 are predicates
+    is_branch: bool = False
+    is_memory: bool = False
+    is_custom: bool = False
+    custom_spec: Optional[object] = None
+
+    @property
+    def is_nop(self) -> bool:
+        return self.mnemonic == "NOP"
+
+
+class OpcodeTable:
+    """Bidirectional mnemonic/numeric-code mapping for one configuration.
+
+    Built by :func:`build_opcode_table`; excludes opcodes disabled by the
+    configuration's ALU feature set and appends any custom instructions.
+    """
+
+    def __init__(self, infos: Iterable[OpcodeInfo]):
+        self._by_mnemonic: Dict[str, OpcodeInfo] = {}
+        self._by_code: Dict[int, OpcodeInfo] = {}
+        for info in infos:
+            if info.mnemonic in self._by_mnemonic:
+                raise EncodingError(f"duplicate mnemonic {info.mnemonic!r}")
+            if info.code in self._by_code:
+                raise EncodingError(f"duplicate opcode {info.code:#x}")
+            self._by_mnemonic[info.mnemonic] = info
+            self._by_code[info.code] = info
+
+    def __contains__(self, mnemonic: str) -> bool:
+        return mnemonic in self._by_mnemonic
+
+    def __len__(self) -> int:
+        return len(self._by_mnemonic)
+
+    def __iter__(self):
+        return iter(self._by_mnemonic.values())
+
+    def lookup(self, mnemonic: str) -> OpcodeInfo:
+        try:
+            return self._by_mnemonic[mnemonic]
+        except KeyError:
+            raise EncodingError(f"unknown or disabled opcode {mnemonic!r}") from None
+
+    def by_code(self, code: int) -> OpcodeInfo:
+        try:
+            return self._by_code[code]
+        except KeyError:
+            raise EncodingError(f"undefined opcode encoding {code:#x}") from None
+
+    @property
+    def max_code(self) -> int:
+        return max(self._by_code)
+
+
+#: Class tag placed in the upper bits of the numeric opcode, so that
+#: same-class opcodes share a prefix (small Hamming distance, §3.1).
+_CLASS_TAG = {
+    FuClass.MISC: 0x0,
+    FuClass.ALU: 0x1,
+    FuClass.CMPU: 0x2,
+    FuClass.LSU: 0x3,
+    FuClass.BRU: 0x4,
+    "custom": 0x5,
+}
+_CLASS_SHIFT = 8  # low 8 bits carry the Gray-coded per-class index
+
+
+def build_opcode_table(config: MachineConfig) -> OpcodeTable:
+    """Build the opcode table for one machine configuration.
+
+    Feature-gated opcodes are omitted when their :class:`AluFeature` is
+    absent (the assembler/compiler will then reject or expand them), and
+    the configuration's custom instructions are appended in the
+    reserved "custom" class.
+    """
+    disabled = set()
+    for feature, ops in FEATURE_OPCODES.items():
+        if not config.has_feature(feature):
+            disabled.update(ops)
+
+    infos: List[OpcodeInfo] = []
+    counters: Dict[FuClass, int] = {}
+    for op in Opcode:
+        if op in disabled:
+            continue
+        fu = OPCODE_CLASS[op]
+        index = counters.get(fu, 0)
+        counters[fu] = index + 1
+        code = (_CLASS_TAG[fu] << _CLASS_SHIFT) | _gray(index)
+        infos.append(
+            OpcodeInfo(
+                mnemonic=op.value,
+                code=code,
+                fu_class=fu,
+                latency_class=OPCODE_LATENCY_CLASS[op],
+                writes_pred=fu is FuClass.CMPU,
+                is_branch=fu is FuClass.BRU and op is not Opcode.PBR
+                and op is not Opcode.MOVGBP,
+                is_memory=fu is FuClass.LSU,
+            )
+        )
+
+    for index, spec in enumerate(config.custom_ops):
+        code = (_CLASS_TAG["custom"] << _CLASS_SHIFT) | _gray(index)
+        infos.append(
+            OpcodeInfo(
+                mnemonic=spec.mnemonic,
+                code=code,
+                fu_class=FuClass(spec.fu_class),
+                latency_class=spec.latency_class,
+                is_custom=True,
+                custom_spec=spec,
+            )
+        )
+    return OpcodeTable(infos)

@@ -1,0 +1,69 @@
+"""Operand kinds of the EPIC instruction word.
+
+The SRC fields are "either literals or indices to registers" (paper
+§3.1); DEST fields index general-purpose registers, predicate registers
+(for CMPP) or branch-target registers (for PBR/MOVGBP); the PRED field
+names the guarding predicate register.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True)
+class Reg:
+    """General-purpose register operand (``r<index>``)."""
+
+    index: int
+
+    def __str__(self) -> str:
+        return f"r{self.index}"
+
+
+@dataclass(frozen=True)
+class Pred:
+    """Predicate register operand (``p<index>``); p0 is hardwired true."""
+
+    index: int
+
+    def __str__(self) -> str:
+        return f"p{self.index}"
+
+
+@dataclass(frozen=True)
+class Btr:
+    """Branch-target register operand (``b<index>``)."""
+
+    index: int
+
+    def __str__(self) -> str:
+        return f"b{self.index}"
+
+
+@dataclass(frozen=True)
+class Lit:
+    """Literal operand; the encoder checks it fits the SRC field."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+Operand = Union[Reg, Pred, Btr, Lit]
+
+#: Calling convention of the toolchain (not mandated by the paper; any
+#: fixed convention works since compiler and simulator share it).
+REG_ZERO = 0   # hardwired zero
+REG_SP = 1     # stack pointer
+REG_RV = 2     # return value
+REG_RA = 3     # return address (written by BRL)
+FIRST_ARG_REG = 4
+N_ARG_REGS = 6  # r4..r9 carry arguments
+FIRST_TEMP_REG = 10
+
+#: Predicate register 0 reads as constant true and ignores writes; it is
+#: the default guard meaning "always execute".
+PRED_TRUE = 0

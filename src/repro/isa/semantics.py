@@ -1,0 +1,170 @@
+"""Pure two's-complement semantics of the built-in operations.
+
+These functions define the architectural meaning of every opcode on a
+``width``-bit datapath.  Both the EPIC core (`repro.core`) and the test
+suite use them, so the simulator and its oracle can never drift apart.
+
+Values are represented as *unsigned* Python integers in ``[0, 2**width)``;
+``to_signed``/``to_unsigned`` convert at the edges.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.errors import SimulationError
+
+
+def to_signed(value: int, width: int) -> int:
+    """Interpret an unsigned field as a two's-complement number."""
+    mask = (1 << width) - 1
+    value &= mask
+    if value & (1 << (width - 1)):
+        value -= 1 << width
+    return value
+
+
+def to_unsigned(value: int, width: int) -> int:
+    """Clamp a Python integer onto the datapath."""
+    return value & ((1 << width) - 1)
+
+
+def _shift_amount(b: int, width: int) -> int:
+    # Hardware shifters use the low log2(width) bits of the amount.
+    return b & (width - 1)
+
+
+def add(a: int, b: int, width: int) -> int:
+    return to_unsigned(a + b, width)
+
+
+def sub(a: int, b: int, width: int) -> int:
+    return to_unsigned(a - b, width)
+
+
+def mul(a: int, b: int, width: int) -> int:
+    # Low word of the full product; identical for signed and unsigned.
+    return to_unsigned(a * b, width)
+
+
+def div(a: int, b: int, width: int) -> int:
+    """Signed division truncating toward zero (C semantics)."""
+    if to_unsigned(b, width) == 0:
+        raise SimulationError("integer division by zero")
+    sa, sb = to_signed(a, width), to_signed(b, width)
+    quotient = abs(sa) // abs(sb)
+    if (sa < 0) != (sb < 0):
+        quotient = -quotient
+    return to_unsigned(quotient, width)
+
+
+def rem(a: int, b: int, width: int) -> int:
+    """Signed remainder; sign follows the dividend (C semantics)."""
+    if to_unsigned(b, width) == 0:
+        raise SimulationError("integer remainder by zero")
+    sa, sb = to_signed(a, width), to_signed(b, width)
+    remainder = abs(sa) % abs(sb)
+    if sa < 0:
+        remainder = -remainder
+    return to_unsigned(remainder, width)
+
+
+def and_(a: int, b: int, width: int) -> int:
+    return to_unsigned(a & b, width)
+
+
+def or_(a: int, b: int, width: int) -> int:
+    return to_unsigned(a | b, width)
+
+
+def xor(a: int, b: int, width: int) -> int:
+    return to_unsigned(a ^ b, width)
+
+
+def andcm(a: int, b: int, width: int) -> int:
+    """HPL-PD andcm: a AND (complement of b)."""
+    return to_unsigned(a & ~b, width)
+
+
+def shl(a: int, b: int, width: int) -> int:
+    return to_unsigned(a << _shift_amount(b, width), width)
+
+
+def shr(a: int, b: int, width: int) -> int:
+    return to_unsigned(a, width) >> _shift_amount(b, width)
+
+
+def shra(a: int, b: int, width: int) -> int:
+    return to_unsigned(to_signed(a, width) >> _shift_amount(b, width), width)
+
+
+def min_(a: int, b: int, width: int) -> int:
+    return a if to_signed(a, width) <= to_signed(b, width) else b
+
+
+def max_(a: int, b: int, width: int) -> int:
+    return a if to_signed(a, width) >= to_signed(b, width) else b
+
+
+# -- comparison family (CMPP): return 1-bit predicates -------------------
+
+def cmp_eq(a: int, b: int, width: int) -> int:
+    return int(to_unsigned(a, width) == to_unsigned(b, width))
+
+
+def cmp_ne(a: int, b: int, width: int) -> int:
+    return int(to_unsigned(a, width) != to_unsigned(b, width))
+
+
+def cmp_lt(a: int, b: int, width: int) -> int:
+    return int(to_signed(a, width) < to_signed(b, width))
+
+
+def cmp_le(a: int, b: int, width: int) -> int:
+    return int(to_signed(a, width) <= to_signed(b, width))
+
+
+def cmp_gt(a: int, b: int, width: int) -> int:
+    return int(to_signed(a, width) > to_signed(b, width))
+
+
+def cmp_ge(a: int, b: int, width: int) -> int:
+    return int(to_signed(a, width) >= to_signed(b, width))
+
+
+def cmp_ult(a: int, b: int, width: int) -> int:
+    return int(to_unsigned(a, width) < to_unsigned(b, width))
+
+
+def cmp_uge(a: int, b: int, width: int) -> int:
+    return int(to_unsigned(a, width) >= to_unsigned(b, width))
+
+
+#: Dispatch tables keyed by mnemonic.
+ALU_SEMANTICS: Dict[str, Callable[[int, int, int], int]] = {
+    "ADD": add,
+    "SUB": sub,
+    "MUL": mul,
+    "DIV": div,
+    "REM": rem,
+    "AND": and_,
+    "OR": or_,
+    "XOR": xor,
+    "ANDCM": andcm,
+    "SHL": shl,
+    "SHR": shr,
+    "SHRA": shra,
+    "MIN": min_,
+    "MAX": max_,
+}
+
+CMP_SEMANTICS: Dict[str, Callable[[int, int, int], int]] = {
+    "CMPP_EQ": cmp_eq,
+    "CMPP_NE": cmp_ne,
+    "CMPP_LT": cmp_lt,
+    "CMPP_LE": cmp_le,
+    "CMPP_GT": cmp_gt,
+    "CMPP_GE": cmp_ge,
+    "CMPP_ULT": cmp_ult,
+    "CMPP_UGE": cmp_uge,
+}

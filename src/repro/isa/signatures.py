@@ -1,0 +1,70 @@
+"""Operand signatures: how each opcode interprets the six fields.
+
+The fixed-width format (paper Fig. 1) is shared by all instructions, but
+each opcode reads the fields differently — e.g. CMPP destinations are
+predicate registers while PBR's destination is a branch-target register.
+This module is the single source of truth used by the encoder, decoder,
+assembler parser and the simulator's issue logic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import EncodingError
+from repro.isa.opcodes import FuClass, OpcodeInfo
+
+#: Operand-kind tokens.
+GPR = "gpr"        # general-purpose register index
+PRD = "pred"       # predicate register index
+BTR = "btr"        # branch-target register index
+FLEX = "flex"      # register or short literal (tagged SRC field)
+LIT = "lit"        # short literal only
+LONG = "long"      # full-width literal spanning SRC1||SRC2 (MOVI)
+NONE = None
+
+
+@dataclass(frozen=True)
+class Signature:
+    """Field kinds for (dest1, dest2, src1, src2)."""
+
+    dest1: Optional[str]
+    dest2: Optional[str]
+    src1: Optional[str]
+    src2: Optional[str]
+
+    #: True when DEST1 is *read* rather than written (SW's store value
+    #: travels in the DEST1 field).
+    dest1_is_source: bool = False
+
+
+_ALU_BINARY = Signature(GPR, NONE, FLEX, FLEX)
+
+_SIGNATURES = {
+    "MOVE": Signature(GPR, NONE, FLEX, NONE),
+    "MOVI": Signature(GPR, NONE, LONG, NONE),
+    "LW": Signature(GPR, NONE, FLEX, FLEX),
+    "LWS": Signature(GPR, NONE, FLEX, FLEX),
+    "SW": Signature(GPR, NONE, FLEX, FLEX, dest1_is_source=True),
+    "PBR": Signature(BTR, NONE, LIT, NONE),
+    "MOVGBP": Signature(BTR, NONE, FLEX, NONE),
+    "BR": Signature(NONE, NONE, BTR, NONE),
+    "BRCT": Signature(NONE, NONE, BTR, PRD),
+    "BRCF": Signature(NONE, NONE, BTR, PRD),
+    "BRL": Signature(GPR, NONE, BTR, NONE),
+    "HALT": Signature(NONE, NONE, NONE, NONE),
+    "NOP": Signature(NONE, NONE, NONE, NONE),
+}
+
+
+def signature_of(info: OpcodeInfo) -> Signature:
+    """Return the operand signature for one opcode."""
+    explicit = _SIGNATURES.get(info.mnemonic)
+    if explicit is not None:
+        return explicit
+    if info.fu_class is FuClass.CMPU:
+        return Signature(PRD, PRD, FLEX, FLEX)
+    if info.fu_class is FuClass.ALU or info.is_custom:
+        return _ALU_BINARY
+    raise EncodingError(f"no signature known for opcode {info.mnemonic!r}")

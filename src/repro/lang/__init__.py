@@ -1,0 +1,29 @@
+"""MiniC: the C-subset front-end of the toolchain (IMPACT's role, §4.1).
+
+The paper compiles C benchmarks through Trimaran's IMPACT module.  MiniC
+is the C subset in which this reproduction's benchmarks are written:
+
+* one type, ``int`` (a 32-bit two's-complement word); ``void`` functions;
+* global scalars and one-dimensional arrays, with initialisers;
+* local scalars and constant-size local arrays;
+* expressions: ``+ - * / % & | ^ << >> >>> == != < <= > >= && || ! ~``
+  and unary minus, function calls, array indexing, decimal/hex literals
+  (``>>`` is arithmetic shift right, ``>>>`` is logical);
+* statements: assignment (with compound operators ``+= -= *= &= |= ^=
+  <<= >>=``), ``if``/``else``, ``while``, ``for``, ``break``,
+  ``continue``, ``return``, blocks;
+* ``unroll(K) for (...) ...`` / ``unroll for (...) ...`` — the
+  ILP-exposing loop-unrolling annotation applied before lowering
+  (Trimaran exposes parallelism with the same family of loop
+  transformations).
+
+Semantics are fully defined (wrapping arithmetic, truncating division)
+so the golden IR interpreter, the EPIC core and the SA-110 baseline can
+be compared bit-for-bit.
+"""
+
+from repro.lang.parser import parse_program
+from repro.lang.compile import compile_minic, frontend
+from repro.lang.unroll import unroll_program
+
+__all__ = ["parse_program", "compile_minic", "frontend", "unroll_program"]

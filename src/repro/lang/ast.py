@@ -1,0 +1,175 @@
+"""MiniC abstract syntax tree."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+# -- expressions ----------------------------------------------------------
+
+@dataclass
+class Num:
+    value: int
+    line: int = 0
+
+
+@dataclass
+class Ident:
+    name: str
+    line: int = 0
+
+
+@dataclass
+class Index:
+    name: str
+    index: "Expr"
+    line: int = 0
+
+
+@dataclass
+class Unary:
+    op: str                     # "-", "!", "~"
+    operand: "Expr"
+    line: int = 0
+
+
+@dataclass
+class Bin:
+    op: str
+    left: "Expr"
+    right: "Expr"
+    line: int = 0
+
+
+@dataclass
+class CallE:
+    name: str
+    args: List["Expr"]
+    line: int = 0
+
+
+Expr = Union[Num, Ident, Index, Unary, Bin, CallE]
+
+
+# -- statements ------------------------------------------------------------
+
+@dataclass
+class VarDecl:
+    name: str
+    init: Optional[Expr]
+    line: int = 0
+
+
+@dataclass
+class ArrayDecl:
+    name: str
+    size: int
+    line: int = 0
+
+
+@dataclass
+class Assign:
+    target: Union[Ident, Index]
+    op: Optional[str]           # None for '=', else '+', '-', '*', ...
+    value: Expr
+    line: int = 0
+
+
+@dataclass
+class If:
+    cond: Expr
+    then: "BlockStmt"
+    els: Optional["BlockStmt"]
+    line: int = 0
+
+
+@dataclass
+class While:
+    cond: Expr
+    body: "BlockStmt"
+    line: int = 0
+
+
+@dataclass
+class For:
+    init: Optional[Assign]
+    cond: Optional[Expr]
+    step: Optional[Assign]
+    body: "BlockStmt"
+    #: 0 = no unrolling, -1 = full unroll, k>1 = unroll factor k.
+    unroll: int = 0
+    line: int = 0
+
+
+@dataclass
+class Return:
+    value: Optional[Expr]
+    line: int = 0
+
+
+@dataclass
+class Break:
+    line: int = 0
+
+
+@dataclass
+class Continue:
+    line: int = 0
+
+
+@dataclass
+class ExprStmt:
+    expr: Expr
+    line: int = 0
+
+
+@dataclass
+class BlockStmt:
+    statements: List["Stmt"] = field(default_factory=list)
+    line: int = 0
+
+
+Stmt = Union[
+    VarDecl, ArrayDecl, Assign, If, While, For, Return, Break, Continue,
+    ExprStmt, BlockStmt,
+]
+
+
+# -- top level ----------------------------------------------------------------
+
+@dataclass
+class GlobalDecl:
+    name: str
+    #: None for a scalar; array size otherwise.
+    size: Optional[int]
+    init: Tuple[int, ...] = ()
+    #: Declared const: stores are rejected and loads of constant indices
+    #: fold to immediates.
+    const: bool = False
+    line: int = 0
+
+    @property
+    def words(self) -> int:
+        return 1 if self.size is None else self.size
+
+
+@dataclass
+class Param:
+    name: str
+    line: int = 0
+
+
+@dataclass
+class FuncDecl:
+    name: str
+    params: List[Param]
+    body: BlockStmt
+    returns_value: bool = True
+    line: int = 0
+
+
+@dataclass
+class ProgramAst:
+    globals: List[GlobalDecl] = field(default_factory=list)
+    functions: List[FuncDecl] = field(default_factory=list)

@@ -1,0 +1,78 @@
+"""``epic-cc``: compile MiniC to EPIC assembly / run it from the shell."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.backend import compile_minic_to_epic
+from repro.config import epic_config
+from repro.core import EpicProcessor
+from repro.errors import ReproError
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="epic-cc",
+        description="Compile a MiniC program for the customisable EPIC "
+                    "processor (and optionally simulate it).",
+    )
+    parser.add_argument("source", help="MiniC source file")
+    parser.add_argument("--alus", type=int, default=4)
+    parser.add_argument("--issue", type=int, default=4)
+    parser.add_argument("--gprs", type=int, default=64)
+    parser.add_argument("--no-unroll", action="store_true",
+                        help="ignore unroll annotations")
+    parser.add_argument("--no-if-convert", action="store_true",
+                        help="disable if-conversion")
+    parser.add_argument("-S", "--emit-asm", action="store_true",
+                        help="print the scheduled assembly")
+    parser.add_argument("--run", action="store_true",
+                        help="simulate and print cycles + return value")
+    parser.add_argument("--mem-words", type=int, default=1 << 16)
+    arguments = parser.parse_args(argv)
+
+    config = epic_config(
+        n_alus=arguments.alus,
+        issue_width=arguments.issue,
+        n_gprs=arguments.gprs,
+    )
+    try:
+        with open(arguments.source) as handle:
+            source = handle.read()
+        compilation = compile_minic_to_epic(
+            source, config,
+            unroll=not arguments.no_unroll,
+            if_convert=not arguments.no_if_convert,
+        )
+    except ReproError as error:
+        print(f"epic-cc: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"epic-cc: {error}", file=sys.stderr)
+        return 1
+
+    if arguments.emit_asm:
+        print(compilation.assembly)
+    print(
+        f"{arguments.source}: {compilation.code_bundles} bundles, "
+        f"{compilation.program.n_operations} operations "
+        f"[{config.describe()}]",
+        file=sys.stderr,
+    )
+    if arguments.run:
+        cpu = EpicProcessor(config, compilation.program,
+                            mem_words=arguments.mem_words)
+        try:
+            result = cpu.run()
+        except ReproError as error:
+            print(f"epic-cc: simulation failed: {error}", file=sys.stderr)
+            return 1
+        print(f"cycles: {result.cycles}")
+        print(f"return: {cpu.gpr.read(2)}")
+        print(cpu.stats.summary())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""The MiniC front-end pipeline (IMPACT's role): parse -> check ->
+unroll -> lower -> machine-independent optimisation."""
+
+from __future__ import annotations
+
+from repro.ir.module import Module
+from repro.ir.passes import optimize_module
+from repro.ir.verify import verify_module
+from repro.lang.lower import lower_program
+from repro.lang.parser import parse_program
+from repro.lang.sema import check_program
+from repro.lang.unroll import unroll_program
+
+
+def frontend(source: str, unroll: bool = True) -> Module:
+    """Parse, check and lower MiniC source to (unoptimised) IR."""
+    program = parse_program(source)
+    check_program(program)
+    program = unroll_program(program, enabled=unroll)
+    module = lower_program(program)
+    verify_module(module)
+    return module
+
+
+def compile_minic(source: str, unroll: bool = True,
+                  optimize: bool = True) -> Module:
+    """Compile MiniC source to optimised IR.
+
+    ``unroll`` honours or strips the ``unroll`` annotations (the EPIC
+    backend wants them; they can be disabled to measure their effect —
+    ablation A5).
+    """
+    module = frontend(source, unroll)
+    if optimize:
+        optimize_module(module)
+    return module

@@ -1,0 +1,81 @@
+"""MiniC lexer."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import CompileError
+
+KEYWORDS = {
+    "int", "void", "if", "else", "while", "for",
+    "return", "break", "continue", "unroll", "const",
+}
+
+#: Multi-character operators, longest first.
+_OPERATORS = [
+    ">>>=", "<<=", ">>=", ">>>", "==", "!=", "<=", ">=", "&&", "||",
+    "<<", ">>", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+    "(", ")", "{", "}", "[", "]", ",", ";",
+]
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<num>0[xX][0-9a-fA-F]+|\d+)
+  | (?P<ident>[A-Za-z_]\w*)
+  | (?P<op>""" + "|".join(re.escape(op) for op in _OPERATORS) + r""")
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str          # "num" | "ident" | "kw" | "op" | "eof"
+    text: str
+    value: int = 0
+    line: int = 0
+    column: int = 0
+
+    def __str__(self) -> str:
+        return self.text or self.kind
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenise MiniC source; raises :class:`CompileError` on bad input."""
+    tokens: List[Token] = []
+    position = 0
+    line = 1
+    line_start = 0
+    length = len(source)
+    while position < length:
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            column = position - line_start + 1
+            raise CompileError(
+                f"unexpected character {source[position]!r}", line, column
+            )
+        text = match.group(0)
+        column = position - line_start + 1
+        kind = match.lastgroup
+        if kind == "num":
+            tokens.append(Token("num", text, int(text, 0), line, column))
+        elif kind == "ident":
+            token_kind = "kw" if text in KEYWORDS else "ident"
+            tokens.append(Token(token_kind, text, 0, line, column))
+        elif kind == "op":
+            if text == ">>>=":
+                raise CompileError("'>>>=' is not supported", line, column)
+            tokens.append(Token("op", text, 0, line, column))
+        # whitespace and comments advance position/line only
+        newlines = text.count("\n")
+        if newlines:
+            line += newlines
+            line_start = position + text.rfind("\n") + 1
+        position = match.end()
+    tokens.append(Token("eof", "", 0, line, 1))
+    return tokens

@@ -1,0 +1,365 @@
+"""Lowering: MiniC AST -> IR.
+
+Conventions:
+
+* every mutable scalar (parameter or local) lives in one virtual
+  register, re-written with ``Copy`` on assignment;
+* global scalars are one-word global arrays accessed with load/store;
+* array names decay to their base address (global ``Sym`` or the frame
+  address from ``Alloca``), and ``x[i]`` indexes from whatever address
+  value ``x`` evaluates to — which is also how buffers are passed to
+  functions;
+* ``&&``/``||``/``!`` lower to short-circuit control flow in branch
+  position and to explicit 0/1 materialisation in value position;
+* local arrays are hoisted to a single ``Alloca`` each in the entry
+  block, so machine backends can assign static frame offsets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import CompileError
+from repro.ir.builder import FunctionBuilder, ModuleBuilder
+from repro.ir.instructions import Alloca
+from repro.ir.module import Module
+from repro.ir.values import Const, Sym, Value, VReg
+from repro.lang import ast
+
+_BIN_TO_IR = {
+    "+": "add", "-": "sub", "*": "mul", "/": "div", "%": "rem",
+    "&": "and", "|": "or", "^": "xor",
+    "<<": "shl", ">>": "shra", ">>>": "shr",
+}
+_CMP_TO_IR = {
+    "==": "eq", "!=": "ne", "<": "lt", "<=": "le", ">": "gt", ">=": "ge",
+}
+
+#: name -> (kind, handle); kinds: "reg", "gscalar", "garray", "larray".
+_Binding = Tuple[str, Union[VReg, Sym]]
+
+
+class _Env:
+    def __init__(self, parent: Optional["_Env"] = None):
+        self.parent = parent
+        self.bindings: Dict[str, _Binding] = {}
+
+    def bind(self, name: str, binding: _Binding) -> None:
+        self.bindings[name] = binding
+
+    def lookup(self, name: str, line: int) -> _Binding:
+        env: Optional[_Env] = self
+        while env is not None:
+            if name in env.bindings:
+                return env.bindings[name]
+            env = env.parent
+        raise CompileError(f"use of undeclared {name!r}", line)
+
+
+class _FunctionLowerer:
+    def __init__(self, declaration: ast.FuncDecl, module_env: _Env,
+                 builder: FunctionBuilder):
+        self.declaration = declaration
+        self.builder = builder
+        self.module_env = module_env
+        #: (break_target, continue_target) stack.
+        self.loop_targets: List[Tuple[str, str]] = []
+        self.entry_allocas: List[Alloca] = []
+
+    # -- expression lowering ---------------------------------------------
+
+    def _base_address(self, name: str, env: _Env, line: int) -> Value:
+        kind, handle = env.lookup(name, line)
+        if kind == "garray":
+            return handle
+        if kind == "larray":
+            return handle
+        if kind == "gscalar":
+            return self.builder.load(handle, 0, hint="g")
+        return handle  # "reg": a scalar holding an address
+
+    def eval_expr(self, expr: ast.Expr, env: _Env) -> Value:
+        builder = self.builder
+        if isinstance(expr, ast.Num):
+            return Const(expr.value)
+        if isinstance(expr, ast.Ident):
+            kind, handle = env.lookup(expr.name, expr.line)
+            if kind == "reg":
+                return handle
+            if kind == "gscalar":
+                return builder.load(handle, 0, hint="g")
+            return handle  # array decay: the address
+        if isinstance(expr, ast.Index):
+            base = self._base_address(expr.name, env, expr.line)
+            index = self.eval_expr(expr.index, env)
+            return builder.load(base, index, hint="e")
+        if isinstance(expr, ast.Unary):
+            if expr.op == "-":
+                return builder.binop("sub", 0, self.eval_expr(expr.operand, env))
+            if expr.op == "~":
+                return builder.binop("xor", self.eval_expr(expr.operand, env), -1)
+            if expr.op == "!":
+                return builder.cmp("eq", self.eval_expr(expr.operand, env), 0)
+            raise CompileError(f"unknown unary {expr.op!r}", expr.line)
+        if isinstance(expr, ast.Bin):
+            if expr.op in ("&&", "||"):
+                return self._eval_short_circuit(expr, env)
+            if expr.op in _CMP_TO_IR:
+                left = self.eval_expr(expr.left, env)
+                right = self.eval_expr(expr.right, env)
+                return builder.cmp(_CMP_TO_IR[expr.op], left, right)
+            op = _BIN_TO_IR.get(expr.op)
+            if op is None:
+                raise CompileError(f"unknown operator {expr.op!r}", expr.line)
+            left = self.eval_expr(expr.left, env)
+            right = self.eval_expr(expr.right, env)
+            return builder.binop(op, left, right)
+        if isinstance(expr, ast.CallE):
+            arguments = [self.eval_expr(argument, env) for argument in expr.args]
+            return builder.call(expr.name, arguments)
+        raise CompileError(f"unknown expression {expr!r}")  # pragma: no cover
+
+    def _eval_short_circuit(self, expr: ast.Bin, env: _Env) -> VReg:
+        builder = self.builder
+        result = builder.vreg("bool")
+        true_block = builder.new_block("sc_t")
+        false_block = builder.new_block("sc_f")
+        join_block = builder.new_block("sc_j")
+        self.lower_condition(expr, env, true_block, false_block)
+        builder.set_block(true_block)
+        builder.copy_to(result, 1)
+        builder.br(join_block)
+        builder.set_block(false_block)
+        builder.copy_to(result, 0)
+        builder.br(join_block)
+        builder.set_block(join_block)
+        return result
+
+    def lower_condition(self, expr: ast.Expr, env: _Env,
+                        true_block: str, false_block: str) -> None:
+        builder = self.builder
+        if isinstance(expr, ast.Bin) and expr.op == "&&":
+            middle = builder.new_block("and")
+            self.lower_condition(expr.left, env, middle, false_block)
+            builder.set_block(middle)
+            self.lower_condition(expr.right, env, true_block, false_block)
+            return
+        if isinstance(expr, ast.Bin) and expr.op == "||":
+            middle = builder.new_block("or")
+            self.lower_condition(expr.left, env, true_block, middle)
+            builder.set_block(middle)
+            self.lower_condition(expr.right, env, true_block, false_block)
+            return
+        if isinstance(expr, ast.Unary) and expr.op == "!":
+            self.lower_condition(expr.operand, env, false_block, true_block)
+            return
+        if isinstance(expr, ast.Num):
+            builder.br(true_block if expr.value != 0 else false_block)
+            return
+        if isinstance(expr, ast.Bin) and expr.op in _CMP_TO_IR:
+            left = self.eval_expr(expr.left, env)
+            right = self.eval_expr(expr.right, env)
+            cond = builder.cmp(_CMP_TO_IR[expr.op], left, right)
+            builder.cond_br(cond, true_block, false_block)
+            return
+        value = self.eval_expr(expr, env)
+        cond = builder.cmp("ne", value, 0)
+        builder.cond_br(cond, true_block, false_block)
+
+    # -- statements -----------------------------------------------------------
+
+    def _lower_assign(self, statement: ast.Assign, env: _Env) -> None:
+        builder = self.builder
+        target = statement.target
+        if isinstance(target, ast.Ident):
+            kind, handle = env.lookup(target.name, target.line)
+            if kind in ("garray", "larray"):
+                raise CompileError(
+                    f"cannot assign to array {target.name!r}", target.line
+                )
+            if statement.op is None:
+                value = self.eval_expr(statement.value, env)
+            else:
+                current: Value
+                if kind == "reg":
+                    current = handle
+                else:
+                    current = builder.load(handle, 0, hint="g")
+                op = _BIN_TO_IR[statement.op]
+                value = builder.binop(
+                    op, current, self.eval_expr(statement.value, env)
+                )
+            if kind == "reg":
+                builder.copy_to(handle, value)
+            else:
+                builder.store(value, handle, 0)
+            return
+
+        base = self._base_address(target.name, env, target.line)
+        index = self.eval_expr(target.index, env)
+        if statement.op is None:
+            value = self.eval_expr(statement.value, env)
+        else:
+            current = builder.load(base, index, hint="e")
+            op = _BIN_TO_IR[statement.op]
+            value = builder.binop(
+                op, current, self.eval_expr(statement.value, env)
+            )
+        builder.store(value, base, index)
+
+    def lower_block(self, block: ast.BlockStmt, parent: _Env) -> None:
+        env = _Env(parent)
+        for statement in block.statements:
+            if self.builder.terminated:
+                return  # unreachable code after return/break/continue
+            self.lower_stmt(statement, env)
+
+    def lower_stmt(self, statement: ast.Stmt, env: _Env) -> None:
+        builder = self.builder
+
+        if isinstance(statement, ast.VarDecl):
+            reg = builder.vreg(statement.name + "_")
+            if statement.init is not None:
+                builder.copy_to(reg, self.eval_expr(statement.init, env))
+            else:
+                builder.copy_to(reg, 0)
+            env.bind(statement.name, ("reg", reg))
+            return
+
+        if isinstance(statement, ast.ArrayDecl):
+            address = builder.vreg(statement.name + "_addr")
+            self.entry_allocas.append(Alloca(address, statement.size))
+            env.bind(statement.name, ("larray", address))
+            return
+
+        if isinstance(statement, ast.Assign):
+            self._lower_assign(statement, env)
+            return
+
+        if isinstance(statement, ast.If):
+            then_block = builder.new_block("then")
+            join_block = builder.new_block("endif")
+            else_block = join_block
+            if statement.els is not None:
+                else_block = builder.new_block("else")
+            self.lower_condition(statement.cond, env, then_block, else_block)
+            builder.set_block(then_block)
+            self.lower_block(statement.then, env)
+            if not builder.terminated:
+                builder.br(join_block)
+            if statement.els is not None:
+                builder.set_block(else_block)
+                self.lower_block(statement.els, env)
+                if not builder.terminated:
+                    builder.br(join_block)
+            builder.set_block(join_block)
+            return
+
+        if isinstance(statement, ast.While):
+            cond_block = builder.new_block("wcond")
+            body_block = builder.new_block("wbody")
+            exit_block = builder.new_block("wend")
+            builder.br(cond_block)
+            builder.set_block(cond_block)
+            self.lower_condition(statement.cond, env, body_block, exit_block)
+            builder.set_block(body_block)
+            self.loop_targets.append((exit_block, cond_block))
+            self.lower_block(statement.body, env)
+            self.loop_targets.pop()
+            if not builder.terminated:
+                builder.br(cond_block)
+            builder.set_block(exit_block)
+            return
+
+        if isinstance(statement, ast.For):
+            if statement.init is not None:
+                self._lower_assign(statement.init, env)
+            cond_block = builder.new_block("fcond")
+            body_block = builder.new_block("fbody")
+            step_block = builder.new_block("fstep")
+            exit_block = builder.new_block("fend")
+            builder.br(cond_block)
+            builder.set_block(cond_block)
+            if statement.cond is not None:
+                self.lower_condition(statement.cond, env, body_block, exit_block)
+            else:
+                builder.br(body_block)
+            builder.set_block(body_block)
+            self.loop_targets.append((exit_block, step_block))
+            self.lower_block(statement.body, env)
+            self.loop_targets.pop()
+            if not builder.terminated:
+                builder.br(step_block)
+            builder.set_block(step_block)
+            if statement.step is not None:
+                self._lower_assign(statement.step, env)
+            builder.br(cond_block)
+            builder.set_block(exit_block)
+            return
+
+        if isinstance(statement, ast.Return):
+            if statement.value is not None:
+                builder.ret(self.eval_expr(statement.value, env))
+            else:
+                builder.ret(None)
+            return
+
+        if isinstance(statement, ast.Break):
+            builder.br(self.loop_targets[-1][0])
+            return
+
+        if isinstance(statement, ast.Continue):
+            builder.br(self.loop_targets[-1][1])
+            return
+
+        if isinstance(statement, ast.ExprStmt):
+            expr = statement.expr
+            if isinstance(expr, ast.CallE):
+                arguments = [self.eval_expr(arg, env) for arg in expr.args]
+                builder.call(expr.name, arguments, returns_value=False)
+            else:
+                self.eval_expr(expr, env)
+            return
+
+        if isinstance(statement, ast.BlockStmt):
+            self.lower_block(statement, env)
+            return
+
+        raise CompileError(f"unknown statement {statement!r}")  # pragma: no cover
+
+    def lower(self) -> None:
+        builder = self.builder
+        entry = builder.new_block("entry")
+        builder.set_block(entry)
+        env = _Env(self.module_env)
+        for param, declaration in zip(builder.params, self.declaration.params):
+            env.bind(declaration.name, ("reg", param))
+        self.lower_block(self.declaration.body, env)
+        if not builder.terminated:
+            if self.declaration.returns_value:
+                builder.ret(0)
+            else:
+                builder.ret(None)
+        # Hoist local-array allocations to the top of the entry block.
+        if self.entry_allocas:
+            entry_block = builder.function.entry
+            entry_block.instrs = self.entry_allocas + entry_block.instrs
+
+
+def lower_program(program: ast.ProgramAst) -> Module:
+    """Lower a semantically checked AST into an IR module."""
+    module_builder = ModuleBuilder()
+    module_env = _Env()
+    for declaration in program.globals:
+        symbol = module_builder.global_array(
+            declaration.name, declaration.words, declaration.init,
+            immutable=declaration.const,
+        )
+        kind = "gscalar" if declaration.size is None else "garray"
+        module_env.bind(declaration.name, (kind, symbol))
+    for function in program.functions:
+        builder = module_builder.function(
+            function.name, [param.name + "_" for param in function.params]
+        )
+        _FunctionLowerer(function, module_env, builder).lower()
+    return module_builder.build()

@@ -1,0 +1,400 @@
+"""MiniC recursive-descent parser."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.errors import CompileError
+from repro.lang import ast
+from repro.lang.lexer import Token, tokenize
+from repro.isa.semantics import to_signed
+
+#: Binary operator precedence (higher binds tighter).
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, "<=": 7, ">": 7, ">=": 7,
+    "<<": 8, ">>": 8, ">>>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+
+_COMPOUND_ASSIGN = {
+    "+=": "+", "-=": "-", "*=": "*", "/=": "/", "%=": "%",
+    "&=": "&", "|=": "|", "^=": "^", "<<=": "<<", ">>=": ">>",
+}
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token helpers -----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self.position += 1
+        return token
+
+    def check(self, kind: str, text: Optional[str] = None) -> bool:
+        token = self.current
+        return token.kind == kind and (text is None or token.text == text)
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        if not self.check(kind, text):
+            token = self.current
+            wanted = text or kind
+            raise CompileError(
+                f"expected {wanted!r}, found {token.text or token.kind!r}",
+                token.line, token.column,
+            )
+        return self.advance()
+
+    def error(self, message: str) -> CompileError:
+        token = self.current
+        return CompileError(message, token.line, token.column)
+
+    # -- constant expressions (global initialisers, array sizes) ----------
+
+    def _const_eval(self, expr: ast.Expr) -> int:
+        if isinstance(expr, ast.Num):
+            return expr.value
+        if isinstance(expr, ast.Unary):
+            value = self._const_eval(expr.operand)
+            if expr.op == "-":
+                return -value
+            if expr.op == "~":
+                return ~value
+            if expr.op == "!":
+                return int(value == 0)
+        if isinstance(expr, ast.Bin):
+            left = self._const_eval(expr.left)
+            right = self._const_eval(expr.right)
+            mask = 0xFFFFFFFF
+            operations = {
+                "+": lambda: left + right,
+                "-": lambda: left - right,
+                "*": lambda: left * right,
+                "&": lambda: left & right,
+                "|": lambda: left | right,
+                "^": lambda: left ^ right,
+                "<<": lambda: left << (right & 31),
+                ">>": lambda: to_signed(left & mask, 32) >> (right & 31),
+                ">>>": lambda: (left & mask) >> (right & 31),
+            }
+            if expr.op in operations:
+                return to_signed(operations[expr.op]() & mask, 32)
+            if expr.op == "/" and right != 0:
+                quotient = abs(left) // abs(right)
+                return -quotient if (left < 0) != (right < 0) else quotient
+        raise CompileError(
+            "expression is not a compile-time constant",
+            getattr(expr, "line", 0),
+        )
+
+    def parse_const_expr(self) -> int:
+        return self._const_eval(self.parse_expr())
+
+    # -- expressions ---------------------------------------------------------
+
+    def parse_expr(self) -> ast.Expr:
+        return self._parse_binary(0)
+
+    def _parse_binary(self, min_precedence: int) -> ast.Expr:
+        left = self._parse_unary()
+        while True:
+            token = self.current
+            precedence = _PRECEDENCE.get(token.text) if token.kind == "op" else None
+            if precedence is None or precedence < min_precedence:
+                return left
+            self.advance()
+            right = self._parse_binary(precedence + 1)
+            left = ast.Bin(token.text, left, right, token.line)
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self.current
+        if token.kind == "op" and token.text in ("-", "!", "~"):
+            self.advance()
+            return ast.Unary(token.text, self._parse_unary(), token.line)
+        if token.kind == "op" and token.text == "+":
+            self.advance()
+            return self._parse_unary()
+        return self._parse_primary()
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self.current
+        if token.kind == "num":
+            self.advance()
+            return ast.Num(token.value, token.line)
+        if token.kind == "op" and token.text == "(":
+            self.advance()
+            inner = self.parse_expr()
+            self.expect("op", ")")
+            return inner
+        if token.kind == "ident":
+            self.advance()
+            if self.accept("op", "("):
+                args: List[ast.Expr] = []
+                if not self.check("op", ")"):
+                    args.append(self.parse_expr())
+                    while self.accept("op", ","):
+                        args.append(self.parse_expr())
+                self.expect("op", ")")
+                return ast.CallE(token.text, args, token.line)
+            if self.accept("op", "["):
+                index = self.parse_expr()
+                self.expect("op", "]")
+                return ast.Index(token.text, index, token.line)
+            return ast.Ident(token.text, token.line)
+        raise self.error(f"unexpected token {token.text or token.kind!r}")
+
+    # -- statements ------------------------------------------------------------
+
+    def _parse_assign_core(self) -> ast.Assign:
+        """An assignment without the trailing semicolon (for for-headers)."""
+        token = self.expect("ident")
+        target: Union[ast.Ident, ast.Index]
+        if self.accept("op", "["):
+            index = self.parse_expr()
+            self.expect("op", "]")
+            target = ast.Index(token.text, index, token.line)
+        else:
+            target = ast.Ident(token.text, token.line)
+        op_token = self.current
+        if op_token.kind != "op" or (
+            op_token.text != "=" and op_token.text not in _COMPOUND_ASSIGN
+        ):
+            raise self.error("expected an assignment operator")
+        self.advance()
+        value = self.parse_expr()
+        compound = _COMPOUND_ASSIGN.get(op_token.text)
+        return ast.Assign(target, compound, value, token.line)
+
+    def parse_statement(self) -> ast.Stmt:
+        token = self.current
+
+        if token.kind == "op" and token.text == "{":
+            return self.parse_block()
+
+        if token.kind == "kw":
+            if token.text in ("int", "const"):
+                return self._parse_local_decl()
+            if token.text == "if":
+                return self._parse_if()
+            if token.text == "while":
+                return self._parse_while()
+            if token.text == "for":
+                return self._parse_for(unroll=0)
+            if token.text == "unroll":
+                return self._parse_unroll_for()
+            if token.text == "return":
+                self.advance()
+                value = None
+                if not self.check("op", ";"):
+                    value = self.parse_expr()
+                self.expect("op", ";")
+                return ast.Return(value, token.line)
+            if token.text == "break":
+                self.advance()
+                self.expect("op", ";")
+                return ast.Break(token.line)
+            if token.text == "continue":
+                self.advance()
+                self.expect("op", ";")
+                return ast.Continue(token.line)
+            raise self.error(f"unexpected keyword {token.text!r}")
+
+        if token.kind == "ident":
+            # Distinguish a call statement from an assignment.
+            next_token = self.tokens[self.position + 1]
+            if next_token.kind == "op" and next_token.text == "(":
+                expr = self.parse_expr()
+                self.expect("op", ";")
+                return ast.ExprStmt(expr, token.line)
+            statement = self._parse_assign_core()
+            self.expect("op", ";")
+            return statement
+
+        raise self.error(f"unexpected token {token.text or token.kind!r}")
+
+    def _parse_local_decl(self) -> ast.Stmt:
+        self.accept("kw", "const")
+        self.expect("kw", "int")
+        name_token = self.expect("ident")
+        if self.accept("op", "["):
+            size = self.parse_const_expr()
+            self.expect("op", "]")
+            self.expect("op", ";")
+            if size < 1:
+                raise CompileError(
+                    f"array {name_token.text!r} must have positive size",
+                    name_token.line,
+                )
+            return ast.ArrayDecl(name_token.text, size, name_token.line)
+        init = None
+        if self.accept("op", "="):
+            init = self.parse_expr()
+        self.expect("op", ";")
+        return ast.VarDecl(name_token.text, init, name_token.line)
+
+    def parse_block(self) -> ast.BlockStmt:
+        open_token = self.expect("op", "{")
+        statements: List[ast.Stmt] = []
+        while not self.check("op", "}"):
+            if self.check("eof"):
+                raise self.error("unterminated block")
+            statements.append(self.parse_statement())
+        self.expect("op", "}")
+        return ast.BlockStmt(statements, open_token.line)
+
+    def _parse_body(self) -> ast.BlockStmt:
+        """A loop/if body: either a block or a single statement."""
+        if self.check("op", "{"):
+            return self.parse_block()
+        statement = self.parse_statement()
+        return ast.BlockStmt([statement], getattr(statement, "line", 0))
+
+    def _parse_if(self) -> ast.If:
+        token = self.expect("kw", "if")
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        then = self._parse_body()
+        els = None
+        if self.accept("kw", "else"):
+            els = self._parse_body()
+        return ast.If(cond, then, els, token.line)
+
+    def _parse_while(self) -> ast.While:
+        token = self.expect("kw", "while")
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        body = self._parse_body()
+        return ast.While(cond, body, token.line)
+
+    def _parse_unroll_for(self) -> ast.For:
+        self.expect("kw", "unroll")
+        factor = -1  # full unroll by default
+        if self.accept("op", "("):
+            factor = self.parse_const_expr()
+            self.expect("op", ")")
+            if factor < 2:
+                raise self.error("unroll factor must be >= 2")
+        return self._parse_for(unroll=factor)
+
+    def _parse_for(self, unroll: int) -> ast.For:
+        token = self.expect("kw", "for")
+        self.expect("op", "(")
+        init = None
+        if not self.check("op", ";"):
+            init = self._parse_assign_core()
+        self.expect("op", ";")
+        cond = None
+        if not self.check("op", ";"):
+            cond = self.parse_expr()
+        self.expect("op", ";")
+        step = None
+        if not self.check("op", ")"):
+            step = self._parse_assign_core()
+        self.expect("op", ")")
+        body = self._parse_body()
+        return ast.For(init, cond, step, body, unroll, token.line)
+
+    # -- top level ----------------------------------------------------------------
+
+    def _parse_global_init(self) -> Tuple[int, ...]:
+        if self.accept("op", "{"):
+            values: List[int] = []
+            if not self.check("op", "}"):
+                values.append(self.parse_const_expr())
+                while self.accept("op", ","):
+                    if self.check("op", "}"):
+                        break  # tolerate a trailing comma
+                    values.append(self.parse_const_expr())
+            self.expect("op", "}")
+            return tuple(values)
+        return (self.parse_const_expr(),)
+
+    def parse_program(self) -> ast.ProgramAst:
+        program = ast.ProgramAst()
+        while not self.check("eof"):
+            is_const = bool(self.accept("kw", "const"))
+            is_void = bool(self.accept("kw", "void"))
+            if not is_void:
+                self.expect("kw", "int")
+            name_token = self.expect("ident")
+
+            if self.check("op", "("):  # function
+                self.advance()
+                params: List[ast.Param] = []
+                if not self.check("op", ")"):
+                    if self.accept("kw", "void"):
+                        pass  # f(void)
+                    else:
+                        self.expect("kw", "int")
+                        param = self.expect("ident")
+                        params.append(ast.Param(param.text, param.line))
+                        while self.accept("op", ","):
+                            self.expect("kw", "int")
+                            param = self.expect("ident")
+                            params.append(ast.Param(param.text, param.line))
+                self.expect("op", ")")
+                body = self.parse_block()
+                program.functions.append(
+                    ast.FuncDecl(
+                        name_token.text, params, body,
+                        returns_value=not is_void, line=name_token.line,
+                    )
+                )
+                continue
+
+            if is_void:
+                raise CompileError(
+                    "void is only valid as a function return type",
+                    name_token.line,
+                )
+
+            size: Optional[int] = None
+            if self.accept("op", "["):
+                size = self.parse_const_expr()
+                self.expect("op", "]")
+                if size < 1:
+                    raise CompileError(
+                        f"array {name_token.text!r} must have positive size",
+                        name_token.line,
+                    )
+            init: Tuple[int, ...] = ()
+            if self.accept("op", "="):
+                init = self._parse_global_init()
+                if size is None and len(init) != 1:
+                    raise CompileError(
+                        "scalar global takes a single initialiser",
+                        name_token.line,
+                    )
+            self.expect("op", ";")
+            program.globals.append(
+                ast.GlobalDecl(name_token.text, size, init, is_const,
+                               name_token.line)
+            )
+        return program
+
+
+def parse_program(source: str) -> ast.ProgramAst:
+    """Parse MiniC source text into an AST."""
+    return _Parser(tokenize(source)).parse_program()

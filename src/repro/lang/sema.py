@@ -1,0 +1,237 @@
+"""Semantic analysis for MiniC.
+
+Checks performed before lowering:
+
+* duplicate global / function / local names;
+* every identifier is declared before use;
+* array names are not assignment targets and are only *read* as their
+  base address (C-style decay — this is how MiniC passes buffers);
+* calls reference declared functions with matching arity, and the
+  result of a ``void`` function is never used as a value;
+* ``break``/``continue`` appear only inside loops;
+* ``return`` with/without a value matches the function's type.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.errors import CompileError
+from repro.lang import ast
+
+
+class _FuncInfo:
+    def __init__(self, declaration: ast.FuncDecl):
+        self.name = declaration.name
+        self.arity = len(declaration.params)
+        self.returns_value = declaration.returns_value
+
+
+class _Scope:
+    def __init__(self, parent: Optional["_Scope"] = None):
+        self.parent = parent
+        self.names: Dict[str, str] = {}  # name -> "scalar" | "array"
+
+    def declare(self, name: str, kind: str, line: int) -> None:
+        if name in self.names:
+            raise CompileError(f"duplicate declaration of {name!r}", line)
+        self.names[name] = kind
+
+    def lookup(self, name: str) -> Optional[str]:
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.names:
+                return scope.names[name]
+            scope = scope.parent
+        return None
+
+
+class _Checker:
+    def __init__(self, program: ast.ProgramAst):
+        self.program = program
+        self.functions: Dict[str, _FuncInfo] = {}
+        self.global_scope = _Scope()
+        self.const_globals: Set[str] = set()
+        self.loop_depth = 0
+        self.current: Optional[ast.FuncDecl] = None
+
+    def run(self) -> None:
+        for declaration in self.program.globals:
+            kind = "array" if declaration.size is not None else "scalar"
+            if len(declaration.init) > declaration.words:
+                raise CompileError(
+                    f"too many initialisers for {declaration.name!r}",
+                    declaration.line,
+                )
+            self.global_scope.declare(declaration.name, kind, declaration.line)
+            if declaration.const:
+                self.const_globals.add(declaration.name)
+        for function in self.program.functions:
+            if function.name in self.functions:
+                raise CompileError(
+                    f"duplicate function {function.name!r}", function.line
+                )
+            if self.global_scope.lookup(function.name):
+                raise CompileError(
+                    f"{function.name!r} is both a global and a function",
+                    function.line,
+                )
+            self.functions[function.name] = _FuncInfo(function)
+        for function in self.program.functions:
+            self._check_function(function)
+
+    def _check_function(self, function: ast.FuncDecl) -> None:
+        self.current = function
+        scope = _Scope(self.global_scope)
+        seen: Set[str] = set()
+        for param in function.params:
+            if param.name in seen:
+                raise CompileError(
+                    f"duplicate parameter {param.name!r}", param.line
+                )
+            seen.add(param.name)
+            scope.declare(param.name, "scalar", param.line)
+        self._check_block(function.body, scope)
+        self.current = None
+
+    def _check_block(self, block: ast.BlockStmt, parent: _Scope) -> None:
+        scope = _Scope(parent)
+        for statement in block.statements:
+            self._check_stmt(statement, scope)
+
+    def _check_stmt(self, statement: ast.Stmt, scope: _Scope) -> None:
+        if isinstance(statement, ast.VarDecl):
+            if statement.init is not None:
+                self._check_expr(statement.init, scope)
+            scope.declare(statement.name, "scalar", statement.line)
+        elif isinstance(statement, ast.ArrayDecl):
+            scope.declare(statement.name, "array", statement.line)
+        elif isinstance(statement, ast.Assign):
+            self._check_expr(statement.value, scope)
+            target = statement.target
+            if target.name in self.const_globals and \
+                    scope.lookup(target.name) is not None and \
+                    self.global_scope.lookup(target.name) == \
+                    scope.lookup(target.name):
+                # Only an error when the name still resolves to the
+                # const global (a local may shadow it).
+                if not self._shadowed(target.name, scope):
+                    raise CompileError(
+                        f"cannot assign to const global {target.name!r}",
+                        target.line,
+                    )
+            if isinstance(target, ast.Ident):
+                kind = scope.lookup(target.name)
+                if kind is None:
+                    raise CompileError(
+                        f"assignment to undeclared {target.name!r}",
+                        target.line,
+                    )
+                if kind == "array":
+                    raise CompileError(
+                        f"cannot assign to array {target.name!r}", target.line
+                    )
+            else:
+                if scope.lookup(target.name) is None:
+                    raise CompileError(
+                        f"use of undeclared {target.name!r}", target.line
+                    )
+                self._check_expr(target.index, scope)
+        elif isinstance(statement, ast.If):
+            self._check_expr(statement.cond, scope)
+            self._check_block(statement.then, scope)
+            if statement.els is not None:
+                self._check_block(statement.els, scope)
+        elif isinstance(statement, ast.While):
+            self._check_expr(statement.cond, scope)
+            self.loop_depth += 1
+            self._check_block(statement.body, scope)
+            self.loop_depth -= 1
+        elif isinstance(statement, ast.For):
+            # The for-header's induction assignments live in the parent
+            # scope (MiniC has no for-scoped declarations).
+            if statement.init is not None:
+                self._check_stmt(statement.init, scope)
+            if statement.cond is not None:
+                self._check_expr(statement.cond, scope)
+            if statement.step is not None:
+                self._check_stmt(statement.step, scope)
+            self.loop_depth += 1
+            self._check_block(statement.body, scope)
+            self.loop_depth -= 1
+        elif isinstance(statement, ast.Return):
+            assert self.current is not None
+            if statement.value is not None:
+                if not self.current.returns_value:
+                    raise CompileError(
+                        f"void function {self.current.name!r} returns a value",
+                        statement.line,
+                    )
+                self._check_expr(statement.value, scope)
+            elif self.current.returns_value:
+                raise CompileError(
+                    f"function {self.current.name!r} must return a value",
+                    statement.line,
+                )
+        elif isinstance(statement, (ast.Break, ast.Continue)):
+            if self.loop_depth == 0:
+                keyword = "break" if isinstance(statement, ast.Break) else "continue"
+                raise CompileError(f"{keyword} outside a loop", statement.line)
+        elif isinstance(statement, ast.ExprStmt):
+            self._check_expr(statement.expr, scope, value_needed=False)
+        elif isinstance(statement, ast.BlockStmt):
+            self._check_block(statement, scope)
+        else:  # pragma: no cover - defensive
+            raise CompileError(f"unknown statement {statement!r}")
+
+    def _shadowed(self, name: str, scope: _Scope) -> bool:
+        walker: Optional[_Scope] = scope
+        while walker is not None and walker is not self.global_scope:
+            if name in walker.names:
+                return True
+            walker = walker.parent
+        return False
+
+    def _check_expr(self, expr: ast.Expr, scope: _Scope,
+                    value_needed: bool = True) -> None:
+        if isinstance(expr, ast.Num):
+            return
+        if isinstance(expr, ast.Ident):
+            if scope.lookup(expr.name) is None:
+                raise CompileError(f"use of undeclared {expr.name!r}", expr.line)
+            return
+        if isinstance(expr, ast.Index):
+            if scope.lookup(expr.name) is None:
+                raise CompileError(f"use of undeclared {expr.name!r}", expr.line)
+            self._check_expr(expr.index, scope)
+            return
+        if isinstance(expr, ast.Unary):
+            self._check_expr(expr.operand, scope)
+            return
+        if isinstance(expr, ast.Bin):
+            self._check_expr(expr.left, scope)
+            self._check_expr(expr.right, scope)
+            return
+        if isinstance(expr, ast.CallE):
+            info = self.functions.get(expr.name)
+            if info is None:
+                raise CompileError(f"call to undeclared {expr.name!r}", expr.line)
+            if len(expr.args) != info.arity:
+                raise CompileError(
+                    f"{expr.name} expects {info.arity} argument(s), got "
+                    f"{len(expr.args)}",
+                    expr.line,
+                )
+            if value_needed and not info.returns_value:
+                raise CompileError(
+                    f"void function {expr.name!r} used as a value", expr.line
+                )
+            for argument in expr.args:
+                self._check_expr(argument, scope)
+            return
+        raise CompileError(f"unknown expression {expr!r}")  # pragma: no cover
+
+
+def check_program(program: ast.ProgramAst) -> None:
+    """Run semantic analysis; raises :class:`CompileError` on problems."""
+    _Checker(program).run()

@@ -1,0 +1,468 @@
+"""AST-level loop unrolling — the toolchain's ILP-exposing transform.
+
+EPIC performance lives and dies by the parallelism the compiler can
+expose statically (paper §2, §4.1).  MiniC surfaces the classic loop
+unrolling transformation as an explicit annotation::
+
+    unroll for (i = 0; i < 8; i += 1) ...      // full unroll
+    unroll(4) for (i = 0; i < n; i += 1) ...   // unroll by 4 + epilogue
+
+The loop must be canonical: the induction variable is initialised in the
+header, compared against a limit with ``< <= > >=``, stepped by a
+constant, and not assigned in the body; the body contains no ``break``/
+``continue``; partial unrolling of non-constant bounds additionally
+requires that the body not assign variables used by the limit
+expression.  Violations raise :class:`~repro.errors.CompileError` — an
+explicit annotation deserves an explicit failure.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from repro.errors import CompileError
+from repro.lang import ast
+
+#: Safety cap on fully unrolled iterations.
+MAX_FULL_UNROLL = 4096
+
+
+# -- AST utilities ---------------------------------------------------------
+
+def _assigned_names(statements: List[ast.Stmt]) -> Set[str]:
+    names: Set[str] = set()
+
+    def visit(statement: ast.Stmt) -> None:
+        if isinstance(statement, ast.Assign):
+            names.add(statement.target.name)
+        elif isinstance(statement, ast.VarDecl):
+            names.add(statement.name)
+        elif isinstance(statement, ast.If):
+            for child in statement.then.statements:
+                visit(child)
+            if statement.els is not None:
+                for child in statement.els.statements:
+                    visit(child)
+        elif isinstance(statement, ast.While):
+            for child in statement.body.statements:
+                visit(child)
+        elif isinstance(statement, ast.For):
+            if statement.init is not None:
+                visit(statement.init)
+            if statement.step is not None:
+                visit(statement.step)
+            for child in statement.body.statements:
+                visit(child)
+        elif isinstance(statement, ast.BlockStmt):
+            for child in statement.statements:
+                visit(child)
+
+    for statement in statements:
+        visit(statement)
+    return names
+
+
+def _used_names(expr: ast.Expr) -> Set[str]:
+    names: Set[str] = set()
+
+    def visit(node: ast.Expr) -> None:
+        if isinstance(node, ast.Ident):
+            names.add(node.name)
+        elif isinstance(node, ast.Index):
+            names.add(node.name)
+            visit(node.index)
+        elif isinstance(node, ast.Unary):
+            visit(node.operand)
+        elif isinstance(node, ast.Bin):
+            visit(node.left)
+            visit(node.right)
+        elif isinstance(node, ast.CallE):
+            for argument in node.args:
+                visit(argument)
+
+    visit(expr)
+    return names
+
+
+def _contains_break_or_continue(statements: List[ast.Stmt]) -> bool:
+    """True if a break/continue binds to *this* loop level."""
+
+    def visit(statement: ast.Stmt) -> bool:
+        if isinstance(statement, (ast.Break, ast.Continue)):
+            return True
+        if isinstance(statement, ast.If):
+            children = list(statement.then.statements)
+            if statement.els is not None:
+                children += statement.els.statements
+            return any(visit(child) for child in children)
+        if isinstance(statement, ast.BlockStmt):
+            return any(visit(child) for child in statement.statements)
+        # While/For introduce a new loop level: their break/continue
+        # bind inward and do not block unrolling of the outer loop.
+        return False
+
+    return any(visit(statement) for statement in statements)
+
+
+def _subst_expr(expr: ast.Expr, name: str, replacement: ast.Expr) -> ast.Expr:
+    if isinstance(expr, ast.Num):
+        return expr
+    if isinstance(expr, ast.Ident):
+        return copy.deepcopy(replacement) if expr.name == name else expr
+    if isinstance(expr, ast.Index):
+        return ast.Index(expr.name, _subst_expr(expr.index, name, replacement),
+                         expr.line)
+    if isinstance(expr, ast.Unary):
+        return ast.Unary(expr.op, _subst_expr(expr.operand, name, replacement),
+                         expr.line)
+    if isinstance(expr, ast.Bin):
+        return ast.Bin(
+            expr.op,
+            _subst_expr(expr.left, name, replacement),
+            _subst_expr(expr.right, name, replacement),
+            expr.line,
+        )
+    if isinstance(expr, ast.CallE):
+        return ast.CallE(
+            expr.name,
+            [_subst_expr(argument, name, replacement) for argument in expr.args],
+            expr.line,
+        )
+    raise CompileError(f"cannot substitute into {expr!r}")  # pragma: no cover
+
+
+def _subst_stmt(statement: ast.Stmt, name: str,
+                replacement: ast.Expr) -> ast.Stmt:
+    if isinstance(statement, ast.Assign):
+        target = statement.target
+        if isinstance(target, ast.Index):
+            target = ast.Index(
+                target.name, _subst_expr(target.index, name, replacement),
+                target.line,
+            )
+        return ast.Assign(
+            target, statement.op,
+            _subst_expr(statement.value, name, replacement), statement.line,
+        )
+    if isinstance(statement, ast.VarDecl):
+        init = None
+        if statement.init is not None:
+            init = _subst_expr(statement.init, name, replacement)
+        return ast.VarDecl(statement.name, init, statement.line)
+    if isinstance(statement, ast.ArrayDecl):
+        return statement
+    if isinstance(statement, ast.If):
+        els = None
+        if statement.els is not None:
+            els = _subst_block(statement.els, name, replacement)
+        return ast.If(
+            _subst_expr(statement.cond, name, replacement),
+            _subst_block(statement.then, name, replacement),
+            els, statement.line,
+        )
+    if isinstance(statement, ast.While):
+        return ast.While(
+            _subst_expr(statement.cond, name, replacement),
+            _subst_block(statement.body, name, replacement),
+            statement.line,
+        )
+    if isinstance(statement, ast.For):
+        init = statement.init
+        if init is not None:
+            init = _subst_stmt(init, name, replacement)
+        step = statement.step
+        if step is not None:
+            step = _subst_stmt(step, name, replacement)
+        cond = statement.cond
+        if cond is not None:
+            cond = _subst_expr(cond, name, replacement)
+        return ast.For(
+            init, cond, step,
+            _subst_block(statement.body, name, replacement),
+            statement.unroll, statement.line,
+        )
+    if isinstance(statement, ast.Return):
+        value = None
+        if statement.value is not None:
+            value = _subst_expr(statement.value, name, replacement)
+        return ast.Return(value, statement.line)
+    if isinstance(statement, (ast.Break, ast.Continue)):
+        return statement
+    if isinstance(statement, ast.ExprStmt):
+        return ast.ExprStmt(
+            _subst_expr(statement.expr, name, replacement), statement.line
+        )
+    if isinstance(statement, ast.BlockStmt):
+        return _subst_block(statement, name, replacement)
+    raise CompileError(f"cannot substitute into {statement!r}")  # pragma: no cover
+
+
+def _subst_block(block: ast.BlockStmt, name: str,
+                 replacement: ast.Expr) -> ast.BlockStmt:
+    return ast.BlockStmt(
+        [_subst_stmt(child, name, replacement) for child in block.statements],
+        block.line,
+    )
+
+
+# -- canonical-loop analysis -----------------------------------------------
+
+@dataclass
+class _LoopShape:
+    ivar: str
+    init: ast.Expr
+    cmp_op: str
+    limit: ast.Expr
+    step: int
+
+
+def _const_of(expr: ast.Expr) -> Optional[int]:
+    if isinstance(expr, ast.Num):
+        return expr.value
+    if isinstance(expr, ast.Unary) and expr.op == "-":
+        inner = _const_of(expr.operand)
+        return None if inner is None else -inner
+    return None
+
+
+def _loop_shape(loop: ast.For) -> _LoopShape:
+    line = loop.line
+    if loop.init is None or loop.cond is None or loop.step is None:
+        raise CompileError("unroll requires a complete for-header", line)
+    if not isinstance(loop.init.target, ast.Ident) or loop.init.op is not None:
+        raise CompileError(
+            "unroll requires 'i = <expr>' initialisation", line
+        )
+    ivar = loop.init.target.name
+
+    cond = loop.cond
+    if not (isinstance(cond, ast.Bin) and cond.op in ("<", "<=", ">", ">=")):
+        raise CompileError("unroll requires 'i <op> limit' condition", line)
+    if not (isinstance(cond.left, ast.Ident) and cond.left.name == ivar):
+        raise CompileError(
+            "unroll requires the induction variable on the condition's left",
+            line,
+        )
+
+    step = loop.step
+    if not (isinstance(step.target, ast.Ident) and step.target.name == ivar):
+        raise CompileError("unroll requires the step to assign the induction "
+                           "variable", line)
+    delta: Optional[int] = None
+    if step.op in ("+", "-"):
+        constant = _const_of(step.value)
+        if constant is not None:
+            delta = constant if step.op == "+" else -constant
+    elif step.op is None and isinstance(step.value, ast.Bin):
+        inner = step.value
+        if inner.op in ("+", "-") and isinstance(inner.left, ast.Ident) \
+                and inner.left.name == ivar:
+            constant = _const_of(inner.right)
+            if constant is not None:
+                delta = constant if inner.op == "+" else -constant
+    if delta is None or delta == 0:
+        raise CompileError("unroll requires a non-zero constant step", line)
+
+    if _contains_break_or_continue(loop.body.statements):
+        raise CompileError("cannot unroll a loop containing break/continue",
+                           line)
+    assigned = _assigned_names(loop.body.statements)
+    if ivar in assigned:
+        raise CompileError(
+            f"cannot unroll: body assigns induction variable {ivar!r}", line
+        )
+    return _LoopShape(ivar, loop.init.value, cond.op, cond.right, delta)
+
+
+def _trip_values(shape: _LoopShape, line: int) -> List[int]:
+    start = _const_of(shape.init)
+    limit = _const_of(shape.limit)
+    if start is None or limit is None:
+        raise CompileError(
+            "full unroll requires constant bounds", line
+        )
+    values: List[int] = []
+    current = start
+    while True:
+        if shape.cmp_op == "<" and not current < limit:
+            break
+        if shape.cmp_op == "<=" and not current <= limit:
+            break
+        if shape.cmp_op == ">" and not current > limit:
+            break
+        if shape.cmp_op == ">=" and not current >= limit:
+            break
+        values.append(current)
+        current += shape.step
+        if len(values) > MAX_FULL_UNROLL:
+            raise CompileError(
+                f"loop exceeds the {MAX_FULL_UNROLL}-iteration unroll cap",
+                line,
+            )
+    return values
+
+
+# -- the transformation -------------------------------------------------------
+
+def _expand_iteration(body: ast.BlockStmt, ivar: str,
+                      value_expr: ast.Expr) -> List[ast.Stmt]:
+    return list(_subst_block(body, ivar, value_expr).statements)
+
+
+def _unroll_for(loop: ast.For) -> List[ast.Stmt]:
+    shape = _loop_shape(loop)
+    line = loop.line
+    body = loop.body
+
+    start = _const_of(shape.init)
+    limit = _const_of(shape.limit)
+
+    if loop.unroll == -1 or (start is not None and limit is not None):
+        values = _trip_values(shape, line)
+        factor = len(values) if loop.unroll == -1 else loop.unroll
+        result: List[ast.Stmt] = []
+        if loop.unroll == -1 or factor >= len(values):
+            for value in values:
+                result.extend(_expand_iteration(body, shape.ivar,
+                                                ast.Num(value, line)))
+        else:
+            chunks, leftover = divmod(len(values), factor)
+            if chunks:
+                chunk_step = shape.step * factor
+                last_start = values[0] + (chunks - 1) * chunk_step
+                unrolled_body: List[ast.Stmt] = []
+                for j in range(factor):
+                    offset = j * shape.step
+                    value_expr: ast.Expr = ast.Ident(shape.ivar, line)
+                    if offset:
+                        value_expr = ast.Bin(
+                            "+", ast.Ident(shape.ivar, line),
+                            ast.Num(offset, line), line,
+                        )
+                    unrolled_body.extend(
+                        _expand_iteration(body, shape.ivar, value_expr)
+                    )
+                step_assign = ast.Assign(
+                    ast.Ident(shape.ivar, line), "+",
+                    ast.Num(chunk_step, line), line,
+                )
+                cmp_op = "<=" if chunk_step > 0 else ">="
+                result.append(ast.For(
+                    init=ast.Assign(ast.Ident(shape.ivar, line), None,
+                                    ast.Num(values[0], line), line),
+                    cond=ast.Bin(cmp_op, ast.Ident(shape.ivar, line),
+                                 ast.Num(last_start, line), line),
+                    step=step_assign,
+                    body=ast.BlockStmt(unrolled_body, line),
+                    unroll=0, line=line,
+                ))
+            for value in values[len(values) - leftover:]:
+                result.extend(_expand_iteration(body, shape.ivar,
+                                                ast.Num(value, line)))
+        # Leave the induction variable at its final value.
+        final = (values[-1] + shape.step) if values else start
+        result.append(ast.Assign(ast.Ident(shape.ivar, line), None,
+                                 ast.Num(final, line), line))
+        return result
+
+    # Non-constant bounds: partial unroll of an upward-counting '<'/'<='
+    # loop, with a scalar epilogue loop.
+    factor = loop.unroll
+    if shape.cmp_op not in ("<", "<=") or shape.step <= 0:
+        raise CompileError(
+            "partial unroll of non-constant bounds requires an "
+            "upward-counting '<' or '<=' loop",
+            line,
+        )
+    limit_names = _used_names(shape.limit)
+    if limit_names & _assigned_names(body.statements):
+        raise CompileError(
+            "cannot unroll: body assigns variables used by the loop limit",
+            line,
+        )
+
+    lookahead = (factor - 1) * shape.step
+    guard = ast.Bin(
+        shape.cmp_op,
+        ast.Bin("+", ast.Ident(shape.ivar, line), ast.Num(lookahead, line),
+                line),
+        copy.deepcopy(shape.limit),
+        line,
+    )
+    unrolled_body: List[ast.Stmt] = []
+    for j in range(factor):
+        offset = j * shape.step
+        value_expr = ast.Ident(shape.ivar, line)
+        if offset:
+            value_expr = ast.Bin("+", ast.Ident(shape.ivar, line),
+                                 ast.Num(offset, line), line)
+        unrolled_body.extend(_expand_iteration(body, shape.ivar, value_expr))
+    main_loop = ast.For(
+        init=ast.Assign(ast.Ident(shape.ivar, line), None,
+                        copy.deepcopy(shape.init), line),
+        cond=guard,
+        step=ast.Assign(ast.Ident(shape.ivar, line), "+",
+                        ast.Num(factor * shape.step, line), line),
+        body=ast.BlockStmt(unrolled_body, line),
+        unroll=0, line=line,
+    )
+    epilogue = ast.For(
+        init=None,
+        cond=copy.deepcopy(loop.cond),
+        step=copy.deepcopy(loop.step),
+        body=copy.deepcopy(body),
+        unroll=0, line=line,
+    )
+    return [main_loop, epilogue]
+
+
+# -- recursive walk --------------------------------------------------------------
+
+def _walk_block(block: ast.BlockStmt, enabled: bool) -> ast.BlockStmt:
+    result: List[ast.Stmt] = []
+    for statement in block.statements:
+        result.extend(_walk_stmt(statement, enabled))
+    return ast.BlockStmt(result, block.line)
+
+
+def _walk_stmt(statement: ast.Stmt, enabled: bool) -> List[ast.Stmt]:
+    if isinstance(statement, ast.If):
+        els = None
+        if statement.els is not None:
+            els = _walk_block(statement.els, enabled)
+        return [ast.If(statement.cond, _walk_block(statement.then, enabled),
+                       els, statement.line)]
+    if isinstance(statement, ast.While):
+        return [ast.While(statement.cond,
+                          _walk_block(statement.body, enabled),
+                          statement.line)]
+    if isinstance(statement, ast.For):
+        inner = ast.For(
+            statement.init, statement.cond, statement.step,
+            _walk_block(statement.body, enabled),
+            statement.unroll, statement.line,
+        )
+        if enabled and inner.unroll != 0:
+            return _unroll_for(inner)
+        if not enabled:
+            inner.unroll = 0
+        return [inner]
+    if isinstance(statement, ast.BlockStmt):
+        return [_walk_block(statement, enabled)]
+    return [statement]
+
+
+def unroll_program(program: ast.ProgramAst,
+                   enabled: bool = True) -> ast.ProgramAst:
+    """Apply (or strip, when disabled) all unroll annotations."""
+    functions = [
+        ast.FuncDecl(
+            function.name, function.params,
+            _walk_block(function.body, enabled),
+            function.returns_value, function.line,
+        )
+        for function in program.functions
+    ]
+    return ast.ProgramAst(list(program.globals), functions)

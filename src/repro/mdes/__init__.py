@@ -1,0 +1,19 @@
+"""Machine description (the paper's HMDES role, §4.1).
+
+"Processor organisation information, including number of functional
+units, instruction issues per cycle and functionality of each module, is
+captured in the machine description language HMDES and serve as an input
+to elcor.  By modifying the appropriate entries in the machine
+description file during customisation, the compiler is able to support
+our design, without the need for recompiling the compiler itself."
+
+:class:`Mdes` is generated from a :class:`~repro.config.MachineConfig`
+and consumed by the scheduler (`repro.sched`) and the simulator — the
+same single source of truth the paper relies on to keep compile-time
+schedules and hardware behaviour consistent.
+"""
+
+from repro.mdes.mdes import Mdes, ResourceSet
+from repro.mdes.text import emit_hmdes, parse_hmdes
+
+__all__ = ["Mdes", "ResourceSet", "emit_hmdes", "parse_hmdes"]

@@ -1,0 +1,93 @@
+"""Machine-description object consumed by the scheduler and simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.config import MachineConfig
+from repro.errors import MdesError
+from repro.isa.opcodes import FuClass, OpcodeInfo, OpcodeTable, build_opcode_table
+
+
+@dataclass(frozen=True)
+class ResourceSet:
+    """Number of each functional-unit resource available per cycle."""
+
+    alu: int
+    lsu: int
+    cmpu: int
+    bru: int
+    issue_slots: int
+
+    def count(self, fu_class: FuClass) -> int:
+        if fu_class is FuClass.ALU:
+            return self.alu
+        if fu_class is FuClass.LSU:
+            return self.lsu
+        if fu_class is FuClass.CMPU:
+            return self.cmpu
+        if fu_class is FuClass.BRU:
+            return self.bru
+        if fu_class is FuClass.MISC:
+            return self.issue_slots
+        raise MdesError(f"unknown functional-unit class {fu_class!r}")
+
+
+class Mdes:
+    """Resource and latency model of one processor configuration.
+
+    The datapath (paper Fig. 2) has N ALUs and exactly one LSU, CMPU and
+    BRU; up to ``issue_width`` operations launch per cycle.  Latencies
+    come from the configuration so that the scheduler's assumptions match
+    the simulated hardware exactly (the EPIC contract).
+    """
+
+    def __init__(self, config: MachineConfig, table: Optional[OpcodeTable] = None):
+        self.config = config
+        self.table = table if table is not None else build_opcode_table(config)
+        self.resources = ResourceSet(
+            alu=config.n_alus,
+            lsu=1,
+            cmpu=1,
+            bru=1,
+            issue_slots=config.issue_width,
+        )
+        self._latency_table: Dict[str, int] = config.latency
+
+    # -- queries ----------------------------------------------------------
+
+    def latency_of(self, info: OpcodeInfo) -> int:
+        """Result latency of one operation, in cycles."""
+        if info.is_custom:
+            return info.custom_spec.latency
+        try:
+            return self._latency_table[info.latency_class]
+        except KeyError:
+            raise MdesError(
+                f"no latency entry for class {info.latency_class!r}"
+            ) from None
+
+    def latency_of_mnemonic(self, mnemonic: str) -> int:
+        return self.latency_of(self.table.lookup(mnemonic))
+
+    def resource_count(self, fu_class: FuClass) -> int:
+        return self.resources.count(fu_class)
+
+    def supports(self, mnemonic: str) -> bool:
+        """Whether this configuration implements the operation at all."""
+        return mnemonic in self.table
+
+    @property
+    def issue_width(self) -> int:
+        return self.config.issue_width
+
+    @property
+    def max_latency(self) -> int:
+        return max(self.latency_of(info) for info in self.table)
+
+    def describe(self) -> str:
+        return (
+            f"mdes({self.config.describe()}, "
+            f"{len(self.table)} ops, max latency {self.max_latency})"
+        )

@@ -1,0 +1,86 @@
+"""HMDES-flavoured textual machine description.
+
+Trimaran's elcor reads an HMDES file; our scheduler reads an
+:class:`~repro.mdes.Mdes` object directly, but for fidelity (and for
+inspection/diffing of design points) the description can be emitted to
+and re-parsed from a compact HMDES-like section syntax::
+
+    SECTION Resource {
+      alu (count 4);
+      lsu (count 1);
+      ...
+    }
+    SECTION Operation {
+      ADD (class alu latency 1);
+      ...
+    }
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Tuple
+
+from repro.errors import MdesError
+from repro.mdes.mdes import Mdes
+
+_SECTION_RE = re.compile(r"SECTION\s+(\w+)\s*\{([^}]*)\}", re.DOTALL)
+_ENTRY_RE = re.compile(r"(\w+)\s*\(([^)]*)\)\s*;")
+
+
+def emit_hmdes(mdes: Mdes) -> str:
+    """Serialise resources and per-operation latencies."""
+    lines = ["// generated machine description (HMDES-flavoured)"]
+    lines.append("SECTION Resource {")
+    resources = mdes.resources
+    for name, count in (
+        ("alu", resources.alu),
+        ("lsu", resources.lsu),
+        ("cmpu", resources.cmpu),
+        ("bru", resources.bru),
+        ("issue", resources.issue_slots),
+    ):
+        lines.append(f"  {name} (count {count});")
+    lines.append("}")
+    lines.append("SECTION Operation {")
+    for info in sorted(mdes.table, key=lambda i: i.code):
+        lines.append(
+            f"  {info.mnemonic} (class {info.fu_class.value} "
+            f"latency {mdes.latency_of(info)} code {info.code});"
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_hmdes(text: str) -> Tuple[Dict[str, int], Dict[str, Dict[str, object]]]:
+    """Parse emitted text back into (resources, operations) dictionaries.
+
+    The parser is deliberately forgiving about whitespace and comments;
+    it validates structure and returns plain dictionaries, which tests
+    compare against the generating :class:`Mdes`.
+    """
+    text = re.sub(r"//[^\n]*", "", text)
+    sections = {match.group(1): match.group(2) for match in _SECTION_RE.finditer(text)}
+    if "Resource" not in sections or "Operation" not in sections:
+        raise MdesError("missing Resource or Operation section")
+
+    resources: Dict[str, int] = {}
+    for name, body in _ENTRY_RE.findall(sections["Resource"]):
+        fields = body.split()
+        if len(fields) != 2 or fields[0] != "count":
+            raise MdesError(f"malformed resource entry for {name!r}")
+        resources[name] = int(fields[1])
+
+    operations: Dict[str, Dict[str, object]] = {}
+    for name, body in _ENTRY_RE.findall(sections["Operation"]):
+        fields = body.split()
+        if len(fields) % 2 != 0:
+            raise MdesError(f"malformed operation entry for {name!r}")
+        entry: Dict[str, object] = {}
+        for key, value in zip(fields[::2], fields[1::2]):
+            entry[key] = int(value) if value.isdigit() else value
+        for required in ("class", "latency", "code"):
+            if required not in entry:
+                raise MdesError(f"operation {name!r} missing {required!r}")
+        operations[name] = entry
+    return resources, operations

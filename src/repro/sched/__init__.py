@@ -1,0 +1,31 @@
+"""Static scheduling and register allocation (elcor's role, §4.1).
+
+The scheduler performs the dependence analysis and resource-conflict
+avoidance that EPIC moves from hardware to the compiler (§2): it builds
+a dependence DAG per scheduling region, assigns each operation an issue
+cycle under the machine description's functional-unit counts and
+latencies, and emits issue groups.  Because the hardware does not
+interlock, the schedule also guarantees that every result has landed
+before the flow of control can reach a consumer — including across
+basic-block boundaries (end-of-block latency padding).
+
+Register allocation is a linear scan over the configured register file,
+parameterised by a calling convention so the same allocator serves the
+EPIC backend (64+ registers) and the SA-110 baseline (16 registers).
+"""
+
+from repro.sched.convention import RegConvention, epic_convention, armlet_convention
+from repro.sched.liveness import LivenessInfo, compute_liveness
+from repro.sched.regalloc import AllocationResult, allocate_registers
+from repro.sched.listsched import schedule_function
+
+__all__ = [
+    "RegConvention",
+    "epic_convention",
+    "armlet_convention",
+    "LivenessInfo",
+    "compute_liveness",
+    "AllocationResult",
+    "allocate_registers",
+    "schedule_function",
+]

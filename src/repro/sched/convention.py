@@ -1,0 +1,109 @@
+"""Register calling conventions.
+
+Neither the paper nor HPL-PD mandates a software convention; the
+toolchain only needs compiler, assembler and simulator to agree.  Ours:
+
+========  ============================  =========================
+register  EPIC (n_gprs >= 16)           Armlet baseline (16 regs)
+========  ============================  =========================
+r0        hardwired zero                hardwired zero
+r1        stack pointer                 stack pointer
+r2        return value                  return value
+r3        return address                return address
+r4..r9    arguments (caller-saved)      r4..r7 arguments
+r10,r11   spill scratch                 r14,r15 spill scratch
+r12..mid  caller-saved temporaries      r8,r9 temporaries
+mid..     callee-saved                  r10..r13 callee-saved
+========  ============================  =========================
+
+Caller-saved temporaries cost nothing in a prologue but die at calls;
+callee-saved registers survive calls but must be saved by any function
+that writes them.  The split matters: the hot kernels are leaf functions
+with high register pressure, and a convention that makes a leaf save
+fifty registers through the single load/store unit would swamp the very
+parallelism the EPIC datapath provides.  Values live across a call are
+restricted to the callee-saved pool; leaf functions may additionally
+allocate into the argument registers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class RegConvention:
+    """Register roles for one target."""
+
+    n_regs: int
+    zero: int
+    sp: int
+    rv: int
+    ra: int
+    arg_regs: Tuple[int, ...]
+    scratch: Tuple[int, int]         # reserved for spill reload/store
+    temporaries: Tuple[int, ...]     # caller-saved, free in any function
+    callee_saved: Tuple[int, ...]    # allocatable, saved by the callee
+
+    def __post_init__(self) -> None:
+        special = {self.zero, self.sp, self.rv, self.ra}
+        special |= set(self.arg_regs) | set(self.scratch)
+        pools = set(self.temporaries) | set(self.callee_saved)
+        if special & pools:
+            raise ConfigError("allocation pools overlap special registers")
+        if set(self.temporaries) & set(self.callee_saved):
+            raise ConfigError("temporaries overlap the callee-saved pool")
+        for reg in sorted(special | pools):
+            if not 0 <= reg < self.n_regs:
+                raise ConfigError(f"register r{reg} outside the file")
+        if len(self.arg_regs) < 1:
+            raise ConfigError("need at least one argument register")
+        if not self.callee_saved:
+            raise ConfigError("need a non-empty callee-saved pool")
+
+    def caller_pool(self, is_leaf: bool) -> Tuple[int, ...]:
+        """Caller-saved registers allocatable in this function."""
+        if is_leaf:
+            return self.temporaries + self.arg_regs
+        return self.temporaries
+
+    @property
+    def max_reg_args(self) -> int:
+        return len(self.arg_regs)
+
+
+def epic_convention(n_gprs: int) -> RegConvention:
+    """Convention for an EPIC configuration with ``n_gprs`` registers.
+
+    The allocatable range r12.. is split evenly between caller-saved
+    temporaries and callee-saved registers.
+    """
+    if n_gprs < 16:
+        raise ConfigError(
+            "the code generator requires at least 16 general registers"
+        )
+    first = 12
+    mid = first + (n_gprs - first) // 2
+    return RegConvention(
+        n_regs=n_gprs,
+        zero=0, sp=1, rv=2, ra=3,
+        arg_regs=(4, 5, 6, 7, 8, 9),
+        scratch=(10, 11),
+        temporaries=tuple(range(first, mid)),
+        callee_saved=tuple(range(mid, n_gprs)),
+    )
+
+
+def armlet_convention() -> RegConvention:
+    """Convention for the 16-register scalar baseline (APCS-flavoured)."""
+    return RegConvention(
+        n_regs=16,
+        zero=0, sp=1, rv=2, ra=3,
+        arg_regs=(4, 5, 6, 7),
+        scratch=(14, 15),
+        temporaries=(8, 9),
+        callee_saved=(10, 11, 12, 13),
+    )

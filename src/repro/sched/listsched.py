@@ -1,0 +1,313 @@
+"""Resource-constrained list scheduling into issue groups.
+
+This is the core of elcor's job (§4.1): "statically schedule the
+instructions by performing dependence analysis and resource conflict
+avoidance", driven by the machine description.
+
+Model
+=====
+
+* Locations are ``("g", n)`` GPRs, ``("p", n)`` predicates, ``("b", n)``
+  BTRs and the single conservative ``("mem",)`` location.  ``r0``/``p0``
+  are hardwired and generate no dependences.
+* Edges: true dependence with the producer's latency; anti dependence
+  with latency 0 (same-cycle is legal — VLIW reads see pre-cycle state);
+  output dependence with latency ``L1 - L2 + 1`` (the later write must
+  land later).
+* A block is split into *regions* at branch operations.  Ops never move
+  across a branch; a region's ops all issue no later than its branch.
+* The branch of a region issues no earlier than the landing cycle of
+  every write in the block so far (``T + L - 1``): control never leaves
+  a block while a write is in flight.  The same padding rule applies to
+  fall-through block ends.  This is what makes per-block scheduling safe
+  on hardware without interlocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.backend.mops import MBlock, MFunction, MOp
+from repro.errors import ScheduleError
+from repro.isa.opcodes import FuClass
+from repro.isa.operands import Btr, Lit, Pred, Reg, PRED_TRUE
+from repro.mdes import Mdes
+
+_BRANCH_MNEMONICS = ("BR", "BRCT", "BRCF", "BRL", "HALT")
+
+Location = Tuple
+
+
+def _locations(mop: MOp) -> Tuple[List[Location], List[Location]]:
+    """(reads, writes) location lists for one machine op."""
+    reads: List[Location] = []
+    writes: List[Location] = []
+
+    def read_gpr(operand) -> None:
+        if isinstance(operand, Reg) and operand.index != 0:
+            reads.append(("g", operand.index))
+
+    def read_any(operand) -> None:
+        if isinstance(operand, Reg) and operand.index != 0:
+            reads.append(("g", operand.index))
+        elif isinstance(operand, Pred) and operand.index != PRED_TRUE:
+            reads.append(("p", operand.index))
+        elif isinstance(operand, Btr):
+            reads.append(("b", operand.index))
+
+    mnemonic = mop.mnemonic
+    if mop.guard.index != PRED_TRUE:
+        reads.append(("p", mop.guard.index))
+
+    if mnemonic == "SW":
+        read_gpr(mop.dest1)
+        read_any(mop.src1)
+        read_any(mop.src2)
+        writes.append(("mem",))
+        return reads, writes
+    if mnemonic in ("LW", "LWS"):
+        read_any(mop.src1)
+        read_any(mop.src2)
+        reads.append(("mem",))
+        if isinstance(mop.dest1, Reg) and mop.dest1.index != 0:
+            writes.append(("g", mop.dest1.index))
+        return reads, writes
+    if mnemonic == "PBR":
+        writes.append(("b", mop.dest1.index))
+        return reads, writes
+    if mnemonic == "MOVGBP":
+        read_any(mop.src1)
+        writes.append(("b", mop.dest1.index))
+        return reads, writes
+    if mnemonic in ("BR", "BRCT", "BRCF", "BRL"):
+        read_any(mop.src1)
+        read_any(mop.src2)
+        if mnemonic == "BRL" and isinstance(mop.dest1, Reg):
+            writes.append(("g", mop.dest1.index))
+        return reads, writes
+    if mnemonic in ("HALT", "NOP"):
+        return reads, writes
+
+    # ALU / CMPP / MOVE / MOVI / custom ops.
+    read_any(mop.src1)
+    read_any(mop.src2)
+    for dest in (mop.dest1, mop.dest2):
+        if isinstance(dest, Reg) and dest.index != 0:
+            writes.append(("g", dest.index))
+        elif isinstance(dest, Pred) and dest.index != PRED_TRUE:
+            writes.append(("p", dest.index))
+    return reads, writes
+
+
+@dataclass
+class _Node:
+    index: int
+    mop: MOp
+    reads: List[Location]
+    writes: List[Location]
+    latency: int
+    fu: FuClass
+    preds: List[Tuple[int, int]] = field(default_factory=list)  # (node, lat)
+    succs: List[Tuple[int, int]] = field(default_factory=list)
+    earliest: int = 0
+    height: int = 0
+    cycle: int = -1
+
+
+class _ResourceTable:
+    """Per-cycle functional-unit and issue-slot usage."""
+
+    def __init__(self, mdes: Mdes):
+        self.mdes = mdes
+        self.slots: Dict[int, int] = {}
+        self.units: Dict[Tuple[int, FuClass], int] = {}
+
+    def fits(self, cycle: int, fu: FuClass) -> bool:
+        if self.slots.get(cycle, 0) >= self.mdes.issue_width:
+            return False
+        if fu is FuClass.MISC:
+            return True
+        return self.units.get((cycle, fu), 0) < self.mdes.resource_count(fu)
+
+    def take(self, cycle: int, fu: FuClass) -> None:
+        self.slots[cycle] = self.slots.get(cycle, 0) + 1
+        if fu is not FuClass.MISC:
+            self.units[(cycle, fu)] = self.units.get((cycle, fu), 0) + 1
+
+
+def _build_nodes(mops: Sequence[MOp], mdes: Mdes,
+                 start_index: int) -> List[_Node]:
+    nodes: List[_Node] = []
+    for offset, mop in enumerate(mops):
+        info = mdes.table.lookup(mop.mnemonic)
+        reads, writes = _locations(mop)
+        nodes.append(_Node(
+            index=start_index + offset,
+            mop=mop,
+            reads=reads,
+            writes=writes,
+            latency=mdes.latency_of(info),
+            fu=info.fu_class,
+        ))
+    return nodes
+
+
+def _add_edges(nodes: List[_Node]) -> None:
+    last_writer: Dict[Location, _Node] = {}
+    readers: Dict[Location, List[_Node]] = {}
+    for node in nodes:
+        for loc in node.reads:
+            writer = last_writer.get(loc)
+            if writer is not None:
+                node.preds.append((writer.index, writer.latency))
+                writer.succs.append((node.index, writer.latency))
+        for loc in node.writes:
+            for reader in readers.get(loc, []):
+                if reader is not node:
+                    node.preds.append((reader.index, 0))
+                    reader.succs.append((node.index, 0))
+            writer = last_writer.get(loc)
+            if writer is not None:
+                lat = max(writer.latency - node.latency + 1, 0)
+                node.preds.append((writer.index, lat))
+                writer.succs.append((node.index, lat))
+        for loc in node.reads:
+            readers.setdefault(loc, []).append(node)
+        for loc in node.writes:
+            last_writer[loc] = node
+            readers[loc] = []
+
+
+def _compute_heights(nodes: List[_Node]) -> None:
+    by_index = {node.index: node for node in nodes}
+    for node in reversed(nodes):
+        height = node.latency
+        for succ_index, lat in node.succs:
+            height = max(height, lat + by_index[succ_index].height)
+        node.height = height
+
+
+def _schedule_region(nodes: List[_Node], resources: _ResourceTable,
+                     region_start: int,
+                     land: Dict[Location, int]) -> int:
+    """Assign cycles to all nodes; returns max issue cycle (or start-1)."""
+    if not nodes:
+        return region_start - 1
+    _add_edges(nodes)
+    _compute_heights(nodes)
+    by_index = {node.index: node for node in nodes}
+
+    for node in nodes:
+        earliest = region_start
+        for loc in node.reads:
+            earliest = max(earliest, land.get(loc, 0))
+        for loc in node.writes:
+            earliest = max(earliest, land.get(loc, 0) - node.latency + 1)
+        node.earliest = earliest
+
+    unscheduled: Set[int] = {node.index for node in nodes}
+    cycle = region_start
+    max_cycle = region_start - 1
+    guard = 0
+    while unscheduled:
+        guard += 1
+        if guard > 1_000_000:  # pragma: no cover - defensive
+            raise ScheduleError("list scheduler failed to converge")
+        progress = False
+        ready: List[_Node] = []
+        for index in unscheduled:
+            node = by_index[index]
+            ok = True
+            bound = node.earliest
+            for pred_index, lat in node.preds:
+                pred = by_index[pred_index]
+                if pred.cycle < 0:
+                    ok = False
+                    break
+                bound = max(bound, pred.cycle + lat)
+            if ok and bound <= cycle:
+                ready.append(node)
+        ready.sort(key=lambda node: (-node.height, node.index))
+        for node in ready:
+            if resources.fits(cycle, node.fu):
+                resources.take(cycle, node.fu)
+                node.cycle = cycle
+                unscheduled.discard(node.index)
+                max_cycle = max(max_cycle, cycle)
+                progress = True
+        cycle += 1
+    return max_cycle
+
+
+def schedule_block(block: MBlock, mdes: Mdes) -> List[List[MOp]]:
+    """Schedule one block; returns bundles indexed by cycle."""
+    resources = _ResourceTable(mdes)
+    land: Dict[Location, int] = {}
+    placed: List[Tuple[int, MOp]] = []
+
+    # Split into regions at branch operations.
+    regions: List[Tuple[List[MOp], Optional[MOp]]] = []
+    body: List[MOp] = []
+    for mop in block.mops:
+        if mop.mnemonic in _BRANCH_MNEMONICS:
+            regions.append((body, mop))
+            body = []
+        else:
+            body.append(mop)
+    regions.append((body, None))
+
+    current = 0
+    finish = -1  # latest landing cycle of any write so far
+    node_counter = 0
+    for body, branch in regions:
+        nodes = _build_nodes(body, mdes, node_counter)
+        node_counter += len(nodes) + 1
+        max_issue = _schedule_region(nodes, resources, current, land)
+        for node in nodes:
+            placed.append((node.cycle, node.mop))
+            for loc in node.writes:
+                land[loc] = node.cycle + node.latency
+            finish = max(finish, node.cycle + node.latency - 1)
+
+        if branch is None:
+            current = max(max_issue, finish, current - 1) + 1
+            continue
+
+        info = mdes.table.lookup(branch.mnemonic)
+        reads, writes = _locations(branch)
+        earliest = max(current, max_issue, finish)
+        for loc in reads:
+            earliest = max(earliest, land.get(loc, 0))
+        cycle = earliest
+        while not resources.fits(cycle, info.fu_class):
+            cycle += 1
+        resources.take(cycle, info.fu_class)
+        placed.append((cycle, branch))
+        for loc in writes:
+            land[loc] = cycle + mdes.latency_of(info)
+            finish = max(finish, cycle + mdes.latency_of(info) - 1)
+        current = cycle + 1
+
+    total_cycles = max(current, finish + 1)
+    if placed:
+        total_cycles = max(total_cycles,
+                           max(cycle for cycle, _ in placed) + 1)
+    bundles: List[List[MOp]] = [[] for _ in range(max(total_cycles, 1))]
+    for cycle, mop in placed:
+        bundles[cycle].append(mop)
+    return bundles
+
+
+def schedule_function(mfunc: MFunction,
+                      mdes: Mdes) -> List[Tuple[str, List[List[MOp]]]]:
+    """Schedule every block; returns (label, bundles) in layout order."""
+    result = []
+    for block in mfunc.blocks:
+        for mop in block.mops:
+            if mop.is_pseudo:
+                raise ScheduleError(
+                    f"pseudo op reached the scheduler: {mop}"
+                )
+        result.append((block.label, schedule_block(block, mdes)))
+    return result

@@ -1,0 +1,108 @@
+"""Virtual-register liveness over an :class:`~repro.backend.mops.MFunction`.
+
+Classic backward dataflow at block granularity.  A *guarded* definition
+(one executing under a predicate other than p0) is treated as a use-and-
+maybe-def: it never kills liveness, because the write may be squashed at
+run time and the previous value must survive (paper §2's predication
+semantics)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.backend.mops import MBlock, MFunction, MOp, VR
+from repro.errors import ScheduleError
+from repro.isa.operands import PRED_TRUE
+
+
+def successor_labels(block: MBlock, next_label: Optional[str]) -> List[str]:
+    """Control-flow successors of a machine block, by label."""
+    successors: List[str] = []
+    falls_through = True
+    # EPIC: branch targets live on the PBR that prepared the BTR.
+    pbr_targets: Dict[int, str] = {}
+    for mop in block.mops:
+        if mop.mnemonic == "PBR" and mop.target is not None \
+                and not mop.target.startswith(("alloca:", "spill:")):
+            pbr_targets[mop.dest1.index] = mop.target
+        elif mop.mnemonic in ("BR", "BRCT", "BRCF"):
+            target = pbr_targets.get(mop.src1.index)
+            if target is not None:
+                successors.append(target)
+            if mop.mnemonic == "BR":
+                falls_through = False
+        # Armlet (scalar baseline): branches carry their target directly.
+        elif mop.mnemonic == "B":
+            if mop.target is not None:
+                successors.append(mop.target)
+            falls_through = False
+        elif mop.mnemonic.startswith("B") and mop.target is not None:
+            successors.append(mop.target)  # conditional Bcc
+        elif mop.mnemonic == "JR":
+            falls_through = False
+        elif mop.mnemonic in ("HALT", "__RET"):
+            falls_through = False
+    if falls_through and next_label is not None:
+        successors.append(next_label)
+    return successors
+
+
+@dataclass
+class LivenessInfo:
+    """Per-block live-in/live-out sets of virtual registers."""
+
+    live_in: Dict[str, Set[VR]] = field(default_factory=dict)
+    live_out: Dict[str, Set[VR]] = field(default_factory=dict)
+
+
+def _block_use_def(block: MBlock) -> Tuple[Set[VR], Set[VR]]:
+    uses: Set[VR] = set()
+    defs: Set[VR] = set()
+    for mop in block.mops:
+        for operand in mop.gpr_reads():
+            if isinstance(operand, VR) and operand not in defs:
+                uses.add(operand)
+        guarded = mop.guard.index != PRED_TRUE
+        for operand in mop.gpr_writes():
+            if isinstance(operand, VR):
+                if guarded and operand not in defs:
+                    # Conditional write: the old value may survive.
+                    uses.add(operand)
+                if not guarded:
+                    defs.add(operand)
+    return uses, defs
+
+
+def compute_liveness(mfunc: MFunction) -> LivenessInfo:
+    labels = [block.label for block in mfunc.blocks]
+    successors: Dict[str, List[str]] = {}
+    for index, block in enumerate(mfunc.blocks):
+        next_label = labels[index + 1] if index + 1 < len(labels) else None
+        successors[block.label] = successor_labels(block, next_label)
+        for succ in successors[block.label]:
+            if succ not in labels:
+                raise ScheduleError(
+                    f"{mfunc.name}: branch to unknown label {succ!r}"
+                )
+
+    use_def = {block.label: _block_use_def(block) for block in mfunc.blocks}
+    info = LivenessInfo(
+        live_in={label: set() for label in labels},
+        live_out={label: set() for label in labels},
+    )
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(mfunc.blocks):
+            label = block.label
+            out: Set[VR] = set()
+            for succ in successors[label]:
+                out |= info.live_in[succ]
+            uses, defs = use_def[label]
+            new_in = uses | (out - defs)
+            if out != info.live_out[label] or new_in != info.live_in[label]:
+                info.live_out[label] = out
+                info.live_in[label] = new_in
+                changed = True
+    return info

@@ -1,0 +1,265 @@
+"""Linear-scan register allocation with calling-convention pools.
+
+Intervals are coarse (first definition to last use, extended to block
+boundaries where the register is live-in/out), which is safe and simple.
+Values live across a CALL pseudo are restricted to the callee-saved
+pool; others prefer caller-saved registers (free in leaf functions) so
+that prologue save/restore traffic stays minimal.  Spills go to frame
+slots addressed off the stack pointer through two reserved scratch
+registers; spill stores inherit the guard of the producing operation so
+predication semantics survive spilling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.backend.mops import CALL, MBlock, MFunction, MOp, SpillRef, VR
+from repro.errors import RegAllocError
+from repro.isa.operands import Lit, Pred, Reg, PRED_TRUE
+from repro.sched.convention import RegConvention
+from repro.sched.liveness import compute_liveness
+
+
+@dataclass
+class _Interval:
+    vr: VR
+    start: int
+    end: int
+    crosses_call: bool = False
+    reg: Optional[int] = None
+    spill_slot: Optional[int] = None
+
+
+@dataclass
+class AllocationResult:
+    """What the rest of the backend needs to know."""
+
+    mapping: Dict[VR, Reg]
+    spill_slots: int
+    used_callee_saved: List[int]
+
+
+def _build_intervals(mfunc: MFunction) -> Tuple[List[_Interval], List[int]]:
+    liveness = compute_liveness(mfunc)
+    position = 0
+    ranges: Dict[VR, List[int]] = {}
+    call_positions: List[int] = []
+
+    def touch(vr: VR, at: int) -> None:
+        entry = ranges.setdefault(vr, [at, at])
+        entry[0] = min(entry[0], at)
+        entry[1] = max(entry[1], at)
+
+    for block in mfunc.blocks:
+        block_start = position
+        for mop in block.mops:
+            for operand in mop.gpr_reads():
+                if isinstance(operand, VR):
+                    touch(operand, position)
+            for operand in mop.gpr_writes():
+                if isinstance(operand, VR):
+                    touch(operand, position)
+            if mop.mnemonic == CALL:
+                call_positions.append(position)
+            position += 1
+        block_end = position - 1
+        for vr in liveness.live_in[block.label]:
+            touch(vr, block_start)
+        for vr in liveness.live_out[block.label]:
+            touch(vr, block_end)
+
+    intervals = [
+        _Interval(vr, start, end) for vr, (start, end) in ranges.items()
+    ]
+    for interval in intervals:
+        interval.crosses_call = any(
+            interval.start < call < interval.end for call in call_positions
+        )
+    intervals.sort(key=lambda interval: (interval.start, interval.end))
+    return intervals, call_positions
+
+
+class _Pool:
+    """Round-robin free list over a fixed register set."""
+
+    def __init__(self, registers: Tuple[int, ...]):
+        self._free: List[int] = list(registers)
+        self.members: Set[int] = set(registers)
+
+    def take(self) -> Optional[int]:
+        if self._free:
+            return self._free.pop(0)
+        return None
+
+    def release(self, register: int) -> None:
+        self._free.append(register)
+
+
+def allocate_registers(mfunc: MFunction,
+                       convention: RegConvention) -> AllocationResult:
+    """Allocate all VRs in ``mfunc`` in place; inserts spill code."""
+    intervals, _ = _build_intervals(mfunc)
+    is_leaf = not mfunc.has_calls
+    caller_pool = _Pool(convention.caller_pool(is_leaf))
+    callee_pool = _Pool(convention.callee_saved)
+
+    active: List[_Interval] = []
+    spill_slots = 0
+    used_callee: Set[int] = set()
+
+    def release(interval: _Interval) -> None:
+        if interval.reg is None:
+            return
+        if interval.reg in caller_pool.members:
+            caller_pool.release(interval.reg)
+        else:
+            callee_pool.release(interval.reg)
+
+    def pools_for(interval: _Interval) -> List[_Pool]:
+        if interval.crosses_call:
+            return [callee_pool]
+        return [caller_pool, callee_pool]
+
+    for interval in intervals:
+        active = [a for a in active if a.end >= interval.start or
+                  release(a) or False]
+        register: Optional[int] = None
+        for pool in pools_for(interval):
+            register = pool.take()
+            if register is not None:
+                break
+        if register is None:
+            # Spill the active interval with the furthest end among those
+            # whose register this interval could use; else spill this one.
+            usable = (
+                callee_pool.members if interval.crosses_call
+                else caller_pool.members | callee_pool.members
+            )
+            candidates = [
+                a for a in active
+                if a.reg is not None and a.reg in usable
+                and not (interval.crosses_call and a.reg not in
+                         callee_pool.members)
+            ]
+            victim = max(candidates, key=lambda a: a.end, default=None)
+            if victim is not None and victim.end > interval.end:
+                interval.reg = victim.reg
+                victim.reg = None
+                victim.spill_slot = spill_slots
+                spill_slots += 1
+            else:
+                interval.spill_slot = spill_slots
+                spill_slots += 1
+        else:
+            interval.reg = register
+        if interval.reg is not None and interval.reg in callee_pool.members:
+            used_callee.add(interval.reg)
+        active.append(interval)
+
+    mapping: Dict[VR, Reg] = {}
+    spilled: Dict[VR, int] = {}
+    for interval in intervals:
+        if interval.reg is not None:
+            mapping[interval.vr] = Reg(interval.reg)
+        else:
+            assert interval.spill_slot is not None
+            spilled[interval.vr] = interval.spill_slot
+
+    if spilled:
+        _insert_spill_code(mfunc, spilled, convention)
+    for block in mfunc.blocks:
+        for mop in block.mops:
+            mop.rewrite_registers(mapping)
+
+    mfunc.spill_slots = spill_slots
+    return AllocationResult(
+        mapping=mapping,
+        spill_slots=spill_slots,
+        used_callee_saved=sorted(used_callee),
+    )
+
+
+def _insert_spill_code(mfunc: MFunction, spilled: Dict[VR, int],
+                       convention: RegConvention) -> None:
+    """Rewrite spilled VRs through the reserved scratch registers.
+
+    Reloads are plain loads from ``sp + slot``; stores after a definition
+    inherit the defining op's guard.  Offsets are placeholders patched by
+    frame construction (marker ``spill:<slot>`` on the inserted ops).
+    """
+    scratch_a, scratch_b = convention.scratch
+    sp = Reg(convention.sp)
+
+    for block in mfunc.blocks:
+        rewritten: List[MOp] = []
+        for mop in block.mops:
+            if mop.mnemonic in (CALL, "__ENTER"):
+                # Pseudo-op operands may outnumber the scratch registers;
+                # refer to the frame slot directly and let expansion load
+                # or store through the argument registers themselves.
+                mop.args = [
+                    SpillRef(spilled[a]) if isinstance(a, VR) and a in spilled
+                    else a
+                    for a in mop.args
+                ]
+                writes = [
+                    operand for operand in mop.gpr_writes()
+                    if isinstance(operand, VR) and operand in spilled
+                ]
+                if mop.mnemonic == CALL and writes:
+                    scratch = Reg(scratch_a)
+                    mop.rewrite_registers({writes[0]: scratch}, partial=True)
+                    rewritten.append(mop)
+                    rewritten.append(MOp(
+                        "SW", dest1=scratch, src1=sp,
+                        src2=Lit(spilled[writes[0]]),
+                        target=f"spill:{spilled[writes[0]]}",
+                    ))
+                else:
+                    rewritten.append(mop)
+                continue
+            reads = [
+                operand for operand in mop.gpr_reads()
+                if isinstance(operand, VR) and operand in spilled
+            ]
+            writes = [
+                operand for operand in mop.gpr_writes()
+                if isinstance(operand, VR) and operand in spilled
+            ]
+            if len(set(reads)) > 2:
+                raise RegAllocError(
+                    f"operation reads more than two spilled values: {mop}"
+                )
+            substitution: Dict[VR, Reg] = {}
+            scratches = [Reg(scratch_a), Reg(scratch_b)]
+            for vr in dict.fromkeys(reads):
+                scratch = scratches.pop(0)
+                substitution[vr] = scratch
+                rewritten.append(MOp(
+                    "LW", dest1=scratch, src1=sp,
+                    src2=Lit(spilled[vr]),
+                    target=f"spill:{spilled[vr]}",
+                ))
+            write_backs: List[MOp] = []
+            for vr in dict.fromkeys(writes):
+                scratch = substitution.get(vr)
+                if scratch is None:
+                    if not scratches:
+                        raise RegAllocError(
+                            f"operation needs too many scratch registers: {mop}"
+                        )
+                    scratch = scratches.pop(0)
+                    substitution[vr] = scratch
+                write_backs.append(MOp(
+                    "SW", dest1=scratch, src1=sp,
+                    src2=Lit(spilled[vr]),
+                    guard=mop.guard,
+                    target=f"spill:{spilled[vr]}",
+                ))
+            if substitution:
+                mop.rewrite_registers(substitution, partial=True)
+            rewritten.append(mop)
+            rewritten.extend(write_backs)
+        block.mops = rewritten

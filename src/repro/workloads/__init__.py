@@ -1,0 +1,40 @@
+"""The paper's four benchmarks (§5.2), as MiniC programs plus golden
+Python references.
+
+* **SHA** — SHA-256 of a PPM image (paper: 256x256; default here 32x32,
+  recorded as a scale factor in EXPERIMENTS.md);
+* **AES** — AES-128 repeatedly encrypting and then decrypting
+  "Hello AES World!" (paper: 1000 iterations; default here 25);
+* **DCT** — fixed-point 8x8 discrete cosine transform encode + decode
+  of a PPM image (paper: 256x256; default 32x32);
+* **Dijkstra** — all-pairs shortest paths on an adjacency-matrix graph
+  (paper: "a large graph"; default 24 nodes).
+
+Every workload ships its inputs embedded as initialised globals, so the
+compiled program is self-contained, and exposes the named output arrays
+plus a checksum return value for cross-simulator validation.
+"""
+
+from repro.workloads.common import WorkloadSpec, XorShift32
+from repro.workloads.sha256 import sha_workload
+from repro.workloads.aes import aes_workload
+from repro.workloads.dct import dct_workload
+from repro.workloads.dijkstra import dijkstra_workload
+
+#: Benchmark constructors keyed by the paper's names (Table 1 order).
+WORKLOADS = {
+    "SHA": sha_workload,
+    "AES": aes_workload,
+    "DCT": dct_workload,
+    "Dijkstra": dijkstra_workload,
+}
+
+__all__ = [
+    "WorkloadSpec",
+    "XorShift32",
+    "WORKLOADS",
+    "sha_workload",
+    "aes_workload",
+    "dct_workload",
+    "dijkstra_workload",
+]

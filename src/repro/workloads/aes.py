@@ -1,0 +1,337 @@
+"""AES benchmark (paper §5.2).
+
+"The AES benchmark encrypts 'Hello AES World!' 1000 times and then
+decrypts it."
+
+The MiniC program is a byte-oriented AES-128: key expansion, then
+``n_iter`` chained encryptions of the 16-byte block, then ``n_iter``
+chained decryptions (recovering the plaintext — a built-in self-check).
+S-box lookups are data-dependent loads through the single LSU, which is
+why — exactly as the paper observes — adding ALUs barely moves this
+benchmark.
+
+The golden reference is an independent pure-Python AES-128
+implementation validated against the FIPS-197 test vector.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import WorkloadError
+from repro.workloads.common import WorkloadSpec, format_words
+
+# -- reference AES-128 (byte lists) ----------------------------------------
+
+
+def _build_sbox() -> List[int]:
+    # Multiplicative inverse table via exp/log over GF(2^8), generator 3.
+    exp = [0] * 512
+    log = [0] * 256
+    value = 1
+    for power in range(255):
+        exp[power] = value
+        log[value] = power
+        value ^= ((value << 1) ^ (0x1B if value & 0x80 else 0)) & 0xFF
+    for power in range(255, 512):
+        exp[power] = exp[power - 255]
+    sbox = [0] * 256
+    for byte in range(256):
+        inverse = 0 if byte == 0 else exp[255 - log[byte]]
+        # Affine transform, bit by bit.
+        result = 0
+        for bit in range(8):
+            b = (
+                ((inverse >> bit) & 1)
+                ^ ((inverse >> ((bit + 4) % 8)) & 1)
+                ^ ((inverse >> ((bit + 5) % 8)) & 1)
+                ^ ((inverse >> ((bit + 6) % 8)) & 1)
+                ^ ((inverse >> ((bit + 7) % 8)) & 1)
+                ^ ((0x63 >> bit) & 1)
+            )
+            result |= b << bit
+        sbox[byte] = result
+    return sbox
+
+
+SBOX = _build_sbox()
+INV_SBOX = [0] * 256
+for _index, _value in enumerate(SBOX):
+    INV_SBOX[_value] = _index
+
+RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36]
+
+
+def _xtime(byte: int) -> int:
+    return ((byte << 1) ^ (0x1B if byte & 0x80 else 0)) & 0xFF
+
+
+def _gmul(a: int, b: int) -> int:
+    result = 0
+    for _ in range(8):
+        if b & 1:
+            result ^= a
+        b >>= 1
+        a = _xtime(a)
+    return result
+
+
+def expand_key(key: List[int]) -> List[int]:
+    """176 round-key bytes from a 16-byte key."""
+    w = list(key)
+    for i in range(4, 44):
+        temp = w[4 * (i - 1):4 * i]
+        if i % 4 == 0:
+            temp = temp[1:] + temp[:1]
+            temp = [SBOX[b] for b in temp]
+            temp[0] ^= RCON[i // 4 - 1]
+        prev = w[4 * (i - 4):4 * (i - 3)]
+        w.extend(p ^ t for p, t in zip(prev, temp))
+    return w
+
+
+def _add_round_key(state: List[int], w: List[int], rnd: int) -> None:
+    for index in range(16):
+        state[index] ^= w[16 * rnd + index]
+
+
+_SHIFT = [0, 5, 10, 15, 4, 9, 14, 3, 8, 13, 2, 7, 12, 1, 6, 11]
+_INV_SHIFT = [0, 13, 10, 7, 4, 1, 14, 11, 8, 5, 2, 15, 12, 9, 6, 3]
+
+
+def encrypt_block(block: List[int], w: List[int]) -> List[int]:
+    state = list(block)
+    _add_round_key(state, w, 0)
+    for rnd in range(1, 10):
+        state = [SBOX[b] for b in state]
+        state = [state[_SHIFT[i]] for i in range(16)]
+        mixed = [0] * 16
+        for col in range(4):
+            a = state[4 * col:4 * col + 4]
+            mixed[4 * col + 0] = _gmul(a[0], 2) ^ _gmul(a[1], 3) ^ a[2] ^ a[3]
+            mixed[4 * col + 1] = a[0] ^ _gmul(a[1], 2) ^ _gmul(a[2], 3) ^ a[3]
+            mixed[4 * col + 2] = a[0] ^ a[1] ^ _gmul(a[2], 2) ^ _gmul(a[3], 3)
+            mixed[4 * col + 3] = _gmul(a[0], 3) ^ a[1] ^ a[2] ^ _gmul(a[3], 2)
+        state = mixed
+        _add_round_key(state, w, rnd)
+    state = [SBOX[b] for b in state]
+    state = [state[_SHIFT[i]] for i in range(16)]
+    _add_round_key(state, w, 10)
+    return state
+
+
+def decrypt_block(block: List[int], w: List[int]) -> List[int]:
+    state = list(block)
+    _add_round_key(state, w, 10)
+    state = [state[_INV_SHIFT[i]] for i in range(16)]
+    state = [INV_SBOX[b] for b in state]
+    for rnd in range(9, 0, -1):
+        _add_round_key(state, w, rnd)
+        mixed = [0] * 16
+        for col in range(4):
+            a = state[4 * col:4 * col + 4]
+            mixed[4 * col + 0] = (_gmul(a[0], 14) ^ _gmul(a[1], 11)
+                                  ^ _gmul(a[2], 13) ^ _gmul(a[3], 9))
+            mixed[4 * col + 1] = (_gmul(a[0], 9) ^ _gmul(a[1], 14)
+                                  ^ _gmul(a[2], 11) ^ _gmul(a[3], 13))
+            mixed[4 * col + 2] = (_gmul(a[0], 13) ^ _gmul(a[1], 9)
+                                  ^ _gmul(a[2], 14) ^ _gmul(a[3], 11))
+            mixed[4 * col + 3] = (_gmul(a[0], 11) ^ _gmul(a[1], 13)
+                                  ^ _gmul(a[2], 9) ^ _gmul(a[3], 14))
+        state = mixed
+        state = [state[_INV_SHIFT[i]] for i in range(16)]
+        state = [INV_SBOX[b] for b in state]
+    _add_round_key(state, w, 0)
+    return state
+
+
+# -- the MiniC program --------------------------------------------------------
+
+_TEMPLATE = """
+// AES-128: {n_iter} chained encryptions then decryptions of a 16-byte
+// block ("Hello AES World!"), byte-oriented, table-driven.
+const int sbox[256] = {{{sbox}}};
+const int inv_sbox[256] = {{{inv_sbox}}};
+const int rcon[10] = {{{rcon}}};
+const int key[16] = {{{key}}};
+int plaintext[16] = {{{plaintext}}};
+int n_iter = {n_iter};
+int w[176];
+int state[16];
+int mixed[16];
+int ciphertext[16];
+int recovered[16];
+
+int xtime(int a) {{
+  return ((a << 1) ^ ((a >> 7) * 27)) & 255;
+}}
+
+void expand_key() {{
+  int i; int j; int t0; int t1; int t2; int t3; int s;
+  for (i = 0; i < 16; i += 1) {{ w[i] = key[i]; }}
+  for (i = 4; i < 44; i += 1) {{
+    t0 = w[4 * i - 4]; t1 = w[4 * i - 3];
+    t2 = w[4 * i - 2]; t3 = w[4 * i - 1];
+    if ((i & 3) == 0) {{
+      s = t0;
+      t0 = sbox[t1] ^ rcon[(i >> 2) - 1];
+      t1 = sbox[t2];
+      t2 = sbox[t3];
+      t3 = sbox[s];
+    }}
+    j = 4 * i;
+    w[j] = w[j - 16] ^ t0;
+    w[j + 1] = w[j - 15] ^ t1;
+    w[j + 2] = w[j - 14] ^ t2;
+    w[j + 3] = w[j - 13] ^ t3;
+  }}
+}}
+
+void add_round_key(int rnd) {{
+  int i; int base;
+  base = rnd * 16;
+  unroll(4) for (i = 0; i < 16; i += 1) {{
+    state[i] = state[i] ^ w[base + i];
+  }}
+}}
+
+void sub_shift() {{
+  int i;
+  // Combined SubBytes + ShiftRows (encrypt direction).
+  unroll(4) for (i = 0; i < 16; i += 1) {{
+    mixed[i] = sbox[state[({shift_expr}) & 15]];
+  }}
+  unroll(4) for (i = 0; i < 16; i += 1) {{ state[i] = mixed[i]; }}
+}}
+
+void inv_shift_sub() {{
+  int i;
+  unroll(4) for (i = 0; i < 16; i += 1) {{
+    mixed[i] = inv_sbox[state[({inv_shift_expr}) & 15]];
+  }}
+  unroll(4) for (i = 0; i < 16; i += 1) {{ state[i] = mixed[i]; }}
+}}
+
+void mix_columns() {{
+  int c; int a0; int a1; int a2; int a3; int x01; int all;
+  for (c = 0; c < 16; c += 4) {{
+    a0 = state[c]; a1 = state[c + 1]; a2 = state[c + 2]; a3 = state[c + 3];
+    all = a0 ^ a1 ^ a2 ^ a3;
+    state[c] = a0 ^ all ^ xtime(a0 ^ a1);
+    state[c + 1] = a1 ^ all ^ xtime(a1 ^ a2);
+    state[c + 2] = a2 ^ all ^ xtime(a2 ^ a3);
+    state[c + 3] = a3 ^ all ^ xtime(a3 ^ a0);
+  }}
+}}
+
+int gmul(int a, int b) {{
+  int result; int i;
+  result = 0;
+  unroll for (i = 0; i < 4; i += 1) {{
+    if (b & (1 << i)) {{ result = result ^ a; }}
+    a = xtime(a);
+  }}
+  return result;
+}}
+
+void inv_mix_columns() {{
+  int c; int a0; int a1; int a2; int a3;
+  for (c = 0; c < 16; c += 4) {{
+    a0 = state[c]; a1 = state[c + 1]; a2 = state[c + 2]; a3 = state[c + 3];
+    state[c] = gmul(a0, 14) ^ gmul(a1, 11) ^ gmul(a2, 13) ^ gmul(a3, 9);
+    state[c + 1] = gmul(a0, 9) ^ gmul(a1, 14) ^ gmul(a2, 11) ^ gmul(a3, 13);
+    state[c + 2] = gmul(a0, 13) ^ gmul(a1, 9) ^ gmul(a2, 14) ^ gmul(a3, 11);
+    state[c + 3] = gmul(a0, 11) ^ gmul(a1, 13) ^ gmul(a2, 9) ^ gmul(a3, 14);
+  }}
+}}
+
+void encrypt() {{
+  int rnd;
+  add_round_key(0);
+  for (rnd = 1; rnd < 10; rnd += 1) {{
+    sub_shift();
+    mix_columns();
+    add_round_key(rnd);
+  }}
+  sub_shift();
+  add_round_key(10);
+}}
+
+void decrypt() {{
+  int rnd;
+  add_round_key(10);
+  inv_shift_sub();
+  for (rnd = 9; rnd > 0; rnd -= 1) {{
+    add_round_key(rnd);
+    inv_mix_columns();
+    inv_shift_sub();
+  }}
+  add_round_key(0);
+}}
+
+int main() {{
+  int it; int i; int check;
+  expand_key();
+  for (i = 0; i < 16; i += 1) {{ state[i] = plaintext[i]; }}
+  for (it = 0; it < n_iter; it += 1) {{ encrypt(); }}
+  for (i = 0; i < 16; i += 1) {{ ciphertext[i] = state[i]; }}
+  for (it = 0; it < n_iter; it += 1) {{ decrypt(); }}
+  for (i = 0; i < 16; i += 1) {{ recovered[i] = state[i]; }}
+  check = 0;
+  for (i = 0; i < 16; i += 1) {{
+    check = (check << 1) ^ ciphertext[i] ^ recovered[i];
+  }}
+  return check;
+}}
+"""
+
+#: ShiftRows as an index expression: encrypt reads state[(i + 4*(i%4))%16]
+#: — equivalently the table {0,5,10,15,...}; we inline the arithmetic
+#: form so no extra table is needed.
+_SHIFT_EXPR = "i + ((i & 3) << 2)"
+_INV_SHIFT_EXPR = "i - ((i & 3) << 2) + 16"
+
+
+def aes_workload(n_iter: int = 25) -> WorkloadSpec:
+    """Build the AES benchmark (paper used 1000 iterations)."""
+    if n_iter < 1:
+        raise WorkloadError("n_iter must be >= 1")
+    plaintext = [b for b in b"Hello AES World!"]
+    key = [((7 * i + 13) * 31 + 5) & 0xFF for i in range(16)]
+
+    w = expand_key(key)
+    state = list(plaintext)
+    for _ in range(n_iter):
+        state = encrypt_block(state, w)
+    ciphertext = list(state)
+    for _ in range(n_iter):
+        state = decrypt_block(state, w)
+    recovered = list(state)
+    if recovered != plaintext:
+        raise WorkloadError("reference AES failed its round trip")
+
+    check = 0
+    for index in range(16):
+        check = ((check << 1) ^ ciphertext[index] ^ recovered[index]) \
+            & 0xFFFFFFFF
+
+    source = _TEMPLATE.format(
+        sbox=format_words(SBOX),
+        inv_sbox=format_words(INV_SBOX),
+        rcon=format_words(RCON),
+        key=format_words(key),
+        plaintext=format_words(plaintext),
+        n_iter=n_iter,
+        shift_expr=_SHIFT_EXPR,
+        inv_shift_expr=_INV_SHIFT_EXPR,
+    )
+    return WorkloadSpec(
+        name="AES",
+        source=source,
+        expected={"ciphertext": ciphertext, "recovered": recovered},
+        expected_return=check,
+        scale_note=(
+            f"{n_iter} encrypt+decrypt iterations "
+            "(paper: 1000; cycles scale linearly)"
+        ),
+    )

@@ -1,0 +1,211 @@
+"""DCT benchmark: fixed-point 8x8 DCT encode + decode (paper §5.2).
+
+"The DCT benchmark does fixed-point Discrete Cosine Transform (DCT)
+encoding and decoding of a 256 by 256 image in the PPM format."
+
+The MiniC program performs the orthonormal 2-D DCT-II on every 8x8
+block (row pass then column pass, Q4.12 cosine tables, rounded shifts),
+then the inverse transform back to pixels.  The inner 8-term dot
+products are fully unrolled — this is the multiply-accumulate-rich
+kernel where EPIC's parallel ALUs shine (the paper's biggest win).
+The golden reference repeats the identical integer arithmetic in
+Python, so all engines must agree bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from repro.errors import WorkloadError
+from repro.workloads.common import WorkloadSpec, format_words
+from repro.workloads.ppm import generate_gray
+
+_SCALE_BITS = 12
+_ROUND = 1 << (_SCALE_BITS - 1)
+
+
+def cosine_table() -> List[int]:
+    """Q4.12 orthonormal DCT-II basis: C[u*8+x]."""
+    table: List[int] = []
+    for u in range(8):
+        alpha = math.sqrt(1.0 / 8.0) if u == 0 else math.sqrt(2.0 / 8.0)
+        for x in range(8):
+            value = alpha * math.cos((2 * x + 1) * u * math.pi / 16.0)
+            table.append(int(round(value * (1 << _SCALE_BITS))))
+    return table
+
+
+def _dct_block(block: List[int], table: List[int],
+               inverse: bool) -> List[int]:
+    """One 8x8 transform with the exact integer ops of the MiniC code."""
+
+    def wrap(value: int) -> int:
+        value &= 0xFFFFFFFF
+        return value - (1 << 32) if value & 0x80000000 else value
+
+    tmp = [0] * 64
+    out = [0] * 64
+    for y in range(8):
+        for u in range(8):
+            acc = 0
+            for x in range(8):
+                c = table[u * 8 + x] if not inverse else table[x * 8 + u]
+                acc = wrap(acc + c * wrap(block[y * 8 + x]))
+            tmp[y * 8 + u] = wrap(acc + _ROUND) >> _SCALE_BITS
+    for u in range(8):
+        for v in range(8):
+            acc = 0
+            for y in range(8):
+                c = table[v * 8 + y] if not inverse else table[y * 8 + v]
+                acc = wrap(acc + c * tmp[y * 8 + u])
+            out[v * 8 + u] = wrap(acc + _ROUND) >> _SCALE_BITS
+    return out
+
+
+def reference_dct(pixels: List[int], width: int,
+                  height: int) -> Tuple[List[int], List[int]]:
+    """(coefficients, reconstruction) over all 8x8 blocks."""
+    table = cosine_table()
+    coeffs = [0] * (width * height)
+    recon = [0] * (width * height)
+    for by in range(height // 8):
+        for bx in range(width // 8):
+            block = [
+                pixels[(by * 8 + y) * width + bx * 8 + x]
+                for y in range(8) for x in range(8)
+            ]
+            forward = _dct_block(block, table, inverse=False)
+            backward = _dct_block(forward, table, inverse=True)
+            for y in range(8):
+                for x in range(8):
+                    index = (by * 8 + y) * width + bx * 8 + x
+                    coeffs[index] = forward[y * 8 + x] & 0xFFFFFFFF
+                    recon[index] = backward[y * 8 + x] & 0xFFFFFFFF
+    return coeffs, recon
+
+
+_TEMPLATE = """
+// Fixed-point 8x8 DCT encode + decode ({note}).
+const int C[64] = {{{cos_words}}};
+int image[{pixels}] = {{{image_words}}};
+int coeffs[{pixels}];
+int recon[{pixels}];
+int tmp[64];
+
+// Forward 2-D DCT of the 8x8 block at address src (row stride {width});
+// result written at address dst.  Each 8-point pass first pulls the
+// vector into scalars, then computes all eight fully unrolled dot
+// products against the const basis — whose entries fold to immediates,
+// leaving only 8 loads per vector and a wide field of independent
+// multiply-adds for the parallel ALUs.
+void dct_forward(int src, int dst) {{
+  int y; int u; int acc; int row; int drow;
+  int x0; int x1; int x2; int x3; int x4; int x5; int x6; int x7;
+  unroll(2) for (y = 0; y < 8; y += 1) {{
+    row = src + y * {width};
+    x0 = row[0]; x1 = row[1]; x2 = row[2]; x3 = row[3];
+    x4 = row[4]; x5 = row[5]; x6 = row[6]; x7 = row[7];
+    unroll for (u = 0; u < 8; u += 1) {{
+      acc = C[u * 8] * x0 + C[u * 8 + 1] * x1 + C[u * 8 + 2] * x2
+          + C[u * 8 + 3] * x3 + C[u * 8 + 4] * x4 + C[u * 8 + 5] * x5
+          + C[u * 8 + 6] * x6 + C[u * 8 + 7] * x7;
+      tmp[y * 8 + u] = (acc + {round_const}) >> {scale};
+    }}
+  }}
+  unroll(2) for (u = 0; u < 8; u += 1) {{
+    x0 = tmp[u]; x1 = tmp[8 + u]; x2 = tmp[16 + u]; x3 = tmp[24 + u];
+    x4 = tmp[32 + u]; x5 = tmp[40 + u]; x6 = tmp[48 + u];
+    x7 = tmp[56 + u];
+    drow = dst + u;
+    unroll for (y = 0; y < 8; y += 1) {{
+      acc = C[y * 8] * x0 + C[y * 8 + 1] * x1 + C[y * 8 + 2] * x2
+          + C[y * 8 + 3] * x3 + C[y * 8 + 4] * x4 + C[y * 8 + 5] * x5
+          + C[y * 8 + 6] * x6 + C[y * 8 + 7] * x7;
+      drow[y * {width}] = (acc + {round_const}) >> {scale};
+    }}
+  }}
+}}
+
+// Inverse 2-D DCT (the orthonormal basis transposed).
+void dct_inverse(int src, int dst) {{
+  int y; int u; int acc; int row; int drow;
+  int x0; int x1; int x2; int x3; int x4; int x5; int x6; int x7;
+  unroll(2) for (y = 0; y < 8; y += 1) {{
+    row = src + y * {width};
+    x0 = row[0]; x1 = row[1]; x2 = row[2]; x3 = row[3];
+    x4 = row[4]; x5 = row[5]; x6 = row[6]; x7 = row[7];
+    unroll for (u = 0; u < 8; u += 1) {{
+      acc = C[u] * x0 + C[8 + u] * x1 + C[16 + u] * x2
+          + C[24 + u] * x3 + C[32 + u] * x4 + C[40 + u] * x5
+          + C[48 + u] * x6 + C[56 + u] * x7;
+      tmp[y * 8 + u] = (acc + {round_const}) >> {scale};
+    }}
+  }}
+  unroll(2) for (u = 0; u < 8; u += 1) {{
+    x0 = tmp[u]; x1 = tmp[8 + u]; x2 = tmp[16 + u]; x3 = tmp[24 + u];
+    x4 = tmp[32 + u]; x5 = tmp[40 + u]; x6 = tmp[48 + u];
+    x7 = tmp[56 + u];
+    drow = dst + u;
+    unroll for (y = 0; y < 8; y += 1) {{
+      acc = C[y] * x0 + C[8 + y] * x1 + C[16 + y] * x2
+          + C[24 + y] * x3 + C[32 + y] * x4 + C[40 + y] * x5
+          + C[48 + y] * x6 + C[56 + y] * x7;
+      drow[y * {width}] = (acc + {round_const}) >> {scale};
+    }}
+  }}
+}}
+
+int main() {{
+  int bx; int by; int top; int check;
+  for (by = 0; by < {blocks_y}; by += 1) {{
+    for (bx = 0; bx < {blocks_x}; bx += 1) {{
+      top = by * 8 * {width} + bx * 8;
+      dct_forward(image + top, coeffs + top);
+      dct_inverse(coeffs + top, recon + top);
+    }}
+  }}
+  check = 0;
+  for (bx = 0; bx < {pixels}; bx += 1) {{
+    check = check ^ coeffs[bx] ^ (recon[bx] << 1);
+  }}
+  return check;
+}}
+"""
+
+
+def dct_workload(width: int = 32, height: int = 32,
+                 seed: int = 11) -> WorkloadSpec:
+    """Build the DCT benchmark for a ``width`` x ``height`` image."""
+    if width % 8 or height % 8:
+        raise WorkloadError("image dimensions must be multiples of 8")
+    pixels = generate_gray(width, height, seed)
+    coeffs, recon = reference_dct(pixels, width, height)
+
+    check = 0
+    for index in range(width * height):
+        check ^= coeffs[index] ^ ((recon[index] << 1) & 0xFFFFFFFF)
+    check &= 0xFFFFFFFF
+
+    note = f"{width}x{height} greyscale"
+    source = _TEMPLATE.format(
+        note=note,
+        cos_words=format_words(cosine_table()),
+        pixels=width * height,
+        image_words=format_words(pixels),
+        width=width,
+        blocks_x=width // 8,
+        blocks_y=height // 8,
+        round_const=_ROUND,
+        scale=_SCALE_BITS,
+    )
+    return WorkloadSpec(
+        name="DCT",
+        source=source,
+        expected={"coeffs": coeffs, "recon": recon},
+        expected_return=check,
+        scale_note=(
+            f"{note} (paper: 256x256; cycle counts scale with the "
+            f"{(width // 8) * (height // 8)} 8x8 blocks)"
+        ),
+    )

@@ -1,0 +1,82 @@
+"""PPM image generation and parsing.
+
+The paper's SHA and DCT benchmarks both operate on "a 256 by 256 image
+in the PPM format".  We generate deterministic pseudo-random images:
+binary P6 (RGB) for the hash benchmark — SHA consumes the raw file
+bytes, header included — and P5 (greyscale) pixel planes for the DCT.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import WorkloadError
+from repro.workloads.common import XorShift32
+
+
+def generate_p6(width: int, height: int, seed: int = 7) -> bytes:
+    """A deterministic binary P6 (RGB) PPM file."""
+    if width < 1 or height < 1:
+        raise WorkloadError("image dimensions must be positive")
+    rng = XorShift32(seed)
+    header = f"P6\n{width} {height}\n255\n".encode("ascii")
+    pixels = bytearray()
+    for _ in range(width * height):
+        word = rng.next()
+        pixels.append(word & 0xFF)
+        pixels.append((word >> 8) & 0xFF)
+        pixels.append((word >> 16) & 0xFF)
+    return header + bytes(pixels)
+
+
+def generate_gray(width: int, height: int, seed: int = 11) -> List[int]:
+    """A deterministic greyscale pixel plane (0..255 per pixel).
+
+    Smoothly varying (a blurred random field) so the DCT sees natural-ish
+    spectra rather than white noise.
+    """
+    if width < 1 or height < 1:
+        raise WorkloadError("image dimensions must be positive")
+    rng = XorShift32(seed)
+    noise = [rng.below(256) for _ in range(width * height)]
+    # One box-blur pass smooths the field.
+    pixels: List[int] = []
+    for y in range(height):
+        for x in range(width):
+            total = 0
+            count = 0
+            for dy in (-1, 0, 1):
+                for dx in (-1, 0, 1):
+                    nx, ny = x + dx, y + dy
+                    if 0 <= nx < width and 0 <= ny < height:
+                        total += noise[ny * width + nx]
+                        count += 1
+            pixels.append(total // count)
+    return pixels
+
+
+def parse_header(blob: bytes) -> Tuple[str, int, int, int, int]:
+    """Parse a P5/P6 header; returns (magic, w, h, maxval, data_offset)."""
+    fields: List[bytes] = []
+    index = 0
+    while len(fields) < 4:
+        if index >= len(blob):
+            raise WorkloadError("truncated PPM header")
+        if blob[index:index + 1] == b"#":
+            while index < len(blob) and blob[index] not in b"\n":
+                index += 1
+            index += 1
+            continue
+        if blob[index] in b" \t\r\n":
+            index += 1
+            continue
+        start = index
+        while index < len(blob) and blob[index] not in b" \t\r\n":
+            index += 1
+        fields.append(blob[start:index])
+    index += 1  # single whitespace after maxval
+    magic = fields[0].decode("ascii")
+    if magic not in ("P5", "P6"):
+        raise WorkloadError(f"unsupported PPM magic {magic!r}")
+    width, height, maxval = (int(f) for f in fields[1:])
+    return magic, width, height, maxval, index

@@ -1,0 +1,136 @@
+"""SHA benchmark: SHA-256 of a PPM image (paper §5.2).
+
+"The SHA benchmark calculates the SHA-256 secure hash of a 256 by 256
+image in the PPM format."  The MiniC program implements full SHA-256
+compression (message schedule + 64 rounds, rotations written inline so
+the kernel stays a leaf function); padding is performed by the input
+generator, so the program iterates over whole 512-bit blocks.  The
+expected digest comes from :mod:`hashlib` — an oracle entirely
+independent of this toolchain.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List
+
+from repro.workloads.common import WorkloadSpec, format_words, words_from_bytes
+from repro.workloads.ppm import generate_p6
+
+_K = [
+    0x428A2F98, 0x71374491, 0xB5C0FBCF, 0xE9B5DBA5,
+    0x3956C25B, 0x59F111F1, 0x923F82A4, 0xAB1C5ED5,
+    0xD807AA98, 0x12835B01, 0x243185BE, 0x550C7DC3,
+    0x72BE5D74, 0x80DEB1FE, 0x9BDC06A7, 0xC19BF174,
+    0xE49B69C1, 0xEFBE4786, 0x0FC19DC6, 0x240CA1CC,
+    0x2DE92C6F, 0x4A7484AA, 0x5CB0A9DC, 0x76F988DA,
+    0x983E5152, 0xA831C66D, 0xB00327C8, 0xBF597FC7,
+    0xC6E00BF3, 0xD5A79147, 0x06CA6351, 0x14292967,
+    0x27B70A85, 0x2E1B2138, 0x4D2C6DFC, 0x53380D13,
+    0x650A7354, 0x766A0ABB, 0x81C2C92E, 0x92722C85,
+    0xA2BFE8A1, 0xA81A664B, 0xC24B8B70, 0xC76C51A3,
+    0xD192E819, 0xD6990624, 0xF40E3585, 0x106AA070,
+    0x19A4C116, 0x1E376C08, 0x2748774C, 0x34B0BCB5,
+    0x391C0CB3, 0x4ED8AA4A, 0x5B9CCA4F, 0x682E6FF3,
+    0x748F82EE, 0x78A5636F, 0x84C87814, 0x8CC70208,
+    0x90BEFFFA, 0xA4506CEB, 0xBEF9A3F7, 0xC67178F2,
+]
+
+_IV = [
+    0x6A09E667, 0xBB67AE85, 0x3C6EF372, 0xA54FF53A,
+    0x510E527F, 0x9B05688C, 0x1F83D9AB, 0x5BE0CD19,
+]
+
+
+def pad_message(data: bytes) -> bytes:
+    """Standard SHA-256 padding: 0x80, zeros, 64-bit bit length."""
+    bit_length = 8 * len(data)
+    padded = data + b"\x80"
+    padded += b"\x00" * (-(len(padded) + 8) % 64)
+    padded += bit_length.to_bytes(8, "big")
+    return padded
+
+
+_TEMPLATE = """
+// SHA-256 of a pre-padded message ({note}).
+const int K[64] = {{{k_words}}};
+int msg[{n_words}] = {{{msg_words}}};
+int n_blocks = {n_blocks};
+int hash[8];
+int W[64];
+
+void sha_block(int base) {{
+  int a; int b; int c; int d; int e; int f; int g; int h;
+  int t; int t1; int t2; int s0; int s1; int w15; int w2;
+  unroll(8) for (t = 0; t < 16; t += 1) {{ W[t] = msg[base + t]; }}
+  unroll(4) for (t = 16; t < 64; t += 1) {{
+    w15 = W[t - 15];
+    w2 = W[t - 2];
+    s0 = ((w15 >>> 7) | (w15 << 25)) ^ ((w15 >>> 18) | (w15 << 14))
+       ^ (w15 >>> 3);
+    s1 = ((w2 >>> 17) | (w2 << 15)) ^ ((w2 >>> 19) | (w2 << 13))
+       ^ (w2 >>> 10);
+    W[t] = W[t - 16] + s0 + W[t - 7] + s1;
+  }}
+  a = hash[0]; b = hash[1]; c = hash[2]; d = hash[3];
+  e = hash[4]; f = hash[5]; g = hash[6]; h = hash[7];
+  unroll(4) for (t = 0; t < 64; t += 1) {{
+    s1 = ((e >>> 6) | (e << 26)) ^ ((e >>> 11) | (e << 21))
+       ^ ((e >>> 25) | (e << 7));
+    t1 = h + s1 + ((e & f) ^ (~e & g)) + K[t] + W[t];
+    s0 = ((a >>> 2) | (a << 30)) ^ ((a >>> 13) | (a << 19))
+       ^ ((a >>> 22) | (a << 10));
+    t2 = s0 + ((a & b) ^ (a & c) ^ (b & c));
+    h = g; g = f; f = e; e = d + t1;
+    d = c; c = b; b = a; a = t1 + t2;
+  }}
+  hash[0] += a; hash[1] += b; hash[2] += c; hash[3] += d;
+  hash[4] += e; hash[5] += f; hash[6] += g; hash[7] += h;
+}}
+
+int main() {{
+  int i;
+  hash[0] = 0x6a09e667; hash[1] = 0xbb67ae85; hash[2] = 0x3c6ef372;
+  hash[3] = 0xa54ff53a; hash[4] = 0x510e527f; hash[5] = 0x9b05688c;
+  hash[6] = 0x1f83d9ab; hash[7] = 0x5be0cd19;
+  for (i = 0; i < n_blocks; i += 1) {{
+    sha_block(i * 16);
+  }}
+  return hash[0] ^ hash[7];
+}}
+"""
+
+
+def sha_workload(width: int = 32, height: int = 32,
+                 seed: int = 7) -> WorkloadSpec:
+    """Build the SHA benchmark for a ``width`` x ``height`` P6 image."""
+    image = generate_p6(width, height, seed)
+    padded = pad_message(image)
+    words = words_from_bytes(padded)
+    assert len(words) % 16 == 0
+
+    digest = hashlib.sha256(image).digest()
+    expected_hash = [
+        int.from_bytes(digest[index:index + 4], "big")
+        for index in range(0, 32, 4)
+    ]
+
+    note = f"{width}x{height} P6 PPM, {len(image)} bytes"
+    source = _TEMPLATE.format(
+        note=note,
+        k_words=format_words(_K),
+        n_words=len(words),
+        msg_words=format_words(words),
+        n_blocks=len(words) // 16,
+    )
+    checksum = (expected_hash[0] ^ expected_hash[7]) & 0xFFFFFFFF
+    return WorkloadSpec(
+        name="SHA",
+        source=source,
+        expected={"hash": expected_hash},
+        expected_return=checksum,
+        scale_note=(
+            f"{note} (paper: 256x256; cycle counts scale with the "
+            f"{len(words) // 16} compression blocks)"
+        ),
+    )

@@ -1,0 +1,141 @@
+"""Assembler: symbol resolution, padding, validation, config awareness."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.config import AluFeature, epic_config
+from repro.errors import AsmError
+from repro.isa import CustomOpSpec
+from repro.isa.operands import Lit, Pred, Reg
+
+
+class TestLayout:
+    def test_data_addresses_sequential(self):
+        program = assemble("""
+        .data
+        a: .word 1, 2
+        b: .space 3
+        c: .word 9
+        .text
+        HALT
+        """, epic_config())
+        assert program.symbols == {"a": 0, "b": 2, "c": 5}
+        assert program.data == [1, 2, 0, 0, 0, 9]
+
+    def test_code_labels_are_bundle_indices(self):
+        program = assemble("""
+        first: NOP
+        second: { NOP ; NOP }
+        third: HALT
+        """, epic_config())
+        assert program.labels == {"first": 0, "second": 1, "third": 2}
+
+    def test_bundles_padded_to_issue_width(self):
+        """§4.2: no-op instructions make up the difference."""
+        program = assemble("{ ADD r4, r0, 1 }\nHALT", epic_config())
+        assert all(len(bundle) == 4 for bundle in program.bundles)
+
+    def test_narrow_issue_width_padding(self):
+        config = epic_config(issue_width=2)
+        program = assemble("NOP\nHALT", config)
+        assert all(len(bundle) == 2 for bundle in program.bundles)
+
+    def test_group_larger_than_issue_width_rejected(self):
+        config = epic_config(issue_width=2)
+        with pytest.raises(AsmError):
+            assemble("{ NOP ; NOP ; NOP }", config)
+
+
+class TestSymbols:
+    def test_code_label_resolves_to_bundle_address(self):
+        program = assemble("""
+        main:
+          NOP
+          PBR b0, target
+        target:
+          HALT
+        """, epic_config())
+        pbr = program.bundles[1].slots[0]
+        assert pbr.src1 == Lit(2)
+        assert pbr.target_label == "target"
+
+    def test_data_symbol_resolves_to_word_address(self):
+        program = assemble("""
+        .data
+        pad: .space 7
+        v: .word 5
+        .text
+          LW r4, r0, v
+          HALT
+        """, epic_config())
+        load = program.bundles[0].slots[0]
+        assert load.src2 == Lit(7)
+
+    def test_undefined_symbol_rejected(self):
+        with pytest.raises(AsmError):
+            assemble("PBR b0, nowhere\nHALT", epic_config())
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(AsmError):
+            assemble("x: NOP\nx: HALT", epic_config())
+
+    def test_entry_defaults_to_main(self):
+        program = assemble("NOP\nmain: HALT", epic_config())
+        assert program.entry == 1
+
+    def test_explicit_entry(self):
+        program = assemble(".entry go\nNOP\ngo: HALT", epic_config())
+        assert program.entry == 1
+
+    def test_undefined_entry_rejected(self):
+        with pytest.raises(AsmError):
+            assemble(".entry ghost\nNOP", epic_config())
+
+
+class TestValidation:
+    def test_wrong_arity(self):
+        with pytest.raises(AsmError):
+            assemble("ADD r1, r2\nHALT", epic_config())
+
+    def test_wrong_operand_kind(self):
+        with pytest.raises(AsmError):
+            assemble("ADD p1, r2, r3\nHALT", epic_config())
+
+    def test_literal_out_of_field_range(self):
+        with pytest.raises(AsmError):
+            assemble("ADD r1, r2, 100000\nHALT", epic_config())
+
+    def test_movi_accepts_wide_literal(self):
+        program = assemble("MOVI r1, 0x7fffffff\nHALT", epic_config())
+        assert program.bundles[0].slots[0].src1 == Lit(0x7FFFFFFF)
+
+    def test_guard_out_of_range(self):
+        with pytest.raises(AsmError):
+            assemble("(p40) NOP\nHALT", epic_config())
+
+    def test_register_index_beyond_file(self):
+        config = epic_config(n_gprs=16)
+        with pytest.raises(AsmError):
+            assemble("ADD r20, r0, 1\nHALT", config)
+
+
+class TestConfigurationAwareness:
+    """§4.2: the assembler adapts via the configuration, without being
+    recompiled."""
+
+    def test_disabled_opcode_rejected(self):
+        config = epic_config(
+            alu_features=frozenset({AluFeature.MULTIPLY, AluFeature.SHIFT})
+        )
+        with pytest.raises(AsmError):
+            assemble("DIV r1, r2, r3\nHALT", config)
+
+    def test_custom_opcode_accepted_from_config(self):
+        spec = CustomOpSpec("SWIZZLE", func=lambda a, b, m: a ^ (b << 1))
+        config = epic_config(custom_ops=(spec,))
+        program = assemble("SWIZZLE r4, r5, r6\nHALT", config)
+        assert program.bundles[0].slots[0].mnemonic == "SWIZZLE"
+
+    def test_custom_opcode_rejected_without_config(self):
+        with pytest.raises(AsmError):
+            assemble("SWIZZLE r4, r5, r6\nHALT", epic_config())

@@ -1,0 +1,66 @@
+"""Disassembler: textual round trips and binary-image decoding."""
+
+from repro.asm import assemble, disassemble, disassemble_words
+from repro.config import epic_config
+from repro.core import EpicProcessor
+from repro.isa.encoding import InstructionFormat
+
+SOURCE = """
+.data
+tab: .word 10, 20, 30, 40
+out: .space 1
+.text
+main:
+  MOVI r4, 0
+  MOVI r5, 0
+  PBR b0, loop
+loop:
+{ LW r6, r4, tab ; ADD r4, r4, 1 }
+  NOP
+  ADD r5, r5, r6
+{ CMPP_LT p1, p2, r4, 4 }
+  BRCT b0, p1
+  SW r5, r0, out
+  HALT
+"""
+
+
+def _run(program, config):
+    cpu = EpicProcessor(config, program, mem_words=512)
+    cpu.run()
+    return cpu
+
+
+def test_disassembly_reassembles_to_same_behaviour():
+    config = epic_config()
+    original = assemble(SOURCE, config)
+    text = disassemble(original)
+    rebuilt = assemble(text, config)
+    out_original = _run(original, config).memory.read(original.symbols["out"])
+    out_rebuilt = _run(rebuilt, config).memory.read(rebuilt.symbols["out"])
+    assert out_original == out_rebuilt == 100
+
+
+def test_disassembly_preserves_structure():
+    config = epic_config()
+    original = assemble(SOURCE, config)
+    rebuilt = assemble(disassemble(original), config)
+    assert len(rebuilt) == len(original)
+    assert rebuilt.data == original.data
+    assert rebuilt.symbols == original.symbols
+
+
+def test_binary_image_disassembly():
+    config = epic_config()
+    program = assemble("MOVI r4, 42\nHALT", config)
+    words = InstructionFormat(config).encode_program(program)
+    text = disassemble_words(words, config)
+    assert "MOVI r4, 42" in text
+    assert "HALT" in text
+
+
+def test_double_round_trip_is_stable():
+    config = epic_config()
+    once = disassemble(assemble(SOURCE, config))
+    twice = disassemble(assemble(once, config))
+    assert once == twice

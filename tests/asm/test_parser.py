@@ -1,0 +1,117 @@
+"""Assembly parsing (raw statements, labels, directives, filtering)."""
+
+import pytest
+
+from repro.asm.parser import parse, parse_instruction, parse_operand
+from repro.errors import AsmError
+
+
+class TestOperands:
+    def test_register_kinds(self):
+        assert parse_operand("r5", 1).kind == "reg"
+        assert parse_operand("p2", 1).kind == "pred"
+        assert parse_operand("b3", 1).kind == "btr"
+
+    def test_case_insensitive_registers(self):
+        assert parse_operand("R5", 1).value == 5
+
+    def test_integers(self):
+        assert parse_operand("-42", 1).value == -42
+        assert parse_operand("0x1F", 1).value == 31
+
+    def test_identifier(self):
+        operand = parse_operand("loop_start", 1)
+        assert operand.kind == "ident"
+
+    def test_garbage_rejected(self):
+        with pytest.raises(AsmError):
+            parse_operand("r5x!", 1)
+
+
+class TestInstructions:
+    def test_plain(self):
+        instr = parse_instruction("ADD r1, r2, 5", 1)
+        assert instr.mnemonic == "ADD"
+        assert len(instr.operands) == 3
+        assert instr.guard == 0
+
+    def test_guard_prefix(self):
+        instr = parse_instruction("(p3) MOVI r1, 10", 1)
+        assert instr.guard == 3
+
+    def test_lower_case_mnemonic_normalised(self):
+        assert parse_instruction("add r1, r2, r3", 1).mnemonic == "ADD"
+
+    def test_no_operands(self):
+        assert parse_instruction("HALT", 1).operands == []
+
+
+class TestUnits:
+    def test_sections_and_labels(self):
+        unit = parse("""
+        .data
+        tab: .word 1, 2, 3
+        buf: .space 5
+        .text
+        main:
+          NOP
+        """)
+        assert unit.data[0].words == [1, 2, 3]
+        assert unit.data[0].labels == ["tab"]
+        assert unit.data[1].words == [0] * 5
+        assert unit.groups[0].labels == ["main"]
+
+    def test_explicit_groups(self):
+        unit = parse("{ ADD r1, r2, r3 ; NOP ; SUB r4, r5, 1 }")
+        assert len(unit.groups) == 1
+        assert len(unit.groups[0].instructions) == 3
+
+    def test_bare_instruction_is_singleton_group(self):
+        unit = parse("NOP\nNOP")
+        assert len(unit.groups) == 2
+
+    def test_simulator_directives_filtered(self):
+        """§4.2: the assembler filters Trimaran simulator directives."""
+        unit = parse("""
+        ! trimaran: begin trace region
+        NOP
+        !another directive
+        """)
+        assert len(unit.groups) == 1
+
+    def test_comments(self):
+        unit = parse("""
+        // full line comment
+        NOP ;; trailing comment
+        NOP // other style
+        """)
+        assert len(unit.groups) == 2
+
+    def test_entry_directive(self):
+        unit = parse(".entry start\nstart: NOP")
+        assert unit.entry == "start"
+
+    def test_multiple_labels_one_target(self):
+        unit = parse("a: b: NOP")
+        assert unit.groups[0].labels == ["a", "b"]
+
+    def test_unterminated_group_rejected(self):
+        with pytest.raises(AsmError):
+            parse("{ NOP ; NOP")
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(AsmError):
+            parse(".frobnicate 3")
+
+    def test_dangling_label_rejected(self):
+        with pytest.raises(AsmError):
+            parse("NOP\norphan:")
+
+    def test_instructions_in_data_section_rejected(self):
+        with pytest.raises(AsmError):
+            parse(".data\nNOP")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AsmError) as excinfo:
+            parse("NOP\nNOP\n.word 1")
+        assert excinfo.value.line == 3

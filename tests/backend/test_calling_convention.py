@@ -1,0 +1,99 @@
+"""Calling-convention corners: many args, stack passing, parallel copies."""
+
+import pytest
+
+from repro.backend.expand import sequentialize_parallel_copies
+from repro.errors import ScheduleError
+from tests.helpers import assert_all_engines_agree
+
+
+class TestParallelCopies:
+    def test_disjoint_copies(self):
+        order = sequentialize_parallel_copies([(10, 4), (11, 5)], 99)
+        assert set(order) == {(10, 4), (11, 5)}
+
+    def test_chain_ordered_to_avoid_clobber(self):
+        # 5 <- 4, 6 <- 5: must copy 6 <- 5 first.
+        order = sequentialize_parallel_copies([(5, 4), (6, 5)], 99)
+        assert order.index((6, 5)) < order.index((5, 4))
+
+    def test_swap_uses_scratch(self):
+        order = sequentialize_parallel_copies([(4, 5), (5, 4)], 99)
+        assert (99, 4) in order or (99, 5) in order
+        assert len(order) == 3
+
+    def test_three_cycle(self):
+        order = sequentialize_parallel_copies([(4, 5), (5, 6), (6, 4)], 99)
+        # Simulate the emitted copies.
+        state = {4: "a", 5: "b", 6: "c", 99: None}
+        for dst, src in order:
+            state[dst] = state[src]
+        assert (state[4], state[5], state[6]) == ("b", "c", "a")
+
+    def test_identity_copies_elided(self):
+        assert sequentialize_parallel_copies([(4, 4)], 99) == []
+
+    def test_duplicate_destination_rejected(self):
+        with pytest.raises(ScheduleError):
+            sequentialize_parallel_copies([(4, 5), (4, 6)], 99)
+
+
+class TestManyArguments:
+    def test_six_reg_args_epic_and_stack_args_armlet(self):
+        # 6 parameters: all in registers on EPIC, two on the stack for
+        # the 4-arg Armlet baseline.
+        source = """
+        int f(int a, int b, int c, int d, int e, int g) {
+          return a + b * 2 + c * 4 + d * 8 + e * 16 + g * 32;
+        }
+        int main() { return f(1, 2, 3, 4, 5, 6); }
+        """
+        outputs = assert_all_engines_agree(source)
+        assert outputs.return_value == 1 + 4 + 12 + 32 + 80 + 192
+
+    def test_eight_args_stack_passing_on_both_targets(self):
+        source = """
+        int f(int a, int b, int c, int d, int e, int g, int h, int i) {
+          return a + b + c + d + e + g + h * 100 + i * 1000;
+        }
+        int main() { return f(1, 2, 3, 4, 5, 6, 7, 8); }
+        """
+        outputs = assert_all_engines_agree(source)
+        assert outputs.return_value == 21 + 700 + 8000
+
+    def test_stack_args_in_nested_calls(self):
+        source = """
+        int inner(int a, int b, int c, int d, int e, int g, int h) {
+          return a ^ b ^ c ^ d ^ e ^ g ^ h;
+        }
+        int outer(int a, int b, int c, int d, int e, int g, int h) {
+          return inner(b, c, d, e, g, h, a) + a;
+        }
+        int main() { return outer(1, 2, 4, 8, 16, 32, 64); }
+        """
+        outputs = assert_all_engines_agree(source)
+        assert outputs.return_value == (1 ^ 2 ^ 4 ^ 8 ^ 16 ^ 32 ^ 64) + 1
+
+    def test_stack_args_mixed_with_expressions(self):
+        source = """
+        int f(int a, int b, int c, int d, int e, int g, int h) {
+          return a + b + c + d + e + g + h;
+        }
+        int main() {
+          int x;
+          x = 10;
+          return f(x, x * 2, x * 3, x * 4, x * 5, 12345, x - 9);
+        }
+        """
+        outputs = assert_all_engines_agree(source)
+        assert outputs.return_value == 10 + 20 + 30 + 40 + 50 + 12345 + 1
+
+    def test_recursion_with_stack_args(self):
+        source = """
+        int weird(int a, int b, int c, int d, int e, int g, int n) {
+          if (n == 0) { return a + b + c + d + e + g; }
+          return weird(b, c, d, e, g, a + 1, n - 1);
+        }
+        int main() { return weird(1, 2, 3, 4, 5, 6, 7); }
+        """
+        assert_all_engines_agree(source)

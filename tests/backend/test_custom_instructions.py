@@ -1,0 +1,109 @@
+"""Custom instructions through the whole toolchain (§3.3)."""
+
+import pytest
+
+from repro.backend import compile_minic_to_epic
+from repro.config import epic_config
+from repro.core import EpicProcessor
+from repro.isa import CustomOpSpec
+from repro.fpga import estimate_resources
+from tests.helpers import run_ir
+
+
+def _ror(x, n):
+    return ((x >> n) | (x << (32 - n))) & 0xFFFFFFFF
+
+
+SIGMA0 = CustomOpSpec(
+    "SIGMA0",
+    func=lambda a, b, m: (_ror(a, 7) ^ _ror(a, 18) ^ (a >> 3)) & m,
+    latency=1,
+    slices=180,
+    description="SHA-256 small sigma 0",
+)
+
+#: MiniC with a software definition whose name matches the custom op.
+SOURCE = """
+int out[3];
+int sigma0(int x, int unused) {
+  return ((x >>> 7) | (x << 25)) ^ ((x >>> 18) | (x << 14)) ^ (x >>> 3);
+}
+int main() {
+  int i; int acc;
+  acc = 0;
+  for (i = 1; i < 50; i += 1) { acc ^= sigma0(acc + i, 0); }
+  out[0] = acc;
+  out[1] = sigma0(0x12345678, 0);
+  out[2] = sigma0(-1, 0);
+  return acc;
+}
+"""
+
+
+def _run(config):
+    compilation = compile_minic_to_epic(SOURCE, config)
+    cpu = EpicProcessor(config, compilation.program, mem_words=2048)
+    result = cpu.run()
+    outputs = [cpu.memory.read(compilation.symbols["out"] + i)
+               for i in range(3)]
+    return compilation, cpu, result, outputs
+
+
+def test_intrinsic_replaces_call():
+    config = epic_config(custom_ops=(SIGMA0,))
+    compilation, _, _, _ = _run(config)
+    assert "SIGMA0" in compilation.assembly
+    # No call to the software fallback remains (the function itself is
+    # still compiled, but main doesn't branch to it).
+    main_section = compilation.assembly.split("main:")[1]
+    assert "PBR b0, sigma0" not in main_section
+
+
+def test_custom_and_fallback_agree():
+    golden = run_ir(SOURCE, ["out"])
+    _, cpu_custom, _, custom_out = _run(epic_config(custom_ops=(SIGMA0,)))
+    _, cpu_plain, _, plain_out = _run(epic_config())
+    assert custom_out == plain_out == golden.globals["out"]
+
+
+def test_custom_instruction_saves_cycles():
+    _, _, with_custom, _ = _run(epic_config(custom_ops=(SIGMA0,)))
+    _, _, without, _ = _run(epic_config())
+    assert with_custom.cycles < without.cycles
+
+
+def test_custom_instruction_costs_area():
+    with_custom = estimate_resources(epic_config(custom_ops=(SIGMA0,)))
+    without = estimate_resources(epic_config())
+    assert with_custom.slices > without.slices
+
+
+def test_multi_cycle_custom_op_schedules_correctly():
+    slow = CustomOpSpec(
+        "SLOWSIG",
+        func=SIGMA0.func,
+        latency=3,
+        slices=90,
+    )
+    source = SOURCE.replace("sigma0", "slowsig")
+    config = epic_config(custom_ops=(slow,))
+    compilation = compile_minic_to_epic(source, config)
+    cpu = EpicProcessor(config, compilation.program, mem_words=2048)
+    cpu.run()
+    golden = run_ir(source, ["out"])
+    got = [cpu.memory.read(compilation.symbols["out"] + i) for i in range(3)]
+    assert got == golden.globals["out"]
+
+
+def test_wrong_arity_does_not_intrinsify():
+    one_arg = CustomOpSpec("ONEARG", func=lambda a, b, m: a)
+    source = """
+    int onearg(int x) { return x + 1; }
+    int main() { return onearg(4); }
+    """
+    config = epic_config(custom_ops=(one_arg,))
+    compilation = compile_minic_to_epic(source, config)
+    assert "ONEARG r" not in compilation.assembly  # stays a real call
+    cpu = EpicProcessor(config, compilation.program, mem_words=1024)
+    cpu.run()
+    assert cpu.gpr.read(2) == 5

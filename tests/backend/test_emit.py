@@ -1,0 +1,92 @@
+"""Assembly emission: operand rendering and program structure."""
+
+import pytest
+
+from repro.backend.emit import (
+    render_bundles,
+    render_data_section,
+    render_mop,
+    render_operand,
+    render_program,
+)
+from repro.backend.mops import ENTER, MOp
+from repro.errors import ScheduleError
+from repro.ir.module import GlobalArray, Module
+from repro.isa.operands import Btr, Lit, Pred, Reg
+
+
+class TestOperandRendering:
+    def test_register_kinds(self):
+        assert render_operand(Reg(5), None) == "r5"
+        assert render_operand(Pred(3), None) == "p3"
+        assert render_operand(Btr(2), None) == "b2"
+        assert render_operand(Lit(-7), None) == "-7"
+
+    def test_symbolic_target_overrides_literal(self):
+        assert render_operand(Lit(0), "loop_head") == "loop_head"
+
+
+class TestMopRendering:
+    def test_plain_alu(self):
+        mop = MOp("ADD", dest1=Reg(5), src1=Reg(1), src2=Lit(3))
+        assert render_mop(mop) == "ADD r5, r1, 3"
+
+    def test_guard_prefix(self):
+        mop = MOp("MOVI", dest1=Reg(4), src1=Lit(1), guard=Pred(7))
+        assert render_mop(mop) == "(p7) MOVI r4, 1"
+
+    def test_pbr_uses_symbol(self):
+        mop = MOp("PBR", dest1=Btr(0), src1=Lit(0), target="main$loop")
+        assert render_mop(mop) == "PBR b0, main$loop"
+
+    def test_cmpp_four_operands(self):
+        mop = MOp("CMPP_LT", dest1=Pred(1), dest2=Pred(2),
+                  src1=Reg(4), src2=Lit(10))
+        assert render_mop(mop) == "CMPP_LT p1, p2, r4, 10"
+
+    def test_pseudo_rejected(self):
+        with pytest.raises(ScheduleError):
+            render_mop(MOp(ENTER))
+
+    def test_no_operands(self):
+        assert render_mop(MOp("HALT")) == "HALT"
+
+
+class TestBundleRendering:
+    def test_empty_cycle_becomes_nop(self):
+        lines = render_bundles("f", [[], [MOp("HALT")]])
+        assert lines == ["f:", "{ NOP }", "{ HALT }"]
+
+    def test_multi_op_bundle(self):
+        bundle = [
+            MOp("ADD", dest1=Reg(5), src1=Reg(1), src2=Lit(1)),
+            MOp("SUB", dest1=Reg(6), src1=Reg(2), src2=Lit(2)),
+        ]
+        lines = render_bundles("f", [bundle])
+        assert lines[1] == "{ ADD r5, r1, 1 ; SUB r6, r2, 2 }"
+
+
+class TestDataSection:
+    def _module(self):
+        module = Module()
+        module.add_global(GlobalArray("filled", 3, (1, 2, 3)))
+        module.add_global(GlobalArray("empty", 5))
+        return module
+
+    def test_initialised_global_uses_word(self):
+        lines = render_data_section(self._module(), 0xFFFFFFFF)
+        assert "filled:" in lines
+        assert "  .word 1, 2, 3" in lines
+
+    def test_zero_global_uses_space(self):
+        lines = render_data_section(self._module(), 0xFFFFFFFF)
+        index = lines.index("empty:")
+        assert lines[index + 1] == "  .space 5"
+
+    def test_program_wrapper(self):
+        text = render_program(self._module(), [("main", [[MOp("HALT")]])],
+                              0xFFFFFFFF)
+        assert ".entry _start" in text
+        assert "{ PBR b0, main }" in text
+        assert text.index("_start:") < text.index("main:")
+        assert text.index("main:") < text.index(".data")

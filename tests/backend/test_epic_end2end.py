@@ -1,0 +1,204 @@
+"""End-to-end: MiniC through the EPIC toolchain vs the golden model.
+
+Every program here runs on the IR interpreter, the EPIC core (several
+configurations) and the SA-110 baseline, and all observables must agree.
+"""
+
+import pytest
+
+from tests.helpers import assert_all_engines_agree, run_epic, run_ir
+
+PROGRAMS = {
+    "arith_mix": """
+        int main() {
+          int a; int b;
+          a = 1234; b = -567;
+          return a * b + a / 7 - b % 13 + (a ^ b) + (a >>> 3) + (b >> 2);
+        }
+    """,
+    "global_state": """
+        int grid[25];
+        int total;
+        int main() {
+          int i;
+          for (i = 0; i < 25; i += 1) { grid[i] = i * i - 7; }
+          total = 0;
+          for (i = 0; i < 25; i += 1) { total += grid[i]; }
+          return total;
+        }
+    """,
+    "string_search": """
+        int haystack[20] = {3,1,4,1,5,9,2,6,5,3,5,8,9,7,9,3,2,3,8,4};
+        int needle[3] = {5, 8, 9};
+        int found_at;
+        int main() {
+          int i; int j; int ok;
+          found_at = -1;
+          for (i = 0; i + 3 <= 20; i += 1) {
+            ok = 1;
+            for (j = 0; j < 3; j += 1) {
+              if (haystack[i + j] != needle[j]) { ok = 0; }
+            }
+            if (ok && found_at < 0) { found_at = i; }
+          }
+          return found_at;
+        }
+    """,
+    "bubble_sort": """
+        int values[12] = {9, 2, 8, 1, 7, 3, 6, 4, 5, 0, 11, 10};
+        int main() {
+          int i; int j; int t;
+          for (i = 0; i < 12; i += 1) {
+            for (j = 0; j < 11 - i; j += 1) {
+              if (values[j] > values[j + 1]) {
+                t = values[j];
+                values[j] = values[j + 1];
+                values[j + 1] = t;
+              }
+            }
+          }
+          return values[0] + values[11] * 100;
+        }
+    """,
+    "fib_recursive": """
+        int fib(int n) {
+          if (n < 2) { return n; }
+          return fib(n - 1) + fib(n - 2);
+        }
+        int main() { return fib(12); }
+    """,
+    "gcd_loop": """
+        int gcd(int a, int b) {
+          int t;
+          while (b != 0) { t = b; b = a % b; a = t; }
+          return a;
+        }
+        int main() { return gcd(462, 1071) * 1000 + gcd(17, 5); }
+    """,
+    "collatz": """
+        int main() {
+          int n; int steps;
+          n = 27; steps = 0;
+          while (n != 1) {
+            if (n % 2 == 0) { n = n / 2; }
+            else { n = 3 * n + 1; }
+            steps += 1;
+          }
+          return steps;
+        }
+    """,
+    "local_array_histogram": """
+        int samples[30] = {1,2,0,3,1,2,2,3,0,1,3,3,2,1,0,2,3,1,0,2,
+                           1,1,2,3,0,0,1,2,3,3};
+        int out[4];
+        int main() {
+          int hist[4];
+          int i;
+          for (i = 0; i < 4; i += 1) { hist[i] = 0; }
+          for (i = 0; i < 30; i += 1) { hist[samples[i]] += 1; }
+          for (i = 0; i < 4; i += 1) { out[i] = hist[i]; }
+          return hist[0] + hist[1] * 10 + hist[2] * 100 + hist[3] * 1000;
+        }
+    """,
+    "unrolled_dot_product": """
+        int a[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+        int b[8] = {8, 7, 6, 5, 4, 3, 2, 1};
+        int main() {
+          int i; int acc;
+          acc = 0;
+          unroll for (i = 0; i < 8; i += 1) { acc += a[i] * b[i]; }
+          return acc;
+        }
+    """,
+    "const_table": """
+        const int squares[10] = {0, 1, 4, 9, 16, 25, 36, 49, 64, 81};
+        int main() {
+          int i; int s;
+          s = 0;
+          unroll for (i = 0; i < 10; i += 1) { s += squares[i]; }
+          for (i = 0; i < 5; i += 1) { s += squares[i]; }  // runtime index
+          return s;
+        }
+    """,
+    "deep_expressions": """
+        int f(int a, int b, int c, int d, int e, int g) {
+          return ((a + b) * (c - d)) ^ ((e | g) & (a * c))
+               + ((b << 3) - (d >>> 1));
+        }
+        int main() { return f(11, 22, 33, 44, 55, 66); }
+    """,
+    "predication_candidates": """
+        int xs[16] = {5,-3,8,-1,9,-2,7,-4,0,6,-6,2,-8,1,3,-5};
+        int main() {
+          int i; int pos; int neg; int absmax;
+          pos = 0; neg = 0; absmax = 0;
+          for (i = 0; i < 16; i += 1) {
+            int v;
+            v = xs[i];
+            if (v >= 0) { pos += v; } else { neg -= v; }
+            if (v < 0) { v = -v; }
+            if (v > absmax) { absmax = v; }
+          }
+          return pos * 10000 + neg * 100 + absmax;
+        }
+    """,
+}
+
+
+@pytest.mark.parametrize("name", sorted(PROGRAMS))
+def test_cross_engine_agreement(name):
+    assert_all_engines_agree(PROGRAMS[name])
+
+
+@pytest.mark.parametrize("name", ["bubble_sort", "collatz",
+                                  "unrolled_dot_product"])
+def test_agreement_across_alu_counts(name, alu_config):
+    source = PROGRAMS[name]
+    golden = run_ir(source)
+    epic = run_epic(source, config=alu_config)
+    assert epic.return_value == golden.return_value
+
+
+def test_agreement_on_small_register_file():
+    from repro.config import epic_config
+
+    config = epic_config(n_gprs=16)
+    source = PROGRAMS["deep_expressions"]
+    golden = run_ir(source)
+    assert run_epic(source, config=config).return_value == \
+        golden.return_value
+
+
+def test_agreement_without_if_conversion():
+    source = PROGRAMS["predication_candidates"]
+    golden = run_ir(source)
+    epic = run_epic(source, if_convert=False)
+    assert epic.return_value == golden.return_value
+
+
+def test_agreement_without_optimisation():
+    source = PROGRAMS["gcd_loop"]
+    golden = run_ir(source)
+    epic = run_epic(source, optimize=False)
+    assert epic.return_value == golden.return_value
+
+
+def test_if_conversion_reduces_branches():
+    from repro.backend import compile_minic_to_epic
+    from repro.config import epic_config
+    from repro.core import EpicProcessor
+
+    source = PROGRAMS["predication_candidates"]
+    config = epic_config()
+
+    def run(if_convert):
+        compilation = compile_minic_to_epic(source, config,
+                                            if_convert=if_convert)
+        cpu = EpicProcessor(config, compilation.program, mem_words=4096)
+        cpu.run()
+        return cpu.stats
+
+    with_ic = run(True)
+    without_ic = run(False)
+    assert with_ic.branches < without_ic.branches
+    assert with_ic.ops_squashed > 0

@@ -1,0 +1,76 @@
+"""ALU feature customisation through the backend (§3.3)."""
+
+import pytest
+
+from repro.backend import compile_minic_to_epic
+from repro.config import AluFeature, epic_config
+from repro.core import EpicProcessor
+from repro.errors import ScheduleError
+from tests.helpers import run_ir
+
+DIV_SOURCE = """
+int inputs[2] = {1234567, -89};
+int main() {
+  int a; int b;
+  a = inputs[0]; b = inputs[1];
+  return a / b * 1000 + a % 97 + (-a) / 7;
+}
+"""
+
+
+def test_divide_free_config_uses_runtime():
+    config = epic_config(
+        alu_features=frozenset({AluFeature.MULTIPLY, AluFeature.SHIFT})
+    )
+    compilation = compile_minic_to_epic(DIV_SOURCE, config)
+    assert "__divsi3" in compilation.assembly
+    assert "DIV" not in [
+        token for line in compilation.assembly.splitlines()
+        for token in line.replace("{", " ").replace(";", " ").split()
+    ]
+    cpu = EpicProcessor(config, compilation.program, mem_words=8192)
+    cpu.run(max_cycles=2_000_000)
+    assert cpu.gpr.read(2) == run_ir(DIV_SOURCE).return_value
+
+
+def test_hardware_divide_config_uses_div_instruction():
+    config = epic_config()
+    compilation = compile_minic_to_epic(DIV_SOURCE, config)
+    assert "__divsi3" not in compilation.assembly
+    cpu = EpicProcessor(config, compilation.program, mem_words=8192)
+    cpu.run()
+    assert cpu.gpr.read(2) == run_ir(DIV_SOURCE).return_value
+
+
+def test_software_division_is_much_slower():
+    """Quantifies the §3.3 trade-off: dropping the divider saves ~1000
+    slices but costs two orders of magnitude on division latency."""
+    hw_config = epic_config()
+    sw_config = epic_config(
+        alu_features=frozenset({AluFeature.MULTIPLY, AluFeature.SHIFT})
+    )
+    hw = compile_minic_to_epic(DIV_SOURCE, hw_config)
+    sw = compile_minic_to_epic(DIV_SOURCE, sw_config)
+    cpu_hw = EpicProcessor(hw_config, hw.program, mem_words=8192)
+    cpu_sw = EpicProcessor(sw_config, sw.program, mem_words=8192)
+    hw_cycles = cpu_hw.run().cycles
+    sw_cycles = cpu_sw.run(max_cycles=2_000_000).cycles
+    assert sw_cycles > 3 * hw_cycles
+
+
+def test_no_multiply_feature_is_rejected_by_backend():
+    config = epic_config(
+        alu_features=frozenset({AluFeature.DIVIDE, AluFeature.SHIFT})
+    )
+    with pytest.raises(ScheduleError):
+        compile_minic_to_epic("int main() { return 6 * 7; }", config)
+
+
+def test_runtime_not_linked_when_unneeded():
+    config = epic_config(
+        alu_features=frozenset({AluFeature.MULTIPLY, AluFeature.SHIFT})
+    )
+    compilation = compile_minic_to_epic(
+        "int main() { return 1 + 2; }", config
+    )
+    assert "__divsi3" not in compilation.assembly

@@ -1,0 +1,148 @@
+"""If-conversion: which shapes convert, and squash behaviour."""
+
+import pytest
+
+from repro.backend import compile_minic_to_epic
+from repro.config import epic_config
+from repro.core import EpicProcessor
+from tests.helpers import run_ir
+
+
+def _stats(source, if_convert=True, config=None):
+    config = config or epic_config()
+    compilation = compile_minic_to_epic(source, config,
+                                        if_convert=if_convert)
+    cpu = EpicProcessor(config, compilation.program, mem_words=4096,
+                        strict_nual=True)
+    cpu.run(max_cycles=2_000_000)
+    return cpu, compilation
+
+
+DIAMOND = """
+int xs[8] = {5, -3, 8, -1, 9, -2, 7, -4};
+int main() {
+  int i; int pos; int neg;
+  pos = 0; neg = 0;
+  for (i = 0; i < 8; i += 1) {
+    if (xs[i] >= 0) { pos += xs[i]; } else { neg += xs[i]; }
+  }
+  return pos * 1000 - neg;
+}
+"""
+
+TRIANGLE = """
+int xs[8] = {5, -3, 8, -1, 9, -2, 7, -4};
+int main() {
+  int i; int best;
+  best = -100;
+  for (i = 0; i < 8; i += 1) {
+    if (xs[i] > best) { best = xs[i]; }
+  }
+  return best;
+}
+"""
+
+CALL_IN_ARM = """
+int bump(int x) { return x + 1; }
+int main() {
+  int i; int s;
+  s = 0;
+  for (i = 0; i < 8; i += 1) {
+    if (i > 3) { s = bump(s); } else { s += 2; }
+  }
+  return s;
+}
+"""
+
+
+class TestConversionHappens:
+    def test_diamond_converts(self):
+        cpu, _ = _stats(DIAMOND)
+        assert cpu.stats.ops_squashed > 0
+
+    def test_triangle_converts(self):
+        cpu, _ = _stats(TRIANGLE)
+        assert cpu.stats.ops_squashed > 0
+
+    def test_conversion_removes_branches(self):
+        with_ic, _ = _stats(DIAMOND, if_convert=True)
+        without_ic, _ = _stats(DIAMOND, if_convert=False)
+        assert with_ic.stats.branches < without_ic.stats.branches
+        assert with_ic.stats.branch_bubble_cycles < \
+            without_ic.stats.branch_bubble_cycles
+
+    def test_conversion_is_profitable_on_unpredictable_data(self):
+        with_ic, _ = _stats(DIAMOND, if_convert=True)
+        without_ic, _ = _stats(DIAMOND, if_convert=False)
+        assert with_ic.stats.cycles <= without_ic.stats.cycles
+
+
+class TestConversionRefused:
+    def test_arm_with_call_not_converted(self):
+        cpu, compilation = _stats(CALL_IN_ARM)
+        # The call arm cannot be predicated; the branch remains.
+        main_asm = compilation.assembly.split("main:")[1]
+        assert "BRCT" in main_asm or "BRCF" in main_asm
+
+    def test_large_arms_not_converted(self):
+        statements = " ".join(f"s += xs[{i % 8}] * {i};" for i in range(16))
+        source = f"""
+        int xs[8] = {{1, 2, 3, 4, 5, 6, 7, 8}};
+        int main() {{
+          int i; int s;
+          s = 0;
+          for (i = 0; i < 4; i += 1) {{
+            if (i > 1) {{ {statements} }}
+          }}
+          return s;
+        }}
+        """
+        cpu, _ = _stats(source)
+        golden = run_ir(source)
+        assert cpu.gpr.read(2) == golden.return_value
+
+
+class TestSemanticsPreserved:
+    @pytest.mark.parametrize("source", [DIAMOND, TRIANGLE, CALL_IN_ARM],
+                             ids=["diamond", "triangle", "call-arm"])
+    def test_same_result_with_and_without(self, source):
+        golden = run_ir(source)
+        with_ic, _ = _stats(source, if_convert=True)
+        without_ic, _ = _stats(source, if_convert=False)
+        assert with_ic.gpr.read(2) == golden.return_value
+        assert without_ic.gpr.read(2) == golden.return_value
+
+    def test_guarded_stores_do_not_leak(self):
+        source = """
+        int out[4];
+        int main() {
+          int i;
+          for (i = 0; i < 4; i += 1) {
+            if (i & 1) { out[i] = 100 + i; }
+          }
+          return out[0] + out[1] + out[2] + out[3];
+        }
+        """
+        golden = run_ir(source, ["out"])
+        cpu, compilation = _stats(source)
+        base = compilation.symbols["out"]
+        got = [cpu.memory.read(base + i) for i in range(4)]
+        assert got == golden.globals["out"] == [0, 101, 0, 103]
+
+    def test_guarded_division_squashes_cleanly(self):
+        # The not-taken arm divides by zero; predication must squash the
+        # operation before it can trap.
+        source = """
+        int xs[4] = {2, 0, 4, 0};
+        int main() {
+          int i; int s;
+          s = 0;
+          for (i = 0; i < 4; i += 1) {
+            if (xs[i] != 0) { s += 100 / xs[i]; }
+          }
+          return s;
+        }
+        """
+        golden = run_ir(source)
+        cpu, _ = _stats(source)
+        assert cpu.gpr.read(2) == golden.return_value == 75

@@ -1,0 +1,123 @@
+"""Instruction-selection details: literals, addresses, fusion."""
+
+import pytest
+
+from repro.backend import compile_minic_to_epic
+from repro.config import epic_config
+from repro.core import EpicProcessor
+from tests.helpers import run_ir
+
+
+def _asm(source, **kwargs):
+    return compile_minic_to_epic(source, epic_config(), **kwargs).assembly
+
+
+def _mnemonics(assembly):
+    result = []
+    for line in assembly.splitlines():
+        line = line.strip().strip("{}").strip()
+        for piece in line.split(";"):
+            piece = piece.strip()
+            if piece and not piece.endswith(":") and not piece.startswith(
+                    (".", "/")):
+                if piece.startswith("(p"):
+                    piece = piece.split(") ", 1)[1]
+                result.append(piece.split()[0])
+    return result
+
+
+class TestLiteralLegalisation:
+    def test_small_constants_ride_in_src_fields(self):
+        assembly = _asm("int g; int main() { g = 1000; return 0; }")
+        assert "MOVE" in _mnemonics(assembly)
+
+    def test_wide_constants_use_movi(self):
+        assembly = _asm("int g; int main() { g = 123456789; return 0; }")
+        assert "MOVI" in _mnemonics(assembly)
+
+    def test_wide_constant_roundtrips(self):
+        source = "int main() { return 0x7ab3c9d1; }"
+        golden = run_ir(source)
+        config = epic_config()
+        compilation = compile_minic_to_epic(source, config)
+        cpu = EpicProcessor(config, compilation.program, mem_words=256)
+        cpu.run()
+        assert cpu.gpr.read(2) == golden.return_value
+
+    def test_store_value_forced_to_register(self):
+        # SW's value field is a register; constants get materialised.
+        source = "int g[2]; int main() { g[1] = 5; return g[1]; }"
+        golden = run_ir(source)
+        config = epic_config()
+        compilation = compile_minic_to_epic(source, config)
+        cpu = EpicProcessor(config, compilation.program, mem_words=256)
+        cpu.run()
+        assert cpu.gpr.read(2) == golden.return_value == 5
+
+
+class TestAddressFolding:
+    def test_store_to_load_forwarding_removes_the_load(self):
+        # g[3] = 1; return g[3]: the store survives (observable), the
+        # load is forwarded away by the optimiser.
+        source = "int g[8]; int main() { g[3] = 1; return g[3]; }"
+        mnemonics = _mnemonics(_asm(source))
+        assert "SW" in mnemonics
+        assert "LW" not in mnemonics
+
+    def test_constant_global_index_folds_into_offset(self):
+        # A load that must stay (mutated in a loop) uses base r0 plus a
+        # literal offset: no address arithmetic instructions appear.
+        source = """
+        int g[8];
+        int main() {
+          int i; int s;
+          s = 0;
+          for (i = 0; i < 4; i += 1) { g[3] += i; s += g[3]; }
+          return s;
+        }
+        """
+        mnemonics = _mnemonics(_asm(source))
+        assert "LW" in mnemonics and "SW" in mnemonics
+
+    def test_dynamic_index_uses_base_plus_register(self):
+        source = """
+        int g[8];
+        int main(){ int i; i = 3; g[i] = 7; return g[i]; }
+        """
+        golden = run_ir(source)
+        config = epic_config()
+        compilation = compile_minic_to_epic(source, config)
+        cpu = EpicProcessor(config, compilation.program, mem_words=256)
+        cpu.run()
+        assert cpu.gpr.read(2) == golden.return_value == 7
+
+
+class TestCompareBranchFusion:
+    def test_loop_condition_never_materialises_bool(self):
+        source = """
+        int main() {
+          int i; int s;
+          s = 0;
+          for (i = 0; i < 10; i += 1) { s += i; }
+          return s;
+        }
+        """
+        assembly = _asm(source)
+        mnemonics = _mnemonics(assembly)
+        assert "BRCT" in mnemonics or "BRCF" in mnemonics
+        # The fused compare writes only one live predicate: the bool is
+        # never turned into a 0/1 register value (no guarded MOVI pair).
+        guarded_movis = [
+            line for line in assembly.splitlines() if "(p" in line and
+            "MOVI" in line
+        ]
+        assert not guarded_movis
+
+    def test_stored_bool_is_materialised(self):
+        source = "int g; int main() { g = 3 < 5; return g; }"
+        golden = run_ir(source)
+        config = epic_config()
+        compilation = compile_minic_to_epic(source, config)
+        cpu = EpicProcessor(config, compilation.program, mem_words=256)
+        cpu.run()
+        assert cpu.gpr.read(2) == golden.return_value == 1

@@ -1,0 +1,77 @@
+"""Armlet backend: code shape and cross-engine agreement."""
+
+import pytest
+
+from repro.baseline import Sa110Simulator, compile_minic_to_armlet
+from tests.helpers import assert_all_engines_agree, run_ir
+
+
+def test_division_always_expands_to_runtime():
+    compilation = compile_minic_to_armlet("""
+    int v[2] = {100, 7};
+    int main() { return v[0] / v[1] + v[0] % v[1]; }
+    """)
+    mnemonics = {mop.mnemonic for mop in compilation.program}
+    assert "DIV" not in mnemonics
+    assert "__divsi3" in compilation.labels
+    assert "__modsi3" in compilation.labels
+
+
+def test_compare_branch_fusion():
+    compilation = compile_minic_to_armlet("""
+    int main() {
+      int i; int s;
+      s = 0;
+      for (i = 0; i < 10; i += 1) { s += i; }
+      return s;
+    }
+    """)
+    mnemonics = [mop.mnemonic for mop in compilation.program]
+    assert any(m in ("BLT", "BGE") for m in mnemonics)
+
+
+def test_scalar_program_is_sequential():
+    """Armlet has no bundles: the program is a flat instruction list."""
+    compilation = compile_minic_to_armlet("int main() { return 2 + 3; }")
+    assert compilation.n_instructions >= 2
+    assert isinstance(compilation.listing(), str)
+
+
+def test_value_position_compare_materialises():
+    source = """
+    int flags[2];
+    int main() {
+      int a;
+      a = 7;
+      flags[0] = a > 3;
+      flags[1] = a < 3;
+      return flags[0] * 10 + flags[1];
+    }
+    """
+    outputs = assert_all_engines_agree(source, ["flags"])
+    assert outputs.globals["flags"] == [1, 0]
+    assert outputs.return_value == 10
+
+
+def test_label_uniqueness_across_functions():
+    compilation = compile_minic_to_armlet("""
+    int a() { return 1 < 2; }
+    int b() { return 3 < 4; }
+    int main() { return a() + b(); }
+    """)
+    assert len(compilation.labels) == len(set(compilation.labels.values()))
+
+
+@pytest.mark.parametrize("source", [
+    "int main() { return -2147483647 / 2; }",
+    "int xs[1] = {-2147483647}; int main() { return xs[0] % 10; }",
+    "int xs[2] = {-100, 9}; int main() { return xs[0] / xs[1]; }",
+    "int xs[2] = {-100, -9}; int main() { return xs[0] % xs[1]; }",
+])
+def test_signed_division_corner_cases(source):
+    golden = run_ir(source)
+    compilation = compile_minic_to_armlet(source)
+    simulator = Sa110Simulator(compilation.program, compilation.labels,
+                               compilation.data, mem_words=4096)
+    result = simulator.run()
+    assert (result.return_value & 0xFFFFFFFF) == golden.return_value

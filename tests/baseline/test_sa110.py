@@ -1,0 +1,169 @@
+"""SA-110 baseline simulator: timing model unit tests."""
+
+import pytest
+
+from repro.backend.mops import MOp
+from repro.baseline import Sa110Simulator, Sa110Timing
+from repro.errors import SimulationError
+from repro.isa.operands import Lit, Reg
+
+
+def _sim(program, labels=None, data=(), timing=None, mem_words=256):
+    labels = {"main": 0, **(labels or {})}
+    return Sa110Simulator(program, labels, list(data), mem_words=mem_words,
+                          timing=timing)
+
+
+def _halt_via_jr():
+    """Return-to-synthetic-HALT: main ends with JR r3."""
+    return MOp("JR", src1=Reg(3))
+
+
+#: Cost of the synthetic `JAL main` prologue plus the final `JR r3`.
+_CALL_OVERHEAD = (2 + 1) + (1 + 2)
+
+
+class TestBaseCosts:
+    def test_single_instruction_cost(self):
+        sim = _sim([MOp("ADD", dest1=Reg(4), src1=Reg(0), src2=Lit(1)),
+                    _halt_via_jr()])
+        result = sim.run()
+        assert result.cycles == _CALL_OVERHEAD + 1
+        assert sim.regs[4] == 1
+
+    def test_move_and_wide_immediate(self):
+        timing = Sa110Timing()
+        sim = _sim([
+            MOp("MOVE", dest1=Reg(4), src1=Lit(7)),          # 1 cycle
+            MOp("MOVI", dest1=Reg(5), src1=Lit(0x12345678)),  # 1 + wide
+            _halt_via_jr(),
+        ], timing=timing)
+        result = sim.run()
+        assert result.cycles == _CALL_OVERHEAD + 1 + (1 + timing.wide_immediate)
+        assert sim.regs[5] == 0x12345678
+
+
+class TestLoadUseInterlock:
+    def _program(self, gap):
+        body = [MOp("SW", dest1=Reg(0), src1=Reg(0), src2=Lit(0)),
+                MOp("LW", dest1=Reg(4), src1=Reg(0), src2=Lit(0))]
+        body += [MOp("ADD", dest1=Reg(6), src1=Reg(0), src2=Lit(0))] * gap
+        body.append(MOp("ADD", dest1=Reg(5), src1=Reg(4), src2=Lit(1)))
+        body.append(_halt_via_jr())
+        return body
+
+    def test_immediate_use_stalls(self):
+        no_gap = _sim(self._program(0)).run()
+        gap = _sim(self._program(1)).run()
+        # The gap version has one more instruction but the same cycle
+        # count + 0: stall disappears, instruction appears.
+        assert no_gap.stats.load_use_stalls == 1
+        assert gap.stats.load_use_stalls == 0
+        assert gap.cycles == no_gap.cycles + 0 + 1 - 1  # net equal
+
+    def test_store_value_counts_as_use(self):
+        program = [
+            MOp("LW", dest1=Reg(4), src1=Reg(0), src2=Lit(0)),
+            MOp("SW", dest1=Reg(4), src1=Reg(0), src2=Lit(1)),
+            _halt_via_jr(),
+        ]
+        result = _sim(program).run()
+        assert result.stats.load_use_stalls == 1
+
+
+class TestBranchCosts:
+    def test_taken_branch_penalty(self):
+        timing = Sa110Timing()
+        taken = _sim([
+            MOp("BEQ", src1=Reg(0), src2=Reg(0), target="skip"),
+            MOp("ADD", dest1=Reg(4), src1=Reg(0), src2=Lit(1)),
+            _halt_via_jr(),
+        ], labels={"skip": 2}).run()
+        untaken = _sim([
+            MOp("BNE", src1=Reg(0), src2=Reg(0), target="skip"),
+            MOp("ADD", dest1=Reg(4), src1=Reg(0), src2=Lit(1)),
+            _halt_via_jr(),
+        ], labels={"skip": 2}).run()
+        assert taken.cycles == untaken.cycles - 1 + timing.taken_branch_penalty
+
+    def test_unconditional_branch_always_pays(self):
+        result = _sim([
+            MOp("B", target="skip"),
+            MOp("ADD", dest1=Reg(4), src1=Reg(0), src2=Lit(1)),
+            _halt_via_jr(),
+        ], labels={"skip": 2}).run()
+        assert result.stats.branches_taken == 3  # entry JAL + B + JR
+
+
+class TestMultiplier:
+    @pytest.mark.parametrize("multiplier,extra", [
+        (3, 1),          # small: early termination
+        (1 << 12, 2),    # medium
+        (1 << 30, 3),    # large
+        (-3, 1),         # magnitude matters, not sign
+    ])
+    def test_early_termination(self, multiplier, extra):
+        timing = Sa110Timing()
+        base = _sim([
+            MOp("MOVI", dest1=Reg(4), src1=Lit(multiplier)),
+            _halt_via_jr(),
+        ], timing=timing).run().cycles
+        mul = _sim([
+            MOp("MOVI", dest1=Reg(4), src1=Lit(multiplier)),
+            MOp("MUL", dest1=Reg(5), src1=Reg(6), src2=Reg(4)),
+            _halt_via_jr(),
+        ], timing=timing).run().cycles
+        assert mul - base == 1 + extra
+
+
+class TestSemantics:
+    def test_conditional_flavours(self):
+        # BLTU: -1 is a large unsigned value.
+        program = [
+            MOp("MOVI", dest1=Reg(4), src1=Lit(-1)),
+            MOp("BLTU", src1=Reg(4), src2=Reg(0), target="no"),
+            MOp("MOVI", dest1=Reg(5), src1=Lit(111)),
+            _halt_via_jr(),
+            MOp("MOVI", dest1=Reg(5), src1=Lit(222)),
+            _halt_via_jr(),
+        ]
+        sim = _sim(program, labels={"no": 4})
+        sim.run()
+        assert sim.regs[5] == 111  # -1 as unsigned is NOT < 0
+
+    def test_memory_bounds(self):
+        program = [
+            MOp("LW", dest1=Reg(4), src1=Reg(0), src2=Lit(9999)),
+            _halt_via_jr(),
+        ]
+        with pytest.raises(SimulationError):
+            _sim(program, mem_words=16).run()
+
+    def test_speculative_load(self):
+        program = [
+            MOp("LWS", dest1=Reg(4), src1=Reg(0), src2=Lit(9999)),
+            _halt_via_jr(),
+        ]
+        sim = _sim(program, mem_words=16)
+        sim.run()
+        assert sim.regs[4] == 0
+
+    def test_r0_hardwired(self):
+        program = [
+            MOp("MOVI", dest1=Reg(0), src1=Lit(5)),
+            MOp("ADD", dest1=Reg(4), src1=Reg(0), src2=Lit(1)),
+            _halt_via_jr(),
+        ]
+        sim = _sim(program)
+        sim.run()
+        assert sim.regs[4] == 1
+
+    def test_instruction_budget(self):
+        program = [MOp("B", target="main")]
+        with pytest.raises(SimulationError):
+            _sim(program).run(max_instructions=100)
+
+    def test_unknown_opcode(self):
+        program = [MOp("FNORD"), _halt_via_jr()]
+        with pytest.raises(SimulationError):
+            _sim(program).run()

@@ -1,0 +1,69 @@
+"""Sensitivity of the SA-110 model to its timing constants.
+
+EXPERIMENTS.md flags the baseline model as the largest threat to
+validity; these tests confirm the knobs actually steer the model so the
+sensitivity analysis is meaningful.
+"""
+
+import pytest
+
+from repro.baseline import Sa110Simulator, Sa110Timing, compile_minic_to_armlet
+
+SOURCE = """
+int data[16] = {1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16};
+int main() {
+  int i; int s;
+  s = 0;
+  for (i = 0; i < 16; i += 1) { s += data[i] * 2654435761; }
+  return s;
+}
+"""
+
+
+def _cycles(timing):
+    compilation = compile_minic_to_armlet(SOURCE)
+    simulator = Sa110Simulator(compilation.program, compilation.labels,
+                               compilation.data, mem_words=2048,
+                               timing=timing)
+    return simulator.run().cycles
+
+
+def test_default_timing_is_sa110_like():
+    timing = Sa110Timing()
+    assert timing.taken_branch_penalty == 2
+    assert timing.load_use_stall == 1
+    assert timing.mul_extra(3) == 1
+    assert timing.mul_extra(1 << 15) == 2
+    assert timing.mul_extra(1 << 25) == 3
+    assert timing.mul_extra(-(1 << 25)) == 3
+
+
+def test_branch_penalty_steers_cycles():
+    fast = _cycles(Sa110Timing(taken_branch_penalty=0))
+    slow = _cycles(Sa110Timing(taken_branch_penalty=4))
+    assert slow > fast
+
+
+def test_multiplier_model_steers_cycles():
+    fast = _cycles(Sa110Timing(mul_small=0, mul_medium=0, mul_large=0))
+    slow = _cycles(Sa110Timing(mul_small=4, mul_medium=8, mul_large=16))
+    assert slow > fast
+
+
+def test_load_use_stall_steers_cycles():
+    fast = _cycles(Sa110Timing(load_use_stall=0))
+    slow = _cycles(Sa110Timing(load_use_stall=3))
+    assert slow >= fast
+
+
+def test_results_independent_of_timing():
+    """Timing knobs change cycles, never values."""
+    compilation = compile_minic_to_armlet(SOURCE)
+    results = set()
+    for timing in (Sa110Timing(), Sa110Timing(taken_branch_penalty=0),
+                   Sa110Timing(wide_immediate=5)):
+        simulator = Sa110Simulator(compilation.program, compilation.labels,
+                                   compilation.data, mem_words=2048,
+                                   timing=timing)
+        results.add(simulator.run().return_value)
+    assert len(results) == 1

@@ -1,0 +1,121 @@
+"""MachineConfig validation and derived quantities."""
+
+import pytest
+
+from repro.config import AluFeature, MachineConfig, epic_config
+from repro.errors import ConfigError
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        config = MachineConfig()
+        assert config.n_alus == 4
+        assert config.n_gprs == 64
+        assert config.n_preds == 32
+        assert config.n_btrs == 16
+        assert config.issue_width == 4
+        assert config.datapath_width == 32
+
+    def test_default_features_complete(self):
+        config = MachineConfig()
+        for feature in AluFeature:
+            assert config.has_feature(feature)
+
+    def test_default_clock_is_paper_prototype(self):
+        assert MachineConfig().clock_mhz == pytest.approx(41.8)
+
+    def test_mask_and_sign_bit(self):
+        config = MachineConfig()
+        assert config.mask == 0xFFFFFFFF
+        assert config.sign_bit == 0x80000000
+
+    def test_narrow_datapath_mask(self):
+        config = MachineConfig(datapath_width=16)
+        assert config.mask == 0xFFFF
+        assert config.sign_bit == 0x8000
+
+
+class TestValidation:
+    def test_zero_alus_rejected(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(n_alus=0)
+
+    def test_issue_width_bounds(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(issue_width=0)
+        with pytest.raises(ConfigError):
+            MachineConfig(issue_width=5)  # memory-bandwidth limit (paper)
+
+    def test_issue_width_range_valid(self):
+        for width in (1, 2, 3, 4):
+            assert MachineConfig(issue_width=width).issue_width == width
+
+    def test_too_few_gprs(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(n_gprs=2)
+
+    def test_too_few_preds(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(n_preds=1)
+
+    def test_zero_btrs(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(n_btrs=0)
+
+    def test_weird_datapath_width(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(datapath_width=24)
+
+    def test_regs_per_instruction_must_cover_file(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(n_gprs=64, regs_per_instruction=32)
+
+    def test_missing_latency_entry(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(latencies=(("alu", 1),))
+
+    def test_nonpositive_latency(self):
+        bad = tuple(
+            (name, 0 if name == "mul" else value)
+            for name, value in MachineConfig().latencies
+        )
+        with pytest.raises(ConfigError):
+            MachineConfig(latencies=bad)
+
+    def test_duplicate_custom_mnemonics(self):
+        from repro.isa import CustomOpSpec
+        spec = CustomOpSpec("FOO", func=lambda a, b, m: a)
+        with pytest.raises(ConfigError):
+            MachineConfig(custom_ops=(spec, spec))
+
+
+class TestDerived:
+    def test_with_changes_returns_new_object(self):
+        base = epic_config()
+        changed = base.with_changes(n_alus=2)
+        assert changed.n_alus == 2
+        assert base.n_alus == 4
+
+    def test_with_latency_override(self):
+        config = epic_config().with_latency("load", 5)
+        assert config.latency["load"] == 5
+        assert epic_config().latency["load"] == 2
+
+    def test_with_latency_unknown_class(self):
+        with pytest.raises(ConfigError):
+            epic_config().with_latency("sqrt", 3)
+
+    def test_describe_mentions_key_parameters(self):
+        text = epic_config(n_alus=3).describe()
+        assert "3 ALU" in text
+        assert "64 GPR" in text
+
+    def test_feature_removal(self):
+        config = epic_config(
+            alu_features=frozenset({AluFeature.MULTIPLY, AluFeature.SHIFT})
+        )
+        assert not config.has_feature(AluFeature.DIVIDE)
+        assert config.has_feature(AluFeature.MULTIPLY)
+
+    def test_config_is_hashable(self):
+        assert {epic_config(): 1}

@@ -1,0 +1,34 @@
+"""Preset configurations (the paper's evaluated design points)."""
+
+from repro.config import DEFAULT_CONFIG, epic_config, epic_with_alus, sweep_alus
+from repro.config.presets import EPIC_CLOCK_MHZ, SA110_CLOCK_MHZ
+
+
+def test_default_config_is_shared_instance():
+    assert epic_config() is DEFAULT_CONFIG
+
+
+def test_override_creates_copy():
+    assert epic_config(n_alus=2).n_alus == 2
+    assert DEFAULT_CONFIG.n_alus == 4
+
+
+def test_epic_with_alus():
+    for n in range(1, 5):
+        assert epic_with_alus(n).n_alus == n
+
+
+def test_sweep_matches_paper_design_points():
+    configs = list(sweep_alus())
+    assert [c.n_alus for c in configs] == [1, 2, 3, 4]
+
+
+def test_sweep_with_extra_overrides():
+    configs = list(sweep_alus(2, 3, forwarding=False))
+    assert [c.n_alus for c in configs] == [2, 3]
+    assert all(not c.forwarding for c in configs)
+
+
+def test_paper_clock_rates():
+    assert EPIC_CLOCK_MHZ == 41.8
+    assert SA110_CLOCK_MHZ == 100.0

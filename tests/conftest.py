@@ -1,0 +1,22 @@
+"""Session-wide fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import epic_config, epic_with_alus
+
+
+@pytest.fixture(scope="session")
+def default_config():
+    return epic_config()
+
+
+@pytest.fixture(scope="session")
+def one_alu_config():
+    return epic_with_alus(1)
+
+
+@pytest.fixture(params=[1, 2, 4], ids=lambda n: f"{n}alu")
+def alu_config(request):
+    return epic_with_alus(request.param)

@@ -1,0 +1,439 @@
+"""Cycle-accurate core: timing semantics the compiler relies on."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.config import epic_config
+from repro.core import EpicProcessor
+from repro.errors import SimulationError
+
+
+def run(source, config=None, mem_words=256, max_cycles=10_000):
+    config = config or epic_config()
+    cpu = EpicProcessor(config, assemble(source, config),
+                        mem_words=mem_words)
+    result = cpu.run(max_cycles=max_cycles)
+    return cpu, result
+
+
+class TestBasics:
+    def test_halt_only_program_takes_one_cycle(self):
+        _, result = run("HALT")
+        assert result.cycles == 1
+
+    def test_single_cycle_per_bundle(self):
+        source = """
+          MOVI r4, 1
+          MOVI r5, 2
+          ADD r6, r4, r5
+          HALT
+        """
+        cpu, result = run(source)
+        assert result.cycles == 4
+        assert cpu.gpr.read(6) == 3
+
+    def test_r0_is_hardwired_zero(self):
+        source = """
+          MOVI r0, 123
+          ADD r4, r0, 7
+          HALT
+        """
+        cpu, _ = run(source)
+        assert cpu.gpr.read(0) == 0
+        assert cpu.gpr.read(4) == 7
+
+    def test_negative_values_wrap_on_datapath(self):
+        source = """
+          MOVI r4, -1
+          ADD r5, r4, 1
+          NOP
+          HALT
+        """
+        cpu, _ = run(source)
+        assert cpu.gpr.read(4) == 0xFFFFFFFF
+        assert cpu.gpr.read(5) == 0
+
+    def test_falling_off_the_end_raises(self):
+        with pytest.raises(SimulationError):
+            run("NOP")
+
+    def test_cycle_budget_enforced(self):
+        source = """
+          PBR b0, main
+        main:
+          BR b0
+        """
+        with pytest.raises(SimulationError):
+            run(source, max_cycles=100)
+
+
+class TestLatencySemantics:
+    """HPL-PD/NUAL: an op with latency L is visible L cycles later; an
+    early consumer reads the OLD value (no interlocks)."""
+
+    def test_alu_result_visible_next_cycle(self):
+        source = """
+          MOVI r4, 5
+          ADD r5, r4, 1
+          HALT
+        """
+        cpu, _ = run(source)
+        assert cpu.gpr.read(5) == 6
+
+    def test_same_bundle_reads_old_value(self):
+        source = """
+          MOVI r4, 5
+        { ADD r4, r4, 10 ; ADD r5, r4, 1 }
+          HALT
+        """
+        cpu, _ = run(source)
+        # Both ops read the pre-cycle value of r4 (VLIW semantics).
+        assert cpu.gpr.read(4) == 15
+        assert cpu.gpr.read(5) == 6
+
+    def test_load_latency_two_cycles(self):
+        config = epic_config()
+        assert config.latency["load"] == 2
+        source = """
+        .data
+        v: .word 99
+        .text
+          MOVI r4, 1
+          LW r5, r0, v
+          ADD r6, r5, 0     ;; too early: sees the OLD r5 (= 0)
+          ADD r7, r5, 0     ;; exactly 2 cycles later: sees 99
+          HALT
+        """
+        cpu, _ = run(source)
+        assert cpu.gpr.read(6) == 0
+        assert cpu.gpr.read(7) == 99
+
+    def test_multiply_latency_three_cycles(self):
+        source = """
+          MOVI r4, 6
+          MUL r5, r4, 7
+          ADD r6, r5, 0   ;; +1: stale
+          ADD r7, r5, 0   ;; +2: stale
+          ADD r8, r5, 0   ;; +3: fresh
+          HALT
+        """
+        cpu, _ = run(source)
+        assert cpu.gpr.read(6) == 0
+        assert cpu.gpr.read(7) == 0
+        assert cpu.gpr.read(8) == 42
+
+    def test_outstanding_writes_drain_at_halt(self):
+        source = """
+          MOVI r4, 6
+          MUL r5, r4, 7
+          HALT
+        """
+        cpu, _ = run(source)
+        assert cpu.gpr.read(5) == 42
+
+
+class TestBranches:
+    def test_taken_branch_costs_one_bubble(self):
+        straight = """
+          MOVI r4, 1
+          NOP
+          NOP
+          HALT
+        """
+        jumped = """
+          PBR b0, over
+          BR b0
+        over:
+          HALT
+        """
+        _, straight_result = run(straight)
+        _, jumped_result = run(jumped)
+        # 2 bundles + 1 bubble + HALT = 4, same as 4 straight bundles.
+        assert jumped_result.cycles == 4
+        assert straight_result.cycles == 4
+
+    def test_untaken_branch_has_no_penalty(self):
+        source = """
+          PBR b0, away
+          CMPP_EQ p1, p0, r0, 1
+          BRCT b0, p1
+          HALT
+        away:
+          MOVI r4, 1
+          HALT
+        """
+        cpu, result = run(source)
+        assert cpu.gpr.read(4) == 0
+        assert result.cycles == 4
+
+    def test_brcf_branches_on_false(self):
+        source = """
+          PBR b0, away
+          CMPP_EQ p1, p0, r0, 1
+          BRCF b0, p1
+          HALT
+        away:
+          MOVI r4, 77
+          HALT
+        """
+        cpu, _ = run(source)
+        assert cpu.gpr.read(4) == 77
+
+    def test_brl_records_return_address(self):
+        source = """
+          PBR b0, sub
+          BRL r3, b0
+          HALT
+        sub:
+          MOVGBP b1, r3
+          BR b1
+        """
+        cpu, result = run(source)
+        assert result.halted
+        assert cpu.stats.branches_taken == 2
+
+    def test_branch_statistics(self):
+        source = """
+          PBR b0, out
+          BR b0
+        out:
+          HALT
+        """
+        cpu, _ = run(source)
+        assert cpu.stats.branches == 1
+        assert cpu.stats.branches_taken == 1
+        assert cpu.stats.branch_bubble_cycles == 1
+
+
+class TestPredication:
+    def test_false_guard_squashes_write(self):
+        source = """
+          MOVI r4, 1
+          CMPP_EQ p1, p2, r0, 1
+          NOP
+          (p1) MOVI r4, 100
+          (p2) MOVI r5, 200
+          HALT
+        """
+        cpu, _ = run(source)
+        assert cpu.gpr.read(4) == 1      # squashed
+        assert cpu.gpr.read(5) == 200    # complement fired
+        assert cpu.stats.ops_squashed == 1
+
+    def test_squashed_store_does_not_touch_memory(self):
+        source = """
+        .data
+        v: .word 42
+        .text
+          CMPP_EQ p1, p2, r0, 1
+          MOVI r4, 9
+          (p1) SW r4, r0, v
+          HALT
+        """
+        cpu, _ = run(source)
+        assert cpu.memory.read(0) == 42
+
+    def test_p0_guard_cannot_be_disabled(self):
+        source = """
+          CMPP_EQ p1, p0, r0, 1   ;; writes "false" to p0: ignored
+          NOP
+          (p0) MOVI r4, 5
+          HALT
+        """
+        cpu, _ = run(source)
+        assert cpu.gpr.read(4) == 5
+
+    def test_cmpp_writes_complement_pair(self):
+        source = """
+          CMPP_LT p1, p2, r0, 1
+          NOP
+          HALT
+        """
+        cpu, _ = run(source)
+        assert cpu.pred.read(1) == 1
+        assert cpu.pred.read(2) == 0
+
+
+class TestMemory:
+    def test_store_then_load(self):
+        source = """
+        .data
+        buf: .space 4
+        .text
+          MOVI r4, 1234
+          SW r4, r0, buf
+          LW r5, r0, buf
+          NOP
+          HALT
+        """
+        cpu, _ = run(source)
+        assert cpu.gpr.read(5) == 1234
+
+    def test_load_out_of_range_faults(self):
+        source = """
+          MOVI r4, 9999999
+          NOP
+          LW r5, r4, 0
+          HALT
+        """
+        with pytest.raises(SimulationError):
+            run(source, mem_words=64)
+
+    def test_speculative_load_dismisses_fault(self):
+        source = """
+          MOVI r4, 9999999
+          NOP
+          LWS r5, r4, 0
+          MOVI r6, 1
+          HALT
+        """
+        cpu, result = run(source, mem_words=64)
+        assert result.halted
+        assert cpu.gpr.read(5) == 0
+        assert cpu.gpr.read(6) == 1
+
+    def test_negative_address_faults(self):
+        source = """
+          MOVI r4, -5
+          NOP
+          SW r4, r4, 0
+          HALT
+        """
+        with pytest.raises(SimulationError):
+            run(source)
+
+    def test_stack_pointer_initialised_to_top(self):
+        cpu, _ = run("HALT", mem_words=512)
+        assert cpu.gpr.read(1) == 512
+
+
+class TestStructuralChecks:
+    def test_too_many_alu_ops_rejected(self):
+        config = epic_config(n_alus=1)
+        source = "{ ADD r4, r0, 1 ; ADD r5, r0, 2 }\nHALT"
+        with pytest.raises(SimulationError):
+            run(source, config=config)
+
+    def test_two_memory_ops_rejected(self):
+        source = """
+        .data
+        b: .space 2
+        .text
+        { LW r4, r0, b ; SW r5, r0, b }
+        HALT
+        """
+        with pytest.raises(SimulationError):
+            run(source)
+
+    def test_two_branch_unit_ops_rejected(self):
+        source = "{ PBR b0, main ; PBR b1, main }\nmain: HALT"
+        with pytest.raises(SimulationError):
+            run(source)
+
+    def test_full_legal_bundle_accepted(self):
+        source = """
+        .data
+        v: .word 7
+        .text
+        { ADD r4, r0, 1 ; LW r5, r0, v ; CMPP_EQ p1, p2, r0, 0 ; PBR b0, end }
+        end:
+          HALT
+        """
+        cpu, result = run(source)
+        assert result.halted
+
+
+class TestRegfilePorts:
+    """§3.2: 8 register-file operations per cycle, mitigated by
+    forwarding."""
+
+    def _wide_bundle_source(self):
+        # A bundle reading 8 DISTINCT cold registers while the previous
+        # bundle's 4 writes land: 12 port ops > 8 -> one stall cycle.
+        # (In the 2-stage pipeline, write-back of bundle N-1 overlaps the
+        # operand reads of bundle N, §3.2.)
+        setup = "\n".join(f"MOVI r{i}, {i}" for i in range(20, 28))
+        return f"""
+          {setup}
+          NOP
+          NOP
+        {{ MOVI r40, 1 ; MOVI r41, 1 ; MOVI r42, 1 ; MOVI r43, 1 }}
+        {{ ADD r30, r20, r21 ; SUB r31, r22, r23 ; XOR r32, r24, r25 ; OR r33, r26, r27 }}
+          HALT
+        """
+
+    def test_port_pressure_stalls(self):
+        cpu, _ = run(self._wide_bundle_source())
+        assert cpu.stats.port_stall_cycles == 1
+
+    def test_port_limit_can_be_disabled(self):
+        config = epic_config(model_port_limit=False)
+        cpu, _ = run(self._wide_bundle_source(), config=config)
+        assert cpu.stats.port_stall_cycles == 0
+
+    def test_reads_alone_fit_the_budget(self):
+        # 8 distinct cold reads with no concurrent write-backs: exactly
+        # at the 8-op budget, no stall.
+        setup = "\n".join(f"MOVI r{i}, {i}" for i in range(20, 28))
+        source = f"""
+          {setup}
+          NOP
+          NOP
+        {{ ADD r30, r20, r21 ; SUB r31, r22, r23 ; XOR r32, r24, r25 ; OR r33, r26, r27 }}
+          HALT
+        """
+        cpu, _ = run(source)
+        assert cpu.stats.port_stall_cycles == 0
+
+    def _mixed_forwarding_source(self):
+        # Bundle B reads 4 just-produced values (forwardable) plus 4
+        # cold ones, while A's 4 writes land: forwarding on -> 8 port
+        # ops (fits); forwarding off -> 12 (stalls).
+        setup = "\n".join(f"MOVI r{i}, {i}" for i in range(24, 28))
+        return f"""
+          {setup}
+          NOP
+          NOP
+        {{ MOVI r20, 1 ; MOVI r21, 2 ; MOVI r22, 3 ; MOVI r23, 4 }}
+        {{ ADD r30, r20, r24 ; SUB r31, r21, r25 ; XOR r32, r22, r26 ; OR r33, r23, r27 }}
+          HALT
+        """
+
+    def test_forwarding_reduces_port_pressure(self):
+        cpu, _ = run(self._mixed_forwarding_source())
+        assert cpu.stats.port_stall_cycles == 0
+        assert cpu.stats.regfile_reads_forwarded == 4
+
+    def test_disabling_forwarding_restores_pressure(self):
+        config = epic_config(forwarding=False)
+        cpu, _ = run(self._mixed_forwarding_source(), config=config)
+        assert cpu.stats.port_stall_cycles == 1
+
+
+class TestFetchBandwidth:
+    def test_shared_bandwidth_stalls_on_memory_ops(self):
+        source = """
+        .data
+        v: .word 1
+        .text
+          LW r4, r0, v
+          NOP
+          HALT
+        """
+        base_cpu, base = run(source)
+        shared = epic_config(lsu_shares_fetch_bandwidth=True)
+        shared_cpu, with_sharing = run(source, config=shared)
+        assert with_sharing.cycles == base.cycles + 1
+        assert shared_cpu.stats.fetch_stall_cycles == 1
+
+
+class TestArithmeticTraps:
+    def test_divide_by_zero_faults(self):
+        source = """
+          MOVI r4, 10
+          NOP
+          DIV r5, r4, r0
+          HALT
+        """
+        with pytest.raises(SimulationError):
+            run(source)

@@ -1,0 +1,65 @@
+"""Data-memory unit behaviour."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core import DataMemory
+from repro.errors import SimulationError
+
+
+class TestBounds:
+    def test_read_write_round_trip(self):
+        memory = DataMemory(64)
+        memory.write(10, 0xCAFEBABE)
+        assert memory.read(10) == 0xCAFEBABE
+
+    def test_values_masked(self):
+        memory = DataMemory(8, width=16)
+        memory.write(0, 0x12345)
+        assert memory.read(0) == 0x2345
+
+    def test_read_out_of_range(self):
+        with pytest.raises(SimulationError):
+            DataMemory(8).read(8)
+
+    def test_write_out_of_range(self):
+        with pytest.raises(SimulationError):
+            DataMemory(8).write(-1, 0)
+
+    def test_speculative_read_returns_zero(self):
+        memory = DataMemory(8)
+        assert memory.read_speculative(100) == 0
+        assert memory.read_speculative(-1) == 0
+
+    def test_speculative_read_in_range_is_normal(self):
+        memory = DataMemory(8, image=[7])
+        assert memory.read_speculative(0) == 7
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(SimulationError):
+            DataMemory(0)
+
+
+class TestImage:
+    def test_initial_image_loaded(self):
+        memory = DataMemory(8, image=[1, 2, 3])
+        assert [memory.read(i) for i in range(4)] == [1, 2, 3, 0]
+
+    def test_oversized_image_rejected(self):
+        with pytest.raises(SimulationError):
+            DataMemory(2, image=[1, 2, 3])
+
+    def test_block_access(self):
+        memory = DataMemory(16)
+        memory.write_block(4, [9, 8, 7])
+        assert memory.read_block(4, 3) == [9, 8, 7]
+
+    def test_block_read_out_of_range(self):
+        with pytest.raises(SimulationError):
+            DataMemory(8).read_block(6, 4)
+
+
+@given(st.lists(st.integers(0, 0xFFFFFFFF), min_size=1, max_size=32))
+def test_image_round_trips(words):
+    memory = DataMemory(len(words), image=words)
+    assert memory.read_block(0, len(words)) == words

@@ -1,0 +1,113 @@
+"""Parameterised pipeline depth (paper §6 future work, implemented)."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.backend import compile_minic_to_epic
+from repro.config import epic_config
+from repro.core import EpicProcessor
+from repro.errors import ConfigError
+from repro.fpga import estimate_clock_mhz, estimate_resources
+from tests.helpers import run_ir
+
+
+def test_penalty_follows_depth():
+    assert epic_config().taken_branch_penalty == 1
+    assert epic_config(pipeline_stages=3).taken_branch_penalty == 2
+    assert epic_config(pipeline_stages=4).taken_branch_penalty == 3
+
+
+def test_depth_bounds():
+    with pytest.raises(ConfigError):
+        epic_config(pipeline_stages=1)
+    with pytest.raises(ConfigError):
+        epic_config(pipeline_stages=5)
+
+
+def test_taken_branch_costs_scale_with_depth():
+    source = """
+      PBR b0, out
+      BR b0
+    out:
+      HALT
+    """
+    cycles = {}
+    for stages in (2, 3, 4):
+        config = epic_config(pipeline_stages=stages)
+        cpu = EpicProcessor(config, assemble(source, config), mem_words=128)
+        cycles[stages] = cpu.run().cycles
+    assert cycles[3] == cycles[2] + 1
+    assert cycles[4] == cycles[2] + 2
+
+
+def test_untaken_branches_free_at_any_depth():
+    source = """
+      PBR b0, away
+      CMPP_EQ p1, p0, r0, 1
+      BRCT b0, p1
+      HALT
+    away:
+      HALT
+    """
+    for stages in (2, 3, 4):
+        config = epic_config(pipeline_stages=stages)
+        cpu = EpicProcessor(config, assemble(source, config), mem_words=128)
+        assert cpu.run().cycles == 4
+
+
+def test_compiled_code_correct_at_any_depth():
+    source = """
+    int main() {
+      int i; int s;
+      s = 0;
+      for (i = 0; i < 20; i += 1) {
+        if (i % 3 == 0) { s += i; } else { s -= 1; }
+      }
+      return s;
+    }
+    """
+    golden = run_ir(source)
+    for stages in (2, 3, 4):
+        config = epic_config(pipeline_stages=stages)
+        compilation = compile_minic_to_epic(source, config)
+        cpu = EpicProcessor(config, compilation.program, mem_words=4096,
+                            strict_nual=True)
+        cpu.run()
+        assert cpu.gpr.read(2) == golden.return_value
+
+
+def test_deeper_pipeline_raises_clock_with_diminishing_returns():
+    two = estimate_clock_mhz(epic_config())
+    three = estimate_clock_mhz(epic_config(pipeline_stages=3))
+    four = estimate_clock_mhz(epic_config(pipeline_stages=4))
+    assert two < three < four
+    assert (three - two) > (four - three)
+
+
+def test_deeper_pipeline_costs_slices():
+    base = estimate_resources(epic_config()).slices
+    deeper = estimate_resources(epic_config(pipeline_stages=3)).slices
+    assert deeper > base
+
+
+def test_branch_heavy_code_prefers_shallow_pipeline():
+    """The §6 trade-off in action: on branch-dense code the extra
+    bubbles can eat the clock gain."""
+    source = """
+    int main() {
+      int i; int s;
+      s = 0;
+      for (i = 0; i < 200; i += 1) { s += i & 7; }
+      return s;
+    }
+    """
+    times = {}
+    for stages in (2, 4):
+        config = epic_config(pipeline_stages=stages)
+        compilation = compile_minic_to_epic(source, config)
+        cpu = EpicProcessor(config, compilation.program, mem_words=2048)
+        cycles = cpu.run().cycles
+        times[stages] = cycles / estimate_clock_mhz(config)
+    # With one taken branch per tiny iteration, the deeper pipeline's
+    # clock advantage is mostly (or entirely) eaten by bubbles.
+    assert times[4] > times[2] * 0.85

@@ -1,0 +1,65 @@
+"""Register-file unit behaviour."""
+
+import pytest
+
+from repro.core import BtrFile, GprFile, PredFile
+from repro.errors import SimulationError
+
+
+class TestGprFile:
+    def test_r0_reads_zero_and_ignores_writes(self):
+        gprs = GprFile(16, 32)
+        gprs.write(0, 0xDEAD)
+        assert gprs.read(0) == 0
+
+    def test_values_masked_to_width(self):
+        gprs = GprFile(16, 16)
+        gprs.write(3, 0x12345)
+        assert gprs.read(3) == 0x2345
+
+    def test_out_of_range_read(self):
+        with pytest.raises(SimulationError):
+            GprFile(16, 32).read(16)
+
+    def test_out_of_range_write(self):
+        with pytest.raises(SimulationError):
+            GprFile(16, 32).write(-1, 0)
+
+    def test_dump_is_a_copy(self):
+        gprs = GprFile(4, 32)
+        snapshot = gprs.dump()
+        snapshot[2] = 99
+        assert gprs.read(2) == 0
+
+
+class TestPredFile:
+    def test_p0_reads_true_and_ignores_writes(self):
+        preds = PredFile(32)
+        preds.write(0, 0)
+        assert preds.read(0) == 1
+
+    def test_values_clamp_to_one_bit(self):
+        preds = PredFile(8)
+        preds.write(3, 42)
+        assert preds.read(3) == 1
+        preds.write(3, 0)
+        assert preds.read(3) == 0
+
+    def test_out_of_range(self):
+        with pytest.raises(SimulationError):
+            PredFile(8).read(8)
+
+
+class TestBtrFile:
+    def test_round_trip(self):
+        btrs = BtrFile(16)
+        btrs.write(5, 1234)
+        assert btrs.read(5) == 1234
+
+    def test_negative_target_rejected(self):
+        with pytest.raises(SimulationError):
+            BtrFile(4).write(1, -1)
+
+    def test_out_of_range(self):
+        with pytest.raises(SimulationError):
+            BtrFile(4).read(4)

@@ -1,0 +1,36 @@
+"""Statistics object."""
+
+from repro.core import SimStats
+
+
+def test_ilp_zero_when_no_cycles():
+    assert SimStats().ilp == 0.0
+
+
+def test_ilp_computed():
+    stats = SimStats(cycles=10, ops_executed=25)
+    assert stats.ilp == 2.5
+
+
+def test_stall_cycles_aggregates():
+    stats = SimStats(port_stall_cycles=2, fetch_stall_cycles=3,
+                     branch_bubble_cycles=5)
+    assert stats.stall_cycles == 10
+
+
+def test_fu_accounting():
+    stats = SimStats()
+    stats.note_fu("alu")
+    stats.note_fu("alu")
+    stats.note_fu("lsu")
+    assert stats.fu_busy == {"alu": 2, "lsu": 1}
+
+
+def test_summary_mentions_key_counters():
+    stats = SimStats(cycles=100, bundles=90, ops_executed=150,
+                     ops_squashed=5, branches=10, branches_taken=7)
+    stats.note_fu("alu")
+    text = stats.summary()
+    assert "cycles" in text
+    assert "150" in text
+    assert "alu=1" in text

@@ -1,0 +1,167 @@
+"""Strict NUAL mode: the simulator as a schedule validator.
+
+In HPL-PD's NUAL contract the hardware never interlocks; a read of a
+location whose write is still in flight returns the *old* value.  Code
+from our compiler must never do that (the scheduler spaces consumers by
+producer latency), so running compiled programs with ``strict_nual``
+set is an end-to-end proof of schedule legality — on real dynamic
+paths, not just statically.
+"""
+
+import pytest
+
+from repro.asm import assemble
+from repro.backend import compile_minic_to_epic
+from repro.config import epic_config, epic_with_alus
+from repro.core import EpicProcessor
+from repro.errors import SimulationError
+from repro.workloads import (
+    aes_workload, dct_workload, dijkstra_workload, sha_workload,
+)
+
+
+class TestViolationsDetected:
+    def test_premature_alu_read(self):
+        source = """
+          MOVI r4, 6
+          MUL r5, r4, 7
+          ADD r6, r5, 0    ;; MUL latency is 3: r5 still in flight
+          NOP
+          NOP
+          HALT
+        """
+        config = epic_config()
+        program = assemble(source, config)
+        cpu = EpicProcessor(config, program, strict_nual=True)
+        with pytest.raises(SimulationError, match="NUAL violation"):
+            cpu.run()
+
+    def test_premature_load_read(self):
+        source = """
+        .data
+        v: .word 5
+        .text
+          LW r4, r0, v
+          ADD r5, r4, 1    ;; load latency is 2
+          NOP
+          HALT
+        """
+        config = epic_config()
+        cpu = EpicProcessor(config, assemble(source, config),
+                            strict_nual=True)
+        with pytest.raises(SimulationError, match="NUAL violation"):
+            cpu.run()
+
+    def test_premature_predicate_read(self):
+        source = """
+          CMPP_EQ p1, p2, r0, 0
+          (p1) MOVI r4, 1   ;; guard read one cycle too early
+          HALT
+        """
+        # With a 2-cycle comparison unit, the next-cycle guard read is
+        # premature (with the default 1-cycle CMPU it would be legal).
+        config = epic_config().with_latency("cmp", 2)
+        cpu = EpicProcessor(config, assemble(source, config),
+                            strict_nual=True)
+        with pytest.raises(SimulationError, match="NUAL violation"):
+            cpu.run()
+
+    def test_same_bundle_read_is_legal(self):
+        """VLIW semantics: same-cycle reads see the old value — not a
+        violation (the compiler uses this for parallel swaps)."""
+        source = """
+          MOVI r4, 5
+        { ADD r4, r4, 10 ; ADD r5, r4, 1 }
+          NOP
+          HALT
+        """
+        config = epic_config()
+        cpu = EpicProcessor(config, assemble(source, config),
+                            strict_nual=True)
+        assert cpu.run().halted
+
+    def test_properly_spaced_code_is_clean(self):
+        source = """
+          MOVI r4, 6
+          MUL r5, r4, 7
+          NOP
+          NOP
+          ADD r6, r5, 0
+          HALT
+        """
+        config = epic_config()
+        cpu = EpicProcessor(config, assemble(source, config),
+                            strict_nual=True)
+        cpu.run()
+        assert cpu.gpr.read(6) == 42
+
+    def test_default_mode_tolerates_early_reads(self):
+        """Without strict mode the old value is returned (NUAL)."""
+        source = """
+          MOVI r4, 6
+          MUL r5, r4, 7
+          ADD r6, r5, 0
+          NOP
+          NOP
+          HALT
+        """
+        config = epic_config()
+        cpu = EpicProcessor(config, assemble(source, config))
+        cpu.run()
+        assert cpu.gpr.read(6) == 0
+
+
+class TestCompiledCodeIsAlwaysClean:
+    """The scheduler validator: every compiled program, on every
+    configuration, must run violation-free end to end."""
+
+    PROGRAMS = [
+        """
+        int main() {
+          int i; int s;
+          s = 1;
+          for (i = 0; i < 50; i += 1) { s = s * 3 + i; }
+          return s;
+        }
+        """,
+        """
+        int t[8] = {1,2,3,4,5,6,7,8};
+        int main() {
+          int i; int s;
+          s = 0;
+          unroll for (i = 0; i < 8; i += 1) { s += t[i] * t[7 - i]; }
+          return s / 3 + s % 7;
+        }
+        """,
+        """
+        int fib(int n) {
+          if (n < 2) { return n; }
+          return fib(n - 1) + fib(n - 2);
+        }
+        int main() { return fib(10); }
+        """,
+    ]
+
+    @pytest.mark.parametrize("n_alus", [1, 2, 4])
+    @pytest.mark.parametrize("source", PROGRAMS,
+                             ids=["loop", "unrolled", "recursive"])
+    def test_programs(self, source, n_alus):
+        config = epic_with_alus(n_alus)
+        compilation = compile_minic_to_epic(source, config)
+        cpu = EpicProcessor(config, compilation.program, mem_words=4096,
+                            strict_nual=True)
+        assert cpu.run().halted
+
+    @pytest.mark.parametrize("make_spec", [
+        lambda: sha_workload(8, 8),
+        lambda: aes_workload(1),
+        lambda: dct_workload(8, 8),
+        lambda: dijkstra_workload(6),
+    ], ids=["SHA", "AES", "DCT", "Dijkstra"])
+    def test_workloads(self, make_spec):
+        spec = make_spec()
+        config = epic_with_alus(4)
+        compilation = compile_minic_to_epic(spec.source, config)
+        cpu = EpicProcessor(config, compilation.program,
+                            mem_words=spec.mem_words, strict_nual=True)
+        assert cpu.run().halted

@@ -1,0 +1,76 @@
+"""Execution tracer."""
+
+import io
+
+from repro.asm import assemble
+from repro.config import epic_config
+from repro.core import EpicProcessor
+from repro.core.trace import Tracer
+
+SOURCE = """
+main:
+  MOVI r4, 6
+  MUL r5, r4, 7
+  NOP
+  NOP
+  ADD r6, r5, 1
+  PBR b0, end
+  BR b0
+end:
+  HALT
+"""
+
+
+def _run(tracer):
+    config = epic_config()
+    cpu = EpicProcessor(config, assemble(SOURCE, config), mem_words=256)
+    cpu.run(trace=tracer)
+    return cpu
+
+
+def test_one_line_per_bundle_plus_bubble_markers():
+    tracer = Tracer()
+    _run(tracer)
+    text = tracer.text()
+    assert "MOVI r4, 6" in text
+    assert "HALT" in text
+    # The taken branch costs a bubble, which the tracer annotates.
+    assert "stall/bubble" in text
+
+
+def test_nops_hidden_by_default():
+    tracer = Tracer()
+    _run(tracer)
+    assert "(empty)" in tracer.text()  # the NOP-only bundles
+    assert "NOP" not in tracer.text()
+
+
+def test_nops_shown_on_request():
+    tracer = Tracer(show_nops=True)
+    _run(tracer)
+    assert "NOP" in tracer.text()
+
+
+def test_streaming_to_a_file_object():
+    buffer = io.StringIO()
+    tracer = Tracer(stream=buffer)
+    _run(tracer)
+    assert buffer.getvalue().count("\n") == len(tracer)
+
+
+def test_truncation():
+    tracer = Tracer(max_lines=2)
+    _run(tracer)
+    assert tracer.truncated
+    assert "truncated" in tracer.text()
+    assert len(tracer) == 2
+
+
+def test_cycle_numbers_monotonic():
+    tracer = Tracer()
+    _run(tracer)
+    cycles = [
+        int(line.split()[0]) for line in tracer.lines
+        if not line.lstrip().startswith("...")
+    ]
+    assert cycles == sorted(cycles)

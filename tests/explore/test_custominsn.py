@@ -1,0 +1,135 @@
+"""Automatic custom-instruction generation (§6 future work)."""
+
+import pytest
+
+from repro.backend import compile_ir_to_epic
+from repro.config import epic_config
+from repro.core import EpicProcessor
+from repro.explore import (
+    apply_fusions,
+    discover_and_apply,
+    find_fusion_candidates,
+    profile_module,
+)
+from repro.ir import run_module
+from repro.lang import compile_minic
+
+KERNEL = """
+int data[32];
+int out[32];
+int main() {
+  int i; int x; int acc;
+  acc = 0;
+  for (i = 0; i < 32; i += 1) { data[i] = i * 2654435761; }
+  for (i = 0; i < 32; i += 1) {
+    x = data[i];
+    out[i] = ((x >>> 7) ^ (x << 3)) + ((x & 255) * 5);
+    acc ^= out[i];
+  }
+  return acc;
+}
+"""
+
+
+@pytest.fixture()
+def module():
+    return compile_minic(KERNEL)
+
+
+class TestProfiling:
+    def test_profile_counts_hot_block(self, module):
+        profile = profile_module(module)
+        assert profile
+        assert max(profile.values()) >= 32
+
+    def test_profile_keys_are_locations(self, module):
+        profile = profile_module(module)
+        for (function, block, index) in profile:
+            assert function in module.functions
+            assert isinstance(index, int)
+
+
+class TestDiscovery:
+    def test_finds_fusible_pairs(self, module):
+        candidates = find_fusion_candidates(module)
+        assert candidates
+        # Ranked by dynamic payoff.
+        counts = [c.dynamic_count for c in candidates]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_patterns_fit_two_sources(self, module):
+        for candidate in find_fusion_candidates(module):
+            assert candidate.pattern.n_sources <= 2
+
+    def test_constants_are_baked(self, module):
+        mnemonics = [
+            c.pattern.mnemonic for c in find_fusion_candidates(module)
+        ]
+        assert any("K" in m for m in mnemonics)
+
+    def test_pattern_semantics_match_composition(self, module):
+        from repro.isa.semantics import ALU_SEMANTICS
+
+        for candidate in find_fusion_candidates(module)[:4]:
+            pattern = candidate.pattern
+            value = pattern.evaluate(0x1234ABCD, 0x0F0F0F0F, 0xFFFFFFFF)
+            assert 0 <= value <= 0xFFFFFFFF
+
+    def test_min_dynamic_count_filters(self, module):
+        all_candidates = find_fusion_candidates(module, min_dynamic_count=1)
+        hot_only = find_fusion_candidates(module, min_dynamic_count=1000)
+        assert len(hot_only) <= len(all_candidates)
+
+
+class TestApplication:
+    def test_rewrite_preserves_semantics(self, module):
+        golden = run_module(compile_minic(KERNEL))
+        candidates = find_fusion_candidates(module)[:2]
+        rewrites = apply_fusions(module, candidates)
+        assert rewrites > 0
+        assert run_module(module).result == golden.result
+
+    def test_full_loop_produces_working_hardware(self):
+        golden = run_module(compile_minic(KERNEL))
+        module = compile_minic(KERNEL)
+        specs = discover_and_apply(module, top_k=2)
+        assert specs
+
+        config = epic_config(custom_ops=tuple(specs))
+        compilation = compile_ir_to_epic(module, config)
+        assert any(spec.mnemonic in compilation.assembly for spec in specs)
+        cpu = EpicProcessor(config, compilation.program, mem_words=4096,
+                            strict_nual=True)
+        cpu.run()
+        assert cpu.gpr.read(2) == (golden.result & 0xFFFFFFFF)
+
+    def test_fused_configuration_saves_cycles(self):
+        module = compile_minic(KERNEL)
+        specs = discover_and_apply(module, top_k=3)
+        custom_config = epic_config(custom_ops=tuple(specs))
+        custom = compile_ir_to_epic(module, custom_config)
+        plain = compile_ir_to_epic(compile_minic(KERNEL), epic_config())
+
+        custom_cycles = EpicProcessor(
+            custom_config, custom.program, mem_words=4096
+        ).run().cycles
+        plain_cycles = EpicProcessor(
+            epic_config(), plain.program, mem_words=4096
+        ).run().cycles
+        assert custom_cycles < plain_cycles
+
+    def test_rewritten_module_runs_without_the_custom_ops(self):
+        """The fallback keeps the program portable (e.g. baseline)."""
+        golden = run_module(compile_minic(KERNEL))
+        module = compile_minic(KERNEL)
+        discover_and_apply(module, top_k=2)
+        plain_config = epic_config()
+        compilation = compile_ir_to_epic(module, plain_config)
+        cpu = EpicProcessor(plain_config, compilation.program,
+                            mem_words=4096)
+        cpu.run()
+        assert cpu.gpr.read(2) == (golden.result & 0xFFFFFFFF)
+
+    def test_no_candidates_returns_empty(self):
+        module = compile_minic("int main() { return 1; }")
+        assert discover_and_apply(module) == []

@@ -1,0 +1,78 @@
+"""Design-space exploration: sweeps and Pareto extraction."""
+
+import pytest
+
+from repro.config import epic_with_alus, sweep_alus
+from repro.explore import evaluate_config, pareto_frontier, sweep_configs
+from repro.explore.sweep import DesignPoint
+from repro.workloads import dct_workload
+
+
+@pytest.fixture(scope="module")
+def points():
+    spec = dct_workload(8, 8)
+    return sweep_configs(spec, sweep_alus())
+
+
+def test_sweep_produces_one_point_per_config(points):
+    assert len(points) == 4
+    assert [p.config.n_alus for p in points] == [1, 2, 3, 4]
+
+
+def test_points_have_cycles_and_area(points):
+    for point in points:
+        assert point.cycles > 0
+        assert point.slices > 0
+        assert point.time_seconds > 0
+        assert point.area_delay > 0
+        assert "slices" in str(point)
+
+
+def test_area_grows_and_time_shrinks_with_alus(points):
+    assert points[-1].slices > points[0].slices
+    assert points[-1].cycles < points[0].cycles
+
+
+def test_pareto_frontier_nondominated(points):
+    frontier = pareto_frontier(points)
+    assert frontier
+    for candidate in frontier:
+        for other in points:
+            dominates = (
+                other.time_seconds <= candidate.time_seconds
+                and other.slices <= candidate.slices
+                and (other.time_seconds < candidate.time_seconds
+                     or other.slices < candidate.slices)
+            )
+            assert not dominates
+
+
+def test_pareto_frontier_sorted_by_first_objective(points):
+    frontier = pareto_frontier(points)
+    times = [p.time_seconds for p in frontier]
+    assert times == sorted(times)
+
+
+def test_pareto_with_custom_objectives(points):
+    frontier = pareto_frontier(
+        points,
+        objectives=(lambda p: p.area_delay, lambda p: float(p.block_rams)),
+    )
+    assert frontier
+
+
+def test_evaluate_single_config():
+    spec = dct_workload(8, 8)
+    point = evaluate_config(spec, epic_with_alus(2))
+    assert isinstance(point, DesignPoint)
+    assert point.config.n_alus == 2
+
+
+def test_dominated_point_is_excluded():
+    base = epic_with_alus(1)
+    good = DesignPoint(config=base, cycles=100, slices=100,
+                       block_rams=1, clock_mhz=40.0)
+    bad = DesignPoint(config=base, cycles=200, slices=200,
+                      block_rams=1, clock_mhz=40.0)
+    frontier = pareto_frontier([good, bad])
+    assert frontier == [good]

@@ -1,0 +1,112 @@
+"""FPGA resource and clock models: calibration against §5.1."""
+
+import pytest
+
+from repro.config import AluFeature, epic_config, epic_with_alus
+from repro.fpga import (
+    VIRTEX2_DEVICES,
+    estimate_clock_mhz,
+    estimate_resources,
+    fits_on,
+)
+from repro.fpga.virtex2 import smallest_device
+
+#: Published slice counts (§5.1); the 4-ALU value is inferred from the
+#: ~2600-slices-per-ALU statement.
+PAPER = {1: 4181, 2: 6779, 3: 9367, 4: 11955}
+
+
+class TestCalibration:
+    @pytest.mark.parametrize("n_alus", [1, 2, 3, 4])
+    def test_slices_match_paper_within_one_percent(self, n_alus):
+        estimate = estimate_resources(epic_with_alus(n_alus))
+        assert estimate.slices == pytest.approx(PAPER[n_alus], rel=0.01)
+
+    def test_per_alu_cost_is_about_2600(self):
+        one = estimate_resources(epic_with_alus(1)).slices
+        four = estimate_resources(epic_with_alus(4)).slices
+        per_alu = (four - one) / 3
+        assert per_alu == pytest.approx(2600, rel=0.02)
+
+    def test_clock_is_41_8_mhz_for_evaluated_designs(self):
+        for n_alus in range(1, 5):
+            assert estimate_clock_mhz(epic_with_alus(n_alus)) == \
+                pytest.approx(41.8, rel=0.01)
+
+
+class TestScalingBehaviour:
+    def test_register_file_growth_costs_bram_not_slices(self):
+        """§5.1: the register file maps to SelectRAM; enlarging it has
+        negligible effect on slices."""
+        small = estimate_resources(epic_config(n_gprs=32))
+        large = estimate_resources(
+            epic_config(n_gprs=1024, regs_per_instruction=1024)
+        )
+        assert large.slices == small.slices
+        assert large.block_rams > small.block_rams
+
+    def test_multiplication_uses_block_multipliers(self):
+        with_mul = estimate_resources(epic_config())
+        without = estimate_resources(epic_config(
+            alu_features=frozenset({AluFeature.DIVIDE, AluFeature.SHIFT})
+        ))
+        assert with_mul.mult18x18 > 0
+        assert without.mult18x18 == 0
+
+    def test_dropping_divide_saves_about_1000_slices_per_alu(self):
+        full = estimate_resources(epic_with_alus(1))
+        no_div = estimate_resources(epic_with_alus(
+            1, alu_features=frozenset({AluFeature.MULTIPLY,
+                                       AluFeature.SHIFT})
+        ))
+        assert 900 <= full.slices - no_div.slices <= 1200
+
+    def test_narrow_datapath_shrinks_alus(self):
+        wide = estimate_resources(epic_config())
+        narrow = estimate_resources(epic_config(datapath_width=16))
+        assert narrow.slices < wide.slices
+
+    def test_custom_op_slices_accounted_per_alu(self):
+        from repro.isa import CustomOpSpec
+
+        spec = CustomOpSpec("BIGOP", func=lambda a, b, m: a, slices=200)
+        base = estimate_resources(epic_with_alus(2))
+        custom = estimate_resources(epic_with_alus(2, custom_ops=(spec,)))
+        assert custom.slices - base.slices == pytest.approx(400, abs=2)
+
+    def test_breakdown_sums_to_total(self):
+        estimate = estimate_resources(epic_config())
+        assert sum(estimate.breakdown.values()) == estimate.slices
+
+
+class TestClockModel:
+    def test_alu_count_has_little_impact(self):
+        """§5.1: ALUs in parallel barely affect the critical path."""
+        one = estimate_clock_mhz(epic_with_alus(1))
+        eight = estimate_clock_mhz(epic_with_alus(8))
+        assert abs(one - eight) / one < 0.05
+
+    def test_wider_datapath_slows_clock(self):
+        assert estimate_clock_mhz(epic_config(datapath_width=64)) < \
+            estimate_clock_mhz(epic_config())
+
+    def test_narrower_datapath_speeds_clock(self):
+        assert estimate_clock_mhz(epic_config(datapath_width=16)) > \
+            estimate_clock_mhz(epic_config())
+
+
+class TestDeviceFitting:
+    def test_paper_designs_fit_the_family(self):
+        for n_alus in range(1, 5):
+            estimate = estimate_resources(epic_with_alus(n_alus))
+            device = smallest_device(estimate)
+            assert fits_on(estimate, device)
+
+    def test_one_alu_design_fits_xc2v2000(self):
+        estimate = estimate_resources(epic_with_alus(1))
+        assert fits_on(estimate, VIRTEX2_DEVICES["xc2v2000"])
+
+    def test_four_alu_design_needs_a_big_part(self):
+        estimate = estimate_resources(epic_with_alus(4))
+        assert not fits_on(estimate, VIRTEX2_DEVICES["xc2v1000"])
+        assert fits_on(estimate, VIRTEX2_DEVICES["xc2v6000"])

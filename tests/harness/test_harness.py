@@ -1,0 +1,134 @@
+"""Harness: Table 1 construction, figures, resource table, validation."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.harness import (
+    build_table1,
+    execution_time_figure,
+    paper_comparison,
+    resource_usage_table,
+    run_on_baseline,
+    run_on_epic,
+)
+from repro.harness.figures import all_figures
+from repro.harness.report import render_report
+from repro.harness.tables import render_resource_table
+from repro.config import epic_with_alus
+from repro.workloads import dct_workload, dijkstra_workload, sha_workload
+
+
+@pytest.fixture(scope="module")
+def tiny_table():
+    specs = [sha_workload(8, 8), dct_workload(8, 8), dijkstra_workload(6)]
+    return build_table1(specs, alu_counts=(1, 4))
+
+
+class TestTable1:
+    def test_machines_and_benchmarks(self, tiny_table):
+        assert tiny_table.machines == ["SA-110", "EPIC-1ALU", "EPIC-4ALU"]
+        assert tiny_table.benchmarks == ["SHA", "DCT", "Dijkstra"]
+
+    def test_all_cells_filled(self, tiny_table):
+        for machine in tiny_table.machines:
+            for benchmark in tiny_table.benchmarks:
+                assert tiny_table.cycles[machine][benchmark] > 0
+
+    def test_ratio_helper(self, tiny_table):
+        ratio = tiny_table.ratio("SHA", "EPIC-4ALU")
+        assert ratio == (
+            tiny_table.cycles["SA-110"]["SHA"]
+            / tiny_table.cycles["EPIC-4ALU"]["SHA"]
+        )
+
+    def test_render_layout(self, tiny_table):
+        text = tiny_table.render()
+        assert "SA-110" in text
+        assert "SHA" in text
+        lines = text.splitlines()
+        assert len(lines) == 1 + len(tiny_table.machines)
+
+
+class TestFigures:
+    def test_execution_time_uses_clock_rates(self, tiny_table):
+        figure = execution_time_figure(tiny_table, "SHA")
+        sa110 = figure.seconds[figure.machines.index("SA-110")]
+        cycles = tiny_table.cycles["SA-110"]["SHA"]
+        assert sa110 == pytest.approx(cycles / 100e6)
+        epic = figure.seconds[figure.machines.index("EPIC-4ALU")]
+        epic_cycles = tiny_table.cycles["EPIC-4ALU"]["SHA"]
+        assert epic == pytest.approx(epic_cycles / 41.8e6)
+
+    def test_figure_numbers_match_paper(self, tiny_table):
+        figures = all_figures(tiny_table)
+        assert [f.figure_number for f in figures] == [3, 4, 5]
+
+    def test_render_is_bar_chart(self, tiny_table):
+        figure = execution_time_figure(tiny_table, "DCT")
+        text = figure.render()
+        assert "Figure 4" in text
+        assert "#" in text
+
+    def test_speedup_helper(self, tiny_table):
+        figure = execution_time_figure(tiny_table, "DCT")
+        assert figure.speedup_over_sa110("EPIC-4ALU") > 1.0
+
+
+class TestReport:
+    def test_claim_scoreboard(self, tiny_table):
+        claims = paper_comparison(tiny_table)
+        assert claims
+        text = render_report(claims)
+        assert "HOLDS" in text or "DIFFERS" in text
+
+    def test_dct_and_sha_claims_hold_even_at_tiny_scale(self, tiny_table):
+        claims = {c.claim: c for c in paper_comparison(tiny_table)}
+        dct = claims["DCT: same-clock cycle advantage of EPIC-4ALU"]
+        assert dct.holds
+        sha = claims["SHA: same-clock cycle advantage of EPIC-4ALU"]
+        assert sha.holds
+
+
+class TestResourceTable:
+    def test_rows_and_paper_values(self):
+        rows = resource_usage_table()
+        assert [row.n_alus for row in rows] == [1, 2, 3, 4]
+        for row in rows:
+            assert row.paper_slices is not None
+            assert abs(row.slices - row.paper_slices) / row.paper_slices \
+                < 0.01
+
+    def test_render(self):
+        text = render_resource_table(resource_usage_table())
+        assert "slices" in text
+        assert "4181" in text
+
+
+class TestValidation:
+    def test_validation_catches_wrong_outputs(self):
+        spec = sha_workload(8, 8)
+        # Sabotage the expectation; the harness must refuse the run.
+        spec.expected["hash"] = [0] * 8
+        with pytest.raises(SimulationError):
+            run_on_epic(spec, epic_with_alus(1), validate=True)
+        with pytest.raises(SimulationError):
+            run_on_baseline(spec, validate=True)
+
+    def test_validation_can_be_skipped(self):
+        spec = sha_workload(8, 8)
+        spec.expected["hash"] = [0] * 8
+        run = run_on_epic(spec, epic_with_alus(1), validate=False)
+        assert run.cycles > 0
+
+    def test_run_extra_metrics(self):
+        spec = dijkstra_workload(6)
+        epic = run_on_epic(spec, epic_with_alus(4))
+        assert "ilp" in epic.extra
+        baseline = run_on_baseline(spec)
+        assert baseline.extra["instructions"] > 0
+
+    def test_time_seconds_property(self):
+        spec = dijkstra_workload(6)
+        run = run_on_baseline(spec)
+        assert run.time_seconds == pytest.approx(run.cycles / 100e6)
+        assert "cycles" in str(run)

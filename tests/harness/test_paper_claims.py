@@ -1,0 +1,69 @@
+"""The headline reproduction test (experiment E6).
+
+Runs a reduced-size Table 1 across all five machines and asserts every
+§5.2 claim the paper makes — the same scoreboard `epic-run` prints.
+Sizes are chosen so this stays under a minute while preserving the
+workloads' operational character.
+"""
+
+import pytest
+
+from repro.harness import build_table1, paper_comparison
+from repro.harness.report import CLOCK_RATIO
+from repro.workloads import (
+    aes_workload, dct_workload, dijkstra_workload, sha_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def table():
+    specs = [
+        sha_workload(16, 16),
+        aes_workload(3),
+        dct_workload(16, 16),
+        dijkstra_workload(10),
+    ]
+    return build_table1(specs, alu_counts=(1, 2, 3, 4))
+
+
+def test_all_paper_claims_hold(table):
+    claims = paper_comparison(table)
+    failing = [str(c) for c in claims if not c.holds]
+    assert not failing, "\n".join(failing)
+
+
+def test_epic_beats_sa110_in_cycles_on_most_benchmarks(table):
+    """'In most cases, our EPIC designs manage to complete with fewer
+    cycles than the SA-110.'"""
+    wins = sum(
+        table.ratio(benchmark) > 1.0 for benchmark in table.benchmarks
+    )
+    assert wins >= 3
+
+
+def test_dct_has_the_largest_advantage(table):
+    ratios = {b: table.ratio(b) for b in table.benchmarks}
+    assert max(ratios, key=ratios.get) == "DCT"
+
+
+def test_alu_scaling_ordering(table):
+    """SHA and DCT cycle counts drop monotonically (within noise) from
+    1 to 4 ALUs; AES and Dijkstra stay within 15 %."""
+    for benchmark in ("SHA", "DCT"):
+        counts = [table.cycles[f"EPIC-{n}ALU"][benchmark]
+                  for n in (1, 2, 3, 4)]
+        assert counts[0] > counts[-1] * 1.5
+        assert all(a >= b * 0.98 for a, b in zip(counts, counts[1:]))
+    for benchmark in ("AES", "Dijkstra"):
+        counts = [table.cycles[f"EPIC-{n}ALU"][benchmark]
+                  for n in (1, 2, 3, 4)]
+        assert max(counts) < min(counts) * 1.15
+
+
+def test_wall_clock_winners(table):
+    """At 41.8 MHz vs 100 MHz: EPIC wins SHA and DCT, loses AES and
+    Dijkstra (paper Figs. 3-5 plus the AES remark)."""
+    for benchmark, epic_wins in (("SHA", True), ("DCT", True),
+                                 ("AES", False), ("Dijkstra", False)):
+        speedup = table.ratio(benchmark) / CLOCK_RATIO
+        assert (speedup > 1.0) == epic_wins, (benchmark, speedup)

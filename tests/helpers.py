@@ -1,0 +1,104 @@
+"""Shared test utilities: cross-engine execution and comparison.
+
+The core validation idea of the whole reproduction: the same MiniC
+source must produce identical observable results on (1) the golden IR
+interpreter, (2) the cycle-accurate EPIC core for any configuration and
+(3) the SA-110 baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.backend import compile_minic_to_epic
+from repro.baseline import Sa110Simulator, compile_minic_to_armlet
+from repro.config import MachineConfig, epic_config
+from repro.core import EpicProcessor
+from repro.ir import run_module
+from repro.lang import compile_minic
+
+DEFAULT_MEM = 1 << 14
+
+
+@dataclass
+class EngineOutputs:
+    """Observable results of one engine run."""
+
+    return_value: int
+    globals: Dict[str, List[int]]
+    cycles: Optional[int] = None
+
+
+def run_ir(source: str, globals_of_interest: Sequence[str] = (),
+           unroll: bool = True, mem_words: int = DEFAULT_MEM) -> EngineOutputs:
+    module = compile_minic(source, unroll=unroll)
+    interpreter = run_module(module, mem_words=mem_words)
+    outputs = {
+        name: interpreter.read_global(name) for name in globals_of_interest
+    }
+    result = interpreter.result
+    return EngineOutputs(
+        return_value=(result if result is not None else 0) & 0xFFFFFFFF,
+        globals=outputs,
+    )
+
+
+def run_epic(source: str, sizes: Optional[Dict[str, int]] = None,
+             config: Optional[MachineConfig] = None,
+             mem_words: int = DEFAULT_MEM,
+             max_cycles: int = 5_000_000, **compile_kwargs) -> EngineOutputs:
+    config = config or epic_config()
+    compilation = compile_minic_to_epic(source, config, **compile_kwargs)
+    cpu = EpicProcessor(config, compilation.program, mem_words=mem_words)
+    result = cpu.run(max_cycles=max_cycles)
+    outputs = {}
+    for name, size in (sizes or {}).items():
+        base = compilation.symbols[name]
+        outputs[name] = [cpu.memory.read(base + i) for i in range(size)]
+    return EngineOutputs(
+        return_value=cpu.gpr.read(2),
+        globals=outputs,
+        cycles=result.cycles,
+    )
+
+
+def run_sa110(source: str, sizes: Optional[Dict[str, int]] = None,
+              mem_words: int = DEFAULT_MEM,
+              max_instructions: int = 20_000_000) -> EngineOutputs:
+    compilation = compile_minic_to_armlet(source)
+    simulator = Sa110Simulator(compilation.program, compilation.labels,
+                               compilation.data, mem_words=mem_words)
+    result = simulator.run(max_instructions=max_instructions)
+    outputs = {}
+    for name, size in (sizes or {}).items():
+        base = compilation.symbols[name]
+        outputs[name] = simulator.memory[base:base + size]
+    return EngineOutputs(
+        return_value=result.return_value,
+        globals=outputs,
+        cycles=result.cycles,
+    )
+
+
+def assert_all_engines_agree(source: str,
+                             globals_of_interest: Sequence[str] = (),
+                             config: Optional[MachineConfig] = None,
+                             mem_words: int = DEFAULT_MEM) -> EngineOutputs:
+    """Run on every engine; assert identical observables; return golden."""
+    golden = run_ir(source, globals_of_interest, mem_words=mem_words)
+    sizes = {name: len(values) for name, values in golden.globals.items()}
+    epic = run_epic(source, sizes, config=config, mem_words=mem_words)
+    sa110 = run_sa110(source, sizes, mem_words=mem_words)
+    assert epic.return_value == golden.return_value, (
+        f"EPIC return {epic.return_value:#x} != golden "
+        f"{golden.return_value:#x}"
+    )
+    assert sa110.return_value == golden.return_value, (
+        f"SA-110 return {sa110.return_value:#x} != golden "
+        f"{golden.return_value:#x}"
+    )
+    for name, expected in golden.globals.items():
+        assert epic.globals[name] == expected, f"EPIC global {name!r}"
+        assert sa110.globals[name] == expected, f"SA-110 global {name!r}"
+    return golden

@@ -1,0 +1,166 @@
+"""IR interpreter — the golden model."""
+
+import pytest
+
+from repro.errors import IRError, SimulationError
+from repro.ir import Interpreter, ModuleBuilder, Sym, run_module
+
+
+def _simple_module(body):
+    """Module with out[4] and main() built by ``body(fb)``."""
+    mb = ModuleBuilder()
+    mb.global_array("out", 4)
+    fb = mb.function("main")
+    fb.set_block(fb.new_block("entry"))
+    body(fb)
+    return mb.build()
+
+
+class TestArithmetic:
+    def test_binop_chain(self):
+        def body(fb):
+            a = fb.binop("add", 6, 7)
+            b = fb.binop("mul", a, a)
+            fb.ret(b)
+
+        assert run_module(_simple_module(body)).result == 169
+
+    def test_wrapping(self):
+        def body(fb):
+            big = fb.binop("mul", 0x10000, 0x10000)
+            fb.ret(big)
+
+        assert run_module(_simple_module(body)).result == 0
+
+    def test_division_traps_on_zero(self):
+        def body(fb):
+            fb.ret(fb.binop("div", 5, 0))
+
+        with pytest.raises(SimulationError):
+            run_module(_simple_module(body))
+
+    def test_comparisons_produce_bits(self):
+        def body(fb):
+            fb.ret(fb.cmp("lt", -5, 3))
+
+        assert run_module(_simple_module(body)).result == 1
+
+
+class TestMemory:
+    def test_globals_initialised_and_addressable(self):
+        mb = ModuleBuilder()
+        mb.global_array("a", 3, [11, 22, 33])
+        mb.global_array("b", 2)
+        fb = mb.function("main")
+        fb.set_block(fb.new_block("entry"))
+        value = fb.load(Sym("a"), 1)
+        fb.store(value, Sym("b"), 0)
+        fb.ret(value)
+        interp = run_module(mb.build())
+        assert interp.result == 22
+        assert interp.read_global("b") == [22, 0]
+
+    def test_sym_offset(self):
+        mb = ModuleBuilder()
+        mb.global_array("a", 4, [1, 2, 3, 4])
+        fb = mb.function("main")
+        fb.set_block(fb.new_block("entry"))
+        fb.ret(fb.load(Sym("a", 2), 0))
+        assert run_module(mb.build()).result == 3
+
+    def test_out_of_range_load_faults(self):
+        def body(fb):
+            fb.ret(fb.load(99999, 0))
+
+        with pytest.raises(SimulationError):
+            run_module(_simple_module(body), mem_words=128)
+
+    def test_speculative_load_returns_zero(self):
+        def body(fb):
+            fb.ret(fb.load(99999, 0, speculative=True))
+
+        assert run_module(_simple_module(body), mem_words=128).result == 0
+
+    def test_alloca_stack_discipline(self):
+        def body(fb):
+            frame = fb.alloca(4)
+            fb.store(7, frame, 2)
+            fb.ret(fb.load(frame, 2))
+
+        interp = run_module(_simple_module(body), mem_words=64)
+        assert interp.result == 7
+
+    def test_write_global_helper(self):
+        module = _simple_module(lambda fb: fb.ret(0))
+        interp = Interpreter(module, mem_words=64)
+        interp.write_global("out", [5, 6])
+        assert interp.read_global("out") == [5, 6, 0, 0]
+
+
+class TestControlFlow:
+    def test_cond_br_and_loop(self):
+        mb = ModuleBuilder()
+        fb = mb.function("main")
+        entry = fb.new_block("entry")
+        loop = fb.new_block("loop")
+        done = fb.new_block("done")
+        fb.set_block(entry)
+        i = fb.vreg("i")
+        total = fb.vreg("total")
+        fb.copy_to(i, 0)
+        fb.copy_to(total, 0)
+        fb.br(loop)
+        fb.set_block(loop)
+        fb.copy_to(total, fb.binop("add", total, i))
+        fb.copy_to(i, fb.binop("add", i, 1))
+        fb.cond_br(fb.cmp("lt", i, 5), loop, done)
+        fb.set_block(done)
+        fb.ret(total)
+        assert run_module(mb.build()).result == 10
+
+    def test_calls_with_arguments(self):
+        mb = ModuleBuilder()
+        callee = mb.function("double_it", ["x"])
+        callee.set_block(callee.new_block("entry"))
+        callee.ret(callee.binop("add", callee.params[0], callee.params[0]))
+        fb = mb.function("main")
+        fb.set_block(fb.new_block("entry"))
+        fb.ret(fb.call("double_it", [21]))
+        assert run_module(mb.build()).result == 42
+
+    def test_recursion(self):
+        mb = ModuleBuilder()
+        fact = mb.function("fact", ["n"])
+        entry = fact.new_block("entry")
+        base = fact.new_block("base")
+        rec = fact.new_block("rec")
+        fact.set_block(entry)
+        fact.cond_br(fact.cmp("le", fact.params[0], 1), base, rec)
+        fact.set_block(base)
+        fact.ret(1)
+        fact.set_block(rec)
+        smaller = fact.binop("sub", fact.params[0], 1)
+        inner = fact.call("fact", [smaller])
+        fact.ret(fact.binop("mul", fact.params[0], inner))
+        fb = mb.function("main")
+        fb.set_block(fb.new_block("entry"))
+        fb.ret(fb.call("fact", [6]))
+        assert run_module(mb.build()).result == 720
+
+    def test_undefined_function_raises(self):
+        def body(fb):
+            fb.ret(fb.call("ghost", []))
+
+        with pytest.raises(IRError):
+            run_module(_simple_module(body))
+
+    def test_step_budget(self):
+        mb = ModuleBuilder()
+        fb = mb.function("main")
+        loop = fb.new_block("loop")
+        fb.set_block(loop)
+        fb.br(loop)
+        interp = Interpreter(mb.build(), mem_words=64)
+        interp.max_steps = 1000
+        with pytest.raises(SimulationError):
+            interp.call("main")

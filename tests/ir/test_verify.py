@@ -1,0 +1,139 @@
+"""IR verifier: every structural invariant has a failing example."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (
+    BinOp, Block, Br, Call, Copy, Function, Module, Ret, Sym, VReg,
+    verify_module,
+)
+from repro.ir.instructions import CondBr, Load
+from repro.ir.module import GlobalArray
+from repro.ir.values import Const
+
+
+def _module_with(function):
+    module = Module()
+    module.add_function(function)
+    return module
+
+
+def _ret_block():
+    return Block("entry", [Ret(Const(0))])
+
+
+def test_valid_minimal_module():
+    verify_module(_module_with(Function("main", [], [_ret_block()])))
+
+
+def test_module_without_functions():
+    with pytest.raises(IRError):
+        verify_module(Module())
+
+
+def test_empty_block_rejected():
+    function = Function("f", [], [Block("entry", [])])
+    with pytest.raises(IRError):
+        verify_module(_module_with(function))
+
+
+def test_missing_terminator():
+    function = Function("f", [], [
+        Block("entry", [Copy(VReg(0), Const(1))]),
+    ])
+    with pytest.raises(IRError):
+        verify_module(_module_with(function))
+
+
+def test_terminator_in_the_middle():
+    function = Function("f", [], [
+        Block("entry", [Ret(Const(0)), Copy(VReg(0), Const(1)), Ret(None)]),
+    ])
+    with pytest.raises(IRError):
+        verify_module(_module_with(function))
+
+
+def test_branch_to_unknown_block():
+    function = Function("f", [], [Block("entry", [Br("nowhere")])])
+    with pytest.raises(IRError):
+        verify_module(_module_with(function))
+
+
+def test_duplicate_block_names():
+    function = Function("f", [], [_ret_block(), _ret_block()])
+    with pytest.raises(IRError):
+        verify_module(_module_with(function))
+
+
+def test_use_before_def_rejected():
+    ghost = VReg(7)
+    function = Function("f", [], [
+        Block("entry", [Ret(ghost)]),
+    ])
+    with pytest.raises(IRError):
+        verify_module(_module_with(function))
+
+
+def test_use_defined_on_only_one_path_rejected():
+    cond = VReg(0)
+    x = VReg(1)
+    function = Function("f", [], [
+        Block("entry", [Copy(cond, Const(1)), CondBr(cond, "a", "b")]),
+        Block("a", [Copy(x, Const(5)), Br("join")]),
+        Block("b", [Br("join")]),
+        Block("join", [Ret(x)]),
+    ])
+    with pytest.raises(IRError):
+        verify_module(_module_with(function))
+
+
+def test_use_defined_on_all_paths_accepted():
+    cond = VReg(0)
+    x = VReg(1)
+    function = Function("f", [], [
+        Block("entry", [Copy(cond, Const(1)), CondBr(cond, "a", "b")]),
+        Block("a", [Copy(x, Const(5)), Br("join")]),
+        Block("b", [Copy(x, Const(6)), Br("join")]),
+        Block("join", [Ret(x)]),
+    ])
+    verify_module(_module_with(function))
+
+
+def test_params_count_as_defined():
+    param = VReg(0, "p")
+    function = Function("f", [param], [Block("entry", [Ret(param)])])
+    verify_module(_module_with(function))
+
+
+def test_call_to_unknown_function():
+    function = Function("f", [], [
+        Block("entry", [Call("ghost", []), Ret(None)]),
+    ])
+    with pytest.raises(IRError):
+        verify_module(_module_with(function))
+
+
+def test_externals_whitelist():
+    function = Function("f", [], [
+        Block("entry", [Call("ghost", []), Ret(None)]),
+    ])
+    verify_module(_module_with(function), externals={"ghost"})
+
+
+def test_unknown_global_symbol():
+    dst = VReg(0)
+    function = Function("f", [], [
+        Block("entry", [Load(dst, Sym("ghost"), Const(0)), Ret(dst)]),
+    ])
+    with pytest.raises(IRError):
+        verify_module(_module_with(function))
+
+
+def test_known_global_symbol():
+    dst = VReg(0)
+    function = Function("f", [], [
+        Block("entry", [Load(dst, Sym("table"), Const(0)), Ret(dst)]),
+    ])
+    module = _module_with(function)
+    module.add_global(GlobalArray("table", 4))
+    verify_module(module)

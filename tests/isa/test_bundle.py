@@ -1,0 +1,62 @@
+"""Bundles (issue groups) and program containers."""
+
+import pytest
+
+from repro.errors import EncodingError
+from repro.isa import Bundle, Instruction, Program, nop
+from repro.isa.operands import Lit, Reg
+
+
+def _add(dest):
+    return Instruction("ADD", dest1=Reg(dest), src1=Reg(1), src2=Lit(1))
+
+
+class TestBundle:
+    def test_empty_bundle_rejected(self):
+        with pytest.raises(EncodingError):
+            Bundle(())
+
+    def test_padding_fills_with_nops(self):
+        bundle = Bundle((_add(2),)).padded(4)
+        assert len(bundle) == 4
+        assert [i.is_nop for i in bundle] == [False, True, True, True]
+
+    def test_padding_beyond_width_rejected(self):
+        bundle = Bundle(tuple(_add(i) for i in range(3)))
+        with pytest.raises(EncodingError):
+            bundle.padded(2)
+
+    def test_real_ops_excludes_padding(self):
+        bundle = Bundle((_add(2), nop(), _add(3)))
+        assert len(bundle.real_ops) == 2
+
+    def test_str_uses_double_semicolon(self):
+        text = str(Bundle((_add(2), _add(3))))
+        assert ";;" in text
+
+
+class TestProgram:
+    def _program(self):
+        return Program(
+            bundles=[
+                Bundle((_add(2), _add(3))).padded(4),
+                Bundle((Instruction("HALT"),)).padded(4),
+            ],
+            labels={"main": 0, "end": 1},
+            data=[1, 2, 3],
+            symbols={"table": 0},
+        )
+
+    def test_operation_counts(self):
+        program = self._program()
+        assert program.n_operations == 3   # 2 adds + HALT
+        assert program.n_slots == 8
+
+    def test_listing_contains_labels_and_addresses(self):
+        listing = self._program().listing()
+        assert "main:" in listing
+        assert "end:" in listing
+        assert "0:" in listing
+
+    def test_iteration(self):
+        assert len(list(self._program())) == 2

@@ -1,0 +1,38 @@
+"""Custom-instruction specifications (§3.3)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.isa import CustomOpSpec
+
+
+def test_evaluate_masks_to_datapath():
+    spec = CustomOpSpec("WIDEADD", func=lambda a, b, m: a + b)
+    assert spec.evaluate(0xFFFFFFFF, 1, 0xFFFFFFFF) == 0
+    assert spec.evaluate(0xFFFF, 1, 0xFFFF) == 0
+
+
+def test_mnemonic_must_be_uppercase_identifier():
+    with pytest.raises(ConfigError):
+        CustomOpSpec("bad", func=lambda a, b, m: a)
+    with pytest.raises(ConfigError):
+        CustomOpSpec("NO SPACES", func=lambda a, b, m: a)
+    with pytest.raises(ConfigError):
+        CustomOpSpec("", func=lambda a, b, m: a)
+
+
+def test_only_alu_class_supported():
+    with pytest.raises(ConfigError):
+        CustomOpSpec("FOO", func=lambda a, b, m: a, fu_class="lsu")
+
+
+def test_latency_and_slices_validated():
+    with pytest.raises(ConfigError):
+        CustomOpSpec("FOO", func=lambda a, b, m: a, latency=0)
+    with pytest.raises(ConfigError):
+        CustomOpSpec("FOO", func=lambda a, b, m: a, slices=-1)
+
+
+def test_multi_cycle_custom_op_allowed():
+    spec = CustomOpSpec("SLOWOP", func=lambda a, b, m: a ^ b, latency=4)
+    assert spec.latency == 4

@@ -1,0 +1,184 @@
+"""The parametric instruction format: layout, range checks, round trips."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import epic_config
+from repro.errors import EncodingError
+from repro.isa import InstructionFormat, Instruction
+from repro.isa.operands import Btr, Lit, Pred, Reg
+from repro.isa.opcodes import FuClass
+from repro.isa import signatures as sig
+from repro.isa.signatures import signature_of
+
+
+@pytest.fixture(scope="module")
+def fmt():
+    return InstructionFormat(epic_config())
+
+
+class TestLayout:
+    def test_paper_default_is_64_bits(self, fmt):
+        assert fmt.instruction_bits == 64
+
+    def test_paper_field_widths(self, fmt):
+        layout = fmt.layout
+        assert layout.opcode_bits == 15
+        assert layout.dest_bits == 6
+        assert layout.src_bits == 16
+        assert layout.pred_bits == 5
+
+    def test_literal_is_15_bit_signed(self, fmt):
+        assert fmt.literal_bits == 15
+        assert fmt.literal_fits(16383)
+        assert not fmt.literal_fits(16384)
+        assert fmt.literal_fits(-16384)
+        assert not fmt.literal_fits(-16385)
+
+    def test_long_literal_spans_both_src_fields(self, fmt):
+        assert fmt.long_literal_bits == 32
+
+    def test_more_registers_widen_the_instruction(self):
+        """§3.3: exceeding 64 registers requires re-designing the
+        format; the parametric format does it automatically."""
+        wide = InstructionFormat(
+            epic_config(n_gprs=128, regs_per_instruction=128)
+        )
+        assert wide.layout.dest_bits == 7
+        assert wide.instruction_bits > 64
+
+    def test_tiny_machine_keeps_default_widths(self):
+        small = InstructionFormat(epic_config(n_gprs=16))
+        assert small.instruction_bits == 64
+
+
+def _sample_instructions():
+    return [
+        Instruction("ADD", dest1=Reg(5), src1=Reg(1), src2=Reg(2)),
+        Instruction("ADD", dest1=Reg(5), src1=Reg(1), src2=Lit(-42)),
+        Instruction("SUB", dest1=Reg(63), src1=Lit(16383), src2=Reg(0)),
+        Instruction("MOVI", dest1=Reg(9), src1=Lit(-2147483648)),
+        Instruction("MOVI", dest1=Reg(9), src1=Lit(0x7FFFFFFF)),
+        Instruction("CMPP_LT", dest1=Pred(3), dest2=Pred(4),
+                    src1=Reg(8), src2=Lit(100)),
+        Instruction("LW", dest1=Reg(4), src1=Reg(1), src2=Lit(12)),
+        Instruction("SW", dest1=Reg(4), src1=Reg(1), src2=Lit(-3)),
+        Instruction("LWS", dest1=Reg(4), src1=Reg(7), src2=Reg(8)),
+        Instruction("PBR", dest1=Btr(2), src1=Lit(77)),
+        Instruction("MOVGBP", dest1=Btr(15), src1=Reg(3)),
+        Instruction("BR", src1=Btr(0)),
+        Instruction("BRCT", src1=Btr(1), src2=Pred(9)),
+        Instruction("BRCF", src1=Btr(1), src2=Pred(31)),
+        Instruction("BRL", dest1=Reg(3), src1=Btr(7)),
+        Instruction("HALT"),
+        Instruction("NOP"),
+        Instruction("ADD", dest1=Reg(2), src1=Reg(3), src2=Reg(4),
+                    guard=Pred(17)),
+    ]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("instr", _sample_instructions(),
+                             ids=lambda i: str(i))
+    def test_encode_decode_round_trip(self, fmt, instr):
+        decoded = fmt.decode(fmt.encode(instr))
+        assert decoded.mnemonic == instr.mnemonic
+        assert decoded.src1 == instr.src1
+        assert decoded.src2 == instr.src2
+        assert decoded.dest1 == instr.dest1
+        assert decoded.guard == instr.guard
+        # CMPP's absent second destination decodes as the discard
+        # register p0; everything else must match exactly.
+        if instr.dest2 is not None:
+            assert decoded.dest2 == instr.dest2
+
+    @given(
+        dest=st.integers(0, 63),
+        a=st.integers(0, 63),
+        literal=st.integers(-16384, 16383),
+        guard=st.integers(0, 31),
+        mnemonic=st.sampled_from(["ADD", "SUB", "AND", "OR", "XOR", "MUL"]),
+    )
+    def test_alu_random_round_trip(self, fmt, dest, a, literal, guard,
+                                   mnemonic):
+        instr = Instruction(mnemonic, dest1=Reg(dest), src1=Reg(a),
+                            src2=Lit(literal), guard=Pred(guard))
+        assert fmt.decode(fmt.encode(instr)) == instr
+
+    @given(value=st.integers(-(2 ** 31), 2 ** 31 - 1))
+    def test_movi_round_trip_full_range(self, fmt, value):
+        instr = Instruction("MOVI", dest1=Reg(1), src1=Lit(value))
+        decoded = fmt.decode(fmt.encode(instr))
+        assert decoded.src1.value & 0xFFFFFFFF == value & 0xFFFFFFFF
+
+
+class TestRangeChecks:
+    def test_register_out_of_range(self, fmt):
+        with pytest.raises(EncodingError):
+            fmt.encode(Instruction("ADD", dest1=Reg(64), src1=Reg(0),
+                                   src2=Reg(0)))
+
+    def test_literal_too_wide(self, fmt):
+        with pytest.raises(EncodingError):
+            fmt.encode(Instruction("ADD", dest1=Reg(1), src1=Reg(0),
+                                   src2=Lit(1 << 20)))
+
+    def test_guard_out_of_range(self, fmt):
+        with pytest.raises(EncodingError):
+            fmt.encode(Instruction("NOP", guard=Pred(99)))
+
+    def test_wrong_operand_kind(self, fmt):
+        with pytest.raises(EncodingError):
+            fmt.encode(Instruction("BR", src1=Reg(4)))
+
+    def test_literal_where_predicate_required(self, fmt):
+        with pytest.raises(EncodingError):
+            fmt.encode(Instruction("BRCT", src1=Btr(0), src2=Lit(3)))
+
+
+class TestProgramImages:
+    def test_program_encode_pads_bundles(self, fmt):
+        from repro.isa.bundle import Bundle, Program
+        program = Program(bundles=[
+            Bundle((Instruction("HALT"),)),
+        ])
+        words = fmt.encode_program(program)
+        assert len(words) == fmt.config.issue_width
+
+    def test_image_round_trip(self, fmt):
+        from repro.isa.bundle import Bundle, Program
+        bundle = Bundle((
+            Instruction("ADD", dest1=Reg(5), src1=Reg(1), src2=Lit(3)),
+            Instruction("LW", dest1=Reg(6), src1=Reg(1), src2=Lit(0)),
+        ))
+        program = Program(bundles=[bundle, Bundle((Instruction("HALT"),))])
+        words = fmt.encode_program(program)
+        decoded = fmt.decode_program(words)
+        assert len(decoded) == 2
+        assert decoded[0].slots[0].mnemonic == "ADD"
+        assert decoded[0].slots[2].is_nop
+
+    def test_bytes_round_trip_big_endian(self, fmt):
+        words = [0x0123456789ABCDEF, 0x1122334455667788]
+        blob = fmt.to_bytes(words)
+        assert blob[0] == 0x01  # big-endian architecture (§3.1)
+        assert fmt.from_bytes(blob) == words
+
+    def test_misaligned_image_rejected(self, fmt):
+        with pytest.raises(EncodingError):
+            fmt.decode_program([0, 0, 0])
+
+
+class TestSignatures:
+    def test_every_opcode_has_a_signature(self, fmt):
+        for info in fmt.table:
+            signature_of(info)
+
+    def test_sw_reads_dest_field(self, fmt):
+        signature = signature_of(fmt.table.lookup("SW"))
+        assert signature.dest1_is_source
+
+    def test_cmpu_signature_is_pred_pair(self, fmt):
+        signature = signature_of(fmt.table.lookup("CMPP_EQ"))
+        assert signature.dest1 == sig.PRD
+        assert signature.dest2 == sig.PRD

@@ -1,0 +1,120 @@
+"""Opcode table construction, feature gating and Hamming grouping."""
+
+import pytest
+
+from repro.config import AluFeature, epic_config
+from repro.errors import EncodingError
+from repro.isa import CustomOpSpec, FuClass, build_opcode_table
+from repro.isa.opcodes import OPCODE_CLASS, Opcode
+
+
+@pytest.fixture(scope="module")
+def table():
+    return build_opcode_table(epic_config())
+
+
+class TestTableConstruction:
+    def test_all_builtins_present_by_default(self, table):
+        for op in Opcode:
+            assert op.value in table
+
+    def test_lookup_round_trip(self, table):
+        for info in table:
+            assert table.by_code(info.code) is info
+            assert table.lookup(info.mnemonic) is info
+
+    def test_unknown_mnemonic_raises(self, table):
+        with pytest.raises(EncodingError):
+            table.lookup("FNORD")
+
+    def test_unknown_code_raises(self, table):
+        with pytest.raises(EncodingError):
+            table.by_code(0x7FFF)
+
+    def test_codes_unique(self, table):
+        codes = [info.code for info in table]
+        assert len(codes) == len(set(codes))
+
+
+class TestFeatureGating:
+    def test_divide_feature_removes_div_rem(self):
+        config = epic_config(
+            alu_features=frozenset({AluFeature.MULTIPLY, AluFeature.SHIFT})
+        )
+        table = build_opcode_table(config)
+        assert "DIV" not in table
+        assert "REM" not in table
+        assert "ADD" in table
+
+    def test_shift_feature_removes_shifts(self):
+        config = epic_config(
+            alu_features=frozenset({AluFeature.MULTIPLY, AluFeature.DIVIDE})
+        )
+        table = build_opcode_table(config)
+        for mnemonic in ("SHL", "SHR", "SHRA"):
+            assert mnemonic not in table
+
+    def test_multiply_feature_removes_mul(self):
+        config = epic_config(
+            alu_features=frozenset({AluFeature.DIVIDE, AluFeature.SHIFT})
+        )
+        assert "MUL" not in build_opcode_table(config)
+
+
+class TestClassGrouping:
+    def test_same_class_shares_code_prefix(self, table):
+        """§3.1: opcodes minimise Hamming distance within a type —
+        our encoding places the FU class in the upper bits."""
+        by_class = {}
+        for info in table:
+            by_class.setdefault(info.fu_class, []).append(info.code)
+        for codes in by_class.values():
+            prefixes = {code >> 8 for code in codes}
+            assert len(prefixes) == 1
+
+    def test_adjacent_codes_gray_coded(self, table):
+        """Consecutive ALU opcodes differ in at most 2 bits of the low
+        byte (Gray sequence property across the enumeration)."""
+        alu_codes = sorted(
+            info.code & 0xFF for info in table
+            if info.fu_class is FuClass.ALU
+        )
+        gray = [c ^ (c >> 1) for c in range(len(alu_codes))]
+        assert set(alu_codes) == set(gray)
+
+    def test_classification_consistency(self, table):
+        for info in table:
+            if info.is_custom:
+                continue
+            assert info.fu_class == OPCODE_CLASS[Opcode(info.mnemonic)]
+
+    def test_branch_flags(self, table):
+        assert table.lookup("BR").is_branch
+        assert table.lookup("BRCT").is_branch
+        assert not table.lookup("PBR").is_branch
+        assert not table.lookup("MOVGBP").is_branch
+
+    def test_memory_flags(self, table):
+        for mnemonic in ("LW", "SW", "LWS"):
+            assert table.lookup(mnemonic).is_memory
+        assert not table.lookup("ADD").is_memory
+
+    def test_cmpp_writes_predicates(self, table):
+        assert table.lookup("CMPP_LT").writes_pred
+        assert not table.lookup("ADD").writes_pred
+
+
+class TestCustomOps:
+    def test_custom_op_gets_reserved_class(self):
+        spec = CustomOpSpec("FUSEDOP", func=lambda a, b, m: a + b)
+        table = build_opcode_table(epic_config(custom_ops=(spec,)))
+        info = table.lookup("FUSEDOP")
+        assert info.is_custom
+        assert info.fu_class is FuClass.ALU
+        assert info.code >> 8 == 0x5
+
+    def test_custom_op_does_not_collide(self):
+        spec = CustomOpSpec("FUSEDOP", func=lambda a, b, m: a)
+        table = build_opcode_table(epic_config(custom_ops=(spec,)))
+        codes = [info.code for info in table]
+        assert len(codes) == len(set(codes))

@@ -1,0 +1,120 @@
+"""Property tests: opcode semantics vs two's-complement arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.isa import semantics as sem
+
+WORD = st.integers(min_value=0, max_value=0xFFFFFFFF)
+WIDTHS = st.sampled_from([8, 16, 32])
+
+
+def ref_signed(value, width):
+    value &= (1 << width) - 1
+    return value - (1 << width) if value >> (width - 1) else value
+
+
+@given(WORD)
+def test_to_signed_round_trips(value):
+    assert sem.to_unsigned(sem.to_signed(value, 32), 32) == value
+
+
+@given(WORD, WORD)
+def test_add_wraps(a, b):
+    assert sem.add(a, b, 32) == (a + b) & 0xFFFFFFFF
+
+
+@given(WORD, WORD)
+def test_sub_wraps(a, b):
+    assert sem.sub(a, b, 32) == (a - b) & 0xFFFFFFFF
+
+
+@given(WORD, WORD)
+def test_mul_low_word(a, b):
+    assert sem.mul(a, b, 32) == (a * b) & 0xFFFFFFFF
+
+
+@given(WORD, WORD)
+def test_div_matches_c_truncation(a, b):
+    if b == 0:
+        with pytest.raises(SimulationError):
+            sem.div(a, b, 32)
+        return
+    sa, sb = ref_signed(a, 32), ref_signed(b, 32)
+    expected = abs(sa) // abs(sb)
+    if (sa < 0) != (sb < 0):
+        expected = -expected
+    assert ref_signed(sem.div(a, b, 32), 32) == ref_signed(expected & 0xFFFFFFFF, 32)
+
+
+@given(WORD, WORD)
+def test_div_rem_identity(a, b):
+    """(a / b) * b + (a % b) == a in wrapping arithmetic."""
+    if b == 0:
+        return
+    q = sem.div(a, b, 32)
+    r = sem.rem(a, b, 32)
+    assert sem.add(sem.mul(q, b, 32), r, 32) == a
+
+
+@given(WORD, WORD)
+def test_rem_sign_follows_dividend(a, b):
+    if b == 0:
+        return
+    r = ref_signed(sem.rem(a, b, 32), 32)
+    sa = ref_signed(a, 32)
+    assert r == 0 or (r < 0) == (sa < 0)
+
+
+@given(WORD, WORD)
+def test_bitwise_ops(a, b):
+    assert sem.and_(a, b, 32) == a & b
+    assert sem.or_(a, b, 32) == a | b
+    assert sem.xor(a, b, 32) == a ^ b
+    assert sem.andcm(a, b, 32) == a & (~b & 0xFFFFFFFF)
+
+
+@given(WORD, st.integers(min_value=0, max_value=255))
+def test_shifts_use_low_bits_of_amount(a, amount):
+    effective = amount & 31
+    assert sem.shl(a, amount, 32) == (a << effective) & 0xFFFFFFFF
+    assert sem.shr(a, amount, 32) == a >> effective
+    assert sem.shra(a, amount, 32) == (ref_signed(a, 32) >> effective) & 0xFFFFFFFF
+
+
+@given(WORD, WORD)
+def test_min_max_are_signed(a, b):
+    lo, hi = sorted((a, b), key=lambda v: ref_signed(v, 32))
+    assert sem.min_(a, b, 32) == lo
+    assert sem.max_(a, b, 32) == hi
+
+
+@given(WORD, WORD)
+def test_comparisons_partition(a, b):
+    assert sem.cmp_eq(a, b, 32) + sem.cmp_ne(a, b, 32) == 1
+    assert sem.cmp_lt(a, b, 32) + sem.cmp_ge(a, b, 32) == 1
+    assert sem.cmp_le(a, b, 32) + sem.cmp_gt(a, b, 32) == 1
+    assert sem.cmp_ult(a, b, 32) + sem.cmp_uge(a, b, 32) == 1
+
+
+@given(WORD, WORD)
+def test_signed_vs_unsigned_comparison(a, b):
+    assert sem.cmp_lt(a, b, 32) == int(ref_signed(a, 32) < ref_signed(b, 32))
+    assert sem.cmp_ult(a, b, 32) == int(a < b)
+
+
+@given(st.integers(0, 0xFFFF), st.integers(0, 0xFFFF), WIDTHS)
+def test_semantics_respect_width(a, b, width):
+    mask = (1 << width) - 1
+    assert sem.add(a, b, width) <= mask
+    assert sem.mul(a, b, width) <= mask
+    assert sem.shl(a, b, width) <= mask
+
+
+def test_dispatch_tables_cover_mnemonics():
+    assert set(sem.ALU_SEMANTICS) >= {
+        "ADD", "SUB", "MUL", "DIV", "REM", "AND", "OR", "XOR",
+        "ANDCM", "SHL", "SHR", "SHRA", "MIN", "MAX",
+    }
+    assert all(name.startswith("CMPP_") for name in sem.CMP_SEMANTICS)

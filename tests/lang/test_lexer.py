@@ -1,0 +1,62 @@
+"""MiniC lexer."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.lang.lexer import tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source) if t.kind != "eof"]
+
+
+def test_keywords_vs_identifiers():
+    tokens = kinds("int x; return xint;")
+    assert ("kw", "int") in tokens
+    assert ("ident", "x") in tokens
+    assert ("ident", "xint") in tokens
+
+
+def test_numbers_decimal_and_hex():
+    tokens = tokenize("42 0x2A 0X2a")
+    assert [t.value for t in tokens[:3]] == [42, 42, 42]
+
+
+def test_operators_longest_match():
+    tokens = kinds("a >>> b >> c > d >= e")
+    ops = [text for kind, text in tokens if kind == "op"]
+    assert ops == [">>>", ">>", ">", ">="]
+
+
+def test_compound_assignment_tokens():
+    ops = [text for kind, text in kinds("a <<= 1; b ^= 2;") if kind == "op"]
+    assert "<<=" in ops
+    assert "^=" in ops
+
+
+def test_comments_skipped():
+    tokens = kinds("a // line comment\n/* block\ncomment */ b")
+    assert [text for _, text in tokens] == ["a", "b"]
+
+
+def test_line_and_column_tracking():
+    tokens = tokenize("a\n  b")
+    assert tokens[0].line == 1
+    assert tokens[1].line == 2
+    assert tokens[1].column == 3
+
+
+def test_line_tracking_through_block_comment():
+    tokens = tokenize("/* one\ntwo */ x")
+    assert tokens[0].line == 2
+
+
+def test_bad_character_raises_with_location():
+    with pytest.raises(CompileError) as excinfo:
+        tokenize("a @ b")
+    assert excinfo.value.line == 1
+
+
+def test_unsupported_shift_assign():
+    with pytest.raises(CompileError):
+        tokenize("a >>>= 1")

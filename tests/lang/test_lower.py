@@ -1,0 +1,224 @@
+"""Lowering semantics, validated through the IR interpreter."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.ir import run_module
+from repro.lang import compile_minic
+
+
+def result_of(source, optimize=True):
+    return run_module(compile_minic(source, optimize=optimize)).result
+
+
+class TestExpressions:
+    def test_arithmetic_operators(self):
+        source = """
+        int main() {
+          return (17 + 5) * 3 - 100 / 7 % 5 + (12 & 10) + (1 | 4)
+               + (6 ^ 3) - (1 << 4) + (-32 >> 2) + (7 >>> 1);
+        }
+        """
+        expected = (
+            (17 + 5) * 3 - (100 // 7) % 5 + (12 & 10) + (1 | 4)
+            + (6 ^ 3) - (1 << 4) + (-32 >> 2) + (7 >> 1)
+        )
+        assert result_of(source) == expected & 0xFFFFFFFF
+
+    def test_logical_shift_right_on_negative(self):
+        assert result_of("int main() { return -1 >>> 28; }") == 15
+
+    def test_arithmetic_shift_right_on_negative(self):
+        assert result_of("int main() { return (-16 >> 2) & 0xFF; }") == 0xFC
+
+    def test_unary_operators(self):
+        assert result_of("int main() { return -(5) + (~0 & 15) + !0 + !7; }") \
+            == -5 + 15 + 1 + 0 & 0xFFFFFFFF
+
+    def test_division_truncates_toward_zero(self):
+        assert result_of("int main() { return (-7) / 2; }") == (-3) & 0xFFFFFFFF
+        assert result_of("int main() { return (-7) % 2; }") == (-1) & 0xFFFFFFFF
+
+    def test_comparisons_yield_bits(self):
+        source = """
+        int main() {
+          return (1 < 2) + (2 <= 2) + (3 > 4) + (4 >= 4)
+               + (5 == 5) + (6 != 6);
+        }
+        """
+        assert result_of(source) == 4
+
+    def test_short_circuit_evaluation_order(self):
+        source = """
+        int calls;
+        int bump() { calls += 1; return 1; }
+        int main() {
+          int r;
+          calls = 0;
+          r = 0 && bump();
+          r = r + (1 || bump());
+          return calls * 10 + r;
+        }
+        """
+        assert result_of(source) == 1
+
+    def test_short_circuit_as_value(self):
+        assert result_of("int main() { return (3 && 4) + (0 || 0); }") == 1
+
+
+class TestVariables:
+    def test_globals_scalar_and_array(self):
+        source = """
+        int counter;
+        int history[4];
+        int main() {
+          counter = 3;
+          history[counter - 1] = 99;
+          counter += 1;
+          return counter * 100 + history[2];
+        }
+        """
+        assert result_of(source) == 499
+
+    def test_global_initialisers(self):
+        source = """
+        int base = 40;
+        int table[3] = {1, 2};
+        int main() { return base + table[0] + table[1] + table[2]; }
+        """
+        assert result_of(source) == 43
+
+    def test_local_arrays_are_per_frame(self):
+        source = """
+        int helper(int x) {
+          int buf[4];
+          buf[0] = x;
+          return buf[0] * 2;
+        }
+        int main() {
+          int buf[4];
+          buf[1] = 5;
+          return helper(10) + buf[1];
+        }
+        """
+        assert result_of(source) == 25
+
+    def test_array_decay_to_address_and_pointer_indexing(self):
+        source = """
+        int data[6] = {10, 20, 30, 40, 50, 60};
+        int sum3(int base) { return base[0] + base[1] + base[2]; }
+        int main() { return sum3(data + 2); }
+        """
+        assert result_of(source) == 120
+
+    def test_uninitialised_local_defaults_to_zero(self):
+        assert result_of("int main() { int x; return x; }") == 0
+
+    def test_param_is_mutable(self):
+        source = """
+        int f(int a) { a += 1; return a; }
+        int main() { return f(41); }
+        """
+        assert result_of(source) == 42
+
+
+class TestControlFlow:
+    def test_if_else_if_chain(self):
+        source = """
+        int classify(int x) {
+          if (x < 0) { return 1; }
+          else if (x == 0) { return 2; }
+          else { return 3; }
+        }
+        int main() {
+          return classify(-5) * 100 + classify(0) * 10 + classify(9);
+        }
+        """
+        assert result_of(source) == 123
+
+    def test_while_with_break_continue(self):
+        source = """
+        int main() {
+          int i; int total;
+          i = 0; total = 0;
+          while (1) {
+            i += 1;
+            if (i > 10) { break; }
+            if (i % 2 == 0) { continue; }
+            total += i;
+          }
+          return total;
+        }
+        """
+        assert result_of(source) == 25
+
+    def test_for_with_continue_hits_step(self):
+        source = """
+        int main() {
+          int i; int total;
+          total = 0;
+          for (i = 0; i < 10; i += 1) {
+            if (i == 5) { continue; }
+            total += i;
+          }
+          return total;
+        }
+        """
+        assert result_of(source) == 40
+
+    def test_nested_loops_and_breaks(self):
+        source = """
+        int main() {
+          int i; int j; int hits;
+          hits = 0;
+          for (i = 0; i < 5; i += 1) {
+            for (j = 0; j < 5; j += 1) {
+              if (j > i) { break; }
+              hits += 1;
+            }
+          }
+          return hits;
+        }
+        """
+        assert result_of(source) == 15
+
+    def test_implicit_return_zero(self):
+        assert result_of("int main() { int x; x = 5; }") == 0
+
+    def test_dead_code_after_return_ignored(self):
+        assert result_of("int main() { return 1; return 2; }") == 1
+
+    def test_mutual_recursion(self):
+        source = """
+        int is_odd(int n) {
+          if (n == 0) { return 0; }
+          return is_even(n - 1);
+        }
+        int is_even(int n) {
+          if (n == 0) { return 1; }
+          return is_odd(n - 1);
+        }
+        int main() { return is_even(10) * 10 + is_odd(7); }
+        """
+        assert result_of(source) == 11
+
+
+class TestOptimizedEqualsUnoptimized:
+    SOURCES = [
+        "int main() { int x; x = 3; return x * 8 + x / 2; }",
+        """
+        int t[4] = {5, 6, 7, 8};
+        int main() { int i; int s; s = 0;
+          for (i = 0; i < 4; i += 1) { s += t[i] * t[i]; }
+          return s; }
+        """,
+        """
+        const int k[2] = {3, 4};
+        int main() { return k[0] * k[1]; }
+        """,
+    ]
+
+    @pytest.mark.parametrize("source", SOURCES)
+    def test_same_result(self, source):
+        assert result_of(source, optimize=True) == \
+            result_of(source, optimize=False)

@@ -1,0 +1,150 @@
+"""MiniC parser: AST shapes and rejection of malformed programs."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.lang import ast
+from repro.lang.parser import parse_program
+
+
+class TestTopLevel:
+    def test_globals(self):
+        program = parse_program("""
+        int scalar;
+        int with_init = 5;
+        int arr[4];
+        int filled[3] = {1, 2, 3};
+        const int table[2] = {7, 8};
+        """)
+        assert [g.name for g in program.globals] == [
+            "scalar", "with_init", "arr", "filled", "table",
+        ]
+        assert program.globals[1].init == (5,)
+        assert program.globals[3].init == (1, 2, 3)
+        assert program.globals[4].const
+        assert not program.globals[3].const
+
+    def test_constant_expressions_in_sizes(self):
+        program = parse_program("int a[4 * 8];")
+        assert program.globals[0].size == 32
+
+    def test_functions(self):
+        program = parse_program("""
+        int f(int a, int b) { return a + b; }
+        void g() { return; }
+        int h(void) { return 0; }
+        """)
+        f, g, h = program.functions
+        assert [p.name for p in f.params] == ["a", "b"]
+        assert f.returns_value
+        assert not g.returns_value
+        assert h.params == []
+
+    def test_void_global_rejected(self):
+        with pytest.raises(CompileError):
+            parse_program("void x;")
+
+    def test_negative_array_size_rejected(self):
+        with pytest.raises(CompileError):
+            parse_program("int a[0];")
+
+
+class TestStatements:
+    def _body(self, text):
+        return parse_program(f"int main() {{ {text} }}").functions[0].body
+
+    def test_compound_assignment_desugars(self):
+        body = self._body("int x; x = 0; x += 3;")
+        assign = body.statements[2]
+        assert isinstance(assign, ast.Assign)
+        assert assign.op == "+"
+
+    def test_if_else_chains(self):
+        body = self._body("int x; x = 0; if (x) x = 1; else if (x) x = 2;")
+        outer = body.statements[2]
+        assert isinstance(outer, ast.If)
+        assert isinstance(outer.els.statements[0], ast.If)
+
+    def test_for_header_parts_optional(self):
+        body = self._body("int i; for (;;) break;")
+        loop = body.statements[1]
+        assert loop.init is None and loop.cond is None and loop.step is None
+
+    def test_unroll_annotations(self):
+        body = self._body(
+            "int i; unroll for (i = 0; i < 4; i += 1) { } "
+            "unroll(2) for (i = 0; i < 4; i += 1) { }"
+        )
+        assert body.statements[1].unroll == -1
+        assert body.statements[2].unroll == 2
+
+    def test_unroll_factor_must_be_at_least_two(self):
+        with pytest.raises(CompileError):
+            self._body("int i; unroll(1) for (i = 0; i < 4; i += 1) { }")
+
+    def test_array_index_assignment(self):
+        body = self._body("int a[4]; a[2] = 9;")
+        assign = body.statements[1]
+        assert isinstance(assign.target, ast.Index)
+
+    def test_call_statement(self):
+        program = parse_program("""
+        void helper() { return; }
+        int main() { helper(); return 0; }
+        """)
+        stmt = program.functions[1].body.statements[0]
+        assert isinstance(stmt, ast.ExprStmt)
+
+
+class TestExpressions:
+    def _expr(self, text):
+        program = parse_program(f"int main() {{ return {text}; }}")
+        return program.functions[0].body.statements[0].value
+
+    def test_precedence_mul_over_add(self):
+        expr = self._expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_precedence_shift_vs_compare(self):
+        expr = self._expr("1 << 2 < 3")
+        assert expr.op == "<"
+        assert expr.left.op == "<<"
+
+    def test_logical_lowest(self):
+        expr = self._expr("1 | 2 && 3")
+        assert expr.op == "&&"
+
+    def test_unary_chain(self):
+        expr = self._expr("-~!0")
+        assert expr.op == "-"
+        assert expr.operand.op == "~"
+
+    def test_unary_plus_is_noop(self):
+        expr = self._expr("+5")
+        assert isinstance(expr, ast.Num)
+
+    def test_parentheses_override(self):
+        expr = self._expr("(1 + 2) * 3")
+        assert expr.op == "*"
+
+    def test_left_associativity(self):
+        expr = self._expr("10 - 4 - 3")
+        assert expr.op == "-"
+        assert expr.left.op == "-"
+
+    def test_call_with_arguments(self):
+        program = parse_program("""
+        int f(int a, int b) { return a; }
+        int main() { return f(1, f(2, 3)); }
+        """)
+        call = program.functions[1].body.statements[0].value
+        assert isinstance(call.args[1], ast.CallE)
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(CompileError):
+            parse_program("int main() { return 0 }")
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(CompileError):
+            parse_program("int main() { return (1 + 2; }")

@@ -1,0 +1,141 @@
+"""MiniC semantic analysis: each rule has accepting/rejecting cases."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.lang.parser import parse_program
+from repro.lang.sema import check_program
+
+
+def check(source):
+    check_program(parse_program(source))
+
+
+def test_minimal_valid_program():
+    check("int main() { return 0; }")
+
+
+def test_undeclared_variable_use():
+    with pytest.raises(CompileError):
+        check("int main() { return ghost; }")
+
+
+def test_undeclared_assignment_target():
+    with pytest.raises(CompileError):
+        check("int main() { ghost = 1; return 0; }")
+
+
+def test_duplicate_local():
+    with pytest.raises(CompileError):
+        check("int main() { int x; int x; return 0; }")
+
+
+def test_shadowing_in_nested_scope_allowed():
+    check("""
+    int g;
+    int main() {
+      int x;
+      x = 0;
+      if (x == 0) { int x; x = 5; }
+      return x;
+    }
+    """)
+
+
+def test_scope_ends_with_block():
+    with pytest.raises(CompileError):
+        check("int main() { if (1) { int y; y = 1; } return y; }")
+
+
+def test_assignment_to_array_name_rejected():
+    with pytest.raises(CompileError):
+        check("int a[4]; int main() { a = 1; return 0; }")
+
+
+def test_assignment_to_const_global_rejected():
+    with pytest.raises(CompileError):
+        check("const int k = 5; int main() { k = 6; return 0; }")
+
+
+def test_assignment_to_const_array_element_rejected():
+    with pytest.raises(CompileError):
+        check("const int t[2] = {1, 2}; int main() { t[0] = 9; return 0; }")
+
+
+def test_const_shadowed_by_local_is_assignable():
+    check("const int k = 5; int main() { int k; k = 6; return k; }")
+
+
+def test_call_arity_checked():
+    with pytest.raises(CompileError):
+        check("""
+        int f(int a, int b) { return a; }
+        int main() { return f(1); }
+        """)
+
+
+def test_call_to_undeclared_function():
+    with pytest.raises(CompileError):
+        check("int main() { return ghost(); }")
+
+
+def test_void_function_as_value_rejected():
+    with pytest.raises(CompileError):
+        check("""
+        void f() { return; }
+        int main() { return f(); }
+        """)
+
+
+def test_void_function_as_statement_allowed():
+    check("""
+    void f() { return; }
+    int main() { f(); return 0; }
+    """)
+
+
+def test_break_outside_loop():
+    with pytest.raises(CompileError):
+        check("int main() { break; return 0; }")
+
+
+def test_continue_inside_loop_ok():
+    check("""
+    int main() {
+      int i;
+      for (i = 0; i < 3; i += 1) { continue; }
+      while (i > 0) { i -= 1; break; }
+      return 0;
+    }
+    """)
+
+
+def test_return_value_from_void_rejected():
+    with pytest.raises(CompileError):
+        check("void f() { return 3; } int main() { return 0; }")
+
+
+def test_bare_return_from_int_rejected():
+    with pytest.raises(CompileError):
+        check("int f() { return; } int main() { return 0; }")
+
+
+def test_duplicate_function():
+    with pytest.raises(CompileError):
+        check("int f() { return 0; } int f() { return 1; } "
+              "int main() { return 0; }")
+
+
+def test_function_and_global_name_collision():
+    with pytest.raises(CompileError):
+        check("int f; int f() { return 0; } int main() { return 0; }")
+
+
+def test_duplicate_parameter():
+    with pytest.raises(CompileError):
+        check("int f(int a, int a) { return a; } int main() { return 0; }")
+
+
+def test_too_many_initialisers():
+    with pytest.raises(CompileError):
+        check("int a[2] = {1, 2, 3}; int main() { return 0; }")

@@ -1,0 +1,218 @@
+"""AST-level loop unrolling: transformations and failure diagnostics."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.ir import run_module
+from repro.lang import compile_minic
+from repro.lang.parser import parse_program
+from repro.lang.unroll import unroll_program
+from repro.lang import ast
+
+
+def _result(source, unroll=True):
+    return run_module(compile_minic(source, unroll=unroll)).result
+
+
+def _count_fors(block):
+    total = 0
+    for statement in block.statements:
+        if isinstance(statement, ast.For):
+            total += 1 + _count_fors(statement.body)
+        elif isinstance(statement, ast.While):
+            total += _count_fors(statement.body)
+        elif isinstance(statement, ast.If):
+            total += _count_fors(statement.then)
+            if statement.els is not None:
+                total += _count_fors(statement.els)
+        elif isinstance(statement, ast.BlockStmt):
+            total += _count_fors(statement)
+    return total
+
+
+class TestFullUnroll:
+    SOURCE = """
+    int out[8];
+    int main() {
+      int i; int total;
+      total = 0;
+      unroll for (i = 0; i < 8; i += 1) { out[i] = i * i; total += i; }
+      return total + i * 100;
+    }
+    """
+
+    def test_loop_disappears(self):
+        program = unroll_program(parse_program(self.SOURCE))
+        assert _count_fors(program.functions[0].body) == 0
+
+    def test_semantics_preserved(self):
+        with_unroll = _result(self.SOURCE, unroll=True)
+        without = _result(self.SOURCE, unroll=False)
+        assert with_unroll == without == 28 + 800
+
+    def test_induction_variable_final_value(self):
+        source = """
+        int main() {
+          int i;
+          unroll for (i = 3; i < 10; i += 2) { }
+          return i;
+        }
+        """
+        assert _result(source) == 11
+
+    def test_downward_loop(self):
+        source = """
+        int main() {
+          int i; int total;
+          total = 0;
+          unroll for (i = 5; i > 0; i -= 1) { total += i; }
+          return total;
+        }
+        """
+        assert _result(source) == 15
+
+    def test_zero_trip_loop(self):
+        source = """
+        int main() {
+          int i; int total;
+          total = 0;
+          unroll for (i = 5; i < 5; i += 1) { total += 1; }
+          return total * 10 + i;
+        }
+        """
+        assert _result(source) == 5
+
+    def test_le_and_ge_conditions(self):
+        source = """
+        int main() {
+          int i; int a; int b;
+          a = 0; b = 0;
+          unroll for (i = 0; i <= 4; i += 1) { a += 1; }
+          unroll for (i = 4; i >= 0; i -= 2) { b += 1; }
+          return a * 10 + b;
+        }
+        """
+        assert _result(source) == 53
+
+
+class TestPartialUnroll:
+    def test_constant_bounds_divisible(self):
+        source = """
+        int out[8];
+        int main() {
+          int i; int total;
+          total = 0;
+          unroll(4) for (i = 0; i < 8; i += 1) { total += i; }
+          return total;
+        }
+        """
+        assert _result(source) == 28
+
+    def test_constant_bounds_with_remainder(self):
+        source = """
+        int main() {
+          int i; int total;
+          total = 0;
+          unroll(4) for (i = 0; i < 10; i += 1) { total += i; }
+          return total + i;
+        }
+        """
+        assert _result(source) == 45 + 10
+
+    def test_non_constant_limit(self):
+        source = """
+        int n;
+        int main() {
+          int i; int total;
+          n = 13;
+          total = 0;
+          unroll(4) for (i = 0; i < n; i += 1) { total += i; }
+          return total;
+        }
+        """
+        assert _result(source) == 78
+
+    def test_non_constant_limit_small_trip(self):
+        source = """
+        int n;
+        int main() {
+          int i; int total;
+          n = 2;        // fewer iterations than the unroll factor
+          total = 0;
+          unroll(4) for (i = 0; i < n; i += 1) { total += 1; }
+          return total;
+        }
+        """
+        assert _result(source) == 2
+
+
+class TestDiagnostics:
+    def _reject(self, body):
+        source = f"int g; int main() {{ int i; int x; x = 0; {body} return x; }}"
+        with pytest.raises(CompileError):
+            compile_minic(source)
+
+    def test_body_assigning_induction_variable(self):
+        self._reject("unroll for (i = 0; i < 4; i += 1) { i = 2; }")
+
+    def test_break_in_body(self):
+        self._reject("unroll for (i = 0; i < 4; i += 1) { break; }")
+
+    def test_non_constant_step(self):
+        self._reject("unroll for (i = 0; i < 4; i += x) { x += 1; }")
+
+    def test_missing_header_parts(self):
+        self._reject("unroll for (;;) { x += 1; }")
+
+    def test_non_canonical_condition(self):
+        self._reject("unroll for (i = 0; i != 4; i += 1) { x += 1; }")
+
+    def test_nonconstant_partial_downward(self):
+        self._reject("unroll(2) for (i = g; i > 0; i -= 1) { x += 1; }")
+
+    def test_body_assigns_limit_variable(self):
+        source = """
+        int main() {
+          int i; int n; int x;
+          n = 10; x = 0;
+          unroll(2) for (i = 0; i < n; i += 1) { n = 5; x += 1; }
+          return x;
+        }
+        """
+        with pytest.raises(CompileError):
+            compile_minic(source)
+
+    def test_full_unroll_nonconstant_bounds(self):
+        self._reject("unroll for (i = 0; i < g; i += 1) { x += 1; }")
+
+
+class TestNesting:
+    def test_nested_unroll(self):
+        source = """
+        int out[16];
+        int main() {
+          int i; int j; int total;
+          total = 0;
+          unroll for (i = 0; i < 4; i += 1) {
+            unroll for (j = 0; j < 4; j += 1) {
+              out[i * 4 + j] = i * j;
+              total += i * j;
+            }
+          }
+          return total;
+        }
+        """
+        assert _result(source) == 36
+
+    def test_disabled_unroll_strips_annotations(self):
+        program = parse_program("""
+        int main() {
+          int i;
+          unroll for (i = 0; i < 4; i += 1) { }
+          return i;
+        }
+        """)
+        stripped = unroll_program(program, enabled=False)
+        loop = stripped.functions[0].body.statements[1]
+        assert isinstance(loop, ast.For)
+        assert loop.unroll == 0

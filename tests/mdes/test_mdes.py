@@ -1,0 +1,79 @@
+"""Machine description: resources, latencies, config coupling."""
+
+import pytest
+
+from repro.config import AluFeature, epic_config, epic_with_alus
+from repro.errors import EncodingError
+from repro.isa import CustomOpSpec, FuClass
+from repro.mdes import Mdes, emit_hmdes, parse_hmdes
+
+
+def test_resources_follow_configuration():
+    mdes = Mdes(epic_with_alus(3, issue_width=2))
+    assert mdes.resource_count(FuClass.ALU) == 3
+    assert mdes.resource_count(FuClass.LSU) == 1
+    assert mdes.resource_count(FuClass.CMPU) == 1
+    assert mdes.resource_count(FuClass.BRU) == 1
+    assert mdes.issue_width == 2
+
+
+def test_latencies_follow_configuration():
+    config = epic_config().with_latency("load", 4)
+    mdes = Mdes(config)
+    assert mdes.latency_of_mnemonic("LW") == 4
+    assert mdes.latency_of_mnemonic("ADD") == 1
+    assert mdes.latency_of_mnemonic("MUL") == 3
+    assert mdes.latency_of_mnemonic("DIV") == 12
+
+
+def test_custom_op_latency_comes_from_spec():
+    spec = CustomOpSpec("TRIOP", func=lambda a, b, m: a, latency=5)
+    mdes = Mdes(epic_config(custom_ops=(spec,)))
+    assert mdes.latency_of_mnemonic("TRIOP") == 5
+
+
+def test_supports_reflects_feature_gating():
+    config = epic_config(
+        alu_features=frozenset({AluFeature.MULTIPLY, AluFeature.SHIFT})
+    )
+    mdes = Mdes(config)
+    assert mdes.supports("MUL")
+    assert not mdes.supports("DIV")
+    with pytest.raises(EncodingError):
+        mdes.latency_of_mnemonic("DIV")
+
+
+def test_max_latency():
+    assert Mdes(epic_config()).max_latency == 12  # the divider
+
+
+class TestHmdesText:
+    def test_emit_contains_sections(self):
+        text = emit_hmdes(Mdes(epic_config()))
+        assert "SECTION Resource" in text
+        assert "SECTION Operation" in text
+        assert "alu (count 4)" in text
+
+    def test_round_trip(self):
+        mdes = Mdes(epic_with_alus(2))
+        resources, operations = parse_hmdes(emit_hmdes(mdes))
+        assert resources["alu"] == 2
+        assert resources["issue"] == 4
+        assert operations["ADD"]["latency"] == 1
+        assert operations["LW"]["class"] == "lsu"
+        assert len(operations) == len(mdes.table)
+
+    def test_parse_rejects_garbage(self):
+        from repro.errors import MdesError
+
+        with pytest.raises(MdesError):
+            parse_hmdes("SECTION Resource { }")
+
+    def test_parse_rejects_malformed_entry(self):
+        from repro.errors import MdesError
+
+        with pytest.raises(MdesError):
+            parse_hmdes(
+                "SECTION Resource { alu (count 4); }\n"
+                "SECTION Operation { ADD (latency 1); }"
+            )

@@ -1,0 +1,72 @@
+"""Calling-convention definitions."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.sched import armlet_convention, epic_convention
+from repro.sched.convention import RegConvention
+
+
+def test_epic_convention_partitions_the_file():
+    convention = epic_convention(64)
+    everything = (
+        {convention.zero, convention.sp, convention.rv, convention.ra}
+        | set(convention.arg_regs) | set(convention.scratch)
+        | set(convention.temporaries) | set(convention.callee_saved)
+    )
+    assert everything == set(range(64))
+
+
+def test_epic_convention_scales_with_file_size():
+    small = epic_convention(16)
+    large = epic_convention(128)
+    assert len(large.callee_saved) > len(small.callee_saved)
+    assert len(large.temporaries) > len(small.temporaries)
+
+
+def test_epic_convention_rejects_tiny_files():
+    with pytest.raises(ConfigError):
+        epic_convention(8)
+
+
+def test_armlet_convention_is_16_registers():
+    convention = armlet_convention()
+    assert convention.n_regs == 16
+    assert len(convention.arg_regs) == 4
+    assert len(convention.callee_saved) == 4
+
+
+def test_leaf_pool_includes_arg_registers():
+    convention = epic_convention(64)
+    leaf = set(convention.caller_pool(is_leaf=True))
+    non_leaf = set(convention.caller_pool(is_leaf=False))
+    assert set(convention.arg_regs) <= leaf
+    assert not set(convention.arg_regs) & non_leaf
+    assert set(convention.temporaries) <= non_leaf
+
+
+def test_overlapping_pools_rejected():
+    with pytest.raises(ConfigError):
+        RegConvention(
+            n_regs=16, zero=0, sp=1, rv=2, ra=3,
+            arg_regs=(4, 5), scratch=(6, 7),
+            temporaries=(8, 9), callee_saved=(9, 10),
+        )
+
+
+def test_pool_overlapping_special_rejected():
+    with pytest.raises(ConfigError):
+        RegConvention(
+            n_regs=16, zero=0, sp=1, rv=2, ra=3,
+            arg_regs=(4, 5), scratch=(6, 7),
+            temporaries=(7, 8), callee_saved=(9,),
+        )
+
+
+def test_register_out_of_file_rejected():
+    with pytest.raises(ConfigError):
+        RegConvention(
+            n_regs=8, zero=0, sp=1, rv=2, ra=3,
+            arg_regs=(4,), scratch=(5, 6),
+            temporaries=(), callee_saved=(9,),
+        )

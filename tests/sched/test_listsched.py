@@ -1,0 +1,188 @@
+"""List scheduler: packing, latency spacing and global legality.
+
+The legality checker here is an independent reimplementation of the
+rules the scheduler must obey (dependence latencies, resource bounds,
+branch placement, end-of-block write draining); it is run over the
+schedules of several real compiled programs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backend.epic import compile_minic_to_epic
+from repro.config import epic_config, epic_with_alus
+from repro.isa.bundle import Program
+from repro.isa.opcodes import FuClass, build_opcode_table
+from repro.mdes import Mdes
+
+# -- an independent legality checker over assembled programs ----------------
+
+
+def _operand_locations(instr, table):
+    """(reads, writes) as location sets, mirroring ISA semantics."""
+    from repro.isa.operands import Btr, Lit, Pred, Reg
+
+    reads, writes = set(), set()
+
+    def read(op):
+        if isinstance(op, Reg) and op.index:
+            reads.add(("g", op.index))
+        elif isinstance(op, Pred) and op.index:
+            reads.add(("p", op.index))
+        elif isinstance(op, Btr):
+            reads.add(("b", op.index))
+
+    if instr.guard.index:
+        reads.add(("p", instr.guard.index))
+    mnemonic = instr.mnemonic
+    if mnemonic == "NOP":
+        return reads, writes
+    if mnemonic == "SW":
+        read(instr.dest1)
+        read(instr.src1)
+        read(instr.src2)
+        return reads, writes
+    read(instr.src1)
+    read(instr.src2)
+    for dest in (instr.dest1, instr.dest2):
+        if isinstance(dest, Reg) and dest.index:
+            writes.add(("g", dest.index))
+        elif isinstance(dest, Pred) and dest.index:
+            writes.add(("p", dest.index))
+        elif isinstance(dest, Btr):
+            writes.add(("b", dest.index))
+    return reads, writes
+
+
+def check_program_legality(program: Program, config) -> None:
+    """Assert per-bundle resources + latency-safe reads along the
+    straight-line (fallthrough) path of every block."""
+    table = build_opcode_table(config)
+    mdes = Mdes(config, table)
+
+    # Resource legality per bundle.
+    for address, bundle in enumerate(program.bundles):
+        counts = {}
+        for instr in bundle:
+            info = table.lookup(instr.mnemonic)
+            if info.fu_class is FuClass.MISC:
+                continue
+            counts[info.fu_class] = counts.get(info.fu_class, 0) + 1
+        for fu_class, used in counts.items():
+            assert used <= mdes.resource_count(fu_class), (
+                f"bundle {address} oversubscribes {fu_class}"
+            )
+        assert len(bundle) <= config.issue_width
+
+    # Latency legality along fallthrough runs: a read of a location must
+    # be at least `latency` cycles after the write that produced it.
+    label_addresses = set(program.labels.values())
+    in_flight = {}
+    for address, bundle in enumerate(program.bundles):
+        if address in label_addresses:
+            in_flight = {}  # control may join here; the compiler drains
+        has_branch = False
+        for instr in bundle:
+            info = table.lookup(instr.mnemonic)
+            reads, writes = _operand_locations(instr, table)
+            for loc in reads:
+                if loc in in_flight:
+                    ready = in_flight[loc]
+                    assert address >= ready, (
+                        f"bundle {address} reads {loc} before it is ready "
+                        f"(ready at {ready}): {instr}"
+                    )
+            if info.is_branch:
+                has_branch = True
+        for instr in bundle:
+            info = table.lookup(instr.mnemonic)
+            _, writes = _operand_locations(instr, table)
+            for loc in writes:
+                in_flight[loc] = address + mdes.latency_of(info)
+        if has_branch:
+            # All in-flight writes must land before control can leave.
+            for loc, ready in in_flight.items():
+                assert ready <= address + 1, (
+                    f"branch at {address} leaves write to {loc} in flight "
+                    f"until {ready}"
+                )
+
+
+_PROGRAMS = [
+    """
+    int out[4];
+    int main() {
+      int i; int s;
+      s = 0;
+      for (i = 0; i < 10; i += 1) { s += i * 3; }
+      out[0] = s;
+      return s;
+    }
+    """,
+    """
+    int data[16] = {1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16};
+    int main() {
+      int i; int a; int b;
+      a = 0; b = 1;
+      unroll for (i = 0; i < 16; i += 1) { a += data[i]; b ^= data[i] * i; }
+      return a * 1000 + b;
+    }
+    """,
+    """
+    int helper(int x, int y) { return x / (y + 1) + x % (y + 2); }
+    int main() {
+      int i; int s;
+      s = 0;
+      for (i = 0; i < 6; i += 1) { s += helper(s + 100, i); }
+      return s;
+    }
+    """,
+]
+
+
+@pytest.mark.parametrize("n_alus", [1, 2, 4])
+@pytest.mark.parametrize("source", _PROGRAMS, ids=["loop", "unrolled", "calls"])
+def test_schedules_are_legal(source, n_alus):
+    config = epic_with_alus(n_alus)
+    compilation = compile_minic_to_epic(source, config)
+    check_program_legality(compilation.program, config)
+
+
+def test_independent_ops_pack_into_one_bundle():
+    source = """
+    int a[4] = {1, 2, 3, 4};
+    int main() {
+      int w; int x; int y; int z;
+      w = a[0]; x = a[1]; y = a[2]; z = a[3];
+      return (w + x) + (y + z) + (w ^ y) + (x & z)
+           + (w | z) + (x - y) + (w * 1) + (z + 5);
+    }
+    """
+    config = epic_config()
+    compilation = compile_minic_to_epic(source, config)
+    cpu_bundles = len(compilation.program)
+    narrow = compile_minic_to_epic(source, epic_with_alus(1))
+    assert cpu_bundles < len(narrow.program), (
+        "4-ALU schedule should be denser than the 1-ALU schedule"
+    )
+
+
+def test_issue_width_one_serialises_everything():
+    config = epic_config(issue_width=1, n_alus=1)
+    compilation = compile_minic_to_epic(
+        "int main() { return 1 + 2 + 3; }", config
+    )
+    for bundle in compilation.program:
+        assert len(bundle) == 1
+
+
+def test_pseudo_ops_never_reach_the_scheduler():
+    from repro.backend.mops import MFunction, MOp, ENTER
+    from repro.sched.listsched import schedule_function
+    from repro.errors import ScheduleError
+    from repro.backend.mops import MBlock
+
+    mfunc = MFunction("bad", blocks=[MBlock("bad", [MOp(ENTER)])])
+    with pytest.raises(ScheduleError):
+        schedule_function(mfunc, Mdes(epic_config()))

@@ -1,0 +1,90 @@
+"""Liveness analysis over machine functions."""
+
+from repro.backend.mops import MBlock, MFunction, MOp, VR
+from repro.isa.operands import Btr, Lit, Pred, Reg
+from repro.sched import compute_liveness
+from repro.sched.liveness import successor_labels
+
+
+def _mov(dst, value):
+    return MOp("MOVI", dest1=dst, src1=Lit(value))
+
+
+def _add(dst, a, b):
+    return MOp("ADD", dest1=dst, src1=a, src2=b)
+
+
+def test_straight_line_liveness():
+    v0, v1 = VR(0), VR(1)
+    mfunc = MFunction("f", blocks=[
+        MBlock("a", [_mov(v0, 1)]),
+        MBlock("b", [_add(v1, v0, Lit(1)), MOp("__RET", src1=v1)]),
+    ])
+    info = compute_liveness(mfunc)
+    assert v0 in info.live_out["a"]
+    assert v0 in info.live_in["b"]
+    assert v1 not in info.live_in["b"]
+
+
+def test_loop_keeps_value_live_around_backedge():
+    v0 = VR(0)
+    mfunc = MFunction("f", blocks=[
+        MBlock("entry", [_mov(v0, 1)]),
+        MBlock("loop", [
+            _add(v0, v0, Lit(1)),
+            MOp("PBR", dest1=Btr(0), src1=Lit(0), target="loop"),
+            MOp("BRCT", src1=Btr(0), src2=Pred(1)),
+        ]),
+        MBlock("exit", [MOp("__RET", src1=v0)]),
+    ])
+    info = compute_liveness(mfunc)
+    assert v0 in info.live_in["loop"]
+    assert v0 in info.live_out["loop"]
+
+
+def test_guarded_definition_does_not_kill():
+    """x = 0; (p1) x = 1; use x — the unguarded def must stay live-in
+    requirements correct: the guarded def alone cannot satisfy the use."""
+    v0 = VR(0)
+    guarded = MOp("MOVI", dest1=v0, src1=Lit(1), guard=Pred(1))
+    mfunc = MFunction("f", blocks=[
+        MBlock("a", [guarded, MOp("__RET", src1=v0)]),
+    ])
+    info = compute_liveness(mfunc)
+    # The guarded def does not define v0 for sure: v0 is live-in.
+    assert v0 in info.live_in["a"]
+
+
+def test_unguarded_definition_kills():
+    v0 = VR(0)
+    mfunc = MFunction("f", blocks=[
+        MBlock("a", [_mov(v0, 1), MOp("__RET", src1=v0)]),
+    ])
+    info = compute_liveness(mfunc)
+    assert v0 not in info.live_in["a"]
+
+
+class TestSuccessors:
+    def test_armlet_conditional_branch(self):
+        block = MBlock("a", [MOp("BEQ", src1=Reg(4), src2=Reg(5),
+                                 target="t")])
+        assert successor_labels(block, "next") == ["t", "next"]
+
+    def test_armlet_unconditional(self):
+        block = MBlock("a", [MOp("B", target="t")])
+        assert successor_labels(block, "next") == ["t"]
+
+    def test_ret_stops_fallthrough(self):
+        block = MBlock("a", [MOp("__RET")])
+        assert successor_labels(block, "next") == []
+
+    def test_jal_falls_through(self):
+        block = MBlock("a", [MOp("JAL", target="callee")])
+        assert successor_labels(block, "next") == ["next"]
+
+    def test_epic_branch_through_btr(self):
+        block = MBlock("a", [
+            MOp("PBR", dest1=Btr(0), src1=Lit(0), target="t"),
+            MOp("BR", src1=Btr(0)),
+        ])
+        assert successor_labels(block, "next") == ["t"]

@@ -1,0 +1,124 @@
+"""Register allocation: pools, pressure, spilling, correctness.
+
+Correctness is always judged end-to-end: the allocated program must
+compute the same values as the golden IR interpreter, including under
+extreme register pressure (tiny files forcing spills).
+"""
+
+import pytest
+
+from repro.backend.epic import compile_minic_to_epic
+from repro.config import epic_config
+from repro.core import EpicProcessor
+from repro.ir import run_module
+from repro.lang import compile_minic
+
+
+def run_epic(source, config, mem_words=4096):
+    compilation = compile_minic_to_epic(source, config)
+    cpu = EpicProcessor(config, compilation.program, mem_words=mem_words)
+    cpu.run(max_cycles=2_000_000)
+    return cpu, compilation
+
+
+#: A kernel with ~20 simultaneously live values.
+HIGH_PRESSURE = """
+int seed[20] = {3,1,4,1,5,9,2,6,5,3,5,8,9,7,9,3,2,3,8,4};
+int main() {
+  int a0; int a1; int a2; int a3; int a4; int a5; int a6; int a7;
+  int a8; int a9; int b0; int b1; int b2; int b3; int b4; int b5;
+  int b6; int b7; int b8; int b9;
+  a0 = seed[0]; a1 = seed[1]; a2 = seed[2]; a3 = seed[3]; a4 = seed[4];
+  a5 = seed[5]; a6 = seed[6]; a7 = seed[7]; a8 = seed[8]; a9 = seed[9];
+  b0 = seed[10]; b1 = seed[11]; b2 = seed[12]; b3 = seed[13];
+  b4 = seed[14]; b5 = seed[15]; b6 = seed[16]; b7 = seed[17];
+  b8 = seed[18]; b9 = seed[19];
+  // All values stay live to the end.
+  return a0 + a1 * 2 + a2 * 3 + a3 * 4 + a4 * 5 + a5 * 6 + a6 * 7
+       + a7 * 8 + a8 * 9 + a9 * 10 + b0 * 11 + b1 * 12 + b2 * 13
+       + b3 * 14 + b4 * 15 + b5 * 16 + b6 * 17 + b7 * 18 + b8 * 19
+       + b9 * 20;
+}
+"""
+
+CALL_PRESSURE = """
+int mix(int a, int b) { return a * 3 + b; }
+int main() {
+  int x0; int x1; int x2; int x3; int x4; int x5;
+  x0 = mix(1, 2); x1 = mix(3, 4); x2 = mix(5, 6);
+  x3 = mix(x0, x1); x4 = mix(x2, x0); x5 = mix(x3, x4);
+  // x0..x4 live across several calls.
+  return x0 + x1 * 10 + x2 * 100 + x3 + x4 + x5;
+}
+"""
+
+
+def golden(source):
+    return run_module(compile_minic(source)).result & 0xFFFFFFFF
+
+
+class TestCorrectnessUnderPressure:
+    def test_plenty_of_registers(self):
+        cpu, _ = run_epic(HIGH_PRESSURE, epic_config())
+        assert cpu.gpr.read(2) == golden(HIGH_PRESSURE)
+
+    def test_sixteen_register_file_forces_spills(self):
+        config = epic_config(n_gprs=16)
+        cpu, _ = run_epic(HIGH_PRESSURE, config)
+        assert cpu.gpr.read(2) == golden(HIGH_PRESSURE)
+        # With 20 live values and ~4 allocatable registers there MUST be
+        # spill traffic.
+        assert cpu.stats.memory_reads > 20
+
+    def test_values_live_across_calls(self):
+        cpu, _ = run_epic(CALL_PRESSURE, epic_config())
+        assert cpu.gpr.read(2) == golden(CALL_PRESSURE)
+
+    def test_values_live_across_calls_tiny_file(self):
+        config = epic_config(n_gprs=16)
+        cpu, _ = run_epic(CALL_PRESSURE, config)
+        assert cpu.gpr.read(2) == golden(CALL_PRESSURE)
+
+    @pytest.mark.parametrize("n_gprs", [16, 24, 32, 64])
+    def test_every_file_size_is_correct(self, n_gprs):
+        config = epic_config(n_gprs=n_gprs)
+        cpu, _ = run_epic(HIGH_PRESSURE, config)
+        assert cpu.gpr.read(2) == golden(HIGH_PRESSURE)
+
+    def test_more_registers_mean_fewer_memory_ops(self):
+        small_cpu, _ = run_epic(HIGH_PRESSURE, epic_config(n_gprs=16))
+        large_cpu, _ = run_epic(HIGH_PRESSURE, epic_config(n_gprs=64))
+        assert large_cpu.stats.memory_reads < small_cpu.stats.memory_reads
+
+
+class TestAllocatorInternals:
+    def _allocate(self, source, n_gprs=64):
+        from repro.backend.isel import EpicISel
+        from repro.isa.encoding import InstructionFormat
+        from repro.sched import allocate_registers, epic_convention
+
+        config = epic_config(n_gprs=n_gprs)
+        module = compile_minic(source)
+        fmt = InstructionFormat(config)
+        addresses = module.layout_globals()
+        function = module.functions["main"]
+        mfunc = EpicISel(function, module, config, fmt, addresses).run()
+        result = allocate_registers(mfunc, epic_convention(n_gprs))
+        return mfunc, result
+
+    def test_no_virtual_registers_survive(self):
+        from repro.backend.mops import VR
+
+        mfunc, _ = self._allocate(HIGH_PRESSURE)
+        for mop in mfunc.mops():
+            for operand in mop.operands():
+                assert not isinstance(operand, VR)
+
+    def test_spill_slots_reported(self):
+        _, result = self._allocate(HIGH_PRESSURE, n_gprs=16)
+        assert result.spill_slots > 0
+
+    def test_leaf_function_avoids_callee_saved_when_possible(self):
+        source = "int main() { int x; x = 1; return x + 2; }"
+        _, result = self._allocate(source)
+        assert result.used_callee_saved == []

@@ -1,0 +1,104 @@
+"""Command-line entry points."""
+
+import pytest
+
+from repro.asm.cli import main as asm_main
+from repro.harness.cli import main as run_main
+from repro.lang.cli import main as cc_main
+
+
+@pytest.fixture()
+def minic_file(tmp_path):
+    path = tmp_path / "prog.c"
+    path.write_text("""
+    int out[2];
+    int main() {
+      out[0] = 6 * 7;
+      out[1] = out[0] + 1;
+      return out[0];
+    }
+    """)
+    return str(path)
+
+
+@pytest.fixture()
+def asm_file(tmp_path):
+    path = tmp_path / "prog.s"
+    path.write_text("""
+    main:
+      MOVI r4, 42
+      HALT
+    """)
+    return str(path)
+
+
+class TestEpicCc:
+    def test_compile_and_run(self, minic_file, capsys):
+        assert cc_main([minic_file, "--run"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles:" in out
+        assert "return: 42" in out
+
+    def test_emit_asm(self, minic_file, capsys):
+        assert cc_main([minic_file, "-S"]) == 0
+        out = capsys.readouterr().out
+        assert "_start:" in out
+        assert "HALT" in out
+
+    def test_custom_configuration(self, minic_file, capsys):
+        assert cc_main([minic_file, "--alus", "2", "--issue", "2",
+                        "--run"]) == 0
+
+    def test_bad_source_reports_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.c"
+        path.write_text("int main( { }")
+        assert cc_main([str(path)]) == 1
+        assert "epic-cc:" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert cc_main(["/nonexistent.c"]) == 1
+
+
+class TestEpicAsm:
+    def test_assemble(self, asm_file, capsys):
+        assert asm_main([asm_file, "--listing"]) == 0
+        out = capsys.readouterr().out
+        assert "bundles" in out
+        assert "MOVI r4, 42" in out
+
+    def test_binary_output(self, asm_file, tmp_path):
+        out_path = tmp_path / "prog.bin"
+        assert asm_main([asm_file, "-o", str(out_path)]) == 0
+        blob = out_path.read_bytes()
+        assert len(blob) % 8 == 0 and blob
+
+    def test_bad_assembly(self, tmp_path, capsys):
+        path = tmp_path / "bad.s"
+        path.write_text("FROB r1, r2")
+        assert asm_main([str(path)]) == 1
+        assert "epic-asm:" in capsys.readouterr().err
+
+
+class TestEpicRun:
+    def test_resources_only(self, capsys):
+        assert run_main(["--resources"]) == 0
+        out = capsys.readouterr().out
+        assert "4181" in out
+
+    def test_quick_single_benchmark(self, capsys):
+        assert run_main(["--quick", "--bench", "Dijkstra",
+                         "--alus", "1", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Dijkstra" in out
+        assert "scoreboard" in out
+
+    def test_json_output(self, capsys):
+        import json
+
+        assert run_main(["--quick", "--bench", "Dijkstra",
+                         "--alus", "4", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["table1_cycles"]["SA-110"]["Dijkstra"] > 0
+        assert payload["resources"][0]["slices"] > 0
+        assert any(claim["holds"] is not None for claim in payload["claims"])

@@ -1,0 +1,47 @@
+"""Exception hierarchy: catchability and diagnostic formatting."""
+
+import pytest
+
+from repro import errors
+
+
+def test_everything_derives_from_repro_error():
+    for name in ("ConfigError", "EncodingError", "AsmError", "CompileError",
+                 "IRError", "ScheduleError", "RegAllocError",
+                 "SimulationError", "MdesError", "WorkloadError"):
+        assert issubclass(getattr(errors, name), errors.ReproError)
+
+
+def test_asm_error_location_prefix():
+    error = errors.AsmError("bad operand", line=12, column=3)
+    assert str(error) == "12:3: bad operand"
+    assert error.line == 12
+
+
+def test_asm_error_without_location():
+    assert str(errors.AsmError("oops")) == "oops"
+
+
+def test_compile_error_location_prefix():
+    error = errors.CompileError("undeclared", line=7)
+    assert str(error).startswith("7:")
+
+
+def test_simulation_error_context():
+    error = errors.SimulationError("bad load", cycle=42, pc=0x10)
+    text = str(error)
+    assert "cycle=42" in text
+    assert "pc=0x10" in text
+    assert error.cycle == 42
+
+
+def test_simulation_error_without_context():
+    assert str(errors.SimulationError("boom")) == "boom"
+
+
+def test_tool_boundary_catches_everything():
+    """A tool can wrap any subsystem with one except clause."""
+    from repro.lang import compile_minic
+
+    with pytest.raises(errors.ReproError):
+        compile_minic("int main( {")

@@ -1,0 +1,41 @@
+"""The example scripts must run (fast ones, executed in-process)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = _run("quickstart.py", capsys)
+    assert "sum = 392" in out
+    assert "cycles" in out
+    assert "main() returned 392" in out
+
+
+def test_custom_instruction(capsys):
+    out = _run("custom_instruction.py", capsys)
+    assert "speedup" in out
+    assert "extra slices" in out
+
+
+def test_image_dct_pipeline(capsys):
+    out = _run("image_dct_pipeline.py", capsys)
+    assert "PSNR" in out
+    assert "frames/s" in out
+
+
+def test_examples_exist_and_are_documented():
+    scripts = sorted(EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 3
+    for script in scripts:
+        text = script.read_text()
+        assert text.lstrip().startswith('"""'), f"{script.name} lacks a docstring"

@@ -1,0 +1,74 @@
+"""Input generators: determinism and format correctness."""
+
+import hashlib
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.common import XorShift32, words_from_bytes
+from repro.workloads.ppm import generate_gray, generate_p6, parse_header
+
+
+class TestXorShift:
+    def test_deterministic(self):
+        a = XorShift32(5)
+        b = XorShift32(5)
+        assert [a.next() for _ in range(10)] == [b.next() for _ in range(10)]
+
+    def test_seed_zero_is_remapped(self):
+        rng = XorShift32(0)
+        assert rng.next() != 0
+
+    def test_below_bound(self):
+        rng = XorShift32(123)
+        for _ in range(100):
+            assert 0 <= rng.below(17) < 17
+
+
+class TestWordPacking:
+    def test_big_endian_packing(self):
+        assert words_from_bytes(b"\x01\x02\x03\x04") == [0x01020304]
+
+    def test_tail_zero_padded(self):
+        assert words_from_bytes(b"\xFF") == [0xFF000000]
+
+    def test_empty(self):
+        assert words_from_bytes(b"") == []
+
+
+class TestPpm:
+    def test_p6_header_and_size(self):
+        blob = generate_p6(8, 4, seed=1)
+        magic, width, height, maxval, offset = parse_header(blob)
+        assert (magic, width, height, maxval) == ("P6", 8, 4, 255)
+        assert len(blob) == offset + 8 * 4 * 3
+
+    def test_p6_deterministic(self):
+        assert generate_p6(16, 16, seed=3) == generate_p6(16, 16, seed=3)
+        assert generate_p6(16, 16, seed=3) != generate_p6(16, 16, seed=4)
+
+    def test_gray_values_in_range(self):
+        pixels = generate_gray(16, 8)
+        assert len(pixels) == 128
+        assert all(0 <= p <= 255 for p in pixels)
+
+    def test_gray_is_smoothed(self):
+        """The box blur keeps neighbouring pixels correlated."""
+        pixels = generate_gray(32, 32)
+        diffs = [
+            abs(pixels[i] - pixels[i + 1])
+            for i in range(len(pixels) - 1)
+        ]
+        assert sum(diffs) / len(diffs) < 64
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(WorkloadError):
+            generate_p6(0, 4)
+        with pytest.raises(WorkloadError):
+            generate_gray(4, 0)
+
+    def test_header_parse_rejects_garbage(self):
+        with pytest.raises(WorkloadError):
+            parse_header(b"JUNK 1 2 3\n")
+        with pytest.raises(WorkloadError):
+            parse_header(b"P6 10")

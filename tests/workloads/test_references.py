@@ -1,0 +1,144 @@
+"""Golden references: independent validation of the Python models."""
+
+import hashlib
+
+import pytest
+
+from repro.workloads.aes import (
+    INV_SBOX, SBOX, decrypt_block, encrypt_block, expand_key,
+)
+from repro.workloads.dct import cosine_table, reference_dct
+from repro.workloads.dijkstra import INF, generate_graph, reference_all_pairs
+from repro.workloads.sha256 import pad_message
+from repro.workloads.common import words_from_bytes
+
+
+class TestShaReference:
+    def test_padding_length_multiple_of_64(self):
+        for size in (0, 1, 54, 55, 56, 63, 64, 100):
+            assert len(pad_message(b"x" * size)) % 64 == 0
+
+    def test_padding_encodes_bit_length(self):
+        padded = pad_message(b"abc")
+        assert padded[3] == 0x80
+        assert int.from_bytes(padded[-8:], "big") == 24
+
+    def test_hashlib_is_the_oracle(self):
+        # (The workload itself compares against hashlib; sanity-check the
+        # helper chain here.)
+        words = words_from_bytes(pad_message(b"abc"))
+        assert len(words) == 16
+
+
+class TestAesReference:
+    def test_fips197_sbox_values(self):
+        assert SBOX[0x00] == 0x63
+        assert SBOX[0x01] == 0x7C
+        assert SBOX[0x53] == 0xED
+        assert SBOX[0xFF] == 0x16
+
+    def test_inverse_sbox(self):
+        for value in range(256):
+            assert INV_SBOX[SBOX[value]] == value
+
+    def test_fips197_vector(self):
+        key = list(range(16))
+        plaintext = list(bytes.fromhex("00112233445566778899aabbccddeeff"))
+        w = expand_key(key)
+        ciphertext = encrypt_block(plaintext, w)
+        assert bytes(ciphertext).hex() == \
+            "69c4e0d86a7b0430d8cdb78070b4c55a"
+
+    def test_decrypt_inverts_encrypt(self):
+        key = [(i * 7 + 1) & 0xFF for i in range(16)]
+        w = expand_key(key)
+        block = [(i * 13 + 5) & 0xFF for i in range(16)]
+        assert decrypt_block(encrypt_block(block, w), w) == block
+
+    def test_key_schedule_length(self):
+        assert len(expand_key([0] * 16)) == 176
+
+
+class TestDctReference:
+    def test_cosine_table_orthonormality(self):
+        """C * C^T ~ identity (scaled by 2^24)."""
+        table = cosine_table()
+        scale = 1 << 24
+        for u in range(8):
+            for v in range(8):
+                dot = sum(table[u * 8 + x] * table[v * 8 + x]
+                          for x in range(8))
+                target = scale if u == v else 0
+                assert abs(dot - target) < scale / 200
+
+    def test_dc_coefficient_is_scaled_mean(self):
+        flat = [100] * 64
+        coeffs, _ = reference_dct(flat, 8, 8)
+        dc = coeffs[0]
+        # Orthonormal 2-D DCT of a constant block: DC = 8 * value.
+        assert abs(dc - 800) <= 2
+        assert all(c in (0, 0xFFFFFFFF) or c < 4 or c > 0xFFFFFFFC
+                   for c in coeffs[1:8])
+
+    def test_round_trip_reconstruction_error_small(self):
+        from repro.workloads.ppm import generate_gray
+
+        pixels = generate_gray(16, 16, seed=2)
+        _, recon = reference_dct(pixels, 16, 16)
+
+        def signed(v):
+            return v - (1 << 32) if v & 0x80000000 else v
+
+        errors = [abs(signed(r) - p) for r, p in zip(recon, pixels)]
+        assert max(errors) <= 2
+
+
+class TestDijkstraReference:
+    def test_graph_shape(self):
+        matrix = generate_graph(10)
+        assert len(matrix) == 100
+        for node in range(10):
+            assert matrix[node * 10 + node] == 0
+
+    def test_graph_connected_via_ring(self):
+        matrix = generate_graph(8, density_percent=0)
+        for src in range(8):
+            dst = (src + 1) % 8
+            assert matrix[src * 8 + dst] < INF
+
+    def test_distances_satisfy_triangle_inequality(self):
+        n = 8
+        matrix = generate_graph(n, seed=5)
+        dist = reference_all_pairs(matrix, n)
+        for a in range(n):
+            for b in range(n):
+                for c in range(n):
+                    if dist[a * n + b] < INF and dist[b * n + c] < INF:
+                        assert dist[a * n + c] <= \
+                            dist[a * n + b] + dist[b * n + c]
+
+    def test_self_distances_zero(self):
+        n = 6
+        dist = reference_all_pairs(generate_graph(n), n)
+        for node in range(n):
+            assert dist[node * n + node] == 0
+
+    def test_agrees_with_networkx(self):
+        networkx = pytest.importorskip("networkx")
+        n = 10
+        matrix = generate_graph(n, seed=9)
+        graph = networkx.DiGraph()
+        graph.add_nodes_from(range(n))
+        for a in range(n):
+            for b in range(n):
+                if a != b and matrix[a * n + b] < INF:
+                    graph.add_edge(a, b, weight=matrix[a * n + b])
+        ours = reference_all_pairs(matrix, n)
+        theirs = dict(networkx.all_pairs_dijkstra_path_length(graph))
+        for a in range(n):
+            for b in range(n):
+                expected = theirs.get(a, {}).get(b)
+                if expected is None:
+                    assert ours[a * n + b] >= INF
+                else:
+                    assert ours[a * n + b] == expected

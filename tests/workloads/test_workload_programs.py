@@ -1,0 +1,85 @@
+"""Each benchmark's MiniC program vs its golden reference, on all
+engines (tiny instances so the full matrix stays fast)."""
+
+import pytest
+
+from repro.config import epic_with_alus
+from repro.harness.runner import run_on_baseline, run_on_epic
+from repro.ir import run_module
+from repro.lang import compile_minic
+from repro.workloads import (
+    aes_workload, dct_workload, dijkstra_workload, sha_workload,
+)
+
+
+def tiny_specs():
+    return [
+        sha_workload(8, 8),
+        aes_workload(1),
+        dct_workload(8, 8),
+        dijkstra_workload(6),
+    ]
+
+
+@pytest.fixture(scope="module", params=["SHA", "AES", "DCT", "Dijkstra"])
+def spec(request):
+    return {s.name: s for s in tiny_specs()}[request.param]
+
+
+def test_golden_model_matches_reference(spec):
+    module = compile_minic(spec.source)
+    interpreter = run_module(module, mem_words=spec.mem_words)
+    for name, expected in spec.expected.items():
+        assert interpreter.read_global(name) == expected, name
+    assert (interpreter.result & 0xFFFFFFFF) == spec.expected_return
+
+
+def test_epic_runs_and_validates(spec):
+    run = run_on_epic(spec, epic_with_alus(4), validate=True)
+    assert run.cycles > 0
+    assert run.machine == "EPIC-4ALU"
+
+
+def test_one_alu_epic_runs_and_validates(spec):
+    run = run_on_epic(spec, epic_with_alus(1), validate=True)
+    assert run.cycles > 0
+
+
+def test_baseline_runs_and_validates(spec):
+    run = run_on_baseline(spec, validate=True)
+    assert run.cycles > 0
+    assert run.clock_mhz == 100.0
+
+
+def test_scaling_note_present(spec):
+    assert "paper" in spec.scale_note
+
+
+class TestScaleParameters:
+    def test_sha_scales_with_image(self):
+        small = sha_workload(8, 8)
+        large = sha_workload(16, 16)
+        assert "49" not in small.scale_note  # different block counts
+        assert small.source != large.source
+
+    def test_aes_iterations(self):
+        spec = aes_workload(3)
+        assert "3 encrypt" in spec.scale_note
+
+    def test_dct_rejects_non_multiple_of_8(self):
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            dct_workload(12, 8)
+
+    def test_dijkstra_needs_two_nodes(self):
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            dijkstra_workload(1)
+
+    def test_aes_needs_one_iteration(self):
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            aes_workload(0)
