@@ -9,7 +9,12 @@ assembler, the simulator and the FPGA model) are derived from one config
 object, mirroring the paper's single "configuration header file".
 """
 
-from repro.config.machine import AluFeature, MachineConfig
+from repro.config.machine import (
+    AluFeature,
+    MachineConfig,
+    PROTECTION_SCHEMES,
+    TRAP_POLICIES,
+)
 from repro.config.presets import (
     DEFAULT_CONFIG,
     epic_config,
@@ -20,6 +25,8 @@ from repro.config.presets import (
 __all__ = [
     "AluFeature",
     "MachineConfig",
+    "PROTECTION_SCHEMES",
+    "TRAP_POLICIES",
     "DEFAULT_CONFIG",
     "epic_config",
     "epic_with_alus",

@@ -46,6 +46,20 @@ class AluFeature(enum.Enum):
 
 _ALL_ALU_FEATURES = frozenset(AluFeature)
 
+#: Architectural trap handling policies (reliability subsystem):
+#: ``halt`` stops the machine on the first trap (raising
+#: :class:`~repro.errors.TrapError`), ``squash-bundle`` discards the
+#: trapping bundle's effects and continues at the next bundle, and
+#: ``record-and-continue`` logs the trap and keeps going.
+TRAP_POLICIES = ("halt", "squash-bundle", "record-and-continue")
+
+#: Storage protection schemes for the register file and data memory:
+#: ``parity`` detects single-bit upsets on read (raising a parity trap),
+#: ``ecc`` (SEC-DED Hamming) corrects them silently.  Both cost slices
+#: (and, for the block-RAM register file, wider words) in the FPGA
+#: resource model.
+PROTECTION_SCHEMES = ("none", "parity", "ecc")
+
 #: Memory-bandwidth bound from §3.3: "the number of instructions per issue
 #: is constrained between one and four" (4 external 32-bit banks at 2x
 #: clock provide 256 bits = four 64-bit instructions per cycle).
@@ -115,6 +129,15 @@ class MachineConfig:
     #: Target clock rate of the soft core in MHz (paper: 41.8 MHz
     #: prototype).  The FPGA timing model can re-estimate this.
     clock_mhz: float = 41.8
+    #: How the core reacts to an architectural trap (illegal instruction,
+    #: out-of-bounds non-speculative access, register-port overflow,
+    #: parity error) — one of :data:`TRAP_POLICIES`.
+    trap_policy: str = "halt"
+    #: SEU protection of the block-RAM register files (GPR/predicate/BTR)
+    #: — one of :data:`PROTECTION_SCHEMES`.
+    regfile_protection: str = "none"
+    #: SEU protection of the external data-memory banks.
+    memory_protection: str = "none"
 
     def __post_init__(self) -> None:
         self._validate()
@@ -148,6 +171,21 @@ class MachineConfig:
             raise ConfigError("n_mem_banks must be >= 1")
         if not 2 <= self.pipeline_stages <= 4:
             raise ConfigError("pipeline_stages must be in 2..4")
+        if self.trap_policy not in TRAP_POLICIES:
+            raise ConfigError(
+                f"trap_policy must be one of {TRAP_POLICIES}, "
+                f"got {self.trap_policy!r}"
+            )
+        if self.regfile_protection not in PROTECTION_SCHEMES:
+            raise ConfigError(
+                f"regfile_protection must be one of {PROTECTION_SCHEMES}, "
+                f"got {self.regfile_protection!r}"
+            )
+        if self.memory_protection not in PROTECTION_SCHEMES:
+            raise ConfigError(
+                f"memory_protection must be one of {PROTECTION_SCHEMES}, "
+                f"got {self.memory_protection!r}"
+            )
         latency_map = dict(self.latencies)
         for name in ("alu", "mul", "div", "cmp", "load", "store", "branch", "pbr"):
             if name not in latency_map:

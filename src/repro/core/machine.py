@@ -35,7 +35,7 @@ Timing model
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.config import MachineConfig
@@ -43,7 +43,13 @@ from repro.core import decode as dec
 from repro.core.memory import DataMemory
 from repro.core.regfile import BtrFile, GprFile, PredFile
 from repro.core.stats import SimStats
-from repro.errors import SimulationError
+from repro.errors import (
+    CycleLimitExceeded,
+    HangDetected,
+    SimulationError,
+    TrapError,
+    TRAP_ILLEGAL_INSTRUCTION,
+)
 from repro.isa.bundle import Program
 from repro.isa.semantics import to_signed
 from repro.mdes import Mdes
@@ -59,11 +65,18 @@ _SPACE_BTR = 2
 
 @dataclass
 class SimulationResult:
-    """Outcome of one run: cycle count, statistics and final state."""
+    """Outcome of one run: cycle count, statistics and final state.
+
+    ``traps`` lists the architectural traps recorded during the run; it
+    is only non-empty under the ``squash-bundle`` and
+    ``record-and-continue`` trap policies (under ``halt`` the first trap
+    propagates as a :class:`~repro.errors.TrapError` instead).
+    """
 
     cycles: int
     stats: SimStats
     halted: bool
+    traps: List[TrapError] = field(default_factory=list)
 
     def __str__(self) -> str:
         return f"SimulationResult(cycles={self.cycles}, halted={self.halted})"
@@ -82,7 +95,8 @@ class EpicProcessor:
     def __init__(self, config: MachineConfig, program: Program,
                  mem_words: int = DEFAULT_MEM_WORDS,
                  mdes: Optional[Mdes] = None,
-                 strict_nual: bool = False):
+                 strict_nual: bool = False,
+                 injector=None):
         #: Strict NUAL checking: raise if any operation reads a location
         #: with a write still in flight from an *earlier* cycle.  The
         #: compiler guarantees this never happens (consumers are
@@ -109,6 +123,15 @@ class EpicProcessor:
         ]
         self._mask = config.mask
         self._width = config.datapath_width
+        #: Architectural traps recorded under the non-halting policies.
+        self.traps: List[TrapError] = []
+        #: Optional :class:`repro.reliability.FaultInjector`.  ``None``
+        #: (the default) keeps the run loop on the exact pre-reliability
+        #: path: the hook is a single ``is not None`` test per cycle and
+        #: injection-free runs are cycle-identical.
+        self.injector = injector
+        if injector is not None:
+            injector.attach(self)
         # Stack grows down from the top of data memory.
         self.gpr.write(1, mem_words)
 
@@ -122,13 +145,22 @@ class EpicProcessor:
     # -- main loop ----------------------------------------------------------
 
     def run(self, max_cycles: int = 200_000_000,
-            trace=None) -> SimulationResult:
+            trace=None,
+            watchdog_cycles: Optional[int] = None) -> SimulationResult:
         """Execute until HALT; returns the cycle count and statistics.
 
         ``trace``, if given, is called once per issued bundle with
         ``(cycle, pc, bundle)`` where ``bundle`` is the architectural
         :class:`~repro.isa.Bundle` — see :mod:`repro.core.trace` for a
         ready-made text tracer.
+
+        Exhausting ``max_cycles`` raises
+        :class:`~repro.errors.CycleLimitExceeded`.  ``watchdog_cycles``,
+        if given, is a much tighter budget (fault-injection harnesses set
+        it to a small multiple of the fault-free cycle count); blowing
+        through it raises :class:`~repro.errors.HangDetected` so a
+        fault-induced livelock is cut off long before the 200M-cycle
+        safety net.
         """
         config = self.config
         stats = self.stats
@@ -169,20 +201,37 @@ class EpicProcessor:
                     cycle=cycle_now, pc=pc_now,
                 )
 
+        injector = self.injector
+        policy = config.trap_policy
+        traps = self.traps
+        # Stores buffered within the current bundle: addresses are
+        # validated (trapping) at issue time, the writes land when the
+        # whole bundle has executed, so a squashed bundle leaves memory
+        # untouched.  Same-bundle loads legally see pre-bundle memory
+        # (VLIW parallel semantics), so this is unobservable otherwise.
+        store_buffer: List[Tuple[int, int]] = []
+
         cycle = 0
         pc = self.program.entry
         halted = False
 
         while not halted:
             if cycle >= max_cycles:
-                raise SimulationError(
+                raise CycleLimitExceeded(
                     "cycle budget exhausted (runaway program?)",
-                    cycle=cycle, pc=pc,
+                    cycle=cycle, pc=pc, limit=max_cycles,
+                )
+            if watchdog_cycles is not None and cycle >= watchdog_cycles:
+                raise HangDetected(
+                    "watchdog fired: execution ran far past the expected "
+                    "cycle count",
+                    cycle=cycle, pc=pc, limit=watchdog_cycles,
                 )
             if not 0 <= pc < n_bundles:
-                raise SimulationError(
-                    "control fell outside the program (missing HALT?)",
-                    cycle=cycle, pc=pc,
+                raise TrapError(
+                    "control fell outside the program (missing HALT or "
+                    "corrupted branch target?)",
+                    cause=TRAP_ILLEGAL_INSTRUCTION, cycle=cycle, pc=pc,
                 )
 
             # Apply write-backs due by the start of this cycle; count those
@@ -192,187 +241,225 @@ class EpicProcessor:
                 ready, _, space, index, value = heapq.heappop(pending)
                 if strict:
                     inflight[(space, index)] -= 1
-                if space == _SPACE_GPR:
-                    gpr.write(index, value)
-                    gpr_ready_at[index] = ready
-                    stats.regfile_writes += 1
-                    if ready == cycle:
-                        writes_landing += 1
-                elif space == _SPACE_PRED:
-                    pred.write(index, value)
-                else:
-                    btr.write(index, value)
+                try:
+                    if space == _SPACE_GPR:
+                        gpr.write(index, value)
+                        gpr_ready_at[index] = ready
+                        stats.regfile_writes += 1
+                        if ready == cycle:
+                            writes_landing += 1
+                    elif space == _SPACE_PRED:
+                        pred.write(index, value)
+                    else:
+                        btr.write(index, value)
+                except TrapError as trap:
+                    # Only reachable with corrupted state/instructions: a
+                    # write-back addressed a port that does not exist.
+                    trap.annotate(cycle, pc)
+                    traps.append(trap)
+                    stats.traps += 1
+                    if policy == "halt":
+                        raise
 
             bundle = bundles[pc]
             stats.bundles += 1
             if trace is not None:
                 trace(cycle, pc, self.program.bundles[pc])
-            if strict:
-                seq_before_bundle = seq
-                for op in bundle.ops:
-                    if op.guard:
-                        check_read(_SPACE_PRED, op.guard, pc, cycle)
-                    if not pred.read(op.guard):
-                        continue
-                    for reg in op.gpr_reads:
-                        if reg:
-                            check_read(_SPACE_GPR, reg, pc, cycle)
-                    kind = op.kind
-                    if kind in (dec.K_BR, dec.K_BRL):
-                        check_read(_SPACE_BTR, op.s1, pc, cycle)
-                    elif kind in (dec.K_BRCT, dec.K_BRCF):
-                        check_read(_SPACE_BTR, op.s1, pc, cycle)
-                        check_read(_SPACE_PRED, op.s2, pc, cycle)
 
-            # ---- stage 1: read operands (all reads see pre-cycle state) --
-            reads = 0
-            forwarded = 0
-            for reg in bundle.gpr_read_set:
-                if reg == 0:
-                    continue  # r0 is not a real port
-                if forwarding and gpr_ready_at.get(reg) == cycle:
-                    forwarded += 1
-                else:
-                    reads += 1
-            stats.regfile_reads += reads + forwarded
-            stats.regfile_reads_forwarded += forwarded
-
-            # ---- stage 2: execute --------------------------------------
+            seq_start = seq
             taken = False
             target = 0
-            for op in bundle.ops:
-                kind = op.kind
-                if kind == dec.K_NOP:
-                    stats.nops += 1
-                    continue
-                if not pred.read(op.guard):
-                    stats.ops_squashed += 1
-                    continue
-                stats.ops_executed += 1
-                stats.note_fu(op.fu)
+            reads = 0
+            forwarded = 0
+            try:
+                if injector is not None:
+                    injector.on_cycle(cycle)
+                    corrupted = injector.fetch_bundle(cycle, pc)
+                    if corrupted is not None:
+                        bundle = corrupted
+                if strict:
+                    for op in bundle.ops:
+                        if op.guard:
+                            check_read(_SPACE_PRED, op.guard, pc, cycle)
+                        if not pred.read(op.guard):
+                            continue
+                        for reg in op.gpr_reads:
+                            if reg:
+                                check_read(_SPACE_GPR, reg, pc, cycle)
+                        kind = op.kind
+                        if kind in (dec.K_BR, dec.K_BRL):
+                            check_read(_SPACE_BTR, op.s1, pc, cycle)
+                        elif kind in (dec.K_BRCT, dec.K_BRCF):
+                            check_read(_SPACE_BTR, op.s1, pc, cycle)
+                            check_read(_SPACE_PRED, op.s2, pc, cycle)
 
-                if kind == dec.K_ALU:
-                    a = self._value(op.s1_lit, op.s1)
-                    if op.fn is None:  # MOVE
-                        result = a
+                # ---- stage 1: read operands (reads see pre-cycle state) --
+                for reg in bundle.gpr_read_set:
+                    if reg == 0:
+                        continue  # r0 is not a real port
+                    if forwarding and gpr_ready_at.get(reg) == cycle:
+                        forwarded += 1
                     else:
-                        result = op.fn(a, self._value(op.s2_lit, op.s2), width)
-                    seq += 1
-                    heapq.heappush(
-                        pending,
-                        (cycle + op.latency, seq, _SPACE_GPR, op.d1, result),
-                    )
-                elif kind == dec.K_CUSTOM:
-                    a = self._value(op.s1_lit, op.s1)
-                    b = self._value(op.s2_lit, op.s2)
-                    result = op.fn(a, b, mask)
-                    seq += 1
-                    heapq.heappush(
-                        pending,
-                        (cycle + op.latency, seq, _SPACE_GPR, op.d1, result),
-                    )
-                elif kind == dec.K_MOVI:
-                    seq += 1
-                    heapq.heappush(
-                        pending,
-                        (cycle + op.latency, seq, _SPACE_GPR, op.d1,
-                         op.s1 & mask),
-                    )
-                elif kind == dec.K_CMP:
-                    a = self._value(op.s1_lit, op.s1)
-                    b = self._value(op.s2_lit, op.s2)
-                    condition = op.fn(a, b, width)
-                    seq += 1
-                    heapq.heappush(
-                        pending,
-                        (cycle + op.latency, seq, _SPACE_PRED, op.d1, condition),
-                    )
-                    seq += 1
-                    heapq.heappush(
-                        pending,
-                        (cycle + op.latency, seq, _SPACE_PRED, op.d2,
-                         1 - condition),
-                    )
-                elif kind in (dec.K_LOAD, dec.K_LOAD_SPEC):
-                    base = self._value(op.s1_lit, op.s1)
-                    offset = self._value(op.s2_lit, op.s2)
-                    address = to_signed(base + offset & mask, width)
-                    if kind == dec.K_LOAD_SPEC:
-                        value = memory.read_speculative(address)
-                    else:
-                        try:
+                        reads += 1
+                stats.regfile_reads += reads + forwarded
+                stats.regfile_reads_forwarded += forwarded
+
+                # ---- stage 2: execute ------------------------------------
+                for op in bundle.ops:
+                    kind = op.kind
+                    if kind == dec.K_NOP:
+                        stats.nops += 1
+                        continue
+                    if not pred.read(op.guard):
+                        stats.ops_squashed += 1
+                        continue
+                    stats.ops_executed += 1
+                    stats.note_fu(op.fu)
+
+                    if kind == dec.K_ALU:
+                        a = self._value(op.s1_lit, op.s1)
+                        if op.fn is None:  # MOVE
+                            result = a
+                        else:
+                            result = op.fn(a, self._value(op.s2_lit, op.s2),
+                                           width)
+                        seq += 1
+                        heapq.heappush(
+                            pending,
+                            (cycle + op.latency, seq, _SPACE_GPR, op.d1,
+                             result),
+                        )
+                    elif kind == dec.K_CUSTOM:
+                        a = self._value(op.s1_lit, op.s1)
+                        b = self._value(op.s2_lit, op.s2)
+                        result = op.fn(a, b, mask)
+                        seq += 1
+                        heapq.heappush(
+                            pending,
+                            (cycle + op.latency, seq, _SPACE_GPR, op.d1,
+                             result),
+                        )
+                    elif kind == dec.K_MOVI:
+                        seq += 1
+                        heapq.heappush(
+                            pending,
+                            (cycle + op.latency, seq, _SPACE_GPR, op.d1,
+                             op.s1 & mask),
+                        )
+                    elif kind == dec.K_CMP:
+                        a = self._value(op.s1_lit, op.s1)
+                        b = self._value(op.s2_lit, op.s2)
+                        condition = op.fn(a, b, width)
+                        seq += 1
+                        heapq.heappush(
+                            pending,
+                            (cycle + op.latency, seq, _SPACE_PRED, op.d1,
+                             condition),
+                        )
+                        seq += 1
+                        heapq.heappush(
+                            pending,
+                            (cycle + op.latency, seq, _SPACE_PRED, op.d2,
+                             1 - condition),
+                        )
+                    elif kind in (dec.K_LOAD, dec.K_LOAD_SPEC):
+                        base = self._value(op.s1_lit, op.s1)
+                        offset = self._value(op.s2_lit, op.s2)
+                        address = to_signed(base + offset & mask, width)
+                        if kind == dec.K_LOAD_SPEC:
+                            value = memory.read_speculative(address)
+                        else:
                             value = memory.read(address)
-                        except SimulationError as error:
-                            raise SimulationError(
-                                str(error), cycle=cycle, pc=pc
-                            ) from None
-                    stats.memory_reads += 1
-                    seq += 1
-                    heapq.heappush(
-                        pending,
-                        (cycle + op.latency, seq, _SPACE_GPR, op.d1, value),
-                    )
-                elif kind == dec.K_STORE:
-                    base = self._value(op.s1_lit, op.s1)
-                    offset = self._value(op.s2_lit, op.s2)
-                    address = to_signed(base + offset & mask, width)
-                    try:
-                        memory.write(address, gpr.read(op.d1))
-                    except SimulationError as error:
+                        stats.memory_reads += 1
+                        seq += 1
+                        heapq.heappush(
+                            pending,
+                            (cycle + op.latency, seq, _SPACE_GPR, op.d1,
+                             value),
+                        )
+                    elif kind == dec.K_STORE:
+                        base = self._value(op.s1_lit, op.s1)
+                        offset = self._value(op.s2_lit, op.s2)
+                        address = to_signed(base + offset & mask, width)
+                        memory.check_write(address)
+                        store_buffer.append((address, gpr.read(op.d1)))
+                        stats.memory_writes += 1
+                    elif kind == dec.K_PBR:
+                        seq += 1
+                        heapq.heappush(
+                            pending,
+                            (cycle + op.latency, seq, _SPACE_BTR, op.d1,
+                             op.s1),
+                        )
+                    elif kind == dec.K_MOVGBP:
+                        seq += 1
+                        heapq.heappush(
+                            pending,
+                            (cycle + op.latency, seq, _SPACE_BTR, op.d1,
+                             self._value(op.s1_lit, op.s1)),
+                        )
+                    elif kind == dec.K_BR:
+                        stats.branches += 1
+                        taken = True
+                        target = btr.read(op.s1)
+                    elif kind == dec.K_BRCT:
+                        stats.branches += 1
+                        if pred.read(op.s2):
+                            taken = True
+                            target = btr.read(op.s1)
+                    elif kind == dec.K_BRCF:
+                        stats.branches += 1
+                        if not pred.read(op.s2):
+                            taken = True
+                            target = btr.read(op.s1)
+                    elif kind == dec.K_BRL:
+                        stats.branches += 1
+                        taken = True
+                        target = btr.read(op.s1)
+                        seq += 1
+                        heapq.heappush(
+                            pending,
+                            (cycle + op.latency, seq, _SPACE_GPR, op.d1,
+                             (pc + 1) & mask),
+                        )
+                    elif kind == dec.K_HALT:
+                        halted = True
+                    else:  # pragma: no cover - defensive
                         raise SimulationError(
-                            str(error), cycle=cycle, pc=pc
-                        ) from None
-                    stats.memory_writes += 1
-                elif kind == dec.K_PBR:
-                    seq += 1
-                    heapq.heappush(
-                        pending,
-                        (cycle + op.latency, seq, _SPACE_BTR, op.d1, op.s1),
-                    )
-                elif kind == dec.K_MOVGBP:
-                    seq += 1
-                    heapq.heappush(
-                        pending,
-                        (cycle + op.latency, seq, _SPACE_BTR, op.d1,
-                         self._value(op.s1_lit, op.s1)),
-                    )
-                elif kind == dec.K_BR:
-                    stats.branches += 1
-                    taken = True
-                    target = btr.read(op.s1)
-                elif kind == dec.K_BRCT:
-                    stats.branches += 1
-                    if pred.read(op.s2):
-                        taken = True
-                        target = btr.read(op.s1)
-                elif kind == dec.K_BRCF:
-                    stats.branches += 1
-                    if not pred.read(op.s2):
-                        taken = True
-                        target = btr.read(op.s1)
-                elif kind == dec.K_BRL:
-                    stats.branches += 1
-                    taken = True
-                    target = btr.read(op.s1)
-                    seq += 1
-                    heapq.heappush(
-                        pending,
-                        (cycle + op.latency, seq, _SPACE_GPR, op.d1,
-                         (pc + 1) & mask),
-                    )
-                elif kind == dec.K_HALT:
-                    halted = True
-                else:  # pragma: no cover - defensive
-                    raise SimulationError(
-                        f"unhandled op kind {kind}", cycle=cycle, pc=pc
-                    )
+                            f"unhandled op kind {kind}", cycle=cycle, pc=pc
+                        )
+            except TrapError as trap:
+                trap.annotate(cycle, pc)
+                traps.append(trap)
+                stats.traps += 1
+                if policy == "halt":
+                    raise
+                if policy == "squash-bundle":
+                    # Discard every effect of the trapping bundle: its
+                    # buffered stores, its in-flight write-backs, its
+                    # branch decision — then fall through to the next PC.
+                    del store_buffer[:]
+                    if seq != seq_start:
+                        pending = [entry for entry in pending
+                                   if entry[1] <= seq_start]
+                        heapq.heapify(pending)
+                    taken = False
+                    halted = False
+                # record-and-continue keeps whatever the bundle did before
+                # the trap; the remaining slots of the bundle are skipped.
+
+            # Buffered stores land now (addresses were validated at issue).
+            if store_buffer:
+                for address, value in store_buffer:
+                    memory.write(address, value)
+                del store_buffer[:]
 
             if strict:
                 # Writes enqueued by THIS bundle become "in flight" only
                 # for later cycles (same-cycle reads legally see the old
                 # values).
                 for entry in pending:
-                    if entry[1] > seq_before_bundle:
+                    if entry[1] > seq_start:
                         key = (entry[2], entry[3])
                         inflight[key] = inflight.get(key, 0) + 1
 
@@ -403,12 +490,20 @@ class EpicProcessor:
         # Drain outstanding write-backs so final state is architectural.
         while pending:
             _, _, space, index, value = heapq.heappop(pending)
-            if space == _SPACE_GPR:
-                gpr.write(index, value)
-            elif space == _SPACE_PRED:
-                pred.write(index, value)
-            else:
-                btr.write(index, value)
+            try:
+                if space == _SPACE_GPR:
+                    gpr.write(index, value)
+                elif space == _SPACE_PRED:
+                    pred.write(index, value)
+                else:
+                    btr.write(index, value)
+            except TrapError as trap:
+                trap.annotate(cycle, pc)
+                traps.append(trap)
+                stats.traps += 1
+                if policy == "halt":
+                    raise
 
         stats.cycles = cycle
-        return SimulationResult(cycles=cycle, stats=stats, halted=True)
+        return SimulationResult(cycles=cycle, stats=stats, halted=True,
+                                traps=list(traps))

@@ -10,9 +10,15 @@ data access is an ablation switch handled in the core's issue logic.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Set
 
-from repro.errors import SimulationError
+from repro.errors import (
+    SimulationError,
+    TrapError,
+    TRAP_OOB_LOAD,
+    TRAP_OOB_STORE,
+    TRAP_PARITY,
+)
 
 
 class DataMemory:
@@ -21,7 +27,16 @@ class DataMemory:
     Speculative loads (HPL-PD's dismissible loads, surfaced here as the
     ``LWS`` opcode) read out-of-range addresses as zero instead of
     faulting — the paper lists speculative loading among the EPIC
-    features its architecture supports (§2).
+    features its architecture supports (§2).  Non-speculative accesses to
+    invalid addresses raise an architectural :class:`TrapError`.
+
+    Like the register files, the memory exposes a fault-injection
+    surface (``flip_bit``/``force_bit``/``poison``) used by
+    :class:`repro.reliability.FaultInjector`; a poisoned word raises a
+    parity trap on its next non-speculative read.  Dismissible loads
+    never trap — a corrupted word behind an ``LWS`` is returned as
+    stored, matching hardware where the parity network sits on the
+    committing path only.
     """
 
     def __init__(self, words: int, image: Optional[Iterable[int]] = None,
@@ -30,6 +45,7 @@ class DataMemory:
             raise SimulationError("memory must contain at least one word")
         self._mask = (1 << width) - 1
         self._words: List[int] = [0] * words
+        self._poisoned: Set[int] = set()
         if image is not None:
             image = list(image)
             if len(image) > words:
@@ -45,7 +61,14 @@ class DataMemory:
 
     def read(self, address: int) -> int:
         if not 0 <= address < len(self._words):
-            raise SimulationError(f"load from invalid address {address}")
+            raise TrapError(
+                f"load from invalid address {address}", cause=TRAP_OOB_LOAD
+            )
+        if self._poisoned and address in self._poisoned:
+            raise TrapError(
+                f"parity mismatch reading memory word {address}",
+                cause=TRAP_PARITY,
+            )
         return self._words[address]
 
     def read_speculative(self, address: int) -> int:
@@ -54,10 +77,56 @@ class DataMemory:
             return 0
         return self._words[address]
 
+    def check_write(self, address: int) -> None:
+        """Raise the store trap a ``write`` to ``address`` would raise.
+
+        The core validates store addresses at issue time and buffers the
+        actual writes to the end of the bundle, so a trapping bundle can
+        be squashed without leaving half its stores behind.
+        """
+        if not 0 <= address < len(self._words):
+            raise TrapError(
+                f"store to invalid address {address}", cause=TRAP_OOB_STORE
+            )
+
     def write(self, address: int, value: int) -> None:
         if not 0 <= address < len(self._words):
-            raise SimulationError(f"store to invalid address {address}")
+            raise TrapError(
+                f"store to invalid address {address}", cause=TRAP_OOB_STORE
+            )
+        if self._poisoned:
+            self._poisoned.discard(address)  # full-word write repairs parity
         self._words[address] = value & self._mask
+
+    # -- fault-injection surface (repro.reliability) -----------------------
+
+    def flip_bit(self, address: int, bit: int) -> int:
+        """XOR one stored bit (SEU model); returns the new word."""
+        self.check_write(address)
+        self._words[address] = (self._words[address] ^ (1 << bit)) & self._mask
+        return self._words[address]
+
+    def force_bit(self, address: int, bit: int, level: int) -> int:
+        """Force one stored bit to ``level`` (stuck-at model)."""
+        self.check_write(address)
+        if level:
+            self._words[address] |= (1 << bit) & self._mask
+        else:
+            self._words[address] &= ~(1 << bit)
+        return self._words[address]
+
+    def peek(self, address: int) -> int:
+        """Read without parity checking (debug/injector use)."""
+        self.check_write(address)
+        return self._words[address]
+
+    def poison(self, address: int) -> None:
+        """Mark a word as failing parity on its next committed read."""
+        self.check_write(address)
+        self._poisoned.add(address)
+
+    def clear_poison(self, address: int) -> None:
+        self._poisoned.discard(address)
 
     def read_block(self, address: int, count: int) -> List[int]:
         if count < 0 or not 0 <= address <= len(self._words) - count:

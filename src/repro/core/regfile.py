@@ -7,17 +7,90 @@ cycle (port accounting itself lives in the core's issue logic, since it
 is a property of a whole issue group).  Register 0 is hardwired to zero
 and predicate register 0 is hardwired true — the toolchain's "always
 execute" guard.
+
+Fault-injection surface
+=======================
+
+Each file exposes ``flip_bit``/``force_bit`` (used by
+:class:`repro.reliability.FaultInjector` to model single-event upsets
+and stuck-at faults) and ``poison``/``clear_poison``.  A *poisoned*
+entry models a word whose parity no longer checks: reading it raises a
+:class:`~repro.errors.TrapError` with the ``parity-error`` cause, and
+overwriting it repairs it.  The poison set is empty unless an injector
+planted a fault, so fault-free runs never pay for the check beyond one
+truthiness test.
+
+Out-of-range indices raise a ``register-port-overflow`` trap rather
+than a plain :class:`~repro.errors.SimulationError`: with a verified
+program they cannot occur, so reaching one means a corrupted
+instruction word addressed a register port that does not exist.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Set
 
-from repro.errors import SimulationError
+from repro.errors import (
+    SimulationError,
+    TrapError,
+    TRAP_PARITY,
+    TRAP_REGISTER_OVERFLOW,
+)
 
 
-class GprFile:
+class _FaultySet:
+    """Mixin: bit-level fault injection and parity poisoning."""
+
+    _values: List[int]
+    _poisoned: Set[int]
+    _kind = "register"
+
+    def flip_bit(self, index: int, bit: int) -> int:
+        """XOR one stored bit (SEU model); returns the new value."""
+        self._bounds(index)
+        self._values[index] ^= 1 << bit
+        return self._values[index]
+
+    def force_bit(self, index: int, bit: int, level: int) -> int:
+        """Force one stored bit to ``level`` (stuck-at model)."""
+        self._bounds(index)
+        if level:
+            self._values[index] |= 1 << bit
+        else:
+            self._values[index] &= ~(1 << bit)
+        return self._values[index]
+
+    def peek(self, index: int) -> int:
+        """Read without side effects or parity checking (debug/injector)."""
+        self._bounds(index)
+        return self._values[index]
+
+    def poison(self, index: int) -> None:
+        """Mark an entry as failing its parity check on the next read."""
+        self._bounds(index)
+        self._poisoned.add(index)
+
+    def clear_poison(self, index: int) -> None:
+        self._poisoned.discard(index)
+
+    def _bounds(self, index: int) -> None:
+        if not 0 <= index < len(self._values):
+            raise TrapError(
+                f"{self._kind} index {index} out of range",
+                cause=TRAP_REGISTER_OVERFLOW,
+            )
+
+    def _check_parity(self, index: int) -> None:
+        raise TrapError(
+            f"parity mismatch reading {self._kind} {index}",
+            cause=TRAP_PARITY,
+        )
+
+
+class GprFile(_FaultySet):
     """General-purpose registers; ``r0`` reads as zero, writes ignored."""
+
+    _kind = "GPR"
 
     def __init__(self, count: int, width: int):
         if count < 1:
@@ -25,28 +98,55 @@ class GprFile:
         self._count = count
         self._mask = (1 << width) - 1
         self._values: List[int] = [0] * count
+        self._poisoned: Set[int] = set()
 
     def __len__(self) -> int:
         return self._count
 
     def read(self, index: int) -> int:
         if not 0 <= index < self._count:
-            raise SimulationError(f"GPR index {index} out of range")
+            raise TrapError(
+                f"GPR index {index} out of range",
+                cause=TRAP_REGISTER_OVERFLOW,
+            )
+        if self._poisoned and index in self._poisoned:
+            self._check_parity(index)
         return self._values[index]
 
     def write(self, index: int, value: int) -> None:
         if not 0 <= index < self._count:
-            raise SimulationError(f"GPR index {index} out of range")
+            raise TrapError(
+                f"GPR index {index} out of range",
+                cause=TRAP_REGISTER_OVERFLOW,
+            )
         if index == 0:
             return  # hardwired zero
+        if self._poisoned:
+            self._poisoned.discard(index)  # a full-word write repairs parity
         self._values[index] = value & self._mask
+
+    def flip_bit(self, index: int, bit: int) -> int:
+        if index == 0:
+            return 0  # no storage behind the hardwired zero
+        value = super().flip_bit(index, bit)
+        self._values[index] = value & self._mask
+        return self._values[index]
+
+    def force_bit(self, index: int, bit: int, level: int) -> int:
+        if index == 0:
+            return 0
+        value = super().force_bit(index, bit, level)
+        self._values[index] = value & self._mask
+        return self._values[index]
 
     def dump(self) -> List[int]:
         return list(self._values)
 
 
-class PredFile:
+class PredFile(_FaultySet):
     """1-bit predicate registers; ``p0`` reads true, writes ignored."""
+
+    _kind = "predicate"
 
     def __init__(self, count: int):
         if count < 1:
@@ -54,50 +154,85 @@ class PredFile:
         self._count = count
         self._values: List[int] = [0] * count
         self._values[0] = 1
+        self._poisoned: Set[int] = set()
 
     def __len__(self) -> int:
         return self._count
 
     def read(self, index: int) -> int:
         if not 0 <= index < self._count:
-            raise SimulationError(f"predicate index {index} out of range")
+            raise TrapError(
+                f"predicate index {index} out of range",
+                cause=TRAP_REGISTER_OVERFLOW,
+            )
+        if self._poisoned and index in self._poisoned:
+            self._check_parity(index)
         return self._values[index]
 
     def write(self, index: int, value: int) -> None:
         if not 0 <= index < self._count:
-            raise SimulationError(f"predicate index {index} out of range")
+            raise TrapError(
+                f"predicate index {index} out of range",
+                cause=TRAP_REGISTER_OVERFLOW,
+            )
         if index == 0:
             return  # hardwired true; also the CMPP "discard" destination
+        if self._poisoned:
+            self._poisoned.discard(index)
         self._values[index] = 1 if value else 0
+
+    def flip_bit(self, index: int, bit: int) -> int:
+        # Predicates are one bit wide; any requested bit flips bit 0.
+        if index == 0:
+            return 1  # no storage behind the hardwired-true guard
+        return super().flip_bit(index, 0)
+
+    def force_bit(self, index: int, bit: int, level: int) -> int:
+        if index == 0:
+            return 1
+        return super().force_bit(index, 0, level)
 
     def dump(self) -> List[int]:
         return list(self._values)
 
 
-class BtrFile:
+class BtrFile(_FaultySet):
     """Branch-target registers: "destination addresses which are
     calculated in advance and are likely to be required in the near
     future" (paper §3.2).  Values are bundle addresses."""
+
+    _kind = "BTR"
 
     def __init__(self, count: int):
         if count < 1:
             raise SimulationError("BTR file needs at least one register")
         self._count = count
         self._values: List[int] = [0] * count
+        self._poisoned: Set[int] = set()
 
     def __len__(self) -> int:
         return self._count
 
     def read(self, index: int) -> int:
         if not 0 <= index < self._count:
-            raise SimulationError(f"BTR index {index} out of range")
+            raise TrapError(
+                f"BTR index {index} out of range",
+                cause=TRAP_REGISTER_OVERFLOW,
+            )
+        if self._poisoned and index in self._poisoned:
+            self._check_parity(index)
         return self._values[index]
 
     def write(self, index: int, value: int) -> None:
         if not 0 <= index < self._count:
-            raise SimulationError(f"BTR index {index} out of range")
+            raise TrapError(
+                f"BTR index {index} out of range",
+                cause=TRAP_REGISTER_OVERFLOW,
+            )
         if value < 0:
             raise SimulationError(f"negative branch target {value}")
+        if self._poisoned:
+            self._poisoned.discard(index)
         self._values[index] = value
 
     def dump(self) -> List[int]:

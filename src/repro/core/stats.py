@@ -31,6 +31,7 @@ class SimStats:
     regfile_reads: int = 0
     regfile_reads_forwarded: int = 0
     regfile_writes: int = 0
+    traps: int = 0              # architectural traps (reliability subsystem)
     fu_busy: Dict[str, int] = field(default_factory=dict)
 
     def note_fu(self, fu_class: str) -> None:

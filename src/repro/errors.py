@@ -54,18 +54,108 @@ class RegAllocError(ReproError):
 
 
 class SimulationError(ReproError):
-    """Runtime fault inside a simulator (bad memory access, bad opcode)."""
+    """Runtime fault inside a simulator (bad memory access, bad opcode).
+
+    Always carries ``cycle`` and ``pc`` attributes; ``-1`` means the
+    context is unknown (e.g. a load-time error).  Errors raised from deep
+    inside a storage structure are annotated with the issuing cycle/PC by
+    the core via :meth:`annotate`.
+    """
 
     def __init__(self, message: str, cycle: int = -1, pc: int = -1):
-        context = []
-        if cycle >= 0:
-            context.append(f"cycle={cycle}")
-        if pc >= 0:
-            context.append(f"pc={pc:#x}")
-        suffix = f" [{', '.join(context)}]" if context else ""
-        super().__init__(f"{message}{suffix}")
+        self.raw_message = message
         self.cycle = cycle
         self.pc = pc
+        super().__init__(self._format())
+
+    def _format(self) -> str:
+        context = []
+        if self.cycle >= 0:
+            context.append(f"cycle={self.cycle}")
+        if self.pc >= 0:
+            context.append(f"pc={self.pc:#x}")
+        suffix = f" [{', '.join(context)}]" if context else ""
+        return f"{self.raw_message}{suffix}"
+
+    def annotate(self, cycle: int, pc: int) -> "SimulationError":
+        """Fill in missing cycle/PC context and re-render the message."""
+        if self.cycle < 0:
+            self.cycle = cycle
+        if self.pc < 0:
+            self.pc = pc
+        self.args = (self._format(),)
+        return self
+
+
+class CycleLimitExceeded(SimulationError):
+    """The run exceeded its ``max_cycles`` budget without halting."""
+
+    def __init__(self, message: str, cycle: int = -1, pc: int = -1,
+                 limit: int = 0):
+        self.limit = limit
+        super().__init__(message, cycle, pc)
+
+
+class HangDetected(CycleLimitExceeded):
+    """The watchdog fired: execution ran far past its expected length.
+
+    Raised when a run blows through the *watchdog* budget (typically a
+    small multiple of the fault-free cycle count) rather than the outer
+    ``max_cycles`` safety net — the signature of a fault-induced livelock
+    or runaway loop.  Fault-injection campaigns classify this as the
+    *hung* outcome.
+    """
+
+
+#: Architectural trap causes (see :class:`TrapError`).
+TRAP_ILLEGAL_INSTRUCTION = "illegal-instruction"
+TRAP_OOB_LOAD = "oob-load"
+TRAP_OOB_STORE = "oob-store"
+TRAP_REGISTER_OVERFLOW = "register-port-overflow"
+TRAP_PARITY = "parity-error"
+
+TRAP_CAUSES = frozenset({
+    TRAP_ILLEGAL_INSTRUCTION,
+    TRAP_OOB_LOAD,
+    TRAP_OOB_STORE,
+    TRAP_REGISTER_OVERFLOW,
+    TRAP_PARITY,
+})
+
+
+class TrapError(SimulationError):
+    """An architectural trap: the hardware *detected* something wrong.
+
+    Carries the trap ``cause`` (one of :data:`TRAP_CAUSES`), the issuing
+    ``pc`` and ``cycle``, and the bundle ``slot`` when known.  How a trap
+    is handled is a :class:`~repro.config.MachineConfig` policy
+    (``halt`` / ``squash-bundle`` / ``record-and-continue``); under the
+    non-halting policies traps are recorded on the processor instead of
+    propagating.
+    """
+
+    def __init__(self, message: str, cause: str,
+                 cycle: int = -1, pc: int = -1, slot: int = -1):
+        self.cause = cause
+        self.slot = slot
+        super().__init__(message, cycle, pc)
+
+    def _format(self) -> str:
+        context = []
+        if self.cycle >= 0:
+            context.append(f"cycle={self.cycle}")
+        if self.pc >= 0:
+            context.append(f"pc={self.pc:#x}")
+        if self.slot >= 0:
+            context.append(f"slot={self.slot}")
+        suffix = f" [{', '.join(context)}]" if context else ""
+        return f"trap({self.cause}): {self.raw_message}{suffix}"
+
+    def annotate(self, cycle: int, pc: int, slot: int = -1) -> "TrapError":
+        if self.slot < 0:
+            self.slot = slot
+        super().annotate(cycle, pc)
+        return self
 
 
 class MdesError(ReproError):

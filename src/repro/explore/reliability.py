@@ -1,0 +1,79 @@
+"""Reliability-aware design-space exploration.
+
+ByoRISC-style DSE tooling (PAPERS.md) puts every cost of a
+customisation decision in one loop; this module adds vulnerability to
+the cycles x slices x MHz sweep: each design point gets a seeded
+fault-injection campaign, so an ALU-count or protection choice can be
+priced in silent-data-corruption rate alongside its slice overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional
+
+from repro.config import MachineConfig
+from repro.fpga import estimate_clock_mhz, estimate_resources
+from repro.harness.faultcampaign import CampaignReport, run_campaign
+from repro.workloads import WorkloadSpec
+
+
+@dataclass
+class ReliabilityPoint:
+    """One design point with both area and vulnerability attached."""
+
+    config: MachineConfig
+    slices: int
+    block_rams: int
+    clock_mhz: float
+    cycles: int
+    report: CampaignReport
+
+    @property
+    def sdc_rate(self) -> float:
+        return self.report.sdc_rate
+
+    @property
+    def detected_rate(self) -> float:
+        return self.report.detected_rate
+
+    @property
+    def masked_rate(self) -> float:
+        return self.report.masked_rate
+
+    def __str__(self) -> str:
+        protection = (f"rf={self.config.regfile_protection},"
+                      f"mem={self.config.memory_protection}")
+        return (
+            f"{self.config.describe()} [{protection}]: "
+            f"{self.slices} slices, SDC {self.sdc_rate * 100:.1f}%, "
+            f"detected {self.detected_rate * 100:.1f}%"
+        )
+
+
+def reliability_sweep(spec: WorkloadSpec,
+                      configs: Iterable[MachineConfig],
+                      n: int = 50, seed: int = 1,
+                      progress: Optional[Callable[[str], None]] = None
+                      ) -> List[ReliabilityPoint]:
+    """Campaign every configuration on the workload.
+
+    The same seed is used for every design point, so two points differ
+    only where the machine actually behaves differently — protection
+    sweeps (none vs parity vs ecc) see the *same* fault stream.
+    """
+    points: List[ReliabilityPoint] = []
+    for config in configs:
+        if progress is not None:
+            progress(f"campaigning {config.describe()}")
+        report = run_campaign(spec, config, n, seed, progress=progress)
+        estimate = estimate_resources(config)
+        points.append(ReliabilityPoint(
+            config=config,
+            slices=estimate.slices,
+            block_rams=estimate.block_rams,
+            clock_mhz=estimate_clock_mhz(config),
+            cycles=report.reference_cycles,
+            report=report,
+        ))
+    return points

@@ -46,6 +46,30 @@ _SLICES_PER_PRED = 0.5
 #: Virtex-II block RAM capacity in bits.
 _BRAM_BITS = 18 * 1024
 
+#: SEU-protection overheads (reliability subsystem).  Parity is an XOR
+#: tree per port; SEC-DED ECC needs a Hamming encoder on the write path
+#: and a syndrome decoder + correction mux on each read path.  The
+#: register file has two block-RAM copies (four ports total); memory
+#: protection is per external bank.
+_REGFILE_PARITY_SLICES = 48
+_REGFILE_ECC_SLICES = 310
+_MEM_PARITY_SLICES_PER_BANK = 22
+_MEM_ECC_SLICES_PER_BANK = 95
+
+
+def _check_bits(width: int, protection: str) -> int:
+    """Extra storage bits per protected word."""
+    if protection == "parity":
+        return 1
+    if protection == "ecc":
+        # SEC-DED Hamming: r parity bits with 2**r >= width + r + 1,
+        # plus one overall parity bit for double-error detection.
+        r = 1
+        while (1 << r) < width + r + 1:
+            r += 1
+        return r + 1
+    return 0
+
 
 @dataclass(frozen=True)
 class ResourceEstimate:
@@ -99,11 +123,28 @@ def estimate_resources(config: MachineConfig) -> ResourceEstimate:
         _SLICES_PER_PRED * config.n_preds))
     breakdown["alus"] = _alu_slices(config) * config.n_alus
 
+    if config.regfile_protection == "parity":
+        breakdown["regfile_protection"] = int(round(
+            _REGFILE_PARITY_SLICES * scale))
+    elif config.regfile_protection == "ecc":
+        breakdown["regfile_protection"] = int(round(
+            _REGFILE_ECC_SLICES * scale))
+    if config.memory_protection == "parity":
+        breakdown["memory_protection"] = (
+            _MEM_PARITY_SLICES_PER_BANK * config.n_mem_banks)
+    elif config.memory_protection == "ecc":
+        breakdown["memory_protection"] = (
+            _MEM_ECC_SLICES_PER_BANK * config.n_mem_banks)
+
     slices = sum(breakdown.values())
 
     # Register file: dual-port SelectRAM, two copies so the 4x-clock
-    # controller can service independent read streams.
-    regfile_bits = config.n_gprs * config.datapath_width
+    # controller can service independent read streams.  Protection
+    # widens each stored word by its check bits.
+    word_bits = (config.datapath_width
+                 + _check_bits(config.datapath_width,
+                               config.regfile_protection))
+    regfile_bits = config.n_gprs * word_bits
     block_rams = 2 * max(1, -(-regfile_bits // _BRAM_BITS))
 
     mult18x18 = 0

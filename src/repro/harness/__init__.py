@@ -9,17 +9,31 @@ the SA-110 and the FPGA timing model's clock (41.8 MHz) for EPIC.
 
 from repro.harness.runner import (
     BenchmarkRun,
+    OUTCOME_CYCLE_LIMIT,
+    OUTCOME_OK,
     run_on_baseline,
     run_on_epic,
 )
 from repro.harness.tables import Table1, build_table1, resource_usage_table
 from repro.harness.figures import FigureSeries, execution_time_figure
 from repro.harness.report import paper_comparison, PaperClaim
+from repro.harness.faultcampaign import (
+    CampaignReport,
+    generate_faults,
+    render_vulnerability_table,
+    run_campaign,
+)
 
 __all__ = [
     "BenchmarkRun",
+    "OUTCOME_CYCLE_LIMIT",
+    "OUTCOME_OK",
     "run_on_baseline",
     "run_on_epic",
+    "CampaignReport",
+    "generate_faults",
+    "render_vulnerability_table",
+    "run_campaign",
     "Table1",
     "build_table1",
     "resource_usage_table",

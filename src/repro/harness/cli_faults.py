@@ -1,0 +1,136 @@
+"""``repro-faults``: seeded SEU fault-injection campaigns from the shell.
+
+Examples::
+
+    repro-faults --quick --n 100 --seed 42          # all four benchmarks
+    repro-faults --bench SHA --alus 4 --n 100       # the acceptance run
+    repro-faults --quick --n 50 --protect-regfile ecc --protect-memory parity
+    repro-faults --quick --n 20 --policy squash-bundle --json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.config import PROTECTION_SCHEMES, TRAP_POLICIES, epic_with_alus
+from repro.errors import ReproError
+from repro.fpga import estimate_resources
+from repro.harness.cli import quick_specs
+from repro.harness.faultcampaign import (
+    DEFAULT_SPACES,
+    campaign_payload,
+    render_vulnerability_table,
+    run_campaign,
+)
+from repro.harness.tables import BENCHMARK_ORDER
+from repro.reliability import FAULT_SPACES
+from repro.workloads import WORKLOADS
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-faults",
+        description="Run seeded SEU fault-injection campaigns against the "
+                    "EPIC core, lockstep-checked against the IR golden "
+                    "model.",
+    )
+    parser.add_argument("--bench", nargs="*", default=list(BENCHMARK_ORDER),
+                        choices=list(BENCHMARK_ORDER),
+                        help="benchmarks to attack")
+    parser.add_argument("--alus", nargs="*", type=int, default=[4],
+                        help="ALU counts (machine presets) to evaluate")
+    parser.add_argument("--n", type=int, default=100,
+                        help="injections per (benchmark, machine) pair")
+    parser.add_argument("--seed", type=int, default=42,
+                        help="campaign seed (same seed -> identical table)")
+    parser.add_argument("--quick", action="store_true",
+                        help="use reduced benchmark input sizes")
+    parser.add_argument("--spaces", nargs="*", default=list(DEFAULT_SPACES),
+                        choices=list(FAULT_SPACES),
+                        help="fault target spaces to draw from")
+    parser.add_argument("--policy", default="halt", choices=TRAP_POLICIES,
+                        help="architectural trap policy")
+    parser.add_argument("--protect-regfile", default="none",
+                        choices=PROTECTION_SCHEMES,
+                        help="register-file SEU protection")
+    parser.add_argument("--protect-memory", default="none",
+                        choices=PROTECTION_SCHEMES,
+                        help="data-memory SEU protection")
+    parser.add_argument("--watchdog", type=float, default=4.0,
+                        help="hang watchdog, as a multiple of the "
+                             "fault-free cycle count")
+    parser.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON instead of text")
+    arguments = parser.parse_args(argv)
+
+    if arguments.n < 1:
+        print("repro-faults: --n must be >= 1", file=sys.stderr)
+        return 2
+
+    if arguments.quick:
+        specs = quick_specs(arguments.bench)
+    else:
+        specs = [WORKLOADS[name]() for name in arguments.bench]
+
+    reports = []
+    resources = []
+    try:
+        for spec in specs:
+            for n_alus in arguments.alus:
+                config = epic_with_alus(
+                    n_alus,
+                    trap_policy=arguments.policy,
+                    regfile_protection=arguments.protect_regfile,
+                    memory_protection=arguments.protect_memory,
+                )
+                report = run_campaign(
+                    spec, config, arguments.n, arguments.seed,
+                    spaces=arguments.spaces,
+                    watchdog_factor=arguments.watchdog,
+                    progress=lambda message: print(f"  {message}",
+                                                   file=sys.stderr),
+                )
+                reports.append(report)
+                estimate = estimate_resources(config)
+                resources.append({
+                    "machine": report.machine,
+                    "slices": estimate.slices,
+                    "block_rams": estimate.block_rams,
+                })
+    except ReproError as error:
+        print(f"repro-faults: {error}", file=sys.stderr)
+        return 1
+
+    if arguments.json:
+        payload = {
+            "seed": arguments.seed,
+            "n": arguments.n,
+            "policy": arguments.policy,
+            "protection": {
+                "regfile": arguments.protect_regfile,
+                "memory": arguments.protect_memory,
+            },
+            "campaigns": campaign_payload(reports),
+            "resources": resources,
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    print(f"Fault-injection campaigns: N={arguments.n}, "
+          f"seed={arguments.seed}, policy={arguments.policy}, "
+          f"regfile={arguments.protect_regfile}, "
+          f"memory={arguments.protect_memory}")
+    print()
+    print(render_vulnerability_table(reports))
+    if arguments.protect_regfile != "none" or arguments.protect_memory != "none":
+        print()
+        for entry in resources:
+            print(f"  {entry['machine']}: {entry['slices']} slices, "
+                  f"{entry['block_rams']} BRAM (with protection)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

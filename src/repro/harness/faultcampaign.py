@@ -1,0 +1,225 @@
+"""Seeded SEU fault-injection campaigns over the paper's workloads.
+
+A *campaign* fans N independently-drawn faults across one (workload,
+machine) pair, classifies every run with the lockstep checker, and
+aggregates the outcome counts into a per-benchmark vulnerability table
+— the reliability analogue of the harness's Table 1.
+
+Determinism is a hard requirement (regression tests diff whole outcome
+tables): fault generation uses the repo's own
+:class:`~repro.workloads.XorShift32` generator rather than
+:mod:`random`, so a (seed, N, machine, workload) quadruple maps to a
+byte-identical report on every platform and Python version.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.config import MachineConfig
+from repro.reliability import (
+    FaultSpec,
+    InjectionResult,
+    LockstepChecker,
+    MODEL_SEU,
+    MODEL_STUCK0,
+    MODEL_STUCK1,
+    Outcome,
+    SPACE_BTR,
+    SPACE_GPR,
+    SPACE_IFETCH,
+    SPACE_MEM,
+    SPACE_PRED,
+)
+from repro.workloads import WorkloadSpec
+from repro.workloads.common import XorShift32
+
+#: Default target mix: every architecturally visible state the injector
+#: models.  Memory faults are drawn over the *initialised data image*
+#: (globals and workload inputs) — the interesting words — rather than
+#: the whole 256 KiB array, most of which no run ever touches.
+DEFAULT_SPACES: Tuple[str, ...] = (
+    SPACE_GPR, SPACE_PRED, SPACE_BTR, SPACE_MEM, SPACE_IFETCH,
+)
+
+#: One fault in eight is a stuck-at (half of them stuck-at-1); the rest
+#: are transient single-event upsets.
+_STUCK_DIE = 8
+
+
+def generate_faults(checker: LockstepChecker, n: int, seed: int,
+                    spaces: Sequence[str] = DEFAULT_SPACES) -> List[FaultSpec]:
+    """Draw ``n`` fault specs for ``checker``'s machine, deterministically.
+
+    All dimensions (space, index, bit, cycle, model) come from one
+    :class:`XorShift32` stream seeded with ``seed``, so the same seed
+    reproduces the same campaign bit-for-bit.
+    """
+    if n < 0:
+        raise ValueError("fault count must be non-negative")
+    if not spaces:
+        raise ValueError("at least one fault space is required")
+    config = checker.config
+    program = checker.compilation.program
+    width = config.datapath_width
+    issue_width = config.issue_width
+    data_words = max(1, len(program.data))
+    # Instruction-word width at this configuration (64 at paper defaults).
+    from repro.isa.encoding import InstructionFormat
+
+    instruction_bits = InstructionFormat(config).instruction_bits
+    btr_bits = max(1, (len(program.bundles) - 1).bit_length())
+    cycles = max(1, checker.reference_cycles)
+
+    rng = XorShift32(seed if seed else 1)
+    faults: List[FaultSpec] = []
+    for _ in range(n):
+        space = spaces[rng.below(len(spaces))]
+        die = rng.below(_STUCK_DIE)
+        if die == 0:
+            model = MODEL_STUCK0
+        elif die == 1:
+            model = MODEL_STUCK1
+        else:
+            model = MODEL_SEU
+        cycle = rng.below(cycles)
+        if space == SPACE_GPR:
+            index, bit = rng.below(config.n_gprs), rng.below(width)
+        elif space == SPACE_PRED:
+            index, bit = rng.below(config.n_preds), 0
+        elif space == SPACE_BTR:
+            index, bit = rng.below(config.n_btrs), rng.below(btr_bits)
+        elif space == SPACE_MEM:
+            index, bit = rng.below(data_words), rng.below(width)
+        else:  # ifetch
+            index, bit = rng.below(issue_width), rng.below(instruction_bits)
+        faults.append(FaultSpec(space=space, index=index, bit=bit,
+                                cycle=cycle, model=model))
+    return faults
+
+
+@dataclass
+class CampaignReport:
+    """Aggregated outcome of one fault-injection campaign."""
+
+    workload: str
+    machine: str
+    n: int
+    seed: int
+    reference_cycles: int
+    counts: Dict[str, int]
+    results: List[InjectionResult] = field(default_factory=list)
+
+    @property
+    def sdc_rate(self) -> float:
+        return self.counts.get(Outcome.SDC.value, 0) / self.n if self.n else 0.0
+
+    @property
+    def detected_rate(self) -> float:
+        return (self.counts.get(Outcome.DETECTED.value, 0) / self.n
+                if self.n else 0.0)
+
+    @property
+    def masked_rate(self) -> float:
+        return (self.counts.get(Outcome.MASKED.value, 0) / self.n
+                if self.n else 0.0)
+
+    @property
+    def hung_rate(self) -> float:
+        return (self.counts.get(Outcome.HUNG.value, 0) / self.n
+                if self.n else 0.0)
+
+    def outcome_table(self) -> List[Tuple[str, str]]:
+        """Per-fault (fault, outcome) pairs — the determinism fingerprint."""
+        return [
+            (result.fault.describe() if result.fault else "none",
+             result.outcome.value)
+            for result in self.results
+        ]
+
+
+def run_campaign(spec: WorkloadSpec, config: MachineConfig,
+                 n: int, seed: int,
+                 spaces: Sequence[str] = DEFAULT_SPACES,
+                 watchdog_factor: float = 4.0,
+                 checker: Optional[LockstepChecker] = None,
+                 progress: Optional[Callable[[str], None]] = None
+                 ) -> CampaignReport:
+    """Run one seeded campaign of ``n`` injections and aggregate it.
+
+    Pass a pre-built ``checker`` to amortise compilation and the golden
+    run across campaigns on the same (workload, machine) pair.
+    """
+    if checker is None:
+        checker = LockstepChecker(spec, config,
+                                  watchdog_factor=watchdog_factor)
+    faults = generate_faults(checker, n, seed, spaces)
+    counts = {outcome.value: 0 for outcome in Outcome}
+    results: List[InjectionResult] = []
+    for number, fault in enumerate(faults, start=1):
+        result = checker.run_one(fault)
+        counts[result.outcome.value] += 1
+        results.append(result)
+        if progress is not None and number % 25 == 0:
+            progress(f"{spec.name}: {number}/{n} injections")
+    return CampaignReport(
+        workload=spec.name,
+        machine=f"EPIC-{config.n_alus}ALU",
+        n=n,
+        seed=seed,
+        reference_cycles=checker.reference_cycles,
+        counts=counts,
+        results=results,
+    )
+
+
+def render_vulnerability_table(reports: Sequence[CampaignReport]) -> str:
+    """Render the per-benchmark vulnerability table as aligned text."""
+    header = ("benchmark", "machine", "N", "masked", "detected", "hung",
+              "SDC", "SDC rate")
+    rows = [header]
+    for report in reports:
+        rows.append((
+            report.workload,
+            report.machine,
+            str(report.n),
+            str(report.counts.get(Outcome.MASKED.value, 0)),
+            str(report.counts.get(Outcome.DETECTED.value, 0)),
+            str(report.counts.get(Outcome.HUNG.value, 0)),
+            str(report.counts.get(Outcome.SDC.value, 0)),
+            f"{report.sdc_rate * 100:.1f}%",
+        ))
+    widths = [max(len(row[col]) for row in rows) for col in range(len(header))]
+    lines = []
+    for number, row in enumerate(rows):
+        lines.append("  ".join(
+            cell.ljust(width) for cell, width in zip(row, widths)).rstrip())
+        if number == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def campaign_payload(reports: Sequence[CampaignReport]) -> List[dict]:
+    """JSON-friendly form of campaign reports (for the CLI and tools)."""
+    return [
+        {
+            "workload": report.workload,
+            "machine": report.machine,
+            "n": report.n,
+            "seed": report.seed,
+            "reference_cycles": report.reference_cycles,
+            "counts": dict(report.counts),
+            "sdc_rate": report.sdc_rate,
+            "outcomes": [
+                {
+                    "fault": result.fault.describe() if result.fault else None,
+                    "outcome": result.outcome.value,
+                    "cycles": result.cycles,
+                    "trap_cause": result.trap_cause,
+                }
+                for result in report.results
+            ],
+        }
+        for report in reports
+    ]

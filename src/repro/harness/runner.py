@@ -16,20 +16,32 @@ from repro.backend import compile_minic_to_epic
 from repro.config import MachineConfig
 from repro.config.presets import SA110_CLOCK_MHZ
 from repro.core import EpicProcessor
-from repro.errors import SimulationError
+from repro.errors import CycleLimitExceeded, SimulationError
 from repro.fpga import estimate_clock_mhz
 from repro.workloads import WorkloadSpec
+
+#: Run outcomes surfaced on :class:`BenchmarkRun`.
+OUTCOME_OK = "ok"
+OUTCOME_CYCLE_LIMIT = "cycle-limit-exceeded"
 
 
 @dataclass
 class BenchmarkRun:
-    """One (workload, machine) measurement."""
+    """One (workload, machine) measurement.
+
+    ``outcome`` is :data:`OUTCOME_OK` for a validated run;
+    :data:`OUTCOME_CYCLE_LIMIT` marks a run that blew its cycle budget
+    (only produced when the caller opts into ``cycle_limit_ok``), whose
+    ``cycles`` then holds the budget at which it was cut off and whose
+    outputs were never validated.
+    """
 
     workload: str
     machine: str
     cycles: int
     clock_mhz: float
     extra: Dict[str, float] = field(default_factory=dict)
+    outcome: str = OUTCOME_OK
 
     @property
     def time_seconds(self) -> float:
@@ -61,13 +73,33 @@ def _check_outputs(name: str, machine: str, spec: WorkloadSpec,
 
 def run_on_epic(spec: WorkloadSpec, config: MachineConfig,
                 validate: bool = True,
-                max_cycles: int = 200_000_000) -> BenchmarkRun:
-    """Compile and run one workload on one EPIC configuration."""
+                max_cycles: int = 200_000_000,
+                cycle_limit_ok: bool = False) -> BenchmarkRun:
+    """Compile and run one workload on one EPIC configuration.
+
+    A run that exhausts ``max_cycles`` raises
+    :class:`~repro.errors.CycleLimitExceeded`; with ``cycle_limit_ok``
+    it is instead surfaced as a :class:`BenchmarkRun` whose ``outcome``
+    is :data:`OUTCOME_CYCLE_LIMIT` (its cycle count is the budget, not a
+    measurement, and its outputs are unvalidated).
+    """
     compilation = compile_minic_to_epic(spec.source, config)
     cpu = EpicProcessor(config, compilation.program,
                         mem_words=spec.mem_words)
-    result = cpu.run(max_cycles=max_cycles)
     machine = f"EPIC-{config.n_alus}ALU"
+    try:
+        result = cpu.run(max_cycles=max_cycles)
+    except CycleLimitExceeded as error:
+        if not cycle_limit_ok:
+            raise
+        return BenchmarkRun(
+            workload=spec.name,
+            machine=machine,
+            cycles=error.limit,
+            clock_mhz=estimate_clock_mhz(config),
+            extra={},
+            outcome=OUTCOME_CYCLE_LIMIT,
+        )
     if validate:
         def read_global(name: str, count: int):
             base = compilation.symbols[name]

@@ -1,0 +1,59 @@
+"""Reliability subsystem: SEU fault injection, traps, lockstep checking.
+
+The customisation story of the paper (§3.3) prices a design choice in
+slices and MHz; this package adds the third axis — *vulnerability* on
+the SRAM-based FPGA substrate, where single-event upsets in user state
+are the canonical threat.  It provides:
+
+* :class:`FaultSpec` / :class:`FaultInjector` — deterministic,
+  seed-driven bit flips (SEU) and stuck-at faults in the GPR, predicate
+  and branch-target files, data memory, and fetched instruction words,
+  applied through hooks in the core's run loop;
+* :class:`LockstepChecker` / :class:`Outcome` — golden-model
+  cross-checking against the IR interpreter, classifying every injected
+  run as *masked*, *detected*, *hung* or *sdc* (silent data
+  corruption);
+* campaign orchestration lives in :mod:`repro.harness.faultcampaign`
+  (with the ``repro-faults`` CLI) so reliability sits in the same
+  evaluation loop as the cycle/area sweeps.
+"""
+
+from repro.reliability.fault import (
+    FAULT_MODELS,
+    FAULT_SPACES,
+    FaultInjector,
+    FaultSpec,
+    InjectionEvent,
+    MODEL_SEU,
+    MODEL_STUCK0,
+    MODEL_STUCK1,
+    SPACE_BTR,
+    SPACE_GPR,
+    SPACE_IFETCH,
+    SPACE_MEM,
+    SPACE_PRED,
+)
+from repro.reliability.lockstep import (
+    InjectionResult,
+    LockstepChecker,
+    Outcome,
+)
+
+__all__ = [
+    "FAULT_MODELS",
+    "FAULT_SPACES",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectionEvent",
+    "InjectionResult",
+    "LockstepChecker",
+    "MODEL_SEU",
+    "MODEL_STUCK0",
+    "MODEL_STUCK1",
+    "Outcome",
+    "SPACE_BTR",
+    "SPACE_GPR",
+    "SPACE_IFETCH",
+    "SPACE_MEM",
+    "SPACE_PRED",
+]

@@ -1,0 +1,187 @@
+"""Lockstep divergence checking against the IR-interpreter golden model.
+
+Every injected run is compared, after the fact, with the program the
+compiler *meant* to execute: the IR interpreter
+(:mod:`repro.ir.interp`) runs the same module the EPIC binary was
+compiled from and supplies the golden architectural outputs (the
+workload's named global arrays plus the checksum return value).  The
+checker then classifies each run into exactly one outcome:
+
+* **masked** — the machine halted normally and every architectural
+  output matches the golden model; the fault had no visible effect.
+* **detected** — an architectural trap fired (illegal instruction,
+  out-of-bounds access, register-port overflow, parity error) or the
+  machine otherwise refused to continue; the hardware *knows* something
+  went wrong.
+* **hung** — the watchdog cut the run off after it blew far past the
+  fault-free cycle count (fault-induced livelock or runaway loop).
+* **sdc** — silent data corruption: the machine halted normally but an
+  output differs from the golden model.  The worst case — nothing
+  noticed, wrong answer.
+
+This mirrors the classic FPGA fault-injection methodology (and the
+golden-model functional-test harness of Rodrigues & Cardoso): run the
+design against a reference executor and diff the observable state.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.backend import compile_ir_to_epic
+from repro.config import MachineConfig
+from repro.core import EpicProcessor
+from repro.errors import (
+    CycleLimitExceeded,
+    SimulationError,
+    TrapError,
+)
+from repro.ir.interp import Interpreter
+from repro.reliability.fault import FaultInjector, FaultSpec
+from repro.workloads import WorkloadSpec
+
+
+class Outcome(enum.Enum):
+    """Classification of one injected run (see module docstring)."""
+
+    MASKED = "masked"
+    DETECTED = "detected"
+    HUNG = "hung"
+    SDC = "sdc"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class InjectionResult:
+    """One injected run, classified."""
+
+    fault: Optional[FaultSpec]
+    outcome: Outcome
+    detail: str
+    cycles: int
+    trap_cause: Optional[str] = None
+
+    def __str__(self) -> str:
+        fault = self.fault.describe() if self.fault else "no fault"
+        return f"{fault}: {self.outcome.value} ({self.detail})"
+
+
+class LockstepChecker:
+    """Compile once, run the golden model once, then classify many runs.
+
+    The expensive parts — MiniC -> IR -> EPIC compilation, the IR
+    interpreter's golden execution, and the fault-free reference run —
+    happen in the constructor; each :meth:`run_one` call then costs one
+    simulator run.  The fault-free reference doubles as a self-check
+    (its outputs must match the golden model exactly) and sizes the
+    watchdog: an injected run is declared *hung* once it exceeds
+    ``watchdog_factor`` times the reference cycle count.
+    """
+
+    def __init__(self, spec: WorkloadSpec, config: MachineConfig,
+                 watchdog_factor: float = 4.0,
+                 max_cycles: int = 200_000_000):
+        from repro.lang.compile import compile_minic  # local: avoid cycle
+
+        self.spec = spec
+        self.config = config
+        self.max_cycles = max_cycles
+        module = compile_minic(spec.source)
+        self.compilation = compile_ir_to_epic(module, config)
+
+        interpreter = Interpreter(module, spec.mem_words)
+        self.golden_return = interpreter.call("main")
+        self.golden_outputs: Dict[str, List[int]] = {
+            name: interpreter.read_global(name)[:len(expected)]
+            for name, expected in spec.expected.items()
+        }
+
+        reference = EpicProcessor(config, self.compilation.program,
+                                  mem_words=spec.mem_words)
+        result = reference.run(max_cycles=max_cycles)
+        mismatch = self.diff_outputs(reference)
+        if mismatch:
+            raise SimulationError(
+                f"lockstep baseline broken on {spec.name}: {mismatch}")
+        self.reference_cycles = result.cycles
+        self.watchdog_cycles = int(result.cycles * watchdog_factor) + 1024
+
+    # -- output comparison -------------------------------------------------
+
+    def diff_outputs(self, cpu: EpicProcessor) -> Optional[str]:
+        """First divergence between ``cpu`` and the golden model, if any.
+
+        Reads bypass the parity network (``peek``): the diff is an
+        oracle outside the machine, and a poisoned-but-unread output
+        word must still count as corrupted data.
+        """
+        symbols = self.compilation.symbols
+        for name, golden in self.golden_outputs.items():
+            base = symbols[name]
+            for offset, expected in enumerate(golden):
+                got = cpu.memory.peek(base + offset)
+                if got != expected:
+                    return (f"output {name}[{offset}] = {got:#x}, "
+                            f"golden {expected:#x}")
+        if self.golden_return is not None:
+            expected = self.golden_return & self.config.mask
+            got = cpu.gpr.peek(2)  # r2 carries main's return value
+            if got != expected:
+                return f"checksum {got:#x}, golden {expected:#x}"
+        return None
+
+    # -- classification ----------------------------------------------------
+
+    def run_one(self,
+                fault: Union[FaultSpec, Sequence[FaultSpec], None]
+                ) -> InjectionResult:
+        """Run the workload with ``fault`` injected and classify it."""
+        if fault is None:
+            faults: List[FaultSpec] = []
+            first = None
+        elif isinstance(fault, FaultSpec):
+            faults = [fault]
+            first = fault
+        else:
+            faults = list(fault)
+            first = faults[0] if faults else None
+
+        injector = FaultInjector(faults)
+        cpu = EpicProcessor(self.config, self.compilation.program,
+                            mem_words=self.spec.mem_words,
+                            injector=injector)
+        try:
+            result = cpu.run(max_cycles=self.max_cycles,
+                             watchdog_cycles=self.watchdog_cycles)
+        except CycleLimitExceeded as error:
+            # HangDetected (the watchdog) or the outer safety net: either
+            # way the run did not converge.
+            return InjectionResult(first, Outcome.HUNG, str(error),
+                                   max(error.cycle, 0))
+        except TrapError as error:
+            return InjectionResult(first, Outcome.DETECTED, str(error),
+                                   max(error.cycle, 0),
+                                   trap_cause=error.cause)
+        except SimulationError as error:
+            # The model refused to continue (e.g. a strict-NUAL check):
+            # an anomaly the machinery noticed, so it counts as detected.
+            return InjectionResult(first, Outcome.DETECTED,
+                                   f"machine check: {error}",
+                                   max(error.cycle, 0))
+
+        if result.traps:
+            trap = result.traps[0]
+            return InjectionResult(first, Outcome.DETECTED,
+                                   f"{len(result.traps)} trap(s), first: "
+                                   f"{trap}",
+                                   result.cycles, trap_cause=trap.cause)
+        mismatch = self.diff_outputs(cpu)
+        if mismatch:
+            return InjectionResult(first, Outcome.SDC, mismatch,
+                                   result.cycles)
+        return InjectionResult(first, Outcome.MASKED, "outputs match",
+                               result.cycles)

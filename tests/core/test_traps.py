@@ -1,0 +1,144 @@
+"""Architectural traps, trap policies, and cycle-budget outcomes."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.config import epic_config
+from repro.core import EpicProcessor
+from repro.errors import (
+    CycleLimitExceeded,
+    HangDetected,
+    SimulationError,
+    TrapError,
+    TRAP_OOB_LOAD,
+    TRAP_OOB_STORE,
+)
+
+
+def build(source, mem_words=256, **overrides):
+    config = epic_config(**overrides)
+    return EpicProcessor(config, assemble(source, config),
+                         mem_words=mem_words)
+
+
+OOB_STORE = """
+  MOVI r4, 77
+  NOP
+  SW r4, r4, 500
+  HALT
+"""
+
+
+class TestTrapContext:
+    def test_oob_store_traps_with_pc_and_cycle(self):
+        cpu = build(OOB_STORE, mem_words=64)
+        with pytest.raises(TrapError) as info:
+            cpu.run(max_cycles=100)
+        trap = info.value
+        assert trap.cause == TRAP_OOB_STORE
+        # The SW issues from bundle 2, one bundle per cycle from cycle 0.
+        assert trap.pc == 2
+        assert trap.cycle == 2
+
+    def test_oob_load_traps_with_cause(self):
+        source = """
+          MOVI r4, 9999
+          NOP
+          LW r5, r4, 0
+          HALT
+        """
+        cpu = build(source, mem_words=64)
+        with pytest.raises(TrapError) as info:
+            cpu.run(max_cycles=100)
+        assert info.value.cause == TRAP_OOB_LOAD
+        assert info.value.cycle >= 0 and info.value.pc >= 0
+
+    def test_trap_is_catchable_as_simulation_error(self):
+        cpu = build(OOB_STORE, mem_words=64)
+        with pytest.raises(SimulationError):
+            cpu.run(max_cycles=100)
+
+    def test_speculative_oob_load_reads_zero_without_trap(self):
+        source = """
+          MOVI r4, 9999
+          NOP
+          LWS r5, r4, 0
+          MOVI r6, 5
+          HALT
+        """
+        cpu = build(source, mem_words=64)
+        result = cpu.run(max_cycles=100)
+        assert result.halted
+        assert result.traps == []
+        assert cpu.gpr.read(5) == 0
+        assert cpu.gpr.read(6) == 5
+
+
+class TestTrapPolicies:
+    def test_halt_policy_propagates(self):
+        cpu = build(OOB_STORE, mem_words=64, trap_policy="halt")
+        with pytest.raises(TrapError):
+            cpu.run(max_cycles=100)
+        assert cpu.traps and cpu.traps[0].cause == TRAP_OOB_STORE
+
+    def test_record_and_continue_reaches_halt(self):
+        cpu = build(OOB_STORE, mem_words=64,
+                    trap_policy="record-and-continue")
+        result = cpu.run(max_cycles=100)
+        assert result.halted
+        assert len(result.traps) == 1
+        assert result.traps[0].cause == TRAP_OOB_STORE
+        assert cpu.stats.traps == 1
+
+    SIBLING = """
+      MOVI r4, 200
+      NOP
+    { MOVI r5, 11 ; SW r4, r4, 500 }
+      NOP
+      HALT
+    """
+
+    def test_squash_bundle_discards_sibling_writes(self):
+        # The trapping bundle's good register write must not commit either.
+        cpu = build(self.SIBLING, mem_words=64, trap_policy="squash-bundle")
+        result = cpu.run(max_cycles=100)
+        assert result.halted
+        assert len(result.traps) == 1
+        assert cpu.gpr.read(5) == 0  # MOVI r5 squashed with its bundle
+
+    def test_record_and_continue_commits_sibling_writes(self):
+        cpu = build(self.SIBLING, mem_words=64,
+                    trap_policy="record-and-continue")
+        result = cpu.run(max_cycles=100)
+        assert result.halted
+        assert len(result.traps) == 1
+        assert cpu.gpr.read(5) == 11  # the good op's write survived
+
+
+LOOP_FOREVER = """
+  start:
+    PBR b0, start
+    NOP
+    BR b0
+"""
+
+
+class TestCycleBudgets:
+    def test_max_cycles_raises_cycle_limit_exceeded(self):
+        cpu = build(LOOP_FOREVER)
+        with pytest.raises(CycleLimitExceeded) as info:
+            cpu.run(max_cycles=50)
+        assert info.value.limit == 50
+        assert info.value.cycle >= 50
+        assert not isinstance(info.value, HangDetected)
+
+    def test_watchdog_raises_hang_detected(self):
+        cpu = build(LOOP_FOREVER)
+        with pytest.raises(HangDetected) as info:
+            cpu.run(max_cycles=10_000, watchdog_cycles=60)
+        assert info.value.limit == 60
+
+    def test_halting_run_unaffected_by_watchdog(self):
+        cpu = build("HALT")
+        result = cpu.run(max_cycles=100, watchdog_cycles=50)
+        assert result.halted and result.cycles == 1

@@ -1,0 +1,39 @@
+"""SEU protection (parity / ECC) is priced into the resource model."""
+
+import pytest
+
+from repro.config import epic_config
+from repro.fpga import estimate_resources
+
+
+def slices(**overrides):
+    return estimate_resources(epic_config(**overrides)).slices
+
+
+class TestProtectionPricing:
+    def test_regfile_protection_costs_slices_monotonically(self):
+        none = slices()
+        parity = slices(regfile_protection="parity")
+        ecc = slices(regfile_protection="ecc")
+        assert none < parity < ecc
+
+    def test_memory_protection_costs_slices_monotonically(self):
+        none = slices()
+        parity = slices(memory_protection="parity")
+        ecc = slices(memory_protection="ecc")
+        assert none < parity < ecc
+
+    def test_breakdown_itemises_protection(self):
+        estimate = estimate_resources(epic_config(
+            regfile_protection="ecc", memory_protection="parity"))
+        assert estimate.breakdown["regfile_protection"] > 0
+        assert estimate.breakdown["memory_protection"] > 0
+
+    def test_unprotected_design_pays_nothing(self):
+        estimate = estimate_resources(epic_config())
+        assert estimate.breakdown.get("regfile_protection", 0) == 0
+        assert estimate.breakdown.get("memory_protection", 0) == 0
+
+    def test_paper_calibration_unchanged_without_protection(self):
+        # The protection knobs must not disturb the §5.1 slice counts.
+        assert slices() == pytest.approx(11955, rel=0.01)

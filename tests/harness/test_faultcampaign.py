@@ -1,0 +1,136 @@
+"""Campaign determinism, the vulnerability table, and the CLI."""
+
+import json
+
+import pytest
+
+from repro.config import epic_config
+from repro.errors import CycleLimitExceeded
+from repro.harness import (
+    OUTCOME_CYCLE_LIMIT,
+    OUTCOME_OK,
+    run_on_epic,
+)
+from repro.harness.cli_faults import main as faults_main
+from repro.harness.faultcampaign import (
+    campaign_payload,
+    generate_faults,
+    render_vulnerability_table,
+    run_campaign,
+)
+from repro.reliability import FAULT_SPACES, LockstepChecker
+from tests.reliability.test_lockstep import tiny_spec
+
+
+@pytest.fixture(scope="module")
+def checker():
+    return LockstepChecker(tiny_spec(), epic_config())
+
+
+class TestFaultGeneration:
+    def test_same_seed_same_faults(self, checker):
+        assert generate_faults(checker, 40, seed=7) == \
+            generate_faults(checker, 40, seed=7)
+
+    def test_different_seed_different_faults(self, checker):
+        assert generate_faults(checker, 40, seed=7) != \
+            generate_faults(checker, 40, seed=8)
+
+    def test_faults_stay_in_machine_bounds(self, checker):
+        config = checker.config
+        for fault in generate_faults(checker, 200, seed=3):
+            assert fault.space in FAULT_SPACES
+            if fault.space == "gpr":
+                assert 0 <= fault.index < config.n_gprs
+            elif fault.space == "pred":
+                assert 0 <= fault.index < config.n_preds
+            assert fault.cycle < checker.reference_cycles
+
+    def test_space_restriction_respected(self, checker):
+        faults = generate_faults(checker, 30, seed=1, spaces=("mem",))
+        assert {fault.space for fault in faults} == {"mem"}
+
+    def test_bad_arguments_rejected(self, checker):
+        with pytest.raises(ValueError):
+            generate_faults(checker, -1, seed=1)
+        with pytest.raises(ValueError):
+            generate_faults(checker, 1, seed=1, spaces=())
+
+
+class TestCampaignDeterminism:
+    def test_same_seed_identical_outcome_tables(self):
+        """The ISSUE's regression: two campaigns, same seed, identical
+        outcome tables — rebuilt from scratch both times."""
+        spec = tiny_spec()
+        config = epic_config()
+        first = run_campaign(spec, config, n=25, seed=11)
+        second = run_campaign(spec, config, n=25, seed=11)
+        assert first.outcome_table() == second.outcome_table()
+        assert first.counts == second.counts
+        assert render_vulnerability_table([first]) == \
+            render_vulnerability_table([second])
+
+    def test_every_run_classified_exactly_once(self, checker):
+        report = run_campaign(tiny_spec(), checker.config, n=20, seed=5,
+                              checker=checker)
+        assert sum(report.counts.values()) == report.n == 20
+        assert len(report.results) == 20
+        assert set(report.counts) == {"masked", "detected", "hung", "sdc"}
+
+    def test_rates_sum_to_one(self, checker):
+        report = run_campaign(tiny_spec(), checker.config, n=16, seed=9,
+                              checker=checker)
+        total = (report.masked_rate + report.detected_rate +
+                 report.hung_rate + report.sdc_rate)
+        assert total == pytest.approx(1.0)
+
+    def test_payload_is_json_serialisable(self, checker):
+        report = run_campaign(tiny_spec(), checker.config, n=4, seed=2,
+                              checker=checker)
+        text = json.dumps(campaign_payload([report]))
+        assert "tiny" in text
+
+
+class TestVulnerabilityTable:
+    def test_render_contains_header_and_row(self, checker):
+        report = run_campaign(tiny_spec(), checker.config, n=4, seed=2,
+                              checker=checker)
+        table = render_vulnerability_table([report])
+        assert "benchmark" in table and "SDC rate" in table
+        assert "tiny" in table and "EPIC-4ALU" in table
+
+
+class TestRunnerOutcome:
+    def test_ok_run_has_ok_outcome(self):
+        run = run_on_epic(tiny_spec(), epic_config())
+        assert run.outcome == OUTCOME_OK
+
+    def test_cycle_limit_surfaces_as_outcome_when_opted_in(self):
+        run = run_on_epic(tiny_spec(), epic_config(), max_cycles=5,
+                          cycle_limit_ok=True)
+        assert run.outcome == OUTCOME_CYCLE_LIMIT
+        assert run.cycles == 5
+
+    def test_cycle_limit_raises_by_default(self):
+        with pytest.raises(CycleLimitExceeded):
+            run_on_epic(tiny_spec(), epic_config(), max_cycles=5)
+
+
+class TestCli:
+    def test_smoke_campaign(self, capsys):
+        assert faults_main(["--bench", "SHA", "--quick",
+                            "--n", "2", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "SHA" in out and "seed=1" in out
+
+    def test_json_output_parses(self, capsys):
+        assert faults_main(["--bench", "SHA", "--quick",
+                            "--n", "2", "--seed", "1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["seed"] == 1
+        assert payload["campaigns"][0]["workload"] == "SHA"
+        assert len(payload["campaigns"][0]["outcomes"]) == 2
+
+    def test_zero_injections_rejected(self, capsys):
+        assert faults_main(["--n", "0"]) == 2
+        assert "must be >= 1" in capsys.readouterr().err

@@ -1,0 +1,111 @@
+"""Lockstep checker: golden-model diffing and outcome classification."""
+
+import pytest
+
+from repro.config import epic_config
+from repro.isa.encoding import InstructionFormat
+from repro.reliability import (
+    FaultSpec,
+    LockstepChecker,
+    Outcome,
+    SPACE_GPR,
+    SPACE_IFETCH,
+    SPACE_MEM,
+)
+from repro.workloads import WorkloadSpec
+
+TINY_SOURCE = """
+int a[8] = {3, 1, 4, 1, 5, 9, 2, 6};
+int out[8];
+int main() {
+  int i; int acc;
+  acc = 0;
+  for (i = 0; i < 8; i += 1) {
+    out[i] = a[i] * 5 + i;
+    acc = acc + out[i];
+  }
+  return acc;
+}
+"""
+
+
+def tiny_spec():
+    return WorkloadSpec(
+        name="tiny",
+        source=TINY_SOURCE,
+        expected={"out": [15, 6, 22, 8, 29, 50, 16, 37]},
+        expected_return=183,
+        mem_words=1 << 12,
+    )
+
+
+@pytest.fixture(scope="module")
+def checker():
+    return LockstepChecker(tiny_spec(), epic_config())
+
+
+class TestBaseline:
+    def test_fault_free_run_is_masked(self, checker):
+        result = checker.run_one(None)
+        assert result.outcome is Outcome.MASKED
+        assert result.cycles == checker.reference_cycles
+
+    def test_watchdog_sized_from_reference(self, checker):
+        assert checker.watchdog_cycles > checker.reference_cycles
+
+    def test_golden_outputs_come_from_interpreter(self, checker):
+        assert checker.golden_outputs["out"] == [15, 6, 22, 8, 29, 50, 16, 37]
+        assert checker.golden_return == 183
+
+
+class TestClassification:
+    def test_hardwired_zero_fault_is_masked(self, checker):
+        result = checker.run_one(FaultSpec(SPACE_GPR, 0, 3, 0))
+        assert result.outcome is Outcome.MASKED
+
+    def test_late_output_flip_is_sdc(self, checker):
+        out_base = checker.compilation.symbols["out"]
+        fault = FaultSpec(SPACE_MEM, out_base, 0,
+                          checker.reference_cycles - 1)
+        result = checker.run_one(fault)
+        assert result.outcome is Outcome.SDC
+        assert "out[0]" in result.detail
+
+    def test_watchdog_overrun_is_hung(self, checker):
+        saved = checker.watchdog_cycles
+        checker.watchdog_cycles = 2
+        try:
+            result = checker.run_one(None)
+        finally:
+            checker.watchdog_cycles = saved
+        assert result.outcome is Outcome.HUNG
+
+    def test_ifetch_sweep_covers_taxonomy(self, checker):
+        """Every corrupted-fetch run lands in exactly one outcome, and
+        some opcode-field flip must be *detected* as an illegal op."""
+        bits = InstructionFormat(checker.config).instruction_bits
+        outcomes = set()
+        trap_causes = set()
+        for bit in range(bits):
+            result = checker.run_one(
+                FaultSpec(SPACE_IFETCH, 0, bit, 2))
+            assert isinstance(result.outcome, Outcome)
+            if result.trap_cause is not None:
+                trap_causes.add(result.trap_cause)
+            outcomes.add(result.outcome)
+        assert Outcome.DETECTED in outcomes
+        assert Outcome.MASKED in outcomes
+        assert "illegal-instruction" in trap_causes
+
+    def test_classification_is_deterministic(self, checker):
+        fault = FaultSpec(SPACE_MEM, 0, 7, 1)
+        first = checker.run_one(fault)
+        second = checker.run_one(fault)
+        assert (first.outcome, first.detail, first.cycles) == \
+            (second.outcome, second.detail, second.cycles)
+
+
+class TestOutcomeEnum:
+    def test_values_are_the_report_vocabulary(self):
+        assert {o.value for o in Outcome} == \
+            {"masked", "detected", "hung", "sdc"}

@@ -8,8 +8,30 @@ from repro import errors
 def test_everything_derives_from_repro_error():
     for name in ("ConfigError", "EncodingError", "AsmError", "CompileError",
                  "IRError", "ScheduleError", "RegAllocError",
-                 "SimulationError", "MdesError", "WorkloadError"):
+                 "SimulationError", "MdesError", "WorkloadError",
+                 "TrapError", "CycleLimitExceeded", "HangDetected"):
         assert issubclass(getattr(errors, name), errors.ReproError)
+
+
+def test_every_error_class_is_constructible_and_catchable():
+    instances = [
+        errors.ConfigError("x"),
+        errors.EncodingError("x"),
+        errors.AsmError("x", line=1),
+        errors.CompileError("x"),
+        errors.IRError("x"),
+        errors.ScheduleError("x"),
+        errors.RegAllocError("x"),
+        errors.SimulationError("x", cycle=1, pc=2),
+        errors.MdesError("x"),
+        errors.WorkloadError("x"),
+        errors.TrapError("x", cause=errors.TRAP_OOB_STORE),
+        errors.CycleLimitExceeded("x", cycle=3),
+        errors.HangDetected("x"),
+    ]
+    for instance in instances:
+        with pytest.raises(errors.ReproError):
+            raise instance
 
 
 def test_asm_error_location_prefix():
@@ -37,6 +59,55 @@ def test_simulation_error_context():
 
 def test_simulation_error_without_context():
     assert str(errors.SimulationError("boom")) == "boom"
+
+
+def test_simulation_error_annotate_fills_missing_context():
+    error = errors.SimulationError("bad load")
+    error.annotate(cycle=7, pc=3)
+    assert error.cycle == 7 and error.pc == 3
+    assert "cycle=7" in str(error) and "pc=0x3" in str(error)
+
+
+def test_simulation_error_annotate_keeps_existing_context():
+    error = errors.SimulationError("bad load", cycle=5, pc=1)
+    error.annotate(cycle=99, pc=99)
+    assert error.cycle == 5 and error.pc == 1
+
+
+def test_trap_error_formatting_and_cause():
+    error = errors.TrapError("store to 300", cause=errors.TRAP_OOB_STORE,
+                             cycle=12, pc=4, slot=2)
+    text = str(error)
+    assert text.startswith("trap(oob-store):")
+    assert "cycle=12" in text and "pc=0x4" in text and "slot=2" in text
+    assert error.cause in errors.TRAP_CAUSES
+
+
+def test_trap_error_annotate_adds_slot():
+    error = errors.TrapError("boom", cause=errors.TRAP_PARITY)
+    error.annotate(cycle=3, pc=9, slot=1)
+    assert (error.cycle, error.pc, error.slot) == (3, 9, 1)
+    assert "slot=1" in str(error)
+
+
+def test_trap_causes_are_complete():
+    assert errors.TRAP_CAUSES == {
+        "illegal-instruction", "oob-load", "oob-store",
+        "register-port-overflow", "parity-error",
+    }
+
+
+def test_cycle_limit_exceeded_carries_limit():
+    error = errors.CycleLimitExceeded("over budget", cycle=100, limit=100)
+    assert error.limit == 100
+    assert isinstance(error, errors.SimulationError)
+
+
+def test_hang_detected_is_a_cycle_limit():
+    error = errors.HangDetected("watchdog", cycle=5000, limit=5000)
+    assert isinstance(error, errors.CycleLimitExceeded)
+    with pytest.raises(errors.CycleLimitExceeded):
+        raise error
 
 
 def test_tool_boundary_catches_everything():
