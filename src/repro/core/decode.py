@@ -68,16 +68,24 @@ class PreOp:
 
 
 class PreBundle:
-    """A pre-decoded issue group plus its static issue metadata."""
+    """A pre-decoded issue group plus its static issue metadata.
 
-    __slots__ = ("ops", "n_mem", "gpr_read_set", "n_real")
+    ``source`` keeps the architectural :class:`~repro.isa.Bundle` the
+    group was decoded from, so tracers can render what actually entered
+    the pipeline — essential when a fault injector substitutes a
+    corrupted fetch for the program's own bundle.
+    """
+
+    __slots__ = ("ops", "n_mem", "gpr_read_set", "n_real", "source")
 
     def __init__(self, ops: List[PreOp], n_mem: int,
-                 gpr_read_set: Tuple[int, ...], n_real: int):
+                 gpr_read_set: Tuple[int, ...], n_real: int,
+                 source: Bundle):
         self.ops = ops
         self.n_mem = n_mem
         self.gpr_read_set = gpr_read_set
         self.n_real = n_real
+        self.source = source
 
 
 def _src(op) -> Tuple[bool, int]:
@@ -197,4 +205,5 @@ def predecode_bundle(bundle: Bundle, mdes: Mdes, address: int) -> PreBundle:
             )
 
     return PreBundle(ops=ops, n_mem=n_mem,
-                     gpr_read_set=tuple(sorted(read_set)), n_real=n_real)
+                     gpr_read_set=tuple(sorted(read_set)), n_real=n_real,
+                     source=bundle)

@@ -1,0 +1,731 @@
+"""Pre-specialised fast execution path for the EPIC core.
+
+The instrumented run loop in :mod:`repro.core.machine` re-dispatches on
+``op.kind`` for every dynamic operation, funnels every write-back
+through one global heap, and keeps its forwarding bookkeeping in a
+dictionary.  That generality is only needed when a tracer, a fault
+injector, strict NUAL checking or a non-``halt`` trap policy is
+configured — the common benchmarking case (design-space sweeps,
+Table 1 regeneration) pays for hooks it never uses.
+
+This module removes that per-cycle overhead by *pre-specialising* each
+decoded bundle once, at program-load time, into a compact execution
+record: one generated Python function per static bundle with
+
+* operand accessors resolved (literals folded to constants, register
+  reads compiled to direct list indexing),
+* the per-op ``kind`` dispatch unrolled into straight-line code,
+* the common ALU/CMPP semantics inlined as direct masked expressions
+  (``(a + b) & 0xFFFFFFFF`` instead of a call into
+  :mod:`repro.isa.semantics` — operands are invariantly masked, so the
+  results are bit-identical by construction),
+* loads and stores compiled to direct word-array indexing with the
+  bounds check inline (out-of-range addresses fall back to the
+  :class:`~repro.core.memory.DataMemory` methods, which raise the
+  architectural trap), and
+* latencies, destination indices, the read-port set and guard checks
+  (emitted only for non-``p0`` guards) inlined as constants.
+
+Write-back scheduling replaces the global ``(ready, seq)`` heap with a
+dictionary of per-ready-cycle lists: every write-back latency is at
+least one cycle, so the drain simply scans forward from the last
+drained cycle — ascending ready order, list order preserving issue
+order, exactly the heap's pop order.  Forwarding bookkeeping is a flat
+list indexed by register number.
+
+Cycle-exactness guarantee
+=========================
+
+The fast path is an *optimisation*, never a semantic fork: for every
+program it accepts it produces bit-identical cycle counts, statistics
+and architectural state to the instrumented path.  Differential tests
+(``tests/core/test_fastpath.py``) enforce this over all four paper
+workloads across the 1-4 ALU presets, and ``repro-bench`` re-asserts
+it on every benchmarking run.  Two intentional asymmetries exist only
+on *aborted* runs, which neither path completes:
+
+* per-op counters of a bundle whose later operation traps may include
+  statically-hoisted increments for operations after the trap point;
+* the ``halt`` trap policy is required, so a trap always propagates.
+
+Programs the specialiser cannot prove safe (register indices outside
+the configured files, more than one control operation or store per
+bundle, sub-cycle write-back latencies) are rejected at load time and
+the processor silently uses the instrumented path instead.  Planted
+parity faults (``poison``) are a run-time condition with the same
+effect: :meth:`~repro.core.machine.EpicProcessor.run` routes runs with
+a non-empty poison set to the instrumented loop, whose register reads
+go through the parity-checking accessors.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core import decode as dec
+from repro.errors import (
+    CycleLimitExceeded,
+    HangDetected,
+    TrapError,
+    TRAP_ILLEGAL_INSTRUCTION,
+)
+from repro.isa.semantics import ALU_SEMANTICS, CMP_SEMANTICS, to_signed
+
+# Layout of the shared counts list ``C`` referenced by generated code.
+_C_EXEC = 0        # ops_executed
+_C_SQUASH = 1      # ops_squashed
+_C_NOPS = 2
+_C_BRANCHES = 3
+_C_MEMR = 4        # memory_reads
+_C_MEMW = 5        # memory_writes
+_C_READS = 6       # regfile_reads (ports + forwarded)
+_C_FWD = 7         # regfile_reads_forwarded
+_C_FU0 = 8         # first per-FU-class slot; more appended as discovered
+
+#: Control-transfer kinds — at most one may appear per bundle for the
+#: specialiser's single branch-decision variable to be faithful.
+_CONTROL_KINDS = frozenset({
+    dec.K_BR, dec.K_BRCT, dec.K_BRCF, dec.K_BRL, dec.K_HALT,
+})
+
+#: Kinds that never schedule a write-back (everything else must have a
+#: latency of at least one cycle for the forward-scanning drain to see
+#: its pending entry).
+_NO_WRITEBACK_KINDS = frozenset({
+    dec.K_STORE, dec.K_BR, dec.K_BRCT, dec.K_BRCF, dec.K_HALT,
+})
+
+#: CMPP mnemonics comparing the raw (unsigned) register values, which
+#: are invariantly masked — inlined as a bare Python comparison.
+_CMP_UNSIGNED = {
+    "CMPP_EQ": "==", "CMPP_NE": "!=", "CMPP_ULT": "<", "CMPP_UGE": ">=",
+}
+
+#: CMPP mnemonics comparing two's-complement values — inlined with the
+#: sign conversion open-coded.
+_CMP_SIGNED = {
+    "CMPP_LT": "<", "CMPP_LE": "<=", "CMPP_GT": ">", "CMPP_GE": ">=",
+}
+
+
+class _Ineligible(Exception):
+    """Internal: the program cannot be specialised; use the slow path."""
+
+
+def _src_expr(lit: bool, payload: int, mask: int, used: Set[str]) -> str:
+    """Expression for one source operand (literal folded, reg indexed)."""
+    if lit:
+        return repr(payload & mask)
+    used.add("G")
+    return f"G[{payload}]"
+
+
+def _signed_operand(lit: bool, payload: int, config, used: Set[str],
+                    var: str) -> Tuple[List[str], str]:
+    """Prelude lines + expression for a two's-complement source operand."""
+    width = config.datapath_width
+    if lit:
+        return [], repr(to_signed(payload & config.mask, width))
+    used.add("G")
+    return [
+        f"{var} = G[{payload}]",
+        f"if {var} >= {1 << (width - 1)}:",
+        f"    {var} -= {1 << width}",
+    ], var
+
+
+def _alu_inline(op, config, used: Set[str]) -> Optional[Tuple[List[str], str]]:
+    """Open-coded expression for a built-in ALU op, if one exists.
+
+    Register values and folded literals are invariantly in
+    ``[0, mask]``, which is what lets the ``to_unsigned`` clamps of
+    :mod:`repro.isa.semantics` reduce to a single ``& mask`` (or vanish
+    for the bitwise ops, whose results cannot leave the range).
+    """
+    mask = config.mask
+    shift_mask = config.datapath_width - 1
+    a = _src_expr(op.s1_lit, op.s1, mask, used)
+    b = _src_expr(op.s2_lit, op.s2, mask, used)
+    mnemonic = op.mnemonic
+    if mnemonic == "ADD":
+        return [], f"({a} + {b}) & {mask}"
+    if mnemonic == "SUB":
+        return [], f"({a} - {b}) & {mask}"
+    if mnemonic == "MUL":
+        return [], f"({a} * {b}) & {mask}"
+    if mnemonic == "AND":
+        return [], f"{a} & {b}"
+    if mnemonic == "OR":
+        return [], f"{a} | {b}"
+    if mnemonic == "XOR":
+        return [], f"{a} ^ {b}"
+    if mnemonic == "ANDCM":
+        return [], f"{a} & ~{b}"
+    if mnemonic == "SHL":
+        return [], f"({a} << ({b} & {shift_mask})) & {mask}"
+    if mnemonic == "SHR":
+        return [], f"{a} >> ({b} & {shift_mask})"
+    if mnemonic == "SHRA":
+        pre, signed_a = _signed_operand(op.s1_lit, op.s1, config, used, "_x")
+        return pre, f"({signed_a} >> ({b} & {shift_mask})) & {mask}"
+    return None  # DIV/REM/MIN/MAX stay on the semantics call
+
+
+def _cmp_inline(op, config, used: Set[str]) -> Optional[Tuple[List[str], str]]:
+    """Open-coded 0/1 expression for a built-in CMPP op, if one exists."""
+    mnemonic = op.mnemonic
+    if mnemonic in _CMP_UNSIGNED:
+        a = _src_expr(op.s1_lit, op.s1, config.mask, used)
+        b = _src_expr(op.s2_lit, op.s2, config.mask, used)
+        return [], f"{a} {_CMP_UNSIGNED[mnemonic]} {b}"
+    if mnemonic in _CMP_SIGNED:
+        pre_a, a = _signed_operand(op.s1_lit, op.s1, config, used, "_x")
+        pre_b, b = _signed_operand(op.s2_lit, op.s2, config, used, "_y")
+        return pre_a + pre_b, f"{a} {_CMP_SIGNED[mnemonic]} {b}"
+    return None
+
+
+def _push_lines(space: int, index: int, value_expr: str, latency: int,
+                used: Set[str]) -> List[str]:
+    """Schedule ``value_expr`` to land on ``space[index]`` after ``latency``.
+
+    Mirrors the instrumented path's heap push: entries grouped by ready
+    cycle, applied by the drain in ``(ready, issue-order)`` order.
+    """
+    used.add("PD")
+    return [
+        f"_v = {value_expr}",
+        f"_t = cycle + {latency}",
+        "_q = PD.get(_t)",
+        "if _q is None:",
+        "    _q = PD[_t] = []",
+        f"_q.append(({space}, {index}, _v))",
+    ]
+
+
+def _check_index(value: int, limit: int, what: str) -> None:
+    if not 0 <= value < limit:
+        raise _Ineligible(f"{what} index {value} outside configured file "
+                          f"(limit {limit})")
+
+
+def _op_body(op, pc: int, slot: int, config, namespace: Dict[str, object],
+             used: Set[str]) -> Tuple[List[str], bool, List[Tuple[int, int]]]:
+    """Generate the body of one pre-decoded op.
+
+    Returns ``(lines, is_control, counter_bumps)`` where
+    ``counter_bumps`` lists ``(counts_index, increment)`` pairs the op
+    contributes whenever it executes — emitted as code only under a
+    guard, otherwise folded into the bundle's static visit counts.
+    Raises :class:`_Ineligible` for anything the fast path cannot
+    reproduce bit-exactly.
+    """
+    kind = op.kind
+    mask = config.mask
+    width = config.datapath_width
+    n_gprs = config.n_gprs
+    n_preds = config.n_preds
+    n_btrs = config.n_btrs
+    for reg in op.gpr_reads:
+        _check_index(reg, n_gprs, "GPR read")
+    _check_index(op.guard, n_preds, "guard predicate")
+    if op.latency < 1 and kind not in _NO_WRITEBACK_KINDS:
+        # The forward-scanning drain only looks at cycles it has not
+        # drained yet; a same-cycle write-back would be missed.
+        raise _Ineligible("write-back latency below one cycle")
+
+    def addr_lines(var: str) -> List[str]:
+        """Effective address: wrap onto the datapath, then sign."""
+        base = _src_expr(op.s1_lit, op.s1, mask, used)
+        offset = _src_expr(op.s2_lit, op.s2, mask, used)
+        return [
+            f"{var} = ({base} + {offset}) & {mask}",
+            f"if {var} >= {1 << (width - 1)}:",
+            f"    {var} -= {1 << width}",
+        ]
+
+    if kind in (dec.K_ALU, dec.K_CUSTOM):
+        _check_index(op.d1, n_gprs, "GPR destination")
+        a = _src_expr(op.s1_lit, op.s1, mask, used)
+        if op.fn is None:  # MOVE: plain copy of src1
+            return _push_lines(0, op.d1, a, op.latency, used), False, []
+        inline = None
+        if kind == dec.K_ALU and op.fn is ALU_SEMANTICS.get(op.mnemonic):
+            inline = _alu_inline(op, config, used)
+        if inline is not None:
+            prelude, expr = inline
+            return prelude + _push_lines(0, op.d1, expr,
+                                         op.latency, used), False, []
+        b = _src_expr(op.s2_lit, op.s2, mask, used)
+        fn_name = f"F{pc}_{slot}"
+        namespace[fn_name] = op.fn
+        used.add(fn_name)
+        third = mask if kind == dec.K_CUSTOM else width
+        return _push_lines(0, op.d1, f"{fn_name}({a}, {b}, {third})",
+                           op.latency, used), False, []
+
+    if kind == dec.K_MOVI:
+        _check_index(op.d1, n_gprs, "GPR destination")
+        return _push_lines(0, op.d1, repr(op.s1 & mask),
+                           op.latency, used), False, []
+
+    if kind == dec.K_CMP:
+        _check_index(op.d1, n_preds, "predicate destination")
+        _check_index(op.d2, n_preds, "predicate destination")
+        inline = None
+        if op.fn is CMP_SEMANTICS.get(op.mnemonic):
+            inline = _cmp_inline(op, config, used)
+        if inline is not None:
+            prelude, expr = inline
+            condition = expr
+        else:
+            a = _src_expr(op.s1_lit, op.s1, mask, used)
+            b = _src_expr(op.s2_lit, op.s2, mask, used)
+            fn_name = f"F{pc}_{slot}"
+            namespace[fn_name] = op.fn
+            used.add(fn_name)
+            prelude, condition = [], f"{fn_name}({a}, {b}, {width})"
+        used.add("PD")
+        return prelude + [
+            f"_v = {condition}",
+            f"_t = cycle + {op.latency}",
+            "_q = PD.get(_t)",
+            "if _q is None:",
+            "    _q = PD[_t] = []",
+            f"_q.append((1, {op.d1}, _v))",
+            f"_q.append((1, {op.d2}, 1 - _v))",
+        ], False, []
+
+    if kind in (dec.K_LOAD, dec.K_LOAD_SPEC):
+        _check_index(op.d1, n_gprs, "GPR destination")
+        lines = addr_lines("_a")
+        n_words = namespace["_N_MEM_WORDS"]
+        used.add("MEM")
+        if kind == dec.K_LOAD_SPEC:
+            # Dismissible load: bad addresses read as zero.
+            lines.append(f"_v = MEM[_a] if 0 <= _a < {n_words} else 0")
+        else:
+            # In-range reads index the word array directly; anything
+            # else goes through DataMemory.read for the OOB trap.
+            used.add("MR")
+            lines.append(f"_v = MEM[_a] if 0 <= _a < {n_words} else MR(_a)")
+        lines += _push_lines(0, op.d1, "_v", op.latency, used)
+        return lines, False, [(_C_MEMR, 1)]
+
+    if kind == dec.K_STORE:
+        _check_index(op.d1, n_gprs, "store source")
+        n_words = namespace["_N_MEM_WORDS"]
+        used.update(("MC", "G"))
+        return addr_lines("_ta") + [
+            f"if not 0 <= _ta < {n_words}:",
+            "    MC(_ta)",  # raises the OOB store trap
+            "_sa = _ta",
+            f"_sv = G[{op.d1}]",
+        ], False, [(_C_MEMW, 1)]
+
+    if kind == dec.K_PBR:
+        _check_index(op.d1, n_btrs, "BTR destination")
+        if op.s1 < 0:
+            raise _Ineligible("PBR with negative target")
+        return _push_lines(2, op.d1, repr(op.s1), op.latency, used), False, []
+
+    if kind == dec.K_MOVGBP:
+        _check_index(op.d1, n_btrs, "BTR destination")
+        value = _src_expr(op.s1_lit, op.s1, mask, used)
+        return _push_lines(2, op.d1, value, op.latency, used), False, []
+
+    if kind in (dec.K_BR, dec.K_BRL):
+        _check_index(op.s1, n_btrs, "branch-target read")
+        used.add("B")
+        lines = [f"_tg = B[{op.s1}]"]
+        if kind == dec.K_BRL:
+            _check_index(op.d1, n_gprs, "link destination")
+            lines += _push_lines(0, op.d1, repr((pc + 1) & mask),
+                                 op.latency, used)
+        return lines, True, [(_C_BRANCHES, 1)]
+
+    if kind in (dec.K_BRCT, dec.K_BRCF):
+        _check_index(op.s1, n_btrs, "branch-target read")
+        _check_index(op.s2, n_preds, "branch condition")
+        used.update(("B", "P"))
+        test = f"P[{op.s2}]" if kind == dec.K_BRCT else f"not P[{op.s2}]"
+        return [
+            f"if {test}:",
+            f"    _tg = B[{op.s1}]",
+        ], True, [(_C_BRANCHES, 1)]
+
+    if kind == dec.K_HALT:
+        return ["_tg = -1"], True, []
+
+    raise _Ineligible(f"unsupported op kind {kind}")
+
+
+def _bundle_source(pc: int, bundle, config, namespace: Dict[str, object],
+                   fu_slot, forwarding: bool
+                   ) -> Tuple[str, str, List[Tuple[int, int]]]:
+    """Generate one bundle's execution function.
+
+    Returns ``(name, source, static_counts)``.  ``static_counts`` holds
+    the counter increments every execution of the bundle is known to
+    make (ops not behind a guard, NOP slots, the static read set): the
+    run loop only counts *visits* per bundle and multiplies these out
+    at the end, so the generated code carries no bookkeeping for them.
+    Guarded ops keep their increments inline, inside the guard test.
+    """
+    used: Set[str] = set()
+    body: List[str] = []
+    static: Dict[int, int] = {}
+
+    # -- stage 1: read-port accounting (read set known statically) ------
+    read_set = [r for r in bundle.gpr_read_set if r]
+    if read_set:
+        static[_C_READS] = len(read_set)
+    if forwarding and read_set:
+        used.update(("RA", "C"))
+        # A read is forwarded exactly when its producer's write-back
+        # landed this very cycle; total ports used is invariant, so the
+        # per-register test collapses to one branch-free sum.
+        forwarded = " + ".join(f"(RA[{reg}] == cycle)" for reg in read_set)
+        body.append(f"_f = {forwarded}")
+        body.append(f"reads = {len(read_set)} - _f")
+        body.append(f"C[{_C_FWD}] += _f")
+    else:
+        body.append(f"reads = {len(read_set)}")
+
+    # -- stage 2: execute, with per-op code unrolled --------------------
+    has_control = any(op.kind in _CONTROL_KINDS for op in bundle.ops)
+    if sum(op.kind in _CONTROL_KINDS for op in bundle.ops) > 1:
+        raise _Ineligible("more than one control operation in a bundle")
+    has_store = any(op.kind == dec.K_STORE for op in bundle.ops)
+    if sum(op.kind == dec.K_STORE for op in bundle.ops) > 1:
+        # The generated code holds one buffered store in (_sa, _sv).
+        raise _Ineligible("more than one store in a bundle")
+    if has_control:
+        body.append("_tg = None")
+    if has_store:
+        body.append("_sa = -1")
+
+    for slot, op in enumerate(bundle.ops):
+        if op.kind == dec.K_NOP:
+            static[_C_NOPS] = static.get(_C_NOPS, 0) + 1
+            continue
+        lines, _, bumps = _op_body(op, pc, slot, config, namespace, used)
+        fu_index = fu_slot(op.fu)
+        if op.guard:
+            used.update(("P", "C"))
+            body.append(f"if P[{op.guard}]:")
+            body.append(f"    C[{_C_EXEC}] += 1")
+            body.append(f"    C[{fu_index}] += 1")
+            for index, k in bumps:
+                body.append(f"    C[{index}] += {k}")
+            body.extend("    " + line for line in lines)
+            body.append("else:")
+            body.append(f"    C[{_C_SQUASH}] += 1")
+        else:
+            static[_C_EXEC] = static.get(_C_EXEC, 0) + 1
+            static[fu_index] = static.get(fu_index, 0) + 1
+            for index, k in bumps:
+                static[index] = static.get(index, 0) + k
+            body.extend(lines)
+
+    # -- buffered stores land once the whole bundle has executed -------
+    tail: List[str] = []
+    if has_store:
+        used.add("MEM")
+        tail.append("if _sa >= 0:")
+        tail.append("    MEM[_sa] = _sv")  # G values are pre-masked
+    # Non-control bundles return a bare int: no per-cycle tuple.
+    tail.append("return reads, _tg" if has_control else "return reads")
+
+    name = f"_b{pc}"
+    params = ["cycle"] + [f"{n}={n}" for n in sorted(used)]
+    lines = [f"def {name}({', '.join(params)}):"]
+    lines.extend("    " + line for line in body + tail)
+    return name, "\n".join(lines), sorted(static.items())
+
+
+def specialise(machine) -> Optional["FastSim"]:
+    """Build the fast execution engine for ``machine``'s loaded program.
+
+    Returns ``None`` when the program contains something the fast path
+    cannot reproduce bit-exactly (the caller then stays on the
+    instrumented loop).
+    """
+    try:
+        return FastSim(machine)
+    except _Ineligible:
+        return None
+
+
+class FastSim:
+    """Compiled per-bundle execution records plus the fast run loop."""
+
+    def __init__(self, machine):
+        config = machine.config
+        # Shared mutable context the generated functions bind directly.
+        counts_len = _C_FU0
+        fu_index: Dict[str, int] = {}
+
+        def fu_slot(fu_class: str) -> int:
+            nonlocal counts_len
+            if fu_class not in fu_index:
+                fu_index[fu_class] = counts_len
+                counts_len += 1
+            return fu_index[fu_class]
+
+        namespace: Dict[str, object] = {
+            # Memory size is fixed for the machine's lifetime; the code
+            # generator inlines it into the bounds checks.
+            "_N_MEM_WORDS": len(machine.memory),
+        }
+        names: List[str] = []
+        sources: List[str] = []
+        statics: List[List[Tuple[int, int]]] = []
+        for pc, bundle in enumerate(machine._bundles):
+            name, source, static_counts = _bundle_source(
+                pc, bundle, config, namespace, fu_slot,
+                forwarding=config.forwarding,
+            )
+            names.append(name)
+            sources.append(source)
+            statics.append(static_counts)
+
+        counts = [0] * counts_len
+        pending: Dict[int, List[Tuple[int, int, int]]] = {}
+        namespace.update(
+            G=machine.gpr._values,
+            P=machine.pred._values,
+            B=machine.btr._values,
+            RA=[-1] * config.n_gprs,
+            C=counts,
+            PD=pending,
+            MEM=machine.memory._words,
+            MR=machine.memory.read,
+            MC=machine.memory.check_write,
+        )
+        code = compile("\n\n".join(sources), "<repro.core.fastpath>", "exec")
+        exec(code, namespace)  # noqa: S102 - our own generated source
+
+        self._machine = machine
+        self._fns = [namespace[name] for name in names]
+        self._static = statics
+        self._n_mem = [bundle.n_mem for bundle in machine._bundles]
+        self._counts = counts
+        self._fu_index = fu_index
+        self._pending = pending
+        self._ready_at = namespace["RA"]
+        self._gpr_values = machine.gpr._values
+        self._pred_values = machine.pred._values
+        self._btr_values = machine.btr._values
+
+    # -- run loop ----------------------------------------------------------
+
+    def run(self, max_cycles: int, watchdog_cycles: Optional[int]) -> int:
+        """Execute until HALT; returns the final cycle count.
+
+        Statistics are folded into the machine's :class:`SimStats` (also
+        on abnormal exits, so a partially-run processor still reports
+        what it did).  Raises exactly what the instrumented path would:
+        :class:`~repro.errors.CycleLimitExceeded`,
+        :class:`~repro.errors.HangDetected` or a propagating
+        :class:`~repro.errors.TrapError` under the ``halt`` policy.
+        """
+        machine = self._machine
+        config = machine.config
+        stats = machine.stats
+        fns = self._fns
+        n_mem = self._n_mem
+        n_bundles = len(fns)
+        gmask = config.mask
+
+        gpr = self._gpr_values
+        pred = self._pred_values
+        btr = self._btr_values
+        counts = self._counts
+        pending = self._pending
+        pending_pop = pending.pop
+        ready_at = self._ready_at
+
+        # Fresh per-run context (a prior aborted run may have leftovers).
+        for i in range(len(counts)):
+            counts[i] = 0
+        pending.clear()
+        ready_at[:] = [-1] * len(ready_at)
+
+        port_budget = config.regfile_ops_per_cycle
+        model_ports = config.model_port_limit
+        share_bandwidth = config.lsu_shares_fetch_bandwidth
+        fetch_bits = config.issue_width * 64
+        bank_bits = config.n_mem_banks * 32 * 2
+        branch_penalty = config.taken_branch_penalty
+
+        # Per-bundle visit counts: each visit implies the bundle's
+        # static counter increments, multiplied out in the fold below.
+        visits = [0] * n_bundles
+        branches_taken = 0
+        branch_bubbles = 0
+        port_stalls = 0
+        fetch_stalls = 0
+        regfile_writes = 0
+        traps_seen = 0
+
+        # One hoisted limit check per cycle; which limit tripped decides
+        # the exception, preserving the instrumented path's precedence
+        # (cycle budget checked before the watchdog).
+        limit = max_cycles
+        if watchdog_cycles is not None and watchdog_cycles < limit:
+            limit = watchdog_cycles
+
+        cycle = 0
+        next_ready = 0  # lowest write-back cycle not yet drained
+        pc = machine.program.entry
+        try:
+            while True:
+                if cycle >= limit:
+                    if cycle >= max_cycles:
+                        raise CycleLimitExceeded(
+                            "cycle budget exhausted (runaway program?)",
+                            cycle=cycle, pc=pc, limit=max_cycles,
+                        )
+                    raise HangDetected(
+                        "watchdog fired: execution ran far past the "
+                        "expected cycle count",
+                        cycle=cycle, pc=pc, limit=watchdog_cycles,
+                    )
+                if not 0 <= pc < n_bundles:
+                    raise TrapError(
+                        "control fell outside the program (missing HALT "
+                        "or corrupted branch target?)",
+                        cause=TRAP_ILLEGAL_INSTRUCTION, cycle=cycle, pc=pc,
+                    )
+
+                # Write-backs due by now, in (ready, issue-order) order.
+                # Every pending entry is scheduled at least one cycle
+                # ahead, so scanning forward from the last drained cycle
+                # visits each ready cycle exactly once.
+                while next_ready < cycle:
+                    queue = pending_pop(next_ready, None)
+                    if queue is not None:
+                        for space, index, value in queue:
+                            if space == 0:
+                                if index:
+                                    gpr[index] = value & gmask
+                                ready_at[index] = next_ready
+                                regfile_writes += 1
+                            elif space == 1:
+                                if index:
+                                    pred[index] = 1 if value else 0
+                            else:
+                                btr[index] = value
+                    next_ready += 1
+                writes_landing = 0
+                queue = pending_pop(cycle, None)
+                if queue is not None:
+                    for space, index, value in queue:
+                        if space == 0:
+                            if index:
+                                gpr[index] = value & gmask
+                            ready_at[index] = cycle
+                            regfile_writes += 1
+                            writes_landing += 1
+                        elif space == 1:
+                            if index:
+                                pred[index] = 1 if value else 0
+                        else:
+                            btr[index] = value
+                next_ready = cycle + 1
+
+                visits[pc] += 1
+                try:
+                    result = fns[pc](cycle)
+                except TrapError as trap:
+                    trap.annotate(cycle, pc)
+                    machine.traps.append(trap)
+                    traps_seen += 1
+                    raise  # fast path requires the "halt" trap policy
+                if result.__class__ is int:  # non-control bundle
+                    reads = result
+                    target = None
+                else:
+                    reads, target = result
+
+                extra = 0
+                if model_ports:
+                    port_ops = reads + writes_landing
+                    if port_ops > port_budget:
+                        stall = (port_ops + port_budget - 1) // port_budget - 1
+                        port_stalls += stall
+                        extra += stall
+                if share_bandwidth and n_mem[pc]:
+                    demand = fetch_bits + 32 * n_mem[pc]
+                    stall = (demand + bank_bits - 1) // bank_bits - 1
+                    fetch_stalls += stall
+                    extra += stall
+
+                if target is None:
+                    pc += 1
+                elif target >= 0:
+                    branches_taken += 1
+                    branch_bubbles += branch_penalty
+                    extra += branch_penalty
+                    pc = target
+                else:  # HALT
+                    cycle += 1 + extra
+                    break
+                cycle += 1 + extra
+        finally:
+            # Fold local and generated-code counters into the shared
+            # stats object — also on abnormal exits.  Static per-bundle
+            # counts are multiplied out by visit count here, which is
+            # what lets the generated code skip them entirely.
+            bundles_issued = 0
+            statics = self._static
+            for i, n in enumerate(visits):
+                if n:
+                    bundles_issued += n
+                    for index, k in statics[i]:
+                        counts[index] += n * k
+            stats.bundles += bundles_issued
+            stats.branches_taken += branches_taken
+            stats.branch_bubble_cycles += branch_bubbles
+            stats.port_stall_cycles += port_stalls
+            stats.fetch_stall_cycles += fetch_stalls
+            stats.regfile_writes += regfile_writes
+            stats.traps += traps_seen
+            stats.ops_executed += counts[_C_EXEC]
+            stats.ops_squashed += counts[_C_SQUASH]
+            stats.nops += counts[_C_NOPS]
+            stats.branches += counts[_C_BRANCHES]
+            stats.memory_reads += counts[_C_MEMR]
+            stats.memory_writes += counts[_C_MEMW]
+            stats.regfile_reads += counts[_C_READS]
+            stats.regfile_reads_forwarded += counts[_C_FWD]
+            fu_busy = stats.fu_busy
+            for fu_class, index in self._fu_index.items():
+                if counts[index]:
+                    fu_busy[fu_class] = (
+                        fu_busy.get(fu_class, 0) + counts[index]
+                    )
+            for i in range(len(counts)):
+                counts[i] = 0
+
+        # Drain outstanding write-backs so final state is architectural.
+        # All remaining entries are at ``next_ready`` or later (pushes
+        # land at least one cycle after their issue cycle).
+        while pending:
+            queue = pending_pop(next_ready, None)
+            next_ready += 1
+            if queue is None:
+                continue
+            for space, index, value in queue:
+                if space == 0:
+                    if index:
+                        gpr[index] = value & gmask
+                elif space == 1:
+                    if index:
+                        pred[index] = 1 if value else 0
+                else:
+                    btr[index] = value
+
+        stats.cycles = cycle
+        return cycle

@@ -132,6 +132,9 @@ class EpicProcessor:
         self.injector = injector
         if injector is not None:
             injector.attach(self)
+        #: Lazily-built fast execution engine (``False`` once the
+        #: program has been found ineligible for specialisation).
+        self._fastsim = None
         # Stack grows down from the top of data memory.
         self.gpr.write(1, mem_words)
 
@@ -146,13 +149,17 @@ class EpicProcessor:
 
     def run(self, max_cycles: int = 200_000_000,
             trace=None,
-            watchdog_cycles: Optional[int] = None) -> SimulationResult:
+            watchdog_cycles: Optional[int] = None,
+            fast: Optional[bool] = None) -> SimulationResult:
         """Execute until HALT; returns the cycle count and statistics.
 
         ``trace``, if given, is called once per issued bundle with
         ``(cycle, pc, bundle)`` where ``bundle`` is the architectural
-        :class:`~repro.isa.Bundle` — see :mod:`repro.core.trace` for a
-        ready-made text tracer.
+        :class:`~repro.isa.Bundle` that actually entered the pipeline —
+        when a fault injector substitutes a corrupted fetch, the
+        corrupted bundle is passed with ``corrupted=True`` as an extra
+        keyword argument.  See :mod:`repro.core.trace` for a ready-made
+        text tracer.
 
         Exhausting ``max_cycles`` raises
         :class:`~repro.errors.CycleLimitExceeded`.  ``watchdog_cycles``,
@@ -161,6 +168,64 @@ class EpicProcessor:
         through it raises :class:`~repro.errors.HangDetected` so a
         fault-induced livelock is cut off long before the 200M-cycle
         safety net.
+
+        ``fast`` selects the execution engine.  ``None`` (the default)
+        picks automatically: the pre-specialised fast path
+        (:mod:`repro.core.fastpath`) whenever no tracer, no fault
+        injector, no strict-NUAL checking and the ``halt`` trap policy
+        are in effect, the instrumented loop otherwise.  ``False``
+        forces the instrumented loop (the reference for differential
+        testing); ``True`` demands the fast path and raises
+        :class:`~repro.errors.SimulationError` if it cannot honour the
+        configuration.  Both engines are cycle-exact: they produce
+        bit-identical cycle counts, statistics and architectural state.
+        """
+        eligible = (trace is None and self.injector is None
+                    and not self.strict_nual
+                    and self.config.trap_policy == "halt"
+                    and not (self.memory._poisoned or self.gpr._poisoned
+                             or self.pred._poisoned or self.btr._poisoned))
+        requested = fast is True
+        if fast is None:
+            fast = eligible
+        elif fast and not eligible:
+            raise SimulationError(
+                "fast path requested but unavailable: it supports neither "
+                "tracing, fault injection, strict NUAL checking, non-halt "
+                "trap policies nor planted parity faults"
+            )
+        if fast:
+            sim = self._fast_sim()
+            if sim is not None:
+                cycles = sim.run(max_cycles=max_cycles,
+                                 watchdog_cycles=watchdog_cycles)
+                return SimulationResult(cycles=cycles, stats=self.stats,
+                                        halted=True, traps=list(self.traps))
+            if requested:
+                raise SimulationError(
+                    "fast path requested but the loaded program cannot be "
+                    "specialised (register index outside the configured "
+                    "files or multiple control operations per bundle)"
+                )
+        return self._run_instrumented(max_cycles=max_cycles, trace=trace,
+                                      watchdog_cycles=watchdog_cycles)
+
+    def _fast_sim(self):
+        """The cached fast engine, or ``None`` if the program is ineligible."""
+        if self._fastsim is None:
+            from repro.core.fastpath import specialise
+
+            self._fastsim = specialise(self) or False
+        return self._fastsim or None
+
+    def _run_instrumented(self, max_cycles: int = 200_000_000,
+                          trace=None,
+                          watchdog_cycles: Optional[int] = None
+                          ) -> SimulationResult:
+        """The fully-hooked reference loop (tracing, injection, strict NUAL).
+
+        This is the behavioural definition of the machine; the fast path
+        must match it bit-for-bit (see :mod:`repro.core.fastpath`).
         """
         config = self.config
         stats = self.stats
@@ -184,8 +249,10 @@ class EpicProcessor:
         # Pending write-backs: heap of (ready_cycle, seq, space, index, value).
         pending: List[Tuple[int, int, int, int, int]] = []
         seq = 0
-        # Cycle at which each GPR last received a write-back (for forwarding).
-        gpr_ready_at: Dict[int, int] = {}
+        # Cycle at which each GPR last received a write-back (for
+        # forwarding) — a flat list indexed by register number.
+        n_gprs = config.n_gprs
+        gpr_ready_at: List[int] = [-1] * n_gprs
         # Strict-NUAL bookkeeping: writes in flight from earlier cycles.
         strict = self.strict_nual
         inflight: Dict[Tuple[int, int], int] = {}
@@ -263,8 +330,6 @@ class EpicProcessor:
 
             bundle = bundles[pc]
             stats.bundles += 1
-            if trace is not None:
-                trace(cycle, pc, self.program.bundles[pc])
 
             seq_start = seq
             taken = False
@@ -272,11 +337,23 @@ class EpicProcessor:
             reads = 0
             forwarded = 0
             try:
+                corrupted_fetch = False
                 if injector is not None:
                     injector.on_cycle(cycle)
                     corrupted = injector.fetch_bundle(cycle, pc)
                     if corrupted is not None:
                         bundle = corrupted
+                        corrupted_fetch = True
+                # Trace the bundle that actually entered the pipeline: a
+                # corrupted fetch substitutes for the program's own bundle
+                # and is flagged so fault-campaign traces are honest.  (If
+                # the corrupted word no longer decodes at all, the fetch
+                # raises before anything executes and no line is traced.)
+                if trace is not None:
+                    if corrupted_fetch:
+                        trace(cycle, pc, bundle.source, corrupted=True)
+                    else:
+                        trace(cycle, pc, self.program.bundles[pc])
                 if strict:
                     for op in bundle.ops:
                         if op.guard:
@@ -297,7 +374,11 @@ class EpicProcessor:
                 for reg in bundle.gpr_read_set:
                     if reg == 0:
                         continue  # r0 is not a real port
-                    if forwarding and gpr_ready_at.get(reg) == cycle:
+                    # A corrupted fetch can name a register beyond the
+                    # file; it still occupies a read port here and traps
+                    # when stage 2 actually reads it.
+                    if forwarding and reg < n_gprs \
+                            and gpr_ready_at[reg] == cycle:
                         forwarded += 1
                     else:
                         reads += 1

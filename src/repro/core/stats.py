@@ -38,10 +38,6 @@ class SimStats:
         self.fu_busy[fu_class] = self.fu_busy.get(fu_class, 0) + 1
 
     @property
-    def useful_ops(self) -> int:
-        return self.ops_executed
-
-    @property
     def ilp(self) -> float:
         """Achieved instruction-level parallelism (useful ops per cycle)."""
         return self.ops_executed / self.cycles if self.cycles else 0.0
@@ -66,7 +62,12 @@ class SimStats:
             f"stalls port/fetch/branch: "
             f"{self.port_stall_cycles}/{self.fetch_stall_cycles}/"
             f"{self.branch_bubble_cycles}",
+            f"regfile reads     : {self.regfile_reads} "
+            f"({self.regfile_reads_forwarded} forwarded)",
+            f"regfile writes    : {self.regfile_writes}",
         ]
+        if self.traps:
+            lines.append(f"traps             : {self.traps}")
         if self.fu_busy:
             busy = ", ".join(
                 f"{name}={count}" for name, count in sorted(self.fu_busy.items())

@@ -26,7 +26,14 @@ class Tracer:
         self._last_cycle: Optional[int] = None
         self.truncated = False
 
-    def __call__(self, cycle: int, pc: int, bundle: Bundle) -> None:
+    def __call__(self, cycle: int, pc: int, bundle: Bundle,
+                 corrupted: bool = False) -> None:
+        """Record one issued bundle.
+
+        ``corrupted`` is set by the core when a fault injector
+        substituted this bundle for the program's own at fetch time; the
+        line is marked so campaign traces show what actually executed.
+        """
         if len(self.lines) >= self.max_lines:
             self.truncated = True
             return
@@ -38,7 +45,9 @@ class Tracer:
             if self.show_nops or not instr.is_nop
         ]
         rendered = " ; ".join(slots) if slots else "(empty)"
-        self._emit(f"{cycle:>10}  @{pc:<6} {rendered}")
+        marker = "!" if corrupted else "@"
+        suffix = "   <corrupted fetch>" if corrupted else ""
+        self._emit(f"{cycle:>10}  {marker}{pc:<6} {rendered}{suffix}")
         self._last_cycle = cycle
 
     def _emit(self, line: str) -> None:

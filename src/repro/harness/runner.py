@@ -44,17 +44,40 @@ class BenchmarkRun:
     outcome: str = OUTCOME_OK
 
     @property
+    def ok(self) -> bool:
+        return self.outcome == OUTCOME_OK
+
+    @property
     def time_seconds(self) -> float:
+        """Execution time of a *completed* run.
+
+        A run that did not finish (``outcome`` != :data:`OUTCOME_OK`)
+        has no execution time — its ``cycles`` field holds the budget it
+        was cut off at, and converting that into milliseconds would turn
+        a non-measurement into a plausible-looking figure.  Such runs
+        raise instead of lying.
+        """
+        if self.outcome != OUTCOME_OK:
+            raise SimulationError(
+                f"{self.workload} on {self.machine}: outcome is "
+                f"{self.outcome!r}; the {self.cycles}-cycle figure is a "
+                "budget, not a measurement"
+            )
         return self.cycles / (self.clock_mhz * 1e6)
 
     def __str__(self) -> str:
+        if self.outcome != OUTCOME_OK:
+            return (
+                f"{self.workload} on {self.machine}: {self.outcome} "
+                f"after a {self.cycles}-cycle budget (no measurement)"
+            )
         return (
             f"{self.workload} on {self.machine}: {self.cycles} cycles "
             f"@ {self.clock_mhz} MHz = {self.time_seconds * 1e3:.3f} ms"
         )
 
 
-def _check_outputs(name: str, machine: str, spec: WorkloadSpec,
+def check_outputs(name: str, machine: str, spec: WorkloadSpec,
                    read_global, return_value: Optional[int]) -> None:
     for global_name, expected in spec.expected.items():
         got = read_global(global_name, len(expected))
@@ -105,7 +128,7 @@ def run_on_epic(spec: WorkloadSpec, config: MachineConfig,
             base = compilation.symbols[name]
             return [cpu.memory.read(base + i) for i in range(count)]
 
-        _check_outputs(spec.name, machine, spec, read_global,
+        check_outputs(spec.name, machine, spec, read_global,
                        cpu.gpr.read(2))
     stats = cpu.stats
     return BenchmarkRun(
@@ -137,7 +160,7 @@ def run_on_baseline(spec: WorkloadSpec, validate: bool = True,
             base = compilation.symbols[name]
             return simulator.memory[base:base + count]
 
-        _check_outputs(spec.name, "SA-110", spec, read_global,
+        check_outputs(spec.name, "SA-110", spec, read_global,
                        result.return_value)
     return BenchmarkRun(
         workload=spec.name,

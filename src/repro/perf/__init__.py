@@ -1,0 +1,19 @@
+"""Host-performance observability for the toolchain and simulator.
+
+The paper's evaluation counts *simulated* clock cycles; this package
+watches the other axis — how much host wall-clock the toolchain and the
+two simulator paths spend producing those cycles.  It provides
+
+* :class:`PhaseTimer` — named wall-clock phase timers (compile,
+  specialise, simulate, ...) with accumulation across repeats, and
+* :func:`kcycles_per_second` — the simulated-throughput figure of merit
+  (simulated kilocycles per host second),
+
+plus the ``repro-bench`` command (:mod:`repro.perf.bench`), which runs
+the Table-1 sweep on both execution engines, asserts they agree
+bit-for-bit, and records the speedup in ``BENCH_table1.json``.
+"""
+
+from repro.perf.timers import PhaseTimer, kcycles_per_second
+
+__all__ = ["PhaseTimer", "kcycles_per_second"]

@@ -1,0 +1,306 @@
+"""``repro-bench``: host-performance benchmark of the simulator paths.
+
+Runs the paper's Table-1 sweep (four workloads x EPIC ALU presets) on
+*both* execution engines — the instrumented reference loop and the
+pre-specialised fast path — and for every cell:
+
+* asserts the two engines produced bit-identical cycle counts and
+  statistics (the cycle-exactness guarantee, re-checked on every
+  benchmarking run, not just in the test suite),
+* validates the architectural outputs of both runs against the
+  workload's golden reference, and
+* records wall-clock timings per phase (compile, specialise, simulate)
+  plus the fast path's simulated-kcycles-per-host-second rate.
+
+The resulting JSON (``BENCH_table1.json`` by default) is the artifact
+behind the "fast path is at least 2x" claim; ``--check`` compares the
+simulated cycle counts against a checked-in golden file so CI catches
+timing-model drift.
+
+Examples::
+
+    repro-bench                          # full sweep -> BENCH_table1.json
+    repro-bench --quick --out BENCH_quick.json
+    repro-bench --quick --check benchmarks/golden_bench_quick.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from time import perf_counter
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.backend import compile_minic_to_epic
+from repro.config import epic_with_alus
+from repro.core import EpicProcessor
+from repro.core.stats import SimStats
+from repro.errors import ReproError, SimulationError
+from repro.harness.cli import quick_specs
+from repro.harness.runner import check_outputs
+from repro.harness.tables import BENCHMARK_ORDER
+from repro.perf.timers import PhaseTimer, kcycles_per_second
+from repro.workloads import WORKLOADS, WorkloadSpec
+
+#: File the full sweep writes (the repo-root benchmarking artifact).
+DEFAULT_OUT = "BENCH_table1.json"
+
+
+def stats_fingerprint(stats: SimStats) -> Dict[str, object]:
+    """Every counter the two engines must agree on, as a dict."""
+    return {
+        "cycles": stats.cycles,
+        "bundles": stats.bundles,
+        "ops_executed": stats.ops_executed,
+        "ops_squashed": stats.ops_squashed,
+        "nops": stats.nops,
+        "branches": stats.branches,
+        "branches_taken": stats.branches_taken,
+        "memory_reads": stats.memory_reads,
+        "memory_writes": stats.memory_writes,
+        "port_stall_cycles": stats.port_stall_cycles,
+        "fetch_stall_cycles": stats.fetch_stall_cycles,
+        "branch_bubble_cycles": stats.branch_bubble_cycles,
+        "regfile_reads": stats.regfile_reads,
+        "regfile_reads_forwarded": stats.regfile_reads_forwarded,
+        "regfile_writes": stats.regfile_writes,
+        "traps": stats.traps,
+        "fu_busy": dict(sorted(stats.fu_busy.items())),
+    }
+
+
+def _validated(spec: WorkloadSpec, machine_name: str, cpu: EpicProcessor,
+               symbols: Dict[str, int]) -> None:
+    def read_global(name: str, count: int) -> List[int]:
+        base = symbols[name]
+        return [cpu.memory.read(base + i) for i in range(count)]
+
+    check_outputs(spec.name, machine_name, spec, read_global,
+                  cpu.gpr.read(2))
+
+
+def bench_cell(spec: WorkloadSpec, n_alus: int,
+               max_cycles: int = 200_000_000) -> Dict[str, object]:
+    """Benchmark one (workload, EPIC preset) cell on both engines."""
+    config = epic_with_alus(n_alus)
+    machine_name = f"EPIC-{n_alus}ALU"
+    timer = PhaseTimer()
+
+    with timer.phase("compile"):
+        compilation = compile_minic_to_epic(spec.source, config)
+
+    slow = EpicProcessor(config, compilation.program,
+                         mem_words=spec.mem_words)
+    with timer.phase("simulate-instrumented"):
+        slow_result = slow.run(max_cycles=max_cycles, fast=False)
+    _validated(spec, machine_name, slow, compilation.symbols)
+
+    fast = EpicProcessor(config, compilation.program,
+                         mem_words=spec.mem_words)
+    with timer.phase("specialise"):
+        engine = fast._fast_sim()
+    if engine is None:
+        raise SimulationError(
+            f"{spec.name} on {machine_name}: compiled program is not "
+            "eligible for the fast path (specialiser rejected it)"
+        )
+    with timer.phase("simulate-fast"):
+        fast_result = fast.run(max_cycles=max_cycles, fast=True)
+    _validated(spec, machine_name, fast, compilation.symbols)
+
+    slow_print = stats_fingerprint(slow.stats)
+    fast_print = stats_fingerprint(fast.stats)
+    if slow_result.cycles != fast_result.cycles or slow_print != fast_print:
+        raise SimulationError(
+            f"{spec.name} on {machine_name}: fast path diverged from the "
+            f"instrumented path (cycles {fast_result.cycles} vs "
+            f"{slow_result.cycles}) — cycle-exactness violation"
+        )
+
+    seconds = timer.seconds
+    slow_s = seconds["simulate-instrumented"]
+    fast_s = seconds["simulate-fast"]
+    return {
+        "benchmark": spec.name,
+        "machine": machine_name,
+        "cycles": slow_result.cycles,
+        "ilp": round(slow.stats.ilp, 4),
+        "compile_seconds": seconds["compile"],
+        "specialise_seconds": seconds["specialise"],
+        "instrumented_seconds": slow_s,
+        "fast_seconds": fast_s,
+        "speedup": (slow_s / fast_s) if fast_s > 0.0 else 0.0,
+        "fast_kcycles_per_host_second":
+            round(kcycles_per_second(fast_result.cycles, fast_s), 1),
+        "instrumented_kcycles_per_host_second":
+            round(kcycles_per_second(slow_result.cycles, slow_s), 1),
+    }
+
+
+def run_bench(specs: Sequence[WorkloadSpec],
+              alu_counts: Iterable[int] = (1, 2, 3, 4),
+              quick: bool = False,
+              max_cycles: int = 200_000_000,
+              progress: Optional[Callable[[str], None]] = None
+              ) -> Dict[str, object]:
+    """Run the sweep; returns the JSON-serialisable report payload."""
+    alu_counts = list(alu_counts)
+    started = perf_counter()
+    runs: List[Dict[str, object]] = []
+    for spec in specs:
+        for n_alus in alu_counts:
+            if progress:
+                progress(f"{spec.name} on EPIC-{n_alus}ALU ...")
+            runs.append(bench_cell(spec, n_alus, max_cycles=max_cycles))
+
+    total_slow = sum(run["instrumented_seconds"] for run in runs)
+    total_fast = sum(run["fast_seconds"] for run in runs)
+    speedups = [run["speedup"] for run in runs]
+    geomean = 1.0
+    for value in speedups:
+        geomean *= value
+    geomean **= (1.0 / len(speedups)) if speedups else 1.0
+    return {
+        "generated_by": "repro-bench",
+        "quick": quick,
+        "alus": alu_counts,
+        "benchmarks": [spec.name for spec in specs],
+        "runs": runs,
+        "summary": {
+            "total_instrumented_seconds": total_slow,
+            "total_fast_seconds": total_fast,
+            "overall_speedup":
+                (total_slow / total_fast) if total_fast > 0.0 else 0.0,
+            "min_speedup": min(speedups) if speedups else 0.0,
+            "geomean_speedup": geomean,
+            "wall_seconds": perf_counter() - started,
+        },
+    }
+
+
+def cycles_by_cell(payload: Dict[str, object]) -> Dict[str, int]:
+    """``"SHA/EPIC-1ALU" -> cycles`` map of a report payload."""
+    return {
+        f"{run['benchmark']}/{run['machine']}": run["cycles"]
+        for run in payload["runs"]
+    }
+
+
+def check_against_golden(payload: Dict[str, object],
+                         golden: Dict[str, object]) -> List[str]:
+    """Simulated-cycle drift between a report and a golden file.
+
+    Returns human-readable drift descriptions (empty == clean).  Only
+    cells present in both are compared, so a golden file for a subset
+    of benchmarks also guards a superset run.
+
+    A golden file that records its input sizes (a ``"quick"`` key) is
+    only compared against a run of the same size: cell names carry the
+    benchmark and machine but not the workload size, so a quick golden
+    checked against a full-size sweep would mis-report every cell as
+    drifted when nothing but the input size differs.
+    """
+    if "quick" in golden and bool(golden["quick"]) != bool(
+            payload.get("quick")):
+        want = "quick" if golden["quick"] else "full-size"
+        got = "quick" if payload.get("quick") else "full-size"
+        return [
+            f"golden file records a {want} sweep but this run is {got}: "
+            "cycle counts are not comparable (re-run with matching "
+            "input sizes)"
+        ]
+    measured = cycles_by_cell(payload)
+    expected = golden["cycles"] if "cycles" in golden \
+        else cycles_by_cell(golden)
+    problems = []
+    for cell, cycles in sorted(expected.items()):
+        if cell not in measured:
+            problems.append(f"{cell}: missing from this run")
+        elif measured[cell] != cycles:
+            problems.append(
+                f"{cell}: {measured[cell]} cycles, golden says {cycles}"
+            )
+    return problems
+
+
+def render_report(payload: Dict[str, object]) -> str:
+    header = (
+        f"{'benchmark':<10} {'machine':<11} {'cycles':>10} "
+        f"{'slow ms':>9} {'fast ms':>9} {'speedup':>8} {'kcyc/s':>9}"
+    )
+    lines = [header]
+    for run in payload["runs"]:
+        lines.append(
+            f"{run['benchmark']:<10} {run['machine']:<11} "
+            f"{run['cycles']:>10} "
+            f"{run['instrumented_seconds'] * 1e3:>9.1f} "
+            f"{run['fast_seconds'] * 1e3:>9.1f} "
+            f"{run['speedup']:>7.2f}x "
+            f"{run['fast_kcycles_per_host_second']:>9.1f}"
+        )
+    summary = payload["summary"]
+    lines.append(
+        f"overall speedup {summary['overall_speedup']:.2f}x "
+        f"(min {summary['min_speedup']:.2f}x, "
+        f"geomean {summary['geomean_speedup']:.2f}x)"
+    )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Benchmark the fast simulator path against the "
+                    "instrumented reference on the Table-1 sweep.",
+    )
+    parser.add_argument("--bench", nargs="*", default=list(BENCHMARK_ORDER),
+                        choices=list(BENCHMARK_ORDER),
+                        help="benchmarks to run")
+    parser.add_argument("--alus", nargs="*", type=int, default=[1, 2, 3, 4],
+                        help="ALU counts to evaluate")
+    parser.add_argument("--quick", action="store_true",
+                        help="use reduced input sizes")
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help=f"output JSON path (default {DEFAULT_OUT})")
+    parser.add_argument("--check", metavar="GOLDEN",
+                        help="fail if simulated cycle counts drift from "
+                             "this golden JSON file")
+    arguments = parser.parse_args(argv)
+
+    if arguments.quick:
+        specs = quick_specs(arguments.bench)
+    else:
+        specs = [WORKLOADS[name]() for name in arguments.bench]
+
+    try:
+        payload = run_bench(
+            specs, alu_counts=arguments.alus, quick=arguments.quick,
+            progress=lambda message: print(f"  {message}", file=sys.stderr),
+        )
+    except ReproError as error:
+        print(f"repro-bench: {error}", file=sys.stderr)
+        return 1
+
+    with open(arguments.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(render_report(payload))
+    print(f"report written to {arguments.out}")
+
+    if arguments.check:
+        with open(arguments.check, "r", encoding="utf-8") as handle:
+            golden = json.load(handle)
+        problems = check_against_golden(payload, golden)
+        if problems:
+            print(f"repro-bench: cycle drift against {arguments.check}:",
+                  file=sys.stderr)
+            for problem in problems:
+                print(f"  {problem}", file=sys.stderr)
+            return 1
+        print(f"cycle counts match {arguments.check}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

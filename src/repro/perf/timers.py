@@ -1,0 +1,67 @@
+"""Wall-clock phase timers.
+
+Host-side timing is observability, not simulation: nothing here affects
+cycle counts.  A :class:`PhaseTimer` accumulates the wall-clock cost of
+named phases (``compile``, ``specialise``, ``simulate``...), so the
+benchmarking harness can separate one-time toolchain work from the
+steady-state simulation rate.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Dict, Iterator
+
+
+class PhaseTimer:
+    """Accumulating wall-clock timers keyed by phase name.
+
+    >>> timer = PhaseTimer()
+    >>> with timer.phase("compile"):
+    ...     pass
+    >>> "compile" in timer.seconds
+    True
+
+    Re-entering a phase name accumulates (repeated simulation runs add
+    up); phases are remembered in first-use order for reporting.
+    """
+
+    def __init__(self) -> None:
+        #: Accumulated seconds per phase, in first-use order.
+        self.seconds: Dict[str, float] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time one ``with`` block against ``name``."""
+        start = perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = perf_counter() - start
+            self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+
+    def add(self, name: str, seconds: float) -> None:
+        """Fold an externally measured duration into ``name``."""
+        self.seconds[name] = self.seconds.get(name, 0.0) + seconds
+
+    @property
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+    def summary(self) -> str:
+        """One line per phase, milliseconds, first-use order."""
+        if not self.seconds:
+            return "(no phases timed)"
+        width = max(len(name) for name in self.seconds)
+        return "\n".join(
+            f"{name:<{width}} : {seconds * 1e3:9.1f} ms"
+            for name, seconds in self.seconds.items()
+        )
+
+
+def kcycles_per_second(cycles: int, seconds: float) -> float:
+    """Simulated kilocycles per host second (0.0 for unmeasurable runs)."""
+    if seconds <= 0.0:
+        return 0.0
+    return cycles / seconds / 1e3

@@ -1,0 +1,227 @@
+"""Differential tests for the pre-specialised fast execution path.
+
+The fast path (:mod:`repro.core.fastpath`) is an optimisation, never a
+semantic fork: for every program it accepts it must produce
+bit-identical cycle counts, statistics and architectural state to the
+instrumented reference loop, whose outputs are in turn validated
+against each workload's golden reference values.
+"""
+
+import pytest
+
+from repro.asm import assemble
+from repro.backend import compile_minic_to_epic
+from repro.config import epic_config, epic_with_alus
+from repro.core import EpicProcessor
+from repro.core.trace import Tracer
+from repro.errors import (
+    SimulationError,
+    TrapError,
+    TRAP_OOB_STORE,
+    TRAP_PARITY,
+)
+from repro.perf.bench import stats_fingerprint
+from repro.reliability import FaultInjector
+from repro.workloads import (
+    aes_workload,
+    dct_workload,
+    dijkstra_workload,
+    sha_workload,
+)
+
+SMALL_WORKLOADS = {
+    "SHA": lambda: sha_workload(8, 8),
+    "AES": lambda: aes_workload(2),
+    "DCT": lambda: dct_workload(8, 8),
+    "Dijkstra": lambda: dijkstra_workload(8),
+}
+
+
+def architectural_state(cpu):
+    return (
+        cpu.gpr.dump(),
+        cpu.pred.dump(),
+        cpu.btr.dump(),
+        cpu.memory.read_block(0, len(cpu.memory)),
+    )
+
+
+def run_both(config, program, mem_words):
+    """Run the same program on both engines; returns the two machines."""
+    slow = EpicProcessor(config, program, mem_words=mem_words)
+    slow_result = slow.run(fast=False)
+    fast = EpicProcessor(config, program, mem_words=mem_words)
+    fast_result = fast.run(fast=True)
+    assert slow_result.cycles == fast_result.cycles
+    assert stats_fingerprint(slow.stats) == stats_fingerprint(fast.stats)
+    assert architectural_state(slow) == architectural_state(fast)
+    return slow, fast
+
+
+class TestDifferentialWorkloads:
+    """Fast vs instrumented vs golden reference, all four workloads."""
+
+    @pytest.mark.parametrize("name", sorted(SMALL_WORKLOADS))
+    def test_bit_identical_across_alu_presets(self, name):
+        spec = SMALL_WORKLOADS[name]()
+        for n_alus in (1, 2, 3, 4):
+            config = epic_with_alus(n_alus)
+            compilation = compile_minic_to_epic(spec.source, config)
+            slow, fast = run_both(config, compilation.program,
+                                  spec.mem_words)
+            # Both engines must also agree with the golden reference
+            # (computed by the IR-level model, independent of the core).
+            for cpu in (slow, fast):
+                for global_name, expected in spec.expected.items():
+                    base = compilation.symbols[global_name]
+                    got = [cpu.memory.read(base + i)
+                           for i in range(len(expected))]
+                    assert got == expected, (name, n_alus, global_name)
+                if spec.expected_return is not None:
+                    assert (cpu.gpr.read(2) & 0xFFFFFFFF) == \
+                        spec.expected_return
+
+
+FORWARDING_HEAVY = """
+main:
+  MOVI r4, 100
+  MOVI r5, 3
+  ADD r6, r4, r5
+  ADD r7, r6, r6
+  SUB r8, r7, r4
+  CMPP_LT p1, p2, r8, r4
+  (p1) ADD r9, r8, 1
+  (p2) ADD r9, r8, 2
+  SW r9, r0, 20
+  HALT
+"""
+
+
+class TestDifferentialAssembly:
+    """Hand-written corner cases beyond what the compiler emits."""
+
+    def test_predication_and_forwarding(self):
+        config = epic_config()
+        program = assemble(FORWARDING_HEAVY, config)
+        run_both(config, program, 256)
+
+    def test_ablation_configs_match(self):
+        source = FORWARDING_HEAVY
+        for overrides in (
+            {"forwarding": False},
+            {"model_port_limit": False},
+            {"lsu_shares_fetch_bandwidth": True},
+        ):
+            config = epic_config(**overrides)
+            program = assemble(source, config)
+            run_both(config, program, 256)
+
+    def test_repeat_run_reuses_cached_engine(self):
+        config = epic_config()
+        cpu = EpicProcessor(config, assemble(FORWARDING_HEAVY, config),
+                            mem_words=256)
+        first = cpu.run()
+        engine = cpu._fastsim
+        assert engine not in (None, False)  # auto-dispatch specialised
+        second = cpu.run()
+        assert cpu._fastsim is engine
+        assert first.cycles == second.cycles
+
+
+OOB_STORE = """
+  MOVI r4, 500
+  NOP
+  SW r4, r4, 0
+  HALT
+"""
+
+
+class TestTrapEquivalence:
+    def test_oob_store_trap_matches_instrumented(self):
+        config = epic_config()
+        observed = []
+        for fast in (False, True):
+            cpu = EpicProcessor(config, assemble(OOB_STORE, config),
+                                mem_words=64)
+            with pytest.raises(TrapError) as info:
+                cpu.run(max_cycles=100, fast=fast)
+            observed.append(
+                (info.value.cause, info.value.cycle, info.value.pc,
+                 cpu.stats.traps, len(cpu.traps))
+            )
+        assert observed[0] == observed[1]
+        assert observed[0][0] == TRAP_OOB_STORE
+
+
+class TestEligibility:
+    def make(self, **kwargs):
+        config = epic_config()
+        return EpicProcessor(config, assemble(FORWARDING_HEAVY, config),
+                             mem_words=256, **kwargs)
+
+    def test_fast_refused_with_tracer(self):
+        cpu = self.make()
+        with pytest.raises(SimulationError, match="fast path requested"):
+            cpu.run(trace=Tracer(), fast=True)
+
+    def test_fast_refused_with_injector(self):
+        cpu = self.make(injector=FaultInjector([]))
+        with pytest.raises(SimulationError, match="fast path requested"):
+            cpu.run(fast=True)
+
+    def test_fast_refused_with_strict_nual(self):
+        cpu = self.make(strict_nual=True)
+        with pytest.raises(SimulationError, match="fast path requested"):
+            cpu.run(fast=True)
+
+    def test_fast_refused_under_non_halt_policy(self):
+        config = epic_config(trap_policy="record-and-continue")
+        cpu = EpicProcessor(config, assemble(FORWARDING_HEAVY, config),
+                            mem_words=256)
+        with pytest.raises(SimulationError, match="fast path requested"):
+            cpu.run(fast=True)
+
+    def test_fast_refused_with_planted_parity_fault(self):
+        cpu = self.make()
+        cpu.gpr.poison(4)
+        with pytest.raises(SimulationError, match="fast path requested"):
+            cpu.run(fast=True)
+
+    def test_poisoned_run_takes_parity_checking_path(self):
+        # Auto dispatch must route a poisoned machine to the
+        # instrumented loop, whose reads raise the parity trap the
+        # fast path's direct list indexing could never see.
+        config = epic_config()
+        cpu = EpicProcessor(config, assemble("ADD r5, r4, 1\nHALT", config),
+                            mem_words=64)
+        cpu.gpr.poison(4)
+        with pytest.raises(TrapError) as info:
+            cpu.run(max_cycles=100)
+        assert info.value.cause == TRAP_PARITY
+        assert cpu._fastsim is None  # the fast engine was never built
+
+    def test_ineligible_program_falls_back_silently(self):
+        # Assemble against a large register file, run on a small one:
+        # the dead code past the branch names a GPR beyond the small
+        # file, which the specialiser rejects at load time, while the
+        # instrumented path never executes it.
+        source = """
+        main:
+          PBR b0, end
+          NOP
+          BR b0
+          ADD r60, r1, 1
+        end:
+          HALT
+        """
+        big = epic_config()
+        program = assemble(source, big)
+        small = big.with_changes(n_gprs=32)
+        cpu = EpicProcessor(small, program, mem_words=64)
+        result = cpu.run(max_cycles=100)  # auto: quiet fallback
+        assert cpu._fastsim is False  # marked ineligible, cached
+        with pytest.raises(SimulationError, match="cannot be specialised"):
+            cpu.run(max_cycles=100, fast=True)
+        reference = EpicProcessor(small, program, mem_words=64)
+        assert reference.run(max_cycles=100, fast=False).cycles \
+            == result.cycles

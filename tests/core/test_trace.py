@@ -2,6 +2,8 @@
 
 import io
 
+import pytest
+
 from repro.asm import assemble
 from repro.config import epic_config
 from repro.core import EpicProcessor
@@ -74,3 +76,35 @@ def test_cycle_numbers_monotonic():
         if not line.lstrip().startswith("...")
     ]
     assert cycles == sorted(cycles)
+
+def test_corrupted_fetch_traced_with_marker_and_actual_bundle():
+    """A fault-substituted fetch must be traced as what actually entered
+    the pipeline, flagged so campaign traces are honest."""
+    from repro.errors import SimulationError
+    from repro.reliability import FaultInjector, FaultSpec
+
+    config = epic_config()
+    program = assemble(SOURCE, config)
+    for bit in range(64):
+        tracer = Tracer(show_nops=True)
+        injector = FaultInjector(
+            [FaultSpec(space="ifetch", index=0, bit=bit, cycle=1)]
+        )
+        cpu = EpicProcessor(config, program, mem_words=256,
+                            injector=injector)
+        try:
+            cpu.run(trace=tracer, max_cycles=500)
+        except SimulationError:
+            pass  # some corruptions trap; the fetch was traced first
+        if not any(event.disposition == "fetch-corrupted"
+                   for event in injector.log):
+            continue  # this bit produced an undecodable word; try next
+        text = tracer.text()
+        assert "<corrupted fetch>" in text
+        corrupted = [line for line in tracer.lines
+                     if "<corrupted fetch>" in line]
+        assert all("!" in line for line in corrupted)
+        # Uncorrupted fetches keep the plain "@pc" marker.
+        assert any("@" in line for line in tracer.lines)
+        return
+    pytest.fail("no single-bit corruption decoded into a traceable bundle")

@@ -5,7 +5,7 @@ import json
 import pytest
 
 from repro.config import epic_config
-from repro.errors import CycleLimitExceeded
+from repro.errors import CycleLimitExceeded, SimulationError
 from repro.harness import (
     OUTCOME_CYCLE_LIMIT,
     OUTCOME_OK,
@@ -114,6 +114,25 @@ class TestRunnerOutcome:
     def test_cycle_limit_raises_by_default(self):
         with pytest.raises(CycleLimitExceeded):
             run_on_epic(tiny_spec(), epic_config(), max_cycles=5)
+
+    def test_ok_run_reports_time_and_ok(self):
+        run = run_on_epic(tiny_spec(), epic_config())
+        assert run.ok
+        assert run.time_seconds > 0.0
+        assert "ms" in str(run)
+
+    def test_budget_run_refuses_time_and_says_so(self):
+        # A cut-off run's cycle count is the budget it was stopped at;
+        # converting it into milliseconds would fabricate a measurement.
+        run = run_on_epic(tiny_spec(), epic_config(), max_cycles=5,
+                          cycle_limit_ok=True)
+        assert not run.ok
+        with pytest.raises(SimulationError, match="budget, not a measurement"):
+            run.time_seconds
+        rendered = str(run)
+        assert OUTCOME_CYCLE_LIMIT in rendered
+        assert "no measurement" in rendered
+        assert "ms" not in rendered
 
 
 class TestCli:

@@ -1,0 +1,121 @@
+"""Host-performance layer: phase timers and the repro-bench harness."""
+
+import json
+
+import pytest
+
+from repro.perf import PhaseTimer, kcycles_per_second
+from repro.perf.bench import (
+    bench_cell,
+    check_against_golden,
+    cycles_by_cell,
+    main as bench_main,
+    run_bench,
+)
+from repro.workloads import dct_workload, sha_workload
+
+
+class TestPhaseTimer:
+    def test_phases_accumulate_in_first_use_order(self):
+        timer = PhaseTimer()
+        with timer.phase("compile"):
+            pass
+        with timer.phase("simulate"):
+            pass
+        with timer.phase("compile"):
+            pass
+        assert list(timer.seconds) == ["compile", "simulate"]
+        assert timer.seconds["compile"] >= 0.0
+        assert timer.total == pytest.approx(sum(timer.seconds.values()))
+
+    def test_add_and_summary(self):
+        timer = PhaseTimer()
+        timer.add("simulate", 0.25)
+        timer.add("simulate", 0.25)
+        assert timer.seconds["simulate"] == pytest.approx(0.5)
+        assert "simulate" in timer.summary()
+        assert PhaseTimer().summary() == "(no phases timed)"
+
+    def test_timer_records_exceptions_too(self):
+        timer = PhaseTimer()
+        with pytest.raises(ValueError):
+            with timer.phase("boom"):
+                raise ValueError("x")
+        assert "boom" in timer.seconds
+
+
+class TestKcycles:
+    def test_rate(self):
+        assert kcycles_per_second(50_000, 2.0) == pytest.approx(25.0)
+
+    def test_zero_time_is_not_infinite(self):
+        assert kcycles_per_second(1000, 0.0) == 0.0
+
+
+@pytest.fixture(scope="module")
+def tiny_payload():
+    return run_bench([sha_workload(4, 4)], alu_counts=[1], quick=True)
+
+
+class TestRunBench:
+    def test_payload_shape_and_agreement(self, tiny_payload):
+        payload = tiny_payload
+        assert payload["benchmarks"] == ["SHA"]
+        (run,) = payload["runs"]
+        assert run["machine"] == "EPIC-1ALU"
+        assert run["cycles"] > 0
+        assert run["instrumented_seconds"] > 0.0
+        assert run["fast_seconds"] > 0.0
+        assert run["fast_kcycles_per_host_second"] > 0.0
+        summary = payload["summary"]
+        assert summary["overall_speedup"] > 0.0
+        assert summary["min_speedup"] <= summary["geomean_speedup"] \
+            or len(payload["runs"]) == 1
+
+    def test_bench_cell_checks_both_engines(self):
+        cell = bench_cell(dct_workload(8, 8), 2)
+        assert cell["benchmark"] == "DCT"
+        assert cell["machine"] == "EPIC-2ALU"
+        assert cell["specialise_seconds"] > 0.0
+
+    def test_golden_check_passes_and_detects_drift(self, tiny_payload):
+        cells = cycles_by_cell(tiny_payload)
+        assert list(cells) == ["SHA/EPIC-1ALU"]
+        assert check_against_golden(tiny_payload, {"cycles": cells}) == []
+        drifted = {cell: cycles + 1 for cell, cycles in cells.items()}
+        problems = check_against_golden(tiny_payload, {"cycles": drifted})
+        assert len(problems) == 1 and "SHA/EPIC-1ALU" in problems[0]
+        missing = dict(cells, **{"DCT/EPIC-1ALU": 123})
+        problems = check_against_golden(tiny_payload, {"cycles": missing})
+        assert any("missing" in problem for problem in problems)
+
+    def test_golden_size_mismatch_refused_not_compared(self, tiny_payload):
+        # Cell names don't encode workload size; comparing a quick
+        # golden against a full-size run would report drift everywhere.
+        golden = {"quick": False, "cycles": cycles_by_cell(tiny_payload)}
+        problems = check_against_golden(tiny_payload, golden)
+        assert len(problems) == 1
+        assert "not comparable" in problems[0]
+
+
+class TestCli:
+    def test_writes_report_and_checks_golden(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert bench_main(["--quick", "--bench", "Dijkstra", "--alus", "1",
+                           "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["quick"] is True
+        assert payload["runs"][0]["benchmark"] == "Dijkstra"
+        assert "overall speedup" in capsys.readouterr().out
+
+        golden = tmp_path / "golden.json"
+        golden.write_text(json.dumps({"cycles": cycles_by_cell(payload)}))
+        assert bench_main(["--quick", "--bench", "Dijkstra", "--alus", "1",
+                           "--out", str(out), "--check", str(golden)]) == 0
+
+        drifted = {cell: cycles + 7
+                   for cell, cycles in cycles_by_cell(payload).items()}
+        golden.write_text(json.dumps({"cycles": drifted}))
+        assert bench_main(["--quick", "--bench", "Dijkstra", "--alus", "1",
+                           "--out", str(out), "--check", str(golden)]) == 1
+        assert "cycle drift" in capsys.readouterr().err
