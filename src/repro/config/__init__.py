@@ -11,6 +11,7 @@ object, mirroring the paper's single "configuration header file".
 
 from repro.config.machine import (
     AluFeature,
+    CONFIG_DIGEST_VERSION,
     MachineConfig,
     PROTECTION_SCHEMES,
     TRAP_POLICIES,
@@ -24,6 +25,7 @@ from repro.config.presets import (
 
 __all__ = [
     "AluFeature",
+    "CONFIG_DIGEST_VERSION",
     "MachineConfig",
     "PROTECTION_SCHEMES",
     "TRAP_POLICIES",

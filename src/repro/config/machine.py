@@ -21,10 +21,19 @@ compiler, assembler, simulator and FPGA model.
 from __future__ import annotations
 
 import enum
+import hashlib
+import json
 from dataclasses import dataclass, field, replace
 from typing import Dict, FrozenSet, Tuple
 
 from repro.errors import ConfigError
+
+#: Version of the :meth:`MachineConfig.canonical` schema.  Bump whenever
+#: a field is added, removed, or its canonical rendering changes — the
+#: version is hashed into :meth:`MachineConfig.digest`, so bumping it
+#: invalidates every digest-keyed artifact (result caches, batch files)
+#: built under the old schema.
+CONFIG_DIGEST_VERSION = 1
 
 
 class AluFeature(enum.Enum):
@@ -237,6 +246,67 @@ class MachineConfig:
             raise ConfigError(f"unknown latency class {name!r}")
         table[name] = cycles
         return replace(self, latencies=tuple(sorted(table.items())))
+
+    def canonical(self) -> Dict[str, object]:
+        """Canonical, order-stable description of the configuration.
+
+        The dictionary is pure JSON data (no enums, no sets) with every
+        unordered collection sorted, so two semantically equal configs
+        produce the same rendering regardless of construction order,
+        process, or platform.  Custom operations are represented by
+        their architectural contract (mnemonic, functional unit,
+        latency, slice cost); their Python semantics callable cannot be
+        hashed, so two custom ops that agree on the contract are
+        considered the same operation.  Cosmetic fields (the custom-op
+        ``description``) are excluded: the digest must change iff a
+        semantically relevant field changes.
+        """
+        return {
+            "version": CONFIG_DIGEST_VERSION,
+            "n_alus": self.n_alus,
+            "n_gprs": self.n_gprs,
+            "n_preds": self.n_preds,
+            "n_btrs": self.n_btrs,
+            "issue_width": self.issue_width,
+            "datapath_width": self.datapath_width,
+            "regs_per_instruction": self.regs_per_instruction,
+            "alu_features": sorted(f.value for f in self.alu_features),
+            "latencies": [[name, cycles]
+                          for name, cycles in sorted(self.latencies)],
+            "regfile_ops_per_cycle": self.regfile_ops_per_cycle,
+            "forwarding": self.forwarding,
+            "model_port_limit": self.model_port_limit,
+            "n_mem_banks": self.n_mem_banks,
+            "lsu_shares_fetch_bandwidth": self.lsu_shares_fetch_bandwidth,
+            "custom_ops": sorted(
+                (
+                    {
+                        "mnemonic": spec.mnemonic,
+                        "fu_class": getattr(spec, "fu_class", "alu"),
+                        "latency": getattr(spec, "latency", 1),
+                        "slices": getattr(spec, "slices", 0),
+                    }
+                    for spec in self.custom_ops
+                ),
+                key=lambda entry: entry["mnemonic"],
+            ),
+            "pipeline_stages": self.pipeline_stages,
+            "clock_mhz": self.clock_mhz,
+            "trap_policy": self.trap_policy,
+            "regfile_protection": self.regfile_protection,
+            "memory_protection": self.memory_protection,
+        }
+
+    def digest(self) -> str:
+        """Stable SHA-256 content digest of :meth:`canonical`.
+
+        Used as the configuration component of result-cache keys
+        (:mod:`repro.serve`): equal digests guarantee the simulator,
+        compiler and FPGA model see the same machine.
+        """
+        rendered = json.dumps(self.canonical(), sort_keys=True,
+                              separators=(",", ":"))
+        return hashlib.sha256(rendered.encode("utf-8")).hexdigest()
 
     def describe(self) -> str:
         """One-line human-readable summary, used by tools and reports."""

@@ -164,3 +164,9 @@ class MdesError(ReproError):
 
 class WorkloadError(ReproError):
     """Workload construction/input-generation failure."""
+
+
+class ServeError(ReproError):
+    """Job-serving failure: an unserialisable job spec, a malformed
+    batch file, a corrupt cache record, or a job that did not finish
+    (crash, timeout, or in-job error) surfaced by an executor."""

@@ -15,16 +15,21 @@ def pareto_frontier(points: Sequence[DesignPoint],
     """Non-dominated points (all objectives minimised).
 
     A point is dominated when another point is no worse in every
-    objective and strictly better in at least one.
+    objective and strictly better in at least one.  Duplicate points
+    (equal in every objective) never dominate each other, so all copies
+    survive; ties on a single axis likewise cannot dominate.  An empty
+    input yields an empty frontier.
+
+    Objective callables are evaluated exactly once per point (they may
+    be arbitrarily expensive — a re-simulation, a model query), making
+    the scan O(n²) comparisons over precomputed value tuples.
     """
+    evaluated = [tuple(f(point) for f in objectives) for point in points]
     frontier: List[DesignPoint] = []
-    for candidate in points:
-        candidate_values = [f(candidate) for f in objectives]
+    frontier_keys: List[tuple] = []
+    for candidate, candidate_values in zip(points, evaluated):
         dominated = False
-        for other in points:
-            if other is candidate:
-                continue
-            other_values = [f(other) for f in objectives]
+        for other_values in evaluated:
             if all(o <= c for o, c in zip(other_values, candidate_values)) \
                     and any(o < c for o, c in
                             zip(other_values, candidate_values)):
@@ -32,5 +37,6 @@ def pareto_frontier(points: Sequence[DesignPoint],
                 break
         if not dominated:
             frontier.append(candidate)
-    frontier.sort(key=lambda point: objectives[0](point))
-    return frontier
+            frontier_keys.append(candidate_values)
+    order = sorted(range(len(frontier)), key=lambda i: frontier_keys[i][0])
+    return [frontier[i] for i in order]

@@ -54,26 +54,74 @@ class ReliabilityPoint:
 def reliability_sweep(spec: WorkloadSpec,
                       configs: Iterable[MachineConfig],
                       n: int = 50, seed: int = 1,
-                      progress: Optional[Callable[[str], None]] = None
-                      ) -> List[ReliabilityPoint]:
+                      progress: Optional[Callable[[str], None]] = None,
+                      on_result: Optional[
+                          Callable[[ReliabilityPoint], None]] = None,
+                      executor=None,
+                      cache=None) -> List[ReliabilityPoint]:
     """Campaign every configuration on the workload.
 
     The same seed is used for every design point, so two points differ
     only where the machine actually behaves differently — protection
     sweeps (none vs parity vs ecc) see the *same* fault stream.
+
+    The returned list is always in ``configs`` order; ``on_result``
+    fires per completed design point.  ``executor``/``cache`` route
+    each campaign through :mod:`repro.serve` (one job per design
+    point — sharding *within* a campaign is :func:`run_campaign`'s
+    job), with byte-identical reports guaranteed.
     """
-    points: List[ReliabilityPoint] = []
-    for config in configs:
+    configs = list(configs)
+    if executor is None and cache is None:
+        points: List[ReliabilityPoint] = []
+        for config in configs:
+            if progress is not None:
+                progress(f"campaigning {config.describe()}")
+            report = run_campaign(spec, config, n, seed, progress=progress)
+            point = _build_point(config, report)
+            points.append(point)
+            if on_result is not None:
+                on_result(point)
+        return points
+
+    from repro.harness.faultcampaign import (
+        report_from_results, result_from_payload,
+    )
+    from repro.serve import campaign_job, raise_for_failures, run_jobs
+
+    jobs = [campaign_job(spec, config, n, seed) for config in configs]
+
+    def rebuild(outcome) -> ReliabilityPoint:
+        config = configs[outcome.index]
+        results = [result_from_payload(entry)
+                   for entry in outcome.payload["outcomes"]]
+        report = report_from_results(
+            spec, config, n, seed,
+            outcome.payload["reference_cycles"], results)
+        return _build_point(config, report)
+
+    def handle(outcome) -> None:
+        if not outcome.ok:
+            return
         if progress is not None:
-            progress(f"campaigning {config.describe()}")
-        report = run_campaign(spec, config, n, seed, progress=progress)
-        estimate = estimate_resources(config)
-        points.append(ReliabilityPoint(
-            config=config,
-            slices=estimate.slices,
-            block_rams=estimate.block_rams,
-            clock_mhz=estimate_clock_mhz(config),
-            cycles=report.reference_cycles,
-            report=report,
-        ))
-    return points
+            progress(f"campaigned {configs[outcome.index].describe()}")
+        if on_result is not None:
+            on_result(rebuild(outcome))
+
+    outcomes = run_jobs(jobs, executor=executor, cache=cache,
+                        on_result=handle)
+    raise_for_failures(outcomes)
+    return [rebuild(outcome) for outcome in outcomes]
+
+
+def _build_point(config: MachineConfig,
+                 report: CampaignReport) -> ReliabilityPoint:
+    estimate = estimate_resources(config)
+    return ReliabilityPoint(
+        config=config,
+        slices=estimate.slices,
+        block_rams=estimate.block_rams,
+        clock_mhz=estimate_clock_mhz(config),
+        cycles=report.reference_cycles,
+        report=report,
+    )

@@ -53,12 +53,58 @@ def evaluate_config(spec: WorkloadSpec, config: MachineConfig,
 
 def sweep_configs(spec: WorkloadSpec, configs: Iterable[MachineConfig],
                   validate: bool = True,
-                  progress: Optional[Callable[[str], None]] = None
-                  ) -> List[DesignPoint]:
-    """Evaluate every configuration on the workload."""
-    points = []
-    for config in configs:
+                  progress: Optional[Callable[[str], None]] = None,
+                  on_result: Optional[
+                      Callable[[DesignPoint], None]] = None,
+                  executor=None,
+                  cache=None) -> List[DesignPoint]:
+    """Evaluate every configuration on the workload.
+
+    The returned list is always in ``configs`` order.  ``on_result``
+    fires once per completed design point (completion order under a
+    parallel executor) for live progress reporting.
+
+    Passing ``executor`` (a :mod:`repro.serve` executor) and/or
+    ``cache`` (a :class:`~repro.serve.ResultCache`) routes each
+    evaluation through the job-serving subsystem; the resulting points
+    are byte-identical to the serial path's.
+    """
+    configs = list(configs)
+    if executor is None and cache is None:
+        points = []
+        for config in configs:
+            if progress:
+                progress(config.describe())
+            point = evaluate_config(spec, config, validate=validate)
+            points.append(point)
+            if on_result is not None:
+                on_result(point)
+        return points
+
+    from repro.serve import raise_for_failures, run_jobs, sweep_job
+
+    jobs = [sweep_job(spec, config, validate=validate)
+            for config in configs]
+
+    def rebuild(outcome) -> DesignPoint:
+        payload = outcome.payload
+        return DesignPoint(
+            config=configs[outcome.index],
+            cycles=payload["cycles"],
+            slices=payload["slices"],
+            block_rams=payload["block_rams"],
+            clock_mhz=payload["clock_mhz"],
+        )
+
+    def handle(outcome) -> None:
+        if not outcome.ok:
+            return
         if progress:
-            progress(config.describe())
-        points.append(evaluate_config(spec, config, validate=validate))
-    return points
+            progress(configs[outcome.index].describe())
+        if on_result is not None:
+            on_result(rebuild(outcome))
+
+    outcomes = run_jobs(jobs, executor=executor, cache=cache,
+                        on_result=handle)
+    raise_for_failures(outcomes)
+    return [rebuild(outcome) for outcome in outcomes]

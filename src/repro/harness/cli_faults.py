@@ -63,16 +63,41 @@ def main(argv=None) -> int:
                              "fault-free cycle count")
     parser.add_argument("--json", action="store_true",
                         help="emit machine-readable JSON instead of text")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="shard each campaign over N worker "
+                             "processes via repro.serve (default: serial; "
+                             "the report is byte-identical either way)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print one progress line per injection "
+                             "instead of one per 25")
     arguments = parser.parse_args(argv)
 
     if arguments.n < 1:
         print("repro-faults: --n must be >= 1", file=sys.stderr)
+        return 2
+    if arguments.jobs < 1:
+        print("repro-faults: --jobs must be >= 1", file=sys.stderr)
         return 2
 
     if arguments.quick:
         specs = quick_specs(arguments.bench)
     else:
         specs = [WORKLOADS[name]() for name in arguments.bench]
+
+    executor = None
+    if arguments.jobs > 1:
+        from repro.serve import PoolExecutor
+
+        executor = PoolExecutor(jobs=arguments.jobs)
+
+    injections_done = [0]
+
+    def per_injection(result) -> None:
+        injections_done[0] += 1
+        if arguments.verbose:
+            fault = result.fault.describe() if result.fault else "none"
+            print(f"    [{injections_done[0]}/{arguments.n}] {fault}: "
+                  f"{result.outcome.value}", file=sys.stderr)
 
     reports = []
     resources = []
@@ -85,12 +110,15 @@ def main(argv=None) -> int:
                     regfile_protection=arguments.protect_regfile,
                     memory_protection=arguments.protect_memory,
                 )
+                injections_done[0] = 0
                 report = run_campaign(
                     spec, config, arguments.n, arguments.seed,
                     spaces=arguments.spaces,
                     watchdog_factor=arguments.watchdog,
                     progress=lambda message: print(f"  {message}",
                                                    file=sys.stderr),
+                    on_result=per_injection,
+                    executor=executor,
                 )
                 reports.append(report)
                 estimate = estimate_resources(config)

@@ -139,39 +139,138 @@ class CampaignReport:
         ]
 
 
-def run_campaign(spec: WorkloadSpec, config: MachineConfig,
-                 n: int, seed: int,
-                 spaces: Sequence[str] = DEFAULT_SPACES,
-                 watchdog_factor: float = 4.0,
-                 checker: Optional[LockstepChecker] = None,
-                 progress: Optional[Callable[[str], None]] = None
-                 ) -> CampaignReport:
-    """Run one seeded campaign of ``n`` injections and aggregate it.
+def result_payload(result: InjectionResult) -> dict:
+    """Lossless JSON form of one classified injection."""
+    return {
+        "fault": result.fault.describe() if result.fault else None,
+        "fault_spec": (
+            {
+                "space": result.fault.space,
+                "index": result.fault.index,
+                "bit": result.fault.bit,
+                "cycle": result.fault.cycle,
+                "model": result.fault.model,
+            }
+            if result.fault else None
+        ),
+        "outcome": result.outcome.value,
+        "detail": result.detail,
+        "cycles": result.cycles,
+        "trap_cause": result.trap_cause,
+    }
 
-    Pass a pre-built ``checker`` to amortise compilation and the golden
-    run across campaigns on the same (workload, machine) pair.
-    """
-    if checker is None:
-        checker = LockstepChecker(spec, config,
-                                  watchdog_factor=watchdog_factor)
-    faults = generate_faults(checker, n, seed, spaces)
+
+def result_from_payload(payload: dict) -> InjectionResult:
+    """Rebuild an :class:`InjectionResult` from :func:`result_payload`."""
+    fault_spec = payload.get("fault_spec")
+    fault = FaultSpec(**fault_spec) if fault_spec else None
+    return InjectionResult(
+        fault=fault,
+        outcome=Outcome(payload["outcome"]),
+        detail=payload.get("detail", ""),
+        cycles=payload["cycles"],
+        trap_cause=payload.get("trap_cause"),
+    )
+
+
+def report_from_results(spec: WorkloadSpec, config: MachineConfig,
+                        n: int, seed: int, reference_cycles: int,
+                        results: Sequence[InjectionResult]
+                        ) -> CampaignReport:
+    """Assemble a :class:`CampaignReport` with recomputed counts."""
     counts = {outcome.value: 0 for outcome in Outcome}
-    results: List[InjectionResult] = []
-    for number, fault in enumerate(faults, start=1):
-        result = checker.run_one(fault)
+    for result in results:
         counts[result.outcome.value] += 1
-        results.append(result)
-        if progress is not None and number % 25 == 0:
-            progress(f"{spec.name}: {number}/{n} injections")
     return CampaignReport(
         workload=spec.name,
         machine=f"EPIC-{config.n_alus}ALU",
         n=n,
         seed=seed,
-        reference_cycles=checker.reference_cycles,
+        reference_cycles=reference_cycles,
         counts=counts,
-        results=results,
+        results=list(results),
     )
+
+
+def run_campaign(spec: WorkloadSpec, config: MachineConfig,
+                 n: int, seed: int,
+                 spaces: Sequence[str] = DEFAULT_SPACES,
+                 watchdog_factor: float = 4.0,
+                 checker: Optional[LockstepChecker] = None,
+                 progress: Optional[Callable[[str], None]] = None,
+                 on_result: Optional[
+                     Callable[[InjectionResult], None]] = None,
+                 executor=None,
+                 cache=None,
+                 shards: Optional[int] = None) -> CampaignReport:
+    """Run one seeded campaign of ``n`` injections and aggregate it.
+
+    Pass a pre-built ``checker`` to amortise compilation and the golden
+    run across campaigns on the same (workload, machine) pair.
+
+    ``on_result`` is called with every classified
+    :class:`~repro.reliability.InjectionResult` as it lands — per-point
+    progress for callers who would otherwise watch a silent campaign.
+
+    Passing ``executor`` and/or ``cache`` routes the campaign through
+    :mod:`repro.serve`: the fault list is sharded into contiguous
+    slices (``shards``, defaulting to the executor's worker count) that
+    run in parallel and are merged **in fault-index order**, so the
+    report is byte-identical to the serial one.  Fault generation stays
+    seed-driven and happens inside each worker from ``(n, seed)``,
+    never from scheduling state.  With an executor, ``checker`` and
+    ``progress`` callbacks that capture local state are not forwarded
+    to workers; ``on_result`` still fires in the parent as shards
+    complete (shard order, not global order).
+    """
+    if executor is not None or cache is not None:
+        from repro.serve import (
+            campaign_job, raise_for_failures, run_jobs,
+        )
+        from repro.serve.jobspec import shard_campaign
+
+        whole = campaign_job(spec, config, n, seed, spaces=spaces,
+                             watchdog_factor=watchdog_factor)
+        want = shards if shards is not None \
+            else getattr(executor, "jobs", 1)
+        jobs = shard_campaign(whole, want) if want > 1 else [whole]
+
+        def handle(outcome) -> None:
+            if not outcome.ok:
+                return
+            if progress is not None:
+                progress(f"{spec.name}: shard "
+                         f"[{outcome.payload['fault_offset']}:+"
+                         f"{len(outcome.payload['outcomes'])}] done")
+            if on_result is not None:
+                for entry in outcome.payload["outcomes"]:
+                    on_result(result_from_payload(entry))
+
+        outcomes = run_jobs(jobs, executor=executor, cache=cache,
+                            on_result=handle)
+        raise_for_failures(outcomes)
+        reference_cycles = outcomes[0].payload["reference_cycles"]
+        results: List[InjectionResult] = []
+        for outcome in outcomes:  # input order == fault-index order
+            results.extend(result_from_payload(entry)
+                           for entry in outcome.payload["outcomes"])
+        return report_from_results(spec, config, n, seed,
+                                   reference_cycles, results)
+
+    if checker is None:
+        checker = LockstepChecker(spec, config,
+                                  watchdog_factor=watchdog_factor)
+    faults = generate_faults(checker, n, seed, spaces)
+    results = []
+    for number, fault in enumerate(faults, start=1):
+        result = checker.run_one(fault)
+        results.append(result)
+        if on_result is not None:
+            on_result(result)
+        if progress is not None and number % 25 == 0:
+            progress(f"{spec.name}: {number}/{n} injections")
+    return report_from_results(spec, config, n, seed,
+                               checker.reference_cycles, results)
 
 
 def render_vulnerability_table(reports: Sequence[CampaignReport]) -> str:
@@ -212,13 +311,7 @@ def campaign_payload(reports: Sequence[CampaignReport]) -> List[dict]:
             "counts": dict(report.counts),
             "sdc_rate": report.sdc_rate,
             "outcomes": [
-                {
-                    "fault": result.fault.describe() if result.fault else None,
-                    "outcome": result.outcome.value,
-                    "cycles": result.cycles,
-                    "trap_cause": result.trap_cause,
-                }
-                for result in report.results
+                result_payload(result) for result in report.results
             ],
         }
         for report in reports

@@ -97,7 +97,8 @@ def check_outputs(name: str, machine: str, spec: WorkloadSpec,
 def run_on_epic(spec: WorkloadSpec, config: MachineConfig,
                 validate: bool = True,
                 max_cycles: int = 200_000_000,
-                cycle_limit_ok: bool = False) -> BenchmarkRun:
+                cycle_limit_ok: bool = False,
+                engine: str = "auto") -> BenchmarkRun:
     """Compile and run one workload on one EPIC configuration.
 
     A run that exhausts ``max_cycles`` raises
@@ -105,13 +106,21 @@ def run_on_epic(spec: WorkloadSpec, config: MachineConfig,
     it is instead surfaced as a :class:`BenchmarkRun` whose ``outcome``
     is :data:`OUTCOME_CYCLE_LIMIT` (its cycle count is the budget, not a
     measurement, and its outputs are unvalidated).
+
+    ``engine`` selects the simulator path: ``"auto"`` lets the core
+    pick the fast path when eligible, ``"fast"`` / ``"reference"``
+    force one.  Both paths are cycle-identical by contract, so the
+    choice can never change the measurement — only the host time.
     """
+    if engine not in ("auto", "fast", "reference"):
+        raise SimulationError(f"unknown engine {engine!r}")
     compilation = compile_minic_to_epic(spec.source, config)
     cpu = EpicProcessor(config, compilation.program,
                         mem_words=spec.mem_words)
     machine = f"EPIC-{config.n_alus}ALU"
+    fast = {"auto": None, "fast": True, "reference": False}[engine]
     try:
-        result = cpu.run(max_cycles=max_cycles)
+        result = cpu.run(max_cycles=max_cycles, fast=fast)
     except CycleLimitExceeded as error:
         if not cycle_limit_ok:
             raise

@@ -80,15 +80,50 @@ def _validated(spec: WorkloadSpec, machine_name: str, cpu: EpicProcessor,
                   cpu.gpr.read(2))
 
 
+class CompileCache:
+    """Memoises MiniC→EPIC compilation per (workload, config) pair.
+
+    Both engines of a bench cell — and any repeat of the same cell in
+    one sweep — share a single compilation.  ``compiles``/``hits``
+    are the accounting the tests assert on: every distinct (workload
+    instance, config digest) pair must compile exactly once.
+    """
+
+    def __init__(self) -> None:
+        self._store: Dict[tuple, object] = {}
+        self.compiles = 0
+        self.hits = 0
+
+    def get(self, spec: WorkloadSpec, config) -> object:
+        key = (spec.name, tuple(spec.instance_args), config.digest())
+        compilation = self._store.get(key)
+        if compilation is None:
+            compilation = compile_minic_to_epic(spec.source, config)
+            self._store[key] = compilation
+            self.compiles += 1
+        else:
+            self.hits += 1
+        return compilation
+
+    def stats(self) -> Dict[str, int]:
+        return {"compiles": self.compiles, "hits": self.hits,
+                "pairs": len(self._store)}
+
+
 def bench_cell(spec: WorkloadSpec, n_alus: int,
-               max_cycles: int = 200_000_000) -> Dict[str, object]:
+               max_cycles: int = 200_000_000,
+               compile_cache: Optional[CompileCache] = None
+               ) -> Dict[str, object]:
     """Benchmark one (workload, EPIC preset) cell on both engines."""
     config = epic_with_alus(n_alus)
     machine_name = f"EPIC-{n_alus}ALU"
     timer = PhaseTimer()
 
     with timer.phase("compile"):
-        compilation = compile_minic_to_epic(spec.source, config)
+        if compile_cache is not None:
+            compilation = compile_cache.get(spec, config)
+        else:
+            compilation = compile_minic_to_epic(spec.source, config)
 
     slow = EpicProcessor(config, compilation.program,
                          mem_words=spec.mem_words)
@@ -126,6 +161,7 @@ def bench_cell(spec: WorkloadSpec, n_alus: int,
         "machine": machine_name,
         "cycles": slow_result.cycles,
         "ilp": round(slow.stats.ilp, 4),
+        "fingerprint": slow_print,
         "compile_seconds": seconds["compile"],
         "specialise_seconds": seconds["specialise"],
         "instrumented_seconds": slow_s,
@@ -138,25 +174,83 @@ def bench_cell(spec: WorkloadSpec, n_alus: int,
     }
 
 
+#: Per-cell timing fields measured on the host (never cached, never
+#: part of the determinism contract).
+TIMING_FIELDS = (
+    "compile_seconds", "specialise_seconds", "instrumented_seconds",
+    "fast_seconds", "speedup", "fast_kcycles_per_host_second",
+    "instrumented_kcycles_per_host_second",
+)
+
+
 def run_bench(specs: Sequence[WorkloadSpec],
               alu_counts: Iterable[int] = (1, 2, 3, 4),
               quick: bool = False,
               max_cycles: int = 200_000_000,
-              progress: Optional[Callable[[str], None]] = None
-              ) -> Dict[str, object]:
-    """Run the sweep; returns the JSON-serialisable report payload."""
+              progress: Optional[Callable[[str], None]] = None,
+              on_cell: Optional[Callable[[Dict[str, object]], None]] = None,
+              executor=None) -> Dict[str, object]:
+    """Run the sweep; returns the JSON-serialisable report payload.
+
+    Compilation is hoisted into a :class:`CompileCache`: each distinct
+    (workload, configuration) pair compiles exactly once per process no
+    matter how many engines or repeated cells consume it; the counts
+    appear under ``summary.compile_cache``.
+
+    ``on_cell`` fires with each finished cell's record (completion
+    order under a parallel ``executor``).  With an ``executor`` the
+    cells fan out through :mod:`repro.serve`; the deterministic part of
+    the report (see :func:`deterministic_report`) is byte-identical to
+    a serial run's, while the timing fields are measured inside each
+    worker.
+    """
     alu_counts = list(alu_counts)
+    cells = [(spec, n_alus) for spec in specs for n_alus in alu_counts]
     started = perf_counter()
-    runs: List[Dict[str, object]] = []
-    for spec in specs:
-        for n_alus in alu_counts:
+    compile_cache = CompileCache()
+
+    if executor is None:
+        runs: List[Dict[str, object]] = []
+        for spec, n_alus in cells:
             if progress:
                 progress(f"{spec.name} on EPIC-{n_alus}ALU ...")
-            runs.append(bench_cell(spec, n_alus, max_cycles=max_cycles))
+            cell = bench_cell(spec, n_alus, max_cycles=max_cycles,
+                              compile_cache=compile_cache)
+            runs.append(cell)
+            if on_cell is not None:
+                on_cell(cell)
+    else:
+        from repro.config import epic_with_alus as _preset
+        from repro.serve import bench_job, raise_for_failures, run_jobs
 
-    total_slow = sum(run["instrumented_seconds"] for run in runs)
-    total_fast = sum(run["fast_seconds"] for run in runs)
-    speedups = [run["speedup"] for run in runs]
+        jobs = [bench_job(spec, _preset(n_alus), max_cycles=max_cycles)
+                for spec, n_alus in cells]
+
+        def rebuild(outcome) -> Dict[str, object]:
+            cell: Dict[str, object] = dict(outcome.payload)
+            meta = outcome.meta or {}
+            for field in TIMING_FIELDS:
+                cell[field] = meta.get(field)
+            return cell
+
+        def handle(outcome) -> None:
+            if not outcome.ok:
+                return
+            cell = rebuild(outcome)
+            if progress:
+                progress(f"{cell['benchmark']} on {cell['machine']} done")
+            if on_cell is not None:
+                on_cell(cell)
+
+        job_outcomes = run_jobs(jobs, executor=executor, on_result=handle)
+        raise_for_failures(job_outcomes)
+        runs = [rebuild(outcome) for outcome in job_outcomes]
+
+    timed = [run for run in runs
+             if run.get("fast_seconds") is not None]
+    total_slow = sum(run["instrumented_seconds"] for run in timed)
+    total_fast = sum(run["fast_seconds"] for run in timed)
+    speedups = [run["speedup"] for run in timed]
     geomean = 1.0
     for value in speedups:
         geomean *= value
@@ -175,7 +269,31 @@ def run_bench(specs: Sequence[WorkloadSpec],
             "min_speedup": min(speedups) if speedups else 0.0,
             "geomean_speedup": geomean,
             "wall_seconds": perf_counter() - started,
+            "compile_cache": compile_cache.stats(),
         },
+    }
+
+
+def deterministic_report(payload: Dict[str, object]) -> Dict[str, object]:
+    """The scheduling-independent projection of a bench report.
+
+    Exactly the fields the determinism contract covers — simulated
+    cycles, ILP and the full statistics fingerprint per cell — sorted
+    by cell name.  Serial, parallel and cache-replayed runs of the same
+    sweep must produce byte-identical renderings of this projection;
+    host timings are deliberately excluded.
+    """
+    cells = {
+        f"{run['benchmark']}/{run['machine']}": {
+            "cycles": run["cycles"],
+            "ilp": run["ilp"],
+            "fingerprint": run["fingerprint"],
+        }
+        for run in payload["runs"]
+    }
+    return {
+        "quick": bool(payload.get("quick")),
+        "cells": {name: cells[name] for name in sorted(cells)},
     }
 
 
@@ -231,6 +349,12 @@ def render_report(payload: Dict[str, object]) -> str:
     )
     lines = [header]
     for run in payload["runs"]:
+        if run.get("fast_seconds") is None:
+            lines.append(
+                f"{run['benchmark']:<10} {run['machine']:<11} "
+                f"{run['cycles']:>10} {'(cached — no timings)':>38}"
+            )
+            continue
         lines.append(
             f"{run['benchmark']:<10} {run['machine']:<11} "
             f"{run['cycles']:>10} "
@@ -266,17 +390,44 @@ def main(argv=None) -> int:
     parser.add_argument("--check", metavar="GOLDEN",
                         help="fail if simulated cycle counts drift from "
                              "this golden JSON file")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="fan cells out over N worker processes "
+                             "via repro.serve (default: serial)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print a result line for every finished "
+                             "cell (cycles + speedup)")
     arguments = parser.parse_args(argv)
+
+    if arguments.jobs < 1:
+        print("repro-bench: --jobs must be >= 1", file=sys.stderr)
+        return 2
 
     if arguments.quick:
         specs = quick_specs(arguments.bench)
     else:
         specs = [WORKLOADS[name]() for name in arguments.bench]
 
+    executor = None
+    if arguments.jobs > 1:
+        from repro.serve import PoolExecutor
+
+        executor = PoolExecutor(jobs=arguments.jobs)
+
+    def on_cell(cell: Dict[str, object]) -> None:
+        if not arguments.verbose:
+            return
+        speedup = cell.get("speedup")
+        timing = f"{speedup:.2f}x" if speedup is not None else "n/a"
+        print(f"  {cell['benchmark']} on {cell['machine']}: "
+              f"{cell['cycles']} cycles, speedup {timing}",
+              file=sys.stderr)
+
     try:
         payload = run_bench(
             specs, alu_counts=arguments.alus, quick=arguments.quick,
             progress=lambda message: print(f"  {message}", file=sys.stderr),
+            on_cell=on_cell,
+            executor=executor,
         )
     except ReproError as error:
         print(f"repro-bench: {error}", file=sys.stderr)

@@ -1,0 +1,91 @@
+"""``repro.serve``: a parallel job executor with a content-addressed
+result cache for sweeps, campaigns and benches.
+
+Every heavy workload in the repo — Table-1 cells, design-space sweeps,
+fault-injection campaigns, host-performance benches — decomposes into
+pure, independent evaluations of a (workload, machine configuration,
+seed) triple.  This package turns those evaluations into first-class
+*jobs*:
+
+* :class:`~repro.serve.jobspec.JobSpec` — a canonical, hashable,
+  JSON-serialisable description of one evaluation, with a stable
+  content digest;
+* :class:`~repro.serve.executors.SerialExecutor` /
+  :class:`~repro.serve.executors.PoolExecutor` — pluggable engines
+  that run a batch of jobs (in-process, or fanned out over worker
+  processes with per-job timeouts and bounded crash retries) and
+  always return results **in input order**, never completion order;
+* :class:`~repro.serve.cache.ResultCache` — a content-addressed
+  on-disk store of job results keyed by job digest and a code-version
+  salt, with hit/miss/invalidation statistics;
+* the ``repro-serve`` CLI (:mod:`repro.serve.cli`) — runs batch files
+  of jobs, reports throughput, and warms or verifies the cache.
+
+The hard contract is **determinism**: for every integration
+(:func:`repro.explore.sweep.sweep_configs`,
+:func:`repro.explore.reliability.reliability_sweep`,
+:func:`repro.harness.faultcampaign.run_campaign`,
+:func:`repro.perf.bench.run_bench`) the parallel and cache-replayed
+outputs are byte-identical to the serial outputs.  Seeds live in the
+job specs themselves (derived with the repo's deterministic
+:class:`~repro.workloads.XorShift32` at batch-construction time), so
+scheduling order can never leak into a result.
+"""
+
+from repro.serve.jobspec import (
+    JOB_KINDS,
+    KIND_BENCH,
+    KIND_CAMPAIGN,
+    KIND_PROBE,
+    KIND_SWEEP,
+    JobSpec,
+    bench_job,
+    campaign_job,
+    derive_seeds,
+    dump_batch,
+    load_batch,
+    shard_campaign,
+    sweep_job,
+)
+from repro.serve.executors import (
+    STATUS_CRASHED,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    JobOutcome,
+    PoolExecutor,
+    SerialExecutor,
+    raise_for_failures,
+    run_jobs,
+)
+from repro.serve.cache import CacheStats, ResultCache, code_salt
+from repro.serve.worker import execute_spec
+
+__all__ = [
+    "JOB_KINDS",
+    "KIND_BENCH",
+    "KIND_CAMPAIGN",
+    "KIND_PROBE",
+    "KIND_SWEEP",
+    "JobSpec",
+    "bench_job",
+    "campaign_job",
+    "derive_seeds",
+    "dump_batch",
+    "load_batch",
+    "shard_campaign",
+    "sweep_job",
+    "STATUS_CRASHED",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "STATUS_TIMEOUT",
+    "JobOutcome",
+    "PoolExecutor",
+    "SerialExecutor",
+    "raise_for_failures",
+    "run_jobs",
+    "CacheStats",
+    "ResultCache",
+    "code_salt",
+    "execute_spec",
+]

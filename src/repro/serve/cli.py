@@ -1,0 +1,280 @@
+"""``repro-serve``: run batches of evaluation jobs from the shell.
+
+Subcommands::
+
+    repro-serve batch  --kind sweep --quick --alus 1 2 3 4 --out b.json
+    repro-serve run    b.json --jobs 4 --cache .repro-cache --out r.json
+    repro-serve warm   b.json --cache .repro-cache --jobs 4
+    repro-serve verify b.json --cache .repro-cache
+
+``batch`` writes a batch file describing one job per (benchmark,
+machine) cell — sweep evaluations, fault campaigns or dual-engine
+bench cells.  ``run`` executes a batch (optionally in parallel and/or
+against a result cache) and writes a report with per-job outcomes,
+throughput, and cache statistics.  ``warm`` is ``run`` whose sole
+purpose is filling the cache.  ``verify`` recomputes every job fresh
+and diffs the payloads against the cache — the cache's own lockstep
+checker.
+
+A repeated ``run`` against a warm cache reports a 100% hit rate; the
+report's deterministic content is byte-identical to the cold run's.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from time import perf_counter
+from typing import List, Optional
+
+from repro.config import epic_with_alus
+from repro.errors import ReproError
+from repro.harness.tables import BENCHMARK_ORDER
+from repro.serve.cache import ResultCache
+from repro.serve.executors import (
+    PoolExecutor,
+    SerialExecutor,
+    run_jobs,
+)
+from repro.serve.jobspec import (
+    KIND_BENCH,
+    KIND_CAMPAIGN,
+    KIND_SWEEP,
+    JobSpec,
+    bench_job,
+    campaign_job,
+    dump_batch,
+    load_batch,
+    shard_campaign,
+    sweep_job,
+)
+from repro.workloads import WORKLOADS
+
+
+def _specs_for(names: List[str], quick: bool):
+    if quick:
+        from repro.harness.cli import quick_specs
+
+        return quick_specs(names)
+    return [WORKLOADS[name]() for name in names]
+
+
+def _build_executor(jobs: int, timeout: Optional[float], retries: int):
+    if jobs > 1:
+        return PoolExecutor(jobs=jobs, timeout=timeout, retries=retries)
+    return SerialExecutor()
+
+
+def _batch_command(arguments) -> int:
+    specs = _specs_for(arguments.bench, arguments.quick)
+    jobs: List[JobSpec] = []
+    for spec in specs:
+        for n_alus in arguments.alus:
+            config = epic_with_alus(n_alus)
+            if arguments.kind == KIND_SWEEP:
+                jobs.append(sweep_job(spec, config))
+            elif arguments.kind == KIND_BENCH:
+                jobs.append(bench_job(spec, config))
+            else:
+                whole = campaign_job(spec, config, arguments.n,
+                                     arguments.seed)
+                if arguments.shards > 1:
+                    jobs.extend(shard_campaign(whole, arguments.shards))
+                else:
+                    jobs.append(whole)
+    dump_batch(jobs, arguments.out)
+    print(f"wrote {len(jobs)} {arguments.kind} job(s) to {arguments.out}")
+    return 0
+
+
+def _report(outcomes, wall_seconds: float, cache) -> dict:
+    counts = {"ok": 0, "error": 0, "timeout": 0, "crashed": 0}
+    cached = 0
+    for outcome in outcomes:
+        counts[outcome.status] = counts.get(outcome.status, 0) + 1
+        if outcome.cached:
+            cached += 1
+    report = {
+        "generated_by": "repro-serve",
+        "jobs": [outcome.summary() for outcome in outcomes],
+        "summary": {
+            "total": len(outcomes),
+            **counts,
+            "cached": cached,
+            "wall_seconds": round(wall_seconds, 6),
+            "jobs_per_second": (
+                round(len(outcomes) / wall_seconds, 3)
+                if wall_seconds > 0 else 0.0
+            ),
+        },
+    }
+    if cache is not None:
+        report["cache"] = cache.stats.as_dict()
+    return report
+
+
+def _run_command(arguments, warm_only: bool = False) -> int:
+    specs = load_batch(arguments.batch)
+    cache = ResultCache(arguments.cache) if arguments.cache else None
+    executor = _build_executor(arguments.jobs, arguments.timeout,
+                               arguments.retries)
+
+    done = [0]
+
+    def on_result(outcome) -> None:
+        done[0] += 1
+        if arguments.verbose:
+            origin = "cache" if outcome.cached else \
+                f"{outcome.seconds:.3f}s"
+            print(f"  [{done[0]}/{len(specs)}] {outcome.spec.job_id}: "
+                  f"{outcome.status} ({origin})", file=sys.stderr)
+
+    started = perf_counter()
+    outcomes = run_jobs(specs, executor=executor, cache=cache,
+                        on_result=on_result)
+    wall = perf_counter() - started
+    report = _report(outcomes, wall, cache)
+
+    if getattr(arguments, "out", None):
+        with open(arguments.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+
+    summary = report["summary"]
+    verb = "warmed" if warm_only else "ran"
+    line = (f"{verb} {summary['total']} job(s) in "
+            f"{summary['wall_seconds']:.3f}s "
+            f"({summary['jobs_per_second']:.2f} jobs/s; "
+            f"{summary['ok']} ok, {summary['cached']} from cache")
+    failures = (summary["error"] + summary["timeout"]
+                + summary["crashed"])
+    if failures:
+        line += (f", {summary['error']} error, {summary['timeout']} "
+                 f"timeout, {summary['crashed']} crashed")
+    line += ")"
+    print(line)
+    if cache is not None:
+        stats = cache.stats
+        print(f"cache: {stats.hits} hit(s), {stats.misses} miss(es), "
+              f"{stats.puts} write(s), {stats.invalidations} "
+              f"invalidation(s) — hit rate "
+              f"{stats.hit_rate * 100:.1f}%")
+    if arguments.json:
+        print(json.dumps(report, indent=2))
+    return 1 if failures else 0
+
+
+def _verify_command(arguments) -> int:
+    specs = load_batch(arguments.batch)
+    cache = ResultCache(arguments.cache)
+    executor = _build_executor(arguments.jobs, arguments.timeout,
+                               arguments.retries)
+    # Recompute everything fresh (no cache on the run), then diff
+    # against what the cache claims.
+    outcomes = run_jobs(specs, executor=executor, cache=None)
+    missing: List[str] = []
+    stale: List[str] = []
+    verified = 0
+    for outcome in outcomes:
+        if not outcome.ok:
+            print(f"repro-serve: cannot verify {outcome.spec.job_id}: "
+                  f"job {outcome.status}: {outcome.error}",
+                  file=sys.stderr)
+            return 1
+        cached = cache.get(outcome.spec)
+        if cached is None:
+            missing.append(outcome.spec.job_id)
+        elif cached != outcome.payload:
+            stale.append(outcome.spec.job_id)
+        else:
+            verified += 1
+    print(f"verified {verified}/{len(outcomes)} cached result(s); "
+          f"{len(missing)} missing, {len(stale)} stale")
+    for job_id in missing:
+        print(f"  missing: {job_id}", file=sys.stderr)
+    for job_id in stale:
+        print(f"  STALE: {job_id} — cached payload differs from a "
+              "fresh run", file=sys.stderr)
+    return 1 if stale else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Run batches of evaluation jobs through the "
+                    "parallel executor and result cache.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    batch = commands.add_parser(
+        "batch", help="write a batch file of jobs")
+    batch.add_argument("--kind", default=KIND_SWEEP,
+                       choices=(KIND_SWEEP, KIND_CAMPAIGN, KIND_BENCH),
+                       help="job kind (default sweep)")
+    batch.add_argument("--bench", nargs="*", default=list(BENCHMARK_ORDER),
+                       choices=list(BENCHMARK_ORDER),
+                       help="benchmarks to cover")
+    batch.add_argument("--alus", nargs="*", type=int, default=[1, 2, 3, 4],
+                       help="ALU counts (machine presets)")
+    batch.add_argument("--quick", action="store_true",
+                       help="use reduced benchmark input sizes")
+    batch.add_argument("--n", type=int, default=50,
+                       help="injections per campaign job")
+    batch.add_argument("--seed", type=int, default=42,
+                       help="campaign seed")
+    batch.add_argument("--shards", type=int, default=1,
+                       help="split each campaign into this many "
+                            "fault-slice jobs")
+    batch.add_argument("--out", required=True, help="batch file to write")
+
+    def add_run_arguments(sub, needs_cache: bool) -> None:
+        sub.add_argument("batch", help="batch file of jobs to run")
+        sub.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="worker processes (default: serial)")
+        sub.add_argument("--cache", required=needs_cache,
+                         help="result-cache directory")
+        sub.add_argument("--timeout", type=float, default=None,
+                         help="per-job timeout in seconds")
+        sub.add_argument("--retries", type=int, default=1,
+                         help="retries after a worker crash (default 1)")
+        sub.add_argument("--verbose", action="store_true",
+                         help="print one line per finished job")
+
+    run = commands.add_parser(
+        "run", help="execute a batch, optionally cached/parallel")
+    add_run_arguments(run, needs_cache=False)
+    run.add_argument("--out", help="write the JSON report here")
+    run.add_argument("--json", action="store_true",
+                     help="also print the JSON report to stdout")
+
+    warm = commands.add_parser(
+        "warm", help="execute a batch purely to fill the cache")
+    add_run_arguments(warm, needs_cache=True)
+
+    verify = commands.add_parser(
+        "verify", help="recompute a batch and diff against the cache")
+    add_run_arguments(verify, needs_cache=True)
+
+    arguments = parser.parse_args(argv)
+    if getattr(arguments, "jobs", 1) < 1:
+        print("repro-serve: --jobs must be >= 1", file=sys.stderr)
+        return 2
+
+    try:
+        if arguments.command == "batch":
+            return _batch_command(arguments)
+        if arguments.command == "run":
+            return _run_command(arguments)
+        if arguments.command == "warm":
+            arguments.json = False
+            arguments.out = None
+            return _run_command(arguments, warm_only=True)
+        return _verify_command(arguments)
+    except ReproError as error:
+        print(f"repro-serve: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

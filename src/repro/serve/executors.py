@@ -1,0 +1,321 @@
+"""Pluggable job executors and the cache-aware orchestration loop.
+
+Two engines share one interface (``run(specs, on_result=None) ->
+List[JobOutcome]``):
+
+* :class:`SerialExecutor` — runs jobs in-process, in order.  The
+  reference engine: every other execution strategy must reproduce its
+  results byte-for-byte.
+* :class:`PoolExecutor` — fans jobs out over worker *processes* (one
+  fresh process per job, at most ``jobs`` alive at once), with a
+  per-job timeout, bounded retries on worker crash, and structured
+  outcomes for every failure mode.  No failure hangs the executor.
+
+**Deterministic ordering is the contract**: the returned list is always
+keyed by input position, never by completion order.  The optional
+``on_result`` callback fires as outcomes arrive (completion order under
+the pool) and is for progress display only — nothing built from the
+returned list can observe scheduling.
+
+:func:`run_jobs` layers the content-addressed
+:class:`~repro.serve.cache.ResultCache` on top: hits short-circuit
+execution, fresh ``ok`` results are written back.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing.connection import wait as connection_wait
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import ReproError, ServeError
+from repro.serve.jobspec import KIND_PROBE, JobSpec
+from repro.serve.worker import execute_payload, execute_spec
+
+#: Structured job statuses.  ``ok`` is the only one carrying a payload.
+STATUS_OK = "ok"
+STATUS_ERROR = "error"          # the job raised a (repro) error
+STATUS_TIMEOUT = "timeout"      # reaped by the per-job timeout
+STATUS_CRASHED = "crashed"      # worker died without reporting
+
+JOB_STATUSES = (STATUS_OK, STATUS_ERROR, STATUS_TIMEOUT, STATUS_CRASHED)
+
+OnResult = Callable[["JobOutcome"], None]
+
+
+@dataclass
+class JobOutcome:
+    """What happened to one job — always structured, never an excuse
+    for an executor to hang or to silently drop a result."""
+
+    spec: JobSpec
+    index: int
+    status: str
+    payload: Optional[Dict[str, object]] = None
+    meta: Optional[Dict[str, object]] = None
+    error: Optional[str] = None
+    seconds: float = 0.0
+    attempts: int = 1
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.status == STATUS_OK
+
+    def summary(self) -> Dict[str, object]:
+        """JSON-friendly digest of the outcome (reports, artifacts)."""
+        return {
+            "job_id": self.spec.job_id,
+            "job": self.spec.describe(),
+            "digest": self.spec.digest(),
+            "status": self.status,
+            "error": self.error,
+            "seconds": round(self.seconds, 6),
+            "attempts": self.attempts,
+            "cached": self.cached,
+        }
+
+
+class SerialExecutor:
+    """In-process, in-order execution — the determinism reference."""
+
+    jobs = 1
+
+    def run(self, specs: Sequence[JobSpec],
+            on_result: Optional[OnResult] = None) -> List[JobOutcome]:
+        outcomes: List[JobOutcome] = []
+        for index, spec in enumerate(specs):
+            if spec.kind == KIND_PROBE and spec.behavior in ("crash",
+                                                             "hang"):
+                raise ServeError(
+                    f"probe behaviour {spec.behavior!r} would kill or "
+                    "wedge the calling process; run it under a "
+                    "PoolExecutor"
+                )
+            started = time.perf_counter()
+            try:
+                payload, meta = execute_spec(spec)
+                outcome = JobOutcome(spec=spec, index=index,
+                                     status=STATUS_OK, payload=payload,
+                                     meta=meta,
+                                     seconds=time.perf_counter() - started)
+            except ReproError as error:
+                outcome = JobOutcome(spec=spec, index=index,
+                                     status=STATUS_ERROR, error=str(error),
+                                     seconds=time.perf_counter() - started)
+            except Exception as error:  # noqa: BLE001 - structured outcome
+                outcome = JobOutcome(
+                    spec=spec, index=index, status=STATUS_ERROR,
+                    error=f"{type(error).__name__}: {error}",
+                    seconds=time.perf_counter() - started)
+            outcomes.append(outcome)
+            if on_result is not None:
+                on_result(outcome)
+        return outcomes
+
+
+def _child_entry(payload: Dict[str, object], conn) -> None:
+    """Worker-process body: run the job, report exactly one message."""
+    try:
+        result, meta = execute_payload(payload)
+        conn.send((STATUS_OK, result, meta))
+    except ReproError as error:
+        conn.send((STATUS_ERROR, str(error), None))
+    except Exception as error:  # noqa: BLE001 - report, don't die silent
+        conn.send((STATUS_ERROR, f"{type(error).__name__}: {error}", None))
+    finally:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - pipe already gone
+            pass
+
+
+@dataclass
+class _Running:
+    index: int
+    process: multiprocessing.process.BaseProcess
+    started: float
+
+
+class PoolExecutor:
+    """Process-parallel execution with timeouts and crash retries.
+
+    Each job runs in its own fresh worker process (results travel over
+    a dedicated pipe, so a dying worker can never corrupt another
+    job's result), with at most ``jobs`` workers alive at a time:
+
+    * a job exceeding ``timeout`` seconds is terminated and surfaces
+      as a ``timeout`` outcome (no retry — a deterministic job that
+      timed out once will time out again);
+    * a worker that dies without reporting (hard crash) is retried up
+      to ``retries`` times, then surfaces as ``crashed``;
+    * a job that raises reports an ``error`` outcome.
+
+    Jobs are launched in input order and results are returned in input
+    order regardless of completion order.
+    """
+
+    def __init__(self, jobs: int = 2, timeout: Optional[float] = None,
+                 retries: int = 1, start_method: Optional[str] = None):
+        if jobs < 1:
+            raise ServeError("PoolExecutor needs jobs >= 1")
+        if timeout is not None and timeout <= 0:
+            raise ServeError("per-job timeout must be positive")
+        if retries < 0:
+            raise ServeError("retries must be >= 0")
+        self.jobs = jobs
+        self.timeout = timeout
+        self.retries = retries
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self._context = multiprocessing.get_context(start_method)
+
+    def run(self, specs: Sequence[JobSpec],
+            on_result: Optional[OnResult] = None) -> List[JobOutcome]:
+        specs = list(specs)
+        payloads = [spec.to_payload() for spec in specs]
+        results: Dict[int, JobOutcome] = {}
+        ready_queue = deque(range(len(specs)))
+        running: Dict[object, _Running] = {}
+        attempts = [0] * len(specs)
+
+        def finish(outcome: JobOutcome) -> None:
+            results[outcome.index] = outcome
+            if on_result is not None:
+                on_result(outcome)
+
+        while len(results) < len(specs):
+            while ready_queue and len(running) < self.jobs:
+                index = ready_queue.popleft()
+                attempts[index] += 1
+                parent_conn, child_conn = self._context.Pipe(duplex=False)
+                process = self._context.Process(
+                    target=_child_entry,
+                    args=(payloads[index], child_conn),
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                running[parent_conn] = _Running(index, process,
+                                                time.monotonic())
+
+            if not running:
+                continue
+            # A connection becomes ready when the worker sends its
+            # result *or* exits (EOF), so crashes wake us immediately;
+            # the short timeout only bounds the per-job timeout check.
+            for conn in connection_wait(list(running), timeout=0.05):
+                job = running.pop(conn)
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    message = None
+                conn.close()
+                job.process.join()
+                elapsed = time.monotonic() - job.started
+                if message is None:
+                    exit_code = job.process.exitcode
+                    if attempts[job.index] <= self.retries:
+                        ready_queue.append(job.index)
+                        continue
+                    finish(JobOutcome(
+                        spec=specs[job.index], index=job.index,
+                        status=STATUS_CRASHED,
+                        error=(f"worker died without reporting "
+                               f"(exit code {exit_code}) after "
+                               f"{attempts[job.index]} attempt(s)"),
+                        seconds=elapsed, attempts=attempts[job.index]))
+                    continue
+                status, data, meta = message
+                if status == STATUS_OK:
+                    finish(JobOutcome(
+                        spec=specs[job.index], index=job.index,
+                        status=STATUS_OK, payload=data, meta=meta,
+                        seconds=elapsed, attempts=attempts[job.index]))
+                else:
+                    finish(JobOutcome(
+                        spec=specs[job.index], index=job.index,
+                        status=STATUS_ERROR, error=data,
+                        seconds=elapsed, attempts=attempts[job.index]))
+
+            if self.timeout is None:
+                continue
+            now = time.monotonic()
+            for conn, job in list(running.items()):
+                if now - job.started < self.timeout:
+                    continue
+                job.process.terminate()
+                job.process.join()
+                conn.close()
+                del running[conn]
+                finish(JobOutcome(
+                    spec=specs[job.index], index=job.index,
+                    status=STATUS_TIMEOUT,
+                    error=(f"job exceeded the {self.timeout:g}s per-job "
+                           "timeout and was terminated"),
+                    seconds=now - job.started,
+                    attempts=attempts[job.index]))
+
+        return [results[index] for index in range(len(specs))]
+
+
+def run_jobs(specs: Sequence[JobSpec],
+             executor=None,
+             cache=None,
+             on_result: Optional[OnResult] = None) -> List[JobOutcome]:
+    """Run a batch through ``executor`` with ``cache`` short-circuiting.
+
+    Cache hits are reported first (zero-cost outcomes with
+    ``cached=True``); misses go to the executor and successful fresh
+    results are written back.  The returned list is in input order.
+    """
+    specs = list(specs)
+    if executor is None:
+        executor = SerialExecutor()
+    outcomes: List[Optional[JobOutcome]] = [None] * len(specs)
+    pending: List[JobSpec] = []
+    pending_indices: List[int] = []
+    for index, spec in enumerate(specs):
+        payload = cache.get(spec) if cache is not None else None
+        if payload is not None:
+            outcome = JobOutcome(spec=spec, index=index, status=STATUS_OK,
+                                 payload=payload, cached=True, attempts=0)
+            outcomes[index] = outcome
+            if on_result is not None:
+                on_result(outcome)
+        else:
+            pending.append(spec)
+            pending_indices.append(index)
+
+    if pending:
+        def forward(outcome: JobOutcome) -> None:
+            outcome.index = pending_indices[outcome.index]
+            if cache is not None and outcome.ok:
+                cache.put(outcome.spec, outcome.payload)
+            outcomes[outcome.index] = outcome
+            if on_result is not None:
+                on_result(outcome)
+
+        executor.run(pending, on_result=forward)
+
+    return [outcome for outcome in outcomes if outcome is not None]
+
+
+def raise_for_failures(outcomes: Sequence[JobOutcome]) -> None:
+    """Raise :class:`~repro.errors.ServeError` if any job failed."""
+    failures = [outcome for outcome in outcomes if not outcome.ok]
+    if not failures:
+        return
+    details = "; ".join(
+        f"{outcome.spec.job_id} {outcome.status}"
+        + (f" ({outcome.error})" if outcome.error else "")
+        for outcome in failures[:5]
+    )
+    more = f" (+{len(failures) - 5} more)" if len(failures) > 5 else ""
+    raise ServeError(
+        f"{len(failures)} of {len(outcomes)} jobs failed: {details}{more}"
+    )

@@ -1,0 +1,149 @@
+"""Job execution: turn a :class:`~repro.serve.jobspec.JobSpec` into a
+deterministic result payload.
+
+:func:`execute_spec` is the single entry point; it runs in-process for
+the :class:`~repro.serve.executors.SerialExecutor` and in a fresh
+worker process for the :class:`~repro.serve.executors.PoolExecutor`
+(via :func:`execute_payload`, which only needs a JSON dict and is
+therefore safe under any multiprocessing start method).
+
+Every job returns two dicts:
+
+* ``payload`` — the **deterministic** result.  This is what the cache
+  stores and what reports are diffed on; it must be a pure function of
+  the job spec (no wall-clock times, no host names, no object ids).
+* ``meta`` — non-deterministic measurement context (phase timings).
+  Executors attach it to the outcome but it never enters the cache.
+
+Heavy subsystem imports happen lazily inside the per-kind handlers so
+that importing :mod:`repro.serve` stays cheap and cycle-free.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, Tuple
+
+from repro.errors import ServeError
+from repro.serve.jobspec import (
+    KIND_BENCH,
+    KIND_CAMPAIGN,
+    KIND_PROBE,
+    KIND_SWEEP,
+    JobSpec,
+)
+from repro.workloads import WORKLOADS, WorkloadSpec
+
+Payload = Dict[str, object]
+
+
+def build_workload(spec: JobSpec) -> WorkloadSpec:
+    """Rebuild the exact workload instance the job describes."""
+    constructor = WORKLOADS[spec.workload]
+    return constructor(*spec.workload_args)
+
+
+def _execute_sweep(spec: JobSpec) -> Tuple[Payload, Payload]:
+    from repro.fpga import estimate_clock_mhz, estimate_resources
+    from repro.harness.runner import run_on_epic
+
+    workload = build_workload(spec)
+    run = run_on_epic(workload, spec.config, validate=spec.validate,
+                      max_cycles=spec.max_cycles, engine=spec.engine)
+    estimate = estimate_resources(spec.config)
+    payload: Payload = {
+        "workload": workload.name,
+        "machine": run.machine,
+        "cycles": run.cycles,
+        "slices": estimate.slices,
+        "block_rams": estimate.block_rams,
+        "clock_mhz": estimate_clock_mhz(spec.config),
+    }
+    return payload, {}
+
+
+def _execute_campaign(spec: JobSpec) -> Tuple[Payload, Payload]:
+    from repro.harness.faultcampaign import generate_faults, result_payload
+    from repro.reliability import LockstepChecker
+
+    workload = build_workload(spec)
+    checker = LockstepChecker(workload, spec.config,
+                              watchdog_factor=spec.watchdog_factor,
+                              max_cycles=spec.max_cycles)
+    faults = generate_faults(checker, spec.n, spec.seed, spec.spaces)
+    stop = spec.n if spec.fault_count < 0 \
+        else min(spec.n, spec.fault_offset + spec.fault_count)
+    outcomes = [
+        result_payload(checker.run_one(fault))
+        for fault in faults[spec.fault_offset:stop]
+    ]
+    payload: Payload = {
+        "workload": workload.name,
+        "machine": f"EPIC-{spec.config.n_alus}ALU",
+        "n": spec.n,
+        "seed": spec.seed,
+        "fault_offset": spec.fault_offset,
+        "reference_cycles": checker.reference_cycles,
+        "outcomes": outcomes,
+    }
+    return payload, {}
+
+
+def _execute_bench(spec: JobSpec) -> Tuple[Payload, Payload]:
+    from repro.perf.bench import bench_cell
+
+    workload = build_workload(spec)
+    cell = bench_cell(workload, spec.config.n_alus,
+                      max_cycles=spec.max_cycles)
+    payload: Payload = {
+        "benchmark": cell["benchmark"],
+        "machine": cell["machine"],
+        "cycles": cell["cycles"],
+        "ilp": cell["ilp"],
+        "fingerprint": cell["fingerprint"],
+    }
+    meta: Payload = {
+        key: cell[key]
+        for key in ("compile_seconds", "specialise_seconds",
+                    "instrumented_seconds", "fast_seconds", "speedup",
+                    "fast_kcycles_per_host_second",
+                    "instrumented_kcycles_per_host_second")
+    }
+    return payload, meta
+
+
+def _execute_probe(spec: JobSpec) -> Tuple[Payload, Payload]:
+    if spec.behavior == "ok":
+        return {"value": spec.seed}, {}
+    if spec.behavior == "sleep":
+        time.sleep(spec.seconds)
+        return {"value": spec.seed}, {}
+    if spec.behavior == "fail":
+        raise ServeError("probe job asked to fail")
+    if spec.behavior == "crash":
+        # Simulated hard worker death: no exception propagates, no
+        # result is ever reported.  (Only meaningful under a process
+        # executor; the serial executor refuses to run it.)
+        os._exit(13)
+    # "hang": spin until the executor's per-job timeout reaps us.
+    while True:  # pragma: no cover - exercised via PoolExecutor timeout
+        time.sleep(0.05)
+
+
+_HANDLERS = {
+    KIND_SWEEP: _execute_sweep,
+    KIND_CAMPAIGN: _execute_campaign,
+    KIND_BENCH: _execute_bench,
+    KIND_PROBE: _execute_probe,
+}
+
+
+def execute_spec(spec: JobSpec) -> Tuple[Payload, Payload]:
+    """Run one job; returns ``(deterministic payload, timing meta)``."""
+    return _HANDLERS[spec.kind](spec)
+
+
+def execute_payload(payload: Payload) -> Tuple[Payload, Payload]:
+    """Worker-process entry point: payload dict in, result dicts out."""
+    return execute_spec(JobSpec.from_payload(payload))

@@ -334,4 +334,5 @@ def aes_workload(n_iter: int = 25) -> WorkloadSpec:
             f"{n_iter} encrypt+decrypt iterations "
             "(paper: 1000; cycles scale linearly)"
         ),
+        instance_args=(n_iter,),
     )

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 _MASK = 0xFFFFFFFF
 
@@ -22,6 +22,11 @@ class WorkloadSpec:
     scale_note: str = ""
     #: Data-memory words the simulators should provision.
     mem_words: int = 1 << 16
+    #: Positional arguments the workload constructor was called with, so
+    #: another process can rebuild this exact instance via
+    #: ``WORKLOADS[name](*instance_args)`` (the job-serving layer's
+    #: serialisation hook; empty means "constructor defaults").
+    instance_args: Tuple[int, ...] = ()
 
     @property
     def output_names(self) -> List[str]:

@@ -208,4 +208,5 @@ def dct_workload(width: int = 32, height: int = 32,
             f"{note} (paper: 256x256; cycle counts scale with the "
             f"{(width // 8) * (height // 8)} 8x8 blocks)"
         ),
+        instance_args=(width, height, seed),
     )

@@ -147,4 +147,5 @@ def dijkstra_workload(n_nodes: int = 24, density_percent: int = 35,
             f"{n_nodes}-node all-pairs (paper: 'a large graph'; cycles "
             "scale ~V^3)"
         ),
+        instance_args=(n_nodes, density_percent, seed),
     )

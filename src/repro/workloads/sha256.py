@@ -133,4 +133,5 @@ def sha_workload(width: int = 32, height: int = 32,
             f"{note} (paper: 256x256; cycle counts scale with the "
             f"{len(words) // 16} compression blocks)"
         ),
+        instance_args=(width, height, seed),
     )

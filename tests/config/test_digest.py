@@ -1,0 +1,138 @@
+"""MachineConfig.canonical()/digest(): the cache-key contract.
+
+The digest must change iff a semantically relevant field changes, and
+must be stable across construction order, hash randomisation, and
+processes.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.config import (
+    CONFIG_DIGEST_VERSION,
+    AluFeature,
+    MachineConfig,
+    epic_config,
+)
+from repro.isa import CustomOpSpec
+
+#: One semantic change per configurable field; each must move the
+#: digest.  (``latencies`` is covered separately via with_latency.)
+SEMANTIC_CHANGES = {
+    "n_alus": 2,
+    "n_gprs": 32,
+    "n_preds": 16,
+    "n_btrs": 8,
+    "issue_width": 2,
+    "datapath_width": 16,
+    "regs_per_instruction": 64,  # paired with n_gprs=32 below
+    "alu_features": frozenset({AluFeature.MULTIPLY, AluFeature.SHIFT}),
+    "regfile_ops_per_cycle": 4,
+    "forwarding": False,
+    "model_port_limit": False,
+    "n_mem_banks": 2,
+    "lsu_shares_fetch_bandwidth": True,
+    "pipeline_stages": 3,
+    "clock_mhz": 50.0,
+    "trap_policy": "squash-bundle",
+    "regfile_protection": "ecc",
+    "memory_protection": "parity",
+}
+
+
+class TestDigestMovesWithSemantics:
+    def test_equal_configs_equal_digests(self):
+        assert epic_config().digest() == epic_config().digest()
+
+    @pytest.mark.parametrize("field", sorted(SEMANTIC_CHANGES))
+    def test_each_semantic_field_moves_the_digest(self, field):
+        if field == "regs_per_instruction":
+            # Must stay >= n_gprs, so vary it against a smaller file.
+            base = epic_config().with_changes(n_gprs=32,
+                                              regs_per_instruction=32)
+            changed = base.with_changes(regs_per_instruction=64)
+        else:
+            base = epic_config()
+            changed = base.with_changes(**{field: SEMANTIC_CHANGES[field]})
+        assert changed.digest() != base.digest()
+
+    def test_latency_change_moves_the_digest(self):
+        assert epic_config().with_latency("load", 5).digest() != \
+            epic_config().digest()
+
+    def test_custom_op_contract_moves_the_digest(self):
+        op = CustomOpSpec("SADD", func=lambda a, b, m: (a + b) & m)
+        with_op = epic_config(custom_ops=(op,))
+        assert with_op.digest() != epic_config().digest()
+        slower = CustomOpSpec("SADD", func=lambda a, b, m: (a + b) & m,
+                              latency=2)
+        assert epic_config(custom_ops=(slower,)).digest() != \
+            with_op.digest()
+
+
+class TestCosmeticsDoNotMoveTheDigest:
+    def test_custom_op_description_is_cosmetic(self):
+        def semantics(a, b, m):
+            return (a + b) & m
+
+        plain = CustomOpSpec("SADD", func=semantics)
+        documented = CustomOpSpec("SADD", func=semantics,
+                                  description="saturating add")
+        assert epic_config(custom_ops=(plain,)).digest() == \
+            epic_config(custom_ops=(documented,)).digest()
+
+    def test_custom_op_callable_identity_is_cosmetic(self):
+        # The digest captures the architectural contract, not the
+        # Python object implementing it.
+        a = CustomOpSpec("SADD", func=lambda a, b, m: (a + b) & m)
+        b = CustomOpSpec("SADD", func=lambda a, b, m: (b + a) & m)
+        assert epic_config(custom_ops=(a,)).digest() == \
+            epic_config(custom_ops=(b,)).digest()
+
+
+class TestOrderIndependence:
+    def test_latency_tuple_order_is_normalised(self):
+        base = epic_config()
+        shuffled = base.with_changes(
+            latencies=tuple(reversed(base.latencies)))
+        assert shuffled.digest() == base.digest()
+
+    def test_feature_set_construction_order_irrelevant(self):
+        forward = frozenset([AluFeature.MULTIPLY, AluFeature.DIVIDE,
+                             AluFeature.SHIFT])
+        backward = frozenset([AluFeature.SHIFT, AluFeature.DIVIDE,
+                              AluFeature.MULTIPLY])
+        assert epic_config(alu_features=forward).digest() == \
+            epic_config(alu_features=backward).digest()
+
+
+class TestStability:
+    def test_canonical_is_pure_json(self):
+        canonical = epic_config().canonical()
+        assert json.loads(json.dumps(canonical)) == canonical
+        assert canonical["version"] == CONFIG_DIGEST_VERSION
+
+    def test_digest_stable_across_processes_and_hash_seeds(self):
+        program = (
+            "from repro.config import epic_config\n"
+            "print(epic_config(n_alus=3).digest())\n"
+        )
+        digests = set()
+        for hash_seed in ("0", "12345"):
+            env = dict(os.environ)
+            env["PYTHONHASHSEED"] = hash_seed
+            digests.add(subprocess.run(
+                [sys.executable, "-c", program], env=env, check=True,
+                capture_output=True, text=True,
+            ).stdout.strip())
+        digests.add(epic_config(n_alus=3).digest())
+        assert len(digests) == 1
+
+    def test_digest_is_sha256_hex(self):
+        digest = MachineConfig().digest()
+        assert len(digest) == 64
+        int(digest, 16)

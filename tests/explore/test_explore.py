@@ -76,3 +76,53 @@ def test_dominated_point_is_excluded():
                       block_rams=1, clock_mhz=40.0)
     frontier = pareto_frontier([good, bad])
     assert frontier == [good]
+
+
+class TestParetoEdgeCases:
+    """Degenerate inputs the O(n^2) scan must not mishandle."""
+
+    @staticmethod
+    def point(cycles, slices):
+        return DesignPoint(config=epic_with_alus(1), cycles=cycles,
+                           slices=slices, block_rams=1, clock_mhz=40.0)
+
+    def test_empty_input_empty_frontier(self):
+        assert pareto_frontier([]) == []
+
+    def test_single_point_survives(self):
+        only = self.point(100, 100)
+        assert pareto_frontier([only]) == [only]
+
+    def test_duplicates_never_dominate_each_other(self):
+        twin_a = self.point(100, 100)
+        twin_b = self.point(100, 100)
+        frontier = pareto_frontier([twin_a, twin_b])
+        assert len(frontier) == 2
+
+    def test_tie_on_one_axis_keeps_both_nondominated_points(self):
+        # Equal area, different speed: the slower one IS dominated.
+        # Equal speed, different area: likewise.  But a point that ties
+        # on one axis and wins on the other must survive.
+        fast_big = self.point(100, 200)
+        slow_small = self.point(200, 100)
+        tied_fast = self.point(100, 150)  # ties fast_big on cycles
+        frontier = pareto_frontier([fast_big, slow_small, tied_fast])
+        assert slow_small in frontier
+        assert tied_fast in frontier
+        assert fast_big not in frontier  # tied on cycles, worse area
+
+    def test_all_identical_all_survive(self):
+        clones = [self.point(100, 100) for _ in range(4)]
+        assert len(pareto_frontier(clones)) == 4
+
+    def test_objectives_evaluated_exactly_once_per_point(self):
+        calls = []
+        points = [self.point(100 + n, 100 - n) for n in range(5)]
+
+        def counting(point):
+            calls.append(point)
+            return float(point.cycles)
+
+        pareto_frontier(points, objectives=(counting,
+                                            lambda p: float(p.slices)))
+        assert len(calls) == len(points)

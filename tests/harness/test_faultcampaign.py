@@ -16,6 +16,8 @@ from repro.harness.faultcampaign import (
     campaign_payload,
     generate_faults,
     render_vulnerability_table,
+    result_from_payload,
+    result_payload,
     run_campaign,
 )
 from repro.reliability import FAULT_SPACES, LockstepChecker
@@ -90,6 +92,21 @@ class TestCampaignDeterminism:
         text = json.dumps(campaign_payload([report]))
         assert "tiny" in text
 
+    def test_on_result_fires_per_injection_in_fault_order(self, checker):
+        seen = []
+        report = run_campaign(tiny_spec(), checker.config, n=6, seed=3,
+                              checker=checker,
+                              on_result=lambda r: seen.append(r))
+        assert seen == report.results
+
+    def test_result_payload_round_trip(self, checker):
+        report = run_campaign(tiny_spec(), checker.config, n=6, seed=3,
+                              checker=checker)
+        for result in report.results:
+            clone = result_from_payload(json.loads(json.dumps(
+                result_payload(result))))
+            assert clone == result
+
 
 class TestVulnerabilityTable:
     def test_render_contains_header_and_row(self, checker):
@@ -153,3 +170,22 @@ class TestCli:
     def test_zero_injections_rejected(self, capsys):
         assert faults_main(["--n", "0"]) == 2
         assert "must be >= 1" in capsys.readouterr().err
+
+    def test_zero_jobs_rejected(self, capsys):
+        assert faults_main(["--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_verbose_prints_one_line_per_injection(self, capsys):
+        assert faults_main(["--bench", "SHA", "--quick", "--n", "3",
+                            "--seed", "1", "--verbose"]) == 0
+        err = capsys.readouterr().err
+        assert "[1/3]" in err and "[3/3]" in err
+
+    def test_parallel_jobs_output_matches_serial(self, capsys):
+        argv = ["--bench", "SHA", "--quick", "--n", "4", "--seed", "1",
+                "--json"]
+        assert faults_main(argv) == 0
+        serial = capsys.readouterr().out
+        assert faults_main(argv + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial

@@ -4,11 +4,14 @@ import json
 
 import pytest
 
+from repro.config import epic_with_alus
 from repro.perf import PhaseTimer, kcycles_per_second
 from repro.perf.bench import (
+    CompileCache,
     bench_cell,
     check_against_golden,
     cycles_by_cell,
+    deterministic_report,
     main as bench_main,
     run_bench,
 )
@@ -98,6 +101,60 @@ class TestRunBench:
         assert "not comparable" in problems[0]
 
 
+class TestCompileCache:
+    def test_each_pair_compiles_exactly_once(self, tiny_payload):
+        stats = tiny_payload["summary"]["compile_cache"]
+        assert stats["pairs"] == 1  # one workload x one machine
+        assert stats["compiles"] == stats["pairs"]
+
+    def test_repeated_cell_hits_instead_of_recompiling(self):
+        cache = CompileCache()
+        spec = sha_workload(4, 4)
+        payload = run_bench([spec, spec], alu_counts=[1], quick=True)
+        stats = payload["summary"]["compile_cache"]
+        assert stats["pairs"] == 1
+        assert stats["compiles"] == 1
+        assert stats["hits"] == 1
+        # The hoist must be invisible in the simulated results.
+        first, second = payload["runs"]
+        assert first["cycles"] == second["cycles"]
+        assert first["fingerprint"] == second["fingerprint"]
+
+        first_get = cache.get(spec, epic_with_alus(1))
+        assert cache.stats() == {"compiles": 1, "hits": 0, "pairs": 1}
+        assert cache.get(spec, epic_with_alus(1)) is first_get
+        assert cache.stats()["hits"] == 1
+
+    def test_hoisted_cell_cycles_match_uncached_cell(self):
+        spec = dct_workload(8, 8)
+        plain = bench_cell(spec, 1)
+        hoisted = bench_cell(spec, 1, compile_cache=CompileCache())
+        assert hoisted["cycles"] == plain["cycles"]
+        assert hoisted["fingerprint"] == plain["fingerprint"]
+        assert hoisted["ilp"] == plain["ilp"]
+
+
+class TestDeterministicReport:
+    def test_projection_shape(self, tiny_payload):
+        projection = deterministic_report(tiny_payload)
+        assert projection["quick"] is True
+        assert list(projection["cells"]) == ["SHA/EPIC-1ALU"]
+        cell = projection["cells"]["SHA/EPIC-1ALU"]
+        assert set(cell) == {"cycles", "ilp", "fingerprint"}
+
+    def test_timings_are_excluded(self, tiny_payload):
+        rendered = json.dumps(deterministic_report(tiny_payload))
+        assert "seconds" not in rendered
+        assert "speedup" not in rendered
+
+    def test_every_cell_carries_a_fingerprint(self, tiny_payload):
+        for run in tiny_payload["runs"]:
+            fingerprint = run["fingerprint"]
+            assert isinstance(fingerprint, dict) and fingerprint
+            assert "bundles" in fingerprint
+            json.dumps(fingerprint)  # must survive the report file
+
+
 class TestCli:
     def test_writes_report_and_checks_golden(self, tmp_path, capsys):
         out = tmp_path / "bench.json"
@@ -119,3 +176,23 @@ class TestCli:
         assert bench_main(["--quick", "--bench", "Dijkstra", "--alus", "1",
                            "--out", str(out), "--check", str(golden)]) == 1
         assert "cycle drift" in capsys.readouterr().err
+
+    def test_verbose_prints_one_line_per_cell(self, tmp_path, capsys):
+        assert bench_main(["--quick", "--bench", "Dijkstra",
+                           "--alus", "1", "2", "--verbose",
+                           "--out", str(tmp_path / "bench.json")]) == 0
+        err = capsys.readouterr().err
+        assert err.count("cycles, speedup") == 2
+        assert "Dijkstra on EPIC-1ALU" in err
+        assert "Dijkstra on EPIC-2ALU" in err
+
+    def test_parallel_jobs_match_serial_cycles(self, tmp_path, capsys):
+        serial_out = tmp_path / "serial.json"
+        pool_out = tmp_path / "pool.json"
+        argv = ["--quick", "--bench", "Dijkstra", "--alus", "1", "2"]
+        assert bench_main(argv + ["--out", str(serial_out)]) == 0
+        assert bench_main(argv + ["--jobs", "2",
+                                  "--out", str(pool_out)]) == 0
+        serial = json.loads(serial_out.read_text())
+        pooled = json.loads(pool_out.read_text())
+        assert deterministic_report(pooled) == deterministic_report(serial)

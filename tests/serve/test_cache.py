@@ -1,0 +1,110 @@
+"""The content-addressed result cache: hits, misses, invalidation."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import JobSpec, ResultCache, code_salt
+
+
+def probe(seed=0):
+    return JobSpec(kind="probe", behavior="ok", seed=seed)
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(str(tmp_path / "cache"), salt="test-salt")
+
+
+class TestPutGet:
+    def test_round_trip(self, cache):
+        cache.put(probe(1), {"value": 1})
+        assert cache.get(probe(1)) == {"value": 1}
+        assert cache.stats.hits == 1 and cache.stats.puts == 1
+
+    def test_miss_on_unknown_spec(self, cache):
+        assert cache.get(probe(99)) is None
+        assert cache.stats.misses == 1
+
+    def test_records_shard_by_digest_prefix(self, cache):
+        spec = probe(1)
+        cache.put(spec, {"value": 1})
+        digest = spec.digest()
+        expected = os.path.join(cache.root, digest[:2], digest + ".json")
+        assert os.path.exists(expected)
+
+    def test_empty_payload_refused(self, cache):
+        with pytest.raises(ServeError):
+            cache.put(probe(1), None)
+
+    def test_len_and_digests(self, cache):
+        for seed in range(3):
+            cache.put(probe(seed), {"value": seed})
+        assert len(cache) == 3
+        assert probe(0).digest() in set(cache.digests())
+
+
+class TestInvalidation:
+    def test_salt_mismatch_invalidates_and_deletes(self, tmp_path):
+        root = str(tmp_path / "cache")
+        old = ResultCache(root, salt="old-code")
+        old.put(probe(1), {"value": 1})
+        new = ResultCache(root, salt="new-code")
+        assert new.get(probe(1)) is None
+        assert new.stats.invalidations == 1
+        assert new.stats.misses == 1
+        assert len(new) == 0  # stale record physically removed
+
+    def test_corrupt_record_invalidated(self, cache):
+        spec = probe(1)
+        cache.put(spec, {"value": 1})
+        with open(cache.path_for(spec.digest()), "w") as handle:
+            handle.write("{truncated")
+        assert cache.get(spec) is None
+        assert cache.stats.invalidations == 1
+
+    def test_digest_mismatch_invalidated(self, cache):
+        # A record renamed onto the wrong key must not be served.
+        cache.put(probe(1), {"value": 1})
+        wrong = cache.path_for(probe(2).digest())
+        os.makedirs(os.path.dirname(wrong), exist_ok=True)
+        os.replace(cache.path_for(probe(1).digest()), wrong)
+        assert cache.get(probe(2)) is None
+        assert cache.stats.invalidations == 1
+
+    def test_schema_bump_invalidates(self, cache):
+        spec = probe(1)
+        cache.put(spec, {"value": 1})
+        path = cache.path_for(spec.digest())
+        with open(path) as handle:
+            record = json.load(handle)
+        record["schema"] = 0
+        with open(path, "w") as handle:
+            json.dump(record, handle)
+        assert cache.get(spec) is None
+
+
+class TestStats:
+    def test_hit_rate(self, cache):
+        cache.put(probe(1), {"value": 1})
+        cache.get(probe(1))
+        cache.get(probe(2))
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+        rendered = cache.stats.as_dict()
+        assert rendered["hits"] == 1 and rendered["misses"] == 1
+
+    def test_empty_stats_do_not_divide_by_zero(self, cache):
+        assert cache.stats.hit_rate == 0.0
+
+
+class TestCodeSalt:
+    def test_memoised_and_hexadecimal(self):
+        salt = code_salt()
+        assert salt == code_salt()
+        assert len(salt) == 64
+        int(salt, 16)
+
+    def test_default_cache_salt_is_code_salt(self, tmp_path):
+        assert ResultCache(str(tmp_path / "c")).salt == code_salt()

@@ -1,0 +1,144 @@
+"""Executor contracts: ordering, failure modes, cache integration.
+
+Probe jobs keep these tests independent of the simulator: every
+behaviour (ok / fail / crash / hang / sleep) is exercised without
+compiling a single benchmark.
+"""
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import (
+    JobSpec,
+    PoolExecutor,
+    ResultCache,
+    SerialExecutor,
+    raise_for_failures,
+    run_jobs,
+)
+
+
+def probe(behavior="ok", seed=0, seconds=0.0):
+    return JobSpec(kind="probe", behavior=behavior, seed=seed,
+                   seconds=seconds)
+
+
+class TestSerialExecutor:
+    def test_results_in_input_order(self):
+        specs = [probe(seed=n) for n in (5, 3, 9)]
+        outcomes = SerialExecutor().run(specs)
+        assert [o.index for o in outcomes] == [0, 1, 2]
+        assert [o.payload["value"] for o in outcomes] == [5, 3, 9]
+        assert all(o.ok for o in outcomes)
+
+    def test_failure_is_structured_not_raised(self):
+        outcomes = SerialExecutor().run([probe("fail")])
+        assert outcomes[0].status == "error"
+        assert "asked to fail" in outcomes[0].error
+
+    def test_refuses_crash_and_hang_probes(self):
+        for behavior in ("crash", "hang"):
+            with pytest.raises(ServeError, match="PoolExecutor"):
+                SerialExecutor().run([probe(behavior)])
+
+    def test_on_result_sees_every_job(self):
+        seen = []
+        SerialExecutor().run([probe(seed=n) for n in range(4)],
+                             on_result=lambda o: seen.append(o.index))
+        assert seen == [0, 1, 2, 3]
+
+
+class TestPoolExecutor:
+    def test_results_in_input_order_despite_scheduling(self):
+        # Earlier jobs sleep longer, so completion order is reversed —
+        # the returned list must not be.
+        specs = [probe("sleep", seed=n, seconds=0.3 - 0.1 * n)
+                 for n in range(3)]
+        outcomes = PoolExecutor(jobs=3).run(specs)
+        assert [o.index for o in outcomes] == [0, 1, 2]
+        assert [o.payload["value"] for o in outcomes] == [0, 1, 2]
+
+    def test_error_probe_reports_error(self):
+        outcomes = PoolExecutor(jobs=2).run([probe("fail"), probe()])
+        assert [o.status for o in outcomes] == ["error", "ok"]
+
+    def test_crash_retried_then_surfaced(self):
+        outcomes = PoolExecutor(jobs=2, retries=2).run([probe("crash")])
+        outcome = outcomes[0]
+        assert outcome.status == "crashed"
+        assert outcome.attempts == 3  # first try + 2 retries
+        assert "exit code 13" in outcome.error
+
+    def test_zero_retries_honoured(self):
+        outcome = PoolExecutor(jobs=1, retries=0).run([probe("crash")])[0]
+        assert outcome.status == "crashed"
+        assert outcome.attempts == 1
+
+    def test_crash_does_not_poison_neighbours(self):
+        specs = [probe(seed=1), probe("crash"), probe(seed=2)]
+        outcomes = PoolExecutor(jobs=2, retries=0).run(specs)
+        assert [o.status for o in outcomes] == ["ok", "crashed", "ok"]
+        assert outcomes[0].payload["value"] == 1
+        assert outcomes[2].payload["value"] == 2
+
+    def test_hang_reaped_by_timeout(self):
+        outcomes = PoolExecutor(jobs=2, timeout=0.5).run(
+            [probe("hang"), probe(seed=4)])
+        assert outcomes[0].status == "timeout"
+        assert "0.5s" in outcomes[0].error
+        assert outcomes[1].ok and outcomes[1].payload["value"] == 4
+
+    def test_bad_construction_rejected(self):
+        with pytest.raises(ServeError):
+            PoolExecutor(jobs=0)
+        with pytest.raises(ServeError):
+            PoolExecutor(timeout=-1.0)
+        with pytest.raises(ServeError):
+            PoolExecutor(retries=-1)
+
+
+class TestRunJobs:
+    def test_cache_short_circuits_second_run(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"), salt="s1")
+        specs = [probe(seed=n) for n in range(3)]
+        first = run_jobs(specs, cache=cache)
+        assert not any(o.cached for o in first)
+        assert cache.stats.puts == 3
+        second = run_jobs(specs, cache=cache)
+        assert all(o.cached for o in second)
+        assert [o.payload for o in second] == [o.payload for o in first]
+
+    def test_partial_hits_merge_in_input_order(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"), salt="s1")
+        run_jobs([probe(seed=1)], cache=cache)
+        outcomes = run_jobs([probe(seed=0), probe(seed=1), probe(seed=2)],
+                            cache=cache)
+        assert [o.payload["value"] for o in outcomes] == [0, 1, 2]
+        assert [o.cached for o in outcomes] == [False, True, False]
+
+    def test_failures_never_cached(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"), salt="s1")
+        run_jobs([probe("fail")], cache=cache)
+        assert cache.stats.puts == 0
+        assert len(cache) == 0
+
+    def test_on_result_fires_for_hits_and_misses(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"), salt="s1")
+        run_jobs([probe(seed=1)], cache=cache)
+        seen = []
+        run_jobs([probe(seed=1), probe(seed=2)], cache=cache,
+                 on_result=lambda o: seen.append((o.index, o.cached)))
+        assert sorted(seen) == [(0, True), (1, False)]
+
+    def test_defaults_to_serial_executor(self):
+        assert run_jobs([probe(seed=7)])[0].payload == {"value": 7}
+
+
+class TestRaiseForFailures:
+    def test_quiet_when_all_ok(self):
+        raise_for_failures(SerialExecutor().run([probe()]))
+
+    def test_failures_named_in_the_error(self):
+        outcomes = SerialExecutor().run([probe(), probe("fail")])
+        with pytest.raises(ServeError, match="1 of 2.*probe:fail"):
+            raise_for_failures(outcomes)
