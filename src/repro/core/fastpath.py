@@ -112,29 +112,42 @@ class _Ineligible(Exception):
     """Internal: the program cannot be specialised; use the slow path."""
 
 
-def _src_expr(lit: bool, payload: int, mask: int, used: Set[str]) -> str:
-    """Expression for one source operand (literal folded, reg indexed)."""
+def _src_expr(lit: bool, payload: int, mask: int, used: Set[str],
+              reg_expr=None) -> str:
+    """Expression for one source operand (literal folded, reg indexed).
+
+    ``reg_expr``, if given, maps a register number to the expression
+    reading it — the trace compiler passes a resolver that substitutes
+    promoted Python locals for ``G[n]`` indexing.
+    """
     if lit:
         return repr(payload & mask)
+    if reg_expr is not None:
+        return reg_expr(payload)
     used.add("G")
     return f"G[{payload}]"
 
 
 def _signed_operand(lit: bool, payload: int, config, used: Set[str],
-                    var: str) -> Tuple[List[str], str]:
+                    var: str, reg_expr=None) -> Tuple[List[str], str]:
     """Prelude lines + expression for a two's-complement source operand."""
     width = config.datapath_width
     if lit:
         return [], repr(to_signed(payload & config.mask, width))
-    used.add("G")
+    if reg_expr is not None:
+        source = reg_expr(payload)
+    else:
+        used.add("G")
+        source = f"G[{payload}]"
     return [
-        f"{var} = G[{payload}]",
+        f"{var} = {source}",
         f"if {var} >= {1 << (width - 1)}:",
         f"    {var} -= {1 << width}",
     ], var
 
 
-def _alu_inline(op, config, used: Set[str]) -> Optional[Tuple[List[str], str]]:
+def _alu_inline(op, config, used: Set[str],
+                reg_expr=None) -> Optional[Tuple[List[str], str]]:
     """Open-coded expression for a built-in ALU op, if one exists.
 
     Register values and folded literals are invariantly in
@@ -144,8 +157,8 @@ def _alu_inline(op, config, used: Set[str]) -> Optional[Tuple[List[str], str]]:
     """
     mask = config.mask
     shift_mask = config.datapath_width - 1
-    a = _src_expr(op.s1_lit, op.s1, mask, used)
-    b = _src_expr(op.s2_lit, op.s2, mask, used)
+    a = _src_expr(op.s1_lit, op.s1, mask, used, reg_expr)
+    b = _src_expr(op.s2_lit, op.s2, mask, used, reg_expr)
     mnemonic = op.mnemonic
     if mnemonic == "ADD":
         return [], f"({a} + {b}) & {mask}"
@@ -166,21 +179,25 @@ def _alu_inline(op, config, used: Set[str]) -> Optional[Tuple[List[str], str]]:
     if mnemonic == "SHR":
         return [], f"{a} >> ({b} & {shift_mask})"
     if mnemonic == "SHRA":
-        pre, signed_a = _signed_operand(op.s1_lit, op.s1, config, used, "_x")
+        pre, signed_a = _signed_operand(op.s1_lit, op.s1, config, used,
+                                        "_x", reg_expr)
         return pre, f"({signed_a} >> ({b} & {shift_mask})) & {mask}"
     return None  # DIV/REM/MIN/MAX stay on the semantics call
 
 
-def _cmp_inline(op, config, used: Set[str]) -> Optional[Tuple[List[str], str]]:
+def _cmp_inline(op, config, used: Set[str],
+                reg_expr=None) -> Optional[Tuple[List[str], str]]:
     """Open-coded 0/1 expression for a built-in CMPP op, if one exists."""
     mnemonic = op.mnemonic
     if mnemonic in _CMP_UNSIGNED:
-        a = _src_expr(op.s1_lit, op.s1, config.mask, used)
-        b = _src_expr(op.s2_lit, op.s2, config.mask, used)
+        a = _src_expr(op.s1_lit, op.s1, config.mask, used, reg_expr)
+        b = _src_expr(op.s2_lit, op.s2, config.mask, used, reg_expr)
         return [], f"{a} {_CMP_UNSIGNED[mnemonic]} {b}"
     if mnemonic in _CMP_SIGNED:
-        pre_a, a = _signed_operand(op.s1_lit, op.s1, config, used, "_x")
-        pre_b, b = _signed_operand(op.s2_lit, op.s2, config, used, "_y")
+        pre_a, a = _signed_operand(op.s1_lit, op.s1, config, used,
+                                   "_x", reg_expr)
+        pre_b, b = _signed_operand(op.s2_lit, op.s2, config, used,
+                                   "_y", reg_expr)
         return pre_a + pre_b, f"{a} {_CMP_SIGNED[mnemonic]} {b}"
     return None
 
@@ -449,12 +466,17 @@ def specialise(machine) -> Optional["FastSim"]:
 
     Returns ``None`` when the program contains something the fast path
     cannot reproduce bit-exactly (the caller then stays on the
-    instrumented loop).
+    instrumented loop); the rejection reason is recorded on the machine
+    as ``fastpath_reject_reason`` so the downgrade is never silent.
     """
     try:
-        return FastSim(machine)
-    except _Ineligible:
+        sim = FastSim(machine)
+    except _Ineligible as reason:
+        machine.fastpath_reject_reason = str(reason)
+        machine.stats.fastpath_reject_reason = str(reason)
         return None
+    machine.fastpath_reject_reason = ""
+    return sim
 
 
 class FastSim:

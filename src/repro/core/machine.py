@@ -96,7 +96,10 @@ class EpicProcessor:
                  mem_words: int = DEFAULT_MEM_WORDS,
                  mdes: Optional[Mdes] = None,
                  strict_nual: bool = False,
-                 injector=None):
+                 injector=None,
+                 trace_hotness: int = 16,
+                 trace_cap: int = 64,
+                 trace_cache=None):
         #: Strict NUAL checking: raise if any operation reads a location
         #: with a write still in flight from an *earlier* cycle.  The
         #: compiler guarantees this never happens (consumers are
@@ -135,6 +138,20 @@ class EpicProcessor:
         #: Lazily-built fast execution engine (``False`` once the
         #: program has been found ineligible for specialisation).
         self._fastsim = None
+        #: Lazily-built trace engine (``False`` once found ineligible).
+        self._tracesim = None
+        #: Why the loaded program cannot use the specialised engines
+        #: ("" while undetermined or when the fast path is available).
+        self.fastpath_reject_reason = ""
+        #: Which engine the most recent :meth:`run` actually used
+        #: ("instrumented", "fast" or "trace"; "" before any run).
+        self.last_engine = ""
+        #: Trace-engine tuning: bundle-entry count at a taken-branch
+        #: target before a superblock is compiled, and the maximum
+        #: number of bundles chained into one trace.
+        self._trace_hotness = trace_hotness
+        self._trace_cap = trace_cap
+        self._trace_cache = trace_cache
         # Stack grows down from the top of data memory.
         self.gpr.write(1, mem_words)
 
@@ -150,7 +167,8 @@ class EpicProcessor:
     def run(self, max_cycles: int = 200_000_000,
             trace=None,
             watchdog_cycles: Optional[int] = None,
-            fast: Optional[bool] = None) -> SimulationResult:
+            fast: Optional[bool] = None,
+            engine: Optional[str] = None) -> SimulationResult:
         """Execute until HALT; returns the cycle count and statistics.
 
         ``trace``, if given, is called once per issued bundle with
@@ -169,44 +187,79 @@ class EpicProcessor:
         fault-induced livelock is cut off long before the 200M-cycle
         safety net.
 
-        ``fast`` selects the execution engine.  ``None`` (the default)
-        picks automatically: the pre-specialised fast path
-        (:mod:`repro.core.fastpath`) whenever no tracer, no fault
-        injector, no strict-NUAL checking and the ``halt`` trap policy
-        are in effect, the instrumented loop otherwise.  ``False``
-        forces the instrumented loop (the reference for differential
-        testing); ``True`` demands the fast path and raises
-        :class:`~repro.errors.SimulationError` if it cannot honour the
-        configuration.  Both engines are cycle-exact: they produce
+        ``engine`` selects the execution engine by name:
+
+        * ``"auto"`` (the default) picks the pre-specialised fast path
+          (:mod:`repro.core.fastpath`) whenever no tracer, no fault
+          injector, no strict-NUAL checking and the ``halt`` trap
+          policy are in effect, the instrumented loop otherwise;
+        * ``"reference"`` (alias ``"instrumented"``) forces the
+          instrumented loop — the behavioural reference for
+          differential testing;
+        * ``"fast"`` demands the bundle-specialised engine and raises
+          :class:`~repro.errors.SimulationError` (citing
+          ``fastpath_reject_reason``) if it cannot honour the
+          configuration or program;
+        * ``"trace"`` demands the profile-guided superblock engine
+          (:mod:`repro.core.tracejit`), with the same eligibility
+          rules as the fast path.
+
+        ``fast`` is the legacy boolean spelling (``None``/``True``/
+        ``False`` map to ``auto``/``fast``/``reference``); passing both
+        is an error.  All engines are cycle-exact: they produce
         bit-identical cycle counts, statistics and architectural state.
+        ``last_engine`` records which engine actually ran.
         """
+        if engine is None:
+            engine = {None: "auto", True: "fast", False: "reference"}[fast]
+        elif fast is not None:
+            raise SimulationError(
+                "pass either engine= or the legacy fast= flag, not both"
+            )
+        if engine == "instrumented":
+            engine = "reference"
+        if engine not in ("auto", "fast", "trace", "reference"):
+            raise SimulationError(
+                f"unknown engine {engine!r}: expected one of auto, fast, "
+                "trace, reference (alias instrumented)"
+            )
         eligible = (trace is None and self.injector is None
                     and not self.strict_nual
                     and self.config.trap_policy == "halt"
                     and not (self.memory._poisoned or self.gpr._poisoned
                              or self.pred._poisoned or self.btr._poisoned))
-        requested = fast is True
-        if fast is None:
-            fast = eligible
-        elif fast and not eligible:
+        if engine in ("fast", "trace") and not eligible:
             raise SimulationError(
                 "fast path requested but unavailable: it supports neither "
                 "tracing, fault injection, strict NUAL checking, non-halt "
                 "trap policies nor planted parity faults"
             )
-        if fast:
+        if engine == "trace":
+            sim = self._trace_sim()
+            if sim is None:
+                raise SimulationError(
+                    "trace engine requested but the loaded program cannot "
+                    f"be specialised: {self.fastpath_reject_reason}"
+                )
+            self.last_engine = "trace"
+            cycles = sim.run(max_cycles=max_cycles,
+                             watchdog_cycles=watchdog_cycles)
+            return SimulationResult(cycles=cycles, stats=self.stats,
+                                    halted=True, traps=list(self.traps))
+        if engine in ("auto", "fast") and eligible:
             sim = self._fast_sim()
             if sim is not None:
+                self.last_engine = "fast"
                 cycles = sim.run(max_cycles=max_cycles,
                                  watchdog_cycles=watchdog_cycles)
                 return SimulationResult(cycles=cycles, stats=self.stats,
                                         halted=True, traps=list(self.traps))
-            if requested:
+            if engine == "fast":
                 raise SimulationError(
                     "fast path requested but the loaded program cannot be "
-                    "specialised (register index outside the configured "
-                    "files or multiple control operations per bundle)"
+                    f"specialised: {self.fastpath_reject_reason}"
                 )
+        self.last_engine = "instrumented"
         return self._run_instrumented(max_cycles=max_cycles, trace=trace,
                                       watchdog_cycles=watchdog_cycles)
 
@@ -217,6 +270,28 @@ class EpicProcessor:
 
             self._fastsim = specialise(self) or False
         return self._fastsim or None
+
+    def _trace_sim(self):
+        """The cached trace engine, or ``None`` if the program is ineligible.
+
+        The trace engine is layered on the fast path (it reuses the
+        specialised per-bundle functions for cold code), so eligibility
+        is exactly fast-path eligibility.
+        """
+        if self._tracesim is None:
+            fastsim = self._fast_sim()
+            if fastsim is None:
+                self._tracesim = False
+            else:
+                from repro.core.tracejit import TraceSim
+
+                self._tracesim = TraceSim(
+                    self, fastsim,
+                    hotness=self._trace_hotness,
+                    cap=self._trace_cap,
+                    cache=self._trace_cache,
+                )
+        return self._tracesim or None
 
     def _run_instrumented(self, max_cycles: int = 200_000_000,
                           trace=None,

@@ -33,6 +33,10 @@ class SimStats:
     regfile_writes: int = 0
     traps: int = 0              # architectural traps (reliability subsystem)
     fu_busy: Dict[str, int] = field(default_factory=dict)
+    #: Why the loaded program fell back to the instrumented loop
+    #: (empty when the specialised engines are available).  Descriptive
+    #: only: excluded from cycle-exactness fingerprints.
+    fastpath_reject_reason: str = ""
 
     def note_fu(self, fu_class: str) -> None:
         self.fu_busy[fu_class] = self.fu_busy.get(fu_class, 0) + 1
@@ -68,6 +72,8 @@ class SimStats:
         ]
         if self.traps:
             lines.append(f"traps             : {self.traps}")
+        if self.fastpath_reject_reason:
+            lines.append(f"fast path rejected: {self.fastpath_reject_reason}")
         if self.fu_busy:
             busy = ", ".join(
                 f"{name}={count}" for name, count in sorted(self.fu_busy.items())

@@ -1,0 +1,1269 @@
+"""Profile-guided superblock compilation for the EPIC core.
+
+The fast path (:mod:`repro.core.fastpath`) removed per-op dispatch but
+still pays, on *every* simulated cycle, for one Python function call,
+a write-back drain probe, the PC bounds check and the port/fetch stall
+arithmetic.  For loop-dominated workloads (all four paper benchmarks)
+nearly all of that is invariant across iterations.
+
+This module removes it by compiling *superblocks*: the run loop counts
+entries at taken-branch targets, and once a target crosses a hotness
+threshold the trace builder walks the statically-known fall-through
+chain from it — ending at an unconditional control transfer, a
+loop-back, the end of the program or a length cap — and emits ONE
+generated Python function for the whole chain, with
+
+* the per-bundle issue schedule folded to constant cycle offsets
+  (static fetch stalls included),
+* write-backs that are produced *and* land inside the trace promoted
+  to Python locals (the register-file lists are not touched until a
+  trace exit materialises them),
+* per-cycle statistics folded into per-exit static tables multiplied
+  by exit counters at fold time, and
+* guarded side exits wherever the static schedule cannot continue — a
+  taken conditional branch, a register-port stall, a HALT — that
+  return control to the bundle-level engine with architectural state
+  (dirty promoted locals, still-in-flight write-backs, stats deltas)
+  materialised exactly.
+
+Cycle-exactness contract
+========================
+
+The trace engine is an optimisation of the fast path, which is itself
+an optimisation of the instrumented reference loop: for every program
+it accepts it produces bit-identical cycle counts, statistics and
+architectural state.  Eligibility is exactly fast-path eligibility
+(the trace engine reuses the specialised bundle functions for cold
+code).  Differential tests (``tests/core/test_tracejit.py``) enforce
+the guarantee over all four paper workloads across the 1-4 ALU
+presets, including randomized trace caps and hotness thresholds that
+force every side-exit shape.
+
+Two structural guards keep entry cheap and exact:
+
+* a trace is only entered when the pending write-back queue is empty
+  after the entry-cycle drain — the compiler pads block tails so every
+  in-flight write lands before control leaves a block, so in steady
+  state this holds on every loop iteration;
+* a trace is only entered when its last bundle would still issue
+  inside the cycle budget, so limit/watchdog precedence is decided by
+  the bundle-level loop exactly as before.
+
+The same statically-hoisted-counter asymmetry as the fast path applies
+to *aborted* runs only: per-op counters of a bundle whose later
+operation traps may include increments for operations after the trap
+point.
+
+Trace cache
+===========
+
+Compiled traces are reusable across processors running the same
+program (object identity) under the same machine configuration
+(:meth:`~repro.config.MachineConfig.digest`) and memory size: a
+:class:`TraceCache` stores the generated source (compiled once) plus
+its static tables, and re-binds per-machine state at instantiation.
+Records carry the repro code salt (:func:`repro.serve.cache.code_salt`)
+so cached traces are dropped whenever the simulator source changes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core import decode as dec
+from repro.core.fastpath import (
+    _alu_inline,
+    _cmp_inline,
+    _src_expr,
+    _C_EXEC,
+    _C_SQUASH,
+    _C_NOPS,
+    _C_BRANCHES,
+    _C_MEMR,
+    _C_MEMW,
+    _C_READS,
+    _C_FWD,
+    _CONTROL_KINDS,
+)
+from repro.errors import (
+    CycleLimitExceeded,
+    HangDetected,
+    TrapError,
+    TRAP_ILLEGAL_INSTRUCTION,
+)
+from repro.isa.semantics import ALU_SEMANTICS, CMP_SEMANTICS
+
+#: Offsets of the trace-specific counter slots appended to the shared
+#: counts list ``C`` (base = length of the fast path's layout, which is
+#: deterministic for a given program + configuration).
+_T_RFW = 0       # regfile_writes landed inside traces
+_T_PORT = 1      # port stall cycles charged at trace exits
+_T_FETCH = 2     # fetch stall cycles (static, folded per exit)
+_T_BRT = 3       # branches taken at trace exits
+_T_BUB = 4       # branch bubble cycles at trace exits
+_T_BUNDLES = 5   # bundles issued inside traces
+_T_SLOTS = 6
+
+#: Unconditional control kinds: a trace never crosses one (it ends the
+#: chain), and never *contains* a guarded one (the chain stops before).
+_UNCONDITIONAL_KINDS = frozenset({dec.K_BR, dec.K_BRL, dec.K_HALT})
+
+#: Operation kinds that schedule a register-file write-back (used by the
+#: quiescent-cut trim; must match the ``_add_write`` sites below).
+_WRITER_KINDS = frozenset({
+    dec.K_ALU, dec.K_CUSTOM, dec.K_MOVI, dec.K_CMP, dec.K_LOAD,
+    dec.K_LOAD_SPEC, dec.K_PBR, dec.K_MOVGBP, dec.K_BRL,
+})
+
+
+_salt_cache: List[Optional[str]] = []
+
+
+def _current_salt() -> Optional[str]:
+    """The repro code salt, or ``None`` outside a full checkout.
+
+    Memoised: the first call imports :mod:`repro.serve` and hashes the
+    source tree, which is far too slow to repeat per trace compile.
+    """
+    if not _salt_cache:
+        try:
+            from repro.serve.cache import code_salt
+        except Exception:
+            _salt_cache.append(None)
+        else:
+            _salt_cache.append(code_salt())
+    return _salt_cache[0]
+
+
+class _Write:
+    """One scheduled write-back inside a trace."""
+
+    __slots__ = ("k", "seq", "space", "dest", "ready", "land", "flag", "var")
+
+    def __init__(self, k: int, seq: int, space: int, dest: int,
+                 ready: int, flag: Optional[str], var: str):
+        self.k = k            # issuing bundle position in the chain
+        self.seq = seq        # global issue order (heap tie-break)
+        self.space = space    # 0 = GPR, 1 = predicate, 2 = BTR
+        self.dest = dest
+        self.ready = ready    # relative cycle offset the value lands at
+        self.land = None      # chain position it lands at (None: after)
+        self.flag = flag      # guard flag local, or None if unguarded
+        self.var = var        # expression holding the value at issue
+
+
+class _TraceCode:
+    """Machine-independent compiled trace: source + static tables."""
+
+    __slots__ = ("entry_pc", "pcs", "name", "source", "compiled",
+                 "offsets", "o_last", "exit_static", "trap_info",
+                 "fn_refs", "uses", "n_exits", "program", "salt")
+
+    def __init__(self, entry_pc, pcs, name, source, offsets, o_last,
+                 exit_static, trap_info, fn_refs, uses, program, salt):
+        self.entry_pc = entry_pc
+        self.pcs = pcs
+        self.name = name
+        self.source = source
+        self.compiled = compile(source, f"<repro.core.tracejit:{entry_pc}>",
+                                "exec")
+        self.offsets = offsets
+        self.o_last = o_last
+        self.exit_static = exit_static
+        self.trap_info = trap_info
+        self.fn_refs = fn_refs
+        self.uses = uses
+        self.n_exits = len(exit_static)
+        self.program = program
+        self.salt = salt
+
+
+class _TraceRuntime:
+    """A trace bound to one machine: generated function + exit counters."""
+
+    __slots__ = ("fn", "code", "ex", "o_last", "offsets", "trap_info",
+                 "exit_static")
+
+    def __init__(self, fn, code: _TraceCode, ex: List[int]):
+        self.fn = fn
+        self.code = code
+        self.ex = ex
+        self.o_last = code.o_last
+        self.offsets = code.offsets
+        self.trap_info = code.trap_info
+        self.exit_static = code.exit_static
+
+
+class TraceCache:
+    """Reuses compiled traces across processors.
+
+    Keyed by entry PC + :meth:`MachineConfig.digest` + memory size,
+    with the program checked by object identity (the generated source
+    inlines bundle shapes) and the repro code salt checked so a source
+    change invalidates every record.
+    """
+
+    def __init__(self) -> None:
+        self._records: Dict[tuple, _TraceCode] = {}
+        self.compiles = 0
+        self.hits = 0
+        self.invalidations = 0
+
+    def _key(self, machine, entry_pc: int) -> tuple:
+        return (entry_pc, machine.config.digest(), len(machine.memory))
+
+    def get(self, machine, entry_pc: int) -> Optional[_TraceCode]:
+        key = self._key(machine, entry_pc)
+        record = self._records.get(key)
+        if record is None:
+            return None
+        if record.program is not machine.program:
+            return None
+        if record.salt != _current_salt():
+            del self._records[key]
+            self.invalidations += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put(self, machine, entry_pc: int, code: _TraceCode) -> None:
+        self._records[self._key(machine, entry_pc)] = code
+        self.compiles += 1
+
+    def entries(self, machine) -> List[_TraceCode]:
+        """Every cached trace applicable to ``machine``, counted as hits.
+
+        Lets a fresh :class:`TraceSim` over an already-profiled program
+        start fully warm instead of re-discovering each hot entry
+        through the profiling counters.
+        """
+        digest = machine.config.digest()
+        n_words = len(machine.memory)
+        salt = _current_salt()
+        records = [
+            record
+            for (pc, config_digest, mem_words), record
+            in self._records.items()
+            if config_digest == digest and mem_words == n_words
+            and record.program is machine.program and record.salt == salt
+        ]
+        self.hits += len(records)
+        return records
+
+    def stats(self) -> Dict[str, int]:
+        return {"traces": len(self._records), "compiles": self.compiles,
+                "hits": self.hits, "invalidations": self.invalidations}
+
+
+class _TraceBuilder:
+    """Generates one superblock function for a chain of bundle PCs."""
+
+    def __init__(self, machine, fastsim, pcs: List[int], t_base: int):
+        self.machine = machine
+        self.config = machine.config
+        self.pcs = pcs
+        self.bundles = [machine._bundles[pc] for pc in pcs]
+        self.fu_index = fastsim._fu_index
+        self.pc_static = fastsim._static      # per-PC (index, k) pairs
+        self.n_mem = fastsim._n_mem
+        self.t_base = t_base
+
+        config = self.config
+        self.mask = config.mask
+        self.penalty = config.taken_branch_penalty
+        self.budget = config.regfile_ops_per_cycle
+        self.model_ports = config.model_port_limit
+        self.forwarding = config.forwarding
+        share = config.lsu_shares_fetch_bandwidth
+        fetch_bits = config.issue_width * 64
+        bank_bits = config.n_mem_banks * 32 * 2
+        #: Static fetch stall per chain position.
+        self.fetch = []
+        for bundle in self.bundles:
+            if share and bundle.n_mem:
+                demand = fetch_bits + 32 * bundle.n_mem
+                self.fetch.append((demand + bank_bits - 1) // bank_bits - 1)
+            else:
+                self.fetch.append(0)
+        #: Issue-cycle offset of each chain position (entry = 0).
+        self.offsets = [0]
+        for k in range(len(pcs)):
+            self.offsets.append(self.offsets[k] + 1 + self.fetch[k])
+        self.o_end = self.offsets.pop()  # cycle after the last bundle
+
+        self.writes: List[_Write] = []
+        self.used: Set[str] = {"EX"}
+        self.fn_refs: List[Tuple[str, int, int]] = []
+        self.exit_static: List[List[Tuple[int, int]]] = []
+        self.trap_info: Dict[int, Tuple[int, List[Tuple[int, int]]]] = {}
+        #: Unguarded counter increments implied by "bundle k executed".
+        self.exec_static: List[Dict[int, int]] = [
+            dict(self.pc_static[pc]) for pc in pcs
+        ]
+        for k in range(len(pcs)):
+            bump = self.exec_static[k]
+            bump[t_base + _T_BUNDLES] = bump.get(t_base + _T_BUNDLES, 0) + 1
+            if self.fetch[k]:
+                bump[t_base + _T_FETCH] = (
+                    bump.get(t_base + _T_FETCH, 0) + self.fetch[k]
+                )
+        #: Promoted locals: (space, index) -> local name, insertion order.
+        self.bind: Dict[Tuple[int, int], str] = {}
+        self._n_mem_words = len(machine.memory)
+        self._vseq = 0
+        self._wseq = 0
+        self._fseq = 0
+        self._flag: Optional[str] = None  # active guard flag during codegen
+        self._can_trap = False            # current bundle may raise TrapError
+        self.flag_inits: List[str] = []
+
+    # -- operand resolution (promoted local, else register file) -------
+
+    def _gread(self, reg: int) -> str:
+        name = self.bind.get((0, reg))
+        if name is not None:
+            return name
+        self.used.add("G")
+        return f"G[{reg}]"
+
+    def _pread(self, index: int) -> str:
+        name = self.bind.get((1, index))
+        if name is not None:
+            return name
+        self.used.add("P")
+        return f"P[{index}]"
+
+    def _bread(self, index: int) -> str:
+        name = self.bind.get((2, index))
+        if name is not None:
+            return name
+        self.used.add("B")
+        return f"B[{index}]"
+
+    def _new_var(self) -> str:
+        self._vseq += 1
+        return f"_v{self._vseq}"
+
+    def _add_write(self, k: int, space: int, dest: int, latency: int,
+                   var: str) -> _Write:
+        self._wseq += 1
+        ready = self.offsets[k] + latency
+        write = _Write(k, self._wseq, space, dest, ready, self._flag, var)
+        # First chain position whose issue cycle is >= ready.
+        for m in range(k + 1, len(self.pcs)):
+            if self.offsets[m] >= ready:
+                write.land = m
+                break
+        self.writes.append(write)
+        return write
+
+    # -- per-op issue code ---------------------------------------------
+
+    def _op_lines(self, op, pc: int, slot: int, k: int
+                  ) -> Tuple[List[str], List[Tuple[int, int]]]:
+        """Issue code + unguarded-counter bumps for one operation.
+
+        Mirrors :func:`repro.core.fastpath._op_body`, but captures each
+        write-back value in a fresh local instead of pushing it onto
+        the pending dictionary — landings and side exits decide later
+        whether the value ever touches the register-file lists.
+        """
+        kind = op.kind
+        config = self.config
+        mask = self.mask
+        width = config.datapath_width
+        used = self.used
+
+        def addr_lines(var: str) -> List[str]:
+            base = _src_expr(op.s1_lit, op.s1, mask, used, self._gread)
+            offset = _src_expr(op.s2_lit, op.s2, mask, used, self._gread)
+            return [
+                f"{var} = ({base} + {offset}) & {mask}",
+                f"if {var} >= {1 << (width - 1)}:",
+                f"    {var} -= {1 << width}",
+            ]
+
+        if kind in (dec.K_ALU, dec.K_CUSTOM):
+            a = _src_expr(op.s1_lit, op.s1, mask, used, self._gread)
+            if op.fn is None:  # MOVE
+                prelude, expr = [], a
+            else:
+                inline = None
+                if kind == dec.K_ALU and op.fn is ALU_SEMANTICS.get(op.mnemonic):
+                    inline = _alu_inline(op, config, used, self._gread)
+                if inline is not None:
+                    prelude, expr = inline
+                else:
+                    b = _src_expr(op.s2_lit, op.s2, mask, used, self._gread)
+                    fn_name = f"F{pc}_{slot}"
+                    self.fn_refs.append((fn_name, pc, slot))
+                    used.add(fn_name)
+                    self._can_trap = True
+                    third = mask if kind == dec.K_CUSTOM else width
+                    prelude, expr = [], f"{fn_name}({a}, {b}, {third})"
+            var = self._new_var()
+            self._add_write(k, 0, op.d1, op.latency, var)
+            return prelude + [f"{var} = {expr}"], []
+
+        if kind == dec.K_MOVI:
+            self._add_write(k, 0, op.d1, op.latency, repr(op.s1 & mask))
+            return [], []
+
+        if kind == dec.K_CMP:
+            inline = None
+            if op.fn is CMP_SEMANTICS.get(op.mnemonic):
+                inline = _cmp_inline(op, config, used, self._gread)
+            if inline is not None:
+                prelude, condition = inline
+            else:
+                a = _src_expr(op.s1_lit, op.s1, mask, used, self._gread)
+                b = _src_expr(op.s2_lit, op.s2, mask, used, self._gread)
+                fn_name = f"F{pc}_{slot}"
+                self.fn_refs.append((fn_name, pc, slot))
+                used.add(fn_name)
+                self._can_trap = True
+                prelude, condition = [], f"{fn_name}({a}, {b}, {width})"
+            var = self._new_var()
+            inverse = self._new_var()
+            self._add_write(k, 1, op.d1, op.latency, var)
+            self._add_write(k, 1, op.d2, op.latency, inverse)
+            return prelude + [f"{var} = {condition}",
+                              f"{inverse} = 1 - {var}"], []
+
+        if kind in (dec.K_LOAD, dec.K_LOAD_SPEC):
+            lines = addr_lines("_a")
+            n_words = self._n_mem_words
+            used.add("MEM")
+            var = self._new_var()
+            if kind == dec.K_LOAD_SPEC:
+                lines.append(f"{var} = MEM[_a] if 0 <= _a < {n_words} else 0")
+            else:
+                used.add("MR")
+                self._can_trap = True
+                lines.append(
+                    f"{var} = MEM[_a] if 0 <= _a < {n_words} else MR(_a)"
+                )
+            self._add_write(k, 0, op.d1, op.latency, var)
+            return lines, [(_C_MEMR, 1)]
+
+        if kind == dec.K_STORE:
+            n_words = self._n_mem_words
+            used.add("MC")
+            self._can_trap = True
+            value = self._gread(op.d1)
+            return addr_lines("_ta") + [
+                f"if not 0 <= _ta < {n_words}:",
+                "    MC(_ta)",  # raises the OOB store trap
+                "_sa = _ta",
+                f"_sv = {value}",
+            ], [(_C_MEMW, 1)]
+
+        if kind == dec.K_PBR:
+            self._add_write(k, 2, op.d1, op.latency, repr(op.s1))
+            return [], []
+
+        if kind == dec.K_MOVGBP:
+            value = _src_expr(op.s1_lit, op.s1, mask, used, self._gread)
+            var = self._new_var()
+            self._add_write(k, 2, op.d1, op.latency, var)
+            return [f"{var} = {value}"], []
+
+        if kind in (dec.K_BR, dec.K_BRL):
+            lines = [f"_tg = {self._bread(op.s1)}"]
+            if kind == dec.K_BRL:
+                self._add_write(k, 0, op.d1, op.latency,
+                                repr((pc + 1) & mask))
+            return lines, [(_C_BRANCHES, 1)]
+
+        if kind in (dec.K_BRCT, dec.K_BRCF):
+            test = self._pread(op.s2)
+            if kind == dec.K_BRCF:
+                test = f"not {test}"
+            return [f"_tk = {test}",
+                    f"_tg = {self._bread(op.s1)}"], [(_C_BRANCHES, 1)]
+
+        if kind == dec.K_HALT:
+            return [], []
+
+        raise AssertionError(f"unspecialisable op kind {kind} in a trace")
+
+    # -- landings -------------------------------------------------------
+
+    def _emit_landings(self, k: int, body: List[str]
+                       ) -> Tuple[int, List[str]]:
+        """Apply in-trace write-backs due when chain position ``k`` issues.
+
+        Returns ``(wl_static, wl_flags)``: the statically-known count of
+        GPR writes landing *exactly* at this issue cycle (they occupy
+        write ports) plus the guard flags of conditional ones.
+        """
+        o_k = self.offsets[k]
+        t_rfw = self.t_base + _T_RFW
+        wl_static = 0
+        wl_flags: List[str] = []
+        landings = [w for w in self.writes if w.land == k]
+        landings.sort(key=lambda w: (w.ready, w.seq))
+        for w in landings:
+            if w.space == 0:
+                if w.ready == o_k:
+                    if w.flag is None:
+                        wl_static += 1
+                    else:
+                        wl_flags.append(w.flag)
+                value = f"{w.var} & {self.mask}"  # the drain masks GPRs
+            elif w.space == 1:
+                value = f"1 if {w.var} else 0"
+            else:
+                value = w.var
+            if w.dest == 0 and w.space != 2:
+                # r0/p0 are hardwired; a GPR write still takes a port.
+                if w.space == 0:
+                    if w.flag is None:
+                        bump = self.exec_static[k]
+                        bump[t_rfw] = bump.get(t_rfw, 0) + 1
+                    else:
+                        self.used.add("C")
+                        body.append(f"if {w.flag}:")
+                        body.append(f"    C[{t_rfw}] += 1")
+                continue
+            name = self.bind.get((w.space, w.dest))
+            if name is None:
+                name = f"_{'rpb'[w.space]}{w.dest}"
+                if w.flag is not None:
+                    # Guarded first landing: seed the local so a false
+                    # guard leaves the architectural value in place.
+                    file_name = "GPB"[w.space]
+                    self.used.add(file_name)
+                    body.append(f"{name} = {file_name}[{w.dest}]")
+                self.bind[(w.space, w.dest)] = name
+            if w.flag is None:
+                body.append(f"{name} = {value}")
+                if w.space == 0:
+                    bump = self.exec_static[k]
+                    bump[t_rfw] = bump.get(t_rfw, 0) + 1
+            else:
+                self.used.add("C")
+                body.append(f"if {w.flag}:")
+                body.append(f"    {name} = {value}")
+                if w.space == 0:
+                    body.append(f"    C[{t_rfw}] += 1")
+        return wl_static, wl_flags
+
+    # -- read ports + forwarding ---------------------------------------
+
+    def _fwd_expr(self, reg: int, k: int) -> str:
+        """0/1 expression: is the read of ``reg`` at position ``k`` forwarded?
+
+        For ``k > 0`` only in-trace landings matter (the entry guard
+        drained the pending queue, so nothing external can land at a
+        later in-trace cycle): the candidate that decides is the
+        *latest* landed write to ``reg``, walked latest-first with
+        guarded candidates turned into conditional expressions.
+        """
+        o_k = self.offsets[k]
+        cands = [w for w in self.writes
+                 if w.space == 0 and w.dest == reg
+                 and w.land is not None and w.land <= k]
+        cands.sort(key=lambda w: (w.ready, w.seq))
+        parts: List[Tuple[str, str]] = []
+        final = "0"
+        for w in reversed(cands):
+            hit = "1" if w.ready == o_k else "0"
+            if w.flag is None:
+                final = hit
+                break
+            parts.append((w.flag, hit))
+        expr = final
+        for flag, hit in reversed(parts):
+            expr = f"({hit} if {flag} else {expr})"
+        return expr
+
+    def _emit_reads(self, k: int, body: List[str]) -> Tuple[str, int]:
+        """Forwarding accounting; returns ``(reads_expr, n_reads)``."""
+        read_set = [r for r in self.bundles[k].gpr_read_set if r]
+        n_reads = len(read_set)
+        if not (self.forwarding and read_set):
+            return str(n_reads), n_reads
+        if k == 0:
+            # External write-backs can land exactly at the entry cycle:
+            # the dynamic ready-at test, same as the fast path.
+            self.used.update(("RA", "C"))
+            forwarded = " + ".join(f"(RA[{r}] == cycle0)" for r in read_set)
+            body.append(f"_f = {forwarded}")
+            body.append(f"C[{_C_FWD}] += _f")
+            return f"({n_reads} - _f)", n_reads
+        static_fwd = 0
+        dyn: List[str] = []
+        for reg in read_set:
+            expr = self._fwd_expr(reg, k)
+            if expr == "1":
+                static_fwd += 1
+            elif expr != "0":
+                dyn.append(expr)
+        if static_fwd:
+            bump = self.exec_static[k]
+            bump[_C_FWD] = bump.get(_C_FWD, 0) + static_fwd
+        if not dyn:
+            return str(n_reads - static_fwd), n_reads
+        self.used.add("C")
+        body.append(f"C[{_C_FWD}] += " + " + ".join(dyn))
+        return (f"({n_reads - static_fwd} - " + " - ".join(dyn) + ")",
+                n_reads)
+
+    # -- op issue -------------------------------------------------------
+
+    def _emit_ops(self, k: int, pc: int, body: List[str]):
+        """Issue every op of chain position ``k``; returns the control op."""
+        bundle = self.bundles[k]
+        control = None
+        guarded_store = any(op.kind == dec.K_STORE and op.guard
+                            for op in bundle.ops)
+        has_store = any(op.kind == dec.K_STORE for op in bundle.ops)
+        if guarded_store:
+            body.append("_sa = -1")
+        for slot, op in enumerate(bundle.ops):
+            if op.kind == dec.K_NOP:
+                continue  # static NOP counts are already folded
+            if op.kind in _CONTROL_KINDS:
+                control = op
+            if op.guard:
+                self.used.add("C")
+                guard_expr = self._pread(op.guard)
+                if op.kind in (dec.K_BRCT, dec.K_BRCF):
+                    body.append("_tk = 0")
+                flag = None
+                if op.kind not in (dec.K_STORE, dec.K_BRCT, dec.K_BRCF):
+                    self._fseq += 1
+                    flag = f"_g{self._fseq}"
+                    self.flag_inits.append(f"{flag} = 0")
+                self._flag = flag
+                lines, bumps = self._op_lines(op, pc, slot, k)
+                self._flag = None
+                fu = self.fu_index[op.fu]
+                body.append(f"if {guard_expr}:")
+                body.append(f"    C[{_C_EXEC}] += 1")
+                body.append(f"    C[{fu}] += 1")
+                for index, n in bumps:
+                    body.append(f"    C[{index}] += {n}")
+                body.extend("    " + line for line in lines)
+                if flag is not None:
+                    body.append(f"    {flag} = 1")
+                body.append("else:")
+                body.append(f"    C[{_C_SQUASH}] += 1")
+            else:
+                # Unguarded counter bumps are already in the fast
+                # path's per-bundle statics (folded per exit).
+                lines, _ = self._op_lines(op, pc, slot, k)
+                body.extend(lines)
+        if has_store:
+            self.used.add("MEM")
+            if guarded_store:
+                body.append("if _sa >= 0:")
+                body.append("    MEM[_sa] = _sv")
+            else:
+                body.append("MEM[_sa] = _sv")
+        return control
+
+    # -- side exits -----------------------------------------------------
+
+    def _exit(self, k: int, taken: bool, pc_expr: str, cycle_expr: str,
+              need_port: bool) -> List[str]:
+        """Materialise architectural state and leave after position ``k``."""
+        j = len(self.exit_static)
+        pairs: Dict[int, int] = {}
+        for i in range(k + 1):
+            for index, n in self.exec_static[i].items():
+                pairs[index] = pairs.get(index, 0) + n
+        if taken:
+            t_brt = self.t_base + _T_BRT
+            pairs[t_brt] = pairs.get(t_brt, 0) + 1
+            if self.penalty:
+                t_bub = self.t_base + _T_BUB
+                pairs[t_bub] = pairs.get(t_bub, 0) + self.penalty
+        self.exit_static.append(sorted(pairs.items()))
+
+        lines = [f"EX[{j}] += 1"]
+        if need_port:
+            self.used.add("C")
+            lines.append(f"C[{self.t_base + _T_PORT}] += _x")
+        # Dirty promoted locals back to the register files.
+        for (space, index), name in self.bind.items():
+            file_name = "GPB"[space]
+            self.used.add(file_name)
+            lines.append(f"{file_name}[{index}] = {name}")
+        # Still-in-flight write-backs into the pending queue, in
+        # (ready, issue-order) order — the drain's pop order.
+        flush = [w for w in self.writes
+                 if w.k <= k and (w.land is None or w.land > k)]
+        flush.sort(key=lambda w: (w.ready, w.seq))
+        if flush:
+            self.used.add("PD")
+        i = 0
+        while i < len(flush):
+            w = flush[i]
+            if w.flag is not None:
+                lines.append(f"if {w.flag}:")
+                lines.extend("    " + line for line in self._push_one(w))
+                i += 1
+                continue
+            group = [w]
+            while (i + len(group) < len(flush)
+                   and flush[i + len(group)].flag is None
+                   and flush[i + len(group)].ready == w.ready):
+                group.append(flush[i + len(group)])
+            lines.extend(self._push_group(group))
+            i += len(group)
+        lines.append(f"return {pc_expr}, {cycle_expr}")
+        return lines
+
+    def _push_one(self, w: _Write) -> List[str]:
+        return self._push_group([w])
+
+    def _push_group(self, group: List[_Write]) -> List[str]:
+        ready = group[0].ready
+        lines = [
+            f"_q = PD.get(cycle0 + {ready})",
+            "if _q is None:",
+            f"    _q = PD[cycle0 + {ready}] = []",
+        ]
+        for w in group:
+            lines.append(f"_q.append(({w.space}, {w.dest}, {w.var}))")
+        return lines
+
+    def _emit_exits(self, k: int, control, need_port: bool,
+                    body: List[str]) -> None:
+        last = len(self.pcs) - 1
+        o_next = self.offsets[k + 1] if k < last else self.o_end
+        px = " + _x" if need_port else ""
+        kind = control.kind if control is not None else None
+        if kind in (dec.K_BR, dec.K_BRL):
+            body.extend(self._exit(
+                k, True, "_tg",
+                f"cycle0 + {o_next + self.penalty}{px}", need_port))
+        elif kind == dec.K_HALT:
+            body.extend(self._exit(
+                k, False, "-1", f"cycle0 + {o_next}{px}", need_port))
+        elif kind in (dec.K_BRCT, dec.K_BRCF):
+            taken = self._exit(k, True, "_tg",
+                               f"cycle0 + {o_next + self.penalty}{px}",
+                               need_port)
+            body.append("if _tk:")
+            body.extend("    " + line for line in taken)
+            if k == last:
+                body.extend(self._exit(
+                    k, False, str(self.pcs[k] + 1),
+                    f"cycle0 + {o_next}{px}", need_port))
+            elif need_port:
+                body.append("if _x:")
+                stall = self._exit(k, False, str(self.pcs[k + 1]),
+                                   f"cycle0 + {o_next} + _x", True)
+                body.extend("    " + line for line in stall)
+        else:
+            if k == last:
+                body.extend(self._exit(
+                    k, False, str(self.pcs[k] + 1),
+                    f"cycle0 + {o_next}{px}", need_port))
+            elif need_port:
+                body.append("if _x:")
+                stall = self._exit(k, False, str(self.pcs[k + 1]),
+                                   f"cycle0 + {o_next} + _x", True)
+                body.extend("    " + line for line in stall)
+
+    # -- assembly -------------------------------------------------------
+
+    def build(self, name: str, salt: Optional[str]) -> _TraceCode:
+        body: List[str] = []
+        trap_bundles: List[int] = []
+        for k, pc in enumerate(self.pcs):
+            wl_static, wl_flags = self._emit_landings(k, body)
+            reads_expr, n_reads = self._emit_reads(k, body)
+            self._can_trap = False
+            ops_body: List[str] = []
+            control = self._emit_ops(k, pc, ops_body)
+            if self._can_trap:
+                self.used.add("BI")
+                body.append(f"BI[0] = {k}")
+                trap_bundles.append(k)
+            body.extend(ops_body)
+            # Port-stall test: bundle 0 sees externally-landing writes
+            # (dynamic count), later positions only in-trace landings
+            # (static upper bound decides whether the test is needed).
+            need_port = self.model_ports and (
+                k == 0
+                or n_reads + wl_static + len(wl_flags) > self.budget
+            )
+            if need_port:
+                if k == 0:
+                    wl_expr = "_wl0"
+                else:
+                    wl_expr = " + ".join([str(wl_static)] + wl_flags)
+                body.append(f"_po = {reads_expr} + {wl_expr}")
+                body.append(f"if _po > {self.budget}:")
+                body.append(
+                    f"    _x = (_po + {self.budget - 1}) "
+                    f"// {self.budget} - 1")
+                body.append("else:")
+                body.append("    _x = 0")
+            self._emit_exits(k, control, need_port, body)
+
+        # Trap fold tables: a trap at position k has executed bundles
+        # 0..k (the usual hoisted-counter asymmetry on aborted runs)
+        # but never charged the trapping bundle's fetch stall.
+        trap_info: Dict[int, Tuple[int, List[Tuple[int, int]]]] = {}
+        t_fetch = self.t_base + _T_FETCH
+        for k in trap_bundles:
+            pairs: Dict[int, int] = {}
+            for i in range(k + 1):
+                for index, n in self.exec_static[i].items():
+                    pairs[index] = pairs.get(index, 0) + n
+            if self.fetch[k]:
+                pairs[t_fetch] -= self.fetch[k]
+                if not pairs[t_fetch]:
+                    del pairs[t_fetch]
+            trap_info[k] = (self.pcs[k], sorted(pairs.items()))
+
+        # A trap aborts the run, but the architectural state it leaves
+        # behind must still match the instrumented loop: every write
+        # landed by the trap cycle lives in a promoted local, so flush
+        # whichever of them exist yet (a trap at position k leaves
+        # later positions' locals unbound) before re-raising.
+        handler: List[str] = []
+        if trap_bundles and self.bind:
+            handler.append("_loc = locals()")
+            for (space, index), local in self.bind.items():
+                file_name = "GPB"[space]
+                self.used.add(file_name)
+                handler.append(f"if {local!r} in _loc:")
+                handler.append(f"    {file_name}[{index}] = _loc[{local!r}]")
+            handler.append("raise")
+            self.used.add("TE")
+
+        params = ["cycle0", "_wl0"]
+        params += [f"{n}={n}" for n in sorted(self.used)]
+        lines = [f"def {name}({', '.join(params)}):"]
+        lines.extend("    " + line for line in self.flag_inits)
+        if handler:
+            lines.append("    try:")
+            lines.extend("        " + line for line in body)
+            lines.append("    except TE:")
+            lines.extend("        " + line for line in handler)
+        else:
+            lines.extend("    " + line for line in body)
+        source = "\n".join(lines)
+        return _TraceCode(
+            entry_pc=self.pcs[0], pcs=list(self.pcs), name=name,
+            source=source, offsets=list(self.offsets),
+            o_last=self.offsets[-1], exit_static=self.exit_static,
+            trap_info=trap_info, fn_refs=self.fn_refs,
+            uses=sorted(self.used), program=self.machine.program,
+            salt=salt,
+        )
+
+
+class TraceSim:
+    """The trace engine: fast-path run loop + superblock dispatch.
+
+    Layered on a :class:`~repro.core.fastpath.FastSim` — cold bundles
+    execute through the specialised bundle functions exactly as the
+    fast path would; hot taken-branch targets are compiled into
+    superblocks and dispatched whenever their entry guards hold.
+    """
+
+    def __init__(self, machine, fastsim, hotness: int = 16,
+                 cap: int = 64, cache: Optional[TraceCache] = None):
+        self._machine = machine
+        self._fastsim = fastsim
+        self._hotness = max(1, hotness)
+        self._cap = max(1, cap)
+        self._min_len = 2 if self._cap >= 2 else 1
+        self._cache = cache
+        n_bundles = len(machine._bundles)
+        self._traces: List[Optional[_TraceRuntime]] = [None] * n_bundles
+        self._hot = [0] * n_bundles
+        self._blacklist: Set[int] = set()
+        self._runtimes: List[_TraceRuntime] = []
+        self._bi = [0]  # chain position of the bundle that may trap
+        counts = fastsim._counts
+        self._t_base = len(counts)
+        counts.extend([0] * _T_SLOTS)
+        #: Superblocks compiled by this engine (cache hits included).
+        self.traces_compiled = 0
+        # A shared cache warmed by an earlier run makes this engine hot
+        # from cycle one: every applicable record is instantiated up
+        # front instead of re-profiled back up to the hotness threshold.
+        if cache is not None:
+            for code in cache.entries(machine):
+                self._traces[code.entry_pc] = self._instantiate(code)
+                self.traces_compiled += 1
+
+    @property
+    def trace_count(self) -> int:
+        return len(self._runtimes)
+
+    # -- trace formation ------------------------------------------------
+
+    def _chain(self, entry_pc: int) -> List[int]:
+        """Walk the static fall-through chain from ``entry_pc``.
+
+        Ends at an unconditional control transfer (which joins the
+        trace), a loop-back onto the chain, the edge of the program,
+        the length cap, or *before* a guarded unconditional transfer
+        (those stay on the bundle engine).  Conditional branches fall
+        through: the taken direction becomes a side exit.
+        """
+        bundles = self._machine._bundles
+        n_bundles = len(bundles)
+        pcs: List[int] = []
+        seen: Set[int] = set()
+        pc = entry_pc
+        capped = True  # until another terminator fires first
+        while len(pcs) < self._cap:
+            if not 0 <= pc < n_bundles or pc in seen:
+                capped = False
+                break
+            bundle = bundles[pc]
+            control = next((op for op in bundle.ops
+                            if op.kind in _CONTROL_KINDS), None)
+            if (control is not None and control.guard
+                    and control.kind in _UNCONDITIONAL_KINDS):
+                capped = False
+                break
+            pcs.append(pc)
+            seen.add(pc)
+            if control is not None and control.kind in _UNCONDITIONAL_KINDS:
+                capped = False
+                break
+            pc += 1
+        if capped:
+            pcs = self._trim_quiescent(pcs)
+        return pcs
+
+    def _trim_quiescent(self, pcs: List[int]) -> List[int]:
+        """Trim a cap-cut chain back to a quiescent hand-over point.
+
+        A chain cut mid-block can leave write-backs in flight past its
+        fall-through exit, so the continuation trace (formed by exit
+        profiling below) would fail its pending-empty entry guard on
+        every single dispatch.  Trim to the longest prefix whose writes
+        all land by the prefix's exit cycle; linked traces then hand
+        over cleanly.  When no such point exists in the back half,
+        keep the raw cut — still correct, just slower.
+        """
+        machine = self._machine
+        config = machine.config
+        share = config.lsu_shares_fetch_bandwidth
+        fetch_bits = config.issue_width * 64
+        bank_bits = config.n_mem_banks * 32 * 2
+        offsets = [0]
+        #: Latest write-back ready cycle among bundles [0, k).
+        last_ready = [0] * (len(pcs) + 1)
+        latest = 0
+        for k, pc in enumerate(pcs):
+            bundle = machine._bundles[pc]
+            o_k = offsets[k]
+            for op in bundle.ops:
+                if op.kind in _WRITER_KINDS:
+                    ready = o_k + op.latency
+                    if ready > latest:
+                        latest = ready
+            stall = 0
+            if share and bundle.n_mem:
+                demand = fetch_bits + 32 * bundle.n_mem
+                stall = (demand + bank_bits - 1) // bank_bits - 1
+            offsets.append(o_k + 1 + stall)
+            last_ready[k + 1] = latest
+        floor = max(self._min_len, len(pcs) // 2)
+        for m in range(len(pcs), floor - 1, -1):
+            if last_ready[m] <= offsets[m]:
+                return pcs[:m]
+        return pcs
+
+    def _compile_trace(self, entry_pc: int) -> None:
+        machine = self._machine
+        code = None
+        if self._cache is not None:
+            code = self._cache.get(machine, entry_pc)
+        if code is None:
+            pcs = self._chain(entry_pc)
+            if len(pcs) < self._min_len:
+                self._blacklist.add(entry_pc)
+                return
+            builder = _TraceBuilder(machine, self._fastsim, pcs,
+                                    self._t_base)
+            code = builder.build(f"_t{entry_pc}", salt=_current_salt())
+            if self._cache is not None:
+                self._cache.put(machine, entry_pc, code)
+        self._traces[entry_pc] = self._instantiate(code)
+        self.traces_compiled += 1
+
+    def _instantiate(self, code: _TraceCode) -> _TraceRuntime:
+        machine = self._machine
+        fastsim = self._fastsim
+        ex = [0] * code.n_exits
+        providers = {
+            "G": fastsim._gpr_values,
+            "P": fastsim._pred_values,
+            "B": fastsim._btr_values,
+            "RA": fastsim._ready_at,
+            "C": fastsim._counts,
+            "PD": fastsim._pending,
+            "MEM": machine.memory._words,
+            "MR": machine.memory.read,
+            "MC": machine.memory.check_write,
+            "BI": self._bi,
+            "EX": ex,
+            "TE": TrapError,
+        }
+        for fn_name, pc, slot in code.fn_refs:
+            providers[fn_name] = machine._bundles[pc].ops[slot].fn
+        namespace = {name: providers[name] for name in code.uses}
+        exec(code.compiled, namespace)  # noqa: S102 - our generated source
+        runtime = _TraceRuntime(namespace[code.name], code, ex)
+        self._runtimes.append(runtime)
+        return runtime
+
+    # -- run loop -------------------------------------------------------
+
+    def run(self, max_cycles: int, watchdog_cycles: Optional[int]) -> int:
+        """Execute until HALT; returns the final cycle count.
+
+        Identical contract to :meth:`FastSim.run`: statistics fold into
+        the machine's :class:`SimStats` (also on abnormal exits) and
+        the exceptions raised are exactly the instrumented path's.
+        """
+        machine = self._machine
+        fastsim = self._fastsim
+        config = machine.config
+        stats = machine.stats
+        fns = fastsim._fns
+        n_mem = fastsim._n_mem
+        n_bundles = len(fns)
+        gmask = config.mask
+
+        gpr = fastsim._gpr_values
+        pred = fastsim._pred_values
+        btr = fastsim._btr_values
+        counts = fastsim._counts
+        pending = fastsim._pending
+        pending_pop = pending.pop
+        ready_at = fastsim._ready_at
+
+        # Fresh per-run context (a prior aborted run may have leftovers).
+        for i in range(len(counts)):
+            counts[i] = 0
+        pending.clear()
+        ready_at[:] = [-1] * len(ready_at)
+
+        port_budget = config.regfile_ops_per_cycle
+        model_ports = config.model_port_limit
+        share_bandwidth = config.lsu_shares_fetch_bandwidth
+        fetch_bits = config.issue_width * 64
+        bank_bits = config.n_mem_banks * 32 * 2
+        branch_penalty = config.taken_branch_penalty
+
+        traces = self._traces
+        blacklist = self._blacklist
+        hot = self._hot
+        hotness = self._hotness
+        bi = self._bi
+
+        visits = [0] * n_bundles
+        branches_taken = 0
+        branch_bubbles = 0
+        port_stalls = 0
+        fetch_stalls = 0
+        regfile_writes = 0
+        traps_seen = 0
+
+        limit = max_cycles
+        if watchdog_cycles is not None and watchdog_cycles < limit:
+            limit = watchdog_cycles
+
+        cycle = 0
+        pc = machine.program.entry
+        try:
+            while True:
+                if cycle >= limit:
+                    if cycle >= max_cycles:
+                        raise CycleLimitExceeded(
+                            "cycle budget exhausted (runaway program?)",
+                            cycle=cycle, pc=pc, limit=max_cycles,
+                        )
+                    raise HangDetected(
+                        "watchdog fired: execution ran far past the "
+                        "expected cycle count",
+                        cycle=cycle, pc=pc, limit=watchdog_cycles,
+                    )
+                if not 0 <= pc < n_bundles:
+                    raise TrapError(
+                        "control fell outside the program (missing HALT "
+                        "or corrupted branch target?)",
+                        cause=TRAP_ILLEGAL_INSTRUCTION, cycle=cycle, pc=pc,
+                    )
+
+                # Write-backs due by now, ascending ready cycle, list
+                # order preserving issue order — the heap's pop order.
+                # Traces can advance the clock by dozens of cycles per
+                # dispatch, so unlike FastSim's scan-forward this walks
+                # the (few) populated ready cycles, not every cycle.
+                writes_landing = 0
+                if pending:
+                    for ready in sorted(pending):
+                        if ready > cycle:
+                            break
+                        queue = pending_pop(ready)
+                        for space, index, value in queue:
+                            if space == 0:
+                                if index:
+                                    gpr[index] = value & gmask
+                                ready_at[index] = ready
+                                regfile_writes += 1
+                                if ready == cycle:
+                                    writes_landing += 1
+                            elif space == 1:
+                                if index:
+                                    pred[index] = 1 if value else 0
+                            else:
+                                btr[index] = value
+
+                # -- superblock dispatch --------------------------------
+                # Entry guards: the pending queue must be empty (the
+                # compiled schedule assumes no external landings at
+                # in-trace cycles) and the whole trace must issue
+                # inside the limit (limit precedence stays with the
+                # bundle loop above).
+                runtime = traces[pc]
+                if (runtime is not None and not pending
+                        and cycle + runtime.o_last < limit):
+                    try:
+                        pc, cycle = runtime.fn(cycle, writes_landing)
+                    except TrapError as trap:
+                        k = bi[0]
+                        trap_pc, pairs = runtime.trap_info[k]
+                        trap.annotate(cycle + runtime.offsets[k], trap_pc)
+                        machine.traps.append(trap)
+                        traps_seen += 1
+                        for index, n in pairs:
+                            counts[index] += n
+                        raise
+                    if pc < 0:  # HALT inside the trace
+                        break
+                    # Side-exit targets are profiled too (trace
+                    # linking): a cap-split loop body's continuation
+                    # is only ever reached through a trace exit, never
+                    # through a taken branch on the bundle path.
+                    if traces[pc] is None and pc not in blacklist:
+                        count = hot[pc] + 1
+                        hot[pc] = count
+                        if count >= hotness:
+                            self._compile_trace(pc)
+                    continue
+
+                visits[pc] += 1
+                try:
+                    result = fns[pc](cycle)
+                except TrapError as trap:
+                    trap.annotate(cycle, pc)
+                    machine.traps.append(trap)
+                    traps_seen += 1
+                    raise  # the trace engine requires the "halt" policy
+                if result.__class__ is int:  # non-control bundle
+                    reads = result
+                    target = None
+                else:
+                    reads, target = result
+
+                extra = 0
+                if model_ports:
+                    port_ops = reads + writes_landing
+                    if port_ops > port_budget:
+                        stall = (port_ops + port_budget - 1) \
+                            // port_budget - 1
+                        port_stalls += stall
+                        extra += stall
+                if share_bandwidth and n_mem[pc]:
+                    demand = fetch_bits + 32 * n_mem[pc]
+                    stall = (demand + bank_bits - 1) // bank_bits - 1
+                    fetch_stalls += stall
+                    extra += stall
+
+                if target is None:
+                    pc += 1
+                elif target >= 0:
+                    branches_taken += 1
+                    branch_bubbles += branch_penalty
+                    extra += branch_penalty
+                    pc = target
+                    # Taken-branch targets are the profile: loop heads
+                    # cross the threshold after a few iterations, cold
+                    # code never pays more than this counter bump.
+                    if traces[pc] is None and pc not in blacklist:
+                        count = hot[pc] + 1
+                        hot[pc] = count
+                        if count >= hotness:
+                            self._compile_trace(pc)
+                else:  # HALT
+                    cycle += 1 + extra
+                    break
+                cycle += 1 + extra
+        finally:
+            # Fold everything into the shared stats object — also on
+            # abnormal exits.  Exit counters multiply out the per-exit
+            # static tables first, then the counts list (fast-path
+            # layout plus the trace slots) folds as usual.
+            for runtime in self._runtimes:
+                ex = runtime.ex
+                for j, n in enumerate(ex):
+                    if n:
+                        for index, k in runtime.exit_static[j]:
+                            counts[index] += n * k
+                        ex[j] = 0
+            bundles_issued = 0
+            statics = fastsim._static
+            for i, n in enumerate(visits):
+                if n:
+                    bundles_issued += n
+                    for index, k in statics[i]:
+                        counts[index] += n * k
+            tb = self._t_base
+            stats.bundles += bundles_issued + counts[tb + _T_BUNDLES]
+            stats.branches_taken += branches_taken + counts[tb + _T_BRT]
+            stats.branch_bubble_cycles += (
+                branch_bubbles + counts[tb + _T_BUB])
+            stats.port_stall_cycles += port_stalls + counts[tb + _T_PORT]
+            stats.fetch_stall_cycles += fetch_stalls + counts[tb + _T_FETCH]
+            stats.regfile_writes += regfile_writes + counts[tb + _T_RFW]
+            stats.traps += traps_seen
+            stats.ops_executed += counts[_C_EXEC]
+            stats.ops_squashed += counts[_C_SQUASH]
+            stats.nops += counts[_C_NOPS]
+            stats.branches += counts[_C_BRANCHES]
+            stats.memory_reads += counts[_C_MEMR]
+            stats.memory_writes += counts[_C_MEMW]
+            stats.regfile_reads += counts[_C_READS]
+            stats.regfile_reads_forwarded += counts[_C_FWD]
+            fu_busy = stats.fu_busy
+            for fu_class, index in fastsim._fu_index.items():
+                if counts[index]:
+                    fu_busy[fu_class] = (
+                        fu_busy.get(fu_class, 0) + counts[index]
+                    )
+            for i in range(len(counts)):
+                counts[i] = 0
+
+        # Drain outstanding write-backs so final state is architectural.
+        for ready in sorted(pending):
+            for space, index, value in pending[ready]:
+                if space == 0:
+                    if index:
+                        gpr[index] = value & gmask
+                elif space == 1:
+                    if index:
+                        pred[index] = 1 if value else 0
+                else:
+                    btr[index] = value
+        pending.clear()
+
+        stats.cycles = cycle
+        return cycle
+

@@ -108,19 +108,22 @@ def run_on_epic(spec: WorkloadSpec, config: MachineConfig,
     measurement, and its outputs are unvalidated).
 
     ``engine`` selects the simulator path: ``"auto"`` lets the core
-    pick the fast path when eligible, ``"fast"`` / ``"reference"``
-    force one.  Both paths are cycle-identical by contract, so the
-    choice can never change the measurement — only the host time.
+    pick the fast path when eligible, ``"fast"`` / ``"reference"`` /
+    ``"trace"`` force one.  All paths are cycle-identical by contract,
+    so the choice can never change the measurement — only the host
+    time.
     """
-    if engine not in ("auto", "fast", "reference"):
-        raise SimulationError(f"unknown engine {engine!r}")
+    if engine not in ("auto", "fast", "reference", "trace"):
+        raise SimulationError(
+            f"unknown engine {engine!r}: expected one of auto, fast, "
+            "reference, trace"
+        )
     compilation = compile_minic_to_epic(spec.source, config)
     cpu = EpicProcessor(config, compilation.program,
                         mem_words=spec.mem_words)
     machine = f"EPIC-{config.n_alus}ALU"
-    fast = {"auto": None, "fast": True, "reference": False}[engine]
     try:
-        result = cpu.run(max_cycles=max_cycles, fast=fast)
+        result = cpu.run(max_cycles=max_cycles, engine=engine)
     except CycleLimitExceeded as error:
         if not cycle_limit_ok:
             raise

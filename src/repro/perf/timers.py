@@ -60,8 +60,20 @@ class PhaseTimer:
         )
 
 
+#: Smallest elapsed time treated as a measurement (seconds).  Quick
+#: bench cells can finish inside the timer's resolution; dividing by a
+#: near-zero elapsed time would report absurd rates, so anything below
+#: this is reported as unmeasurable instead.
+MIN_MEASURABLE_SECONDS = 1e-6
+
+
 def kcycles_per_second(cycles: int, seconds: float) -> float:
-    """Simulated kilocycles per host second (0.0 for unmeasurable runs)."""
-    if seconds <= 0.0:
+    """Simulated kilocycles per host second (0.0 for unmeasurable runs).
+
+    Sub-resolution timings (zero or near-zero elapsed, below
+    :data:`MIN_MEASURABLE_SECONDS`) yield 0.0 rather than a rate
+    dominated by timer noise.
+    """
+    if seconds < MIN_MEASURABLE_SECONDS:
         return 0.0
     return cycles / seconds / 1e3

@@ -54,9 +54,11 @@ JOB_KINDS = (KIND_SWEEP, KIND_CAMPAIGN, KIND_BENCH, KIND_PROBE)
 
 #: Execution engines a job may request (see ``EpicProcessor.run``):
 #: ``auto`` lets the simulator pick the fast path when eligible,
-#: ``fast`` / ``reference`` force one engine, and ``both`` (bench jobs)
-#: runs the two engines and cross-checks them.
-ENGINES = ("auto", "fast", "reference", "both")
+#: ``fast`` / ``reference`` / ``trace`` force one engine, and the bench
+#: combinations ``both`` (instrumented + fast) and ``all``
+#: (instrumented + fast + trace) run several engines and cross-check
+#: them.
+ENGINES = ("auto", "fast", "reference", "trace", "both", "all")
 
 #: Probe behaviours understood by the worker.
 PROBE_BEHAVIOURS = ("ok", "fail", "crash", "hang", "sleep")
@@ -103,7 +105,10 @@ class JobSpec:
         if self.kind not in JOB_KINDS:
             raise ServeError(f"unknown job kind {self.kind!r}")
         if self.engine not in ENGINES:
-            raise ServeError(f"unknown engine {self.engine!r}")
+            raise ServeError(
+                f"unknown engine {self.engine!r}: expected one of "
+                f"{', '.join(ENGINES)}"
+            )
         if self.kind == KIND_PROBE:
             if self.behavior not in PROBE_BEHAVIOURS:
                 raise ServeError(
@@ -312,11 +317,17 @@ def campaign_job(spec: WorkloadSpec, config: MachineConfig,
 
 
 def bench_job(spec: WorkloadSpec, config: MachineConfig,
-              max_cycles: int = DEFAULT_MAX_CYCLES) -> JobSpec:
-    """A dual-engine bench cell job (exactness re-checked in-worker)."""
+              max_cycles: int = DEFAULT_MAX_CYCLES,
+              engine: str = "all") -> JobSpec:
+    """A multi-engine bench cell job (exactness re-checked in-worker).
+
+    ``engine`` selects the engines the cell times: ``all`` (default,
+    instrumented + fast + trace), the legacy ``both`` (instrumented +
+    fast), or a single engine name.
+    """
     return JobSpec(kind=KIND_BENCH, workload=spec.name,
                    workload_args=tuple(spec.instance_args), config=config,
-                   max_cycles=max_cycles, engine="both")
+                   max_cycles=max_cycles, engine=engine)
 
 
 def shard_campaign(job: JobSpec, shards: int) -> List[JobSpec]:

@@ -90,12 +90,25 @@ def _execute_campaign(spec: JobSpec) -> Tuple[Payload, Payload]:
     return payload, {}
 
 
+#: JobSpec engine names -> bench_cell engine tuples.
+_BENCH_ENGINE_SETS = {
+    "all": ("instrumented", "fast", "trace"),
+    "auto": ("instrumented", "fast", "trace"),
+    "both": ("instrumented", "fast"),
+    "reference": ("instrumented",),
+    "instrumented": ("instrumented",),
+    "fast": ("fast",),
+    "trace": ("trace",),
+}
+
+
 def _execute_bench(spec: JobSpec) -> Tuple[Payload, Payload]:
-    from repro.perf.bench import bench_cell
+    from repro.perf.bench import TIMING_FIELDS, bench_cell
 
     workload = build_workload(spec)
     cell = bench_cell(workload, spec.config.n_alus,
-                      max_cycles=spec.max_cycles)
+                      max_cycles=spec.max_cycles,
+                      engines=_BENCH_ENGINE_SETS[spec.engine])
     payload: Payload = {
         "benchmark": cell["benchmark"],
         "machine": cell["machine"],
@@ -103,13 +116,7 @@ def _execute_bench(spec: JobSpec) -> Tuple[Payload, Payload]:
         "ilp": cell["ilp"],
         "fingerprint": cell["fingerprint"],
     }
-    meta: Payload = {
-        key: cell[key]
-        for key in ("compile_seconds", "specialise_seconds",
-                    "instrumented_seconds", "fast_seconds", "speedup",
-                    "fast_kcycles_per_host_second",
-                    "instrumented_kcycles_per_host_second")
-    }
+    meta: Payload = {key: cell[key] for key in TIMING_FIELDS}
     return payload, meta
 
 

@@ -200,6 +200,80 @@ class TestEligibility:
         assert info.value.cause == TRAP_PARITY
         assert cpu._fastsim is None  # the fast engine was never built
 
+    def test_reject_reason_recorded_for_register_oob(self):
+        source = """
+        main:
+          PBR b0, end
+          NOP
+          BR b0
+          ADD r60, r1, 1
+        end:
+          HALT
+        """
+        big = epic_config()
+        program = assemble(source, big)
+        small = big.with_changes(n_gprs=32)
+        cpu = EpicProcessor(small, program, mem_words=64)
+        cpu.run(max_cycles=100)  # auto: quiet fallback
+        assert cpu.last_engine == "instrumented"
+        assert "index" in cpu.fastpath_reject_reason
+        assert "limit" in cpu.fastpath_reject_reason
+        # The reason rides along on the stats summary so a downgraded
+        # run is visible in any report that prints it.
+        assert "fast path rejected" in cpu.stats.summary()
+        assert cpu.fastpath_reject_reason in cpu.stats.summary()
+
+    def test_reject_reason_recorded_for_extra_control_op(self):
+        import copy
+
+        source = """
+        main:
+          PBR b0, end
+          NOP
+          BR b0
+          NOP
+        end:
+          HALT
+        """
+        config = epic_config()
+        cpu = EpicProcessor(config, assemble(source, config), mem_words=64)
+        # Predecode enforces one BRU per issue group at load time, so
+        # forge the illegal shape post-decode: a second copy of the
+        # branch in its own bundle (same target, so the instrumented
+        # loop's behaviour is unchanged).
+        from repro.core import decode as dec
+
+        branch_bundle = next(b for b in cpu._bundles
+                             if any(op.kind == dec.K_BR for op in b.ops))
+        branch_op = next(op for op in branch_bundle.ops
+                         if op.kind == dec.K_BR)
+        branch_bundle.ops.append(copy.copy(branch_op))
+        with pytest.raises(SimulationError,
+                           match="more than one control operation"):
+            cpu.run(max_cycles=100, fast=True)
+        assert cpu.fastpath_reject_reason == \
+            "more than one control operation in a bundle"
+        result = cpu.run(max_cycles=100)  # auto: quiet fallback
+        assert cpu.last_engine == "instrumented"
+        assert result.cycles > 0
+
+    def test_reject_reason_recorded_for_sub_cycle_latency(self):
+        config = epic_config()
+        cpu = EpicProcessor(config, assemble(FORWARDING_HEAVY, config),
+                            mem_words=256)
+        from repro.core import decode as dec
+
+        add_op = next(op for b in cpu._bundles for op in b.ops
+                      if op.kind == dec.K_ALU)
+        add_op.latency = 0
+        with pytest.raises(SimulationError, match="cannot be specialised"):
+            cpu.run(fast=True)
+        assert cpu.fastpath_reject_reason == \
+            "write-back latency below one cycle"
+        assert cpu.stats.fastpath_reject_reason == cpu.fastpath_reject_reason
+        cpu.run()  # auto: quiet fallback onto the instrumented loop
+        assert cpu.last_engine == "instrumented"
+
     def test_ineligible_program_falls_back_silently(self):
         # Assemble against a large register file, run on a small one:
         # the dead code past the branch names a GPR beyond the small

@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.config import epic_with_alus
+from repro.errors import SimulationError
 from repro.perf import PhaseTimer, kcycles_per_second
 from repro.perf.bench import (
     CompileCache,
@@ -15,6 +16,7 @@ from repro.perf.bench import (
     main as bench_main,
     run_bench,
 )
+from repro.perf.timers import MIN_MEASURABLE_SECONDS
 from repro.workloads import dct_workload, sha_workload
 
 
@@ -53,6 +55,14 @@ class TestKcycles:
 
     def test_zero_time_is_not_infinite(self):
         assert kcycles_per_second(1000, 0.0) == 0.0
+
+    def test_sub_resolution_timings_report_unmeasurable(self):
+        # A cell that finishes inside the timer's resolution must not
+        # report a rate dominated by timer noise.
+        assert kcycles_per_second(1000, MIN_MEASURABLE_SECONDS / 10) == 0.0
+        assert kcycles_per_second(
+            1000, MIN_MEASURABLE_SECONDS) == pytest.approx(
+                1.0 / MIN_MEASURABLE_SECONDS)
 
 
 @pytest.fixture(scope="module")
@@ -155,6 +165,49 @@ class TestDeterministicReport:
             json.dumps(fingerprint)  # must survive the report file
 
 
+class TestTraceEngineBench:
+    def test_trace_columns_present_by_default(self, tiny_payload):
+        (run,) = tiny_payload["runs"]
+        assert tiny_payload["engines"] == ["instrumented", "fast", "trace"]
+        assert run["trace_seconds"] > 0.0
+        assert run["trace_vs_fast_speedup"] > 0.0
+        assert run["trace_kcycles_per_host_second"] is not None
+        summary = tiny_payload["summary"]
+        assert summary["overall_trace_vs_fast_speedup"] > 0.0
+        assert summary["trace_cache"]["compiles"] >= 0
+
+    def test_trace_columns_never_leak_into_determinism(self, tiny_payload):
+        rendered = json.dumps(deterministic_report(tiny_payload))
+        assert "trace" not in rendered
+        assert "kcycles" not in rendered
+
+    def test_single_engine_cell_leaves_other_timings_none(self):
+        cell = bench_cell(sha_workload(4, 4), 1, engines=("fast",))
+        assert cell["fast_seconds"] > 0.0
+        assert cell["instrumented_seconds"] is None
+        assert cell["trace_seconds"] is None
+        assert cell["speedup"] is None
+        assert cell["trace_vs_fast_speedup"] is None
+        assert cell["cycles"] > 0
+
+    def test_trace_only_cell_times_the_trace_engine(self):
+        cell = bench_cell(sha_workload(4, 4), 1, engines=("trace",))
+        assert cell["trace_seconds"] > 0.0
+        assert cell["trace_compile_seconds"] > 0.0
+        assert cell["fast_seconds"] is None
+
+    def test_unknown_engine_rejected_with_choices(self):
+        with pytest.raises(SimulationError, match="unknown bench engine"):
+            bench_cell(sha_workload(4, 4), 1, engines=("warp",))
+
+    def test_trace_cell_cycles_match_the_default_cell(self):
+        spec = dct_workload(8, 8)
+        default = bench_cell(spec, 2)
+        traced = bench_cell(spec, 2, engines=("trace",))
+        assert traced["cycles"] == default["cycles"]
+        assert traced["fingerprint"] == default["fingerprint"]
+
+
 class TestCli:
     def test_writes_report_and_checks_golden(self, tmp_path, capsys):
         out = tmp_path / "bench.json"
@@ -185,6 +238,33 @@ class TestCli:
         assert err.count("cycles, speedup") == 2
         assert "Dijkstra on EPIC-1ALU" in err
         assert "Dijkstra on EPIC-2ALU" in err
+
+    def test_engine_flag_restricts_the_run(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert bench_main(["--quick", "--bench", "Dijkstra", "--alus", "1",
+                           "--engine", "fast", "--out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["engines"] == ["fast"]
+        (run,) = payload["runs"]
+        assert run["fast_seconds"] > 0.0
+        assert run["instrumented_seconds"] is None
+        assert run["trace_seconds"] is None
+
+    def test_gate_passes_and_fails(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        argv = ["--quick", "--bench", "Dijkstra", "--alus", "1",
+                "--out", str(out)]
+        assert bench_main(argv + ["--gate-trace-speedup", "0.001"]) == 0
+        assert "clears the 0.00x gate" in capsys.readouterr().out
+        assert bench_main(argv + ["--gate-trace-speedup", "1e6"]) == 1
+        assert "below the 1000000.00x gate" in capsys.readouterr().err
+
+    def test_gate_needs_both_trace_and_fast(self, tmp_path, capsys):
+        assert bench_main(["--quick", "--bench", "Dijkstra", "--alus", "1",
+                           "--engine", "fast",
+                           "--out", str(tmp_path / "bench.json"),
+                           "--gate-trace-speedup", "1.5"]) == 2
+        assert "use --engine all" in capsys.readouterr().err
 
     def test_parallel_jobs_match_serial_cycles(self, tmp_path, capsys):
         serial_out = tmp_path / "serial.json"

@@ -94,10 +94,23 @@ class TestValidation:
         with pytest.raises(ServeError, match="workload"):
             JobSpec(kind="sweep", workload="FFT", config=epic_config())
 
-    def test_unknown_engine_rejected(self):
-        with pytest.raises(ServeError, match="engine"):
+    def test_unknown_engine_rejected_naming_the_choices(self):
+        with pytest.raises(ServeError,
+                           match="expected one of .*trace.*all"):
             JobSpec(kind="sweep", workload="SHA", config=epic_config(),
                     engine="warp")
+
+    def test_trace_and_multi_engine_names_accepted(self):
+        spec = sha_workload(8, 8)
+        config = epic_config()
+        assert sweep_job(spec, config, engine="trace").engine == "trace"
+        assert bench_job(spec, config).engine == "all"
+        assert bench_job(spec, config, engine="both").engine == "both"
+        digests = {
+            bench_job(spec, config, engine=name).digest()
+            for name in ("all", "both", "trace", "fast")
+        }
+        assert len(digests) == 4  # the engine is part of the job identity
 
     def test_missing_config_rejected(self):
         with pytest.raises(ServeError, match="config"):
