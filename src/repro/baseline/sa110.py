@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.backend.mops import MFunction, MOp
-from repro.errors import SimulationError
+from repro.errors import CycleLimitExceeded, SimulationError
 from repro.isa.operands import Lit, Reg
 from repro.isa.semantics import ALU_SEMANTICS, CMP_SEMANTICS, to_signed, to_unsigned
 
@@ -134,7 +134,12 @@ class Sa110Simulator:
             if not 0 <= pc < len(self.program):
                 raise SimulationError(f"PC out of range: {pc}")
             if stats.instructions >= max_instructions:
-                raise SimulationError("instruction budget exhausted")
+                raise CycleLimitExceeded(
+                    f"instruction budget exhausted after "
+                    f"{stats.instructions} instructions / {cycles} cycles "
+                    f"(runaway program?)",
+                    cycle=cycles, pc=pc, limit=max_instructions,
+                )
             mop = self.program[pc]
             mnemonic = mop.mnemonic
             stats.instructions += 1

@@ -60,6 +60,8 @@ go through the parity-checking accessors.
 
 from __future__ import annotations
 
+import json
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core import decode as dec
@@ -479,41 +481,96 @@ def specialise(machine) -> Optional["FastSim"]:
     return sim
 
 
+@dataclass
+class _Generated:
+    """Machine-independent output of the bundle code generator."""
+
+    code: object
+    names: List[str]
+    statics: List[List[Tuple[int, int]]]
+    counts_len: int
+    fu_index: Dict[str, int]
+    base_namespace: Dict[str, object]
+    n_mem: List[int]
+
+
+def _generate(machine) -> _Generated:
+    config = machine.config
+    counts_len = _C_FU0
+    fu_index: Dict[str, int] = {}
+
+    def fu_slot(fu_class: str) -> int:
+        nonlocal counts_len
+        if fu_class not in fu_index:
+            fu_index[fu_class] = counts_len
+            counts_len += 1
+        return fu_index[fu_class]
+
+    namespace: Dict[str, object] = {
+        # Memory size is fixed for the machine's lifetime; the code
+        # generator inlines it into the bounds checks.
+        "_N_MEM_WORDS": len(machine.memory),
+    }
+    names: List[str] = []
+    sources: List[str] = []
+    statics: List[List[Tuple[int, int]]] = []
+    for pc, bundle in enumerate(machine._bundles):
+        name, source, static_counts = _bundle_source(
+            pc, bundle, config, namespace, fu_slot,
+            forwarding=config.forwarding,
+        )
+        names.append(name)
+        sources.append(source)
+        statics.append(static_counts)
+    code = compile("\n\n".join(sources), "<repro.core.fastpath>", "exec")
+    return _Generated(
+        code=code, names=names, statics=statics, counts_len=counts_len,
+        fu_index=fu_index, base_namespace=namespace,
+        n_mem=[bundle.n_mem for bundle in machine._bundles],
+    )
+
+
+def _generated_code(machine) -> _Generated:
+    """Codegen for ``machine``'s program, cached on the program object.
+
+    Generation and ``compile()`` depend only on the program, the
+    machine configuration (keyed by its canonical rendering, like the
+    serve result cache) and the memory size — not on the machine
+    instance — so fault-injection harnesses that build many processors
+    for one program pay for code generation once.  Ineligibility is
+    cached too, as the rejection reason.
+    """
+    program = machine.program
+    key = (json.dumps(machine.config.canonical(), sort_keys=True),
+           len(machine.memory))
+    cache = program.__dict__.setdefault("_fastpath_codegen", {})
+    hit = cache.get(key)
+    if hit is not None:
+        kind, payload = hit
+        if kind == "ineligible":
+            raise _Ineligible(payload)
+        return payload
+    try:
+        generated = _generate(machine)
+    except _Ineligible as reason:
+        cache[key] = ("ineligible", str(reason))
+        raise
+    cache[key] = ("ok", generated)
+    return generated
+
+
 class FastSim:
     """Compiled per-bundle execution records plus the fast run loop."""
 
     def __init__(self, machine):
         config = machine.config
-        # Shared mutable context the generated functions bind directly.
-        counts_len = _C_FU0
-        fu_index: Dict[str, int] = {}
-
-        def fu_slot(fu_class: str) -> int:
-            nonlocal counts_len
-            if fu_class not in fu_index:
-                fu_index[fu_class] = counts_len
-                counts_len += 1
-            return fu_index[fu_class]
-
-        namespace: Dict[str, object] = {
-            # Memory size is fixed for the machine's lifetime; the code
-            # generator inlines it into the bounds checks.
-            "_N_MEM_WORDS": len(machine.memory),
-        }
-        names: List[str] = []
-        sources: List[str] = []
-        statics: List[List[Tuple[int, int]]] = []
-        for pc, bundle in enumerate(machine._bundles):
-            name, source, static_counts = _bundle_source(
-                pc, bundle, config, namespace, fu_slot,
-                forwarding=config.forwarding,
-            )
-            names.append(name)
-            sources.append(source)
-            statics.append(static_counts)
-
-        counts = [0] * counts_len
+        generated = _generated_code(machine)
+        counts = [0] * generated.counts_len
         pending: Dict[int, List[Tuple[int, int, int]]] = {}
+        # Shared mutable context the generated functions bind directly
+        # (as default arguments, at exec time below): the raw register
+        # and memory lists, the forwarding ages, the counters.
+        namespace = dict(generated.base_namespace)
         namespace.update(
             G=machine.gpr._values,
             P=machine.pred._values,
@@ -525,15 +582,14 @@ class FastSim:
             MR=machine.memory.read,
             MC=machine.memory.check_write,
         )
-        code = compile("\n\n".join(sources), "<repro.core.fastpath>", "exec")
-        exec(code, namespace)  # noqa: S102 - our own generated source
+        exec(generated.code, namespace)  # noqa: S102 - our own generated source
 
         self._machine = machine
-        self._fns = [namespace[name] for name in names]
-        self._static = statics
-        self._n_mem = [bundle.n_mem for bundle in machine._bundles]
+        self._fns = [namespace[name] for name in generated.names]
+        self._static = generated.statics
+        self._n_mem = generated.n_mem
         self._counts = counts
-        self._fu_index = fu_index
+        self._fu_index = generated.fu_index
         self._pending = pending
         self._ready_at = namespace["RA"]
         self._gpr_values = machine.gpr._values
@@ -542,7 +598,10 @@ class FastSim:
 
     # -- run loop ----------------------------------------------------------
 
-    def run(self, max_cycles: int, watchdog_cycles: Optional[int]) -> int:
+    def run(self, max_cycles: int, watchdog_cycles: Optional[int],
+            until_cycle: Optional[int] = None,
+            start_cycle: int = 0,
+            start_pc: Optional[int] = None) -> int:
         """Execute until HALT; returns the final cycle count.
 
         Statistics are folded into the machine's :class:`SimStats` (also
@@ -551,6 +610,14 @@ class FastSim:
         :class:`~repro.errors.CycleLimitExceeded`,
         :class:`~repro.errors.HangDetected` or a propagating
         :class:`~repro.errors.TrapError` under the ``halt`` policy.
+
+        ``until_cycle`` pauses at the first quiescent cycle at or after
+        it (machine resume state is set, the partial cycle count is
+        returned); ``start_cycle``/``start_pc`` resume a paused or
+        restored machine.  Per-run working state (counts, pending,
+        forwarding ages) is reset here, which is exact *because* resume
+        points are quiescent: nothing was in flight, and stale
+        forwarding ages can never equal a future cycle.
         """
         machine = self._machine
         config = machine.config
@@ -598,9 +665,9 @@ class FastSim:
         if watchdog_cycles is not None and watchdog_cycles < limit:
             limit = watchdog_cycles
 
-        cycle = 0
-        next_ready = 0  # lowest write-back cycle not yet drained
-        pc = machine.program.entry
+        cycle = start_cycle
+        next_ready = start_cycle  # lowest write-back cycle not yet drained
+        pc = start_pc if start_pc is not None else machine.program.entry
         try:
             while True:
                 if cycle >= limit:
@@ -614,6 +681,16 @@ class FastSim:
                         "expected cycle count",
                         cycle=cycle, pc=pc, limit=watchdog_cycles,
                     )
+                if until_cycle is not None and cycle >= until_cycle \
+                        and not pending:
+                    # Quiescent pause (see the instrumented loop): no
+                    # write-back in flight, checked after the absolute
+                    # cycle budgets so limits fire at the same cycle as
+                    # an uninterrupted run.
+                    machine._paused = True
+                    machine._resume_cycle = cycle
+                    machine._resume_pc = pc
+                    break
                 if not 0 <= pc < n_bundles:
                     raise TrapError(
                         "control fell outside the program (missing HALT "

@@ -152,6 +152,14 @@ class EpicProcessor:
         self._trace_hotness = trace_hotness
         self._trace_cap = trace_cap
         self._trace_cache = trace_cache
+        #: Pause/resume state (see ``run(until_cycle=...)`` and
+        #: :mod:`repro.core.snapshot`): when ``_paused`` is true the next
+        #: :meth:`run` continues from ``(_resume_cycle, _resume_pc)``
+        #: instead of ``(0, program.entry)``.  Set by a quiescent pause
+        #: or by restoring a :class:`~repro.core.snapshot.CoreSnapshot`.
+        self._paused = False
+        self._resume_cycle = 0
+        self._resume_pc = program.entry
         # Stack grows down from the top of data memory.
         self.gpr.write(1, mem_words)
 
@@ -168,7 +176,8 @@ class EpicProcessor:
             trace=None,
             watchdog_cycles: Optional[int] = None,
             fast: Optional[bool] = None,
-            engine: Optional[str] = None) -> SimulationResult:
+            engine: Optional[str] = None,
+            until_cycle: Optional[int] = None) -> SimulationResult:
         """Execute until HALT; returns the cycle count and statistics.
 
         ``trace``, if given, is called once per issued bundle with
@@ -209,6 +218,17 @@ class EpicProcessor:
         is an error.  All engines are cycle-exact: they produce
         bit-identical cycle counts, statistics and architectural state.
         ``last_engine`` records which engine actually ran.
+
+        ``until_cycle``, if given, pauses the run at the first
+        *quiescent* cycle at or after it: a top-of-loop point with no
+        write-back in flight (the trace engine's empty-pending entry
+        condition), where machine state is purely architectural.  A
+        paused run returns ``halted=False`` and the next :meth:`run`
+        call resumes exactly where it stopped; the concatenated
+        segments are bit-identical to one uninterrupted run.  Cycle
+        budgets stay absolute (checked before the pause), so limit
+        exceptions fire at the same cycle either way.  A run that halts
+        before reaching ``until_cycle`` returns normally.
         """
         if engine is None:
             engine = {None: "auto", True: "fast", False: "reference"}[fast]
@@ -234,6 +254,12 @@ class EpicProcessor:
                 "tracing, fault injection, strict NUAL checking, non-halt "
                 "trap policies nor planted parity faults"
             )
+        # Consume the resume point (a pause or a snapshot restore); a
+        # completed run leaves the machine starting fresh again.
+        start_cycle, start_pc = 0, self.program.entry
+        if self._paused:
+            start_cycle, start_pc = self._resume_cycle, self._resume_pc
+            self._paused = False
         if engine == "trace":
             sim = self._trace_sim()
             if sim is None:
@@ -243,17 +269,23 @@ class EpicProcessor:
                 )
             self.last_engine = "trace"
             cycles = sim.run(max_cycles=max_cycles,
-                             watchdog_cycles=watchdog_cycles)
+                             watchdog_cycles=watchdog_cycles,
+                             until_cycle=until_cycle,
+                             start_cycle=start_cycle, start_pc=start_pc)
             return SimulationResult(cycles=cycles, stats=self.stats,
-                                    halted=True, traps=list(self.traps))
+                                    halted=not self._paused,
+                                    traps=list(self.traps))
         if engine in ("auto", "fast") and eligible:
             sim = self._fast_sim()
             if sim is not None:
                 self.last_engine = "fast"
                 cycles = sim.run(max_cycles=max_cycles,
-                                 watchdog_cycles=watchdog_cycles)
+                                 watchdog_cycles=watchdog_cycles,
+                                 until_cycle=until_cycle,
+                                 start_cycle=start_cycle, start_pc=start_pc)
                 return SimulationResult(cycles=cycles, stats=self.stats,
-                                        halted=True, traps=list(self.traps))
+                                        halted=not self._paused,
+                                        traps=list(self.traps))
             if engine == "fast":
                 raise SimulationError(
                     "fast path requested but the loaded program cannot be "
@@ -261,7 +293,10 @@ class EpicProcessor:
                 )
         self.last_engine = "instrumented"
         return self._run_instrumented(max_cycles=max_cycles, trace=trace,
-                                      watchdog_cycles=watchdog_cycles)
+                                      watchdog_cycles=watchdog_cycles,
+                                      until_cycle=until_cycle,
+                                      start_cycle=start_cycle,
+                                      start_pc=start_pc)
 
     def _fast_sim(self):
         """The cached fast engine, or ``None`` if the program is ineligible."""
@@ -293,9 +328,33 @@ class EpicProcessor:
                 )
         return self._tracesim or None
 
+    # -- snapshot/restore ---------------------------------------------------
+
+    def snapshot(self):
+        """Capture the machine's exact state (see :mod:`repro.core.snapshot`).
+
+        Only meaningful on a fresh machine or one paused at a quiescent
+        cycle via ``run(until_cycle=...)`` — at those points all state
+        is architectural (nothing in flight).
+        """
+        from repro.core.snapshot import CoreSnapshot
+
+        return CoreSnapshot.capture(self)
+
+    def restore(self, snap) -> None:
+        """Restore a :class:`~repro.core.snapshot.CoreSnapshot` in place.
+
+        The next :meth:`run` resumes from the snapshot's cycle and PC;
+        the continuation is bit-identical to a run that paused there.
+        """
+        snap.apply(self)
+
     def _run_instrumented(self, max_cycles: int = 200_000_000,
                           trace=None,
-                          watchdog_cycles: Optional[int] = None
+                          watchdog_cycles: Optional[int] = None,
+                          until_cycle: Optional[int] = None,
+                          start_cycle: int = 0,
+                          start_pc: Optional[int] = None
                           ) -> SimulationResult:
         """The fully-hooked reference loop (tracing, injection, strict NUAL).
 
@@ -353,8 +412,8 @@ class EpicProcessor:
         # (VLIW parallel semantics), so this is unobservable otherwise.
         store_buffer: List[Tuple[int, int]] = []
 
-        cycle = 0
-        pc = self.program.entry
+        cycle = start_cycle
+        pc = start_pc if start_pc is not None else self.program.entry
         halted = False
 
         while not halted:
@@ -369,6 +428,19 @@ class EpicProcessor:
                     "cycle count",
                     cycle=cycle, pc=pc, limit=watchdog_cycles,
                 )
+            # Quiescent pause point: nothing in flight at all (checked
+            # before the drain), so state is purely architectural.
+            # Limit checks come first — budgets are absolute, and a
+            # segmented run must trip them at the same cycle as an
+            # uninterrupted one.
+            if until_cycle is not None and cycle >= until_cycle \
+                    and not pending:
+                self._paused = True
+                self._resume_cycle = cycle
+                self._resume_pc = pc
+                stats.cycles = cycle
+                return SimulationResult(cycles=cycle, stats=stats,
+                                        halted=False, traps=list(traps))
             if not 0 <= pc < n_bundles:
                 raise TrapError(
                     "control fell outside the program (missing HALT or "

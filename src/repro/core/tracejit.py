@@ -1024,12 +1024,21 @@ class TraceSim:
 
     # -- run loop -------------------------------------------------------
 
-    def run(self, max_cycles: int, watchdog_cycles: Optional[int]) -> int:
+    def run(self, max_cycles: int, watchdog_cycles: Optional[int],
+            until_cycle: Optional[int] = None,
+            start_cycle: int = 0,
+            start_pc: Optional[int] = None) -> int:
         """Execute until HALT; returns the final cycle count.
 
         Identical contract to :meth:`FastSim.run`: statistics fold into
-        the machine's :class:`SimStats` (also on abnormal exits) and
-        the exceptions raised are exactly the instrumented path's.
+        the machine's :class:`SimStats` (also on abnormal exits), the
+        exceptions raised are exactly the instrumented path's, and
+        ``until_cycle``/``start_cycle``/``start_pc`` give the same
+        quiescent pause/resume semantics.  Pauses only happen on the
+        bundle path — a trace is never entered once the pause target is
+        reached (the dispatch guard below requires an empty pending
+        queue, which is exactly the pause condition, and the pause test
+        runs first).
         """
         machine = self._machine
         fastsim = self._fastsim
@@ -1079,8 +1088,8 @@ class TraceSim:
         if watchdog_cycles is not None and watchdog_cycles < limit:
             limit = watchdog_cycles
 
-        cycle = 0
-        pc = machine.program.entry
+        cycle = start_cycle
+        pc = start_pc if start_pc is not None else machine.program.entry
         try:
             while True:
                 if cycle >= limit:
@@ -1094,6 +1103,15 @@ class TraceSim:
                         "expected cycle count",
                         cycle=cycle, pc=pc, limit=watchdog_cycles,
                     )
+                if until_cycle is not None and cycle >= until_cycle \
+                        and not pending:
+                    # Quiescent pause: nothing in flight, state purely
+                    # architectural (budget checks stay first — limits
+                    # are absolute across segments).
+                    machine._paused = True
+                    machine._resume_cycle = cycle
+                    machine._resume_pc = pc
+                    break
                 if not 0 <= pc < n_bundles:
                     raise TrapError(
                         "control fell outside the program (missing HALT "

@@ -21,6 +21,7 @@ from repro.harness.cli import quick_specs
 from repro.harness.faultcampaign import (
     DEFAULT_SPACES,
     campaign_payload,
+    measure_campaign_throughput,
     render_vulnerability_table,
     run_campaign,
 )
@@ -70,6 +71,25 @@ def main(argv=None) -> int:
     parser.add_argument("--verbose", action="store_true",
                         help="print one progress line per injection "
                              "instead of one per 25")
+    parser.add_argument("--no-checkpoints", action="store_true",
+                        help="disable golden checkpoint fast-forwarding "
+                             "(the outcome table is identical either way)")
+    parser.add_argument("--checkpoint-interval", type=int, default=None,
+                        metavar="CYCLES",
+                        help="golden checkpoint spacing in cycles "
+                             "(default: ~24 checkpoints per workload)")
+    parser.add_argument("--checkpoint-store", default=None, metavar="DIR",
+                        help="content-addressed on-disk store for golden "
+                             "checkpoint streams, shared across processes")
+    parser.add_argument("--timing-out", default=None, metavar="FILE",
+                        help="write campaign throughput timings (JSON; "
+                             "non-deterministic, kept out of --json output)")
+    parser.add_argument("--gate-checkpoint-speedup", type=float,
+                        default=None, metavar="X",
+                        help="run each campaign both from zero and "
+                             "checkpointed, verify identical outcome "
+                             "tables, and fail unless the checkpointed "
+                             "pass is >= X times faster")
     arguments = parser.parse_args(argv)
 
     if arguments.n < 1:
@@ -78,11 +98,42 @@ def main(argv=None) -> int:
     if arguments.jobs < 1:
         print("repro-faults: --jobs must be >= 1", file=sys.stderr)
         return 2
+    if arguments.seed == 0:
+        print("repro-faults: --seed must be non-zero (the campaign PRNG "
+              "cannot hold state 0)", file=sys.stderr)
+        return 2
+
+    if arguments.gate_checkpoint_speedup is not None:
+        if arguments.jobs > 1:
+            print("repro-faults: --gate-checkpoint-speedup measures the "
+                  "serial path; drop --jobs", file=sys.stderr)
+            return 2
+        if arguments.no_checkpoints:
+            print("repro-faults: --gate-checkpoint-speedup and "
+                  "--no-checkpoints are contradictory", file=sys.stderr)
+            return 2
 
     if arguments.quick:
         specs = quick_specs(arguments.bench)
     else:
         specs = [WORKLOADS[name]() for name in arguments.bench]
+
+    # Checkpointing knobs travel via the environment so that serve
+    # worker processes (--jobs) observe the same settings; they are
+    # perf knobs only and never enter job digests or the JSON report.
+    if arguments.no_checkpoints:
+        import os
+
+        os.environ["REPRO_CHECKPOINTS"] = "0"
+    if arguments.checkpoint_store:
+        import os
+
+        os.environ["REPRO_CHECKPOINT_STORE"] = arguments.checkpoint_store
+    store = None
+    if arguments.checkpoint_store:
+        from repro.core.snapshot import CheckpointStore
+
+        store = CheckpointStore(arguments.checkpoint_store)
 
     executor = None
     if arguments.jobs > 1:
@@ -101,6 +152,8 @@ def main(argv=None) -> int:
 
     reports = []
     resources = []
+    timings = []
+    gate_failures = []
     try:
         for spec in specs:
             for n_alus in arguments.alus:
@@ -111,15 +164,53 @@ def main(argv=None) -> int:
                     memory_protection=arguments.protect_memory,
                 )
                 injections_done[0] = 0
-                report = run_campaign(
-                    spec, config, arguments.n, arguments.seed,
-                    spaces=arguments.spaces,
-                    watchdog_factor=arguments.watchdog,
-                    progress=lambda message: print(f"  {message}",
-                                                   file=sys.stderr),
-                    on_result=per_injection,
-                    executor=executor,
-                )
+                if arguments.gate_checkpoint_speedup is not None:
+                    report, timing = measure_campaign_throughput(
+                        spec, config, arguments.n, arguments.seed,
+                        spaces=arguments.spaces,
+                        watchdog_factor=arguments.watchdog,
+                        checkpoint_interval=arguments.checkpoint_interval,
+                        checkpoint_store=store,
+                    )
+                    timings.append(timing)
+                    gate = arguments.gate_checkpoint_speedup
+                    verdict = "ok" if timing["speedup"] >= gate else "FAIL"
+                    if verdict == "FAIL":
+                        gate_failures.append(timing)
+                    print(f"  {report.workload} {report.machine}: "
+                          f"checkpointed "
+                          f"{timing['checkpointed']['faults_per_s']:.1f} "
+                          f"faults/s vs from-zero "
+                          f"{timing['from_zero']['faults_per_s']:.1f} — "
+                          f"speedup {timing['speedup']:.2f}x "
+                          f"(gate {gate:.1f}x): {verdict}",
+                          file=sys.stderr)
+                else:
+                    report = run_campaign(
+                        spec, config, arguments.n, arguments.seed,
+                        spaces=arguments.spaces,
+                        watchdog_factor=arguments.watchdog,
+                        progress=lambda message: print(f"  {message}",
+                                                       file=sys.stderr),
+                        on_result=per_injection,
+                        executor=executor,
+                        checkpoints=(False if arguments.no_checkpoints
+                                     else None),
+                        checkpoint_interval=arguments.checkpoint_interval,
+                        checkpoint_store=store,
+                    )
+                    if report.timing is not None:
+                        timing = dict(report.timing)
+                        timing.update(workload=report.workload,
+                                      machine=report.machine,
+                                      n=report.n, seed=report.seed)
+                        timings.append(timing)
+                        print(f"  {report.workload} {report.machine}: "
+                              f"{timing['faults_per_s']:.1f} faults/s "
+                              f"({timing['prefix_cycles_skipped']} prefix "
+                              f"cycles skipped, "
+                              f"{timing['convergence_cuts']} convergence "
+                              f"cuts)", file=sys.stderr)
                 reports.append(report)
                 estimate = estimate_resources(config)
                 resources.append({
@@ -130,6 +221,22 @@ def main(argv=None) -> int:
     except ReproError as error:
         print(f"repro-faults: {error}", file=sys.stderr)
         return 1
+
+    if arguments.timing_out:
+        with open(arguments.timing_out, "w", encoding="utf-8") as handle:
+            json.dump({
+                "timings": timings,
+                "gate": arguments.gate_checkpoint_speedup,
+                "gate_failures": len(gate_failures),
+            }, handle, indent=2)
+            handle.write("\n")
+
+    exit_code = 0
+    if gate_failures:
+        print(f"repro-faults: checkpoint speedup gate "
+              f"({arguments.gate_checkpoint_speedup:.1f}x) failed for "
+              f"{len(gate_failures)} campaign(s)", file=sys.stderr)
+        exit_code = 1
 
     if arguments.json:
         payload = {
@@ -144,7 +251,7 @@ def main(argv=None) -> int:
             "resources": resources,
         }
         print(json.dumps(payload, indent=2))
-        return 0
+        return exit_code
 
     print(f"Fault-injection campaigns: N={arguments.n}, "
           f"seed={arguments.seed}, policy={arguments.policy}, "
@@ -157,7 +264,7 @@ def main(argv=None) -> int:
         for entry in resources:
             print(f"  {entry['machine']}: {entry['slices']} slices, "
                   f"{entry['block_rams']} BRAM (with protection)")
-    return 0
+    return exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -60,6 +60,10 @@ def generate_faults(checker: LockstepChecker, n: int, seed: int,
         raise ValueError("fault count must be non-negative")
     if not spaces:
         raise ValueError("at least one fault space is required")
+    if not seed:
+        # XorShift32 cannot hold state 0; silently substituting another
+        # seed would make two nominally different campaigns identical.
+        raise ValueError("seed must be non-zero")
     config = checker.config
     program = checker.compilation.program
     width = config.datapath_width
@@ -72,7 +76,7 @@ def generate_faults(checker: LockstepChecker, n: int, seed: int,
     btr_bits = max(1, (len(program.bundles) - 1).bit_length())
     cycles = max(1, checker.reference_cycles)
 
-    rng = XorShift32(seed if seed else 1)
+    rng = XorShift32(seed)
     faults: List[FaultSpec] = []
     for _ in range(n):
         space = spaces[rng.below(len(spaces))]
@@ -110,6 +114,11 @@ class CampaignReport:
     reference_cycles: int
     counts: Dict[str, int]
     results: List[InjectionResult] = field(default_factory=list)
+    #: Non-deterministic measurement context (wall time, faults/sec,
+    #: checkpoint fast-forward counters).  Deliberately excluded from
+    #: :func:`campaign_payload` — the JSON report is diffed byte-for-
+    #: byte across serial/parallel/checkpointed runs.
+    timing: Optional[Dict[str, object]] = None
 
     @property
     def sdc_rate(self) -> float:
@@ -202,7 +211,10 @@ def run_campaign(spec: WorkloadSpec, config: MachineConfig,
                      Callable[[InjectionResult], None]] = None,
                  executor=None,
                  cache=None,
-                 shards: Optional[int] = None) -> CampaignReport:
+                 shards: Optional[int] = None,
+                 checkpoints: Optional[bool] = None,
+                 checkpoint_interval: Optional[int] = None,
+                 checkpoint_store=None) -> CampaignReport:
     """Run one seeded campaign of ``n`` injections and aggregate it.
 
     Pass a pre-built ``checker`` to amortise compilation and the golden
@@ -222,18 +234,36 @@ def run_campaign(spec: WorkloadSpec, config: MachineConfig,
     ``progress`` callbacks that capture local state are not forwarded
     to workers; ``on_result`` still fires in the parent as shards
     complete (shard order, not global order).
+
+    ``checkpoints`` toggles golden checkpoint fast-forwarding (see
+    :mod:`repro.core.snapshot`); ``None`` defers to the
+    ``REPRO_CHECKPOINTS`` environment default.  It is a *perf* knob:
+    the report is byte-identical either way, which is also why it never
+    enters the serve job digests.  The report's ``timing`` field
+    carries wall-clock throughput and fast-forward counters.
     """
+    import time as _time
+
+    started = _time.perf_counter()
     if executor is not None or cache is not None:
         from repro.serve import (
             campaign_job, raise_for_failures, run_jobs,
         )
         from repro.serve.jobspec import shard_campaign
+        from repro.serve.worker import campaign_checker
 
         whole = campaign_job(spec, config, n, seed, spaces=spaces,
                              watchdog_factor=watchdog_factor)
         want = shards if shards is not None \
             else getattr(executor, "jobs", 1)
         jobs = shard_campaign(whole, want) if want > 1 else [whole]
+        if cache is None:
+            # Warm the process-level checker memo before dispatch: a
+            # forking PoolExecutor's workers inherit the compiled
+            # checker (and its golden checkpoint stream) instead of
+            # each rebuilding it.  With a result cache the jobs may
+            # never run at all, so skip the warm-up.
+            campaign_checker(whole).prepare_checkpoints()
 
         def handle(outcome) -> None:
             if not outcome.ok:
@@ -254,12 +284,36 @@ def run_campaign(spec: WorkloadSpec, config: MachineConfig,
         for outcome in outcomes:  # input order == fault-index order
             results.extend(result_from_payload(entry)
                            for entry in outcome.payload["outcomes"])
-        return report_from_results(spec, config, n, seed,
-                                   reference_cycles, results)
+        report = report_from_results(spec, config, n, seed,
+                                     reference_cycles, results)
+        elapsed = _time.perf_counter() - started
+        shard_metas = [outcome.meta for outcome in outcomes
+                       if outcome.meta and "faults_run" in outcome.meta]
+        report.timing = {
+            "elapsed_s": elapsed,
+            "faults_per_s": n / elapsed if elapsed > 0 else 0.0,
+            "checkpointed": any(meta.get("checkpointed")
+                                for meta in shard_metas),
+            "prefix_cycles_skipped": sum(
+                meta.get("ff_cycles_skipped", 0) for meta in shard_metas),
+            "convergence_cuts": sum(
+                meta.get("ff_convergence_cuts", 0) for meta in shard_metas),
+        }
+        return report
 
     if checker is None:
+        if checkpoints is None:
+            from repro.serve.worker import checkpoints_enabled
+
+            checkpoints = checkpoints_enabled()
         checker = LockstepChecker(spec, config,
-                                  watchdog_factor=watchdog_factor)
+                                  watchdog_factor=watchdog_factor,
+                                  checkpoints=checkpoints,
+                                  checkpoint_interval=checkpoint_interval,
+                                  checkpoint_store=checkpoint_store)
+    elif checkpoints is not None:
+        checker.checkpoints = checkpoints
+    ff_before = checker.fastforward_stats()
     faults = generate_faults(checker, n, seed, spaces)
     results = []
     for number, fault in enumerate(faults, start=1):
@@ -269,8 +323,82 @@ def run_campaign(spec: WorkloadSpec, config: MachineConfig,
             on_result(result)
         if progress is not None and number % 25 == 0:
             progress(f"{spec.name}: {number}/{n} injections")
-    return report_from_results(spec, config, n, seed,
-                               checker.reference_cycles, results)
+    report = report_from_results(spec, config, n, seed,
+                                 checker.reference_cycles, results)
+    elapsed = _time.perf_counter() - started
+    ff_after = checker.fastforward_stats()
+    report.timing = {
+        "elapsed_s": elapsed,
+        "faults_per_s": n / elapsed if elapsed > 0 else 0.0,
+        "checkpointed": bool(checker.checkpoints),
+        "prefix_cycles_skipped":
+            ff_after["cycles_skipped"] - ff_before["cycles_skipped"],
+        "convergence_cuts":
+            ff_after["convergence_cuts"] - ff_before["convergence_cuts"],
+    }
+    return report
+
+
+def measure_campaign_throughput(
+        spec: WorkloadSpec, config: MachineConfig, n: int, seed: int,
+        spaces: Sequence[str] = DEFAULT_SPACES,
+        watchdog_factor: float = 4.0,
+        checkpoint_interval: Optional[int] = None,
+        checkpoint_store=None,
+        progress: Optional[Callable[[str], None]] = None,
+        ) -> Tuple[CampaignReport, Dict[str, object]]:
+    """Run one campaign twice — from zero, then checkpointed — and
+    compare.
+
+    Both passes share one :class:`LockstepChecker` (same compile,
+    golden model and reference run), differing only in the
+    ``checkpoints`` toggle, so the measured ratio isolates the
+    fast-forward machinery.  The two reports must be byte-identical
+    (:func:`campaign_payload` forms are diffed; a mismatch raises) —
+    the speedup is only meaningful if the answers agree.
+
+    Returns the checkpointed report plus a timing record with both
+    passes' timings and the ``speedup`` ratio.
+    """
+    from repro.errors import SimulationError
+
+    checker = LockstepChecker(spec, config,
+                              watchdog_factor=watchdog_factor,
+                              checkpoints=False,
+                              checkpoint_interval=checkpoint_interval,
+                              checkpoint_store=checkpoint_store)
+    baseline = run_campaign(spec, config, n, seed, spaces=spaces,
+                            watchdog_factor=watchdog_factor,
+                            checker=checker, progress=progress,
+                            checkpoints=False)
+    # Capture the golden stream outside the timed region: it is a
+    # one-time cost per (workload, machine), amortised across shards
+    # and processes by the CheckpointStore, so steady-state campaign
+    # throughput is the honest comparison.
+    checker.checkpoints = True
+    checker.prepare_checkpoints()
+    fastrun = run_campaign(spec, config, n, seed, spaces=spaces,
+                           watchdog_factor=watchdog_factor,
+                           checker=checker, progress=progress,
+                           checkpoints=True)
+    if campaign_payload([baseline]) != campaign_payload([fastrun]):
+        raise SimulationError(
+            f"checkpointed campaign diverged from the from-zero "
+            f"campaign on {spec.name}/{config.n_alus} ALUs — the "
+            f"fast-forward machinery is not exact")
+    from_zero_s = baseline.timing["elapsed_s"]
+    checkpointed_s = fastrun.timing["elapsed_s"]
+    timing = {
+        "workload": fastrun.workload,
+        "machine": fastrun.machine,
+        "n": n,
+        "seed": seed,
+        "from_zero": dict(baseline.timing),
+        "checkpointed": dict(fastrun.timing),
+        "speedup": (from_zero_s / checkpointed_s
+                    if checkpointed_s > 0 else float("inf")),
+    }
+    return fastrun, timing
 
 
 def render_vulnerability_table(reports: Sequence[CampaignReport]) -> str:

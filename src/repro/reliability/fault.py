@@ -130,6 +130,35 @@ class FaultInjector:
         self._next_state = 0
         self._next_fetch = 0
 
+    # -- campaign fast-forward hooks ---------------------------------------
+
+    @property
+    def first_cycle(self) -> Optional[int]:
+        """Cycle of the earliest pending fault (None when fault-free).
+
+        Before this cycle the injector's hooks are provably no-ops, so
+        a run may be fast-forwarded to any point at or before it (see
+        :mod:`repro.core.snapshot`).
+        """
+        cycles = []
+        if self._state_faults:
+            cycles.append(self._state_faults[0].cycle)
+        if self._ifetch_faults:
+            cycles.append(self._ifetch_faults[0].cycle)
+        return min(cycles) if cycles else None
+
+    @property
+    def quiescent(self) -> bool:
+        """True once the injector can never touch the machine again:
+        every one-shot fault has been consumed and no stuck-at bit is
+        being re-asserted.  A prerequisite for the convergence cut — a
+        state match against the golden run only proves identical
+        continuation if no future injection can diverge it.
+        """
+        return (self._next_state >= len(self._state_faults)
+                and self._next_fetch >= len(self._ifetch_faults)
+                and not self._stuck)
+
     # -- machine binding ---------------------------------------------------
 
     def attach(self, machine) -> None:

@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Sequence, Union
 from repro.backend import compile_ir_to_epic
 from repro.config import MachineConfig
 from repro.core import EpicProcessor
+from repro.core.snapshot import CheckpointStore, capture_checkpoints
 from repro.errors import (
     CycleLimitExceeded,
     SimulationError,
@@ -41,6 +42,13 @@ from repro.errors import (
 from repro.ir.interp import Interpreter
 from repro.reliability.fault import FaultInjector, FaultSpec
 from repro.workloads import WorkloadSpec
+
+#: Checkpoint spacing defaults: aim for ~``_CHECKPOINT_COUNT`` golden
+#: checkpoints per workload but never space them closer than
+#: ``_MIN_CHECKPOINT_INTERVAL`` cycles (a snapshot costs more than
+#: simulating a few dozen cycles).
+_MIN_CHECKPOINT_INTERVAL = 64
+_CHECKPOINT_COUNT = 24
 
 
 class Outcome(enum.Enum):
@@ -84,7 +92,10 @@ class LockstepChecker:
 
     def __init__(self, spec: WorkloadSpec, config: MachineConfig,
                  watchdog_factor: float = 4.0,
-                 max_cycles: int = 200_000_000):
+                 max_cycles: int = 200_000_000,
+                 checkpoints: bool = True,
+                 checkpoint_interval: Optional[int] = None,
+                 checkpoint_store: Optional[CheckpointStore] = None):
         from repro.lang.compile import compile_minic  # local: avoid cycle
 
         self.spec = spec
@@ -109,6 +120,88 @@ class LockstepChecker:
                 f"lockstep baseline broken on {spec.name}: {mismatch}")
         self.reference_cycles = result.cycles
         self.watchdog_cycles = int(result.cycles * watchdog_factor) + 1024
+
+        #: Checkpoint fast-forwarding (see :mod:`repro.core.snapshot`).
+        #: ``checkpoints`` may be toggled at any time; the golden
+        #: checkpoint stream is built lazily on the first injected run
+        #: that can use it.  A reference run that traps disables the
+        #: machinery outright: the convergence cut assumes a trap-free
+        #: golden trajectory.
+        self.checkpoints = checkpoints
+        self.checkpoint_interval = checkpoint_interval
+        self.checkpoint_store = checkpoint_store
+        self._checkpoints_ok = not result.traps
+        self._stream = None
+        self._campaign_cpu = None
+        #: Fast-forward telemetry, cumulative over :meth:`run_one` calls.
+        self.ff_restores = 0
+        self.ff_cycles_skipped = 0
+        self.ff_convergence_cuts = 0
+
+    # -- checkpointing -----------------------------------------------------
+
+    def fastforward_stats(self) -> Dict[str, int]:
+        """Cumulative fast-forward counters (for campaign timing)."""
+        return {
+            "restores": self.ff_restores,
+            "cycles_skipped": self.ff_cycles_skipped,
+            "convergence_cuts": self.ff_convergence_cuts,
+            "checkpoints": len(self._stream) if self._stream else 0,
+        }
+
+    def prepare_checkpoints(self) -> bool:
+        """Build (or fetch) the golden checkpoint stream eagerly.
+
+        Returns whether checkpointing is active.  Useful before forking
+        campaign workers, so they inherit the stream instead of each
+        rebuilding it.
+        """
+        if not (self.checkpoints and self._checkpoints_ok):
+            return False
+        self._checkpoint_stream()
+        return True
+
+    def _checkpoint_stream(self):
+        """The golden checkpoint stream (built or fetched on demand)."""
+        if self._stream is None:
+            interval = self.checkpoint_interval
+            if interval is None:
+                interval = max(_MIN_CHECKPOINT_INTERVAL,
+                               self.reference_cycles // _CHECKPOINT_COUNT)
+            program = self.compilation.program
+            stream = None
+            if self.checkpoint_store is not None:
+                stream = self.checkpoint_store.get(
+                    self.config, program, self.spec.mem_words, interval)
+            if stream is None:
+                stream = capture_checkpoints(
+                    self.config, program, self.spec.mem_words, interval,
+                    max_cycles=self.max_cycles)
+                if self.checkpoint_store is not None:
+                    self.checkpoint_store.put(
+                        self.config, program, self.spec.mem_words, stream)
+            if stream.reference_cycles != self.reference_cycles:
+                raise SimulationError(
+                    f"golden checkpoint stream disagrees with the "
+                    f"reference run ({stream.reference_cycles} vs "
+                    f"{self.reference_cycles} cycles); stale store?")
+            self._stream = stream
+        return self._stream
+
+    def _campaign_machine(self) -> EpicProcessor:
+        """One persistent machine reused across injected runs.
+
+        Every run starts by restoring a golden snapshot, which resets
+        the *complete* machine state in place, so reuse is exact — and
+        it lets the predecoded bundles and the specialised fast engine
+        (compiled on the first post-quiescence handoff) amortise over
+        the whole campaign instead of being rebuilt per fault.
+        """
+        if self._campaign_cpu is None:
+            self._campaign_cpu = EpicProcessor(
+                self.config, self.compilation.program,
+                mem_words=self.spec.mem_words)
+        return self._campaign_cpu
 
     # -- output comparison -------------------------------------------------
 
@@ -151,12 +244,84 @@ class LockstepChecker:
             first = faults[0] if faults else None
 
         injector = FaultInjector(faults)
-        cpu = EpicProcessor(self.config, self.compilation.program,
-                            mem_words=self.spec.mem_words,
-                            injector=injector)
+
+        # Checkpoint fast-forward: the injector's hooks are no-ops
+        # before its earliest fault cycle, so the run may start from
+        # the latest golden checkpoint at or before it (exact — see
+        # repro.core.snapshot).  Fault-free runs skip the machinery.
+        stream = None
+        first_cycle = injector.first_cycle
+        if self.checkpoints and self._checkpoints_ok \
+                and first_cycle is not None:
+            stream = self._checkpoint_stream()
+        if stream is not None:
+            # nearest() always succeeds: a stream starts with the
+            # cycle-0 snapshot, so the worst case is a plain cold start
+            # on the (reused, fully restored) campaign machine.
+            snap = stream.nearest(first_cycle)
+            cpu = self._campaign_machine()
+            cpu.restore(snap)
+            cpu.injector = injector
+            injector.attach(cpu)
+            if snap.cycle > 0:
+                self.ff_restores += 1
+                self.ff_cycles_skipped += snap.cycle
+        else:
+            cpu = EpicProcessor(self.config, self.compilation.program,
+                                mem_words=self.spec.mem_words,
+                                injector=injector)
         try:
-            result = cpu.run(max_cycles=self.max_cycles,
-                             watchdog_cycles=self.watchdog_cycles)
+            result = None
+            if stream is not None and faults:
+                # Early engine handoff: pause at the first quiescent
+                # cycle after the last scheduled fault.  If every
+                # one-shot fault has been consumed and nothing is
+                # stuck, the injector can never act again — detach it
+                # so the remainder runs on the fast engine.
+                handoff = max(f.cycle for f in faults) + 1
+                if handoff > cpu._resume_cycle:
+                    segment = cpu.run(max_cycles=self.max_cycles,
+                                      watchdog_cycles=self.watchdog_cycles,
+                                      until_cycle=handoff)
+                    if segment.halted:
+                        result = segment
+                if result is None and injector.quiescent \
+                        and cpu.injector is not None:
+                    cpu.injector = None
+            if result is None and stream is not None:
+                # Segmented run with a convergence cut: pause at each
+                # remaining golden checkpoint cycle; once the injector
+                # can never fire again and the paused state equals the
+                # golden snapshot bit-for-bit, the continuation is the
+                # reference trajectory — classify MASKED immediately
+                # with the reference's final cycle count.
+                for snap in stream.after(cpu._resume_cycle):
+                    segment = cpu.run(max_cycles=self.max_cycles,
+                                      watchdog_cycles=self.watchdog_cycles,
+                                      until_cycle=snap.cycle)
+                    if segment.halted:
+                        result = segment
+                        break
+                    if (segment.cycles == snap.cycle
+                            and injector.quiescent
+                            and not cpu.traps
+                            and snap.matches_state(cpu)):
+                        self.ff_convergence_cuts += 1
+                        return InjectionResult(first, Outcome.MASKED,
+                                               "outputs match",
+                                               self.reference_cycles)
+                    if cpu.injector is not None and injector.quiescent:
+                        # Engine handoff: a quiescent injector's hooks
+                        # are provably no-ops for the rest of the run,
+                        # so detach it — run() then picks the fast
+                        # engine when the program (and any planted
+                        # parity poison) allows, falling back to the
+                        # instrumented loop otherwise.  All engines are
+                        # bit-identical, traps and budgets included.
+                        cpu.injector = None
+            if result is None:
+                result = cpu.run(max_cycles=self.max_cycles,
+                                 watchdog_cycles=self.watchdog_cycles)
         except CycleLimitExceeded as error:
             # HangDetected (the watchdog) or the outer safety net: either
             # way the run did not converge.

@@ -21,6 +21,7 @@ that importing :mod:`repro.serve` stays cheap and cycle-free.
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from typing import Dict, Tuple
@@ -63,14 +64,60 @@ def _execute_sweep(spec: JobSpec) -> Tuple[Payload, Payload]:
     return payload, {}
 
 
-def _execute_campaign(spec: JobSpec) -> Tuple[Payload, Payload]:
-    from repro.harness.faultcampaign import generate_faults, result_payload
+#: Process-level campaign-checker memo: one MiniC -> IR -> EPIC compile,
+#: golden interpreter run and fault-free reference run per (workload,
+#: machine) pair per worker process, shared by every campaign shard the
+#: process executes.  Under a forking PoolExecutor a checker warmed in
+#: the parent is inherited by the workers for free.
+_CHECKER_MEMO: Dict[tuple, object] = {}
+
+
+def checkpoints_enabled() -> bool:
+    """Checkpoint fast-forwarding toggle (``REPRO_CHECKPOINTS`` env).
+
+    A perf knob, not a result knob — outcome tables are byte-identical
+    either way, which is why it travels out-of-band instead of in the
+    job spec (whose digest keys the result cache).
+    """
+    return os.environ.get("REPRO_CHECKPOINTS", "1").lower() \
+        not in ("0", "off", "no", "false")
+
+
+def checkpoint_store():
+    """Shared on-disk checkpoint store (``REPRO_CHECKPOINT_STORE`` env),
+    or ``None`` to keep golden streams in-process only."""
+    path = os.environ.get("REPRO_CHECKPOINT_STORE")
+    if not path:
+        return None
+    from repro.core.snapshot import CheckpointStore
+
+    return CheckpointStore(path)
+
+
+def campaign_checker(spec: JobSpec):
+    """The memoised lockstep checker for a campaign job."""
     from repro.reliability import LockstepChecker
 
-    workload = build_workload(spec)
-    checker = LockstepChecker(workload, spec.config,
-                              watchdog_factor=spec.watchdog_factor,
-                              max_cycles=spec.max_cycles)
+    key = (spec.workload, spec.workload_args,
+           json.dumps(spec.config.canonical(), sort_keys=True),
+           spec.watchdog_factor, spec.max_cycles)
+    checker = _CHECKER_MEMO.get(key)
+    if checker is None:
+        checker = LockstepChecker(build_workload(spec), spec.config,
+                                  watchdog_factor=spec.watchdog_factor,
+                                  max_cycles=spec.max_cycles,
+                                  checkpoints=checkpoints_enabled(),
+                                  checkpoint_store=checkpoint_store())
+        _CHECKER_MEMO[key] = checker
+    return checker
+
+
+def _execute_campaign(spec: JobSpec) -> Tuple[Payload, Payload]:
+    from repro.harness.faultcampaign import generate_faults, result_payload
+
+    started = time.perf_counter()
+    checker = campaign_checker(spec)
+    before = checker.fastforward_stats()
     faults = generate_faults(checker, spec.n, spec.seed, spec.spaces)
     stop = spec.n if spec.fault_count < 0 \
         else min(spec.n, spec.fault_offset + spec.fault_count)
@@ -79,7 +126,7 @@ def _execute_campaign(spec: JobSpec) -> Tuple[Payload, Payload]:
         for fault in faults[spec.fault_offset:stop]
     ]
     payload: Payload = {
-        "workload": workload.name,
+        "workload": checker.spec.name,
         "machine": f"EPIC-{spec.config.n_alus}ALU",
         "n": spec.n,
         "seed": spec.seed,
@@ -87,7 +134,20 @@ def _execute_campaign(spec: JobSpec) -> Tuple[Payload, Payload]:
         "reference_cycles": checker.reference_cycles,
         "outcomes": outcomes,
     }
-    return payload, {}
+    after = checker.fastforward_stats()
+    elapsed = time.perf_counter() - started
+    meta: Payload = {
+        "elapsed_s": elapsed,
+        "faults_run": len(outcomes),
+        "faults_per_s": len(outcomes) / elapsed if elapsed > 0 else 0.0,
+        "checkpointed": bool(checker.checkpoints),
+        "ff_restores": after["restores"] - before["restores"],
+        "ff_cycles_skipped":
+            after["cycles_skipped"] - before["cycles_skipped"],
+        "ff_convergence_cuts":
+            after["convergence_cuts"] - before["convergence_cuts"],
+    }
+    return payload, meta
 
 
 #: JobSpec engine names -> bench_cell engine tuples.

@@ -163,6 +163,18 @@ class TestSemantics:
         with pytest.raises(SimulationError):
             _sim(program).run(max_instructions=100)
 
+    def test_instruction_budget_is_structured(self):
+        from repro.errors import CycleLimitExceeded
+
+        program = [MOp("B", target="main")]
+        with pytest.raises(CycleLimitExceeded) as excinfo:
+            _sim(program).run(max_instructions=100)
+        error = excinfo.value
+        assert error.limit == 100
+        assert error.cycle > 0
+        assert "100 instructions" in str(error)
+        assert "cycles" in str(error)
+
     def test_unknown_opcode(self):
         program = [MOp("FNORD"), _halt_via_jr()]
         with pytest.raises(SimulationError):

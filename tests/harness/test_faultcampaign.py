@@ -58,6 +58,12 @@ class TestFaultGeneration:
         with pytest.raises(ValueError):
             generate_faults(checker, 1, seed=1, spaces=())
 
+    def test_seed_zero_rejected(self, checker):
+        # XorShift32 maps state 0 to itself, so seed 0 would silently
+        # alias to a degenerate all-identical fault stream.
+        with pytest.raises(ValueError, match="non-zero"):
+            generate_faults(checker, 10, seed=0)
+
 
 class TestCampaignDeterminism:
     def test_same_seed_identical_outcome_tables(self):

@@ -1,0 +1,115 @@
+"""Differential proof: checkpointed campaigns equal from-zero campaigns.
+
+The acceptance property of the fast-forward machinery: for every
+workload, machine width and fault space, the outcome table produced
+with checkpoint restore + early-convergence cuts is byte-identical to
+the one produced by simulating every injection from cycle zero —
+same outcome, same detail string, same cycle count, same trap cause.
+
+Checkpoint intervals are randomised (seeded) so the grid keeps probing
+different restore/cut points rather than one blessed spacing.
+"""
+
+import json
+
+import pytest
+
+from repro.config import epic_with_alus
+from repro.harness.cli import quick_specs
+from repro.harness.faultcampaign import (
+    campaign_payload,
+    generate_faults,
+    run_campaign,
+)
+from repro.reliability import FAULT_SPACES, LockstepChecker
+from repro.workloads.common import XorShift32
+from tests.reliability.test_lockstep import tiny_spec
+
+#: Seeded interval stream: every pytest run probes the same grid, but
+#: each (workload, machine) cell gets its own checkpoint spacing.
+_INTERVALS = XorShift32(0xC0FFEE)
+
+GRID = [(name, n_alus)
+        for name in ("SHA", "AES", "DCT", "Dijkstra")
+        for n_alus in (1, 2, 3, 4)]
+
+
+def _differential(spec, config, n, seed, interval, spaces=None):
+    """One campaign both ways on a shared checker; assert byte equality."""
+    checker = LockstepChecker(spec, config, checkpoints=False,
+                              checkpoint_interval=interval)
+    kwargs = {"spaces": tuple(spaces)} if spaces else {}
+    baseline = run_campaign(spec, config, n, seed, checker=checker,
+                            checkpoints=False, **kwargs)
+    fast = run_campaign(spec, config, n, seed, checker=checker,
+                        checkpoints=True, **kwargs)
+    left = json.dumps(campaign_payload([baseline]), sort_keys=True)
+    right = json.dumps(campaign_payload([fast]), sort_keys=True)
+    assert left == right
+    return checker
+
+
+class TestWorkloadMachineGrid:
+    """All four paper workloads at every datapath width, all spaces."""
+
+    @pytest.mark.parametrize("name,n_alus", GRID,
+                             ids=[f"{n}-{a}alu" for n, a in GRID])
+    def test_outcome_tables_byte_identical(self, name, n_alus):
+        spec = quick_specs([name])[0]
+        interval = 32 + _INTERVALS.next() % 4096
+        _differential(spec, epic_with_alus(n_alus), n=4, seed=11,
+                      interval=interval)
+
+
+class TestPerSpaceDifferential:
+    """Each fault space alone, on a fast-compiling tiny workload."""
+
+    @pytest.mark.parametrize("space", sorted(FAULT_SPACES))
+    def test_single_space_byte_identical(self, space):
+        interval = 8 + _INTERVALS.next() % 64
+        _differential(tiny_spec(), epic_with_alus(2), n=8, seed=5,
+                      interval=interval, spaces=(space,))
+
+
+class TestFastForwardMechanics:
+    @pytest.fixture(scope="class")
+    def checker(self):
+        return LockstepChecker(tiny_spec(), epic_with_alus(2),
+                               checkpoint_interval=16)
+
+    def test_prepare_builds_a_stream(self, checker):
+        assert checker.prepare_checkpoints()
+        assert checker.fastforward_stats()["checkpoints"] > 1
+
+    def test_campaign_actually_fast_forwards(self, checker):
+        before = checker.fastforward_stats()
+        for fault in generate_faults(checker, 12, seed=9):
+            checker.run_one(fault)
+        after = checker.fastforward_stats()
+        # At least one injection landed late enough to skip a prefix,
+        # and the skipped prefix is real simulated work not done.
+        assert after["restores"] > before["restores"]
+        assert after["cycles_skipped"] > before["cycles_skipped"]
+
+    def test_convergence_cut_on_early_masked_fault(self, checker):
+        # A flip of the hardwired zero register can never propagate:
+        # the run must converge onto the golden stream and be cut
+        # without simulating to completion.
+        from repro.reliability import SPACE_GPR, FaultSpec, Outcome
+
+        before = checker.fastforward_stats()["convergence_cuts"]
+        result = checker.run_one(FaultSpec(SPACE_GPR, 0, 1, 2))
+        after = checker.fastforward_stats()["convergence_cuts"]
+        assert result.outcome is Outcome.MASKED
+        assert result.detail == "outputs match"
+        assert result.cycles == checker.reference_cycles
+        assert after == before + 1
+
+    def test_disabled_checkpoints_never_restore(self):
+        checker = LockstepChecker(tiny_spec(), epic_with_alus(2),
+                                  checkpoints=False)
+        for fault in generate_faults(checker, 6, seed=3):
+            checker.run_one(fault)
+        stats = checker.fastforward_stats()
+        assert stats == {"restores": 0, "cycles_skipped": 0,
+                         "convergence_cuts": 0, "checkpoints": 0}

@@ -1,0 +1,85 @@
+"""Worker-process compilation reuse and checkpoint environment knobs."""
+
+import pytest
+
+from repro.config import epic_with_alus
+from repro.harness.cli import quick_specs
+from repro.serve.jobspec import campaign_job
+from repro.serve.worker import (
+    _CHECKER_MEMO,
+    campaign_checker,
+    checkpoint_store,
+    checkpoints_enabled,
+    execute_spec,
+)
+
+
+@pytest.fixture()
+def sha_job():
+    spec = quick_specs(["SHA"])[0]
+    return campaign_job(spec, epic_with_alus(2), n=2, seed=3)
+
+
+class TestCheckerMemo:
+    def test_same_key_reuses_the_checker(self, sha_job):
+        first = campaign_checker(sha_job)
+        second = campaign_checker(sha_job)
+        assert first is second
+
+    def test_shards_of_one_campaign_share_a_checker(self, sha_job):
+        spec = quick_specs(["SHA"])[0]
+        shard = campaign_job(spec, epic_with_alus(2), n=2, seed=3,
+                             fault_offset=1, fault_count=1)
+        assert campaign_checker(sha_job) is campaign_checker(shard)
+
+    def test_different_machine_gets_its_own_checker(self, sha_job):
+        spec = quick_specs(["SHA"])[0]
+        other = campaign_job(spec, epic_with_alus(4), n=2, seed=3)
+        assert campaign_checker(sha_job) is not campaign_checker(other)
+
+    def test_execute_campaign_reports_fastforward_meta(self, sha_job):
+        payload, meta = execute_spec(sha_job)
+        assert payload["workload"] == "SHA"
+        assert len(payload["outcomes"]) == 2
+        assert meta["faults_run"] == 2
+        for key in ("elapsed_s", "faults_per_s", "checkpointed",
+                    "ff_restores", "ff_cycles_skipped",
+                    "ff_convergence_cuts"):
+            assert key in meta
+
+
+class TestEnvironmentKnobs:
+    def test_checkpoints_default_on(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHECKPOINTS", raising=False)
+        assert checkpoints_enabled()
+
+    @pytest.mark.parametrize("value", ["0", "off", "no", "false", "OFF"])
+    def test_checkpoints_disabled(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_CHECKPOINTS", value)
+        assert not checkpoints_enabled()
+
+    def test_checkpoints_explicit_on(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECKPOINTS", "1")
+        assert checkpoints_enabled()
+
+    def test_store_absent_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHECKPOINT_STORE", raising=False)
+        assert checkpoint_store() is None
+
+    def test_store_built_from_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CHECKPOINT_STORE", str(tmp_path))
+        store = checkpoint_store()
+        assert store is not None
+        assert store.root == str(tmp_path)
+
+    def test_memo_respects_disabled_checkpoints(self, monkeypatch):
+        # A checker built while checkpoints are off must not
+        # fast-forward; the memo key does not include the env, so use
+        # a distinct (workload, machine) cell to get a fresh build.
+        monkeypatch.setenv("REPRO_CHECKPOINTS", "0")
+        _CHECKER_MEMO.clear()
+        spec = quick_specs(["SHA"])[0]
+        job = campaign_job(spec, epic_with_alus(3), n=1, seed=7)
+        checker = campaign_checker(job)
+        assert not checker.checkpoints
+        _CHECKER_MEMO.clear()
