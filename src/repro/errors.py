@@ -170,3 +170,49 @@ class ServeError(ReproError):
     """Job-serving failure: an unserialisable job spec, a malformed
     batch file, a corrupt cache record, or a job that did not finish
     (crash, timeout, or in-job error) surfaced by an executor."""
+
+
+class InfraError(ServeError):
+    """The serving *infrastructure* failed, as opposed to the job.
+
+    A job error means the evaluation itself raised; an infrastructure
+    error means the fabric around it — process spawning, the submission
+    queue, the daemon — could not do its part.  The distinction matters
+    for retry policy: job errors are deterministic and never retried,
+    infrastructure errors are environmental and often transient.
+    """
+
+
+class SpawnError(InfraError):
+    """Worker-process creation failed (fork/spawn refused by the OS).
+
+    Only raised when the pool is configured *not* to degrade to serial
+    in-process execution; carries the original OS error message.
+    """
+
+
+class QueueFullError(InfraError):
+    """The daemon's bounded submission queue rejected a batch.
+
+    Back-pressure, not failure: ``retry_after`` tells the client how
+    many seconds to wait before resubmitting (the daemon surfaces it as
+    an HTTP 429 with a ``Retry-After`` header).
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        self.retry_after = retry_after
+        super().__init__(message)
+
+
+class QuotaExceededError(QueueFullError):
+    """One client holds too many pending jobs; others still get in."""
+
+    def __init__(self, message: str, client: str,
+                 retry_after: float = 1.0):
+        self.client = client
+        super().__init__(message, retry_after)
+
+
+class DaemonError(InfraError):
+    """Daemon lifecycle or protocol failure (bad request, wait timeout,
+    submission after drain, unreachable or misbehaving server)."""

@@ -137,9 +137,9 @@ def main(argv=None) -> int:
 
     executor = None
     if arguments.jobs > 1:
-        from repro.serve import PoolExecutor
+        from repro.serve import SupervisedPool
 
-        executor = PoolExecutor(jobs=arguments.jobs)
+        executor = SupervisedPool(jobs=arguments.jobs)
 
     injections_done = [0]
 

@@ -633,9 +633,9 @@ def main(argv=None) -> int:
 
     executor = None
     if arguments.jobs > 1:
-        from repro.serve import PoolExecutor
+        from repro.serve import SupervisedPool
 
-        executor = PoolExecutor(jobs=arguments.jobs)
+        executor = SupervisedPool(jobs=arguments.jobs)
 
     def on_cell(cell: Dict[str, object]) -> None:
         if not arguments.verbose:

@@ -18,6 +18,19 @@ seed) triple.  This package turns those evaluations into first-class
 * :class:`~repro.serve.cache.ResultCache` — a content-addressed
   on-disk store of job results keyed by job digest and a code-version
   salt, with hit/miss/invalidation statistics;
+* :class:`~repro.serve.supervisor.SupervisedPool` — the pool hardened
+  into a fault-tolerant fabric: worker heartbeats + hung-worker
+  watchdog (SIGTERM -> SIGKILL reap escalation), retries with
+  deterministic exponential backoff, poison-job quarantine, and
+  graceful degradation to in-process execution when spawning fails;
+* :mod:`repro.serve.daemon` — a long-running HTTP/JSON job service
+  (submit batches, stream results, peek the cache by digest) with a
+  bounded back-pressured queue, per-client quotas, a durable spool,
+  and drain/restart semantics that keep every job exactly-once;
+* :mod:`repro.serve.chaos` — deterministic *infrastructure* fault
+  injection (worker kills/hangs, cache corruption, dropped
+  connections) plus the differential harness proving none of it can
+  change an outcome table;
 * the ``repro-serve`` CLI (:mod:`repro.serve.cli`) — runs batch files
   of jobs, reports throughput, and warms or verifies the cache.
 
@@ -51,13 +64,16 @@ from repro.serve.executors import (
     STATUS_CRASHED,
     STATUS_ERROR,
     STATUS_OK,
+    STATUS_POISONED,
     STATUS_TIMEOUT,
     JobOutcome,
     PoolExecutor,
     SerialExecutor,
     raise_for_failures,
+    reap_process,
     run_jobs,
 )
+from repro.serve.supervisor import SupervisedPool
 from repro.serve.cache import CacheStats, ResultCache, code_salt
 from repro.serve.worker import execute_spec
 
@@ -78,11 +94,14 @@ __all__ = [
     "STATUS_CRASHED",
     "STATUS_ERROR",
     "STATUS_OK",
+    "STATUS_POISONED",
     "STATUS_TIMEOUT",
     "JobOutcome",
     "PoolExecutor",
     "SerialExecutor",
+    "SupervisedPool",
     "raise_for_failures",
+    "reap_process",
     "run_jobs",
     "CacheStats",
     "ResultCache",

@@ -67,12 +67,22 @@ def code_salt() -> str:
 
 @dataclass
 class CacheStats:
-    """Read/write accounting for one :class:`ResultCache` session."""
+    """Read/write accounting for one :class:`ResultCache` session.
+
+    ``invalidations`` counts every record deleted on read;
+    ``corrupt`` is the subset caused by *corruption* (truncated or
+    unparsable records — e.g. a worker killed mid-``put`` on a
+    filesystem without atomic replace) as opposed to salt/schema/digest
+    mismatches, which are expected whenever the code changes.  A
+    non-zero ``corrupt`` under the atomic writer points at real
+    storage trouble and is worth alerting on.
+    """
 
     hits: int = 0
     misses: int = 0
     puts: int = 0
     invalidations: int = 0
+    corrupt: int = 0
 
     @property
     def lookups(self) -> int:
@@ -88,6 +98,7 @@ class CacheStats:
             "misses": self.misses,
             "puts": self.puts,
             "invalidations": self.invalidations,
+            "corrupt": self.corrupt,
             "hit_rate": round(self.hit_rate, 4),
         }
 
@@ -110,7 +121,17 @@ class ResultCache:
 
     def get(self, spec: JobSpec) -> Optional[Dict[str, object]]:
         """The cached payload for ``spec``, or None (miss/invalidated)."""
-        digest = spec.digest()
+        return self.peek(spec.digest())
+
+    def peek(self, digest: str) -> Optional[Dict[str, object]]:
+        """The payload stored under a raw ``digest``, or None.
+
+        Same validation path as :meth:`get` — a record that cannot be
+        parsed (corruption), or whose schema/salt/digest no longer
+        match, is invalidated and reported as a miss.  This is the
+        daemon's cache-peek endpoint: clients hold job digests, not
+        specs.
+        """
         path = self.path_for(digest)
         try:
             with open(path, "r", encoding="utf-8") as handle:
@@ -118,21 +139,26 @@ class ResultCache:
         except FileNotFoundError:
             self.stats.misses += 1
             return None
-        except (OSError, json.JSONDecodeError):
-            self._invalidate(path)
+        except (OSError, ValueError):
+            # Unparsable bytes: a truncated or garbled record, not a
+            # version mismatch.
+            self._invalidate(path, corrupt=True)
             return None
-        if (not isinstance(record, dict)
-                or record.get("schema") != CACHE_SCHEMA_VERSION
+        if not isinstance(record, dict) or "payload" not in record:
+            self._invalidate(path, corrupt=True)
+            return None
+        if (record.get("schema") != CACHE_SCHEMA_VERSION
                 or record.get("salt") != self.salt
-                or record.get("digest") != digest
-                or "payload" not in record):
+                or record.get("digest") != digest):
             self._invalidate(path)
             return None
         self.stats.hits += 1
         return record["payload"]
 
-    def _invalidate(self, path: str) -> None:
+    def _invalidate(self, path: str, corrupt: bool = False) -> None:
         self.stats.invalidations += 1
+        if corrupt:
+            self.stats.corrupt += 1
         self.stats.misses += 1
         try:
             os.remove(path)
@@ -142,7 +168,15 @@ class ResultCache:
     # -- store ---------------------------------------------------------
 
     def put(self, spec: JobSpec, payload: Dict[str, object]) -> None:
-        """Store a deterministic result payload for ``spec``."""
+        """Store a deterministic result payload for ``spec``.
+
+        Writes are crash-safe: the record is rendered into a
+        process-private temp file, flushed and fsynced, then moved onto
+        the final path with atomic ``os.replace``.  A worker killed at
+        any instant therefore leaves either the old record, the new
+        record, or a stray ``*.tmp.<pid>`` file no reader ever looks
+        at — never a truncated record on the live path.
+        """
         if payload is None:
             raise ServeError("refusing to cache an empty payload")
         digest = spec.digest()
@@ -156,10 +190,19 @@ class ResultCache:
             "payload": payload,
         }
         temporary = path + f".tmp.{os.getpid()}"
-        with open(temporary, "w", encoding="utf-8") as handle:
-            json.dump(record, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        os.replace(temporary, path)
+        try:
+            with open(temporary, "w", encoding="utf-8") as handle:
+                json.dump(record, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temporary, path)
+        except BaseException:
+            try:
+                os.remove(temporary)
+            except OSError:
+                pass
+            raise
         self.stats.puts += 1
 
     # -- inspection ----------------------------------------------------

@@ -6,6 +6,8 @@ Subcommands::
     repro-serve run    b.json --jobs 4 --cache .repro-cache --out r.json
     repro-serve warm   b.json --cache .repro-cache --jobs 4
     repro-serve verify b.json --cache .repro-cache
+    repro-serve daemon --spool .repro-spool          # long-running service
+    repro-serve chaos  --seed 7 --out chaos.json     # differential gate
 
 ``batch`` writes a batch file describing one job per (benchmark,
 machine) cell — sweep evaluations, fault campaigns or dual-engine
@@ -33,10 +35,11 @@ from repro.errors import ReproError
 from repro.harness.tables import BENCHMARK_ORDER
 from repro.serve.cache import ResultCache
 from repro.serve.executors import (
-    PoolExecutor,
+    JOB_STATUSES,
     SerialExecutor,
     run_jobs,
 )
+from repro.serve.supervisor import SupervisedPool
 from repro.serve.jobspec import (
     KIND_BENCH,
     KIND_CAMPAIGN,
@@ -62,7 +65,8 @@ def _specs_for(names: List[str], quick: bool):
 
 def _build_executor(jobs: int, timeout: Optional[float], retries: int):
     if jobs > 1:
-        return PoolExecutor(jobs=jobs, timeout=timeout, retries=retries)
+        return SupervisedPool(jobs=jobs, timeout=timeout,
+                              retries=retries)
     return SerialExecutor()
 
 
@@ -89,7 +93,7 @@ def _batch_command(arguments) -> int:
 
 
 def _report(outcomes, wall_seconds: float, cache) -> dict:
-    counts = {"ok": 0, "error": 0, "timeout": 0, "crashed": 0}
+    counts = {status: 0 for status in JOB_STATUSES}
     cached = 0
     for outcome in outcomes:
         counts[outcome.status] = counts.get(outcome.status, 0) + 1
@@ -148,10 +152,11 @@ def _run_command(arguments, warm_only: bool = False) -> int:
             f"({summary['jobs_per_second']:.2f} jobs/s; "
             f"{summary['ok']} ok, {summary['cached']} from cache")
     failures = (summary["error"] + summary["timeout"]
-                + summary["crashed"])
+                + summary["crashed"] + summary["poisoned"])
     if failures:
         line += (f", {summary['error']} error, {summary['timeout']} "
-                 f"timeout, {summary['crashed']} crashed")
+                 f"timeout, {summary['crashed']} crashed, "
+                 f"{summary['poisoned']} poisoned")
     line += ")"
     print(line)
     if cache is not None:
@@ -200,6 +205,19 @@ def _verify_command(arguments) -> int:
 
 
 def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Dispatch the pass-through subcommands before argparse sees the
+    # tail: REMAINDER cannot capture option-like tokens ("--seed")
+    # reliably, and these tools own their full argument surface.
+    if argv[:1] == ["daemon"]:
+        from repro.serve.daemon import main as daemon_main
+
+        return daemon_main(argv[1:])
+    if argv[:1] == ["chaos"]:
+        from repro.serve.chaos import main as chaos_main
+
+        return chaos_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="repro-serve",
         description="Run batches of evaluation jobs through the "
@@ -255,6 +273,16 @@ def main(argv=None) -> int:
     verify = commands.add_parser(
         "verify", help="recompute a batch and diff against the cache")
     add_run_arguments(verify, needs_cache=True)
+
+    # Registered for `repro-serve --help` only; dispatched above.
+    commands.add_parser(
+        "daemon", add_help=False,
+        help="run the long-running job service "
+             "(see python -m repro.serve.daemon --help)")
+    commands.add_parser(
+        "chaos", add_help=False,
+        help="run the differential chaos campaign "
+             "(see python -m repro.serve.chaos --help)")
 
     arguments = parser.parse_args(argv)
     if getattr(arguments, "jobs", 1) < 1:

@@ -38,12 +38,39 @@ from repro.serve.worker import execute_payload, execute_spec
 #: Structured job statuses.  ``ok`` is the only one carrying a payload.
 STATUS_OK = "ok"
 STATUS_ERROR = "error"          # the job raised a (repro) error
-STATUS_TIMEOUT = "timeout"      # reaped by the per-job timeout
+STATUS_TIMEOUT = "timeout"      # reaped by the per-job timeout/watchdog
 STATUS_CRASHED = "crashed"      # worker died without reporting
+STATUS_POISONED = "poisoned"    # quarantined after a crash loop
 
-JOB_STATUSES = (STATUS_OK, STATUS_ERROR, STATUS_TIMEOUT, STATUS_CRASHED)
+JOB_STATUSES = (STATUS_OK, STATUS_ERROR, STATUS_TIMEOUT, STATUS_CRASHED,
+                STATUS_POISONED)
+
+#: Seconds a signalled worker gets to exit before the reap escalates.
+DEFAULT_TERM_GRACE = 2.0
 
 OnResult = Callable[["JobOutcome"], None]
+
+
+def reap_process(process, grace: float = DEFAULT_TERM_GRACE) -> str:
+    """Stop a worker process without ever blocking forever.
+
+    Escalation ladder: ``terminate()`` (SIGTERM), wait up to ``grace``
+    seconds, then ``kill()`` (SIGKILL), wait again.  A child that
+    installed a SIGTERM handler — or ignores it outright — therefore
+    cannot wedge the executor the way a bare ``terminate(); join()``
+    could.  Returns the name of what ended the worker: ``"exit"`` if it
+    was already dead, ``"SIGTERM"`` or ``"SIGKILL"`` otherwise.
+    """
+    if not process.is_alive():
+        process.join(grace)
+        return "exit"
+    process.terminate()
+    process.join(grace)
+    if not process.is_alive():
+        return "SIGTERM"
+    process.kill()
+    process.join(grace)
+    return "SIGKILL"
 
 
 @dataclass
@@ -88,8 +115,8 @@ class SerialExecutor:
             on_result: Optional[OnResult] = None) -> List[JobOutcome]:
         outcomes: List[JobOutcome] = []
         for index, spec in enumerate(specs):
-            if spec.kind == KIND_PROBE and spec.behavior in ("crash",
-                                                             "hang"):
+            if spec.kind == KIND_PROBE and spec.behavior in (
+                    "crash", "hang", "stubborn"):
                 raise ServeError(
                     f"probe behaviour {spec.behavior!r} would kill or "
                     "wedge the calling process; run it under a "
@@ -147,9 +174,11 @@ class PoolExecutor:
     a dedicated pipe, so a dying worker can never corrupt another
     job's result), with at most ``jobs`` workers alive at a time:
 
-    * a job exceeding ``timeout`` seconds is terminated and surfaces
-      as a ``timeout`` outcome (no retry — a deterministic job that
-      timed out once will time out again);
+    * a job exceeding ``timeout`` seconds is reaped — SIGTERM,
+      escalating to SIGKILL after ``term_grace`` seconds, so even a
+      child that ignores SIGTERM cannot wedge the pool — and surfaces
+      as a ``timeout`` outcome naming the ending signal (no retry — a
+      deterministic job that timed out once will time out again);
     * a worker that dies without reporting (hard crash) is retried up
       to ``retries`` times, then surfaces as ``crashed``;
     * a job that raises reports an ``error`` outcome.
@@ -159,16 +188,20 @@ class PoolExecutor:
     """
 
     def __init__(self, jobs: int = 2, timeout: Optional[float] = None,
-                 retries: int = 1, start_method: Optional[str] = None):
+                 retries: int = 1, start_method: Optional[str] = None,
+                 term_grace: float = DEFAULT_TERM_GRACE):
         if jobs < 1:
             raise ServeError("PoolExecutor needs jobs >= 1")
         if timeout is not None and timeout <= 0:
             raise ServeError("per-job timeout must be positive")
         if retries < 0:
             raise ServeError("retries must be >= 0")
+        if term_grace <= 0:
+            raise ServeError("term_grace must be positive")
         self.jobs = jobs
         self.timeout = timeout
         self.retries = retries
+        self.term_grace = term_grace
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else methods[0]
@@ -215,7 +248,7 @@ class PoolExecutor:
                 except (EOFError, OSError):
                     message = None
                 conn.close()
-                job.process.join()
+                reap_process(job.process, self.term_grace)
                 elapsed = time.monotonic() - job.started
                 if message is None:
                     exit_code = job.process.exitcode
@@ -248,15 +281,15 @@ class PoolExecutor:
             for conn, job in list(running.items()):
                 if now - job.started < self.timeout:
                     continue
-                job.process.terminate()
-                job.process.join()
+                ended_by = reap_process(job.process, self.term_grace)
                 conn.close()
                 del running[conn]
                 finish(JobOutcome(
                     spec=specs[job.index], index=job.index,
                     status=STATUS_TIMEOUT,
                     error=(f"job exceeded the {self.timeout:g}s per-job "
-                           "timeout and was terminated"),
+                           f"timeout and was terminated "
+                           f"(worker ended by {ended_by})"),
                     seconds=now - job.started,
                     attempts=attempts[job.index]))
 
@@ -306,10 +339,25 @@ def run_jobs(specs: Sequence[JobSpec],
 
 
 def raise_for_failures(outcomes: Sequence[JobOutcome]) -> None:
-    """Raise :class:`~repro.errors.ServeError` if any job failed."""
+    """Raise :class:`~repro.errors.ServeError` if any job failed.
+
+    The message carries per-status counts and the first failing job's
+    digest so a campaign log is actionable without re-running: the
+    digest keys the cache record, `repro-serve verify`, and the chaos
+    event log, and the counts say *how* the batch died (one poisoned
+    spec vs. a wall of timeouts are very different incidents).
+    """
     failures = [outcome for outcome in outcomes if not outcome.ok]
     if not failures:
         return
+    counts: Dict[str, int] = {}
+    for outcome in failures:
+        counts[outcome.status] = counts.get(outcome.status, 0) + 1
+    by_status = ", ".join(
+        f"{status}={counts[status]}"
+        for status in JOB_STATUSES if status in counts
+    )
+    first = failures[0]
     details = "; ".join(
         f"{outcome.spec.job_id} {outcome.status}"
         + (f" ({outcome.error})" if outcome.error else "")
@@ -317,5 +365,7 @@ def raise_for_failures(outcomes: Sequence[JobOutcome]) -> None:
     )
     more = f" (+{len(failures) - 5} more)" if len(failures) > 5 else ""
     raise ServeError(
-        f"{len(failures)} of {len(outcomes)} jobs failed: {details}{more}"
+        f"{len(failures)} of {len(outcomes)} jobs failed ({by_status}; "
+        f"first failure {first.spec.job_id} "
+        f"digest {first.spec.digest()}): {details}{more}"
     )

@@ -60,8 +60,10 @@ JOB_KINDS = (KIND_SWEEP, KIND_CAMPAIGN, KIND_BENCH, KIND_PROBE)
 #: them.
 ENGINES = ("auto", "fast", "reference", "trace", "both", "all")
 
-#: Probe behaviours understood by the worker.
-PROBE_BEHAVIOURS = ("ok", "fail", "crash", "hang", "sleep")
+#: Probe behaviours understood by the worker.  ``stubborn`` ignores
+#: SIGTERM and hangs — the acceptance probe for the executors'
+#: SIGTERM -> SIGKILL reap escalation.
+PROBE_BEHAVIOURS = ("ok", "fail", "crash", "hang", "sleep", "stubborn")
 
 #: Default cycle budget, matching the harness runner.
 DEFAULT_MAX_CYCLES = 200_000_000

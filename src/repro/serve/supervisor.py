@@ -1,0 +1,476 @@
+"""``SupervisedPool``: the process pool hardened into a fault-tolerant
+execution fabric.
+
+:class:`~repro.serve.executors.PoolExecutor` already gives per-job
+isolation, timeouts and bounded crash retries.  This module adds the
+machinery a *long-running service* needs to survive infrastructure
+failure without corrupting results:
+
+* **worker heartbeats + hung-worker watchdog** — every worker runs a
+  daemon thread that beats over its result pipe; a worker silent for
+  longer than ``watchdog`` seconds is declared hung and reaped (SIGTERM
+  escalating to SIGKILL after ``term_grace``).  Heartbeat silence is an
+  *infrastructure* fault — the worker may be deadlocked or stopped — so
+  hung jobs are retried; only the deterministic per-job ``timeout``
+  surfaces without retry.
+* **retries with exponential backoff + deterministic seeded jitter** —
+  a crashed or hung job is rescheduled after
+  ``backoff_base * 2**(failures-1)`` seconds (capped at
+  ``backoff_cap``), scaled by a jitter drawn from
+  :class:`~repro.workloads.XorShift32` seeded by the job digest and the
+  failure count.  Same batch, same crashes => same schedule, so retry
+  timing can never leak into results.
+* **poison-job quarantine** — a spec whose workers crash
+  ``poison_after`` times is a *crash loop*: it gets a structured
+  ``poisoned`` outcome instead of eating workers forever, and its
+  digest is quarantined on the pool, so every later submission of the
+  same digest is refused instantly (attempts=0) until the pool is
+  replaced.
+* **graceful degradation to serial execution** — if the OS refuses to
+  spawn worker processes (fork bombs, rlimits, cgroup pressure), the
+  pool flips to running jobs in-process, SerialExecutor-style, rather
+  than failing the batch.  Probes that would kill or wedge the calling
+  process surface as structured failures instead.  Set
+  ``fallback_serial=False`` to get a
+  :class:`~repro.errors.SpawnError` instead.
+* **chaos hooks** — an optional :class:`~repro.serve.chaos.ChaosMonkey`
+  may order a worker killed or hung per (digest, attempt), which is how
+  the differential harness proves all of the above is invisible in the
+  outcome tables.
+
+The executor contract is unchanged: ``run(specs, on_result=None)``
+returns outcomes **in input order**, and no failure mode may hang the
+pool or drop a result.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing.connection import wait as connection_wait
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ReproError, ServeError, SpawnError
+from repro.serve.executors import (
+    DEFAULT_TERM_GRACE,
+    STATUS_CRASHED,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_POISONED,
+    STATUS_TIMEOUT,
+    JobOutcome,
+    OnResult,
+    reap_process,
+)
+from repro.serve.jobspec import KIND_PROBE, JobSpec
+from repro.serve.worker import execute_payload, execute_spec
+from repro.workloads import XorShift32
+
+#: Message tag workers interleave with their one result message.
+HEARTBEAT = "heartbeat"
+
+#: Chaos directives a worker understands (see repro.serve.chaos).
+CHAOS_KILL = "kill"
+CHAOS_HANG = "hang"
+
+
+def _supervised_child_entry(payload, conn, heartbeat: float,
+                            directive: Optional[str]) -> None:
+    """Worker body: heartbeat from a side thread, report one result.
+
+    A chaos ``kill`` directive dies instantly without reporting (a
+    machine-level worker loss); ``hang`` wedges *without* starting the
+    heartbeat thread, so the parent watchdog — not the per-job timeout
+    — must notice.
+    """
+    if directive == CHAOS_KILL:
+        os._exit(137)
+    if directive == CHAOS_HANG:
+        while True:  # pragma: no cover - reaped by the parent watchdog
+            time.sleep(3600)
+
+    send_lock = threading.Lock()
+    stop = threading.Event()
+    if heartbeat > 0:
+        def beat() -> None:
+            sequence = 0
+            while not stop.wait(heartbeat):
+                sequence += 1
+                try:
+                    with send_lock:
+                        if stop.is_set():
+                            return
+                        conn.send((HEARTBEAT, sequence, None))
+                except OSError:  # pragma: no cover - parent went away
+                    return
+
+        threading.Thread(target=beat, daemon=True).start()
+    try:
+        try:
+            result, meta = execute_payload(payload)
+            message = (STATUS_OK, result, meta)
+        except ReproError as error:
+            message = (STATUS_ERROR, str(error), None)
+        except Exception as error:  # noqa: BLE001 - report, don't die
+            message = (STATUS_ERROR, f"{type(error).__name__}: {error}",
+                       None)
+        with send_lock:
+            stop.set()
+            conn.send(message)
+    finally:
+        stop.set()
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - pipe already gone
+            pass
+
+
+@dataclass
+class _Worker:
+    index: int
+    process: multiprocessing.process.BaseProcess
+    started: float
+    last_beat: float
+
+
+class SupervisedPool:
+    """Fault-tolerant process-parallel executor (see module docstring).
+
+    Parameters beyond :class:`~repro.serve.executors.PoolExecutor`:
+
+    ``heartbeat``
+        Interval (s) between worker heartbeats; 0 disables them (and
+        the watchdog with them).
+    ``watchdog``
+        Heartbeat silence (s) after which a worker counts as hung.
+        Must comfortably exceed ``heartbeat``.
+    ``retries``
+        Re-runs granted after a crash *or* a watchdog-declared hang.
+    ``poison_after``
+        Worker crashes (per job digest) that trigger quarantine.
+    ``backoff_base`` / ``backoff_cap`` / ``backoff_seed``
+        Exponential-backoff schedule for retries, jittered
+        deterministically from the job digest.
+    ``fallback_serial``
+        Degrade to in-process execution when spawning fails (else
+        raise :class:`~repro.errors.SpawnError`).
+    ``chaos``
+        Optional :class:`~repro.serve.chaos.ChaosMonkey` consulted per
+        (digest, attempt) for an injected worker fault.
+    """
+
+    def __init__(self, jobs: int = 2, timeout: Optional[float] = None,
+                 retries: int = 2, start_method: Optional[str] = None,
+                 term_grace: float = DEFAULT_TERM_GRACE,
+                 heartbeat: float = 0.25, watchdog: Optional[float] = 5.0,
+                 poison_after: int = 3,
+                 backoff_base: float = 0.05, backoff_cap: float = 2.0,
+                 backoff_seed: int = 0x5EED,
+                 fallback_serial: bool = True,
+                 chaos=None):
+        if jobs < 1:
+            raise ServeError("SupervisedPool needs jobs >= 1")
+        if timeout is not None and timeout <= 0:
+            raise ServeError("per-job timeout must be positive")
+        if retries < 0:
+            raise ServeError("retries must be >= 0")
+        if term_grace <= 0:
+            raise ServeError("term_grace must be positive")
+        if heartbeat < 0:
+            raise ServeError("heartbeat interval must be >= 0")
+        if watchdog is not None and heartbeat > 0 \
+                and watchdog <= heartbeat:
+            raise ServeError("watchdog must exceed the heartbeat "
+                             "interval, or every worker looks hung")
+        if poison_after < 1:
+            raise ServeError("poison_after must be >= 1")
+        if backoff_base < 0 or backoff_cap < backoff_base:
+            raise ServeError("need 0 <= backoff_base <= backoff_cap")
+        self.jobs = jobs
+        self.timeout = timeout
+        self.retries = retries
+        self.term_grace = term_grace
+        self.heartbeat = heartbeat
+        self.watchdog = watchdog if heartbeat > 0 else None
+        self.poison_after = poison_after
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.backoff_seed = backoff_seed
+        self.fallback_serial = fallback_serial
+        self.chaos = chaos
+        #: Scheduler tick: bounds watchdog/backoff latency.
+        self.tick = 0.05
+        #: True once the pool has fallen back to in-process execution.
+        self.degraded = False
+        #: digest -> quarantine reason, persistent across run() calls.
+        self._quarantined: Dict[str, str] = {}
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self._context = multiprocessing.get_context(start_method)
+
+    # -- deterministic backoff ----------------------------------------
+
+    def backoff_delay(self, digest: str, failures: int) -> float:
+        """Sleep before retry number ``failures`` of job ``digest``.
+
+        ``base * 2**(failures-1)`` capped, scaled into [0.5x, 1.0x] by
+        a jitter drawn deterministically from (digest, failures, pool
+        seed) — spreads retry storms without making the schedule
+        depend on wall clock or scheduling order.
+        """
+        if self.backoff_base == 0:
+            return 0.0
+        window = min(self.backoff_cap,
+                     self.backoff_base * (2 ** max(0, failures - 1)))
+        seed = (int(digest[:8], 16) ^ self.backoff_seed ^ failures) or 1
+        jitter = XorShift32(seed).next() / 2 ** 32
+        return window * (0.5 + 0.5 * jitter)
+
+    # -- quarantine ----------------------------------------------------
+
+    def quarantined(self) -> Dict[str, str]:
+        """digest -> reason for every quarantined job spec."""
+        return dict(self._quarantined)
+
+    def _quarantine(self, digest: str, reason: str) -> None:
+        self._quarantined[digest] = reason
+        if self.chaos is not None:
+            self.chaos.log.record("quarantine", digest=digest,
+                                  reason=reason)
+
+    # -- spawning and degraded execution ------------------------------
+
+    def _spawn(self, payload, directive: Optional[str]):
+        """Start one worker; returns (parent_conn, process)."""
+        parent_conn, child_conn = self._context.Pipe(duplex=False)
+        process = self._context.Process(
+            target=_supervised_child_entry,
+            args=(payload, child_conn, self.heartbeat, directive),
+            daemon=True,
+        )
+        try:
+            process.start()
+        except OSError:
+            parent_conn.close()
+            child_conn.close()
+            raise
+        child_conn.close()
+        return parent_conn, process
+
+    def _run_inline(self, spec: JobSpec, index: int,
+                    attempt: int, cause: str) -> JobOutcome:
+        """Degraded mode: execute one job in-process, structurally."""
+        if spec.kind == KIND_PROBE and spec.behavior in ("crash", "hang",
+                                                         "stubborn"):
+            return JobOutcome(
+                spec=spec, index=index, status=STATUS_CRASHED,
+                error=(f"probe({spec.behavior}) cannot run in degraded "
+                       f"serial mode (process spawning failed: {cause})"),
+                attempts=attempt, meta={"degraded": True})
+        started = time.perf_counter()
+        try:
+            payload, meta = execute_spec(spec)
+            meta = dict(meta or {})
+            meta["degraded"] = True
+            return JobOutcome(spec=spec, index=index, status=STATUS_OK,
+                              payload=payload, meta=meta,
+                              seconds=time.perf_counter() - started,
+                              attempts=attempt)
+        except ReproError as error:
+            return JobOutcome(spec=spec, index=index, status=STATUS_ERROR,
+                              error=str(error),
+                              seconds=time.perf_counter() - started,
+                              attempts=attempt, meta={"degraded": True})
+        except Exception as error:  # noqa: BLE001 - structured outcome
+            return JobOutcome(spec=spec, index=index, status=STATUS_ERROR,
+                              error=f"{type(error).__name__}: {error}",
+                              seconds=time.perf_counter() - started,
+                              attempts=attempt, meta={"degraded": True})
+
+    # -- the supervision loop -----------------------------------------
+
+    def run(self, specs: Sequence[JobSpec],
+            on_result: Optional[OnResult] = None) -> List[JobOutcome]:
+        specs = list(specs)
+        payloads = [spec.to_payload() for spec in specs]
+        digests = [spec.digest() for spec in specs]
+        results: Dict[int, JobOutcome] = {}
+        ready: deque = deque(range(len(specs)))
+        delayed: List[Tuple[float, int]] = []   # (ready_at, index)
+        running: Dict[object, _Worker] = {}
+        attempts = [0] * len(specs)
+        failures = [0] * len(specs)             # crashes + hangs
+
+        def finish(outcome: JobOutcome) -> None:
+            results[outcome.index] = outcome
+            if on_result is not None:
+                on_result(outcome)
+
+        def retry_or(index: int, make_outcome) -> None:
+            """Common crash/hang disposition: quarantine, retry with
+            backoff, or surface the structured outcome."""
+            digest = digests[index]
+            if failures[index] >= self.poison_after:
+                reason = (f"crash-looped: {failures[index]} worker(s) "
+                          f"lost over {attempts[index]} attempt(s)")
+                self._quarantine(digest, reason)
+                finish(JobOutcome(
+                    spec=specs[index], index=index,
+                    status=STATUS_POISONED,
+                    error=f"job quarantined as poisoned ({reason})",
+                    attempts=attempts[index]))
+            elif attempts[index] <= self.retries:
+                delay = self.backoff_delay(digest, failures[index])
+                delayed.append((time.monotonic() + delay, index))
+            else:
+                finish(make_outcome())
+
+        while len(results) < len(specs):
+            now = time.monotonic()
+            if delayed:
+                due = [entry for entry in delayed if entry[0] <= now]
+                if due:
+                    delayed = [entry for entry in delayed
+                               if entry[0] > now]
+                    # Input order among simultaneously-due retries.
+                    ready.extend(sorted(index for _, index in due))
+
+            while ready and len(running) < self.jobs:
+                index = ready.popleft()
+                digest = digests[index]
+                if digest in self._quarantined:
+                    finish(JobOutcome(
+                        spec=specs[index], index=index,
+                        status=STATUS_POISONED,
+                        error=("job digest is quarantined: "
+                               + self._quarantined[digest]),
+                        attempts=attempts[index]))
+                    continue
+                attempts[index] += 1
+                directive = None
+                if self.chaos is not None:
+                    directive = self.chaos.worker_directive(
+                        digest, attempts[index])
+                if self.degraded:
+                    finish(self._run_inline(specs[index], index,
+                                            attempts[index],
+                                            "pool already degraded"))
+                    continue
+                try:
+                    conn, process = self._spawn(payloads[index],
+                                                directive)
+                except OSError as error:
+                    if not self.fallback_serial:
+                        raise SpawnError(
+                            f"cannot spawn a worker process: {error}"
+                        ) from error
+                    self.degraded = True
+                    finish(self._run_inline(specs[index], index,
+                                            attempts[index], str(error)))
+                    continue
+                started = time.monotonic()
+                running[conn] = _Worker(index, process, started, started)
+
+            if not running:
+                if not ready and delayed:
+                    pause = min(ready_at for ready_at, _ in delayed) \
+                        - time.monotonic()
+                    if pause > 0:
+                        time.sleep(min(pause, self.tick))
+                continue
+
+            # A connection is ready when the worker heartbeats, sends
+            # its result, or exits (EOF) — crashes wake us immediately.
+            for conn in connection_wait(list(running), timeout=self.tick):
+                worker = running[conn]
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    message = None
+                if message is not None and message[0] == HEARTBEAT:
+                    worker.last_beat = time.monotonic()
+                    continue
+                del running[conn]
+                conn.close()
+                reap_process(worker.process, self.term_grace)
+                elapsed = time.monotonic() - worker.started
+                index = worker.index
+                if message is None:
+                    failures[index] += 1
+                    exit_code = worker.process.exitcode
+
+                    def crashed(index=index, exit_code=exit_code,
+                                elapsed=elapsed) -> JobOutcome:
+                        return JobOutcome(
+                            spec=specs[index], index=index,
+                            status=STATUS_CRASHED,
+                            error=(f"worker died without reporting "
+                                   f"(exit code {exit_code}) after "
+                                   f"{attempts[index]} attempt(s)"),
+                            seconds=elapsed, attempts=attempts[index])
+
+                    retry_or(index, crashed)
+                    continue
+                status, data, meta = message
+                if status == STATUS_OK:
+                    finish(JobOutcome(
+                        spec=specs[index], index=index, status=STATUS_OK,
+                        payload=data, meta=meta, seconds=elapsed,
+                        attempts=attempts[index]))
+                else:
+                    finish(JobOutcome(
+                        spec=specs[index], index=index,
+                        status=STATUS_ERROR, error=data, seconds=elapsed,
+                        attempts=attempts[index]))
+
+            now = time.monotonic()
+            for conn, worker in list(running.items()):
+                index = worker.index
+                overdue = self.timeout is not None \
+                    and now - worker.started >= self.timeout
+                hung = self.watchdog is not None \
+                    and now - worker.last_beat >= self.watchdog
+                if not (overdue or hung):
+                    continue
+                del running[conn]
+                conn.close()
+                ended_by = reap_process(worker.process, self.term_grace)
+                elapsed = now - worker.started
+                if overdue:
+                    # Deterministic per-job budget: no retry.
+                    finish(JobOutcome(
+                        spec=specs[index], index=index,
+                        status=STATUS_TIMEOUT,
+                        error=(f"job exceeded the {self.timeout:g}s "
+                               f"per-job timeout and was terminated "
+                               f"(worker ended by {ended_by})"),
+                        seconds=elapsed, attempts=attempts[index]))
+                    continue
+                # Heartbeat silence: infrastructure fault, retried.
+                failures[index] += 1
+                silence = now - worker.last_beat
+                if self.chaos is not None:
+                    self.chaos.log.record(
+                        "watchdog-reap", digest=digests[index],
+                        attempt=attempts[index], ended_by=ended_by)
+
+                def hung_out(index=index, silence=silence,
+                             ended_by=ended_by,
+                             elapsed=elapsed) -> JobOutcome:
+                    return JobOutcome(
+                        spec=specs[index], index=index,
+                        status=STATUS_TIMEOUT,
+                        error=(f"watchdog declared the worker hung "
+                               f"(no heartbeat for {silence:.2f}s) on "
+                               f"all {attempts[index]} attempt(s); "
+                               f"last worker ended by {ended_by}"),
+                        seconds=elapsed, attempts=attempts[index])
+
+                retry_or(index, hung_out)
+
+        return [results[index] for index in range(len(specs))]

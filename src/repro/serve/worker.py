@@ -193,7 +193,13 @@ def _execute_probe(spec: JobSpec) -> Tuple[Payload, Payload]:
         # result is ever reported.  (Only meaningful under a process
         # executor; the serial executor refuses to run it.)
         os._exit(13)
-    # "hang": spin until the executor's per-job timeout reaps us.
+    if spec.behavior == "stubborn":
+        # Ignore SIGTERM *and* hang: only a SIGKILL escalation can end
+        # this worker.  (Only meaningful under a process executor.)
+        import signal
+
+        signal.signal(signal.SIGTERM, signal.SIG_IGN)
+    # "hang"/"stubborn": spin until the executor reaps us.
     while True:  # pragma: no cover - exercised via PoolExecutor timeout
         time.sleep(0.05)
 

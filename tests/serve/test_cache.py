@@ -64,6 +64,40 @@ class TestInvalidation:
             handle.write("{truncated")
         assert cache.get(spec) is None
         assert cache.stats.invalidations == 1
+        assert cache.stats.corrupt == 1
+
+    def test_truncated_record_counted_as_corrupt(self, cache):
+        # Simulate a torn write (power loss mid-record): keep the first
+        # half of the bytes.  Must read as a miss, not an exception.
+        spec = probe(1)
+        cache.put(spec, {"value": 1})
+        path = cache.path_for(spec.digest())
+        size = os.path.getsize(path)
+        with open(path, "r+") as handle:
+            handle.truncate(size // 2)
+        assert cache.get(spec) is None
+        assert cache.stats.corrupt == 1
+        assert not os.path.exists(path)  # quarantined record removed
+        # A recompute-and-put round-trips cleanly afterwards.
+        cache.put(spec, {"value": 1})
+        assert cache.get(spec) == {"value": 1}
+
+    def test_non_dict_record_counted_as_corrupt(self, cache):
+        spec = probe(1)
+        cache.put(spec, {"value": 1})
+        with open(cache.path_for(spec.digest()), "w") as handle:
+            json.dump(["not", "a", "record"], handle)
+        assert cache.get(spec) is None
+        assert cache.stats.corrupt == 1
+
+    def test_salt_mismatch_is_not_corruption(self, tmp_path):
+        root = str(tmp_path / "cache")
+        old = ResultCache(root, salt="old-code")
+        old.put(probe(1), {"value": 1})
+        new = ResultCache(root, salt="new-code")
+        assert new.get(probe(1)) is None
+        assert new.stats.invalidations == 1
+        assert new.stats.corrupt == 0  # well-formed, just stale
 
     def test_digest_mismatch_invalidated(self, cache):
         # A record renamed onto the wrong key must not be served.
@@ -83,6 +117,40 @@ class TestInvalidation:
         record["schema"] = 0
         with open(path, "w") as handle:
             json.dump(record, handle)
+        assert cache.get(spec) is None
+
+
+class TestPeek:
+    def test_peek_by_raw_digest(self, cache):
+        spec = probe(1)
+        cache.put(spec, {"value": 1})
+        assert cache.peek(spec.digest()) == {"value": 1}
+        assert cache.stats.hits == 1
+
+    def test_peek_unknown_digest_is_a_miss(self, cache):
+        assert cache.peek("0" * 64) is None
+        assert cache.stats.misses == 1
+
+
+class TestAtomicPut:
+    def test_no_temp_droppings_after_put(self, cache):
+        cache.put(probe(1), {"value": 1})
+        leftovers = [name for _, _, names in os.walk(cache.root)
+                     for name in names if not name.endswith(".json")]
+        assert leftovers == []
+
+    def test_failed_put_leaves_no_partial_record(self, cache):
+        spec = probe(1)
+
+        class Unserialisable:
+            pass
+
+        with pytest.raises(TypeError):
+            cache.put(spec, {"value": Unserialisable()})
+        assert not os.path.exists(cache.path_for(spec.digest()))
+        shard = os.path.dirname(cache.path_for(spec.digest()))
+        if os.path.isdir(shard):
+            assert os.listdir(shard) == []  # temp file cleaned up
         assert cache.get(spec) is None
 
 

@@ -1,0 +1,184 @@
+"""The chaos harness: deterministic infrastructure fault injection and
+the differential gate proving it can never change an outcome table.
+"""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import JobSpec
+from repro.serve.chaos import (
+    ChaosLog,
+    ChaosMonkey,
+    ChaosResultCache,
+    chaos_smoke_jobs,
+    outcome_table,
+    run_chaos_differential,
+)
+from repro.serve.supervisor import CHAOS_HANG, CHAOS_KILL
+
+
+def probe(seed=0, seconds=0.0):
+    behavior = "sleep" if seconds else "ok"
+    return JobSpec(kind="probe", behavior=behavior, seed=seed,
+                   seconds=seconds)
+
+
+class TestChaosMonkey:
+    def test_decisions_are_pure_functions_of_seed(self):
+        digests = [probe(seed=n).digest() for n in range(20)]
+        first = [ChaosMonkey(seed=9, kill_rate=0.4, hang_rate=0.3)
+                 .worker_directive(digest, 1) for digest in digests]
+        second = [ChaosMonkey(seed=9, kill_rate=0.4, hang_rate=0.3)
+                  .worker_directive(digest, 1) for digest in digests]
+        assert first == second
+        assert CHAOS_KILL in first or CHAOS_HANG in first
+
+    def test_different_seeds_diverge(self):
+        digests = [probe(seed=n).digest() for n in range(40)]
+
+        def plan(seed):
+            monkey = ChaosMonkey(seed=seed, kill_rate=0.5)
+            return [monkey.worker_directive(digest, 1)
+                    for digest in digests]
+
+        assert plan(1) != plan(2)
+
+    def test_fault_budget_caps_attempts(self):
+        monkey = ChaosMonkey(seed=1, kill_rate=1.0, max_faults_per_job=2)
+        digest = probe().digest()
+        assert monkey.worker_directive(digest, 1) == CHAOS_KILL
+        assert monkey.worker_directive(digest, 2) == CHAOS_KILL
+        assert monkey.worker_directive(digest, 3) is None
+
+    def test_corruption_fires_once_per_digest(self):
+        monkey = ChaosMonkey(seed=1, corrupt_rate=1.0)
+        digest = probe().digest()
+        assert monkey.should_corrupt(digest)
+        assert not monkey.should_corrupt(digest)
+
+    def test_rates_validated(self):
+        with pytest.raises(ServeError):
+            ChaosMonkey(kill_rate=1.5)
+        with pytest.raises(ServeError):
+            ChaosMonkey(kill_rate=0.7, hang_rate=0.7)
+        with pytest.raises(ServeError):
+            ChaosMonkey(max_faults_per_job=-1)
+
+    def test_log_records_and_serialises(self, tmp_path):
+        log = ChaosLog()
+        monkey = ChaosMonkey(seed=1, kill_rate=1.0, log=log)
+        monkey.worker_directive(probe().digest(), 1)
+        assert log.counts() == {"kill-worker": 1}
+        path = str(tmp_path / "chaos-log.json")
+        log.write(path)
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert payload["counts"] == {"kill-worker": 1}
+        assert payload["events"][0]["event"] == "kill-worker"
+
+
+class TestChaosResultCache:
+    def test_corrupted_record_detected_and_recomputed(self, tmp_path):
+        monkey = ChaosMonkey(seed=1, corrupt_rate=1.0)
+        cache = ChaosResultCache(str(tmp_path / "cache"), monkey,
+                                 salt="s1")
+        spec = probe(seed=3)
+        cache.put(spec, {"value": 3})
+        # The record on disk is torn; the read must be a clean miss.
+        assert cache.get(spec) is None
+        assert cache.stats.corrupt == 1
+        # Recompute-and-put succeeds: corruption fired its one shot.
+        cache.put(spec, {"value": 3})
+        assert cache.get(spec) == {"value": 3}
+
+
+class TestOutcomeTable:
+    def test_canonical_and_order_sensitive(self):
+        from repro.serve import SerialExecutor
+
+        specs = [probe(seed=n) for n in (2, 1)]
+        outcomes = SerialExecutor().run(specs)
+        table = outcome_table(outcomes)
+        assert table == outcome_table(SerialExecutor().run(specs))
+        assert table != outcome_table(
+            SerialExecutor().run(list(reversed(specs))))
+
+
+class TestDifferentialGate:
+    def run_bounded(self, target, max_seconds):
+        """Run ``target`` under a hard wall-clock bound.
+
+        The acceptance bar: no chaos scenario may hang the harness, so
+        the differential runs on a worker thread and the test fails —
+        rather than hanging CI — if it overruns.
+        """
+        box = {}
+
+        def call():
+            try:
+                box["report"] = target()
+            except BaseException as error:  # noqa: BLE001 - re-raised
+                box["error"] = error
+
+        thread = threading.Thread(target=call, daemon=True)
+        thread.start()
+        thread.join(timeout=max_seconds)
+        assert not thread.is_alive(), \
+            f"chaos differential exceeded the {max_seconds}s bound"
+        if "error" in box:
+            raise box["error"]
+        return box["report"]
+
+    def test_probe_differential_is_byte_identical(self, tmp_path):
+        specs = [probe(seed=n, seconds=0.05) for n in range(6)]
+        report = self.run_bounded(
+            lambda: run_chaos_differential(
+                specs, str(tmp_path / "cache"), seed=11,
+                kill_rate=0.4, hang_rate=0.3, corrupt_rate=0.6,
+                heartbeat=0.05, watchdog=0.5),
+            max_seconds=60)
+        assert report["identical"]
+        assert report["jobs"] == 6
+        hashes = set(report["tables_sha256"].values())
+        assert len(hashes) == 1  # serial == chaos == replay
+
+    def test_smoke_jobs_differential_gate(self, tmp_path):
+        # The real acceptance gate at test scale: sweeps, a sharded
+        # campaign and a bench cell, all under injected worker faults
+        # and cache corruption, must reproduce the serial tables.
+        log = ChaosLog()
+        specs = chaos_smoke_jobs(alus=(1,), campaign_n=4,
+                                 campaign_shards=2, seed=1)
+        report = self.run_bounded(
+            lambda: run_chaos_differential(
+                specs, str(tmp_path / "cache"), seed=7,
+                kill_rate=0.5, hang_rate=0.25, corrupt_rate=0.5,
+                heartbeat=0.05, watchdog=1.0, log=log),
+            max_seconds=180)
+        assert report["identical"]
+        assert report["faulted_jobs"] > 0, \
+            "chaos rates injected no faults; the gate proved nothing"
+        assert report["replay_hits"] > 0
+        assert sum(log.counts().values()) > 0
+
+    def test_cli_writes_report_and_log(self, tmp_path):
+        from repro.serve.chaos import main
+
+        out = str(tmp_path / "report.json")
+        log_path = str(tmp_path / "log.json")
+        code = self.run_bounded(
+            lambda: main(["--seed", "5", "--campaign-n", "2",
+                          "--shards", "1", "--alus", "1",
+                          "--cache", str(tmp_path / "cache"),
+                          "--out", out, "--log", log_path,
+                          "--max-seconds", "300"]),
+            max_seconds=180)
+        assert code == 0
+        with open(out) as handle:
+            report = json.load(handle)
+        assert report["identical"]
+        assert os.path.exists(log_path)

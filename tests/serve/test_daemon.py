@@ -1,0 +1,261 @@
+"""The serve daemon: HTTP API, back-pressure, quotas, durable spool,
+and the kill-mid-flight / restart / drain exactly-once round trip.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.errors import (
+    DaemonError,
+    QueueFullError,
+    QuotaExceededError,
+    ServeError,
+)
+from repro.serve import JobSpec, SerialExecutor
+from repro.serve.daemon import DaemonClient, ServeDaemon
+
+
+def probe(seed=0, seconds=0.0):
+    behavior = "sleep" if seconds else "ok"
+    return JobSpec(kind="probe", behavior=behavior, seed=seed,
+                   seconds=seconds)
+
+
+@pytest.fixture
+def served(tmp_path):
+    """A started daemon (serial executor: fast, fork-free) + client."""
+    daemon = ServeDaemon(str(tmp_path / "spool"),
+                         executor=SerialExecutor(), max_queue=64)
+    daemon.start()
+    try:
+        yield daemon, DaemonClient(daemon.host, daemon.port,
+                                   client="tester")
+    finally:
+        daemon.stop()
+
+
+class TestSubmission:
+    """Queue admission logic, exercised without a scheduler thread."""
+
+    def test_empty_batch_refused(self, tmp_path):
+        daemon = ServeDaemon(str(tmp_path / "spool"),
+                             executor=SerialExecutor())
+        with pytest.raises(ServeError, match="empty"):
+            daemon.submit([])
+
+    def test_queue_full_raises_with_retry_after(self, tmp_path):
+        daemon = ServeDaemon(str(tmp_path / "spool"),
+                             executor=SerialExecutor(), max_queue=4)
+        daemon.submit([probe(seed=n) for n in range(3)])
+        with pytest.raises(QueueFullError) as excinfo:
+            daemon.submit([probe(seed=n) for n in range(10, 12)])
+        assert excinfo.value.retry_after >= 1.0
+        assert "queue is full" in str(excinfo.value)
+
+    def test_per_client_quota_enforced(self, tmp_path):
+        daemon = ServeDaemon(str(tmp_path / "spool"),
+                             executor=SerialExecutor(),
+                             max_queue=64, max_client_jobs=3)
+        daemon.submit([probe(seed=1), probe(seed=2)], client="alice")
+        with pytest.raises(QuotaExceededError) as excinfo:
+            daemon.submit([probe(seed=3), probe(seed=4)],
+                          client="alice")
+        assert excinfo.value.client == "alice"
+        # Quotas are per client: bob's identical batch is admitted.
+        accepted = daemon.submit([probe(seed=3), probe(seed=4)],
+                                 client="bob")
+        assert accepted["total"] == 2
+
+    def test_quota_error_is_a_queue_full_error(self):
+        # One except-clause on the client side handles both refusals.
+        assert issubclass(QuotaExceededError, QueueFullError)
+
+    def test_submission_spooled_before_ack(self, tmp_path):
+        daemon = ServeDaemon(str(tmp_path / "spool"),
+                             executor=SerialExecutor())
+        accepted = daemon.submit([probe(seed=7)])
+        path = daemon._batch_path(accepted["batch"])
+        with open(path) as handle:
+            record = json.load(handle)
+        assert record["jobs"][0]["seed"] == 7
+
+
+class TestHTTPApi:
+    def test_submit_poll_peek_status_round_trip(self, served):
+        daemon, client = served
+        specs = [probe(seed=n) for n in range(4)]
+        accepted = client.submit(specs)
+        assert accepted["total"] == 4
+        final = client.wait(accepted["batch"], timeout=30)
+        assert final["state"] == "done"
+        assert [r["status"] for r in final["results"]] == ["ok"] * 4
+        assert [r["payload"]["value"] for r in final["results"]] \
+            == [0, 1, 2, 3]
+        # Completed results are peekable by raw digest...
+        assert client.peek(accepted["digests"][2]) == {"value": 2}
+        # ...unknown digests are a clean None, not an error.
+        assert client.peek("0" * 64) is None
+        status = client.status()
+        assert status["queue_depth"] == 0
+        assert status["batches"][accepted["batch"]] == "done"
+
+    def test_incremental_poll_with_since(self, served):
+        daemon, client = served
+        accepted = client.submit([probe(seed=n) for n in range(3)])
+        final = client.wait(accepted["batch"], timeout=30)
+        tail = client.poll(accepted["batch"], since=2)
+        assert len(tail["results"]) == 1
+        assert tail["results"][0] == final["results"][2]
+
+    def test_unknown_batch_is_a_daemon_error(self, served):
+        daemon, client = served
+        with pytest.raises(DaemonError, match="b999999"):
+            client.poll("b999999")
+
+    def test_queue_full_maps_to_429_with_retry_after(self, tmp_path):
+        daemon = ServeDaemon(str(tmp_path / "spool"),
+                             executor=SerialExecutor(), max_queue=2)
+        daemon.start()
+        try:
+            client = DaemonClient(daemon.host, daemon.port)
+            with pytest.raises(QueueFullError) as excinfo:
+                client.submit([probe(seed=n) for n in range(5)])
+            assert excinfo.value.retry_after >= 1.0
+        finally:
+            daemon.stop()
+
+    def test_drain_refuses_new_batches(self, served):
+        daemon, client = served
+        client.drain()
+        with pytest.raises(DaemonError, match="draining"):
+            client.submit([probe()])
+
+    def test_dropped_connections_survived_by_client_retries(
+            self, tmp_path):
+        from repro.serve.chaos import ChaosMonkey
+
+        chaos = ChaosMonkey(seed=1, drop_rate=1.0, max_faults_per_job=1)
+        daemon = ServeDaemon(str(tmp_path / "spool"),
+                             executor=SerialExecutor(), chaos=chaos)
+        daemon.start()
+        try:
+            client = DaemonClient(daemon.host, daemon.port,
+                                  retries=3, backoff=0.05)
+            accepted = client.submit([probe(seed=5)])
+            final = client.wait(accepted["batch"], timeout=30)
+            assert final["results"][0]["payload"] == {"value": 5}
+            assert chaos.log.counts()["drop-connection"] >= 1
+        finally:
+            daemon.stop()
+
+
+class TestRecovery:
+    def test_restart_recovers_unfinished_batches(self, tmp_path):
+        spool = str(tmp_path / "spool")
+        first = ServeDaemon(spool, executor=SerialExecutor())
+        accepted = first.submit([probe(seed=n) for n in range(3)])
+        # No scheduler was started: the daemon "dies" with the batch
+        # spooled but unprocessed.
+        second = ServeDaemon(spool, executor=SerialExecutor())
+        second.start()
+        try:
+            client = DaemonClient(second.host, second.port)
+            final = client.wait(accepted["batch"], timeout=30)
+            assert final["state"] == "done"
+            assert [r["payload"]["value"] for r in final["results"]] \
+                == [0, 1, 2]
+        finally:
+            second.stop()
+
+    def test_torn_spool_record_skipped_as_never_acked(self, tmp_path):
+        spool = str(tmp_path / "spool")
+        first = ServeDaemon(spool, executor=SerialExecutor())
+        kept = first.submit([probe(seed=1)])
+        torn = first.submit([probe(seed=2)])
+        path = first._batch_path(torn["batch"])
+        with open(path, "r+") as handle:
+            handle.truncate(10)
+        second = ServeDaemon(spool, executor=SerialExecutor())
+        assert kept["batch"] in second._batches
+        assert torn["batch"] not in second._batches
+        # The torn id is not reused for the next submission.
+        fresh = second.submit([probe(seed=3)])
+        assert fresh["batch"] not in (kept["batch"], torn["batch"])
+
+
+class TestKillRestartLifecycle:
+    """The acceptance bar: SIGKILL mid-flight, restart, drain — every
+    job exactly-once in the merged results."""
+
+    @staticmethod
+    def start_daemon(spool, ready):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [os.path.join(os.path.dirname(__file__), "..", "..", "src")]
+            + env.get("PYTHONPATH", "").split(os.pathsep))
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro.serve.daemon",
+             "--spool", spool, "--jobs", "2", "--ready-file", ready],
+            env=env, stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL)
+
+    @staticmethod
+    def wait_ready(ready, timeout=30.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            try:
+                with open(ready) as handle:
+                    return json.load(handle)["port"]
+            except (OSError, ValueError):
+                time.sleep(0.1)
+        raise AssertionError("daemon never wrote its ready file")
+
+    def test_kill_mid_flight_restart_drain_exactly_once(self, tmp_path):
+        spool = str(tmp_path / "spool")
+        ready = str(tmp_path / "ready.json")
+        process = self.start_daemon(spool, ready)
+        try:
+            port = self.wait_ready(ready)
+            client = DaemonClient("127.0.0.1", port)
+            specs = [probe(seed=n, seconds=0.25) for n in range(10)]
+            accepted = client.submit(specs)
+
+            # Let some (not all) jobs finish, then pull the plug.
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                state = client.poll(accepted["batch"])
+                if state["completed"] >= 2:
+                    break
+                time.sleep(0.05)
+            assert 0 < state["completed"] < state["total"]
+            process.send_signal(signal.SIGKILL)
+            process.wait(timeout=10)
+
+            os.remove(ready)
+            process = self.start_daemon(spool, ready)
+            port = self.wait_ready(ready)
+            client = DaemonClient("127.0.0.1", port)
+            final = client.wait(accepted["batch"], timeout=60)
+
+            digests = [entry["digest"] for entry in final["results"]]
+            assert final["state"] == "done"
+            assert sorted(digests) == sorted(accepted["digests"])
+            assert len(set(digests)) == len(specs)  # exactly once
+            assert all(entry["status"] == "ok"
+                       for entry in final["results"])
+            # Work finished before the kill was replayed from the
+            # cache, not recomputed.
+            assert any(entry["cached"] for entry in final["results"])
+
+            client.drain()
+            assert process.wait(timeout=60) == 0
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)

@@ -37,7 +37,7 @@ class TestSerialExecutor:
         assert "asked to fail" in outcomes[0].error
 
     def test_refuses_crash_and_hang_probes(self):
-        for behavior in ("crash", "hang"):
+        for behavior in ("crash", "hang", "stubborn"):
             with pytest.raises(ServeError, match="PoolExecutor"):
                 SerialExecutor().run([probe(behavior)])
 
@@ -88,6 +88,20 @@ class TestPoolExecutor:
         assert "0.5s" in outcomes[0].error
         assert outcomes[1].ok and outcomes[1].payload["value"] == 4
 
+    def test_hang_reap_names_the_ending_signal(self):
+        outcome = PoolExecutor(jobs=1, timeout=0.4).run(
+            [probe("hang")])[0]
+        assert outcome.status == "timeout"
+        assert "worker ended by SIG" in outcome.error
+
+    def test_sigterm_ignoring_child_escalated_to_sigkill(self):
+        # A "stubborn" probe masks SIGTERM and spins; the reap ladder
+        # must escalate to SIGKILL instead of blocking in join().
+        outcome = PoolExecutor(jobs=1, timeout=0.4,
+                               term_grace=0.3).run([probe("stubborn")])[0]
+        assert outcome.status == "timeout"
+        assert "SIGKILL" in outcome.error
+
     def test_bad_construction_rejected(self):
         with pytest.raises(ServeError):
             PoolExecutor(jobs=0)
@@ -95,6 +109,8 @@ class TestPoolExecutor:
             PoolExecutor(timeout=-1.0)
         with pytest.raises(ServeError):
             PoolExecutor(retries=-1)
+        with pytest.raises(ServeError):
+            PoolExecutor(term_grace=0.0)
 
 
 class TestRunJobs:
@@ -142,3 +158,14 @@ class TestRaiseForFailures:
         outcomes = SerialExecutor().run([probe(), probe("fail")])
         with pytest.raises(ServeError, match="1 of 2.*probe:fail"):
             raise_for_failures(outcomes)
+
+    def test_message_carries_counts_and_first_digest(self):
+        outcomes = SerialExecutor().run(
+            [probe("fail", seed=1), probe(), probe("fail", seed=2)])
+        failing_digest = probe("fail", seed=1).digest()
+        with pytest.raises(ServeError) as excinfo:
+            raise_for_failures(outcomes)
+        message = str(excinfo.value)
+        assert "2 of 3 jobs failed" in message
+        assert "error=2" in message
+        assert f"digest {failing_digest}" in message
