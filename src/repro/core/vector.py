@@ -1,0 +1,1005 @@
+"""Batched vectorised fault-campaign engine: N injected lanes, one pass.
+
+Fault campaigns are thousands of near-identical runs: every injected
+machine executes the *golden* (fault-free) trajectory up to its fault
+cycle, diverges — usually locally and briefly — and in the common case
+converges right back onto the golden trajectory (MASKED).  The scalar
+checker pays one full simulator run per fault; this engine walks the
+golden trajectory **once** and carries N injected machines along as
+*lanes* of lane-major 2-D state:
+
+* the data-memory plane is a ``(lanes, mem_words)`` matrix — a NumPy
+  ``int64`` array when NumPy is importable, a list of row lists
+  otherwise — so lane activation (row copy), convergence compares
+  (row equality) and final output diffs vectorise;
+* register/predicate/BTR planes are rows of Python lists (row 0 is the
+  golden machine, one row per lane), because per-operation scalar
+  access dominates there and the rows are tiny.
+
+Exactness contract
+==================
+
+The walk replays ``EpicProcessor._run_instrumented`` exactly — same
+drain order, same port/bandwidth stall arithmetic, same store buffering,
+same operation semantics (it calls the *same* ``PreOp.fn`` callables) —
+so row 0 reproduces the reference run cycle-for-cycle.  A lane only
+stays in the vector while its future is provably identical to the
+golden machine's *control flow*:
+
+* a lane whose guard predicate disagrees with the golden guard retires
+  (``guard-divergence``) — per-lane squash would change the write-back
+  schedule and hence the port-stall timing;
+* a lane whose branch condition or branch target disagrees retires
+  (``branch-divergence``);
+* a lane that would trap (out-of-bounds load/store, division by zero)
+  retires (``trap-risk``);
+* instruction-fetch faults are resolved at the fetch they corrupt: a
+  word that no longer decodes is classified DETECTED on the spot (the
+  caller supplies the exact trap text via the ``ifetch`` callback); one
+  that still decodes retires (``ifetch-rewrite``);
+* parity-protected targets retire (``parity-protected``) — poison
+  bookkeeping belongs to the scalar machine;
+* out-of-range or malformed fault specs retire (``fault-out-of-range``)
+  so the scalar path reproduces today's error behaviour;
+* any internal surprise retires every unresolved lane
+  (``engine-error``) — the engine may only ever *decline* work.
+
+Retired lanes are re-run by the scalar ``LockstepChecker``, which is
+ground truth, so retirement can never change an outcome table.  For
+lanes that survive, matched guards + matched branches + no trap imply
+the lane issues the same bundles at the same cycles as the golden run
+(write-back schedules, forwarding ages and stall arithmetic are
+lane-invariant), so its final cycle count *is* ``reference_cycles`` and
+in-vector classification is exact:
+
+* **convergence cut** — at a quiescent cycle (empty write-back queue),
+  an activated non-stuck lane whose whole state equals row 0 can never
+  diverge again: MASKED immediately (PR 5 semantics);
+* **end of walk** — surviving lanes halt with the golden machine and
+  are classified by diffing their outputs against the golden model in
+  exactly the scalar checker's order (SDC on the first mismatch,
+  MASKED otherwise);
+* faults whose cycle lies beyond the last issue cycle never fire:
+  MASKED with the reference cycle count, as in the scalar run.
+
+Between activations with no live lane the walk fast-forwards along the
+shared golden checkpoint stream (``golden-jump``), and it stops early
+once every lane is resolved — so sparse campaigns do not pay for the
+whole trajectory.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core import decode as dec
+from repro.errors import SimulationError
+from repro.isa.semantics import to_signed
+from repro.mdes import Mdes
+
+try:  # NumPy is optional; the pure-Python plane is exact, just slower.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via monkeypatching
+    _np = None
+
+#: Fault target spaces / models, mirrored locally (``repro.reliability``
+#: imports the core, not the other way around).
+_SPACE_GPR = "gpr"
+_SPACE_PRED = "pred"
+_SPACE_BTR = "btr"
+_SPACE_MEM = "mem"
+_SPACE_IFETCH = "ifetch"
+_STATE_SPACES = (_SPACE_GPR, _SPACE_PRED, _SPACE_BTR, _SPACE_MEM)
+_MODEL_SEU = "seu"
+_MODEL_STUCK0 = "stuck-at-0"
+_MODEL_STUCK1 = "stuck-at-1"
+_MODELS = (_MODEL_SEU, _MODEL_STUCK0, _MODEL_STUCK1)
+
+#: Retirement reasons (stats keys; every retired lane re-runs scalar).
+RETIRE_GUARD = "guard-divergence"
+RETIRE_BRANCH = "branch-divergence"
+RETIRE_TRAP = "trap-risk"
+RETIRE_IFETCH = "ifetch-rewrite"
+RETIRE_PARITY = "parity-protected"
+RETIRE_BOUNDS = "fault-out-of-range"
+RETIRE_ENGINE = "engine-error"
+
+#: Default lane count per pass; bounds the memory plane at
+#: ``(DEFAULT_LANES + 1) * mem_words`` words.
+DEFAULT_LANES = 64
+
+# Pending write-back spaces (same codes as the scalar core).
+_P_GPR = 0
+_P_PRED = 1
+_P_BTR = 2
+
+
+@dataclass
+class LaneOutcome:
+    """One lane classified in-vector.
+
+    ``outcome`` uses the checker's wire values (``"masked"``,
+    ``"detected"``, ``"sdc"``) so the caller can map it straight onto
+    its ``Outcome`` enum.
+    """
+
+    outcome: str
+    detail: str
+    cycles: int
+    trap_cause: Optional[str] = None
+
+
+class _VectorAbort(Exception):
+    """Internal invariant violation: decline the pass, retire lanes."""
+
+
+class _Lane:
+    """One injected machine riding the walk."""
+
+    __slots__ = ("index", "fault", "row", "gpr", "pred", "btr", "mem",
+                 "stuck", "dirty")
+
+    def __init__(self, index: int, fault, row: int):
+        self.index = index       # position in the caller's fault list
+        self.fault = fault
+        self.row = row           # row in the lane-major planes
+        self.gpr: List[int] = []
+        self.pred: List[int] = []
+        self.btr: List[int] = []
+        self.mem = None          # row of the memory plane
+        self.stuck = fault.model != _MODEL_SEU
+        #: While *frozen* (registers equal to the golden row, memory
+        #: differing only at these addresses) the lane skips per-op
+        #: execution entirely; ``None`` when the lane is a runner.
+        self.dirty: Optional[set] = None
+
+
+class VectorEngine:
+    """Walks the golden trajectory once, carrying N injected lanes.
+
+    Construction mirrors the scalar checker's knowledge: the compiled
+    program, the golden outputs (``(name, base_address, expected)``
+    tuples in the checker's diff order), the golden checksum and the
+    reference cycle count.  :meth:`run_pass` then classifies a batch of
+    fault specs, returning ``None`` for every lane it retires to the
+    scalar path.
+    """
+
+    def __init__(self, config, program, mem_words: int,
+                 outputs: Sequence[Tuple[str, int, Sequence[int]]] = (),
+                 golden_checksum: Optional[int] = None,
+                 reference_cycles: int = 0,
+                 watchdog_cycles: Optional[int] = None,
+                 max_cycles: int = 200_000_000):
+        self.config = config
+        self.program = program
+        self.mem_words = mem_words
+        self.outputs = tuple((name, base, tuple(values))
+                             for name, base, values in outputs)
+        self.golden_checksum = golden_checksum
+        self.reference_cycles = reference_cycles
+        self.watchdog_cycles = watchdog_cycles
+        self.max_cycles = max_cycles
+
+        if len(program.data) > mem_words:
+            raise SimulationError(
+                f"program data ({len(program.data)} words) exceeds memory "
+                f"({mem_words} words)")
+        mask = config.mask
+        self._base_mem = [word & mask for word in program.data]
+        self._base_mem.extend([0] * (mem_words - len(self._base_mem)))
+
+        self._mdes = Mdes(config)
+        self._bundles = [dec.predecode_bundle(bundle, self._mdes, address)
+                         for address, bundle in enumerate(program.bundles)]
+
+    # -- fault triage ------------------------------------------------------
+
+    def _space_limit(self, space: str) -> int:
+        config = self.config
+        return {_SPACE_GPR: config.n_gprs,
+                _SPACE_PRED: config.n_preds,
+                _SPACE_BTR: config.n_btrs,
+                _SPACE_MEM: self.mem_words}[space]
+
+    def _protection(self, space: str) -> str:
+        if space == _SPACE_MEM:
+            return self.config.memory_protection
+        return self.config.regfile_protection
+
+    def _masked(self) -> LaneOutcome:
+        return LaneOutcome("masked", "outputs match", self.reference_cycles)
+
+    # -- the pass ----------------------------------------------------------
+
+    def run_pass(self, faults: Sequence,
+                 stream=None,
+                 ifetch: Optional[Callable] = None,
+                 strict: bool = False):
+        """Classify ``faults``; returns ``(outcomes, stats)``.
+
+        ``outcomes[i]`` is a :class:`LaneOutcome` or ``None`` (lane
+        retired — re-run it on the scalar checker).  ``stream`` is an
+        optional golden :class:`~repro.core.snapshot.CheckpointStream`
+        used for golden-jumps between activations.  ``ifetch`` resolves
+        instruction-fetch faults: called as ``ifetch(cycle, pc, fault)``
+        at the exact fetch the fault corrupts, it returns a
+        :class:`LaneOutcome` (the word no longer decodes — DETECTED
+        with the scalar trap text) or ``None`` (still decodes; the lane
+        retires).  ``strict`` re-raises internal errors instead of
+        retiring, for tests.
+        """
+        faults = list(faults)
+        outcomes: List[Optional[LaneOutcome]] = [None] * len(faults)
+        reasons: Dict[int, str] = {}
+        stats = {
+            "numpy": _np is not None,
+            "faults": len(faults),
+            "classified": 0,
+            "activated": 0,
+            "cuts": 0,
+            "jumps": 0,
+            "iterations": 0,
+            "lane_cycles": 0,
+            "frozen_cycles": 0,
+            "capacity": 0,
+            "retired": {},
+        }
+
+        def retire(index: int, reason: str) -> None:
+            reasons[index] = reason
+
+        try:
+            walk: List[Tuple[int, object]] = []
+            fetch_queue: List[Tuple[int, object]] = []
+            for position, fault in enumerate(faults):
+                space = fault.space
+                model = fault.model
+                if (space not in _STATE_SPACES + (_SPACE_IFETCH,)
+                        or model not in _MODELS
+                        or fault.index < 0 or fault.bit < 0
+                        or fault.cycle < 0):
+                    # The scalar injector rejects these with an
+                    # exception; reproduce that behaviour there.
+                    retire(position, RETIRE_BOUNDS)
+                    continue
+                if space == _SPACE_IFETCH:
+                    if ifetch is None:
+                        retire(position, RETIRE_IFETCH)
+                    else:
+                        fetch_queue.append((position, fault))
+                    continue
+                if fault.index >= self._space_limit(space):
+                    retire(position, RETIRE_BOUNDS)
+                    continue
+                # Triage order mirrors FaultInjector._apply_state.
+                if space in (_SPACE_GPR, _SPACE_PRED) and fault.index == 0:
+                    outcomes[position] = self._masked()  # no storage
+                    continue
+                protection = self._protection(space)
+                if protection == "ecc":
+                    outcomes[position] = self._masked()  # corrected
+                    continue
+                if protection == "parity":
+                    retire(position, RETIRE_PARITY)
+                    continue
+                walk.append((position, fault))
+
+            if walk or fetch_queue:
+                self._walk(walk, fetch_queue, outcomes, stats, retire,
+                           stream, ifetch)
+        except Exception:
+            if strict:
+                raise
+            # Safety net: the engine may only decline work.  Anything
+            # unresolved goes back to the scalar checker.
+            for position, outcome in enumerate(outcomes):
+                if outcome is None and position not in reasons:
+                    reasons[position] = RETIRE_ENGINE
+        retired: Dict[str, int] = stats["retired"]
+        for reason in reasons.values():
+            retired[reason] = retired.get(reason, 0) + 1
+        stats["classified"] = sum(1 for o in outcomes if o is not None)
+        return outcomes, stats
+
+    # -- the golden-trajectory walk ---------------------------------------
+
+    def _walk(self, walk, fetch_queue, outcomes, stats, retire,
+              stream, ifetch) -> None:
+        config = self.config
+        mask = config.mask
+        width = config.datapath_width
+        bundles = self._bundles
+        n_bundles = len(bundles)
+        n_gprs = config.n_gprs
+
+        port_budget = config.regfile_ops_per_cycle
+        model_ports = config.model_port_limit
+        forwarding = config.forwarding
+        share_bandwidth = config.lsu_shares_fetch_bandwidth
+        fetch_bits = config.issue_width * 64
+        bank_bits = config.n_mem_banks * 32 * 2
+        branch_penalty = config.taken_branch_penalty
+        reference_cycles = self.reference_cycles
+
+        # Golden row (row 0) — fresh-machine state.
+        g_gpr = [0] * n_gprs
+        g_gpr[1] = self.mem_words  # stack grows down from the top
+        g_pred = [0] * config.n_preds
+        g_pred[0] = 1
+        g_btr = [0] * config.n_btrs
+
+        lanes = [_Lane(position, fault, row + 1)
+                 for row, (position, fault) in enumerate(walk)]
+        n_rows = len(lanes) + 1
+        stats["capacity"] = max(1, len(lanes) + len(fetch_queue))
+
+        if _np is not None:
+            mem_plane = _np.zeros((n_rows, self.mem_words), dtype=_np.int64)
+            mem_plane[0] = self._base_mem
+            g_mem = mem_plane[0]
+            for lane in lanes:
+                lane.mem = mem_plane[lane.row]
+        else:
+            g_mem = list(self._base_mem)
+            for lane in lanes:
+                lane.mem = None  # allocated (copied) at activation
+
+        # Activation queues, ascending by fault cycle (stable).
+        activations = sorted(lanes, key=lambda lane: lane.fault.cycle)
+        act_at = 0
+        fetch_queue = sorted(fetch_queue, key=lambda item: item[1].cycle)
+        fetch_at = 0
+
+        # ``active`` lanes (runners) carry full private register state
+        # and execute every op; ``frozen`` lanes are provably identical
+        # to the golden row except at the memory addresses in their
+        # ``dirty`` set, so they skip per-op execution entirely — they
+        # only watch golden loads (a hit on a dirty word unfreezes the
+        # lane) and golden stores (which overwrite, and thereby *clean*,
+        # dirty words; an empty dirty set is an immediate MASKED cut).
+        active: List[_Lane] = []
+        frozen: List[_Lane] = []
+        stuck: List[_Lane] = []
+        # The injector re-asserts stuck-at bits every cycle, but the
+        # assert is idempotent: between writes to the target the value
+        # cannot drift.  Re-asserting only when a write actually lands
+        # on the target (drain or store flush) is therefore exact and
+        # saves a per-cycle loop.  ``stuck_reg`` keys register-space
+        # targets by their drain coordinates; ``stuck_mem`` lanes are
+        # checked against the address their own row received.
+        stuck_reg: Dict[tuple, List[_Lane]] = {}
+        stuck_mem: List[_Lane] = []
+
+        # Pending write-backs: (ready, seq, space, index, golden, vec)
+        # where ``vec`` is None (value identical in every lane) or a
+        # {row: value} dict; rows absent from the dict take the golden
+        # value — which is exactly right for lanes activated after the
+        # push, so activation needs no queue fix-up.
+        pending: List[tuple] = []
+        seq = 0
+        gpr_ready_at = [-1] * n_gprs
+        store_buffer: List[tuple] = []
+
+        # Convergence cuts compare lanes against the *live* golden row,
+        # not against stored checkpoints, so the cut cadence is free to
+        # be much denser than the checkpoint spacing: a lane whose
+        # divergence dies is dropped within a few dozen cycles instead
+        # of riding along to the halt.  Purely a perf knob — a cut lane
+        # and a survivor whose outputs match classify identically.
+        cut_interval = max(32, reference_cycles // 192)
+        next_cut = cut_interval
+
+        def stuck_key(lane: _Lane) -> tuple:
+            space = lane.fault.space
+            code = _P_GPR if space == _SPACE_GPR else \
+                _P_PRED if space == _SPACE_PRED else _P_BTR
+            return (code, lane.fault.index)
+
+        def drop(lane: _Lane) -> None:
+            active.remove(lane)
+            if lane in stuck:
+                stuck.remove(lane)
+                if lane.fault.space == _SPACE_MEM:
+                    stuck_mem.remove(lane)
+                else:
+                    stuck_reg[stuck_key(lane)].remove(lane)
+
+        def retire_lane(lane: _Lane, reason: str) -> None:
+            drop(lane)
+            retire(lane.index, reason)
+
+        #: Freezing is only sound with no write-backs in flight (a
+        #: pending column could still land a divergent value), so it
+        #: happens at cut checks (pending provably empty) or at a
+        #: mem-fault activation (earlier pushes carry no entry for a
+        #: not-yet-activated row, and the drain default is golden).
+        FREEZE_MAX_DIRTY = 32
+
+        def freeze(lane: _Lane, dirty: set) -> None:
+            active.remove(lane)
+            lane.dirty = dirty
+            frozen.append(lane)
+
+        def unfreeze(lane: _Lane) -> None:
+            frozen.remove(lane)
+            lane.dirty = None
+            lane.gpr = list(g_gpr)
+            lane.pred = list(g_pred)
+            lane.btr = list(g_btr)
+            active.append(lane)
+
+        cycle = 0
+        pc = self.program.entry
+        halted = False
+
+        while not halted:
+            if cycle >= reference_cycles:
+                raise _VectorAbort(
+                    f"walk overran the reference run ({cycle} >= "
+                    f"{reference_cycles} cycles)")
+            if not active and not frozen and act_at >= len(activations) \
+                    and fetch_at >= len(fetch_queue):
+                # Every lane resolved; the golden continuation is known.
+                break
+            if not pending:
+                if active and cycle >= next_cut:
+                    for lane in list(active):
+                        if lane.stuck:
+                            continue
+                        if lane.gpr != g_gpr or lane.pred != g_pred \
+                                or lane.btr != g_btr:
+                            continue
+                        # Registers reconverged; diff the memory row.
+                        if _np is not None:
+                            diff = (lane.mem != g_mem).nonzero()[0]
+                            dirty = set(int(a) for a in diff)
+                        else:
+                            dirty = set(
+                                a for a, (mine, gold)
+                                in enumerate(zip(lane.mem, g_mem))
+                                if mine != gold)
+                        if not dirty:
+                            drop(lane)
+                            outcomes[lane.index] = self._masked()
+                            stats["cuts"] += 1
+                        elif len(dirty) <= FREEZE_MAX_DIRTY:
+                            freeze(lane, dirty)
+                    next_cut = cycle + cut_interval
+                elif not active and not frozen and stream is not None:
+                    # Golden-jump: fast-forward row 0 to the nearest
+                    # checkpoint at or before the next activation.
+                    targets = []
+                    if act_at < len(activations):
+                        targets.append(activations[act_at].fault.cycle)
+                    if fetch_at < len(fetch_queue):
+                        targets.append(fetch_queue[fetch_at][1].cycle)
+                    snap = stream.nearest(min(targets))
+                    if snap is not None and snap.cycle > cycle:
+                        if snap.traps or snap.gpr_poison \
+                                or snap.pred_poison or snap.btr_poison \
+                                or snap.mem_poison:
+                            raise _VectorAbort(
+                                "golden checkpoint carries traps/poison")
+                        g_gpr[:] = snap.gpr
+                        g_pred[:] = snap.pred
+                        g_btr[:] = snap.btr
+                        g_mem[:] = snap.mem
+                        cycle = snap.cycle
+                        pc = snap.pc
+                        stats["jumps"] += 1
+                        continue
+            if not 0 <= pc < n_bundles:
+                raise _VectorAbort(f"golden pc {pc} out of program")
+
+            # ---- write-back drain (landing writes count port ops) ----
+            writes_landing = 0
+            while pending and pending[0][0] <= cycle:
+                ready, _, space, index, golden, vec = heapq.heappop(pending)
+                if space == _P_GPR:
+                    gpr_ready_at[index] = ready
+                    if ready == cycle:
+                        writes_landing += 1
+                    if index:
+                        g_gpr[index] = golden
+                        if vec is None:
+                            for lane in active:
+                                lane.gpr[index] = golden
+                        else:
+                            for lane in active:
+                                lane.gpr[index] = vec.get(lane.row, golden)
+                elif space == _P_PRED:
+                    if index:
+                        g_pred[index] = golden
+                        if vec is None:
+                            for lane in active:
+                                lane.pred[index] = golden
+                        else:
+                            for lane in active:
+                                lane.pred[index] = vec.get(lane.row, golden)
+                else:
+                    g_btr[index] = golden
+                    if vec is None:
+                        for lane in active:
+                            lane.btr[index] = golden
+                    else:
+                        for lane in active:
+                            lane.btr[index] = vec.get(lane.row, golden)
+                if stuck_reg and (index or space == _P_BTR):
+                    hits = stuck_reg.get((space, index))
+                    if hits:
+                        # The landing write clobbered a stuck-at target;
+                        # the injector forces the bit back before reads.
+                        for s in hits:
+                            self._assert_stuck(s, mask)
+
+            # ---- injector position: activations ----------------------
+            while act_at < len(activations) \
+                    and activations[act_at].fault.cycle <= cycle:
+                lane = activations[act_at]
+                act_at += 1
+                if _np is not None:
+                    lane.mem[:] = g_mem
+                else:
+                    lane.mem = list(g_mem)
+                if lane.fault.space == _SPACE_MEM and not lane.stuck:
+                    # A transient memory flip leaves the registers
+                    # golden and dirties exactly one word: the lane is
+                    # born frozen.  (An SEU flip always changes the
+                    # word, so the dirty set is never vacuously stale.)
+                    self._apply_fault(lane, mask)
+                    lane.dirty = {lane.fault.index}
+                    frozen.append(lane)
+                else:
+                    lane.gpr = list(g_gpr)
+                    lane.pred = list(g_pred)
+                    lane.btr = list(g_btr)
+                    active.append(lane)
+                    if lane.stuck:
+                        stuck.append(lane)
+                        if lane.fault.space == _SPACE_MEM:
+                            stuck_mem.append(lane)
+                        else:
+                            stuck_reg.setdefault(
+                                stuck_key(lane), []).append(lane)
+                    self._apply_fault(lane, mask)
+                stats["activated"] += 1
+            while fetch_at < len(fetch_queue) \
+                    and fetch_queue[fetch_at][1].cycle <= cycle:
+                position, fault = fetch_queue[fetch_at]
+                fetch_at += 1
+                resolved = ifetch(cycle, pc, fault)
+                if resolved is not None:
+                    outcomes[position] = resolved
+                else:
+                    retire(position, RETIRE_IFETCH)
+
+            bundle = bundles[pc]
+            stats["iterations"] += 1
+            stats["lane_cycles"] += len(active) + len(frozen)
+            stats["frozen_cycles"] += len(frozen)
+
+            # ---- stage 1: read-port accounting (lane-invariant) ------
+            reads = 0
+            for reg in bundle.gpr_read_set:
+                if reg == 0:
+                    continue
+                if forwarding and reg < n_gprs \
+                        and gpr_ready_at[reg] == cycle:
+                    continue  # forwarded
+                reads += 1
+
+            # ---- stage 2: execute ------------------------------------
+            taken = False
+            target = 0
+            for op in bundle.ops:
+                kind = op.kind
+                if kind == dec.K_NOP:
+                    continue
+                guard = op.guard
+                if guard:
+                    g_guard = g_pred[guard]
+                    for lane in list(active):
+                        if lane.pred[guard] != g_guard:
+                            retire_lane(lane, RETIRE_GUARD)
+                    if not g_guard:
+                        continue  # squashed in the golden machine
+
+                if kind == dec.K_ALU:
+                    a = op.s1 & mask if op.s1_lit else g_gpr[op.s1]
+                    if op.fn is None:  # MOVE
+                        golden = a
+                    else:
+                        b = op.s2 & mask if op.s2_lit else g_gpr[op.s2]
+                        golden = op.fn(a, b, width)
+                    vec = None
+                    if active and op.gpr_reads:
+                        # Lanes whose operands match the golden machine's
+                        # compute the golden result: leave them out of the
+                        # column (the drain's .get() default fills it in)
+                        # and skip the fn call entirely.
+                        vec = {}
+                        for lane in list(active):
+                            la = a if op.s1_lit else lane.gpr[op.s1]
+                            if op.fn is None:
+                                if la != a:
+                                    vec[lane.row] = la
+                                continue
+                            lb = b if op.s2_lit else lane.gpr[op.s2]
+                            if la == a and lb == b:
+                                continue
+                            try:
+                                vec[lane.row] = op.fn(la, lb, width)
+                            except SimulationError:
+                                # Division by zero in this lane only.
+                                retire_lane(lane, RETIRE_TRAP)
+                    seq += 1
+                    heapq.heappush(pending, (cycle + op.latency, seq,
+                                             _P_GPR, op.d1, golden, vec))
+                elif kind == dec.K_CUSTOM:
+                    a = op.s1 & mask if op.s1_lit else g_gpr[op.s1]
+                    b = op.s2 & mask if op.s2_lit else g_gpr[op.s2]
+                    golden = op.fn(a, b, mask)
+                    vec = None
+                    if active and op.gpr_reads:
+                        vec = {}
+                        for lane in list(active):
+                            la = a if op.s1_lit else lane.gpr[op.s1]
+                            lb = b if op.s2_lit else lane.gpr[op.s2]
+                            if la == a and lb == b:
+                                continue
+                            try:
+                                vec[lane.row] = op.fn(la, lb, mask)
+                            except SimulationError:
+                                retire_lane(lane, RETIRE_TRAP)
+                    seq += 1
+                    heapq.heappush(pending, (cycle + op.latency, seq,
+                                             _P_GPR, op.d1, golden, vec))
+                elif kind == dec.K_MOVI:
+                    seq += 1
+                    heapq.heappush(pending, (cycle + op.latency, seq,
+                                             _P_GPR, op.d1, op.s1 & mask,
+                                             None))
+                elif kind == dec.K_CMP:
+                    a = op.s1 & mask if op.s1_lit else g_gpr[op.s1]
+                    b = op.s2 & mask if op.s2_lit else g_gpr[op.s2]
+                    condition = op.fn(a, b, width)
+                    vec1 = None
+                    vec2 = None
+                    if active and op.gpr_reads:
+                        vec1 = {}
+                        vec2 = {}
+                        for lane in active:
+                            la = a if op.s1_lit else lane.gpr[op.s1]
+                            lb = b if op.s2_lit else lane.gpr[op.s2]
+                            if la == a and lb == b:
+                                continue
+                            lc = op.fn(la, lb, width)
+                            vec1[lane.row] = lc
+                            vec2[lane.row] = 1 - lc
+                    seq += 1
+                    heapq.heappush(pending, (cycle + op.latency, seq,
+                                             _P_PRED, op.d1, condition,
+                                             vec1))
+                    seq += 1
+                    heapq.heappush(pending, (cycle + op.latency, seq,
+                                             _P_PRED, op.d2, 1 - condition,
+                                             vec2))
+                elif kind in (dec.K_LOAD, dec.K_LOAD_SPEC):
+                    base = op.s1 & mask if op.s1_lit else g_gpr[op.s1]
+                    offset = op.s2 & mask if op.s2_lit else g_gpr[op.s2]
+                    address = to_signed(base + offset & mask, width)
+                    if not 0 <= address < self.mem_words:
+                        if kind == dec.K_LOAD:
+                            raise _VectorAbort(
+                                f"golden load from {address}")
+                        golden = 0
+                    else:
+                        golden = int(g_mem[address]) if _np is not None \
+                            else g_mem[address]
+                    vec = None
+                    if active or frozen:
+                        vec = {}
+                        for lane in list(active):
+                            lb = base if op.s1_lit else lane.gpr[op.s1]
+                            lo = offset if op.s2_lit else lane.gpr[op.s2]
+                            if lb == base and lo == offset:
+                                laddr = address
+                            else:
+                                laddr = to_signed(lb + lo & mask, width)
+                            if not 0 <= laddr < self.mem_words:
+                                if kind == dec.K_LOAD:
+                                    # Would trap OOB (or diverge): exact
+                                    # classification is the scalar's job.
+                                    retire_lane(lane, RETIRE_TRAP)
+                                elif golden:
+                                    vec[lane.row] = 0  # dismissible
+                                continue
+                            value = lane.mem[laddr]
+                            if value != golden:
+                                vec[lane.row] = int(value) \
+                                    if _np is not None else value
+                        if frozen and 0 <= address < self.mem_words:
+                            # Frozen lanes load from the golden address;
+                            # a hit on a dirty word diverges the lane.
+                            for lane in list(frozen):
+                                if address in lane.dirty:
+                                    unfreeze(lane)
+                                    value = lane.mem[address]
+                                    vec[lane.row] = int(value) \
+                                        if _np is not None else value
+                    seq += 1
+                    heapq.heappush(pending, (cycle + op.latency, seq,
+                                             _P_GPR, op.d1, golden, vec))
+                elif kind == dec.K_STORE:
+                    base = op.s1 & mask if op.s1_lit else g_gpr[op.s1]
+                    offset = op.s2 & mask if op.s2_lit else g_gpr[op.s2]
+                    address = to_signed(base + offset & mask, width)
+                    if not 0 <= address < self.mem_words:
+                        raise _VectorAbort(f"golden store to {address}")
+                    golden = g_gpr[op.d1]  # store value travels in DEST1
+                    vec = None
+                    if active:
+                        vec = {}
+                        for lane in list(active):
+                            lb = base if op.s1_lit else lane.gpr[op.s1]
+                            lo = offset if op.s2_lit else lane.gpr[op.s2]
+                            if lb == base and lo == offset:
+                                lvalue = lane.gpr[op.d1]
+                                if lvalue != golden:
+                                    vec[lane.row] = (address, lvalue)
+                                continue
+                            laddr = to_signed(lb + lo & mask, width)
+                            if not 0 <= laddr < self.mem_words:
+                                retire_lane(lane, RETIRE_TRAP)
+                                continue
+                            vec[lane.row] = (laddr, lane.gpr[op.d1])
+                    store_buffer.append((address, golden, vec))
+                elif kind == dec.K_PBR:
+                    seq += 1
+                    heapq.heappush(pending, (cycle + op.latency, seq,
+                                             _P_BTR, op.d1, op.s1, None))
+                elif kind == dec.K_MOVGBP:
+                    golden = op.s1 & mask if op.s1_lit else g_gpr[op.s1]
+                    vec = None
+                    if active and not op.s1_lit:
+                        vec = {lane.row: value for lane in active
+                               if (value := lane.gpr[op.s1]) != golden}
+                    seq += 1
+                    heapq.heappush(pending, (cycle + op.latency, seq,
+                                             _P_BTR, op.d1, golden, vec))
+                elif kind == dec.K_BR:
+                    taken = True
+                    target = g_btr[op.s1]
+                    for lane in list(active):
+                        if lane.btr[op.s1] != target:
+                            retire_lane(lane, RETIRE_BRANCH)
+                elif kind in (dec.K_BRCT, dec.K_BRCF):
+                    condition = g_pred[op.s2]
+                    for lane in list(active):
+                        if lane.pred[op.s2] != condition:
+                            retire_lane(lane, RETIRE_BRANCH)
+                    branches = condition if kind == dec.K_BRCT \
+                        else not condition
+                    if branches:
+                        taken = True
+                        target = g_btr[op.s1]
+                        for lane in list(active):
+                            if lane.btr[op.s1] != target:
+                                retire_lane(lane, RETIRE_BRANCH)
+                elif kind == dec.K_BRL:
+                    taken = True
+                    target = g_btr[op.s1]
+                    for lane in list(active):
+                        if lane.btr[op.s1] != target:
+                            retire_lane(lane, RETIRE_BRANCH)
+                    seq += 1
+                    heapq.heappush(pending, (cycle + op.latency, seq,
+                                             _P_GPR, op.d1,
+                                             (pc + 1) & mask, None))
+                elif kind == dec.K_HALT:
+                    halted = True
+                else:
+                    raise _VectorAbort(f"unhandled op kind {kind}")
+
+            # ---- buffered stores land (validated at issue) -----------
+            if store_buffer:
+                for address, golden, vec in store_buffer:
+                    g_mem[address] = golden
+                    if vec is None:
+                        for lane in active:
+                            lane.mem[address] = golden
+                    else:
+                        for lane in active:
+                            laddr, lvalue = vec.get(lane.row,
+                                                    (address, golden))
+                            lane.mem[laddr] = lvalue
+                    for s in stuck_mem:
+                        # Each lane stored to its own address; if that
+                        # hit the lane's stuck word, force the bit back.
+                        hit = address if vec is None \
+                            else vec.get(s.row, (address, 0))[0]
+                        if hit == s.fault.index:
+                            self._assert_stuck(s, mask)
+                    # A frozen lane stores the golden value to the
+                    # golden address — overwriting a dirty word cleans
+                    # it, and a lane with nothing dirty left IS the
+                    # golden machine: immediate MASKED cut.
+                    for lane in list(frozen):
+                        lane.mem[address] = golden
+                        if address in lane.dirty:
+                            lane.dirty.discard(address)
+                            if not lane.dirty:
+                                frozen.remove(lane)
+                                lane.dirty = None
+                                outcomes[lane.index] = self._masked()
+                                stats["cuts"] += 1
+                del store_buffer[:]
+
+            # ---- issue-cost accounting -------------------------------
+            extra = 0
+            if model_ports:
+                port_ops = reads + writes_landing
+                if port_ops > port_budget:
+                    extra += (port_ops + port_budget - 1) // port_budget - 1
+            if share_bandwidth and bundle.n_mem:
+                demand = fetch_bits + 32 * bundle.n_mem
+                extra += (demand + bank_bits - 1) // bank_bits - 1
+
+            if taken and not halted:
+                extra += branch_penalty
+                pc = target
+            else:
+                pc += 1
+
+            cycle += 1 + extra
+
+        if not halted:
+            # Early stop: every lane resolved before the golden halt.
+            return
+
+        # Final drain: outstanding write-backs become architectural.
+        while pending:
+            _, _, space, index, golden, vec = heapq.heappop(pending)
+            if space == _P_GPR and index:
+                g_gpr[index] = golden
+                for lane in active:
+                    lane.gpr[index] = golden if vec is None \
+                        else vec.get(lane.row, golden)
+            elif space == _P_PRED and index:
+                g_pred[index] = golden
+                for lane in active:
+                    lane.pred[index] = golden if vec is None \
+                        else vec.get(lane.row, golden)
+            elif space == _P_BTR:
+                g_btr[index] = golden
+                for lane in active:
+                    lane.btr[index] = golden if vec is None \
+                        else vec.get(lane.row, golden)
+
+        if cycle != reference_cycles:
+            raise _VectorAbort(
+                f"walk halted at cycle {cycle}, reference says "
+                f"{reference_cycles}")
+
+        # Surviving lanes halted in lockstep with the golden machine:
+        # classify by output diff, in the scalar checker's exact order.
+        # Frozen lanes' registers ARE the golden row (their private
+        # lists went stale the moment they froze) — re-point before the
+        # checksum diff.
+        for lane in frozen:
+            lane.gpr = g_gpr
+        for lane in active + frozen:
+            outcomes[lane.index] = self._classify_outputs(lane)
+        # Faults whose cycle lay beyond the last issue cycle never
+        # fired; the machine ran the golden trajectory to completion.
+        while act_at < len(activations):
+            outcomes[activations[act_at].index] = self._masked()
+            act_at += 1
+        while fetch_at < len(fetch_queue):
+            outcomes[fetch_queue[fetch_at][0]] = self._masked()
+            fetch_at += 1
+
+    # -- lane fault application -------------------------------------------
+
+    def _apply_fault(self, lane: _Lane, mask: int) -> None:
+        """Apply the lane's fault to its freshly-copied row.
+
+        Bit semantics mirror ``GprFile``/``PredFile``/``BtrFile``/
+        ``DataMemory`` exactly (masking included).
+        """
+        fault = lane.fault
+        space, index, bit = fault.space, fault.index, fault.bit
+        seu = fault.model == _MODEL_SEU
+        level = 1 if fault.model == _MODEL_STUCK1 else 0
+        if space == _SPACE_GPR:
+            value = lane.gpr[index]
+            if seu:
+                value ^= 1 << bit
+            elif level:
+                value |= 1 << bit
+            else:
+                value &= ~(1 << bit)
+            lane.gpr[index] = value & mask
+        elif space == _SPACE_PRED:
+            # Predicates are one bit wide; any requested bit is bit 0.
+            if seu:
+                lane.pred[index] ^= 1
+            else:
+                lane.pred[index] = level
+        elif space == _SPACE_BTR:
+            value = lane.btr[index]
+            if seu:
+                value ^= 1 << bit
+            elif level:
+                value |= 1 << bit
+            else:
+                value &= ~(1 << bit)
+            lane.btr[index] = value
+        else:  # mem
+            value = int(lane.mem[index])
+            if seu:
+                value = (value ^ (1 << bit)) & mask
+            elif level:
+                value |= (1 << bit) & mask
+            else:
+                value &= ~(1 << bit)
+            lane.mem[index] = value
+
+    def _assert_stuck(self, lane: _Lane, mask: int) -> None:
+        """Re-assert a stuck-at bit (the injector does this every cycle)."""
+        fault = lane.fault
+        space, index, bit = fault.space, fault.index, fault.bit
+        level = 1 if fault.model == _MODEL_STUCK1 else 0
+        if space == _SPACE_GPR:
+            value = lane.gpr[index]
+            value = (value | (1 << bit)) if level else (value & ~(1 << bit))
+            lane.gpr[index] = value & mask
+        elif space == _SPACE_PRED:
+            lane.pred[index] = level
+        elif space == _SPACE_BTR:
+            value = lane.btr[index]
+            lane.btr[index] = (value | (1 << bit)) if level \
+                else (value & ~(1 << bit))
+        else:
+            value = int(lane.mem[index])
+            if level:
+                value |= (1 << bit) & mask
+            else:
+                value &= ~(1 << bit)
+            lane.mem[index] = value
+
+    # -- end-of-walk classification ---------------------------------------
+
+    def _classify_outputs(self, lane: _Lane) -> LaneOutcome:
+        """Diff a surviving lane against the golden outputs.
+
+        Byte-compatible with ``LockstepChecker.diff_outputs`` +
+        ``run_one``: first mismatching output word (or the checksum)
+        yields SDC with the same detail string; no mismatch is MASKED.
+        The cycle count is ``reference_cycles`` — the lane issued every
+        bundle in lockstep with the golden machine (that is what kept
+        it in the vector), so its halt cycle is the reference's.
+        """
+        for name, base, expected_values in self.outputs:
+            row = lane.mem
+            for offset, expected in enumerate(expected_values):
+                got = int(row[base + offset]) if _np is not None \
+                    else row[base + offset]
+                if got != expected:
+                    return LaneOutcome(
+                        "sdc",
+                        f"output {name}[{offset}] = {got:#x}, "
+                        f"golden {expected:#x}",
+                        self.reference_cycles)
+        if self.golden_checksum is not None:
+            expected = self.golden_checksum & self.config.mask
+            got = lane.gpr[2]  # r2 carries main's return value
+            if got != expected:
+                return LaneOutcome(
+                    "sdc",
+                    f"checksum {got:#x}, golden {expected:#x}",
+                    self.reference_cycles)
+        return self._masked()

@@ -20,6 +20,7 @@ from repro.harness.report import paper_comparison, PaperClaim
 from repro.harness.faultcampaign import (
     CampaignReport,
     generate_faults,
+    measure_vector_throughput,
     render_vulnerability_table,
     run_campaign,
 )
@@ -32,6 +33,7 @@ __all__ = [
     "run_on_epic",
     "CampaignReport",
     "generate_faults",
+    "measure_vector_throughput",
     "render_vulnerability_table",
     "run_campaign",
     "Table1",

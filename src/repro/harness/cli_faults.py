@@ -22,6 +22,7 @@ from repro.harness.faultcampaign import (
     DEFAULT_SPACES,
     campaign_payload,
     measure_campaign_throughput,
+    measure_vector_throughput,
     render_vulnerability_table,
     run_campaign,
 )
@@ -90,6 +91,21 @@ def main(argv=None) -> int:
                              "checkpointed, verify identical outcome "
                              "tables, and fail unless the checkpointed "
                              "pass is >= X times faster")
+    parser.add_argument("--engine", default="auto",
+                        choices=("auto", "vector"),
+                        help="campaign classification engine: 'auto' "
+                             "(scalar checker) or 'vector' (batched "
+                             "lane engine; byte-identical outcomes)")
+    parser.add_argument("--gate-vector-speedup", type=float,
+                        default=None, metavar="X",
+                        help="run each campaign scalar-checkpointed and "
+                             "vector, verify identical outcome tables, "
+                             "and fail unless the vector pass is >= X "
+                             "times faster")
+    parser.add_argument("--gate-repeat", type=int, default=3, metavar="N",
+                        help="best-of-N timing trials per engine for "
+                             "--gate-vector-speedup (every trial is still "
+                             "byte-compared; N > 1 damps host noise)")
     arguments = parser.parse_args(argv)
 
     if arguments.n < 1:
@@ -111,6 +127,24 @@ def main(argv=None) -> int:
         if arguments.no_checkpoints:
             print("repro-faults: --gate-checkpoint-speedup and "
                   "--no-checkpoints are contradictory", file=sys.stderr)
+            return 2
+    if arguments.gate_vector_speedup is not None:
+        if arguments.gate_checkpoint_speedup is not None:
+            print("repro-faults: pick one gate (--gate-vector-speedup or "
+                  "--gate-checkpoint-speedup)", file=sys.stderr)
+            return 2
+        if arguments.jobs > 1:
+            print("repro-faults: --gate-vector-speedup measures the "
+                  "serial path; drop --jobs", file=sys.stderr)
+            return 2
+        if arguments.no_checkpoints:
+            print("repro-faults: --gate-vector-speedup compares against "
+                  "the checkpointed baseline; drop --no-checkpoints",
+                  file=sys.stderr)
+            return 2
+        if arguments.gate_repeat < 1:
+            print("repro-faults: --gate-repeat must be >= 1",
+                  file=sys.stderr)
             return 2
 
     if arguments.quick:
@@ -185,6 +219,28 @@ def main(argv=None) -> int:
                           f"speedup {timing['speedup']:.2f}x "
                           f"(gate {gate:.1f}x): {verdict}",
                           file=sys.stderr)
+                elif arguments.gate_vector_speedup is not None:
+                    report, timing = measure_vector_throughput(
+                        spec, config, arguments.n, arguments.seed,
+                        spaces=arguments.spaces,
+                        watchdog_factor=arguments.watchdog,
+                        checkpoint_interval=arguments.checkpoint_interval,
+                        checkpoint_store=store,
+                        repeat=arguments.gate_repeat,
+                    )
+                    timings.append(timing)
+                    gate = arguments.gate_vector_speedup
+                    verdict = "ok" if timing["speedup"] >= gate else "FAIL"
+                    if verdict == "FAIL":
+                        gate_failures.append(timing)
+                    print(f"  {report.workload} {report.machine}: "
+                          f"vector "
+                          f"{timing['vector']['faults_per_s']:.1f} "
+                          f"faults/s vs scalar checkpointed "
+                          f"{timing['scalar']['faults_per_s']:.1f} — "
+                          f"speedup {timing['speedup']:.2f}x "
+                          f"(gate {gate:.1f}x): {verdict}",
+                          file=sys.stderr)
                 else:
                     report = run_campaign(
                         spec, config, arguments.n, arguments.seed,
@@ -198,6 +254,7 @@ def main(argv=None) -> int:
                                      else None),
                         checkpoint_interval=arguments.checkpoint_interval,
                         checkpoint_store=store,
+                        engine=arguments.engine,
                     )
                     if report.timing is not None:
                         timing = dict(report.timing)
@@ -211,6 +268,14 @@ def main(argv=None) -> int:
                               f"cycles skipped, "
                               f"{timing['convergence_cuts']} convergence "
                               f"cuts)", file=sys.stderr)
+                        if "vector_occupancy" in timing:
+                            print(f"    vector: "
+                                  f"{timing['vector_faults']} lanes, "
+                                  f"{timing['scalar_faults']} retired to "
+                                  f"scalar, occupancy "
+                                  f"{timing['vector_occupancy']:.2f}, "
+                                  f"numpy={timing['vector_numpy']}",
+                                  file=sys.stderr)
                 reports.append(report)
                 estimate = estimate_resources(config)
                 resources.append({
@@ -222,19 +287,24 @@ def main(argv=None) -> int:
         print(f"repro-faults: {error}", file=sys.stderr)
         return 1
 
+    gate_value = arguments.gate_checkpoint_speedup \
+        if arguments.gate_checkpoint_speedup is not None \
+        else arguments.gate_vector_speedup
+    gate_name = "checkpoint" if arguments.gate_checkpoint_speedup \
+        is not None else "vector"
     if arguments.timing_out:
         with open(arguments.timing_out, "w", encoding="utf-8") as handle:
             json.dump({
                 "timings": timings,
-                "gate": arguments.gate_checkpoint_speedup,
+                "gate": gate_value,
                 "gate_failures": len(gate_failures),
             }, handle, indent=2)
             handle.write("\n")
 
     exit_code = 0
     if gate_failures:
-        print(f"repro-faults: checkpoint speedup gate "
-              f"({arguments.gate_checkpoint_speedup:.1f}x) failed for "
+        print(f"repro-faults: {gate_name} speedup gate "
+              f"({gate_value:.1f}x) failed for "
               f"{len(gate_failures)} campaign(s)", file=sys.stderr)
         exit_code = 1
 

@@ -121,23 +121,36 @@ class CampaignReport:
     timing: Optional[Dict[str, object]] = None
 
     @property
+    def classified(self) -> int:
+        """Number of injections that actually produced an outcome.
+
+        Quarantined or crashed serve jobs can leave a report with fewer
+        than ``n`` classified results; rates are computed over this
+        denominator, never over the nominal ``n``, so missing results
+        cannot silently deflate them.
+        """
+        return sum(self.counts.values())
+
+    def _rate(self, outcome: Outcome) -> float:
+        classified = self.classified
+        return (self.counts.get(outcome.value, 0) / classified
+                if classified else 0.0)
+
+    @property
     def sdc_rate(self) -> float:
-        return self.counts.get(Outcome.SDC.value, 0) / self.n if self.n else 0.0
+        return self._rate(Outcome.SDC)
 
     @property
     def detected_rate(self) -> float:
-        return (self.counts.get(Outcome.DETECTED.value, 0) / self.n
-                if self.n else 0.0)
+        return self._rate(Outcome.DETECTED)
 
     @property
     def masked_rate(self) -> float:
-        return (self.counts.get(Outcome.MASKED.value, 0) / self.n
-                if self.n else 0.0)
+        return self._rate(Outcome.MASKED)
 
     @property
     def hung_rate(self) -> float:
-        return (self.counts.get(Outcome.HUNG.value, 0) / self.n
-                if self.n else 0.0)
+        return self._rate(Outcome.HUNG)
 
     def outcome_table(self) -> List[Tuple[str, str]]:
         """Per-fault (fault, outcome) pairs — the determinism fingerprint."""
@@ -214,7 +227,8 @@ def run_campaign(spec: WorkloadSpec, config: MachineConfig,
                  shards: Optional[int] = None,
                  checkpoints: Optional[bool] = None,
                  checkpoint_interval: Optional[int] = None,
-                 checkpoint_store=None) -> CampaignReport:
+                 checkpoint_store=None,
+                 engine: str = "auto") -> CampaignReport:
     """Run one seeded campaign of ``n`` injections and aggregate it.
 
     Pass a pre-built ``checker`` to amortise compilation and the golden
@@ -241,9 +255,19 @@ def run_campaign(spec: WorkloadSpec, config: MachineConfig,
     the report is byte-identical either way, which is also why it never
     enters the serve job digests.  The report's ``timing`` field
     carries wall-clock throughput and fast-forward counters.
+
+    ``engine`` selects the classification path: ``"auto"`` runs every
+    fault through the scalar checker; ``"vector"`` rides the batched
+    vector engine (:mod:`repro.core.vector`) and retires inexact lanes
+    to the scalar checker.  Like ``checkpoints`` it is a pure perf
+    knob — outcome tables are byte-identical either way.
     """
     import time as _time
 
+    if engine not in ("auto", "vector"):
+        raise ValueError(
+            f"unknown campaign engine {engine!r}: expected 'auto' or "
+            f"'vector'")
     started = _time.perf_counter()
     if executor is not None or cache is not None:
         from repro.serve import (
@@ -253,7 +277,8 @@ def run_campaign(spec: WorkloadSpec, config: MachineConfig,
         from repro.serve.worker import campaign_checker
 
         whole = campaign_job(spec, config, n, seed, spaces=spaces,
-                             watchdog_factor=watchdog_factor)
+                             watchdog_factor=watchdog_factor,
+                             engine=engine)
         want = shards if shards is not None \
             else getattr(executor, "jobs", 1)
         jobs = shard_campaign(whole, want) if want > 1 else [whole]
@@ -290,6 +315,7 @@ def run_campaign(spec: WorkloadSpec, config: MachineConfig,
         shard_metas = [outcome.meta for outcome in outcomes
                        if outcome.meta and "faults_run" in outcome.meta]
         report.timing = {
+            "engine": engine,
             "elapsed_s": elapsed,
             "faults_per_s": n / elapsed if elapsed > 0 else 0.0,
             "checkpointed": any(meta.get("checkpointed")
@@ -299,6 +325,31 @@ def run_campaign(spec: WorkloadSpec, config: MachineConfig,
             "convergence_cuts": sum(
                 meta.get("ff_convergence_cuts", 0) for meta in shard_metas),
         }
+        if engine == "vector":
+            lanes_retired: Dict[str, int] = {}
+            for meta in shard_metas:
+                for reason, count in meta.get("lanes_retired", {}).items():
+                    lanes_retired[reason] = \
+                        lanes_retired.get(reason, 0) + count
+            lane_cycles = sum(meta.get("vector_lane_cycles", 0)
+                              for meta in shard_metas)
+            lane_capacity = sum(meta.get("vector_lane_capacity", 0)
+                                for meta in shard_metas)
+            report.timing.update({
+                "vector_faults": sum(meta.get("vector_faults", 0)
+                                     for meta in shard_metas),
+                "scalar_faults": sum(meta.get("vector_scalar_faults", 0)
+                                     for meta in shard_metas),
+                "vector_cuts": sum(meta.get("vector_cuts", 0)
+                                   for meta in shard_metas),
+                "vector_jumps": sum(meta.get("vector_jumps", 0)
+                                    for meta in shard_metas),
+                "lanes_retired": lanes_retired,
+                "vector_occupancy": (lane_cycles / lane_capacity
+                                     if lane_capacity else 0.0),
+                "vector_numpy": any(meta.get("vector_numpy")
+                                    for meta in shard_metas),
+            })
         return report
 
     if checker is None:
@@ -315,19 +366,29 @@ def run_campaign(spec: WorkloadSpec, config: MachineConfig,
         checker.checkpoints = checkpoints
     ff_before = checker.fastforward_stats()
     faults = generate_faults(checker, n, seed, spaces)
-    results = []
-    for number, fault in enumerate(faults, start=1):
-        result = checker.run_one(fault)
-        results.append(result)
-        if on_result is not None:
-            on_result(result)
-        if progress is not None and number % 25 == 0:
-            progress(f"{spec.name}: {number}/{n} injections")
+    vstats: Optional[Dict[str, object]] = None
+    if engine == "vector":
+        results, vstats = checker.run_batch(faults)
+        for number, result in enumerate(results, start=1):
+            if on_result is not None:
+                on_result(result)
+            if progress is not None and number % 25 == 0:
+                progress(f"{spec.name}: {number}/{n} injections")
+    else:
+        results = []
+        for number, fault in enumerate(faults, start=1):
+            result = checker.run_one(fault)
+            results.append(result)
+            if on_result is not None:
+                on_result(result)
+            if progress is not None and number % 25 == 0:
+                progress(f"{spec.name}: {number}/{n} injections")
     report = report_from_results(spec, config, n, seed,
                                  checker.reference_cycles, results)
     elapsed = _time.perf_counter() - started
     ff_after = checker.fastforward_stats()
     report.timing = {
+        "engine": engine,
         "elapsed_s": elapsed,
         "faults_per_s": n / elapsed if elapsed > 0 else 0.0,
         "checkpointed": bool(checker.checkpoints),
@@ -336,6 +397,18 @@ def run_campaign(spec: WorkloadSpec, config: MachineConfig,
         "convergence_cuts":
             ff_after["convergence_cuts"] - ff_before["convergence_cuts"],
     }
+    if vstats is not None:
+        lane_capacity = vstats["lane_capacity"]
+        report.timing.update({
+            "vector_faults": vstats["vector_faults"],
+            "scalar_faults": vstats["scalar_faults"],
+            "vector_cuts": vstats["cuts"],
+            "vector_jumps": vstats["jumps"],
+            "lanes_retired": dict(vstats["retired"]),
+            "vector_occupancy": (vstats["lane_cycles"] / lane_capacity
+                                 if lane_capacity else 0.0),
+            "vector_numpy": vstats["numpy"],
+        })
     return report
 
 
@@ -401,6 +474,80 @@ def measure_campaign_throughput(
     return fastrun, timing
 
 
+def measure_vector_throughput(
+        spec: WorkloadSpec, config: MachineConfig, n: int, seed: int,
+        spaces: Sequence[str] = DEFAULT_SPACES,
+        watchdog_factor: float = 4.0,
+        checkpoint_interval: Optional[int] = None,
+        checkpoint_store=None,
+        progress: Optional[Callable[[str], None]] = None,
+        repeat: int = 1,
+        ) -> Tuple[CampaignReport, Dict[str, object]]:
+    """Run one campaign twice — scalar checkpointed, then vector — and
+    compare.
+
+    Both passes share one :class:`LockstepChecker` with checkpointing
+    on (the PR 5 baseline), differing only in the classification
+    engine, so the measured ratio isolates the batched vector walk.
+    The two reports must be byte-identical (:func:`campaign_payload`
+    forms are diffed; a mismatch raises).
+
+    ``repeat`` reruns each pass that many times and keeps the fastest
+    (best-of-N) — every rerun is still byte-compared, so extra repeats
+    buy timing stability on noisy hosts without weakening the
+    exactness check.
+
+    Returns the vector report plus a timing record with both passes'
+    timings and the ``speedup`` ratio.
+    """
+    from repro.errors import SimulationError
+
+    if repeat < 1:
+        raise ValueError("repeat must be at least 1")
+    checker = LockstepChecker(spec, config,
+                              watchdog_factor=watchdog_factor,
+                              checkpoints=True,
+                              checkpoint_interval=checkpoint_interval,
+                              checkpoint_store=checkpoint_store)
+    # The golden stream is a shared one-time cost (amortised by the
+    # CheckpointStore across both passes and any other campaign on the
+    # same pair); capture it outside both timed regions.
+    checker.prepare_checkpoints()
+    scalar = vector = None
+    for _ in range(repeat):
+        trial = run_campaign(spec, config, n, seed, spaces=spaces,
+                             watchdog_factor=watchdog_factor,
+                             checker=checker, progress=progress,
+                             checkpoints=True)
+        if scalar is None \
+                or trial.timing["elapsed_s"] < scalar.timing["elapsed_s"]:
+            scalar = trial
+        trial = run_campaign(spec, config, n, seed, spaces=spaces,
+                             watchdog_factor=watchdog_factor,
+                             checker=checker, progress=progress,
+                             checkpoints=True, engine="vector")
+        if campaign_payload([scalar]) != campaign_payload([trial]):
+            raise SimulationError(
+                f"vector campaign diverged from the scalar checkpointed "
+                f"campaign on {spec.name}/{config.n_alus} ALUs — the "
+                f"vector engine is not exact")
+        if vector is None \
+                or trial.timing["elapsed_s"] < vector.timing["elapsed_s"]:
+            vector = trial
+    scalar_s = scalar.timing["elapsed_s"]
+    vector_s = vector.timing["elapsed_s"]
+    timing = {
+        "workload": vector.workload,
+        "machine": vector.machine,
+        "n": n,
+        "seed": seed,
+        "scalar": dict(scalar.timing),
+        "vector": dict(vector.timing),
+        "speedup": scalar_s / vector_s if vector_s > 0 else float("inf"),
+    }
+    return vector, timing
+
+
 def render_vulnerability_table(reports: Sequence[CampaignReport]) -> str:
     """Render the per-benchmark vulnerability table as aligned text."""
     header = ("benchmark", "machine", "N", "masked", "detected", "hung",
@@ -437,6 +584,7 @@ def campaign_payload(reports: Sequence[CampaignReport]) -> List[dict]:
             "seed": report.seed,
             "reference_cycles": report.reference_cycles,
             "counts": dict(report.counts),
+            "classified": report.classified,
             "sdc_rate": report.sdc_rate,
             "outcomes": [
                 result_payload(result) for result in report.results

@@ -61,6 +61,35 @@ MODEL_STUCK1 = "stuck-at-1"
 FAULT_MODELS = (MODEL_SEU, MODEL_STUCK0, MODEL_STUCK1)
 
 
+def corrupt_fetched_word(fmt, mdes, program, issue_width: int, pc: int,
+                         slot_hint: int, bit_hint: int):
+    """Corrupt one encoded instruction of the bundle at ``pc``.
+
+    The single source of truth for what an instruction-fetch fault does
+    — used by :meth:`FaultInjector.fetch_bundle` (scalar runs) and by
+    the vector engine's fetch-fault resolver, which must predict the
+    scalar outcome exactly.  ``slot_hint``/``bit_hint`` are the raw
+    fault fields; they wrap modulo the padded slot count and the
+    encoded instruction width.
+
+    Returns ``(prebundle, word, slot, error)``: the re-decoded bundle
+    (or ``None`` when the corrupted word no longer decodes or no longer
+    fits the machine's issue resources), the corrupted instruction
+    word, the slot it sat in, and the decode error if any.
+    """
+    padded = program.bundles[pc].padded(issue_width)
+    slot = slot_hint % len(padded.slots)
+    bit = bit_hint % fmt.instruction_bits
+    word = fmt.encode(padded.slots[slot]) ^ (1 << bit)
+    try:
+        slots = list(padded.slots)
+        slots[slot] = fmt.decode(word)
+        corrupted = predecode_bundle(Bundle(tuple(slots)), mdes, pc)
+    except (EncodingError, SimulationError) as error:
+        return None, word, slot, error
+    return corrupted, word, slot, None
+
+
 @dataclass(frozen=True)
 class FaultSpec:
     """One fault to inject: where, which bit, when, and which model.
@@ -254,16 +283,10 @@ class FaultInjector:
             from repro.isa.encoding import InstructionFormat
 
             self._fmt = InstructionFormat(machine.config, machine.mdes.table)
-        fmt = self._fmt
-        padded = machine.program.bundles[pc].padded(machine.config.issue_width)
-        slot = fault.index % len(padded.slots)
-        bit = fault.bit % fmt.instruction_bits
-        word = fmt.encode(padded.slots[slot]) ^ (1 << bit)
-        try:
-            slots = list(padded.slots)
-            slots[slot] = fmt.decode(word)
-            corrupted = predecode_bundle(Bundle(tuple(slots)), machine.mdes, pc)
-        except (EncodingError, SimulationError) as error:
+        corrupted, word, slot, error = corrupt_fetched_word(
+            self._fmt, machine.mdes, machine.program,
+            machine.config.issue_width, pc, fault.index, fault.bit)
+        if corrupted is None:
             self.log.append(InjectionEvent(fault, cycle, "fetch-illegal"))
             raise TrapError(
                 f"corrupted instruction word {word:#x} does not decode: "

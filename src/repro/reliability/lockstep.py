@@ -133,6 +133,10 @@ class LockstepChecker:
         self._checkpoints_ok = not result.traps
         self._stream = None
         self._campaign_cpu = None
+        self._vector = None
+        self._ifetch_fmt = None
+        #: Cumulative vector-batch telemetry (see :meth:`run_batch`).
+        self.vector_stats: Dict[str, object] = {}
         #: Fast-forward telemetry, cumulative over :meth:`run_one` calls.
         self.ff_restores = 0
         self.ff_cycles_skipped = 0
@@ -226,6 +230,129 @@ class LockstepChecker:
             if got != expected:
                 return f"checksum {got:#x}, golden {expected:#x}"
         return None
+
+    # -- batched (vector-engine) classification ----------------------------
+
+    def _vector_engine(self):
+        """The cached :class:`repro.core.vector.VectorEngine`."""
+        if self._vector is None:
+            from repro.core.vector import VectorEngine
+
+            symbols = self.compilation.symbols
+            outputs = [(name, symbols[name], tuple(golden))
+                       for name, golden in self.golden_outputs.items()]
+            self._vector = VectorEngine(
+                self.config, self.compilation.program,
+                mem_words=self.spec.mem_words,
+                outputs=outputs,
+                golden_checksum=self.golden_return,
+                reference_cycles=self.reference_cycles,
+                watchdog_cycles=self.watchdog_cycles,
+                max_cycles=self.max_cycles)
+        return self._vector
+
+    def _ifetch_outcome(self, cycle: int, pc: int, fault: FaultSpec):
+        """Resolve an instruction-fetch fault at the fetch it corrupts.
+
+        Returns a ``LaneOutcome`` when the corrupted word no longer
+        decodes — the scalar run raises a ``TrapError`` before anything
+        executes, so the outcome (DETECTED, the trap text, the fetch
+        cycle) is fully determined here.  Returns ``None`` when the
+        word still decodes into a different-but-legal bundle: the lane
+        must retire to the scalar checker.
+        """
+        from repro.core.vector import LaneOutcome
+        from repro.errors import TRAP_ILLEGAL_INSTRUCTION
+        from repro.reliability.fault import corrupt_fetched_word
+
+        if self._ifetch_fmt is None:
+            from repro.isa.encoding import InstructionFormat
+            from repro.mdes import Mdes
+
+            mdes = Mdes(self.config)
+            self._ifetch_fmt = (InstructionFormat(self.config, mdes.table),
+                                mdes)
+        fmt, mdes = self._ifetch_fmt
+        corrupted, word, slot, error = corrupt_fetched_word(
+            fmt, mdes, self.compilation.program, self.config.issue_width,
+            pc, fault.index, fault.bit)
+        if corrupted is not None:
+            return None
+        trap = TrapError(
+            f"corrupted instruction word {word:#x} does not decode: "
+            f"{error}",
+            cause=TRAP_ILLEGAL_INSTRUCTION, slot=slot,
+        )
+        trap.annotate(cycle, pc)
+        return LaneOutcome("detected", str(trap), max(trap.cycle, 0),
+                           trap_cause=trap.cause)
+
+    def run_batch(self, faults: Sequence[FaultSpec],
+                  lane_cap: Optional[int] = None):
+        """Classify a batch of faults, vector-first.
+
+        Chunks of up to ``lane_cap`` faults ride the vector engine
+        (:mod:`repro.core.vector`); every lane the engine cannot
+        classify *exactly* retires to :meth:`run_one`, so the returned
+        results — in input order — are byte-identical to a pure-scalar
+        campaign.  Returns ``(results, stats)``; cumulative stats are
+        also kept on :attr:`vector_stats`.
+
+        The vector walk presumes the ``halt`` trap policy (lanes at
+        trap risk retire before any trap could be recorded) and a
+        trap-free golden reference; otherwise every fault runs scalar.
+        """
+        from repro.core.vector import DEFAULT_LANES
+
+        faults = list(faults)
+        if lane_cap is None:
+            lane_cap = DEFAULT_LANES
+        stats: Dict[str, object] = {
+            "vector_faults": 0, "scalar_faults": 0, "classified": 0,
+            "activated": 0, "cuts": 0, "jumps": 0, "iterations": 0,
+            "lane_cycles": 0, "frozen_cycles": 0, "lane_capacity": 0,
+            "retired": {}, "numpy": False, "passes": 0,
+        }
+        eligible = (self.config.trap_policy == "halt"
+                    and self._checkpoints_ok and lane_cap > 0)
+        results: List[Optional[InjectionResult]] = [None] * len(faults)
+        if eligible:
+            engine = self._vector_engine()
+            stream = None
+            if self.checkpoints and self._checkpoints_ok:
+                stream = self._checkpoint_stream()
+            for start in range(0, len(faults), lane_cap):
+                chunk = faults[start:start + lane_cap]
+                outcomes, pass_stats = engine.run_pass(
+                    chunk, stream=stream, ifetch=self._ifetch_outcome)
+                stats["numpy"] = pass_stats["numpy"]
+                stats["passes"] += 1
+                stats["vector_faults"] += len(chunk)
+                stats["classified"] += pass_stats["classified"]
+                stats["activated"] += pass_stats["activated"]
+                stats["cuts"] += pass_stats["cuts"]
+                stats["jumps"] += pass_stats["jumps"]
+                stats["iterations"] += pass_stats["iterations"]
+                stats["lane_cycles"] += pass_stats["lane_cycles"]
+                stats["frozen_cycles"] += pass_stats["frozen_cycles"]
+                stats["lane_capacity"] += (pass_stats["iterations"]
+                                           * pass_stats["capacity"])
+                for reason, count in pass_stats["retired"].items():
+                    stats["retired"][reason] = \
+                        stats["retired"].get(reason, 0) + count
+                for offset, outcome in enumerate(outcomes):
+                    if outcome is None:
+                        continue
+                    fault = chunk[offset]
+                    results[start + offset] = InjectionResult(
+                        fault, Outcome(outcome.outcome), outcome.detail,
+                        outcome.cycles, trap_cause=outcome.trap_cause)
+        for position, fault in enumerate(faults):
+            if results[position] is None:
+                results[position] = self.run_one(fault)
+                stats["scalar_faults"] += 1
+        self.vector_stats = stats
+        return results, stats
 
     # -- classification ----------------------------------------------------
 

@@ -629,7 +629,15 @@ class DaemonClient:
         message = payload.get("error", f"HTTP {status}") \
             if isinstance(payload, dict) else f"HTTP {status}"
         if status == 429:
-            retry_after = float(headers.get("Retry-After", 1.0))
+            # Retry-After may legally be an HTTP-date (or garbage from a
+            # proxy); parsing must never crash the retry loop.  Fall
+            # back to the default and clamp to the server's documented
+            # 1-60 s back-pressure band.
+            try:
+                retry_after = float(headers.get("Retry-After", 1.0))
+            except (TypeError, ValueError):
+                retry_after = 1.0
+            retry_after = min(60.0, max(1.0, retry_after))
             raise QueueFullError(str(message), retry_after=retry_after)
         raise DaemonError(f"{method} {path} -> {status}: {message}")
 

@@ -57,8 +57,10 @@ JOB_KINDS = (KIND_SWEEP, KIND_CAMPAIGN, KIND_BENCH, KIND_PROBE)
 #: ``fast`` / ``reference`` / ``trace`` force one engine, and the bench
 #: combinations ``both`` (instrumented + fast) and ``all``
 #: (instrumented + fast + trace) run several engines and cross-check
-#: them.
-ENGINES = ("auto", "fast", "reference", "trace", "both", "all")
+#: them.  Campaign jobs additionally accept ``vector``: the batched
+#: lane engine (:mod:`repro.core.vector`), byte-identical to the
+#: scalar checker.
+ENGINES = ("auto", "fast", "reference", "trace", "both", "all", "vector")
 
 #: Probe behaviours understood by the worker.  ``stubborn`` ignores
 #: SIGTERM and hangs — the acceptance probe for the executors'
@@ -111,6 +113,11 @@ class JobSpec:
                 f"unknown engine {self.engine!r}: expected one of "
                 f"{', '.join(ENGINES)}"
             )
+        if self.engine == "vector" and self.kind != KIND_CAMPAIGN:
+            raise ServeError(
+                "the vector engine batches fault lanes; only campaign "
+                "jobs can request it"
+            )
         if self.kind == KIND_PROBE:
             if self.behavior not in PROBE_BEHAVIOURS:
                 raise ServeError(
@@ -134,6 +141,11 @@ class JobSpec:
         if self.kind == KIND_CAMPAIGN:
             if self.n < 1:
                 raise ServeError("campaign jobs need n >= 1 injections")
+            if not self.seed:
+                # Mirrors generate_faults(): XorShift32 cannot hold
+                # state 0, so a zero seed would fail in the worker.
+                # Reject it at build time instead.
+                raise ServeError("campaign jobs need a non-zero seed")
             if not self.spaces:
                 raise ServeError("campaign jobs need at least one fault "
                                  "space (use campaign_job())")
@@ -306,8 +318,13 @@ def campaign_job(spec: WorkloadSpec, config: MachineConfig,
                  watchdog_factor: float = 4.0,
                  fault_offset: int = 0,
                  fault_count: int = -1,
-                 max_cycles: int = DEFAULT_MAX_CYCLES) -> JobSpec:
-    """A fault-injection campaign job (or one shard of a campaign)."""
+                 max_cycles: int = DEFAULT_MAX_CYCLES,
+                 engine: str = "auto") -> JobSpec:
+    """A fault-injection campaign job (or one shard of a campaign).
+
+    ``engine`` is ``auto`` (scalar checker) or ``vector`` (batched
+    lane engine) — a perf knob; the outcome payload is byte-identical.
+    """
     if not spaces:
         from repro.harness.faultcampaign import DEFAULT_SPACES
         spaces = DEFAULT_SPACES
@@ -315,7 +332,8 @@ def campaign_job(spec: WorkloadSpec, config: MachineConfig,
                    workload_args=tuple(spec.instance_args), config=config,
                    max_cycles=max_cycles, n=n, seed=seed,
                    spaces=tuple(spaces), watchdog_factor=watchdog_factor,
-                   fault_offset=fault_offset, fault_count=fault_count)
+                   fault_offset=fault_offset, fault_count=fault_count,
+                   engine=engine)
 
 
 def bench_job(spec: WorkloadSpec, config: MachineConfig,
@@ -356,6 +374,7 @@ def shard_campaign(job: JobSpec, shards: int) -> List[JobSpec]:
             max_cycles=job.max_cycles, n=job.n, seed=job.seed,
             spaces=job.spaces, watchdog_factor=job.watchdog_factor,
             fault_offset=offset, fault_count=count,
+            engine=job.engine,
         ))
         offset += count
     return jobs
@@ -367,8 +386,19 @@ def derive_seeds(master_seed: int, count: int) -> List[int]:
     Drawn from the repo's :class:`~repro.workloads.XorShift32` at
     batch-construction time — never at scheduling time — so the seed a
     job receives depends only on its position in the batch.
+
+    A zero (or otherwise falsy) master seed is rejected, exactly as
+    :func:`~repro.harness.faultcampaign.generate_faults` rejects a
+    zero campaign seed: XorShift32 cannot hold state 0, and silently
+    substituting another seed would make two nominally different
+    batches identical.  The derived seeds themselves are always
+    non-zero (a non-zero xorshift state never reaches 0), so every
+    derived seed is a valid campaign seed.
     """
-    rng = XorShift32(master_seed if master_seed else 1)
+    if not master_seed:
+        raise ServeError("master seed must be non-zero (XorShift32 "
+                         "cannot hold state 0)")
+    rng = XorShift32(master_seed)
     return [rng.next() for _ in range(count)]
 
 

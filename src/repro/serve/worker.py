@@ -121,10 +121,14 @@ def _execute_campaign(spec: JobSpec) -> Tuple[Payload, Payload]:
     faults = generate_faults(checker, spec.n, spec.seed, spec.spaces)
     stop = spec.n if spec.fault_count < 0 \
         else min(spec.n, spec.fault_offset + spec.fault_count)
-    outcomes = [
-        result_payload(checker.run_one(fault))
-        for fault in faults[spec.fault_offset:stop]
-    ]
+    sliced = faults[spec.fault_offset:stop]
+    vstats = None
+    if spec.engine == "vector":
+        results, vstats = checker.run_batch(sliced)
+        outcomes = [result_payload(result) for result in results]
+    else:
+        outcomes = [result_payload(checker.run_one(fault))
+                    for fault in sliced]
     payload: Payload = {
         "workload": checker.spec.name,
         "machine": f"EPIC-{spec.config.n_alus}ALU",
@@ -137,6 +141,7 @@ def _execute_campaign(spec: JobSpec) -> Tuple[Payload, Payload]:
     after = checker.fastforward_stats()
     elapsed = time.perf_counter() - started
     meta: Payload = {
+        "engine": spec.engine,
         "elapsed_s": elapsed,
         "faults_run": len(outcomes),
         "faults_per_s": len(outcomes) / elapsed if elapsed > 0 else 0.0,
@@ -147,6 +152,17 @@ def _execute_campaign(spec: JobSpec) -> Tuple[Payload, Payload]:
         "ff_convergence_cuts":
             after["convergence_cuts"] - before["convergence_cuts"],
     }
+    if vstats is not None:
+        meta.update({
+            "vector_faults": vstats["vector_faults"],
+            "vector_scalar_faults": vstats["scalar_faults"],
+            "vector_cuts": vstats["cuts"],
+            "vector_jumps": vstats["jumps"],
+            "lanes_retired": dict(vstats["retired"]),
+            "vector_lane_cycles": vstats["lane_cycles"],
+            "vector_lane_capacity": vstats["lane_capacity"],
+            "vector_numpy": vstats["numpy"],
+        })
     return payload, meta
 
 

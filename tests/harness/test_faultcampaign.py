@@ -65,6 +65,40 @@ class TestFaultGeneration:
             generate_faults(checker, 10, seed=0)
 
 
+class TestRateDenominator:
+    """Rates divide by classified outcomes, never by the nominal n."""
+
+    @staticmethod
+    def _report(n, counts):
+        from repro.harness.faultcampaign import CampaignReport
+
+        return CampaignReport(workload="tiny", machine="EPIC-2ALU",
+                              n=n, seed=1, reference_cycles=100,
+                              counts=counts)
+
+    def test_missing_results_do_not_deflate_rates(self):
+        # 10 nominal injections, but two jobs were quarantined: only 8
+        # outcomes exist, and 2 SDCs out of 8 classified is 25%.
+        report = self._report(10, {"sdc": 2, "masked": 5, "detected": 1})
+        assert report.classified == 8
+        assert report.sdc_rate == pytest.approx(2 / 8)
+        assert report.masked_rate == pytest.approx(5 / 8)
+        assert report.detected_rate == pytest.approx(1 / 8)
+        assert report.hung_rate == 0.0
+
+    def test_empty_report_has_zero_rates(self):
+        report = self._report(4, {})
+        assert report.classified == 0
+        assert report.sdc_rate == 0.0
+
+    def test_payload_exposes_the_raw_denominator(self):
+        report = self._report(10, {"sdc": 2, "masked": 6})
+        payload = campaign_payload([report])[0]
+        assert payload["n"] == 10
+        assert payload["classified"] == 8
+        assert payload["sdc_rate"] == pytest.approx(2 / 8)
+
+
 class TestCampaignDeterminism:
     def test_same_seed_identical_outcome_tables(self):
         """The ISSUE's regression: two campaigns, same seed, identical

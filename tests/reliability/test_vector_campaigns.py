@@ -1,0 +1,242 @@
+"""Differential proof for the batched vector campaign engine.
+
+The acceptance property of ``LockstepChecker.run_batch``: for every
+workload, machine width and fault space, the outcome table produced by
+the lane-major vector walk — with convergence cuts, frozen lanes and
+scalar retirement — is byte-identical to a pure-scalar campaign: same
+outcome, same detail string, same cycle count, same trap cause.  The
+property must hold with and without NumPy (the memory plane degrades
+to per-lane lists), and every lane the engine refuses to classify must
+retire to ``run_one`` with a recorded reason.
+"""
+
+import json
+
+import pytest
+
+from repro.config import epic_with_alus
+from repro.core import vector
+from repro.harness.cli import quick_specs
+from repro.harness.faultcampaign import (
+    campaign_payload,
+    generate_faults,
+    measure_vector_throughput,
+    result_payload,
+    run_campaign,
+)
+from repro.reliability import (
+    FAULT_SPACES,
+    FaultSpec,
+    LockstepChecker,
+    MODEL_STUCK0,
+    Outcome,
+    SPACE_BTR,
+    SPACE_GPR,
+    SPACE_MEM,
+)
+from tests.reliability.test_lockstep import tiny_spec
+
+GRID = [(name, n_alus)
+        for name in ("SHA", "AES", "DCT", "Dijkstra")
+        for n_alus in (1, 2, 3, 4)]
+
+KNOWN_REASONS = {
+    vector.RETIRE_GUARD, vector.RETIRE_BRANCH, vector.RETIRE_TRAP,
+    vector.RETIRE_IFETCH, vector.RETIRE_PARITY, vector.RETIRE_BOUNDS,
+    vector.RETIRE_ENGINE,
+}
+
+
+@pytest.fixture(scope="module")
+def checker():
+    """One checkpointed tiny-workload checker shared by the fast tests."""
+    checker = LockstepChecker(tiny_spec(), epic_with_alus(2))
+    checker.prepare_checkpoints()
+    return checker
+
+
+def _payloads(results):
+    return [result_payload(result) for result in results]
+
+
+class TestWorkloadMachineGrid:
+    """Serial, checkpointed and vector: all three tables byte-equal."""
+
+    @pytest.mark.parametrize("name,n_alus", GRID,
+                             ids=[f"{n}-{a}alu" for n, a in GRID])
+    def test_three_way_byte_identical(self, name, n_alus):
+        spec = quick_specs([name])[0]
+        config = epic_with_alus(n_alus)
+        checker = LockstepChecker(spec, config, checkpoints=False)
+        serial = run_campaign(spec, config, 4, 11, checker=checker,
+                              checkpoints=False)
+        checkpointed = run_campaign(spec, config, 4, 11, checker=checker,
+                                    checkpoints=True)
+        vectored = run_campaign(spec, config, 4, 11, checker=checker,
+                                checkpoints=True, engine="vector")
+        left = json.dumps(campaign_payload([serial]), sort_keys=True)
+        middle = json.dumps(campaign_payload([checkpointed]),
+                            sort_keys=True)
+        right = json.dumps(campaign_payload([vectored]), sort_keys=True)
+        assert left == middle == right
+        assert vectored.timing["engine"] == "vector"
+
+
+class TestPerSpaceDifferential:
+    """Each fault space alone, scalar vs vector, on the tiny workload."""
+
+    @pytest.mark.parametrize("space", sorted(FAULT_SPACES))
+    def test_single_space_byte_identical(self, checker, space):
+        faults = generate_faults(checker, 24, 9, spaces=(space,))
+        scalar = [checker.run_one(fault) for fault in faults]
+        results, stats = checker.run_batch(faults)
+        assert _payloads(results) == _payloads(scalar)
+        assert stats["vector_faults"] == len(faults)
+
+    def test_mixed_campaign_byte_identical(self, checker):
+        faults = generate_faults(checker, 48, 13)
+        scalar = [checker.run_one(fault) for fault in faults]
+        results, stats = checker.run_batch(faults)
+        assert _payloads(results) == _payloads(scalar)
+        # Every fault got exactly one classification, vector or scalar.
+        assert stats["scalar_faults"] == sum(stats["retired"].values())
+        assert all(result is not None for result in results)
+
+
+class TestPurePythonFallback:
+    """NumPy is an accelerator, not a dependency."""
+
+    def test_no_numpy_differential(self, monkeypatch):
+        monkeypatch.setattr(vector, "_np", None)
+        checker = LockstepChecker(tiny_spec(), epic_with_alus(2))
+        checker.prepare_checkpoints()
+        faults = generate_faults(checker, 32, 7)
+        scalar = [checker.run_one(fault) for fault in faults]
+        results, stats = checker.run_batch(faults)
+        assert stats["numpy"] is False
+        assert _payloads(results) == _payloads(scalar)
+
+    def test_no_numpy_mem_space_freezes_list_rows(self, monkeypatch):
+        # Frozen lanes track golden stores through plain list rows.
+        monkeypatch.setattr(vector, "_np", None)
+        checker = LockstepChecker(tiny_spec(), epic_with_alus(2))
+        checker.prepare_checkpoints()
+        faults = generate_faults(checker, 16, 9, spaces=(SPACE_MEM,))
+        scalar = [checker.run_one(fault) for fault in faults]
+        results, stats = checker.run_batch(faults)
+        assert _payloads(results) == _payloads(scalar)
+        assert stats["frozen_cycles"] > 0
+
+
+class TestLaneRetirement:
+    """Lanes the vector walk cannot hold retire to the scalar checker."""
+
+    def test_ifetch_rewrite_always_retires(self, checker):
+        faults = generate_faults(checker, 16, 9, spaces=("ifetch",))
+        results, stats = checker.run_batch(faults)
+        # Rewritten bundles break lane-invariant timing: any ifetch
+        # fault that still decodes must leave the vector.
+        assert stats["retired"].get(vector.RETIRE_IFETCH, 0) > 0
+        assert stats["scalar_faults"] == sum(stats["retired"].values())
+        assert all(result is not None for result in results)
+
+    def test_trap_risk_lane_retires_mid_vector(self, checker):
+        # A flipped base register sends a store out of bounds: the lane
+        # must leave the vector (a trap cannot be recorded there) and
+        # the scalar rerun classifies the trap exactly.
+        fault = FaultSpec(SPACE_GPR, 12, 20, 8)
+        results, stats = checker.run_batch([fault])
+        assert stats["retired"] == {vector.RETIRE_TRAP: 1}
+        assert stats["scalar_faults"] == 1
+        assert results[0].outcome is Outcome.DETECTED
+        assert results[0].trap_cause == "oob-store"
+        assert result_payload(results[0]) == \
+            result_payload(checker.run_one(fault))
+
+    def test_hanging_lane_retires_on_branch_divergence(self, checker):
+        # A stuck BTR bit derails the control flow into a hang: the
+        # divergence is caught at the branch, the lane retires, and the
+        # scalar watchdog classifies HUNG.
+        fault = FaultSpec(SPACE_BTR, 0, 2, 78, model=MODEL_STUCK0)
+        results, stats = checker.run_batch([fault])
+        assert stats["retired"] == {vector.RETIRE_BRANCH: 1}
+        assert results[0].outcome is Outcome.HUNG
+        assert result_payload(results[0]) == \
+            result_payload(checker.run_one(fault))
+
+    def test_retirement_reasons_are_known(self, checker):
+        reasons = set()
+        for seed in (2, 13, 77):
+            _, stats = checker.run_batch(generate_faults(checker, 48,
+                                                         seed))
+            reasons |= set(stats["retired"])
+        assert reasons
+        assert reasons <= KNOWN_REASONS
+
+    def test_stuck_lane_rides_the_vector_to_halt(self, checker):
+        # A persistent stuck-at-0 on r2 corrupts data but never the
+        # control flow, so the lane stays in the vector all the way to
+        # the halt and classifies as SDC there.
+        fault = FaultSpec(SPACE_GPR, 2, 0, 5, model=MODEL_STUCK0)
+        results, stats = checker.run_batch([fault])
+        assert stats["scalar_faults"] == 0
+        assert results[0].outcome is Outcome.SDC
+        assert result_payload(results[0]) == \
+            result_payload(checker.run_one(fault))
+
+    def test_r0_flip_is_instantly_classified(self, checker):
+        # The hardwired zero register cannot propagate: the engine
+        # classifies the fault without walking a single cycle.
+        results, stats = checker.run_batch([FaultSpec(SPACE_GPR, 0, 1,
+                                                      2)])
+        assert stats["iterations"] == 0
+        assert stats["scalar_faults"] == 0
+        assert results[0].outcome is Outcome.MASKED
+        assert results[0].detail == "outputs match"
+        assert results[0].cycles == checker.reference_cycles
+
+    def test_overwritten_mem_flip_is_cut_mid_walk(self, checker):
+        # Word 13 sits in the ``out`` array: the flipped bit is
+        # overwritten by the program's own store, the lane's dirty set
+        # empties, and the lane is cut MASKED long before the halt.
+        results, stats = checker.run_batch([FaultSpec(SPACE_MEM, 13, 5,
+                                                      60)])
+        assert stats["cuts"] >= 1
+        assert stats["scalar_faults"] == 0
+        assert results[0].outcome is Outcome.MASKED
+        assert results[0].detail == "outputs match"
+        assert results[0].cycles == checker.reference_cycles
+
+    def test_untouched_mem_word_freezes_and_masks(self, checker):
+        # A flip in a data word the program never reads back leaves the
+        # lane frozen (registers golden, one dirty word) to the halt.
+        fault = FaultSpec(SPACE_MEM, 3000, 5, 10)
+        results, stats = checker.run_batch([fault])
+        assert stats["scalar_faults"] == 0
+        assert stats["frozen_cycles"] > 0
+        assert result_payload(results[0]) == \
+            result_payload(checker.run_one(fault))
+
+    def test_lane_cap_zero_disables_the_vector(self, checker):
+        faults = generate_faults(checker, 6, 3)
+        results, stats = checker.run_batch(faults, lane_cap=0)
+        assert stats["vector_faults"] == 0
+        assert stats["scalar_faults"] == len(faults)
+        assert _payloads(results) == \
+            _payloads([checker.run_one(fault) for fault in faults])
+
+
+class TestThroughputHarness:
+    def test_measure_vector_throughput_shape(self):
+        report, timing = measure_vector_throughput(
+            tiny_spec(), epic_with_alus(2), n=8, seed=5, repeat=2)
+        assert report.classified == 8
+        assert timing["scalar"]["engine"] == "auto"
+        assert timing["vector"]["engine"] == "vector"
+        assert timing["speedup"] > 0
+        assert timing["vector"]["vector_faults"] == 8
+
+    def test_repeat_must_be_positive(self):
+        with pytest.raises(ValueError, match="repeat"):
+            measure_vector_throughput(tiny_spec(), epic_with_alus(2),
+                                      n=4, seed=5, repeat=0)

@@ -86,6 +86,47 @@ class TestSubmission:
         assert record["jobs"][0]["seed"] == 7
 
 
+class TestRetryAfterParsing:
+    """The client must survive any Retry-After a proxy can produce."""
+
+    @staticmethod
+    def _client_seeing_429(monkeypatch, header):
+        client = DaemonClient("localhost", 1, client="tester")
+        headers = {} if header is None else {"Retry-After": header}
+
+        def fake_request(method, path, body=None):
+            return 429, headers, {"error": "queue is full"}
+
+        monkeypatch.setattr(client, "_request", fake_request)
+        return client
+
+    def _retry_after(self, monkeypatch, header):
+        client = self._client_seeing_429(monkeypatch, header)
+        with pytest.raises(QueueFullError) as excinfo:
+            client.status()
+        return excinfo.value.retry_after
+
+    def test_numeric_header_honoured(self, monkeypatch):
+        assert self._retry_after(monkeypatch, "5") == 5.0
+        assert self._retry_after(monkeypatch, "2.5") == 2.5
+
+    def test_http_date_falls_back_to_default(self, monkeypatch):
+        # RFC 7231 allows an HTTP-date here; bare float() used to
+        # crash the retry loop with an unhandled ValueError.
+        value = self._retry_after(monkeypatch,
+                                  "Wed, 21 Oct 2015 07:28:00 GMT")
+        assert value == 1.0
+
+    def test_garbage_and_missing_fall_back(self, monkeypatch):
+        assert self._retry_after(monkeypatch, "soon") == 1.0
+        assert self._retry_after(monkeypatch, None) == 1.0
+
+    def test_clamped_to_the_backpressure_band(self, monkeypatch):
+        assert self._retry_after(monkeypatch, "0") == 1.0
+        assert self._retry_after(monkeypatch, "-3") == 1.0
+        assert self._retry_after(monkeypatch, "86400") == 60.0
+
+
 class TestHTTPApi:
     def test_submit_poll_peek_status_round_trip(self, served):
         daemon, client = served

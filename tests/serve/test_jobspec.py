@@ -133,6 +133,28 @@ class TestValidation:
         with pytest.raises(ServeError, match="behaviour"):
             JobSpec(kind="probe", behavior="explode")
 
+    def test_campaign_seed_zero_rejected(self):
+        # The campaign PRNG (XorShift32) maps state 0 to itself; a
+        # zero seed must be refused at job build time, mirroring
+        # generate_faults, not discovered by a worker mid-campaign.
+        with pytest.raises(ServeError, match="seed"):
+            campaign_job(dijkstra_workload(8), epic_config(), n=4,
+                         seed=0)
+
+    def test_vector_engine_is_campaign_only(self):
+        with pytest.raises(ServeError, match="campaign"):
+            sweep_job(sha_workload(8, 8), epic_config(),
+                      engine="vector")
+
+    def test_vector_campaign_accepted_and_in_digest(self):
+        spec = dijkstra_workload(8)
+        config = epic_config()
+        auto = campaign_job(spec, config, n=4, seed=3)
+        vectored = campaign_job(spec, config, n=4, seed=3,
+                                engine="vector")
+        assert vectored.engine == "vector"
+        assert vectored.digest() != auto.digest()
+
 
 class TestPayloadRoundTrip:
     def test_sweep_round_trip(self):
@@ -192,6 +214,14 @@ class TestShardCampaign:
         with pytest.raises(ServeError, match="campaign"):
             shard_campaign(tiny_sweep(), 2)
 
+    def test_shards_inherit_the_engine(self):
+        # Regression: rebuilt shards used to drop the engine field,
+        # silently downgrading sharded vector campaigns to scalar.
+        job = campaign_job(dijkstra_workload(8), epic_config(), n=10,
+                           seed=5, engine="vector")
+        assert all(shard.engine == "vector"
+                   for shard in shard_campaign(job, 3))
+
 
 class TestDeriveSeeds:
     def test_deterministic_and_positional(self):
@@ -200,6 +230,28 @@ class TestDeriveSeeds:
 
     def test_master_seed_matters(self):
         assert derive_seeds(1, 4) != derive_seeds(2, 4)
+
+    def test_zero_master_seed_rejected(self):
+        # XorShift32 cannot hold state 0: a zero master seed would
+        # derive an all-identical (and all-zero) seed stream.  Mirrors
+        # generate_faults' rejection of seed 0.
+        with pytest.raises(ServeError, match="non-zero"):
+            derive_seeds(0, 4)
+
+    def test_derived_seeds_are_usable_campaign_seeds(self):
+        # Every derived seed must be accepted by campaign_job (i.e.
+        # non-zero), so batch-built campaigns can never differ from
+        # directly-built ones.
+        seeds = derive_seeds(7, 200)
+        assert all(seeds)
+        spec = dijkstra_workload(8)
+        config = epic_config()
+        batch = [campaign_job(spec, config, n=4, seed=seed)
+                 for seed in seeds[:3]]
+        direct = [campaign_job(spec, config, n=4, seed=seed)
+                  for seed in derive_seeds(7, 3)]
+        assert [job.digest() for job in batch] == \
+            [job.digest() for job in direct]
 
 
 class TestBatchFiles:
