@@ -4,55 +4,79 @@
 performance/area trade-offs for a specific application using different
 implementations."
 
-This example sweeps ALU count, issue width and the divide feature on
-the DCT workload, costs each point with the Virtex-II model, and prints
-the Pareto frontier — the §3.3 customisation workflow end to end.
+This example drives the autotuner (`repro.autotune`) over a small
+MachineConfig space on the DCT workload three ways:
+
+1. an exhaustive search extracting the cycles x slices frontier,
+2. a constrained query — "the fastest machines under 7000 slices",
+3. a seeded hill-climb on a budget, whose frontier is checked against
+   the exhaustive ground truth (same archive, fewer evaluations when
+   the budget is tight; identical here because the budget covers the
+   space).
 
 Run:  python examples/design_space_exploration.py
 """
 
-from repro.config import AluFeature, epic_config
-from repro.explore import pareto_frontier, sweep_configs
+from repro.autotune import (
+    CandidateEvaluator,
+    SearchSpace,
+    TuneArchive,
+    field_axis,
+    parse_constraints,
+    tune,
+)
+from repro.config import epic_config
 from repro.workloads import dct_workload
 
-NO_DIV = frozenset({AluFeature.MULTIPLY, AluFeature.SHIFT})
+
+def build_space() -> SearchSpace:
+    """1-4 ALUs x issue width x forwarding: 16 coordinates."""
+    return SearchSpace(epic_config(), [
+        field_axis("n_alus", (1, 2, 3, 4)),
+        field_axis("issue_width", (2, 4)),
+        field_axis("forwarding", (True, False)),
+    ])
 
 
-def design_points():
-    """The sweep: 1-4 ALUs x {full ALU, divider-free} x issue width."""
-    for n_alus in (1, 2, 3, 4):
-        for features in (None, NO_DIV):
-            overrides = {"n_alus": n_alus}
-            if features is not None:
-                overrides["alu_features"] = features
-            yield epic_config(**overrides)
-        if n_alus == 4:
-            yield epic_config(n_alus=4, issue_width=2)
+def search(spec, strategy="exhaustive", seed=1, budget=None,
+           constraints=()):
+    archive = TuneArchive(objectives=("cycles", "slices"),
+                          constraints=parse_constraints(constraints))
+    evaluator = CandidateEvaluator(spec, archive)
+    report = tune(build_space(), evaluator, archive,
+                  strategy=strategy, seed=seed, budget=budget)
+    return report, archive
+
+
+def show_frontier(archive) -> None:
+    for record in archive.frontier():
+        metrics = record.metrics
+        print(f"  {record.describe}: {metrics['cycles']} cycles, "
+              f"{metrics['slices']} slices, "
+              f"{metrics['time_ms']:.3f} ms")
 
 
 def main() -> None:
     spec = dct_workload(16, 16)
-    print(f"workload: DCT, {spec.scale_note}\n")
+    print(f"workload: DCT, {spec.scale_note}")
+    space = build_space()
+    print(f"space: {space.describe()}\n")
 
-    points = sweep_configs(
-        spec, design_points(),
-        progress=lambda text: print(f"  evaluating {text}"),
-    )
+    print("exhaustive cycles x slices frontier:")
+    exhaustive, archive = search(spec)
+    show_frontier(archive)
+    print(f"  ({archive.explain()})")
 
-    print(f"\n{'configuration':<44}{'cycles':>9}{'slices':>8}"
-          f"{'ms':>8}{'AD':>10}")
-    for point in points:
-        print(f"{point.config.describe():<44}{point.cycles:>9}"
-              f"{point.slices:>8}{point.time_seconds * 1e3:>8.3f}"
-              f"{point.area_delay:>10.3f}")
+    print("\nfastest machines under 7000 slices:")
+    _report, constrained = search(spec, constraints=["slices<=7000"])
+    show_frontier(constrained)
 
-    frontier = pareto_frontier(points)
-    print("\nPareto frontier (time vs slices):")
-    for point in frontier:
-        print(f"  {point}")
-
-    best = min(points, key=lambda p: p.area_delay)
-    print(f"\nbest area-delay product: {best}")
+    print("\nseeded hill-climb (seed=7, budget=16):")
+    hill_report, hill = search(spec, strategy="hill", seed=7, budget=16)
+    show_frontier(hill)
+    agree = hill_report["archive"]["frontier"] \
+        == exhaustive["archive"]["frontier"]
+    print(f"  hill-climber frontier equals exhaustive: {agree}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,59 @@
+"""Multi-objective design-space search over the serve tier (§3.3).
+
+The paper's customisation story — "explore performance/area trade-offs
+for a specific application" — as a *service*: a seeded candidate
+generator over the :class:`~repro.config.MachineConfig` space
+(:mod:`~repro.autotune.space`), pluggable deterministic search
+strategies (:mod:`~repro.autotune.search`), a constraint-aware
+incremental Pareto archive (:mod:`~repro.autotune.archive`), and an
+evaluation layer that scores candidates through the job-serving
+executors and result cache, with fault-injection campaigns pricing
+reliability (:mod:`~repro.autotune.evaluate`).
+
+Determinism is the contract end to end: identical seeds produce
+byte-identical trajectories, logs and frontiers whether evaluations
+run serially, on a process pool, or replay out of a warm cache — and a
+search resumes from its own report artifact.
+"""
+
+from repro.autotune.archive import (
+    Constraint,
+    METRIC_SENSES,
+    TuneArchive,
+    TuneRecord,
+    parse_constraints,
+)
+from repro.autotune.evaluate import CandidateEvaluator
+from repro.autotune.search import (
+    BATCH_SIZE,
+    STRATEGIES,
+    known_from_report,
+    tune,
+)
+from repro.autotune.space import (
+    Axis,
+    SearchSpace,
+    custom_ops_axis,
+    field_axis,
+    latency_axis,
+    mine_custom_ops,
+)
+
+__all__ = [
+    "Axis",
+    "BATCH_SIZE",
+    "CandidateEvaluator",
+    "Constraint",
+    "METRIC_SENSES",
+    "STRATEGIES",
+    "SearchSpace",
+    "TuneArchive",
+    "TuneRecord",
+    "custom_ops_axis",
+    "field_axis",
+    "known_from_report",
+    "latency_axis",
+    "mine_custom_ops",
+    "parse_constraints",
+    "tune",
+]

@@ -1,0 +1,281 @@
+"""Constraint-aware incremental Pareto archive over tuning records.
+
+Built on the generic :class:`repro.explore.ParetoArchive` (the same
+incremental frontier the sweep tooling uses), specialised three ways:
+
+* **named objectives with senses** — ``cycles``/``slices``/``time_ms``/
+  ``sdc_rate``/``block_rams`` are minimised, ``clock_mhz`` is maximised
+  (stored negated so dominance is uniformly "smaller is better");
+* **constraint predicates** — ``"slices<=7000"``-style bounds filter
+  candidates *before* they reach the frontier, with per-constraint miss
+  counters so an empty result explains itself;
+* **canonical frontier order** — entries sort by (objective values,
+  config digest), never by insertion order, so two strategies that
+  visit the same candidates in different orders report byte-identical
+  frontiers.
+
+Budget-truncated and failed evaluations are counted and logged but can
+never enter the archive: their metrics are budgets or absent, not
+measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import TuneError
+from repro.explore.pareto import ParetoArchive
+
+#: Known objective/constraint metrics and their optimisation sense:
+#: +1 minimises, -1 maximises (the archive stores sense-adjusted
+#: values, so dominance is uniformly "smaller is better").
+METRIC_SENSES: Dict[str, int] = {
+    "cycles": 1,
+    "slices": 1,
+    "block_rams": 1,
+    "time_ms": 1,
+    "sdc_rate": 1,
+    "clock_mhz": -1,
+}
+
+DEFAULT_OBJECTIVES: Tuple[str, ...] = ("cycles", "slices")
+
+#: Evaluation statuses a record may arrive with.
+STATUS_OK = "ok"            # fully scored, all requested metrics present
+STATUS_BUDGET = "budget"    # cycle budget blown: cycles is a bound
+STATUS_INVALID = "invalid"  # coordinate failed config validation
+STATUS_FAILED = "failed"    # evaluation raised (compile/run error)
+
+#: Dispositions the archive assigns to records it considers.
+ARCHIVED = "archived"        # on the current frontier (may be evicted)
+DOMINATED = "dominated"      # feasible but beaten on every objective
+INFEASIBLE = "infeasible"    # failed one or more constraints
+
+_OPERATORS = ("<=", ">=", "==", "!=", "<", ">")
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """One bound on a named metric, e.g. ``slices <= 7000``."""
+
+    metric: str
+    op: str
+    bound: float
+
+    @classmethod
+    def parse(cls, text: str) -> "Constraint":
+        """Parse ``"<metric><op><bound>"`` (e.g. ``"sdc_rate<0.01"``)."""
+        stripped = text.replace(" ", "")
+        for op in _OPERATORS:
+            if op in stripped:
+                metric, _, rhs = stripped.partition(op)
+                if metric not in METRIC_SENSES:
+                    raise TuneError(
+                        f"unknown constraint metric {metric!r} (known: "
+                        f"{', '.join(sorted(METRIC_SENSES))})"
+                    )
+                try:
+                    bound = float(rhs)
+                except ValueError:
+                    raise TuneError(
+                        f"constraint bound {rhs!r} is not a number "
+                        f"(in {text!r})"
+                    ) from None
+                return cls(metric, op, bound)
+        raise TuneError(
+            f"cannot parse constraint {text!r}: expected "
+            f"<metric><op><bound> with op one of {', '.join(_OPERATORS)}"
+        )
+
+    def check(self, metrics: Dict[str, float]) -> bool:
+        """True iff the metric is present and satisfies the bound."""
+        if self.metric not in metrics:
+            return False
+        value = metrics[self.metric]
+        if self.op == "<=":
+            return value <= self.bound
+        if self.op == "<":
+            return value < self.bound
+        if self.op == ">=":
+            return value >= self.bound
+        if self.op == ">":
+            return value > self.bound
+        if self.op == "==":
+            return value == self.bound
+        return value != self.bound
+
+    def describe(self) -> str:
+        bound = int(self.bound) if self.bound == int(self.bound) \
+            else self.bound
+        return f"{self.metric}{self.op}{bound}"
+
+
+@dataclass
+class TuneRecord:
+    """One evaluated candidate: coordinate, identity, metrics, status."""
+
+    index: int
+    digest: str
+    describe: str
+    choices: Dict[str, object]
+    status: str
+    metrics: Dict[str, float] = field(default_factory=dict)
+    detail: str = ""
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "index": self.index,
+            "digest": self.digest,
+            "describe": self.describe,
+            "choices": dict(self.choices),
+            "status": self.status,
+            "metrics": self.metrics,
+            "detail": self.detail,
+        }
+
+
+class TuneArchive:
+    """Incremental constrained Pareto archive with full accounting."""
+
+    def __init__(self, objectives: Sequence[str] = DEFAULT_OBJECTIVES,
+                 constraints: Sequence[Constraint] = ()):
+        objectives = tuple(objectives)
+        if not objectives:
+            raise TuneError("at least one objective is required")
+        for name in objectives:
+            if name not in METRIC_SENSES:
+                raise TuneError(
+                    f"unknown objective {name!r} (known: "
+                    f"{', '.join(sorted(METRIC_SENSES))})"
+                )
+        if len(set(objectives)) != len(objectives):
+            raise TuneError(f"duplicate objectives: {objectives}")
+        self.objectives = objectives
+        self.constraints = tuple(constraints)
+        self._pareto: ParetoArchive[TuneRecord] = ParetoArchive(
+            objectives=[
+                (lambda record, _name=name:
+                 METRIC_SENSES[_name] * record.metrics[_name])
+                for name in objectives
+            ])
+        self.considered = 0
+        self.counts: Dict[str, int] = {
+            ARCHIVED: 0, DOMINATED: 0, INFEASIBLE: 0,
+            STATUS_BUDGET: 0, STATUS_INVALID: 0, STATUS_FAILED: 0,
+        }
+        #: Per-constraint miss counters, aligned with ``constraints``.
+        self.constraint_misses: List[int] = [0] * len(self.constraints)
+
+    # -- dominance keys ------------------------------------------------
+
+    def key(self, metrics: Dict[str, float]) -> Tuple[float, ...]:
+        """Sense-adjusted objective tuple (smaller is better)."""
+        try:
+            return tuple(METRIC_SENSES[name] * metrics[name]
+                         for name in self.objectives)
+        except KeyError as error:
+            raise TuneError(
+                f"candidate metrics lack objective {error.args[0]!r}: "
+                "was the evaluation configured to score it?"
+            ) from error
+
+    # -- feasibility ---------------------------------------------------
+
+    def screen(self, metrics: Dict[str, float],
+               count_misses: bool = True) -> List[Constraint]:
+        """The constraints ``metrics`` fails (missing metric = fail)."""
+        failed = []
+        for position, constraint in enumerate(self.constraints):
+            if not constraint.check(metrics):
+                failed.append(constraint)
+                if count_misses:
+                    self.constraint_misses[position] += 1
+        return failed
+
+    # -- the archive proper --------------------------------------------
+
+    def consider(self, record: TuneRecord) -> str:
+        """Account for one evaluated candidate; returns its disposition.
+
+        Only fully-scored (:data:`STATUS_OK`), constraint-satisfying
+        records are offered to the Pareto frontier.  Budget-truncated,
+        invalid and failed records are counted and kept out — their
+        numbers are bounds or absent, not measurements.
+        """
+        self.considered += 1
+        if record.status in (STATUS_BUDGET, STATUS_INVALID,
+                             STATUS_FAILED):
+            self.counts[record.status] += 1
+            return record.status
+        if record.status != STATUS_OK:
+            raise TuneError(f"unknown evaluation status "
+                            f"{record.status!r} for {record.digest}")
+        if self.screen(record.metrics):
+            self.counts[INFEASIBLE] += 1
+            return INFEASIBLE
+        if self._pareto.insert(record, values=self.key(record.metrics)):
+            self.counts[ARCHIVED] += 1
+            return ARCHIVED
+        self.counts[DOMINATED] += 1
+        return DOMINATED
+
+    def frontier(self) -> List[TuneRecord]:
+        """Current non-dominated set in canonical order.
+
+        Sorted by (sense-adjusted objective values, config digest) —
+        insertion order never leaks in, so any two searches that end on
+        the same frontier *report* the same frontier, byte for byte.
+        """
+        entries = self._pareto.entries()
+        return [record for record, _values in
+                sorted(entries, key=lambda entry:
+                       (entry[1], entry[0].digest))]
+
+    def frontier_payload(self) -> List[Dict[str, object]]:
+        return [record.to_payload() for record in self.frontier()]
+
+    # -- reporting -----------------------------------------------------
+
+    def explain(self) -> str:
+        """One-paragraph account of where the candidates went.
+
+        This is what makes an empty frontier a *result*: it names the
+        constraints that rejected everything (with per-constraint miss
+        counts) rather than silently reporting nothing.
+        """
+        parts = [f"{self.considered} candidate(s) considered:"]
+        order = (ARCHIVED, DOMINATED, INFEASIBLE, STATUS_BUDGET,
+                 STATUS_INVALID, STATUS_FAILED)
+        parts.append(", ".join(f"{self.counts[k]} {k}" for k in order
+                               if self.counts[k]) or "none evaluated")
+        if self.counts[INFEASIBLE] and self.constraints:
+            misses = "; ".join(
+                f"{constraint.describe()} rejected {count}"
+                for constraint, count in zip(self.constraints,
+                                             self.constraint_misses)
+                if count)
+            parts.append(f"({misses})")
+        if not self.frontier():
+            if self.counts[INFEASIBLE] and not self.counts[ARCHIVED]:
+                parts.append("— the frontier is empty because no "
+                             "candidate satisfied the constraints")
+            else:
+                parts.append("— the frontier is empty")
+        return " ".join(parts)
+
+    def to_payload(self) -> Dict[str, object]:
+        return {
+            "objectives": list(self.objectives),
+            "constraints": [c.describe() for c in self.constraints],
+            "considered": self.considered,
+            "counts": dict(self.counts),
+            "constraint_misses": list(self.constraint_misses),
+            "explain": self.explain(),
+            "frontier": self.frontier_payload(),
+        }
+
+
+def parse_constraints(texts: Sequence[str]) -> Tuple[Constraint, ...]:
+    """Parse a list of constraint strings (CLI helper)."""
+    return tuple(Constraint.parse(text) for text in texts)

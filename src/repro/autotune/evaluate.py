@@ -1,0 +1,375 @@
+"""Scoring candidates: model estimates, serve jobs, fault campaigns.
+
+The evaluator turns space coordinates into :class:`TuneRecord`\\ s in
+three phases, cheapest first:
+
+1. **model** — the memoised FPGA cost model prices every candidate
+   (slices, block RAMs, clock) for free; candidates that already fail a
+   model-metric constraint are never simulated.
+2. **sweep** — survivors are cycle-counted on the workload.  Configs
+   without custom instructions go through :mod:`repro.serve` as
+   ``cycle_limit_ok`` sweep jobs (executor parallelism + result cache,
+   byte-identical to serial); custom-instruction candidates take an
+   in-process path that re-derives the fusion rewrite
+   deterministically and validates outputs against the golden
+   reference.  A blown cycle budget is the ``budget`` status — a
+   pruning signal, not a crash.
+3. **campaign** — when reliability is an objective or constraint,
+   still-alive candidates get a seeded fault-injection campaign (the
+   ``vector`` engine is supported); its SDC rate joins the metrics.
+
+Every evaluation (including resume reuse) is appended to
+:attr:`CandidateEvaluator.log` in submission order, which is what the
+report artifact stores and what a later ``--resume`` run replays.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.config import MachineConfig
+from repro.errors import ReproError, TuneError
+from repro.fpga import estimate_costs
+from repro.workloads import WorkloadSpec
+
+from repro.autotune.archive import (
+    STATUS_BUDGET, STATUS_FAILED, STATUS_INVALID, STATUS_OK,
+    TuneArchive, TuneRecord,
+)
+from repro.autotune.space import SearchSpace
+
+#: Default cycle budget per candidate (matches the serve default).
+DEFAULT_CYCLE_BUDGET = 200_000_000
+
+#: Metrics the FPGA cost model alone can score (no simulation).
+MODEL_METRICS = ("slices", "block_rams", "clock_mhz")
+
+
+def _time_ms(cycles: int, clock_mhz: float) -> float:
+    return cycles / (clock_mhz * 1000.0)
+
+
+class CandidateEvaluator:
+    """Scores batches of space coordinates into :class:`TuneRecord`\\ s.
+
+    ``known`` maps config digests to prior evaluation payloads (from a
+    resume artifact); matching candidates are replayed without running
+    anything, and land in the log exactly as a fresh evaluation would.
+    """
+
+    def __init__(self, spec: WorkloadSpec,
+                 archive: TuneArchive,
+                 cycle_budget: int = DEFAULT_CYCLE_BUDGET,
+                 faults_n: int = 0,
+                 faults_seed: int = 1,
+                 campaign_engine: str = "auto",
+                 validate: bool = True,
+                 executor=None,
+                 cache=None,
+                 known: Optional[Dict[str, dict]] = None,
+                 progress: Optional[Callable[[str], None]] = None):
+        self.spec = spec
+        self.archive = archive
+        self.cycle_budget = cycle_budget
+        self.faults_n = faults_n
+        self.faults_seed = faults_seed
+        self.campaign_engine = campaign_engine
+        self.validate = validate
+        self.executor = executor
+        self.cache = cache
+        self.known = dict(known or {})
+        self.progress = progress
+        metrics_wanted = set(archive.objectives) | {
+            constraint.metric for constraint in archive.constraints}
+        self.needs_campaign = "sdc_rate" in metrics_wanted
+        if self.needs_campaign and faults_n < 1:
+            raise TuneError(
+                "sdc_rate is an objective or constraint but faults_n "
+                "is 0: score reliability with --faults-n"
+            )
+        if self.needs_campaign and not faults_seed:
+            raise TuneError("campaign seed must be non-zero")
+        #: Every evaluation in submission order (report artifact rows).
+        self.log: List[Dict[str, object]] = []
+        self._memo: Dict[str, Tuple[str, Dict[str, float], str]] = {}
+
+    # -- the batch driver ----------------------------------------------
+
+    def evaluate_batch(self, space: SearchSpace,
+                       indices: Sequence[int]) -> List[TuneRecord]:
+        """Score ``indices`` (submission order preserved in the log).
+
+        Batches are the determinism unit: all serve jobs of one phase
+        are submitted together in index order, and
+        :func:`repro.serve.run_jobs` returns them in input order, so
+        the records (and the log) are identical no matter how many
+        executor workers raced on them.
+        """
+        records: List[Optional[TuneRecord]] = []
+        fresh: List[Tuple[int, TuneRecord, MachineConfig]] = []
+        for position, index in enumerate(indices):
+            config = space.config_at(index)
+            if config is None:
+                records.append(TuneRecord(
+                    index=index, digest="", describe="(invalid)",
+                    choices=space.choices_at(index),
+                    status=STATUS_INVALID,
+                    detail="rejected by MachineConfig validation"))
+                continue
+            digest = config.digest()
+            record = TuneRecord(
+                index=index, digest=digest,
+                describe=config.describe(),
+                choices=space.choices_at(index), status=STATUS_OK)
+            replay = self._memo.get(digest)
+            if replay is None and digest in self.known:
+                prior = self.known[digest]
+                replay = (prior["status"],
+                          dict(prior.get("metrics", {})),
+                          prior.get("detail", ""))
+            if replay is not None:
+                record.status, metrics, record.detail = replay
+                record.metrics = dict(metrics)
+                records.append(record)
+                continue
+            records.append(record)
+            fresh.append((position, record, config))
+
+        survivors = self._phase_model(fresh)
+        survivors = self._phase_sweep(survivors)
+        if self.needs_campaign:
+            self._phase_campaign(survivors)
+
+        for _position, record, _config in fresh:
+            self._memo[record.digest] = (
+                record.status, dict(record.metrics), record.detail)
+        for record in records:
+            self.log.append(record.to_payload())
+        return list(records)
+
+    # -- phase 1: the free cost model ----------------------------------
+
+    def _phase_model(self, fresh):
+        survivors = []
+        for position, record, config in fresh:
+            estimate, clock_mhz = estimate_costs(config)
+            record.metrics.update({
+                "slices": estimate.slices,
+                "block_rams": estimate.block_rams,
+                "clock_mhz": clock_mhz,
+            })
+            failed = [constraint for constraint in
+                      self.archive.constraints
+                      if constraint.metric in MODEL_METRICS
+                      and not constraint.check(record.metrics)]
+            if failed:
+                # Still STATUS_OK — the archive's constraint screen
+                # turns it into an infeasible disposition; we just
+                # skipped paying for a simulation it cannot need.
+                record.detail = ("pruned by model estimate: " + ", ".join(
+                    constraint.describe() for constraint in failed))
+                self._say(f"prune {record.describe} ({record.detail})")
+                continue
+            survivors.append((position, record, config))
+        return survivors
+
+    # -- phase 2: cycle counts -----------------------------------------
+
+    def _phase_sweep(self, survivors):
+        from repro.harness.runner import OUTCOME_OK
+
+        served, inproc = [], []
+        for entry in survivors:
+            _position, _record, config = entry
+            if config.custom_ops or (self.executor is None
+                                     and self.cache is None):
+                inproc.append(entry)
+            else:
+                served.append(entry)
+
+        alive = []
+        if served:
+            from repro.serve import run_jobs, sweep_job
+
+            jobs = [sweep_job(self.spec, config, validate=self.validate,
+                              max_cycles=self.cycle_budget,
+                              cycle_limit_ok=True)
+                    for _position, _record, config in served]
+            outcomes = run_jobs(jobs, executor=self.executor,
+                                cache=self.cache)
+            for (position, record, config), outcome in zip(served,
+                                                           outcomes):
+                if not outcome.ok:
+                    record.status = STATUS_FAILED
+                    record.detail = (f"{outcome.status}: "
+                                     f"{outcome.error or 'job failed'}")
+                    continue
+                payload = outcome.payload
+                if payload.get("outcome", OUTCOME_OK) != OUTCOME_OK:
+                    self._truncate(record)
+                    continue
+                self._score_cycles(record, payload["cycles"])
+                alive.append((position, record, config))
+
+        for position, record, config in inproc:
+            cycles = self._run_in_process(record, config)
+            if cycles is not None:
+                self._score_cycles(record, cycles)
+                alive.append((position, record, config))
+        alive.sort(key=lambda entry: entry[0])
+        return alive
+
+    def _score_cycles(self, record: TuneRecord, cycles: int) -> None:
+        record.metrics["cycles"] = cycles
+        record.metrics["time_ms"] = _time_ms(
+            cycles, record.metrics["clock_mhz"])
+        self._say(f"scored {record.describe}: {cycles} cycles")
+
+    def _truncate(self, record: TuneRecord) -> None:
+        record.status = STATUS_BUDGET
+        record.metrics.pop("cycles", None)
+        record.metrics.pop("time_ms", None)
+        record.detail = (f"cycle budget of {self.cycle_budget} "
+                         "exhausted; candidate pruned, not scored")
+        self._say(f"budget {record.describe}")
+
+    def _run_in_process(self, record: TuneRecord,
+                        config: MachineConfig) -> Optional[int]:
+        """Cycle-count one candidate locally; None if not fully scored."""
+        from repro.harness.runner import OUTCOME_OK, run_on_epic
+
+        try:
+            if config.custom_ops:
+                return self._run_custom(record, config)
+            run = run_on_epic(self.spec, config, validate=self.validate,
+                              max_cycles=self.cycle_budget,
+                              cycle_limit_ok=True)
+        except ReproError as error:
+            record.status = STATUS_FAILED
+            record.detail = str(error)
+            return None
+        if run.outcome != OUTCOME_OK:
+            self._truncate(record)
+            return None
+        return run.cycles
+
+    def _run_custom(self, record: TuneRecord,
+                    config: MachineConfig) -> Optional[int]:
+        """Score a custom-instruction candidate in-process.
+
+        Re-derives the fusion rewrite from the workload source (the
+        discovery pass is deterministic), cross-checks that it yields
+        the very instructions the candidate's config carries, then
+        compiles the *rewritten* module and validates the run against
+        the golden reference.  Serve jobs cannot carry these configs
+        (the op semantics callable is unserialisable), hence this path.
+        """
+        from repro.backend import compile_ir_to_epic
+        from repro.core import EpicProcessor
+        from repro.errors import CycleLimitExceeded
+        from repro.explore.custominsn import discover_and_apply
+        from repro.harness.runner import check_outputs
+        from repro.lang.compile import compile_minic
+
+        module = compile_minic(self.spec.source)
+        mined = discover_and_apply(module,
+                                   top_k=len(config.custom_ops),
+                                   mem_words=self.spec.mem_words)
+        wanted = [getattr(op, "mnemonic", None)
+                  for op in config.custom_ops]
+        if [op.mnemonic for op in mined] != wanted:
+            raise TuneError(
+                f"custom-op mining disagrees with the candidate: "
+                f"mined {[op.mnemonic for op in mined]}, config "
+                f"carries {wanted} — was the space built for another "
+                "workload?"
+            )
+        # Freshly mined specs carry live semantics callables; their
+        # contract (and so the config digest) is identical.
+        run_config = config.with_changes(custom_ops=tuple(mined))
+        compilation = compile_ir_to_epic(module, run_config)
+        cpu = EpicProcessor(run_config, compilation.program,
+                            mem_words=self.spec.mem_words)
+        try:
+            result = cpu.run(max_cycles=self.cycle_budget)
+        except CycleLimitExceeded:
+            self._truncate(record)
+            return None
+        if self.validate:
+            def read_global(name: str, count: int):
+                base = compilation.symbols[name]
+                return [cpu.memory.read(base + i) for i in range(count)]
+
+            machine = f"EPIC-{run_config.n_alus}ALU+custom"
+            check_outputs(self.spec.name, machine, self.spec,
+                          read_global, cpu.gpr.read(2))
+        return result.cycles
+
+    # -- phase 3: reliability campaigns --------------------------------
+
+    def _phase_campaign(self, alive) -> None:
+        """Attach an SDC rate to every still-alive candidate.
+
+        Custom-instruction candidates are campaigned in-process on the
+        source-compiled program (the lockstep checker does not apply
+        the fusion rewrite); the fault stream is identical either way
+        because it is drawn from (n, seed) alone.
+        """
+        served, inproc = [], []
+        for entry in alive:
+            _position, _record, config = entry
+            if config.custom_ops or (self.executor is None
+                                     and self.cache is None):
+                inproc.append(entry)
+            else:
+                served.append(entry)
+
+        if served:
+            from repro.harness.faultcampaign import (
+                report_from_results, result_from_payload,
+            )
+            from repro.serve import campaign_job, run_jobs
+
+            jobs = [campaign_job(self.spec, config, self.faults_n,
+                                 self.faults_seed,
+                                 engine=self.campaign_engine)
+                    for _position, _record, config in served]
+            outcomes = run_jobs(jobs, executor=self.executor,
+                                cache=self.cache)
+            for (position, record, config), outcome in zip(served,
+                                                           outcomes):
+                if not outcome.ok:
+                    record.status = STATUS_FAILED
+                    record.detail = (f"campaign {outcome.status}: "
+                                     f"{outcome.error or 'job failed'}")
+                    continue
+                results = [result_from_payload(entry) for entry
+                           in outcome.payload["outcomes"]]
+                report = report_from_results(
+                    self.spec, config, self.faults_n, self.faults_seed,
+                    outcome.payload["reference_cycles"], results)
+                record.metrics["sdc_rate"] = report.sdc_rate
+                self._say(f"campaigned {record.describe}: "
+                          f"SDC {report.sdc_rate * 100:.1f}%")
+
+        if inproc:
+            from repro.harness.faultcampaign import run_campaign
+
+            for _position, record, config in inproc:
+                try:
+                    report = run_campaign(
+                        self.spec, config, self.faults_n,
+                        self.faults_seed, engine=self.campaign_engine)
+                except ReproError as error:
+                    record.status = STATUS_FAILED
+                    record.detail = f"campaign failed: {error}"
+                    continue
+                record.metrics["sdc_rate"] = report.sdc_rate
+                self._say(f"campaigned {record.describe}: "
+                          f"SDC {report.sdc_rate * 100:.1f}%")
+
+    # -- misc ----------------------------------------------------------
+
+    def _say(self, message: str) -> None:
+        if self.progress is not None:
+            self.progress(message)

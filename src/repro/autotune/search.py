@@ -1,0 +1,302 @@
+"""Search strategies: exhaustive, seeded-random, and hill-climbing.
+
+Every strategy is a deterministic function of (space, seed, budget):
+all randomness comes from the repo's :class:`XorShift32`, every draw
+happens in the driving process before any evaluation is submitted, and
+candidates are submitted in fixed-size batches whose size never depends
+on the executor — so the trajectory, the evaluation log and the final
+archive are byte-identical whether the evaluations ran serially, on a
+process pool, or replayed out of a warm result cache.
+
+The hill-climber is a multi-restart dominance-descent: each restart
+seeds itself with a small random tournament ("rung"), adopts the
+non-dominated winner, and then moves only to neighbours that strictly
+dominate the current point, restarting at local optima.  Given a
+budget of at least the space size it degenerates into a full visit, so
+its frontier provably equals the exhaustive one — the property the CI
+smoke gate checks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import TuneError
+from repro.explore.pareto import dominates
+from repro.workloads import XorShift32
+
+from repro.autotune.archive import STATUS_OK, TuneArchive, TuneRecord
+from repro.autotune.evaluate import CandidateEvaluator
+from repro.autotune.space import SearchSpace
+
+#: Candidates submitted per evaluation batch.  Fixed (never derived
+#: from the executor's worker count) so parallelism cannot change the
+#: trajectory.
+BATCH_SIZE = 8
+
+#: Tournament size seeding each hill-climber restart.
+RUNG_SIZE = 4
+
+STRATEGIES = ("exhaustive", "random", "hill")
+
+
+class _Driver:
+    """Shared per-run state: visited set, budget, batch submission."""
+
+    def __init__(self, space: SearchSpace, evaluator: CandidateEvaluator,
+                 archive: TuneArchive, budget: int,
+                 batch_size: int = BATCH_SIZE):
+        if budget < 1:
+            raise TuneError("search budget must be >= 1 evaluation")
+        self.space = space
+        self.evaluator = evaluator
+        self.archive = archive
+        self.budget = min(budget, space.size)
+        self.batch_size = batch_size
+        self.visited: Set[int] = set()
+        self.trajectory: List[Dict[str, object]] = []
+        #: index -> (record, disposition) for every visited coordinate.
+        self.results: Dict[int, Tuple[TuneRecord, str]] = {}
+
+    @property
+    def remaining(self) -> int:
+        return self.budget - len(self.visited)
+
+    def exhausted(self) -> bool:
+        return self.remaining <= 0 or len(self.visited) >= self.space.size
+
+    def submit(self, indices: Sequence[int],
+               phase: str) -> List[Tuple[TuneRecord, str]]:
+        """Evaluate unvisited ``indices`` (in order, batched)."""
+        indices = [index for index in indices
+                   if index not in self.visited][:max(0, self.remaining)]
+        if not indices:
+            return []
+        self.trajectory.append({"phase": phase, "indices": list(indices)})
+        out: List[Tuple[TuneRecord, str]] = []
+        for start in range(0, len(indices), self.batch_size):
+            batch = indices[start:start + self.batch_size]
+            records = self.evaluator.evaluate_batch(self.space, batch)
+            for index, record in zip(batch, records):
+                disposition = self.archive.consider(record)
+                self.visited.add(index)
+                self.results[index] = (record, disposition)
+                out.append((record, disposition))
+        return out
+
+    def key_of(self, index: int) -> Optional[Tuple[float, ...]]:
+        """Sense-adjusted objective tuple of a *feasible, scored* visit."""
+        if index not in self.results:
+            return None  # budget ran out before this one was evaluated
+        record, disposition = self.results[index]
+        if record.status != STATUS_OK or disposition == "infeasible":
+            return None
+        try:
+            return self.archive.key(record.metrics)
+        except TuneError:
+            return None
+
+
+def _draw_unvisited(driver: _Driver, rng: XorShift32) -> int:
+    """One seeded unvisited coordinate.
+
+    Rejection-samples the space; after ``4 * size + 16`` misses (only
+    plausible when nearly everything is visited) it falls back to the
+    lowest unvisited index, keeping the draw total and deterministic.
+    """
+    space_size = driver.space.size
+    for _attempt in range(4 * space_size + 16):
+        index = driver.space.sample(rng)
+        if index not in driver.visited:
+            return index
+    for index in range(space_size):
+        if index not in driver.visited:
+            return index
+    raise TuneError("no unvisited coordinates remain")
+
+
+# -- strategies --------------------------------------------------------
+
+def _run_exhaustive(driver: _Driver, rng: XorShift32) -> None:
+    del rng  # order is fixed; an exhaustive scan draws nothing
+    driver.submit(range(min(driver.budget, driver.space.size)), "scan")
+
+
+def _run_random(driver: _Driver, rng: XorShift32) -> None:
+    while not driver.exhausted():
+        count = min(driver.remaining, driver.batch_size)
+        batch = []
+        for _ in range(count):
+            index = _draw_unvisited(driver, rng)
+            driver.visited.add(index)  # reserve against re-draws
+            batch.append(index)
+        driver.visited.difference_update(batch)
+        driver.submit(batch, "sample")
+
+
+def _run_hill(driver: _Driver, rng: XorShift32) -> None:
+    while not driver.exhausted():
+        # Rung: a small seeded tournament picks the restart point.
+        rung = []
+        for _ in range(min(RUNG_SIZE, driver.remaining)):
+            index = _draw_unvisited(driver, rng)
+            driver.visited.add(index)
+            rung.append(index)
+        driver.visited.difference_update(rung)
+        driver.submit(rung, "rung")
+        current = _best_of(driver, rung)
+        if current is None:
+            continue  # nothing feasible in the rung; restart
+        # Descent: move only to neighbours that strictly dominate.
+        while not driver.exhausted():
+            neighbours = [index for index
+                          in driver.space.neighbours(current)
+                          if index not in driver.visited]
+            if not neighbours:
+                break
+            driver.submit(neighbours, "descend")
+            current_key = driver.key_of(current)
+            best = None
+            for index in neighbours:
+                key = driver.key_of(index)
+                if key is None or current_key is None:
+                    continue
+                if not dominates(key, current_key):
+                    continue
+                rank = (key, driver.results[index][0].digest)
+                if best is None or rank < best[0]:
+                    best = (rank, index)
+            if best is None:
+                break  # local optimum; restart
+            current = best[1]
+
+
+def _best_of(driver: _Driver, indices: Sequence[int]) -> Optional[int]:
+    """Tournament winner: feasible, scored, non-dominated, lowest key."""
+    ranked = []
+    for index in indices:
+        key = driver.key_of(index)
+        if key is None:
+            continue
+        record, _disposition = driver.results[index]
+        ranked.append(((key, record.digest), index))
+    candidates = [entry for entry in ranked
+                  if not any(dominates(other[0][0], entry[0][0])
+                             for other in ranked)]
+    if not candidates:
+        return None
+    return min(candidates)[1]
+
+
+_STRATEGY_RUNNERS = {
+    "exhaustive": _run_exhaustive,
+    "random": _run_random,
+    "hill": _run_hill,
+}
+
+
+# -- the driver --------------------------------------------------------
+
+def tune(space: SearchSpace, evaluator: CandidateEvaluator,
+         archive: TuneArchive, strategy: str = "exhaustive",
+         seed: int = 1, budget: Optional[int] = None,
+         batch_size: int = BATCH_SIZE,
+         progress: Optional[Callable[[str], None]] = None
+         ) -> Dict[str, object]:
+    """Run one search and return the (deterministic) report payload.
+
+    ``budget`` is the maximum number of coordinates to visit (default:
+    the whole space).  ``seed`` feeds every random draw; zero is
+    rejected (XorShift32 cannot hold state 0, matching the campaign
+    seed contract).
+    """
+    if strategy not in _STRATEGY_RUNNERS:
+        raise TuneError(f"unknown strategy {strategy!r} "
+                        f"(known: {', '.join(STRATEGIES)})")
+    if not seed:
+        raise TuneError("search seed must be non-zero (XorShift32 "
+                        "cannot hold state 0)")
+    if budget is None:
+        budget = space.size
+    driver = _Driver(space, evaluator, archive, budget,
+                     batch_size=batch_size)
+    if progress is not None:
+        progress(f"tuning {space.describe()} with {strategy!r}, "
+                 f"budget {driver.budget}")
+    _STRATEGY_RUNNERS[strategy](driver, XorShift32(seed))
+    return {
+        "version": 1,
+        "space": {
+            "fingerprint": space.fingerprint(),
+            "size": space.size,
+            "axes": [{"name": axis.name,
+                      "values": [repr(value) for value in axis.values]}
+                     for axis in space.axes],
+        },
+        "workload": {
+            "name": evaluator.spec.name,
+            "args": list(evaluator.spec.instance_args),
+        },
+        "settings": {
+            "strategy": strategy,
+            "seed": seed,
+            "budget": driver.budget,
+            "batch_size": batch_size,
+            "objectives": list(archive.objectives),
+            "constraints": [constraint.describe()
+                            for constraint in archive.constraints],
+            "cycle_budget": evaluator.cycle_budget,
+            "faults_n": evaluator.faults_n,
+            "faults_seed": evaluator.faults_seed,
+            "campaign_engine": evaluator.campaign_engine,
+            "validate": evaluator.validate,
+        },
+        "trajectory": driver.trajectory,
+        "evaluations": list(evaluator.log),
+        "archive": archive.to_payload(),
+    }
+
+
+def known_from_report(report: Dict[str, object],
+                      space: SearchSpace,
+                      settings: Dict[str, object],
+                      workload: Optional[Dict[str, object]] = None
+                      ) -> Dict[str, dict]:
+    """Extract a resume map from a prior report, after compat checks.
+
+    The prior run must have searched the *same* space (fingerprint)
+    with the *same* evaluation settings — a stored score is only
+    trustworthy if it answers the same question.  The strategy, seed
+    and budget may differ: scores are keyed by config digest, not by
+    trajectory position.
+    """
+    if not isinstance(report, dict) or "evaluations" not in report:
+        raise TuneError("resume artifact is not a repro-tune report")
+    prior_space = report.get("space", {})
+    if prior_space.get("fingerprint") != space.fingerprint():
+        raise TuneError(
+            "resume artifact searched a different space "
+            f"(fingerprint {prior_space.get('fingerprint', '?')[:12]} "
+            f"!= {space.fingerprint()[:12]})"
+        )
+    if workload is not None and report.get("workload") != workload:
+        raise TuneError(
+            f"resume artifact scored workload {report.get('workload')} "
+            f"but this run targets {workload}"
+        )
+    prior = dict(report.get("settings", {}))
+    for field in ("objectives", "constraints", "cycle_budget",
+                  "faults_n", "faults_seed", "campaign_engine",
+                  "validate"):
+        if prior.get(field) != settings.get(field):
+            raise TuneError(
+                f"resume artifact used a different {field} "
+                f"({prior.get(field)!r} != {settings.get(field)!r}); "
+                "its scores answer a different question"
+            )
+    known = {}
+    for entry in report["evaluations"]:
+        digest = entry.get("digest")
+        if digest:
+            known[digest] = entry
+    return known

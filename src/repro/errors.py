@@ -166,6 +166,12 @@ class WorkloadError(ReproError):
     """Workload construction/input-generation failure."""
 
 
+class TuneError(ReproError):
+    """Autotuner failure: a malformed search space or constraint, an
+    incompatible resume artifact, or objectives the evaluation settings
+    cannot score."""
+
+
 class ServeError(ReproError):
     """Job-serving failure: an unserialisable job spec, a malformed
     batch file, a corrupt cache record, or a job that did not finish

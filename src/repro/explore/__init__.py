@@ -9,7 +9,7 @@ Pareto frontier.
 """
 
 from repro.explore.sweep import DesignPoint, sweep_configs, evaluate_config
-from repro.explore.pareto import pareto_frontier
+from repro.explore.pareto import ParetoArchive, dominates, pareto_frontier
 from repro.explore.reliability import ReliabilityPoint, reliability_sweep
 from repro.explore.custominsn import (
     FusionCandidate,
@@ -25,6 +25,8 @@ __all__ = [
     "sweep_configs",
     "evaluate_config",
     "pareto_frontier",
+    "ParetoArchive",
+    "dominates",
     "ReliabilityPoint",
     "reliability_sweep",
     "FusionCandidate",

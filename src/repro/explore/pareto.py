@@ -1,42 +1,138 @@
-"""Pareto analysis of performance/area trade-offs."""
+"""Pareto analysis of multi-objective trade-offs.
+
+Two entry points share one dominance kernel:
+
+* :func:`pareto_frontier` — the batch API: hand it a finished list of
+  points, get the non-dominated subset back.
+* :class:`ParetoArchive` — the incremental API: insert points one at a
+  time and keep a live frontier.  This is what a search loop needs: a
+  design-space autotuner (:mod:`repro.autotune`) scores candidates as
+  they arrive and must know *now* whether a point survived, without
+  re-scanning history.
+
+Both accept **arbitrary point types**: a point is anything the
+objective callables can consume — a
+:class:`~repro.explore.sweep.DesignPoint`, a tuple, a dataclass from
+another subsystem.  All objectives are minimised; wrap a
+maximised quantity in a negation (``lambda p: -p.clock_mhz``).
+"""
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence, Tuple
+from typing import Callable, Generic, List, Sequence, Tuple, TypeVar
 
-from repro.explore.sweep import DesignPoint
+Point = TypeVar("Point")
+
+#: Default objectives, matching the classic performance/area sweep:
+#: execution time and slice count, both minimised.  They are duck-typed
+#: (any point with ``time_seconds`` and ``slices`` works), not tied to
+#: ``DesignPoint``.
+DEFAULT_OBJECTIVES: Tuple[Callable, ...] = (
+    lambda p: p.time_seconds,
+    lambda p: float(p.slices),
+)
 
 
-def pareto_frontier(points: Sequence[DesignPoint],
-                    objectives: Tuple[Callable[[DesignPoint], float], ...] = (
-                        lambda p: p.time_seconds,
-                        lambda p: float(p.slices),
-                    )) -> List[DesignPoint]:
-    """Non-dominated points (all objectives minimised).
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when value tuple ``a`` dominates ``b`` (all minimised).
+
+    Domination requires ``a`` to be no worse in every objective and
+    strictly better in at least one; equal tuples therefore never
+    dominate each other, and a tie on a single axis alone cannot
+    dominate.
+    """
+    return all(x <= y for x, y in zip(a, b)) \
+        and any(x < y for x, y in zip(a, b))
+
+
+class ParetoArchive(Generic[Point]):
+    """An incremental non-dominated archive (all objectives minimised).
+
+    :meth:`insert` costs one dominance scan over the current frontier
+    (never over history), evaluates the objectives exactly once per
+    point, and keeps the archive exactly equal to the non-dominated
+    subset of everything inserted so far — the incremental and batch
+    semantics provably agree because dominance is transitive.
+
+    Duplicate points (equal in every objective) never dominate each
+    other, so all copies survive; surviving points keep insertion
+    order.
+    """
+
+    def __init__(self, objectives: Sequence[Callable[[Point], float]]
+                 = DEFAULT_OBJECTIVES):
+        if not objectives:
+            raise ValueError("at least one objective is required")
+        self.objectives = tuple(objectives)
+        self._points: List[Point] = []
+        self._values: List[Tuple[float, ...]] = []
+        self.inserted = 0
+        self.rejected = 0
+        self.evicted = 0
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def values_of(self, point: Point) -> Tuple[float, ...]:
+        """The point's objective-value tuple (one call per objective)."""
+        return tuple(f(point) for f in self.objectives)
+
+    def insert(self, point: Point,
+               values: Tuple[float, ...] = None) -> bool:
+        """Offer a point to the archive.
+
+        Returns ``True`` if the point joined the frontier (evicting any
+        incumbents it now dominates) and ``False`` if an incumbent
+        dominates it.  Pass precomputed ``values`` to skip re-running
+        expensive objective callables.
+        """
+        if values is None:
+            values = self.values_of(point)
+        for incumbent in self._values:
+            if dominates(incumbent, values):
+                self.rejected += 1
+                return False
+        survivors = [index for index, incumbent in enumerate(self._values)
+                     if not dominates(values, incumbent)]
+        if len(survivors) != len(self._points):
+            self.evicted += len(self._points) - len(survivors)
+            self._points = [self._points[index] for index in survivors]
+            self._values = [self._values[index] for index in survivors]
+        self._points.append(point)
+        self._values.append(tuple(values))
+        self.inserted += 1
+        return True
+
+    def entries(self) -> List[Tuple[Point, Tuple[float, ...]]]:
+        """Current frontier as (point, values) pairs, insertion order."""
+        return list(zip(self._points, self._values))
+
+    def frontier(self) -> List[Point]:
+        """Current frontier sorted by the first objective (stable, so
+        points tying on it keep insertion order)."""
+        order = sorted(range(len(self._points)),
+                       key=lambda index: self._values[index][0])
+        return [self._points[index] for index in order]
+
+
+def pareto_frontier(points: Sequence[Point],
+                    objectives: Sequence[Callable[[Point], float]]
+                    = DEFAULT_OBJECTIVES) -> List[Point]:
+    """Non-dominated points (all objectives minimised), batch form.
 
     A point is dominated when another point is no worse in every
     objective and strictly better in at least one.  Duplicate points
     (equal in every objective) never dominate each other, so all copies
     survive; ties on a single axis likewise cannot dominate.  An empty
-    input yields an empty frontier.
+    input yields an empty frontier.  The result is sorted by the first
+    objective (stable: ties keep input order).
 
     Objective callables are evaluated exactly once per point (they may
-    be arbitrarily expensive — a re-simulation, a model query), making
-    the scan O(n²) comparisons over precomputed value tuples.
+    be arbitrarily expensive — a re-simulation, a model query).
+    Implemented on :class:`ParetoArchive`, so the batch and incremental
+    APIs can never drift apart.
     """
-    evaluated = [tuple(f(point) for f in objectives) for point in points]
-    frontier: List[DesignPoint] = []
-    frontier_keys: List[tuple] = []
-    for candidate, candidate_values in zip(points, evaluated):
-        dominated = False
-        for other_values in evaluated:
-            if all(o <= c for o, c in zip(other_values, candidate_values)) \
-                    and any(o < c for o, c in
-                            zip(other_values, candidate_values)):
-                dominated = True
-                break
-        if not dominated:
-            frontier.append(candidate)
-            frontier_keys.append(candidate_values)
-    order = sorted(range(len(frontier)), key=lambda i: frontier_keys[i][0])
-    return [frontier[i] for i in order]
+    archive: ParetoArchive = ParetoArchive(objectives)
+    for point in points:
+        archive.insert(point)
+    return archive.frontier()

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional
 
 from repro.config import MachineConfig
-from repro.fpga import estimate_clock_mhz, estimate_resources
+from repro.fpga import estimate_costs
 from repro.harness.faultcampaign import CampaignReport, run_campaign
 from repro.workloads import WorkloadSpec
 
@@ -116,12 +116,12 @@ def reliability_sweep(spec: WorkloadSpec,
 
 def _build_point(config: MachineConfig,
                  report: CampaignReport) -> ReliabilityPoint:
-    estimate = estimate_resources(config)
+    estimate, clock_mhz = estimate_costs(config)
     return ReliabilityPoint(
         config=config,
         slices=estimate.slices,
         block_rams=estimate.block_rams,
-        clock_mhz=estimate_clock_mhz(config),
+        clock_mhz=clock_mhz,
         cycles=report.reference_cycles,
         report=report,
     )

@@ -6,7 +6,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, List, Optional
 
 from repro.config import MachineConfig
-from repro.fpga import estimate_clock_mhz, estimate_resources
+from repro.fpga import estimate_costs
 from repro.harness.runner import run_on_epic
 from repro.workloads import WorkloadSpec
 
@@ -39,15 +39,20 @@ class DesignPoint:
 
 def evaluate_config(spec: WorkloadSpec, config: MachineConfig,
                     validate: bool = True) -> DesignPoint:
-    """Compile, simulate and cost one configuration on one workload."""
+    """Compile, simulate and cost one configuration on one workload.
+
+    The FPGA cost model is memoised by config digest
+    (:func:`repro.fpga.estimate_costs`), so sweeping many
+    area-identical candidates prices the hardware once.
+    """
     run = run_on_epic(spec, config, validate=validate)
-    estimate = estimate_resources(config)
+    estimate, clock_mhz = estimate_costs(config)
     return DesignPoint(
         config=config,
         cycles=run.cycles,
         slices=estimate.slices,
         block_rams=estimate.block_rams,
-        clock_mhz=estimate_clock_mhz(config),
+        clock_mhz=clock_mhz,
     )
 
 
@@ -64,19 +69,32 @@ def sweep_configs(spec: WorkloadSpec, configs: Iterable[MachineConfig],
     fires once per completed design point (completion order under a
     parallel executor) for live progress reporting.
 
+    ``progress`` has **uniform semantics on every execution path**
+    (serial, executor, cache replay): one ``"[done/total] <config>"``
+    line per completed evaluation, in completion order, with a
+    ``": <status>"`` suffix on the executor path when a job failed.
+
     Passing ``executor`` (a :mod:`repro.serve` executor) and/or
     ``cache`` (a :class:`~repro.serve.ResultCache`) routes each
     evaluation through the job-serving subsystem; the resulting points
     are byte-identical to the serial path's.
     """
     configs = list(configs)
+    total = len(configs)
+    done = [0]
+
+    def report(config: MachineConfig, status: str = "") -> None:
+        done[0] += 1
+        if progress:
+            suffix = f": {status}" if status else ""
+            progress(f"[{done[0]}/{total}] {config.describe()}{suffix}")
+
     if executor is None and cache is None:
         points = []
         for config in configs:
-            if progress:
-                progress(config.describe())
             point = evaluate_config(spec, config, validate=validate)
             points.append(point)
+            report(config)
             if on_result is not None:
                 on_result(point)
         return points
@@ -97,10 +115,10 @@ def sweep_configs(spec: WorkloadSpec, configs: Iterable[MachineConfig],
         )
 
     def handle(outcome) -> None:
+        report(configs[outcome.index],
+               "" if outcome.ok else outcome.status)
         if not outcome.ok:
             return
-        if progress:
-            progress(configs[outcome.index].describe())
         if on_result is not None:
             on_result(rebuild(outcome))
 

@@ -11,12 +11,16 @@ independent of the ALU count because ALUs sit in parallel.
 
 from repro.fpga.resource_model import ResourceEstimate, estimate_resources
 from repro.fpga.timing_model import estimate_clock_mhz
+from repro.fpga.costs import clear_cost_memo, cost_memo_len, estimate_costs
 from repro.fpga.virtex2 import Virtex2Device, VIRTEX2_DEVICES, fits_on
 
 __all__ = [
     "ResourceEstimate",
     "estimate_resources",
     "estimate_clock_mhz",
+    "estimate_costs",
+    "cost_memo_len",
+    "clear_cost_memo",
     "Virtex2Device",
     "VIRTEX2_DEVICES",
     "fits_on",

@@ -1,0 +1,53 @@
+"""Digest-memoised front door to the FPGA cost model.
+
+Design-space searches evaluate many candidates that are *area-identical*
+(a latency or trap-policy change leaves the datapath alone), and even a
+single sweep costs every config once per caller — the serial sweep, the
+serve worker and the reliability sweep each used to recompute
+:func:`~repro.fpga.resource_model.estimate_resources` and
+:func:`~repro.fpga.timing_model.estimate_clock_mhz` from scratch.  Both
+models are pure functions of the configuration, and
+:meth:`MachineConfig.digest` is exactly the key that makes two configs
+interchangeable to them, so one process-wide memo serves every caller.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.config import MachineConfig
+from repro.fpga.resource_model import ResourceEstimate, estimate_resources
+from repro.fpga.timing_model import estimate_clock_mhz
+
+#: Bound on memo entries; a long-running daemon exploring an unbounded
+#: config stream must not grow without limit.  Eviction is FIFO — the
+#: memo is a cost saver, not a correctness structure.
+_MEMO_CAPACITY = 4096
+
+_MEMO: Dict[str, Tuple[ResourceEstimate, float]] = {}
+
+
+def estimate_costs(config: MachineConfig) -> Tuple[ResourceEstimate, float]:
+    """``(resources, clock_mhz)`` for a config, memoised by digest.
+
+    ``ResourceEstimate`` is a frozen dataclass and the clock a float,
+    so sharing one instance across callers is safe.
+    """
+    key = config.digest()
+    cached = _MEMO.get(key)
+    if cached is None:
+        cached = (estimate_resources(config), estimate_clock_mhz(config))
+        if len(_MEMO) >= _MEMO_CAPACITY:
+            _MEMO.pop(next(iter(_MEMO)))
+        _MEMO[key] = cached
+    return cached
+
+
+def cost_memo_len() -> int:
+    """Current memo occupancy (tests and telemetry)."""
+    return len(_MEMO)
+
+
+def clear_cost_memo() -> None:
+    """Drop all memoised entries (tests)."""
+    _MEMO.clear()

@@ -38,7 +38,9 @@ from repro.workloads import WORKLOADS, WorkloadSpec, XorShift32
 
 #: Version of the JobSpec canonical schema; hashed into every digest,
 #: so bumping it invalidates result caches built under the old schema.
-SPEC_VERSION = 1
+#: v2 added ``cycle_limit_ok`` to sweep jobs (budget-truncated runs
+#: surface as structured payloads instead of errors).
+SPEC_VERSION = 2
 
 #: Version of the batch-file envelope written by :func:`dump_batch`.
 BATCH_VERSION = 1
@@ -90,6 +92,12 @@ class JobSpec:
     engine: str = "auto"
     validate: bool = True
     max_cycles: int = DEFAULT_MAX_CYCLES
+    #: Sweep jobs only: treat blowing the ``max_cycles`` budget as a
+    #: *result* (outcome ``cycle-limit-exceeded``, cycles clamped to
+    #: the budget) instead of a job error.  Lets a design-space search
+    #: prune hopeless candidates cheaply without tripping the
+    #: executor's failure accounting.
+    cycle_limit_ok: bool = False
     # -- campaign jobs only -------------------------------------------
     n: int = 0
     seed: int = 0
@@ -138,6 +146,11 @@ class JobSpec:
                 "op semantics callable is not serialisable, so the job "
                 "digest could not distinguish two different machines"
             )
+        if self.cycle_limit_ok and self.kind != KIND_SWEEP:
+            raise ServeError(
+                "cycle_limit_ok only applies to sweep jobs: campaigns "
+                "already classify budget blow-ups as the hung outcome"
+            )
         if self.kind == KIND_CAMPAIGN:
             if self.n < 1:
                 raise ServeError("campaign jobs need n >= 1 injections")
@@ -179,6 +192,8 @@ class JobSpec:
         payload["config"] = self.config.canonical()
         payload["validate"] = self.validate
         payload["max_cycles"] = self.max_cycles
+        if self.kind == KIND_SWEEP:
+            payload["cycle_limit_ok"] = self.cycle_limit_ok
         if self.kind == KIND_CAMPAIGN:
             payload["n"] = self.n
             payload["seed"] = self.seed
@@ -249,6 +264,7 @@ class JobSpec:
                 validate=bool(payload.get("validate", True)),
                 max_cycles=int(payload.get("max_cycles",
                                            DEFAULT_MAX_CYCLES)),
+                cycle_limit_ok=bool(payload.get("cycle_limit_ok", False)),
                 n=int(payload.get("n", 0)),
                 seed=int(payload.get("seed", 0)),
                 spaces=tuple(payload.get("spaces", ())),
@@ -305,11 +321,18 @@ def config_from_canonical(payload: object) -> MachineConfig:
 def sweep_job(spec: WorkloadSpec, config: MachineConfig,
               validate: bool = True,
               max_cycles: int = DEFAULT_MAX_CYCLES,
-              engine: str = "auto") -> JobSpec:
-    """A design-point evaluation job (cycles + area + clock)."""
+              engine: str = "auto",
+              cycle_limit_ok: bool = False) -> JobSpec:
+    """A design-point evaluation job (cycles + area + clock).
+
+    ``cycle_limit_ok=True`` turns a blown cycle budget into a payload
+    with outcome ``cycle-limit-exceeded`` instead of a failed job —
+    the knob the autotuner uses to prune slow candidates.
+    """
     return JobSpec(kind=KIND_SWEEP, workload=spec.name,
                    workload_args=tuple(spec.instance_args), config=config,
-                   validate=validate, max_cycles=max_cycles, engine=engine)
+                   validate=validate, max_cycles=max_cycles, engine=engine,
+                   cycle_limit_ok=cycle_limit_ok)
 
 
 def campaign_job(spec: WorkloadSpec, config: MachineConfig,

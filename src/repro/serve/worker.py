@@ -46,20 +46,22 @@ def build_workload(spec: JobSpec) -> WorkloadSpec:
 
 
 def _execute_sweep(spec: JobSpec) -> Tuple[Payload, Payload]:
-    from repro.fpga import estimate_clock_mhz, estimate_resources
+    from repro.fpga import estimate_costs
     from repro.harness.runner import run_on_epic
 
     workload = build_workload(spec)
     run = run_on_epic(workload, spec.config, validate=spec.validate,
-                      max_cycles=spec.max_cycles, engine=spec.engine)
-    estimate = estimate_resources(spec.config)
+                      max_cycles=spec.max_cycles, engine=spec.engine,
+                      cycle_limit_ok=spec.cycle_limit_ok)
+    estimate, clock_mhz = estimate_costs(spec.config)
     payload: Payload = {
         "workload": workload.name,
         "machine": run.machine,
         "cycles": run.cycles,
+        "outcome": run.outcome,
         "slices": estimate.slices,
         "block_rams": estimate.block_rams,
-        "clock_mhz": estimate_clock_mhz(spec.config),
+        "clock_mhz": clock_mhz,
     }
     return payload, {}
 

@@ -1,0 +1,148 @@
+"""Constraints, senses, statuses and the canonical frontier."""
+
+import pytest
+
+from repro.autotune import Constraint, TuneArchive, TuneRecord
+from repro.autotune.archive import (
+    ARCHIVED, DOMINATED, INFEASIBLE, STATUS_BUDGET, STATUS_FAILED,
+    STATUS_INVALID, parse_constraints,
+)
+from repro.errors import TuneError
+
+
+def record(digest, status="ok", **metrics):
+    return TuneRecord(index=0, digest=digest, describe=digest,
+                      choices={}, status=status, metrics=metrics)
+
+
+class TestConstraintParsing:
+    @pytest.mark.parametrize("text,metric,op,bound", [
+        ("slices<=7000", "slices", "<=", 7000.0),
+        ("sdc_rate < 0.01", "sdc_rate", "<", 0.01),
+        ("clock_mhz>=40", "clock_mhz", ">=", 40.0),
+        ("cycles!=0", "cycles", "!=", 0.0),
+        ("block_rams==8", "block_rams", "==", 8.0),
+    ])
+    def test_accepts_all_operators(self, text, metric, op, bound):
+        constraint = Constraint.parse(text)
+        assert (constraint.metric, constraint.op,
+                constraint.bound) == (metric, op, bound)
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(TuneError, match="unknown constraint metric"):
+            Constraint.parse("watts<=5")
+
+    def test_bad_bound_rejected(self):
+        with pytest.raises(TuneError, match="not a number"):
+            Constraint.parse("slices<=lots")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(TuneError, match="cannot parse"):
+            Constraint.parse("slices")
+
+    def test_missing_metric_fails_check(self):
+        assert not Constraint.parse("cycles<=10").check({"slices": 1})
+
+    def test_describe_round_trips(self):
+        texts = ["slices<=7000", "sdc_rate<0.01"]
+        assert [c.describe() for c in parse_constraints(texts)] == texts
+
+
+class TestSenses:
+    def test_clock_mhz_is_maximised(self):
+        archive = TuneArchive(objectives=("clock_mhz",))
+        archive.consider(record("slow", clock_mhz=30.0))
+        archive.consider(record("fast", clock_mhz=60.0))
+        assert [r.digest for r in archive.frontier()] == ["fast"]
+
+    def test_cycles_is_minimised(self):
+        archive = TuneArchive(objectives=("cycles",))
+        archive.consider(record("slow", cycles=100))
+        archive.consider(record("fast", cycles=10))
+        assert [r.digest for r in archive.frontier()] == ["fast"]
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(TuneError, match="unknown objective"):
+            TuneArchive(objectives=("watts",))
+
+    def test_missing_objective_metric_is_an_error(self):
+        archive = TuneArchive(objectives=("cycles", "sdc_rate"))
+        with pytest.raises(TuneError, match="sdc_rate"):
+            archive.consider(record("x", cycles=10))
+
+
+class TestDispositions:
+    def test_budget_and_failed_never_enter_the_frontier(self):
+        archive = TuneArchive(objectives=("cycles",))
+        assert archive.consider(record("b", status=STATUS_BUDGET)) \
+            == STATUS_BUDGET
+        assert archive.consider(record("f", status=STATUS_FAILED)) \
+            == STATUS_FAILED
+        assert archive.consider(record("i", status=STATUS_INVALID)) \
+            == STATUS_INVALID
+        assert archive.frontier() == []
+        assert archive.counts[STATUS_BUDGET] == 1
+        assert archive.counts[STATUS_FAILED] == 1
+        assert archive.counts[STATUS_INVALID] == 1
+
+    def test_infeasible_counted_per_constraint(self):
+        archive = TuneArchive(
+            objectives=("cycles",),
+            constraints=parse_constraints(
+                ["slices<=100", "cycles<=50"]))
+        archive.consider(record("a", cycles=10, slices=500))
+        archive.consider(record("b", cycles=99, slices=50))
+        assert archive.counts[INFEASIBLE] == 2
+        assert archive.constraint_misses == [1, 1]
+        assert archive.frontier() == []
+
+    def test_feasible_dominance_still_applies(self):
+        archive = TuneArchive(
+            objectives=("cycles",),
+            constraints=parse_constraints(["slices<=100"]))
+        assert archive.consider(record("a", cycles=10, slices=50)) \
+            == ARCHIVED
+        assert archive.consider(record("b", cycles=20, slices=50)) \
+            == DOMINATED
+
+
+class TestCanonicalFrontier:
+    def test_frontier_order_ignores_insertion_order(self):
+        forward = TuneArchive(objectives=("cycles", "slices"))
+        backward = TuneArchive(objectives=("cycles", "slices"))
+        rows = [("a", 10, 900), ("b", 20, 500), ("c", 30, 100)]
+        for digest, cycles, slices in rows:
+            forward.consider(record(digest, cycles=cycles,
+                                    slices=slices))
+        for digest, cycles, slices in reversed(rows):
+            backward.consider(record(digest, cycles=cycles,
+                                     slices=slices))
+        assert [r.digest for r in forward.frontier()] \
+            == [r.digest for r in backward.frontier()] \
+            == ["a", "b", "c"]
+
+    def test_value_ties_break_on_digest(self):
+        archive = TuneArchive(objectives=("cycles",))
+        archive.consider(record("zz", cycles=10))
+        archive.consider(record("aa", cycles=10))
+        assert [r.digest for r in archive.frontier()] == ["aa", "zz"]
+
+
+class TestExplain:
+    def test_empty_frontier_is_explained(self):
+        archive = TuneArchive(
+            objectives=("cycles",),
+            constraints=parse_constraints(["slices<=1"]))
+        archive.consider(record("a", cycles=10, slices=500))
+        explanation = archive.explain()
+        assert "slices<=1 rejected 1" in explanation
+        assert "no candidate satisfied the constraints" in explanation
+
+    def test_payload_carries_everything(self):
+        archive = TuneArchive(objectives=("cycles",))
+        archive.consider(record("a", cycles=10))
+        payload = archive.to_payload()
+        assert payload["objectives"] == ["cycles"]
+        assert payload["counts"][ARCHIVED] == 1
+        assert payload["frontier"][0]["digest"] == "a"
+        assert "explain" in payload

@@ -1,0 +1,96 @@
+"""The ``repro-tune`` entry point: flags, artifacts, exit codes."""
+
+import json
+
+import pytest
+
+from repro.autotune.cli import main
+
+
+def run_cli(args, capsys):
+    code = main(args)
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+TINY = ["--bench", "DCT", "--quick", "--alus", "1,2", "--quiet"]
+
+
+class TestBasics:
+    def test_tiny_exhaustive_run(self, capsys):
+        code, out, _err = run_cli(TINY, capsys)
+        assert code == 0
+        assert "archived" in out
+        assert "cycles=" in out
+
+    def test_json_report_is_valid_and_complete(self, capsys):
+        code, out, _err = run_cli(TINY + ["--json"], capsys)
+        assert code == 0
+        report = json.loads(out)
+        assert report["settings"]["strategy"] == "exhaustive"
+        assert report["space"]["size"] == 2
+        assert len(report["evaluations"]) == 2
+        assert report["archive"]["frontier"]
+
+    def test_report_artifact_written(self, tmp_path, capsys):
+        out_path = tmp_path / "report.json"
+        code, _out, _err = run_cli(
+            TINY + ["--out", str(out_path)], capsys)
+        assert code == 0
+        report = json.loads(out_path.read_text())
+        assert report["archive"]["considered"] == 2
+
+    def test_timing_kept_out_of_the_report(self, tmp_path, capsys):
+        out_path = tmp_path / "report.json"
+        timing_path = tmp_path / "timing.json"
+        code, _out, _err = run_cli(
+            TINY + ["--out", str(out_path),
+                    "--timing-out", str(timing_path)], capsys)
+        assert code == 0
+        assert "seconds" in json.loads(timing_path.read_text())
+        assert "seconds" not in out_path.read_text()
+
+
+class TestConstraintsAndErrors:
+    def test_infeasible_constraints_explained_exit_zero(self, capsys):
+        code, out, _err = run_cli(
+            TINY + ["--constraint", "slices<=1"], capsys)
+        assert code == 0
+        assert "no candidate satisfied the constraints" in out
+
+    def test_bad_constraint_is_a_clean_error(self, capsys):
+        code, _out, err = run_cli(
+            TINY + ["--constraint", "watts<=5"], capsys)
+        assert code == 1
+        assert "unknown constraint metric" in err
+
+    def test_sdc_objective_without_faults_is_a_clean_error(self, capsys):
+        code, _out, err = run_cli(
+            TINY + ["--objectives", "cycles,sdc_rate"], capsys)
+        assert code == 1
+        assert "faults-n" in err
+
+    def test_missing_resume_artifact_is_a_clean_error(
+            self, tmp_path, capsys):
+        code, _out, err = run_cli(
+            TINY + ["--resume", str(tmp_path / "missing.json")], capsys)
+        assert code == 1
+        assert "repro-tune:" in err
+
+
+class TestDeterminism:
+    def test_two_runs_write_identical_reports(self, tmp_path, capsys):
+        first, second = tmp_path / "a.json", tmp_path / "b.json"
+        args = TINY + ["--strategy", "hill", "--seed", "11"]
+        assert run_cli(args + ["--out", str(first)], capsys)[0] == 0
+        assert run_cli(args + ["--out", str(second)], capsys)[0] == 0
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_resume_round_trip(self, tmp_path, capsys):
+        first, second = tmp_path / "a.json", tmp_path / "b.json"
+        assert run_cli(TINY + ["--out", str(first)], capsys)[0] == 0
+        code, _out, _err = run_cli(
+            TINY + ["--resume", str(first), "--out", str(second)],
+            capsys)
+        assert code == 0
+        assert first.read_bytes() == second.read_bytes()

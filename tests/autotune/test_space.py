@@ -1,0 +1,146 @@
+"""Search-space mechanics: indexing, validity, neighbours, identity."""
+
+import pytest
+
+from repro.autotune import (
+    SearchSpace, custom_ops_axis, field_axis, latency_axis,
+    mine_custom_ops,
+)
+from repro.autotune.space import Axis
+from repro.config import epic_config
+from repro.errors import TuneError
+from repro.workloads import XorShift32, sha_workload
+
+
+@pytest.fixture(scope="module")
+def space():
+    return SearchSpace(epic_config(), [
+        field_axis("n_alus", (1, 2, 4)),
+        field_axis("forwarding", (True, False)),
+        latency_axis("mul", (1, 3)),
+    ])
+
+
+class TestIndexing:
+    def test_size_is_product_of_axes(self, space):
+        assert space.size == 3 * 2 * 2
+
+    def test_decode_encode_round_trip(self, space):
+        for index in range(space.size):
+            assert space.encode(space.decode(index)) == index
+
+    def test_rightmost_axis_fastest(self, space):
+        assert space.choices_at(0)["latency.mul"] == 1
+        assert space.choices_at(1)["latency.mul"] == 3
+        assert space.choices_at(0)["n_alus"] == 1
+        assert space.choices_at(4)["n_alus"] == 2
+
+    def test_config_at_applies_every_axis(self, space):
+        config = space.config_at(space.size - 1)
+        assert config.n_alus == 4
+        assert config.forwarding is False
+        assert config.latency["mul"] == 3
+
+    def test_out_of_range_rejected(self, space):
+        with pytest.raises(TuneError, match="out of range"):
+            space.decode(space.size)
+
+    def test_distinct_coordinates_distinct_digests(self, space):
+        digests = {space.config_at(i).digest()
+                   for i in range(space.size)}
+        assert len(digests) == space.size
+
+
+class TestValidity:
+    def test_invalid_combination_decodes_to_none(self):
+        # n_gprs=128 > regs_per_instruction=64 violates validation.
+        space = SearchSpace(epic_config(), [
+            field_axis("n_gprs", (64, 128)),
+        ])
+        assert space.config_at(0) is not None
+        assert space.config_at(1) is None
+
+    def test_enumerate_skips_invalid(self):
+        space = SearchSpace(epic_config(), [
+            field_axis("n_gprs", (64, 128)),
+        ])
+        assert [index for index, _ in space.enumerate_configs()] == [0]
+
+
+class TestNeighbours:
+    def test_one_step_along_one_axis_no_wrap(self, space):
+        # Coordinate 0 is every axis at its first value: only up-steps.
+        up_only = space.neighbours(0)
+        assert up_only == [space.encode((1, 0, 0)),
+                           space.encode((0, 1, 0)),
+                           space.encode((0, 0, 1))]
+        # An interior coordinate steps down before up on each axis.
+        middle = space.encode((1, 0, 0))
+        assert space.neighbours(middle)[0] == space.encode((0, 0, 0))
+
+    def test_neighbour_order_is_deterministic(self, space):
+        for index in range(space.size):
+            assert space.neighbours(index) == space.neighbours(index)
+
+
+class TestIdentity:
+    def test_fingerprint_covers_axes_and_base(self, space):
+        other = SearchSpace(epic_config(), [
+            field_axis("n_alus", (1, 2, 4)),
+            field_axis("forwarding", (True, False)),
+            latency_axis("mul", (1, 4)),  # one value differs
+        ])
+        assert space.fingerprint() != other.fingerprint()
+        same = SearchSpace(epic_config(), [
+            field_axis("n_alus", (1, 2, 4)),
+            field_axis("forwarding", (True, False)),
+            latency_axis("mul", (1, 3)),
+        ])
+        assert space.fingerprint() == same.fingerprint()
+
+    def test_sample_is_seeded(self, space):
+        draws = [space.sample(XorShift32(9)) for _ in range(3)]
+        assert draws[0] == draws[1] == draws[2]
+
+
+class TestAxisValidation:
+    def test_empty_axis_rejected(self):
+        with pytest.raises(TuneError, match="no values"):
+            Axis("empty", (), lambda c, v: c)
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(TuneError, match="duplicate"):
+            field_axis("n_alus", (2, 2))
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(TuneError, match="unknown MachineConfig"):
+            field_axis("n_flux_capacitors", (1,))
+
+    def test_unknown_latency_class_rejected(self):
+        with pytest.raises(TuneError, match="latency class"):
+            latency_axis("teleport", (1,))
+
+    def test_duplicate_axis_names_rejected(self):
+        with pytest.raises(TuneError, match="duplicate axis"):
+            SearchSpace(epic_config(), [
+                field_axis("n_alus", (1, 2)),
+                field_axis("n_alus", (2, 4)),
+            ])
+
+
+class TestCustomOps:
+    def test_mined_axis_equips_candidates(self):
+        spec = sha_workload(8, 8)
+        specs = mine_custom_ops(spec, 1)
+        assert len(specs) == 1
+        space = SearchSpace(epic_config(), [
+            custom_ops_axis(specs, (0, 1)),
+        ])
+        assert space.config_at(0).custom_ops == ()
+        assert len(space.config_at(1).custom_ops) == 1
+
+    def test_count_beyond_mined_rejected(self):
+        spec = sha_workload(8, 8)
+        specs = mine_custom_ops(spec, 1)
+        with pytest.raises(TuneError, match="out of range"):
+            custom_ops_axis(specs, (0, 2))

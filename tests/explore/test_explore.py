@@ -126,3 +126,98 @@ class TestParetoEdgeCases:
         pareto_frontier(points, objectives=(counting,
                                             lambda p: float(p.slices)))
         assert len(calls) == len(points)
+
+
+class TestParetoArchive:
+    """The incremental archive behind pareto_frontier (and the tuner)."""
+
+    @staticmethod
+    def point(cycles, slices):
+        return DesignPoint(config=epic_with_alus(1), cycles=cycles,
+                           slices=slices, block_rams=1, clock_mhz=40.0)
+
+    def test_incremental_equals_batch(self):
+        from repro.explore import ParetoArchive
+
+        points = [self.point(100 + 7 * n % 50, 200 - 5 * n % 60)
+                  for n in range(20)]
+        archive = ParetoArchive()
+        for point in points:
+            archive.insert(point)
+        assert archive.frontier() == pareto_frontier(points)
+
+    def test_insert_reports_acceptance(self):
+        from repro.explore import ParetoArchive
+
+        archive = ParetoArchive(
+            objectives=(lambda p: float(p.cycles),
+                        lambda p: float(p.slices)))
+        assert archive.insert(self.point(100, 100)) is True
+        assert archive.insert(self.point(200, 200)) is False
+        assert archive.inserted == 1
+        assert archive.rejected == 1
+
+    def test_eviction_on_a_better_late_arrival(self):
+        from repro.explore import ParetoArchive
+
+        archive = ParetoArchive(
+            objectives=(lambda p: float(p.cycles),
+                        lambda p: float(p.slices)))
+        weak = self.point(200, 200)
+        strong = self.point(100, 100)
+        archive.insert(weak)
+        archive.insert(strong)
+        assert archive.frontier() == [strong]
+        assert archive.evicted == 1
+
+    def test_arbitrary_point_types(self):
+        from repro.explore import ParetoArchive
+
+        archive = ParetoArchive(objectives=(lambda t: t[0],
+                                            lambda t: t[1]))
+        for tup in [(3.0, 1.0), (1.0, 3.0), (2.0, 2.0), (4.0, 4.0)]:
+            archive.insert(tup)
+        assert archive.frontier() == [(1.0, 3.0), (2.0, 2.0), (3.0, 1.0)]
+
+    def test_precomputed_values_skip_objectives(self):
+        from repro.explore import ParetoArchive
+
+        def exploding(_):
+            raise AssertionError("objectives must not be called")
+
+        archive = ParetoArchive(objectives=(exploding,))
+        archive.insert("anything", values=(1.0,))
+        assert archive.frontier() == ["anything"]
+
+    def test_empty_objectives_rejected(self):
+        from repro.explore import ParetoArchive
+
+        with pytest.raises(ValueError):
+            ParetoArchive(objectives=())
+
+
+class TestSweepProgress:
+    """progress reporting is uniform across serial and serve paths."""
+
+    def test_serial_progress_format(self):
+        from repro.config import sweep_alus
+
+        spec = dct_workload(8, 8)
+        lines = []
+        sweep_configs(spec, list(sweep_alus())[:2],
+                      progress=lines.append)
+        assert len(lines) == 2
+        assert lines[0].startswith("[1/2] ")
+        assert lines[1].startswith("[2/2] ")
+
+    def test_serve_path_progress_format(self, tmp_path):
+        from repro.config import sweep_alus
+        from repro.serve import ResultCache
+
+        spec = dct_workload(8, 8)
+        serial_lines, served_lines = [], []
+        configs = list(sweep_alus())[:2]
+        sweep_configs(spec, configs, progress=serial_lines.append)
+        sweep_configs(spec, configs, progress=served_lines.append,
+                      cache=ResultCache(str(tmp_path / "cache")))
+        assert served_lines == serial_lines

@@ -110,3 +110,56 @@ class TestDeviceFitting:
         estimate = estimate_resources(epic_with_alus(4))
         assert not fits_on(estimate, VIRTEX2_DEVICES["xc2v1000"])
         assert fits_on(estimate, VIRTEX2_DEVICES["xc2v6000"])
+
+
+class TestCostMemo:
+    """estimate_costs memoises the cost model by config digest."""
+
+    def test_second_call_skips_the_models(self, monkeypatch):
+        from repro.config import epic_config
+        from repro.fpga import clear_cost_memo, estimate_costs
+        from repro.fpga import costs as costs_module
+
+        clear_cost_memo()
+        calls = []
+        real = costs_module.estimate_resources
+        monkeypatch.setattr(
+            costs_module, "estimate_resources",
+            lambda config: calls.append(1) or real(config))
+        config = epic_config(n_alus=3)
+        first = estimate_costs(config)
+        second = estimate_costs(epic_config(n_alus=3))  # equal digest
+        assert first == second
+        assert len(calls) == 1
+        clear_cost_memo()
+
+    def test_memo_matches_the_direct_models(self):
+        from repro.config import epic_config
+        from repro.fpga import (
+            clear_cost_memo, estimate_clock_mhz, estimate_costs,
+            estimate_resources,
+        )
+
+        clear_cost_memo()
+        config = epic_config(n_alus=2, forwarding=False)
+        estimate, clock_mhz = estimate_costs(config)
+        assert estimate == estimate_resources(config)
+        assert clock_mhz == estimate_clock_mhz(config)
+        clear_cost_memo()
+
+    def test_capacity_is_bounded(self):
+        from repro.config import epic_config
+        from repro.fpga import clear_cost_memo, cost_memo_len, estimate_costs
+        from repro.fpga import costs as costs_module
+
+        clear_cost_memo()
+        old_capacity = costs_module._MEMO_CAPACITY
+        costs_module._MEMO_CAPACITY = 2
+        try:
+            for gprs in (64, 128, 256):
+                estimate_costs(epic_config(
+                    n_gprs=gprs, regs_per_instruction=256))
+            assert cost_memo_len() == 2
+        finally:
+            costs_module._MEMO_CAPACITY = old_capacity
+            clear_cost_memo()

@@ -280,3 +280,61 @@ class TestBatchFiles:
         path.write_text(json.dumps({"version": 1}), encoding="utf-8")
         with pytest.raises(ServeError, match="jobs"):
             load_batch(str(path))
+
+
+class TestCycleLimitOk:
+    """cycle_limit_ok: budget blow-ups as results, sweep jobs only."""
+
+    def test_default_off_and_in_canonical(self):
+        job = tiny_sweep()
+        assert job.cycle_limit_ok is False
+        assert job.canonical()["cycle_limit_ok"] is False
+
+    def test_flag_changes_the_digest(self):
+        from repro.config import epic_with_alus
+        from repro.workloads import sha_workload
+
+        spec = sha_workload(8, 8)
+        config = epic_with_alus(2)
+        tolerant = sweep_job(spec, config, cycle_limit_ok=True)
+        strict = sweep_job(spec, config)
+        assert tolerant.digest() != strict.digest()
+
+    def test_round_trips_through_payload(self):
+        from repro.config import epic_with_alus
+        from repro.workloads import sha_workload
+
+        job = sweep_job(sha_workload(8, 8), epic_with_alus(2),
+                        cycle_limit_ok=True)
+        rebuilt = JobSpec.from_payload(job.to_payload())
+        assert rebuilt.cycle_limit_ok is True
+        assert rebuilt == job
+
+    def test_rejected_on_campaign_jobs(self):
+        from repro.config import epic_with_alus
+        from repro.workloads import sha_workload
+
+        with pytest.raises(ServeError, match="cycle_limit_ok"):
+            JobSpec(kind="campaign", workload="SHA",
+                    config=epic_with_alus(2), n=5, seed=3,
+                    spaces=("gpr",), cycle_limit_ok=True)
+
+    def test_worker_surfaces_the_truncation_outcome(self):
+        from repro.config import epic_with_alus
+        from repro.serve.worker import execute_spec
+        from repro.workloads import sha_workload
+
+        job = sweep_job(sha_workload(8, 8), epic_with_alus(2),
+                        max_cycles=100, cycle_limit_ok=True)
+        payload, _meta = execute_spec(job)
+        assert payload["outcome"] == "cycle-limit-exceeded"
+        assert payload["cycles"] == 100
+
+    def test_completed_runs_report_ok_outcome(self):
+        from repro.config import epic_with_alus
+        from repro.serve.worker import execute_spec
+        from repro.workloads import sha_workload
+
+        job = sweep_job(sha_workload(8, 8), epic_with_alus(2))
+        payload, _meta = execute_spec(job)
+        assert payload["outcome"] == "ok"
