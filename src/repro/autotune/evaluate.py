@@ -367,6 +367,11 @@ class CandidateEvaluator:
                 record.metrics["sdc_rate"] = report.sdc_rate
                 self._say(f"campaigned {record.describe}: "
                           f"SDC {report.sdc_rate * 100:.1f}%")
+                downgrade = (report.timing or {}).get(
+                    "engine_downgrade_reason")
+                if downgrade:
+                    self._say(f"  vector engine downgraded to scalar "
+                              f"for {record.describe}: {downgrade}")
 
     # -- misc ----------------------------------------------------------
 

@@ -31,12 +31,22 @@ golden machine's *control flow*:
   schedule and hence the port-stall timing;
 * a lane whose branch condition or branch target disagrees retires
   (``branch-divergence``);
-* a lane that would trap (out-of-bounds load/store, division by zero)
-  retires (``trap-risk``);
+* under the ``halt`` trap policy a lane that would trap (out-of-bounds
+  load/store) retires (``trap-risk``); under ``squash-bundle`` and
+  ``record-and-continue`` the trap is *recorded in-lane* instead — the
+  lane keeps riding with its squashed write-backs pinned to ``_KEEP``
+  in the value columns, and only retires if the recorded trap bends its
+  control flow or port-stall timing away from the golden machine's
+  (``trap-timing``).  Division by zero always retires (``trap-risk``):
+  the scalar machine raises it past every policy;
 * instruction-fetch faults are resolved at the fetch they corrupt: a
-  word that no longer decodes is classified DETECTED on the spot (the
-  caller supplies the exact trap text via the ``ifetch`` callback); one
-  that still decodes retires (``ifetch-rewrite``);
+  word that no longer decodes under the ``halt`` policy is classified
+  DETECTED on the spot (the caller supplies the exact trap text via the
+  ``ifetch`` callback); a fetch that deterministically *rewrites* the
+  program (it still decodes, or the recorded decode trap skips the
+  bundle) yields a :class:`RewalkTicket` so the caller can classify
+  every lane sharing the same rewritten fetch with **one** scalar
+  re-walk (the grouped second pass) instead of one run per lane;
 * parity-protected targets retire (``parity-protected``) — poison
   bookkeeping belongs to the scalar machine;
 * out-of-range or malformed fault specs retire (``fault-out-of-range``)
@@ -75,7 +85,13 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core import decode as dec
-from repro.errors import SimulationError
+from repro.errors import (
+    TRAP_OOB_LOAD,
+    TRAP_OOB_STORE,
+    SimulationError,
+    TrapError,
+)
+from repro.isa import semantics as sem
 from repro.isa.semantics import to_signed
 from repro.mdes import Mdes
 
@@ -101,6 +117,7 @@ _MODELS = (_MODEL_SEU, _MODEL_STUCK0, _MODEL_STUCK1)
 RETIRE_GUARD = "guard-divergence"
 RETIRE_BRANCH = "branch-divergence"
 RETIRE_TRAP = "trap-risk"
+RETIRE_TRAP_TIMING = "trap-timing"
 RETIRE_IFETCH = "ifetch-rewrite"
 RETIRE_PARITY = "parity-protected"
 RETIRE_BOUNDS = "fault-out-of-range"
@@ -114,6 +131,84 @@ DEFAULT_LANES = 64
 _P_GPR = 0
 _P_PRED = 1
 _P_BTR = 2
+
+#: Sentinel for squashed per-lane write-backs (non-halt trap policies):
+#: a ``vec[row]`` of ``_KEEP`` means the lane's machine never issued
+#: the write, so the drain must leave the lane's current value alone.
+_KEEP = object()
+
+#: Minimum *divergent* rows before the NumPy column path beats per-lane
+#: Python calls.  The sparse overlay walk already skips non-divergent
+#: lanes and short-circuits golden operands, so the column's
+#: gather/scatter overhead only pays off once the divergent population
+#: is fairly large (measured crossover on the quick campaigns: ~16).
+_COLUMN_MIN_LANES = 16
+
+
+def _column_tables():
+    """Build int64 column twins of the scalar ALU/CMP semantics.
+
+    Keyed by the *callable* stored in ``PreOp.fn`` so dispatch is one
+    dict probe.  Each twin is exact over NumPy int64 for datapath
+    widths up to 32 bits: operands are masked machine words (below
+    ``2**32``), so sums, shifted values and two's-complement
+    conversions all stay inside int64.  MUL (the full product can need
+    64 bits) and DIV/REM (zero divisors raise) keep the per-lane
+    scalar path.
+    """
+
+    def unsigned(a, width):
+        return a & ((1 << width) - 1)
+
+    def signed(a, width):
+        u = a & ((1 << width) - 1)
+        return u - ((u >> (width - 1)) << width)
+
+    def shift(b, width):
+        return b & (width - 1)
+
+    def col_shra(a, b, width):
+        return unsigned(signed(a, width) >> shift(b, width), width)
+
+    def col_min(a, b, width):
+        return _np.where(signed(a, width) <= signed(b, width), a, b)
+
+    def col_max(a, b, width):
+        return _np.where(signed(a, width) >= signed(b, width), a, b)
+
+    def flag(condition):
+        return condition.astype(_np.int64)
+
+    alu = {
+        sem.add: lambda a, b, w: unsigned(a + b, w),
+        sem.sub: lambda a, b, w: unsigned(a - b, w),
+        sem.and_: lambda a, b, w: unsigned(a & b, w),
+        sem.or_: lambda a, b, w: unsigned(a | b, w),
+        sem.xor: lambda a, b, w: unsigned(a ^ b, w),
+        sem.andcm: lambda a, b, w: unsigned(a & ~b, w),
+        sem.shl: lambda a, b, w: unsigned(a << shift(b, w), w),
+        sem.shr: lambda a, b, w: unsigned(a, w) >> shift(b, w),
+        sem.shra: col_shra,
+        sem.min_: col_min,
+        sem.max_: col_max,
+    }
+    cmp = {
+        sem.cmp_eq: lambda a, b, w: flag(unsigned(a, w) == unsigned(b, w)),
+        sem.cmp_ne: lambda a, b, w: flag(unsigned(a, w) != unsigned(b, w)),
+        sem.cmp_lt: lambda a, b, w: flag(signed(a, w) < signed(b, w)),
+        sem.cmp_le: lambda a, b, w: flag(signed(a, w) <= signed(b, w)),
+        sem.cmp_gt: lambda a, b, w: flag(signed(a, w) > signed(b, w)),
+        sem.cmp_ge: lambda a, b, w: flag(signed(a, w) >= signed(b, w)),
+        sem.cmp_ult: lambda a, b, w: flag(unsigned(a, w) < unsigned(b, w)),
+        sem.cmp_uge: lambda a, b, w: flag(unsigned(a, w) >= unsigned(b, w)),
+    }
+    return alu, cmp
+
+
+if _np is not None:
+    _COLUMN_ALU, _COLUMN_CMP = _column_tables()
+else:  # pragma: no cover - exercised via the no-NumPy CI job
+    _COLUMN_ALU, _COLUMN_CMP = {}, {}
 
 
 @dataclass
@@ -131,6 +226,43 @@ class LaneOutcome:
     trap_cause: Optional[str] = None
 
 
+@dataclass(frozen=True)
+class RewalkTicket:
+    """One lane deferred to the grouped second pass.
+
+    The fault corrupts exactly one fetch: at ``cycle`` the bundle at
+    ``pc`` is replaced by the decode of ``word`` (slot ``slot``
+    re-encoded with one bit flipped).  Machine state at that fetch is
+    still golden — ifetch faults touch no architectural state before
+    they fire — so the continuation is a pure function of this key:
+    every lane sharing it runs a byte-identical trajectory.  The caller
+    groups tickets by :attr:`key` and classifies each group with one
+    scalar re-walk of the rewritten program (the group's own "golden
+    row"), sharing the outcome across the group instead of retiring
+    each lane individually.
+
+    ``bundle`` (when the resolver attaches it) is the re-decoded
+    :class:`~repro.core.decode.PreBundle` of the rewritten fetch and
+    ``one_shot`` marks a transient (SEU) fault.  Both are advisory:
+    the walk may use them to *absorb* the rewritten fetch in-vector
+    (see ``_try_absorb``) instead of issuing the ticket, and must fall
+    back to the ticket whenever it cannot prove timing congruence.
+    They deliberately stay out of :attr:`key` — the grouped re-walk
+    contract depends only on the rewritten fetch itself.
+    """
+
+    cycle: int
+    pc: int
+    slot: int
+    word: int
+    bundle: object = None
+    one_shot: bool = False
+
+    @property
+    def key(self) -> Tuple[int, int, int, int]:
+        return (self.cycle, self.pc, self.slot, self.word)
+
+
 class _VectorAbort(Exception):
     """Internal invariant violation: decline the pass, retire lanes."""
 
@@ -139,17 +271,34 @@ class _Lane:
     """One injected machine riding the walk."""
 
     __slots__ = ("index", "fault", "row", "gpr", "pred", "btr", "mem",
-                 "stuck", "dirty")
+                 "stuck", "dirty", "traps", "born", "running")
 
     def __init__(self, index: int, fault, row: int):
         self.index = index       # position in the caller's fault list
         self.fault = fault
         self.row = row           # row in the lane-major planes
-        self.gpr: List[int] = []
-        self.pred: List[int] = []
-        self.btr: List[int] = []
+        #: Register state is a sparse *overlay* over the live golden
+        #: row: ``gpr[i]`` present means the lane's register ``i``
+        #: holds that value; absent means it equals ``g_gpr[i]`` right
+        #: now.  Reads go through ``.get(i, golden)``; the walk's
+        #: divergence sets index which (register, row) pairs carry an
+        #: overlay entry, so per-op work scales with *divergent* lanes
+        #: instead of active lanes.
+        self.gpr: Dict[int, int] = {}
+        self.pred: Dict[int, int] = {}
+        self.btr: Dict[int, int] = {}
         self.mem = None          # row of the memory plane
+        #: True while the lane is in ``active`` (a runner); cleared on
+        #: retire/cut/freeze so stale divergence-set rows are skippable
+        #: without list membership tests.
+        self.running = False
         self.stuck = fault.model != _MODEL_SEU
+        #: Traps recorded in-lane under non-halt trap policies, in the
+        #: order the lane's machine would raise them.
+        self.traps: List[TrapError] = []
+        #: ``stats["iterations"]`` value at activation; -1 until then.
+        #: Used to attribute walked cycles to lanes that later retire.
+        self.born = -1
         #: While *frozen* (registers equal to the golden row, memory
         #: differing only at these addresses) the lane skips per-op
         #: execution entirely; ``None`` when the lane is a runner.
@@ -212,6 +361,24 @@ class VectorEngine:
     def _masked(self) -> LaneOutcome:
         return LaneOutcome("masked", "outputs match", self.reference_cycles)
 
+    def _resolve_converged(self, lane: "_Lane") -> LaneOutcome:
+        """Classify a lane whose state reconverged onto the golden row.
+
+        State convergence is MASKED *unless* the lane recorded traps on
+        the way (non-halt policies keep running through them): the
+        scalar checker reports those DETECTED before it ever diffs
+        outputs, with the reference cycle count — the recorded trap
+        provably never bent the lane's timing, or it would have
+        retired.
+        """
+        if lane.traps:
+            trap = lane.traps[0]
+            return LaneOutcome(
+                "detected",
+                f"{len(lane.traps)} trap(s), first: {trap}",
+                self.reference_cycles, trap_cause=trap.cause)
+        return self._masked()
+
     # -- the pass ----------------------------------------------------------
 
     def run_pass(self, faults: Sequence,
@@ -220,19 +387,22 @@ class VectorEngine:
                  strict: bool = False):
         """Classify ``faults``; returns ``(outcomes, stats)``.
 
-        ``outcomes[i]`` is a :class:`LaneOutcome` or ``None`` (lane
-        retired — re-run it on the scalar checker).  ``stream`` is an
-        optional golden :class:`~repro.core.snapshot.CheckpointStream`
-        used for golden-jumps between activations.  ``ifetch`` resolves
+        ``outcomes[i]`` is a :class:`LaneOutcome`, a
+        :class:`RewalkTicket` (classify the lane in the caller's
+        grouped second pass) or ``None`` (lane retired — re-run it on
+        the scalar checker).  ``stream`` is an optional golden
+        :class:`~repro.core.snapshot.CheckpointStream` used for
+        golden-jumps between activations.  ``ifetch`` resolves
         instruction-fetch faults: called as ``ifetch(cycle, pc, fault)``
         at the exact fetch the fault corrupts, it returns a
-        :class:`LaneOutcome` (the word no longer decodes — DETECTED
-        with the scalar trap text) or ``None`` (still decodes; the lane
-        retires).  ``strict`` re-raises internal errors instead of
-        retiring, for tests.
+        :class:`LaneOutcome` (the word no longer decodes under the
+        ``halt`` policy — DETECTED with the scalar trap text), a
+        :class:`RewalkTicket` (the fetch deterministically rewrites the
+        program) or ``None`` (the lane retires).  ``strict`` re-raises
+        internal errors instead of retiring, for tests.
         """
         faults = list(faults)
-        outcomes: List[Optional[LaneOutcome]] = [None] * len(faults)
+        outcomes: List[Optional[object]] = [None] * len(faults)
         reasons: Dict[int, str] = {}
         stats = {
             "numpy": _np is not None,
@@ -244,7 +414,11 @@ class VectorEngine:
             "iterations": 0,
             "lane_cycles": 0,
             "frozen_cycles": 0,
+            "wasted_lane_cycles": 0,
+            "rewalk": 0,
+            "absorbed": 0,
             "capacity": 0,
+            "column_ops": 0,
             "retired": {},
         }
 
@@ -294,14 +468,18 @@ class VectorEngine:
             if strict:
                 raise
             # Safety net: the engine may only decline work.  Anything
-            # unresolved goes back to the scalar checker.
+            # unresolved goes back to the scalar checker.  (Tickets
+            # already issued stay valid: a rewritten fetch is a pure
+            # function of its key, independent of the walk's health.)
             for position, outcome in enumerate(outcomes):
                 if outcome is None and position not in reasons:
                     reasons[position] = RETIRE_ENGINE
+            stats["wasted_lane_cycles"] = stats["lane_cycles"]
         retired: Dict[str, int] = stats["retired"]
         for reason in reasons.values():
             retired[reason] = retired.get(reason, 0) + 1
-        stats["classified"] = sum(1 for o in outcomes if o is not None)
+        stats["classified"] = sum(
+            1 for o in outcomes if isinstance(o, LaneOutcome))
         return outcomes, stats
 
     # -- the golden-trajectory walk ---------------------------------------
@@ -323,6 +501,8 @@ class VectorEngine:
         bank_bits = config.n_mem_banks * 32 * 2
         branch_penalty = config.taken_branch_penalty
         reference_cycles = self.reference_cycles
+        policy = config.trap_policy
+        policy_halt = policy == "halt"
 
         # Golden row (row 0) — fresh-machine state.
         g_gpr = [0] * n_gprs
@@ -333,14 +513,46 @@ class VectorEngine:
 
         lanes = [_Lane(position, fault, row + 1)
                  for row, (position, fault) in enumerate(walk)]
-        n_rows = len(lanes) + 1
+        # Fetch-fault lanes get rows too: a rewritten fetch that proves
+        # timing-congruent with the golden bundle is *absorbed* as a
+        # normal divergent lane (see ``absorb`` below) instead of being
+        # deferred to the scalar re-walk.  Rows stay parked (not
+        # ``running``) until absorption succeeds.
+        fetch_queue = sorted(fetch_queue, key=lambda item: item[1].cycle)
+        fetch_lanes = [_Lane(position, fault, len(lanes) + 1 + i)
+                       for i, (position, fault) in enumerate(fetch_queue)]
+        n_rows = len(lanes) + len(fetch_lanes) + 1
+        row_lane = {lane.row: lane for lane in lanes}
+        for lane in fetch_lanes:
+            row_lane[lane.row] = lane
         stats["capacity"] = max(1, len(lanes) + len(fetch_queue))
 
+        # Divergence sets: for each architectural register, the rows
+        # whose overlay carries an entry there.  Conservative supersets
+        # are sound (a stale row costs a ``.get`` that returns golden);
+        # a *missing* divergent row would be a correctness bug, so
+        # every overlay write adds the row and only a landing golden
+        # value (or lane release) removes it.  Op dispatch iterates
+        # these unions instead of the active list, so the per-cycle
+        # cost is O(divergent lanes), not O(active lanes).
+        div_gpr: List[set] = [set() for _ in range(n_gprs)]
+        div_pred: List[set] = [set() for _ in range(config.n_preds)]
+        div_btr: List[set] = [set() for _ in range(config.n_btrs)]
+        # Frozen lanes indexed by dirty address, so golden loads and
+        # stores find the (rare) affected lanes without scanning the
+        # whole frozen population every memory op.
+        frozen_index: Dict[int, List[_Lane]] = {}
+
         if _np is not None:
-            mem_plane = _np.zeros((n_rows, self.mem_words), dtype=_np.int64)
-            mem_plane[0] = self._base_mem
+            mem_plane = _np.empty((n_rows, self.mem_words), dtype=_np.int64)
+            # Every row starts at base memory (not zeros): golden column
+            # stores keep unactivated rows in sync, so the K_LOAD column
+            # compare does not chase phantom divergence through them.
+            mem_plane[:] = self._base_mem
             g_mem = mem_plane[0]
             for lane in lanes:
+                lane.mem = mem_plane[lane.row]
+            for lane in fetch_lanes:
                 lane.mem = mem_plane[lane.row]
         else:
             g_mem = list(self._base_mem)
@@ -350,7 +562,6 @@ class VectorEngine:
         # Activation queues, ascending by fault cycle (stable).
         activations = sorted(lanes, key=lambda lane: lane.fault.cycle)
         act_at = 0
-        fetch_queue = sorted(fetch_queue, key=lambda item: item[1].cycle)
         fetch_at = 0
 
         # ``active`` lanes (runners) carry full private register state
@@ -380,8 +591,22 @@ class VectorEngine:
         # push, so activation needs no queue fix-up.
         pending: List[tuple] = []
         seq = 0
+        seq_start = 0
         gpr_ready_at = [-1] * n_gprs
         store_buffer: List[tuple] = []
+
+        # Non-halt trap policies: a lane that traps keeps riding.  Its
+        # machine records the trap, skips the rest of the bundle
+        # (``squashed_rows``) and — under squash-bundle — retracts the
+        # bundle's earlier effects; the walk models both by pinning the
+        # lane's rows in the affected value columns to ``_KEEP``.
+        # ``keep_watch`` latches True at the first recorded trap, so the
+        # halt-policy hot path pays nothing for any of this.
+        squashed_rows: set = set()
+        trapped_bundle: List[tuple] = []
+        control_events: List[tuple] = []
+        have_squash = False
+        keep_watch = False
 
         # Convergence cuts compare lanes against the *live* golden row,
         # not against stored checkpoints, so the cut cadence is free to
@@ -392,14 +617,41 @@ class VectorEngine:
         cut_interval = max(32, reference_cycles // 192)
         next_cut = cut_interval
 
+        # Overlay accessors for the drain's space dispatch.
+        def lane_gpr(lane: _Lane) -> dict:
+            return lane.gpr
+
+        def lane_pred(lane: _Lane) -> dict:
+            return lane.pred
+
+        def lane_btr(lane: _Lane) -> dict:
+            return lane.btr
+
         def stuck_key(lane: _Lane) -> tuple:
             space = lane.fault.space
             code = _P_GPR if space == _SPACE_GPR else \
                 _P_PRED if space == _SPACE_PRED else _P_BTR
             return (code, lane.fault.index)
 
+        def release_rows(lane: _Lane) -> None:
+            # Purge the lane's row from every divergence set it sits
+            # in (its overlay keys are a superset of those sets) and
+            # reset the overlays.
+            row = lane.row
+            for r in lane.gpr:
+                div_gpr[r].discard(row)
+            for r in lane.pred:
+                div_pred[r].discard(row)
+            for r in lane.btr:
+                div_btr[r].discard(row)
+            lane.gpr.clear()
+            lane.pred.clear()
+            lane.btr.clear()
+
         def drop(lane: _Lane) -> None:
             active.remove(lane)
+            lane.running = False
+            release_rows(lane)
             if lane in stuck:
                 stuck.remove(lane)
                 if lane.fault.space == _SPACE_MEM:
@@ -410,6 +662,55 @@ class VectorEngine:
         def retire_lane(lane: _Lane, reason: str) -> None:
             drop(lane)
             retire(lane.index, reason)
+            if lane.born >= 0:
+                # Cycles this lane rode the vector are sunk cost — the
+                # scalar checker reruns it from scratch.
+                stats["wasted_lane_cycles"] += \
+                    stats["iterations"] - lane.born
+
+        def vec_out(vec):
+            # Normalise a value column before pushing it: squashed
+            # lanes are pinned to _KEEP, and an empty column degrades
+            # to None so the drain takes its all-golden fast path.
+            if have_squash:
+                if vec is None:
+                    vec = {}
+                for row in squashed_rows:
+                    vec[row] = _KEEP
+                return vec
+            return vec or None
+
+        def lane_trap(lane: _Lane, message: str, cause: str,
+                      slot: int) -> None:
+            # Mirrors the machine's non-halt TrapError handler: record
+            # the annotated trap, squash the rest of the bundle for
+            # this lane, and — under squash-bundle — retract the
+            # bundle's earlier write-backs and buffered stores by
+            # pinning this lane's rows to _KEEP.
+            nonlocal have_squash, keep_watch
+            trap = TrapError(message, cause=cause)
+            trap.annotate(cycle, pc)
+            lane.traps.append(trap)
+            row = lane.row
+            squashed_rows.add(row)
+            trapped_bundle.append((lane, slot))
+            have_squash = True
+            keep_watch = True
+            if policy == "squash-bundle":
+                for i, entry in enumerate(pending):
+                    if entry[1] > seq_start:
+                        vec = entry[5]
+                        if vec is None:
+                            # (ready, seq) lead the tuple and are
+                            # untouched, so the heap order stands.
+                            pending[i] = entry[:5] + ({row: _KEEP},)
+                        else:
+                            vec[row] = _KEEP
+                for i, (saddr, sgold, svec) in enumerate(store_buffer):
+                    if svec is None:
+                        store_buffer[i] = (saddr, sgold, {row: _KEEP})
+                    else:
+                        svec[row] = _KEEP
 
         #: Freezing is only sound with no write-backs in flight (a
         #: pending column could still land a divergent value), so it
@@ -420,20 +721,214 @@ class VectorEngine:
 
         def freeze(lane: _Lane, dirty: set) -> None:
             active.remove(lane)
+            lane.running = False
+            release_rows(lane)
             lane.dirty = dirty
             frozen.append(lane)
+            for a in dirty:
+                frozen_index.setdefault(a, []).append(lane)
 
         def unfreeze(lane: _Lane) -> None:
             frozen.remove(lane)
+            for a in lane.dirty:
+                frozen_index[a].remove(lane)
             lane.dirty = None
-            lane.gpr = list(g_gpr)
-            lane.pred = list(g_pred)
-            lane.btr = list(g_btr)
+            lane.gpr.clear()
+            lane.pred.clear()
+            lane.btr.clear()
+            lane.running = True
             active.append(lane)
+
+        # ---- in-lane absorption of rewritten fetches ---------------------
+        # A transient ifetch fault rewrites exactly one fetched word; the
+        # machine then runs the original program with one bundle swapped
+        # for its re-decode.  When that swap provably cannot bend the
+        # machine's timing — same write-back schedule, same read-port and
+        # memory-bank demand, no control-flow ops, no trap potential —
+        # the fault is just a *value* divergence at the differing slot:
+        # the lane rides the vector like any register fault, and the
+        # grouped scalar re-walk is skipped entirely.  Any check that
+        # fails falls back to the ticket, so absorption can only ever
+        # trade a scalar re-walk for an in-vector ride, never change an
+        # outcome.
+        _CONTROL_KINDS = (dec.K_BR, dec.K_BRCT, dec.K_BRCF, dec.K_BRL,
+                          dec.K_HALT)
+        _GPR_KINDS = (dec.K_ALU, dec.K_MOVI, dec.K_CUSTOM,
+                      dec.K_LOAD, dec.K_LOAD_SPEC)
+        # absorb_map: op slot -> [(row, payload)] merged into the value
+        # columns the golden dispatch pushes this cycle.  Payload shape
+        # follows the slot's write shape: a value for GPR/BTR writers, a
+        # flag for K_CMP (the site derives both destinations), an
+        # (address, value) pair for K_STORE.
+        absorb_map: Dict[int, list] = {}
+
+        def op_writes(op) -> tuple:
+            kind = op.kind
+            if kind in _GPR_KINDS:
+                return ((_P_GPR, op.d1, op.latency),)
+            if kind == dec.K_CMP:
+                return ((_P_PRED, op.d1, op.latency),
+                        (_P_PRED, op.d2, op.latency))
+            if kind in (dec.K_PBR, dec.K_MOVGBP):
+                return ((_P_BTR, op.d1, op.latency),)
+            return ()
+
+        def stage1_reads(read_set) -> int:
+            # The exact stage-1 read-port count; ``gpr_ready_at`` is
+            # stable between the drain and stage 1, so evaluating it at
+            # fetch resolution matches what stage 1 will see.
+            n = 0
+            for reg in read_set:
+                if reg == 0:
+                    continue
+                if forwarding and reg < n_gprs \
+                        and gpr_ready_at[reg] == cycle:
+                    continue
+                n += 1
+            return n
+
+        def absorb(lane: _Lane, ticket) -> bool:
+            corrupted = ticket.bundle
+            golden_pb = bundles[pc]
+            slot = ticket.slot
+            gop = golden_pb.ops[slot] \
+                if slot < len(golden_pb.ops) else None
+            lop = corrupted.ops[slot] \
+                if slot < len(corrupted.ops) else None
+            gkind = gop.kind if gop is not None else dec.K_NOP
+            lkind = lop.kind if lop is not None else dec.K_NOP
+            if gkind in _CONTROL_KINDS or lkind in _CONTROL_KINDS:
+                return False
+            if share_bandwidth and corrupted.n_mem != golden_pb.n_mem:
+                # Different memory-bank demand this cycle: the lane's
+                # fetch/LSU stall arithmetic may diverge from row 0.
+                g_demand = fetch_bits + 32 * golden_pb.n_mem
+                l_demand = fetch_bits + 32 * corrupted.n_mem
+                if (g_demand + bank_bits - 1) // bank_bits \
+                        != (l_demand + bank_bits - 1) // bank_bits:
+                    return False
+            if model_ports:
+                # Equal read counts are sufficient but not necessary:
+                # only the *stall* (port ops over budget) must match,
+                # and ``writes_landing`` — already drained this cycle —
+                # is identical for a lane with no squashed writes.
+                g_ops = stage1_reads(golden_pb.gpr_read_set) \
+                    + writes_landing
+                l_ops = stage1_reads(corrupted.gpr_read_set) \
+                    + writes_landing
+                g_stall = (g_ops + port_budget - 1) // port_budget \
+                    if g_ops > port_budget else 1
+                l_stall = (l_ops + port_budget - 1) // port_budget \
+                    if l_ops > port_budget else 1
+                if g_stall != l_stall:
+                    return False
+            # A corrupted register field can land outside the
+            # configured file — the scalar machine machine-checks on
+            # that read (DETECTED), which absorption cannot model.
+            if lop is not None and lop.guard \
+                    and lop.guard >= len(g_pred):
+                return False
+            # Guards read predicates that cannot change mid-bundle
+            # (write-backs land at the drain), so execute/squash is
+            # decided here once for both machines.
+            g_exec = gkind != dec.K_NOP \
+                and (not gop.guard or g_pred[gop.guard])
+            l_exec = lkind != dec.K_NOP \
+                and (not lop.guard or g_pred[lop.guard])
+            if g_exec != l_exec:
+                return False
+            payload = None
+            if g_exec:
+                if op_writes(gop) != op_writes(lop):
+                    return False
+                # The lane's value at the differing slot, computed
+                # against the live golden state (the lane's registers
+                # and memory are golden at this fetch — ifetch faults
+                # touch no architectural state before they fire).
+                try:
+                    if lkind == dec.K_ALU:
+                        la = lop.s1 & mask if lop.s1_lit \
+                            else g_gpr[lop.s1]
+                        if lop.fn is None:
+                            payload = la
+                        else:
+                            lb = lop.s2 & mask if lop.s2_lit \
+                                else g_gpr[lop.s2]
+                            payload = lop.fn(la, lb, width)
+                    elif lkind == dec.K_CUSTOM:
+                        la = lop.s1 & mask if lop.s1_lit \
+                            else g_gpr[lop.s1]
+                        lb = lop.s2 & mask if lop.s2_lit \
+                            else g_gpr[lop.s2]
+                        payload = lop.fn(la, lb, mask)
+                    elif lkind == dec.K_MOVI:
+                        payload = lop.s1 & mask
+                    elif lkind == dec.K_CMP:
+                        la = lop.s1 & mask if lop.s1_lit \
+                            else g_gpr[lop.s1]
+                        lb = lop.s2 & mask if lop.s2_lit \
+                            else g_gpr[lop.s2]
+                        payload = lop.fn(la, lb, width)
+                    elif lkind in (dec.K_LOAD, dec.K_LOAD_SPEC):
+                        lb = lop.s1 & mask if lop.s1_lit \
+                            else g_gpr[lop.s1]
+                        lo = lop.s2 & mask if lop.s2_lit \
+                            else g_gpr[lop.s2]
+                        laddr = to_signed(lb + lo & mask, width)
+                        if not 0 <= laddr < self.mem_words:
+                            if lkind == dec.K_LOAD:
+                                return False  # would trap
+                            payload = 0  # dismissible
+                        else:
+                            payload = int(g_mem[laddr]) \
+                                if _np is not None else g_mem[laddr]
+                    elif lkind == dec.K_PBR:
+                        payload = lop.s1
+                    elif lkind == dec.K_MOVGBP:
+                        payload = lop.s1 & mask if lop.s1_lit \
+                            else g_gpr[lop.s1]
+                    elif lkind == dec.K_STORE:
+                        lb = lop.s1 & mask if lop.s1_lit \
+                            else g_gpr[lop.s1]
+                        lo = lop.s2 & mask if lop.s2_lit \
+                            else g_gpr[lop.s2]
+                        laddr = to_signed(lb + lo & mask, width)
+                        if not 0 <= laddr < self.mem_words:
+                            return False  # would trap
+                        payload = (laddr, g_gpr[lop.d1])
+                    else:
+                        return False  # unknown kind: decline
+                except SimulationError:
+                    return False  # e.g. division by zero: would trap
+                except IndexError:
+                    # Source register outside the configured file:
+                    # the scalar machine machine-checks on the read.
+                    return False
+            # Congruent: activate the lane as a normal runner.  The
+            # delta (if any) rides the golden push for this slot, so
+            # the pending-queue guard keeps convergence cuts honest
+            # until it lands and registers in the divergence sets.
+            lane.born = stats["iterations"]
+            if _np is not None:
+                lane.mem[:] = g_mem
+            else:
+                lane.mem = list(g_mem)
+            lane.running = True
+            active.append(lane)
+            stats["activated"] += 1
+            if g_exec:
+                absorb_map.setdefault(slot, []).append(
+                    (lane.row, payload))
+            return True
 
         cycle = 0
         pc = self.program.entry
         halted = False
+        # Squashed-landing bookkeeping (refreshed each drain once
+        # keep_watch latches; None until the first recorded trap, and
+        # correctly empty ON the trap cycle — a write squashed this
+        # bundle cannot land before the next one).
+        land_keeps = keep_regs = landing_counts = None
 
         while not halted:
             if cycle >= reference_cycles:
@@ -449,8 +944,15 @@ class VectorEngine:
                     for lane in list(active):
                         if lane.stuck:
                             continue
-                        if lane.gpr != g_gpr or lane.pred != g_pred \
-                                or lane.btr != g_btr:
+                        # An overlay entry equal to golden is a stale
+                        # divergence; only a real mismatch keeps the
+                        # lane running.
+                        if any(v != g_gpr[r]
+                               for r, v in lane.gpr.items()) \
+                                or any(v != g_pred[r]
+                                       for r, v in lane.pred.items()) \
+                                or any(v != g_btr[r]
+                                       for r, v in lane.btr.items()):
                             continue
                         # Registers reconverged; diff the memory row.
                         if _np is not None:
@@ -463,7 +965,8 @@ class VectorEngine:
                                 if mine != gold)
                         if not dirty:
                             drop(lane)
-                            outcomes[lane.index] = self._masked()
+                            outcomes[lane.index] = \
+                                self._resolve_converged(lane)
                             stats["cuts"] += 1
                         elif len(dirty) <= FREEZE_MAX_DIRTY:
                             freeze(lane, dirty)
@@ -486,7 +989,14 @@ class VectorEngine:
                         g_gpr[:] = snap.gpr
                         g_pred[:] = snap.pred
                         g_btr[:] = snap.btr
-                        g_mem[:] = snap.mem
+                        if _np is not None:
+                            # No lane is live here (jump precondition),
+                            # so a whole-plane refresh keeps parked
+                            # fetch rows in sync with the golden row;
+                            # dead rows are harmlessly overwritten.
+                            mem_plane[:] = snap.mem
+                        else:
+                            g_mem[:] = snap.mem
                         cycle = snap.cycle
                         pc = snap.pc
                         stats["jumps"] += 1
@@ -496,50 +1006,110 @@ class VectorEngine:
 
             # ---- write-back drain (landing writes count port ops) ----
             writes_landing = 0
+            if keep_watch:
+                # Per-cycle squashed-landing bookkeeping for the port
+                # timing guard: rows -> skipped landing writes, rows ->
+                # squashed destination regs, reg -> landing writes.
+                land_keeps = {}
+                keep_regs = {}
+                landing_counts = {}
             while pending and pending[0][0] <= cycle:
                 ready, _, space, index, golden, vec = heapq.heappop(pending)
                 if space == _P_GPR:
                     gpr_ready_at[index] = ready
                     if ready == cycle:
                         writes_landing += 1
+                        if keep_watch:
+                            landing_counts[index] = \
+                                landing_counts.get(index, 0) + 1
+                            if vec is not None:
+                                for row, value in vec.items():
+                                    if value is not _KEEP:
+                                        continue
+                                    land_keeps[row] = \
+                                        land_keeps.get(row, 0) + 1
+                                    keep_regs.setdefault(
+                                        row, []).append(index)
                     if index:
+                        files = lane_gpr
+                        rows = div_gpr[index]
+                        old_gold = g_gpr[index]
                         g_gpr[index] = golden
-                        if vec is None:
-                            for lane in active:
-                                lane.gpr[index] = golden
-                        else:
-                            for lane in active:
-                                lane.gpr[index] = vec.get(lane.row, golden)
+                    else:
+                        rows = None
                 elif space == _P_PRED:
                     if index:
+                        files = lane_pred
+                        rows = div_pred[index]
+                        old_gold = g_pred[index]
                         g_pred[index] = golden
-                        if vec is None:
-                            for lane in active:
-                                lane.pred[index] = golden
-                        else:
-                            for lane in active:
-                                lane.pred[index] = vec.get(lane.row, golden)
-                else:
-                    g_btr[index] = golden
-                    if vec is None:
-                        for lane in active:
-                            lane.btr[index] = golden
                     else:
-                        for lane in active:
-                            lane.btr[index] = vec.get(lane.row, golden)
+                        rows = None
+                else:
+                    files = lane_btr
+                    rows = div_btr[index]
+                    old_gold = g_btr[index]
+                    g_btr[index] = golden
+                if rows is not None:
+                    # Landing a value clears or rewrites each row's
+                    # overlay entry at this register: rows absent from
+                    # ``vec`` take the golden value (entry popped,
+                    # divergence gone); rows in ``vec`` stay divergent;
+                    # a ``_KEEP`` row retains its pre-landing value —
+                    # which, for a previously-converged row, was the
+                    # OLD golden and must now be written out explicitly.
+                    if vec is None:
+                        if rows:
+                            for row in rows:
+                                files(row_lane[row]).pop(index, None)
+                            rows.clear()
+                    else:
+                        if rows:
+                            stale = rows.difference(vec)
+                            if stale:
+                                for row in stale:
+                                    files(row_lane[row]).pop(index, None)
+                                rows.difference_update(stale)
+                        if not keep_watch:
+                            for row, value in vec.items():
+                                lane = row_lane[row]
+                                if lane.running:
+                                    files(lane)[index] = value
+                                    rows.add(row)
+                        else:
+                            for row, value in vec.items():
+                                lane = row_lane[row]
+                                if not lane.running:
+                                    continue
+                                file = files(lane)
+                                if value is _KEEP:
+                                    if index in file:
+                                        rows.add(row)
+                                    elif old_gold != golden:
+                                        file[index] = old_gold
+                                        rows.add(row)
+                                else:
+                                    file[index] = value
+                                    rows.add(row)
                 if stuck_reg and (index or space == _P_BTR):
                     hits = stuck_reg.get((space, index))
                     if hits:
                         # The landing write clobbered a stuck-at target;
                         # the injector forces the bit back before reads.
+                        srows = div_gpr[index] if space == _P_GPR else \
+                            div_pred[index] if space == _P_PRED else \
+                            div_btr[index]
                         for s in hits:
-                            self._assert_stuck(s, mask)
+                            self._assert_stuck(s, mask,
+                                               g_gpr, g_pred, g_btr)
+                            srows.add(s.row)
 
             # ---- injector position: activations ----------------------
             while act_at < len(activations) \
                     and activations[act_at].fault.cycle <= cycle:
                 lane = activations[act_at]
                 act_at += 1
+                lane.born = stats["iterations"]
                 if _np is not None:
                     lane.mem[:] = g_mem
                 else:
@@ -549,13 +1119,13 @@ class VectorEngine:
                     # golden and dirties exactly one word: the lane is
                     # born frozen.  (An SEU flip always changes the
                     # word, so the dirty set is never vacuously stale.)
-                    self._apply_fault(lane, mask)
+                    self._apply_fault(lane, mask, g_gpr, g_pred, g_btr)
                     lane.dirty = {lane.fault.index}
                     frozen.append(lane)
+                    frozen_index.setdefault(
+                        lane.fault.index, []).append(lane)
                 else:
-                    lane.gpr = list(g_gpr)
-                    lane.pred = list(g_pred)
-                    lane.btr = list(g_btr)
+                    lane.running = True
                     active.append(lane)
                     if lane.stuck:
                         stuck.append(lane)
@@ -564,22 +1134,47 @@ class VectorEngine:
                         else:
                             stuck_reg.setdefault(
                                 stuck_key(lane), []).append(lane)
-                    self._apply_fault(lane, mask)
+                    self._apply_fault(lane, mask, g_gpr, g_pred, g_btr)
+                    space = lane.fault.space
+                    if space == _SPACE_GPR:
+                        div_gpr[lane.fault.index].add(lane.row)
+                    elif space == _SPACE_PRED:
+                        div_pred[lane.fault.index].add(lane.row)
+                    elif space == _SPACE_BTR:
+                        div_btr[lane.fault.index].add(lane.row)
                 stats["activated"] += 1
             while fetch_at < len(fetch_queue) \
                     and fetch_queue[fetch_at][1].cycle <= cycle:
                 position, fault = fetch_queue[fetch_at]
-                fetch_at += 1
                 resolved = ifetch(cycle, pc, fault)
-                if resolved is not None:
-                    outcomes[position] = resolved
-                else:
+                if resolved is None:
                     retire(position, RETIRE_IFETCH)
+                elif isinstance(resolved, RewalkTicket):
+                    if resolved.one_shot and resolved.bundle is not None \
+                            and absorb(fetch_lanes[fetch_at], resolved):
+                        # Timing-congruent rewrite: absorbed in-lane,
+                        # no scalar re-walk needed.
+                        stats["absorbed"] += 1
+                    else:
+                        # Deferred to the caller's grouped second pass
+                        # (one scalar re-walk shared by every lane with
+                        # this key).
+                        outcomes[position] = resolved
+                        stats["rewalk"] += 1
+                else:
+                    outcomes[position] = resolved
+                fetch_at += 1
 
             bundle = bundles[pc]
             stats["iterations"] += 1
             stats["lane_cycles"] += len(active) + len(frozen)
             stats["frozen_cycles"] += len(frozen)
+            if have_squash:
+                squashed_rows.clear()
+                have_squash = False
+            if control_events:
+                del control_events[:]
+            seq_start = seq
 
             # ---- stage 1: read-port accounting (lane-invariant) ------
             reads = 0
@@ -594,99 +1189,242 @@ class VectorEngine:
             # ---- stage 2: execute ------------------------------------
             taken = False
             target = 0
-            for op in bundle.ops:
+            for op_slot, op in enumerate(bundle.ops):
                 kind = op.kind
                 if kind == dec.K_NOP:
                     continue
                 guard = op.guard
                 if guard:
                     g_guard = g_pred[guard]
-                    for lane in list(active):
-                        if lane.pred[guard] != g_guard:
-                            retire_lane(lane, RETIRE_GUARD)
+                    grows = div_pred[guard]
+                    if grows:
+                        for row in list(grows):
+                            lane = row_lane[row]
+                            if not lane.running:
+                                continue
+                            if have_squash and row in squashed_rows:
+                                continue
+                            if lane.pred.get(guard, g_guard) != g_guard:
+                                retire_lane(lane, RETIRE_GUARD)
                     if not g_guard:
                         continue  # squashed in the golden machine
 
                 if kind == dec.K_ALU:
+                    fn = op.fn
                     a = op.s1 & mask if op.s1_lit else g_gpr[op.s1]
-                    if op.fn is None:  # MOVE
+                    if fn is None:  # MOVE
                         golden = a
                     else:
                         b = op.s2 & mask if op.s2_lit else g_gpr[op.s2]
-                        golden = op.fn(a, b, width)
+                        golden = fn(a, b, width)
                     vec = None
-                    if active and op.gpr_reads:
-                        # Lanes whose operands match the golden machine's
-                        # compute the golden result: leave them out of the
-                        # column (the drain's .get() default fills it in)
-                        # and skip the fn call entirely.
-                        vec = {}
-                        for lane in list(active):
-                            la = a if op.s1_lit else lane.gpr[op.s1]
-                            if op.fn is None:
-                                if la != a:
-                                    vec[lane.row] = la
-                                continue
-                            lb = b if op.s2_lit else lane.gpr[op.s2]
-                            if la == a and lb == b:
-                                continue
-                            try:
-                                vec[lane.row] = op.fn(la, lb, width)
-                            except SimulationError:
-                                # Division by zero in this lane only.
-                                retire_lane(lane, RETIRE_TRAP)
+                    d1 = () if op.s1_lit else div_gpr[op.s1]
+                    d2 = () if op.s2_lit or fn is None \
+                        else div_gpr[op.s2]
+                    if op.gpr_reads and (d1 or d2):
+                        # Only rows divergent at an operand can compute
+                        # a non-golden result; everyone else is covered
+                        # by the drain's golden default.
+                        if not d2:
+                            drows = list(d1)
+                        elif not d1:
+                            drows = list(d2)
+                        else:
+                            drows = list(d1 | d2)
+                        column = _COLUMN_ALU.get(fn) \
+                            if _np is not None and not have_squash \
+                            and len(drows) >= _COLUMN_MIN_LANES else None
+                        if column is not None:
+                            # Whole-column int64 arithmetic over the
+                            # divergent rows.  Only rows whose RESULT
+                            # diverges enter the dict; the drain cannot
+                            # tell that apart from the per-lane operand
+                            # short-circuit (absent rows default to the
+                            # golden value either way), so both paths
+                            # are byte-identical.
+                            cols = [row_lane[row] for row in drows]
+                            cols = [l for l in cols if l.running]
+                            n_cols = len(cols)
+                            av = a if op.s1_lit else _np.fromiter(
+                                (l.gpr.get(op.s1, a) for l in cols),
+                                _np.int64, n_cols)
+                            bv = b if op.s2_lit else _np.fromiter(
+                                (l.gpr.get(op.s2, b) for l in cols),
+                                _np.int64, n_cols)
+                            res = column(av, bv, width)
+                            stats["column_ops"] += 1
+                            hits = (res != golden).nonzero()[0]
+                            if hits.size:
+                                values = res.tolist()
+                                vec = {cols[i].row: values[i]
+                                       for i in hits.tolist()}
+                        else:
+                            # Lanes whose operands match the golden
+                            # machine's compute the golden result: leave
+                            # them out of the column (the drain's .get()
+                            # default fills it in) and skip the fn call.
+                            vec = {}
+                            for row in drows:
+                                lane = row_lane[row]
+                                if not lane.running:
+                                    continue
+                                if have_squash and row in squashed_rows:
+                                    continue
+                                la = a if op.s1_lit \
+                                    else lane.gpr.get(op.s1, a)
+                                if fn is None:
+                                    if la != a:
+                                        vec[row] = la
+                                    continue
+                                lb = b if op.s2_lit \
+                                    else lane.gpr.get(op.s2, b)
+                                if la == a and lb == b:
+                                    continue
+                                try:
+                                    vec[row] = fn(la, lb, width)
+                                except SimulationError:
+                                    # Division by zero in this lane only
+                                    # (raised past every trap policy).
+                                    retire_lane(lane, RETIRE_TRAP)
+                    if absorb_map and op_slot in absorb_map:
+                        for arow, aval in absorb_map[op_slot]:
+                            if aval != golden:
+                                if vec is None:
+                                    vec = {}
+                                vec[arow] = aval
                     seq += 1
                     heapq.heappush(pending, (cycle + op.latency, seq,
-                                             _P_GPR, op.d1, golden, vec))
+                                             _P_GPR, op.d1, golden,
+                                             vec_out(vec)))
                 elif kind == dec.K_CUSTOM:
                     a = op.s1 & mask if op.s1_lit else g_gpr[op.s1]
                     b = op.s2 & mask if op.s2_lit else g_gpr[op.s2]
                     golden = op.fn(a, b, mask)
                     vec = None
-                    if active and op.gpr_reads:
+                    d1 = () if op.s1_lit else div_gpr[op.s1]
+                    d2 = () if op.s2_lit else div_gpr[op.s2]
+                    if op.gpr_reads and (d1 or d2):
+                        if not d2:
+                            drows = list(d1)
+                        elif not d1:
+                            drows = list(d2)
+                        else:
+                            drows = list(d1 | d2)
                         vec = {}
-                        for lane in list(active):
-                            la = a if op.s1_lit else lane.gpr[op.s1]
-                            lb = b if op.s2_lit else lane.gpr[op.s2]
+                        for row in drows:
+                            lane = row_lane[row]
+                            if not lane.running:
+                                continue
+                            if have_squash and row in squashed_rows:
+                                continue
+                            la = a if op.s1_lit \
+                                else lane.gpr.get(op.s1, a)
+                            lb = b if op.s2_lit \
+                                else lane.gpr.get(op.s2, b)
                             if la == a and lb == b:
                                 continue
                             try:
-                                vec[lane.row] = op.fn(la, lb, mask)
+                                vec[row] = op.fn(la, lb, mask)
                             except SimulationError:
                                 retire_lane(lane, RETIRE_TRAP)
+                    if absorb_map and op_slot in absorb_map:
+                        for arow, aval in absorb_map[op_slot]:
+                            if aval != golden:
+                                if vec is None:
+                                    vec = {}
+                                vec[arow] = aval
                     seq += 1
                     heapq.heappush(pending, (cycle + op.latency, seq,
-                                             _P_GPR, op.d1, golden, vec))
+                                             _P_GPR, op.d1, golden,
+                                             vec_out(vec)))
                 elif kind == dec.K_MOVI:
+                    golden = op.s1 & mask
+                    vec = None
+                    if absorb_map and op_slot in absorb_map:
+                        for arow, aval in absorb_map[op_slot]:
+                            if aval != golden:
+                                if vec is None:
+                                    vec = {}
+                                vec[arow] = aval
                     seq += 1
                     heapq.heappush(pending, (cycle + op.latency, seq,
-                                             _P_GPR, op.d1, op.s1 & mask,
-                                             None))
+                                             _P_GPR, op.d1, golden,
+                                             vec_out(vec)))
                 elif kind == dec.K_CMP:
+                    fn = op.fn
                     a = op.s1 & mask if op.s1_lit else g_gpr[op.s1]
                     b = op.s2 & mask if op.s2_lit else g_gpr[op.s2]
-                    condition = op.fn(a, b, width)
+                    condition = fn(a, b, width)
                     vec1 = None
                     vec2 = None
-                    if active and op.gpr_reads:
-                        vec1 = {}
-                        vec2 = {}
-                        for lane in active:
-                            la = a if op.s1_lit else lane.gpr[op.s1]
-                            lb = b if op.s2_lit else lane.gpr[op.s2]
-                            if la == a and lb == b:
-                                continue
-                            lc = op.fn(la, lb, width)
-                            vec1[lane.row] = lc
-                            vec2[lane.row] = 1 - lc
+                    d1 = () if op.s1_lit else div_gpr[op.s1]
+                    d2 = () if op.s2_lit else div_gpr[op.s2]
+                    if op.gpr_reads and (d1 or d2):
+                        if not d2:
+                            drows = list(d1)
+                        elif not d1:
+                            drows = list(d2)
+                        else:
+                            drows = list(d1 | d2)
+                        column = _COLUMN_CMP.get(fn) \
+                            if _np is not None and not have_squash \
+                            and len(drows) >= _COLUMN_MIN_LANES else None
+                        if column is not None:
+                            cols = [row_lane[row] for row in drows]
+                            cols = [l for l in cols if l.running]
+                            n_cols = len(cols)
+                            av = a if op.s1_lit else _np.fromiter(
+                                (l.gpr.get(op.s1, a) for l in cols),
+                                _np.int64, n_cols)
+                            bv = b if op.s2_lit else _np.fromiter(
+                                (l.gpr.get(op.s2, b) for l in cols),
+                                _np.int64, n_cols)
+                            res = column(av, bv, width)
+                            stats["column_ops"] += 1
+                            hits = (res != condition).nonzero()[0]
+                            if hits.size:
+                                values = res.tolist()
+                                vec1 = {}
+                                vec2 = {}
+                                for i in hits.tolist():
+                                    row = cols[i].row
+                                    flag = values[i]
+                                    vec1[row] = flag
+                                    vec2[row] = 1 - flag
+                        else:
+                            vec1 = {}
+                            vec2 = {}
+                            for row in drows:
+                                lane = row_lane[row]
+                                if not lane.running:
+                                    continue
+                                if have_squash and row in squashed_rows:
+                                    continue
+                                la = a if op.s1_lit \
+                                    else lane.gpr.get(op.s1, a)
+                                lb = b if op.s2_lit \
+                                    else lane.gpr.get(op.s2, b)
+                                if la == a and lb == b:
+                                    continue
+                                lc = fn(la, lb, width)
+                                vec1[row] = lc
+                                vec2[row] = 1 - lc
+                    if absorb_map and op_slot in absorb_map:
+                        for arow, aflag in absorb_map[op_slot]:
+                            if aflag != condition:
+                                if vec1 is None:
+                                    vec1 = {}
+                                    vec2 = {}
+                                vec1[arow] = aflag
+                                vec2[arow] = 1 - aflag
                     seq += 1
                     heapq.heappush(pending, (cycle + op.latency, seq,
                                              _P_PRED, op.d1, condition,
-                                             vec1))
+                                             vec_out(vec1)))
                     seq += 1
                     heapq.heappush(pending, (cycle + op.latency, seq,
                                              _P_PRED, op.d2, 1 - condition,
-                                             vec2))
+                                             vec_out(vec2)))
                 elif kind in (dec.K_LOAD, dec.K_LOAD_SPEC):
                     base = op.s1 & mask if op.s1_lit else g_gpr[op.s1]
                     offset = op.s2 & mask if op.s2_lit else g_gpr[op.s2]
@@ -702,37 +1440,99 @@ class VectorEngine:
                     vec = None
                     if active or frozen:
                         vec = {}
-                        for lane in list(active):
-                            lb = base if op.s1_lit else lane.gpr[op.s1]
-                            lo = offset if op.s2_lit else lane.gpr[op.s2]
-                            if lb == base and lo == offset:
-                                laddr = address
-                            else:
-                                laddr = to_signed(lb + lo & mask, width)
-                            if not 0 <= laddr < self.mem_words:
-                                if kind == dec.K_LOAD:
-                                    # Would trap OOB (or diverge): exact
-                                    # classification is the scalar's job.
-                                    retire_lane(lane, RETIRE_TRAP)
-                                elif golden:
-                                    vec[lane.row] = 0  # dismissible
-                                continue
-                            value = lane.mem[laddr]
-                            if value != golden:
-                                vec[lane.row] = int(value) \
-                                    if _np is not None else value
-                        if frozen and 0 <= address < self.mem_words:
-                            # Frozen lanes load from the golden address;
-                            # a hit on a dirty word diverges the lane.
-                            for lane in list(frozen):
-                                if address in lane.dirty:
-                                    unfreeze(lane)
-                                    value = lane.mem[address]
-                                    vec[lane.row] = int(value) \
+                        # Rows divergent at an address operand compute
+                        # their own address (with the OOB/trap paths).
+                        d1 = () if op.s1_lit else div_gpr[op.s1]
+                        d2 = () if op.s2_lit else div_gpr[op.s2]
+                        du = ()
+                        if d1 or d2:
+                            du = (d1 | d2) if (d1 and d2) \
+                                else set(d1 or d2)
+                            for row in list(du):
+                                lane = row_lane[row]
+                                if not lane.running:
+                                    continue
+                                if have_squash and row in squashed_rows:
+                                    continue
+                                lb = base if op.s1_lit \
+                                    else lane.gpr.get(op.s1, base)
+                                lo = offset if op.s2_lit \
+                                    else lane.gpr.get(op.s2, offset)
+                                if lb == base and lo == offset:
+                                    laddr = address
+                                else:
+                                    laddr = to_signed(
+                                        lb + lo & mask, width)
+                                if not 0 <= laddr < self.mem_words:
+                                    if kind != dec.K_LOAD:
+                                        if golden:
+                                            vec[row] = 0  # dismissible
+                                    elif policy_halt:
+                                        # Would trap OOB: exact
+                                        # classification is the
+                                        # scalar's job under the halt
+                                        # policy.
+                                        retire_lane(lane, RETIRE_TRAP)
+                                    else:
+                                        lane_trap(
+                                            lane,
+                                            f"load from invalid "
+                                            f"address {laddr}",
+                                            TRAP_OOB_LOAD, op_slot)
+                                    continue
+                                value = lane.mem[laddr]
+                                if value != golden:
+                                    vec[row] = int(value) \
                                         if _np is not None else value
+                        if 0 <= address < self.mem_words:
+                            # Golden-address rows: divergent only where
+                            # the memory plane's column differs.
+                            if _np is not None:
+                                col_hits = (mem_plane[:, address]
+                                            != golden).nonzero()[0]
+                                for r in col_hits.tolist():
+                                    if r in du:
+                                        continue
+                                    lane = row_lane.get(r)
+                                    if lane is None or not lane.running:
+                                        continue
+                                    if have_squash \
+                                            and r in squashed_rows:
+                                        continue
+                                    vec[r] = int(mem_plane[r, address])
+                            else:
+                                for lane in active:
+                                    row = lane.row
+                                    if row in du:
+                                        continue
+                                    if have_squash \
+                                            and row in squashed_rows:
+                                        continue
+                                    value = lane.mem[address]
+                                    if value != golden:
+                                        vec[row] = value
+                            if frozen:
+                                # Frozen lanes load from the golden
+                                # address; a hit on a dirty word
+                                # diverges the lane.
+                                hit_f = frozen_index.get(address)
+                                if hit_f:
+                                    for lane in list(hit_f):
+                                        unfreeze(lane)
+                                        value = lane.mem[address]
+                                        vec[lane.row] = int(value) \
+                                            if _np is not None \
+                                            else value
+                    if absorb_map and op_slot in absorb_map:
+                        for arow, aval in absorb_map[op_slot]:
+                            if aval != golden:
+                                if vec is None:
+                                    vec = {}
+                                vec[arow] = aval
                     seq += 1
                     heapq.heappush(pending, (cycle + op.latency, seq,
-                                             _P_GPR, op.d1, golden, vec))
+                                             _P_GPR, op.d1, golden,
+                                             vec_out(vec)))
                 elif kind == dec.K_STORE:
                     base = op.s1 & mask if op.s1_lit else g_gpr[op.s1]
                     offset = op.s2 & mask if op.s2_lit else g_gpr[op.s2]
@@ -741,109 +1541,312 @@ class VectorEngine:
                         raise _VectorAbort(f"golden store to {address}")
                     golden = g_gpr[op.d1]  # store value travels in DEST1
                     vec = None
-                    if active:
+                    d1 = () if op.s1_lit else div_gpr[op.s1]
+                    d2 = () if op.s2_lit else div_gpr[op.s2]
+                    dv = div_gpr[op.d1]
+                    if d1 or d2 or dv:
                         vec = {}
-                        for lane in list(active):
-                            lb = base if op.s1_lit else lane.gpr[op.s1]
-                            lo = offset if op.s2_lit else lane.gpr[op.s2]
+                        union = set()
+                        for dset in (d1, d2, dv):
+                            if dset:
+                                union |= dset
+                        for row in list(union):
+                            lane = row_lane[row]
+                            if not lane.running:
+                                continue
+                            if have_squash and row in squashed_rows:
+                                continue
+                            lb = base if op.s1_lit \
+                                else lane.gpr.get(op.s1, base)
+                            lo = offset if op.s2_lit \
+                                else lane.gpr.get(op.s2, offset)
                             if lb == base and lo == offset:
-                                lvalue = lane.gpr[op.d1]
+                                lvalue = lane.gpr.get(op.d1, golden)
                                 if lvalue != golden:
-                                    vec[lane.row] = (address, lvalue)
+                                    vec[row] = (address, lvalue)
                                 continue
                             laddr = to_signed(lb + lo & mask, width)
                             if not 0 <= laddr < self.mem_words:
-                                retire_lane(lane, RETIRE_TRAP)
+                                if policy_halt:
+                                    retire_lane(lane, RETIRE_TRAP)
+                                else:
+                                    lane_trap(
+                                        lane,
+                                        f"store to invalid address "
+                                        f"{laddr}",
+                                        TRAP_OOB_STORE, op_slot)
                                 continue
-                            vec[lane.row] = (laddr, lane.gpr[op.d1])
-                    store_buffer.append((address, golden, vec))
+                            vec[row] = (laddr,
+                                        lane.gpr.get(op.d1, golden))
+                    if absorb_map and op_slot in absorb_map:
+                        for arow, aentry in absorb_map[op_slot]:
+                            if aentry != (address, golden):
+                                if vec is None:
+                                    vec = {}
+                                vec[arow] = aentry
+                    store_buffer.append((address, golden, vec_out(vec)))
                 elif kind == dec.K_PBR:
+                    golden = op.s1
+                    vec = None
+                    if absorb_map and op_slot in absorb_map:
+                        for arow, aval in absorb_map[op_slot]:
+                            if aval != golden:
+                                if vec is None:
+                                    vec = {}
+                                vec[arow] = aval
                     seq += 1
                     heapq.heappush(pending, (cycle + op.latency, seq,
-                                             _P_BTR, op.d1, op.s1, None))
+                                             _P_BTR, op.d1, golden,
+                                             vec_out(vec)))
                 elif kind == dec.K_MOVGBP:
                     golden = op.s1 & mask if op.s1_lit else g_gpr[op.s1]
                     vec = None
-                    if active and not op.s1_lit:
-                        vec = {lane.row: value for lane in active
-                               if (value := lane.gpr[op.s1]) != golden}
+                    if not op.s1_lit and div_gpr[op.s1]:
+                        # vec_out overrides squashed rows with _KEEP, so
+                        # the comprehension need not exclude them.
+                        vec = {row: value for row in div_gpr[op.s1]
+                               if row_lane[row].running
+                               and (value := row_lane[row].gpr.get(
+                                   op.s1, golden)) != golden}
+                    if absorb_map and op_slot in absorb_map:
+                        for arow, aval in absorb_map[op_slot]:
+                            if aval != golden:
+                                if vec is None:
+                                    vec = {}
+                                vec[arow] = aval
                     seq += 1
                     heapq.heappush(pending, (cycle + op.latency, seq,
-                                             _P_BTR, op.d1, golden, vec))
+                                             _P_BTR, op.d1, golden,
+                                             vec_out(vec)))
                 elif kind == dec.K_BR:
                     taken = True
                     target = g_btr[op.s1]
-                    for lane in list(active):
-                        if lane.btr[op.s1] != target:
-                            retire_lane(lane, RETIRE_BRANCH)
+                    if not policy_halt:
+                        control_events.append((op_slot, False, target))
+                    if div_btr[op.s1]:
+                        for row in list(div_btr[op.s1]):
+                            lane = row_lane[row]
+                            if not lane.running:
+                                continue
+                            if have_squash and row in squashed_rows:
+                                continue
+                            if lane.btr.get(op.s1, target) != target:
+                                retire_lane(lane, RETIRE_BRANCH)
                 elif kind in (dec.K_BRCT, dec.K_BRCF):
                     condition = g_pred[op.s2]
-                    for lane in list(active):
-                        if lane.pred[op.s2] != condition:
-                            retire_lane(lane, RETIRE_BRANCH)
+                    if div_pred[op.s2]:
+                        for row in list(div_pred[op.s2]):
+                            lane = row_lane[row]
+                            if not lane.running:
+                                continue
+                            if have_squash and row in squashed_rows:
+                                continue
+                            if lane.pred.get(op.s2, condition) \
+                                    != condition:
+                                retire_lane(lane, RETIRE_BRANCH)
                     branches = condition if kind == dec.K_BRCT \
                         else not condition
                     if branches:
                         taken = True
                         target = g_btr[op.s1]
-                        for lane in list(active):
-                            if lane.btr[op.s1] != target:
-                                retire_lane(lane, RETIRE_BRANCH)
+                        if not policy_halt:
+                            control_events.append((op_slot, False, target))
+                        if div_btr[op.s1]:
+                            for row in list(div_btr[op.s1]):
+                                lane = row_lane[row]
+                                if not lane.running:
+                                    continue
+                                if have_squash \
+                                        and row in squashed_rows:
+                                    continue
+                                if lane.btr.get(op.s1, target) \
+                                        != target:
+                                    retire_lane(lane, RETIRE_BRANCH)
                 elif kind == dec.K_BRL:
                     taken = True
                     target = g_btr[op.s1]
-                    for lane in list(active):
-                        if lane.btr[op.s1] != target:
-                            retire_lane(lane, RETIRE_BRANCH)
+                    if not policy_halt:
+                        control_events.append((op_slot, False, target))
+                    if div_btr[op.s1]:
+                        for row in list(div_btr[op.s1]):
+                            lane = row_lane[row]
+                            if not lane.running:
+                                continue
+                            if have_squash and row in squashed_rows:
+                                continue
+                            if lane.btr.get(op.s1, target) != target:
+                                retire_lane(lane, RETIRE_BRANCH)
                     seq += 1
                     heapq.heappush(pending, (cycle + op.latency, seq,
                                              _P_GPR, op.d1,
-                                             (pc + 1) & mask, None))
+                                             (pc + 1) & mask,
+                                             vec_out(None)))
                 elif kind == dec.K_HALT:
                     halted = True
+                    if not policy_halt:
+                        control_events.append((op_slot, True, 0))
                 else:
                     raise _VectorAbort(f"unhandled op kind {kind}")
+
+            if absorb_map:
+                # One-shot by construction: the deltas rode the pushes
+                # of the bundle issued this cycle.
+                absorb_map.clear()
+
+            # ---- recorded-trap lanes: control-flow check -------------
+            if trapped_bundle:
+                # The trapping machine skipped every slot from the
+                # trapping op on (squash-bundle: the whole bundle), so
+                # its next-pc decision comes from the control events it
+                # still executed.  Any difference from the golden
+                # decision breaks lane-invariant timing: retire.
+                for lane, slot in trapped_bundle:
+                    if not lane.running:
+                        continue
+                    lane_taken = False
+                    lane_target = 0
+                    lane_halted = False
+                    if policy != "squash-bundle":
+                        for done, was_halt, done_target in control_events:
+                            if done >= slot:
+                                break
+                            if was_halt:
+                                lane_halted = True
+                            else:
+                                lane_taken = True
+                                lane_target = done_target
+                    if halted:
+                        same = lane_halted
+                    elif lane_halted:
+                        same = False
+                    elif taken:
+                        same = lane_taken and lane_target == target
+                    else:
+                        same = not lane_taken
+                    if not same:
+                        retire_lane(lane, RETIRE_TRAP_TIMING)
+                del trapped_bundle[:]
 
             # ---- buffered stores land (validated at issue) -----------
             if store_buffer:
                 for address, golden, vec in store_buffer:
-                    g_mem[address] = golden
-                    if vec is None:
-                        for lane in active:
-                            lane.mem[address] = golden
+                    if _np is not None:
+                        # Column write: every row (golden, active,
+                        # frozen, even dead — harmless) takes the
+                        # golden store; divergent entries then restore
+                        # or redirect their own rows.  A _KEEP row and
+                        # a row storing elsewhere both need the word's
+                        # PRE-store value back, so capture it first.
+                        prior = None
+                        if vec:
+                            prior = {}
+                            for row, entry in vec.items():
+                                if entry is _KEEP \
+                                        or entry[0] != address:
+                                    prior[row] = \
+                                        int(mem_plane[row, address])
+                        mem_plane[:, address] = golden
+                        if vec:
+                            for row, entry in vec.items():
+                                lane = row_lane[row]
+                                if not lane.running:
+                                    continue
+                                if entry is _KEEP:
+                                    lane.mem[address] = prior[row]
+                                else:
+                                    laddr, lvalue = entry
+                                    if laddr != address:
+                                        lane.mem[address] = prior[row]
+                                    lane.mem[laddr] = lvalue
                     else:
-                        for lane in active:
-                            laddr, lvalue = vec.get(lane.row,
-                                                    (address, golden))
-                            lane.mem[laddr] = lvalue
+                        g_mem[address] = golden
+                        if vec is None:
+                            for lane in active:
+                                lane.mem[address] = golden
+                        elif not keep_watch:
+                            for lane in active:
+                                laddr, lvalue = vec.get(
+                                    lane.row, (address, golden))
+                                lane.mem[laddr] = lvalue
+                        else:
+                            for lane in active:
+                                entry = vec.get(lane.row)
+                                if entry is None:
+                                    lane.mem[address] = golden
+                                elif entry is not _KEEP:
+                                    laddr, lvalue = entry
+                                    lane.mem[laddr] = lvalue
+                        for lane in frozen:
+                            lane.mem[address] = golden
                     for s in stuck_mem:
                         # Each lane stored to its own address; if that
                         # hit the lane's stuck word, force the bit back.
-                        hit = address if vec is None \
-                            else vec.get(s.row, (address, 0))[0]
+                        if vec is None:
+                            hit = address
+                        else:
+                            entry = vec.get(s.row)
+                            hit = address if entry is None \
+                                else None if entry is _KEEP else entry[0]
                         if hit == s.fault.index:
-                            self._assert_stuck(s, mask)
+                            self._assert_stuck(s, mask,
+                                               g_gpr, g_pred, g_btr)
                     # A frozen lane stores the golden value to the
                     # golden address — overwriting a dirty word cleans
                     # it, and a lane with nothing dirty left IS the
                     # golden machine: immediate MASKED cut.
-                    for lane in list(frozen):
-                        lane.mem[address] = golden
-                        if address in lane.dirty:
+                    hit_f = frozen_index.pop(address, None)
+                    if hit_f:
+                        for lane in hit_f:
                             lane.dirty.discard(address)
                             if not lane.dirty:
                                 frozen.remove(lane)
                                 lane.dirty = None
-                                outcomes[lane.index] = self._masked()
+                                outcomes[lane.index] = \
+                                    self._resolve_converged(lane)
                                 stats["cuts"] += 1
                 del store_buffer[:]
 
             # ---- issue-cost accounting -------------------------------
             extra = 0
+            port_extra = 0
             if model_ports:
                 port_ops = reads + writes_landing
                 if port_ops > port_budget:
-                    extra += (port_ops + port_budget - 1) // port_budget - 1
+                    port_extra = \
+                        (port_ops + port_budget - 1) // port_budget - 1
+                    extra += port_extra
+                if keep_watch and land_keeps:
+                    # Port-timing guard: a lane whose machine squashed
+                    # write-backs landing THIS cycle sees fewer landing
+                    # port ops (and possibly an unforwarded read where
+                    # the golden machine forwarded) than row 0.  If its
+                    # stall arithmetic diverges, its timing is no
+                    # longer lane-invariant: retire.
+                    gpr_read_set = bundle.gpr_read_set
+                    for row, skipped in land_keeps.items():
+                        lane = row_lane.get(row)
+                        if lane is None or not lane.running:
+                            continue
+                        lane_reads = reads
+                        if forwarding:
+                            regs = keep_regs[row]
+                            for reg in set(regs):
+                                if reg and reg in gpr_read_set \
+                                        and gpr_ready_at[reg] == cycle \
+                                        and regs.count(reg) \
+                                        >= landing_counts.get(reg, 0):
+                                    # The lane squashed every write
+                                    # landing on this forwarded reg:
+                                    # its machine reads it via a port.
+                                    lane_reads += 1
+                        lane_ops = lane_reads + writes_landing - skipped
+                        lane_extra = 0
+                        if lane_ops > port_budget:
+                            lane_extra = \
+                                (lane_ops + port_budget - 1) \
+                                // port_budget - 1
+                        if lane_extra != port_extra:
+                            retire_lane(lane, RETIRE_TRAP_TIMING)
             if share_bandwidth and bundle.n_mem:
                 demand = fetch_bits + 32 * bundle.n_mem
                 extra += (demand + bank_bits - 1) // bank_bits - 1
@@ -861,23 +1864,54 @@ class VectorEngine:
             return
 
         # Final drain: outstanding write-backs become architectural.
+        # Same overlay bookkeeping as the in-loop drain (a later golden
+        # landing on the same register must still clear earlier
+        # divergence), always honouring _KEEP.
         while pending:
             _, _, space, index, golden, vec = heapq.heappop(pending)
             if space == _P_GPR and index:
+                files = lane_gpr
+                rows = div_gpr[index]
+                old_gold = g_gpr[index]
                 g_gpr[index] = golden
-                for lane in active:
-                    lane.gpr[index] = golden if vec is None \
-                        else vec.get(lane.row, golden)
             elif space == _P_PRED and index:
+                files = lane_pred
+                rows = div_pred[index]
+                old_gold = g_pred[index]
                 g_pred[index] = golden
-                for lane in active:
-                    lane.pred[index] = golden if vec is None \
-                        else vec.get(lane.row, golden)
             elif space == _P_BTR:
+                files = lane_btr
+                rows = div_btr[index]
+                old_gold = g_btr[index]
                 g_btr[index] = golden
-                for lane in active:
-                    lane.btr[index] = golden if vec is None \
-                        else vec.get(lane.row, golden)
+            else:
+                continue
+            if vec is None:
+                if rows:
+                    for row in rows:
+                        files(row_lane[row]).pop(index, None)
+                    rows.clear()
+                continue
+            if rows:
+                stale = rows.difference(vec)
+                if stale:
+                    for row in stale:
+                        files(row_lane[row]).pop(index, None)
+                    rows.difference_update(stale)
+            for row, value in vec.items():
+                lane = row_lane[row]
+                if not lane.running:
+                    continue
+                file = files(lane)
+                if value is _KEEP:
+                    if index in file:
+                        rows.add(row)
+                    elif old_gold != golden:
+                        file[index] = old_gold
+                        rows.add(row)
+                else:
+                    file[index] = value
+                    rows.add(row)
 
         if cycle != reference_cycles:
             raise _VectorAbort(
@@ -886,13 +1920,10 @@ class VectorEngine:
 
         # Surviving lanes halted in lockstep with the golden machine:
         # classify by output diff, in the scalar checker's exact order.
-        # Frozen lanes' registers ARE the golden row (their private
-        # lists went stale the moment they froze) — re-point before the
-        # checksum diff.
-        for lane in frozen:
-            lane.gpr = g_gpr
+        # A frozen lane's overlays are empty (its registers ARE the
+        # golden row), so the same effective read covers both kinds.
         for lane in active + frozen:
-            outcomes[lane.index] = self._classify_outputs(lane)
+            outcomes[lane.index] = self._classify_outputs(lane, g_gpr)
         # Faults whose cycle lay beyond the last issue cycle never
         # fired; the machine ran the golden trajectory to completion.
         while act_at < len(activations):
@@ -904,18 +1935,21 @@ class VectorEngine:
 
     # -- lane fault application -------------------------------------------
 
-    def _apply_fault(self, lane: _Lane, mask: int) -> None:
-        """Apply the lane's fault to its freshly-copied row.
+    def _apply_fault(self, lane: _Lane, mask: int,
+                     g_gpr, g_pred, g_btr) -> None:
+        """Apply the lane's fault to its (overlay) register row.
 
         Bit semantics mirror ``GprFile``/``PredFile``/``BtrFile``/
-        ``DataMemory`` exactly (masking included).
+        ``DataMemory`` exactly (masking included).  Register reads go
+        through the overlay with the live golden value as default; the
+        caller registers the row in the matching divergence set.
         """
         fault = lane.fault
         space, index, bit = fault.space, fault.index, fault.bit
         seu = fault.model == _MODEL_SEU
         level = 1 if fault.model == _MODEL_STUCK1 else 0
         if space == _SPACE_GPR:
-            value = lane.gpr[index]
+            value = lane.gpr.get(index, g_gpr[index])
             if seu:
                 value ^= 1 << bit
             elif level:
@@ -926,11 +1960,12 @@ class VectorEngine:
         elif space == _SPACE_PRED:
             # Predicates are one bit wide; any requested bit is bit 0.
             if seu:
-                lane.pred[index] ^= 1
+                lane.pred[index] = lane.pred.get(index,
+                                                 g_pred[index]) ^ 1
             else:
                 lane.pred[index] = level
         elif space == _SPACE_BTR:
-            value = lane.btr[index]
+            value = lane.btr.get(index, g_btr[index])
             if seu:
                 value ^= 1 << bit
             elif level:
@@ -948,19 +1983,20 @@ class VectorEngine:
                 value &= ~(1 << bit)
             lane.mem[index] = value
 
-    def _assert_stuck(self, lane: _Lane, mask: int) -> None:
+    def _assert_stuck(self, lane: _Lane, mask: int,
+                      g_gpr, g_pred, g_btr) -> None:
         """Re-assert a stuck-at bit (the injector does this every cycle)."""
         fault = lane.fault
         space, index, bit = fault.space, fault.index, fault.bit
         level = 1 if fault.model == _MODEL_STUCK1 else 0
         if space == _SPACE_GPR:
-            value = lane.gpr[index]
+            value = lane.gpr.get(index, g_gpr[index])
             value = (value | (1 << bit)) if level else (value & ~(1 << bit))
             lane.gpr[index] = value & mask
         elif space == _SPACE_PRED:
             lane.pred[index] = level
         elif space == _SPACE_BTR:
-            value = lane.btr[index]
+            value = lane.btr.get(index, g_btr[index])
             lane.btr[index] = (value | (1 << bit)) if level \
                 else (value & ~(1 << bit))
         else:
@@ -973,7 +2009,7 @@ class VectorEngine:
 
     # -- end-of-walk classification ---------------------------------------
 
-    def _classify_outputs(self, lane: _Lane) -> LaneOutcome:
+    def _classify_outputs(self, lane: _Lane, g_gpr) -> LaneOutcome:
         """Diff a surviving lane against the golden outputs.
 
         Byte-compatible with ``LockstepChecker.diff_outputs`` +
@@ -982,7 +2018,11 @@ class VectorEngine:
         The cycle count is ``reference_cycles`` — the lane issued every
         bundle in lockstep with the golden machine (that is what kept
         it in the vector), so its halt cycle is the reference's.
+        Recorded traps win over the diff, exactly as ``run_one`` checks
+        ``result.traps`` before it ever diffs outputs.
         """
+        if lane.traps:
+            return self._resolve_converged(lane)
         for name, base, expected_values in self.outputs:
             row = lane.mem
             for offset, expected in enumerate(expected_values):
@@ -996,7 +2036,9 @@ class VectorEngine:
                         self.reference_cycles)
         if self.golden_checksum is not None:
             expected = self.golden_checksum & self.config.mask
-            got = lane.gpr[2]  # r2 carries main's return value
+            # r2 carries main's return value; the overlay defaults to
+            # the (post-final-drain) golden row.
+            got = lane.gpr.get(2, g_gpr[2])
             if got != expected:
                 return LaneOutcome(
                     "sdc",

@@ -106,6 +106,15 @@ def main(argv=None) -> int:
                         help="best-of-N timing trials per engine for "
                              "--gate-vector-speedup (every trial is still "
                              "byte-compared; N > 1 damps host noise)")
+    parser.add_argument("--gate-retired-fraction", type=float,
+                        default=None, metavar="F",
+                        help="with --gate-vector-speedup: fail unless the "
+                             "fraction of lanes genuinely retired to the "
+                             "scalar checker (grouped re-walks excluded) "
+                             "is < F")
+    parser.add_argument("--retirement-out", default=None, metavar="FILE",
+                        help="write a per-reason lane-retirement artifact "
+                             "(JSON) from the vector engine's telemetry")
     arguments = parser.parse_args(argv)
 
     if arguments.n < 1:
@@ -146,6 +155,12 @@ def main(argv=None) -> int:
             print("repro-faults: --gate-repeat must be >= 1",
                   file=sys.stderr)
             return 2
+    if arguments.gate_retired_fraction is not None \
+            and arguments.gate_vector_speedup is None:
+        print("repro-faults: --gate-retired-fraction needs "
+              "--gate-vector-speedup (it reads the vector pass's "
+              "retirement telemetry)", file=sys.stderr)
+        return 2
 
     if arguments.quick:
         specs = quick_specs(arguments.bench)
@@ -241,6 +256,22 @@ def main(argv=None) -> int:
                           f"speedup {timing['speedup']:.2f}x "
                           f"(gate {gate:.1f}x): {verdict}",
                           file=sys.stderr)
+                    if arguments.gate_retired_fraction is not None:
+                        retired_fraction = (
+                            timing["vector"]["scalar_faults"]
+                            / arguments.n)
+                        timing["retired_fraction"] = retired_fraction
+                        limit = arguments.gate_retired_fraction
+                        verdict = ("ok" if retired_fraction < limit
+                                   else "FAIL")
+                        if verdict == "FAIL":
+                            gate_failures.append(timing)
+                        print(f"  {report.workload} {report.machine}: "
+                              f"{timing['vector']['scalar_faults']}/"
+                              f"{arguments.n} lanes retired to scalar "
+                              f"({retired_fraction:.1%}, gate "
+                              f"<{limit:.0%}): {verdict}",
+                              file=sys.stderr)
                 else:
                     report = run_campaign(
                         spec, config, arguments.n, arguments.seed,
@@ -271,10 +302,20 @@ def main(argv=None) -> int:
                         if "vector_occupancy" in timing:
                             print(f"    vector: "
                                   f"{timing['vector_faults']} lanes, "
+                                  f"{timing['rewalk_lanes']} re-walked in "
+                                  f"{timing['rewalk_groups']} group(s), "
                                   f"{timing['scalar_faults']} retired to "
                                   f"scalar, occupancy "
-                                  f"{timing['vector_occupancy']:.2f}, "
+                                  f"{timing['vector_occupancy']:.2f} "
+                                  f"(+{timing['wasted_retired_cycles']:.2f} "
+                                  f"wasted), "
                                   f"numpy={timing['vector_numpy']}",
+                                  file=sys.stderr)
+                        if arguments.verbose and timing.get(
+                                "engine_downgrade_reason"):
+                            print(f"    vector engine downgraded to "
+                                  f"scalar: "
+                                  f"{timing['engine_downgrade_reason']}",
                                   file=sys.stderr)
                 reports.append(report)
                 estimate = estimate_resources(config)
@@ -298,6 +339,34 @@ def main(argv=None) -> int:
                 "timings": timings,
                 "gate": gate_value,
                 "gate_failures": len(gate_failures),
+            }, handle, indent=2)
+            handle.write("\n")
+    if arguments.retirement_out:
+        retirements = []
+        for timing in timings:
+            # Gate timings nest the vector pass under "vector"; plain
+            # --engine vector runs carry the keys at the top level.
+            source = timing.get("vector", timing)
+            if "lanes_retired" not in source:
+                continue
+            retirements.append({
+                "workload": timing.get("workload"),
+                "machine": timing.get("machine"),
+                "lanes_retired": source["lanes_retired"],
+                "scalar_faults": source["scalar_faults"],
+                "rewalk_lanes": source.get("rewalk_lanes", 0),
+                "rewalk_groups": source.get("rewalk_groups", 0),
+                "retired_fraction": source["scalar_faults"] / arguments.n,
+                "engine_downgrade_reason":
+                    source.get("engine_downgrade_reason"),
+            })
+        with open(arguments.retirement_out, "w",
+                  encoding="utf-8") as handle:
+            json.dump({
+                "n": arguments.n,
+                "seed": arguments.seed,
+                "gate_retired_fraction": arguments.gate_retired_fraction,
+                "campaigns": retirements,
             }, handle, indent=2)
             handle.write("\n")
 

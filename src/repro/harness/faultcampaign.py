@@ -335,6 +335,11 @@ def run_campaign(spec: WorkloadSpec, config: MachineConfig,
                               for meta in shard_metas)
             lane_capacity = sum(meta.get("vector_lane_capacity", 0)
                                 for meta in shard_metas)
+            wasted = sum(meta.get("vector_wasted_cycles", 0)
+                         for meta in shard_metas)
+            downgrade = next(
+                (meta["engine_downgrade_reason"] for meta in shard_metas
+                 if meta.get("engine_downgrade_reason")), None)
             report.timing.update({
                 "vector_faults": sum(meta.get("vector_faults", 0)
                                      for meta in shard_metas),
@@ -345,8 +350,19 @@ def run_campaign(spec: WorkloadSpec, config: MachineConfig,
                 "vector_jumps": sum(meta.get("vector_jumps", 0)
                                     for meta in shard_metas),
                 "lanes_retired": lanes_retired,
-                "vector_occupancy": (lane_cycles / lane_capacity
+                # Only cycles spent on lanes the engine classified count
+                # as occupancy; retired-lane cycles are wasted work.
+                "vector_occupancy": ((lane_cycles - wasted) / lane_capacity
                                      if lane_capacity else 0.0),
+                "wasted_retired_cycles": (wasted / lane_capacity
+                                          if lane_capacity else 0.0),
+                "rewalk_lanes": sum(meta.get("rewalk_lanes", 0)
+                                    for meta in shard_metas),
+                "rewalk_groups": sum(meta.get("rewalk_groups", 0)
+                                     for meta in shard_metas),
+                "rewalk_lane_cycles": sum(meta.get("rewalk_lane_cycles", 0)
+                                          for meta in shard_metas),
+                "engine_downgrade_reason": downgrade,
                 "vector_numpy": any(meta.get("vector_numpy")
                                     for meta in shard_metas),
             })
@@ -399,14 +415,26 @@ def run_campaign(spec: WorkloadSpec, config: MachineConfig,
     }
     if vstats is not None:
         lane_capacity = vstats["lane_capacity"]
+        wasted = vstats["wasted_lane_cycles"]
+        useful = vstats["lane_cycles"] - wasted
         report.timing.update({
             "vector_faults": vstats["vector_faults"],
             "scalar_faults": vstats["scalar_faults"],
             "vector_cuts": vstats["cuts"],
             "vector_jumps": vstats["jumps"],
             "lanes_retired": dict(vstats["retired"]),
-            "vector_occupancy": (vstats["lane_cycles"] / lane_capacity
+            # Occupancy counts only lanes that the engine classified:
+            # cycles burnt by lanes that later retired to the scalar
+            # checker are wasted work, reported under their own key so
+            # utilisation is not overstated.
+            "vector_occupancy": (useful / lane_capacity
                                  if lane_capacity else 0.0),
+            "wasted_retired_cycles": (wasted / lane_capacity
+                                      if lane_capacity else 0.0),
+            "rewalk_lanes": vstats["rewalk_lanes"],
+            "rewalk_groups": vstats["rewalk_groups"],
+            "rewalk_lane_cycles": vstats["rewalk_lane_cycles"],
+            "engine_downgrade_reason": vstats["engine_downgrade_reason"],
             "vector_numpy": vstats["numpy"],
         })
     return report

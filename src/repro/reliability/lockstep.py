@@ -254,14 +254,23 @@ class LockstepChecker:
     def _ifetch_outcome(self, cycle: int, pc: int, fault: FaultSpec):
         """Resolve an instruction-fetch fault at the fetch it corrupts.
 
-        Returns a ``LaneOutcome`` when the corrupted word no longer
-        decodes — the scalar run raises a ``TrapError`` before anything
-        executes, so the outcome (DETECTED, the trap text, the fetch
-        cycle) is fully determined here.  Returns ``None`` when the
-        word still decodes into a different-but-legal bundle: the lane
-        must retire to the scalar checker.
+        Three resolutions, all fully determined at the fetch (the fault
+        is one-shot and machine state at the fetch is still golden):
+
+        * the word no longer decodes and the trap policy is ``halt`` —
+          the scalar run raises a ``TrapError`` before anything
+          executes, so the outcome (DETECTED, the trap text, the fetch
+          cycle) is a ``LaneOutcome`` right here;
+        * the word still decodes into a different-but-legal bundle, or
+          it no longer decodes but a non-halt policy records the trap
+          and skips the bundle — either way the program is
+          deterministically *rewritten* at this fetch, and the
+          continuation depends only on ``(cycle, pc, slot, word)``:
+          return a :class:`~repro.core.vector.RewalkTicket` so
+          :meth:`run_batch` classifies the whole group with one scalar
+          re-walk.
         """
-        from repro.core.vector import LaneOutcome
+        from repro.core.vector import LaneOutcome, RewalkTicket
         from repro.errors import TRAP_ILLEGAL_INSTRUCTION
         from repro.reliability.fault import corrupt_fetched_word
 
@@ -276,8 +285,14 @@ class LockstepChecker:
         corrupted, word, slot, error = corrupt_fetched_word(
             fmt, mdes, self.compilation.program, self.config.issue_width,
             pc, fault.index, fault.bit)
-        if corrupted is not None:
-            return None
+        if corrupted is not None or self.config.trap_policy != "halt":
+            # Every rewritten fetch is transient: the injector consumes
+            # an ifetch fault at its first fetch regardless of model
+            # (``fetch_bundle`` advances past it), so stuck-at ifetch
+            # faults corrupt exactly one bundle too.
+            return RewalkTicket(cycle, pc, slot, word,
+                                bundle=corrupted,
+                                one_shot=True)
         trap = TrapError(
             f"corrupted instruction word {word:#x} does not decode: "
             f"{error}",
@@ -298,11 +313,19 @@ class LockstepChecker:
         campaign.  Returns ``(results, stats)``; cumulative stats are
         also kept on :attr:`vector_stats`.
 
-        The vector walk presumes the ``halt`` trap policy (lanes at
-        trap risk retire before any trap could be recorded) and a
-        trap-free golden reference; otherwise every fault runs scalar.
+        Instruction-fetch faults that deterministically rewrite the
+        program come back as :class:`~repro.core.vector.RewalkTicket`
+        markers; all lanes sharing a ticket key are byte-identical
+        machines, so each *group* is classified with a single
+        :meth:`run_one` (the grouped second pass) whose outcome every
+        member shares.
+
+        The walk handles all trap policies (non-halt policies record
+        per-lane traps in the lane plane) but still requires a
+        trap-free golden reference; when ineligible every fault runs
+        scalar and ``stats["engine_downgrade_reason"]`` says why.
         """
-        from repro.core.vector import DEFAULT_LANES
+        from repro.core.vector import DEFAULT_LANES, RewalkTicket
 
         faults = list(faults)
         if lane_cap is None:
@@ -310,12 +333,21 @@ class LockstepChecker:
         stats: Dict[str, object] = {
             "vector_faults": 0, "scalar_faults": 0, "classified": 0,
             "activated": 0, "cuts": 0, "jumps": 0, "iterations": 0,
-            "lane_cycles": 0, "frozen_cycles": 0, "lane_capacity": 0,
+            "lane_cycles": 0, "frozen_cycles": 0,
+            "wasted_lane_cycles": 0, "lane_capacity": 0,
+            "rewalk_lanes": 0, "rewalk_groups": 0,
+            "rewalk_lane_cycles": 0, "absorbed_lanes": 0,
+            "column_ops": 0,
             "retired": {}, "numpy": False, "passes": 0,
+            "engine_downgrade_reason": None,
         }
-        eligible = (self.config.trap_policy == "halt"
-                    and self._checkpoints_ok and lane_cap > 0)
+        if lane_cap <= 0:
+            stats["engine_downgrade_reason"] = "lane-cap-disabled"
+        elif not self._checkpoints_ok:
+            stats["engine_downgrade_reason"] = "golden-run-traps"
+        eligible = stats["engine_downgrade_reason"] is None
         results: List[Optional[InjectionResult]] = [None] * len(faults)
+        rewalk: Dict[tuple, List[tuple]] = {}
         if eligible:
             engine = self._vector_engine()
             stream = None
@@ -335,6 +367,10 @@ class LockstepChecker:
                 stats["iterations"] += pass_stats["iterations"]
                 stats["lane_cycles"] += pass_stats["lane_cycles"]
                 stats["frozen_cycles"] += pass_stats["frozen_cycles"]
+                stats["wasted_lane_cycles"] += \
+                    pass_stats["wasted_lane_cycles"]
+                stats["column_ops"] += pass_stats["column_ops"]
+                stats["absorbed_lanes"] += pass_stats["absorbed"]
                 stats["lane_capacity"] += (pass_stats["iterations"]
                                            * pass_stats["capacity"])
                 for reason, count in pass_stats["retired"].items():
@@ -344,9 +380,28 @@ class LockstepChecker:
                     if outcome is None:
                         continue
                     fault = chunk[offset]
+                    if isinstance(outcome, RewalkTicket):
+                        rewalk.setdefault(outcome.key, []).append(
+                            (start + offset, fault))
+                        continue
                     results[start + offset] = InjectionResult(
                         fault, Outcome(outcome.outcome), outcome.detail,
                         outcome.cycles, trap_cause=outcome.trap_cause)
+        # Grouped second pass: one scalar re-walk per rewritten fetch.
+        # Every lane in a group consumed its one-shot fault at the same
+        # fetch with the same corrupted word, from golden state, so
+        # their trajectories are byte-identical — the representative's
+        # classification (outcome, detail, cycle count) IS each
+        # member's, only the fault column differs.
+        for members in rewalk.values():
+            shared = self.run_one(members[0][1])
+            stats["rewalk_groups"] += 1
+            for position, fault in members:
+                results[position] = InjectionResult(
+                    fault, shared.outcome, shared.detail, shared.cycles,
+                    trap_cause=shared.trap_cause)
+                stats["rewalk_lanes"] += 1
+                stats["rewalk_lane_cycles"] += shared.cycles
         for position, fault in enumerate(faults):
             if results[position] is None:
                 results[position] = self.run_one(fault)

@@ -163,6 +163,11 @@ def _execute_campaign(spec: JobSpec) -> Tuple[Payload, Payload]:
             "lanes_retired": dict(vstats["retired"]),
             "vector_lane_cycles": vstats["lane_cycles"],
             "vector_lane_capacity": vstats["lane_capacity"],
+            "vector_wasted_cycles": vstats["wasted_lane_cycles"],
+            "rewalk_lanes": vstats["rewalk_lanes"],
+            "rewalk_groups": vstats["rewalk_groups"],
+            "rewalk_lane_cycles": vstats["rewalk_lane_cycles"],
+            "engine_downgrade_reason": vstats["engine_downgrade_reason"],
             "vector_numpy": vstats["numpy"],
         })
     return payload, meta

@@ -29,6 +29,7 @@ from repro.reliability import (
     FaultSpec,
     LockstepChecker,
     MODEL_STUCK0,
+    MODEL_STUCK1,
     Outcome,
     SPACE_BTR,
     SPACE_GPR,
@@ -36,14 +37,19 @@ from repro.reliability import (
 )
 from tests.reliability.test_lockstep import tiny_spec
 
-GRID = [(name, n_alus)
-        for name in ("SHA", "AES", "DCT", "Dijkstra")
+#: Trap policies rotate across the grid cells so every workload and
+#: every ALU width exercises each policy somewhere without tripling
+#: the grid's runtime.
+POLICIES = ("halt", "squash-bundle", "record-and-continue")
+
+GRID = [(name, n_alus, POLICIES[(w * 4 + n_alus - 1) % len(POLICIES)])
+        for w, name in enumerate(("SHA", "AES", "DCT", "Dijkstra"))
         for n_alus in (1, 2, 3, 4)]
 
 KNOWN_REASONS = {
     vector.RETIRE_GUARD, vector.RETIRE_BRANCH, vector.RETIRE_TRAP,
-    vector.RETIRE_IFETCH, vector.RETIRE_PARITY, vector.RETIRE_BOUNDS,
-    vector.RETIRE_ENGINE,
+    vector.RETIRE_TRAP_TIMING, vector.RETIRE_IFETCH,
+    vector.RETIRE_PARITY, vector.RETIRE_BOUNDS, vector.RETIRE_ENGINE,
 }
 
 
@@ -55,6 +61,15 @@ def checker():
     return checker
 
 
+@pytest.fixture(scope="module")
+def squash_checker():
+    """Same tiny workload under the squash-bundle trap policy."""
+    checker = LockstepChecker(
+        tiny_spec(), epic_with_alus(2, trap_policy="squash-bundle"))
+    checker.prepare_checkpoints()
+    return checker
+
+
 def _payloads(results):
     return [result_payload(result) for result in results]
 
@@ -62,11 +77,11 @@ def _payloads(results):
 class TestWorkloadMachineGrid:
     """Serial, checkpointed and vector: all three tables byte-equal."""
 
-    @pytest.mark.parametrize("name,n_alus", GRID,
-                             ids=[f"{n}-{a}alu" for n, a in GRID])
-    def test_three_way_byte_identical(self, name, n_alus):
+    @pytest.mark.parametrize("name,n_alus,policy", GRID,
+                             ids=[f"{n}-{a}alu-{p}" for n, a, p in GRID])
+    def test_three_way_byte_identical(self, name, n_alus, policy):
         spec = quick_specs([name])[0]
-        config = epic_with_alus(n_alus)
+        config = epic_with_alus(n_alus, trap_policy=policy)
         checker = LockstepChecker(spec, config, checkpoints=False)
         serial = run_campaign(spec, config, 4, 11, checker=checker,
                               checkpoints=False)
@@ -80,6 +95,9 @@ class TestWorkloadMachineGrid:
         right = json.dumps(campaign_payload([vectored]), sort_keys=True)
         assert left == middle == right
         assert vectored.timing["engine"] == "vector"
+        # Non-halt policies are first-class vector configs now, never
+        # a silent downgrade to the scalar path.
+        assert vectored.timing["engine_downgrade_reason"] is None
 
 
 class TestPerSpaceDifferential:
@@ -116,6 +134,42 @@ class TestPurePythonFallback:
         assert stats["numpy"] is False
         assert _payloads(results) == _payloads(scalar)
 
+    COLUMN_FAULTS = [FaultSpec(SPACE_GPR, 14, 8 + bit, 0,
+                               model=MODEL_STUCK1) for bit in range(20)]
+
+    def test_column_alu_matches_pure_python(self, monkeypatch):
+        # Stuck-at faults on one hot data register keep every lane
+        # divergent there, so the divergent-row union crosses the
+        # column gather threshold.  Same fault list through the NumPy
+        # column ALU and the per-lane fallback: byte-identical tables,
+        # and the column path really ran (the counter would be 0 if
+        # the gather threshold or the kind filter silently
+        # disqualified every op).
+        if vector._np is None:
+            pytest.skip("numpy not installed")
+        checker = LockstepChecker(tiny_spec(), epic_with_alus(2))
+        checker.prepare_checkpoints()
+        results, stats = checker.run_batch(self.COLUMN_FAULTS)
+        assert stats["numpy"] is True
+        assert stats["column_ops"] > 0
+        monkeypatch.setattr(vector, "_np", None)
+        pure = LockstepChecker(tiny_spec(), epic_with_alus(2))
+        pure.prepare_checkpoints()
+        pure_results, pure_stats = pure.run_batch(self.COLUMN_FAULTS)
+        assert pure_stats["column_ops"] == 0
+        assert _payloads(results) == _payloads(pure_results)
+
+    def test_column_alu_matches_scalar(self):
+        # The column path against the scalar checker itself.
+        if vector._np is None:
+            pytest.skip("numpy not installed")
+        checker = LockstepChecker(tiny_spec(), epic_with_alus(2))
+        checker.prepare_checkpoints()
+        scalar = [checker.run_one(fault) for fault in self.COLUMN_FAULTS]
+        results, stats = checker.run_batch(self.COLUMN_FAULTS)
+        assert stats["column_ops"] > 0
+        assert _payloads(results) == _payloads(scalar)
+
     def test_no_numpy_mem_space_freezes_list_rows(self, monkeypatch):
         # Frozen lanes track golden stores through plain list rows.
         monkeypatch.setattr(vector, "_np", None)
@@ -128,17 +182,70 @@ class TestPurePythonFallback:
         assert stats["frozen_cycles"] > 0
 
 
+class TestTrapPolicyVector:
+    """Non-halt trap policies ride the vector instead of downgrading."""
+
+    @pytest.mark.parametrize("space", sorted(FAULT_SPACES))
+    def test_squash_bundle_per_space(self, squash_checker, space):
+        faults = generate_faults(squash_checker, 24, 9, spaces=(space,))
+        scalar = [squash_checker.run_one(fault) for fault in faults]
+        results, stats = squash_checker.run_batch(faults)
+        assert _payloads(results) == _payloads(scalar)
+        assert stats["engine_downgrade_reason"] is None
+        assert stats["vector_faults"] == len(faults)
+
+    def test_record_and_continue_mixed(self):
+        checker = LockstepChecker(
+            tiny_spec(),
+            epic_with_alus(2, trap_policy="record-and-continue"))
+        checker.prepare_checkpoints()
+        faults = generate_faults(checker, 32, 13)
+        scalar = [checker.run_one(fault) for fault in faults]
+        results, stats = checker.run_batch(faults)
+        assert _payloads(results) == _payloads(scalar)
+        assert stats["engine_downgrade_reason"] is None
+
+    def test_oob_store_trap_recorded_in_lane(self, squash_checker):
+        # The same flipped base register that retires RETIRE_TRAP under
+        # the halt policy stays in the vector here: the trap is recorded
+        # in the lane plane, the bundle's write-backs are squashed, and
+        # the lane classifies DETECTED without a scalar rerun.
+        fault = FaultSpec(SPACE_GPR, 12, 20, 8)
+        results, stats = squash_checker.run_batch([fault])
+        assert stats["retired"].get(vector.RETIRE_TRAP, 0) == 0
+        assert results[0].outcome is Outcome.DETECTED
+        assert results[0].trap_cause == "oob-store"
+        assert result_payload(results[0]) == \
+            result_payload(squash_checker.run_one(fault))
+
+
 class TestLaneRetirement:
     """Lanes the vector walk cannot hold retire to the scalar checker."""
 
-    def test_ifetch_rewrite_always_retires(self, checker):
+    def test_ifetch_rewrites_rewalk_grouped(self, checker):
         faults = generate_faults(checker, 16, 9, spaces=("ifetch",))
+        scalar = [checker.run_one(fault) for fault in faults]
         results, stats = checker.run_batch(faults)
-        # Rewritten bundles break lane-invariant timing: any ifetch
-        # fault that still decodes must leave the vector.
-        assert stats["retired"].get(vector.RETIRE_IFETCH, 0) > 0
+        # Rewritten bundles break lane-invariant timing, but they no
+        # longer retire one by one: each becomes a RewalkTicket and is
+        # classified by the grouped second pass.
+        assert stats["rewalk_lanes"] > 0
+        assert 0 < stats["rewalk_groups"] <= stats["rewalk_lanes"]
+        assert stats["retired"].get(vector.RETIRE_IFETCH, 0) == 0
         assert stats["scalar_faults"] == sum(stats["retired"].values())
-        assert all(result is not None for result in results)
+        assert _payloads(results) == _payloads(scalar)
+
+    def test_duplicate_rewrites_share_one_rewalk(self, checker):
+        # Doubling the fault list must not double the scalar work: the
+        # second copy of every rewrite joins the first copy's group.
+        faults = generate_faults(checker, 16, 9, spaces=("ifetch",))
+        _single, single_stats = checker.run_batch(faults)
+        assert single_stats["rewalk_groups"] > 0
+        results, stats = checker.run_batch(faults + faults)
+        assert stats["rewalk_groups"] == single_stats["rewalk_groups"]
+        assert stats["rewalk_lanes"] == 2 * single_stats["rewalk_lanes"]
+        scalar = [checker.run_one(fault) for fault in faults + faults]
+        assert _payloads(results) == _payloads(scalar)
 
     def test_trap_risk_lane_retires_mid_vector(self, checker):
         # A flipped base register sends a store out of bounds: the lane
@@ -222,8 +329,14 @@ class TestLaneRetirement:
         results, stats = checker.run_batch(faults, lane_cap=0)
         assert stats["vector_faults"] == 0
         assert stats["scalar_faults"] == len(faults)
+        assert stats["engine_downgrade_reason"] == "lane-cap-disabled"
         assert _payloads(results) == \
             _payloads([checker.run_one(fault) for fault in faults])
+
+    def test_eligible_batch_records_no_downgrade(self, checker):
+        _results, stats = checker.run_batch(generate_faults(checker, 4,
+                                                            3))
+        assert stats["engine_downgrade_reason"] is None
 
 
 class TestThroughputHarness:
@@ -240,3 +353,46 @@ class TestThroughputHarness:
         with pytest.raises(ValueError, match="repeat"):
             measure_vector_throughput(tiny_spec(), epic_with_alus(2),
                                       n=4, seed=5, repeat=0)
+
+
+class TestCampaignTelemetry:
+    """The occupancy split and re-walk counters reach the report."""
+
+    def test_occupancy_excludes_wasted_and_rewalk_counts_surface(self):
+        spec = tiny_spec()
+        config = epic_with_alus(2)
+        checker = LockstepChecker(spec, config)
+        checker.prepare_checkpoints()
+        report = run_campaign(spec, config, 48, 13, checker=checker,
+                              engine="vector")
+        timing = report.timing
+        stats = checker.vector_stats
+        capacity = stats["lane_capacity"]
+        assert timing["vector_occupancy"] == pytest.approx(
+            (stats["lane_cycles"] - stats["wasted_lane_cycles"])
+            / capacity)
+        assert timing["wasted_retired_cycles"] == pytest.approx(
+            stats["wasted_lane_cycles"] / capacity)
+        # Occupancy + waste is exactly the old (overstated) number.
+        assert (timing["vector_occupancy"]
+                + timing["wasted_retired_cycles"]) == pytest.approx(
+            stats["lane_cycles"] / capacity)
+        assert timing["rewalk_lanes"] == stats["rewalk_lanes"]
+        assert timing["rewalk_groups"] == stats["rewalk_groups"]
+        assert timing["rewalk_lane_cycles"] == stats["rewalk_lane_cycles"]
+        assert timing["engine_downgrade_reason"] is None
+
+    def test_sharded_meta_carries_the_split(self):
+        from repro.serve import SerialExecutor
+
+        spec = quick_specs(["SHA"])[0]
+        config = epic_with_alus(2)
+        report = run_campaign(spec, config, 16, 13,
+                              executor=SerialExecutor(),
+                              engine="vector")
+        timing = report.timing
+        for key in ("vector_occupancy", "wasted_retired_cycles",
+                    "rewalk_lanes", "rewalk_groups",
+                    "rewalk_lane_cycles", "engine_downgrade_reason"):
+            assert key in timing
+        assert timing["engine_downgrade_reason"] is None
