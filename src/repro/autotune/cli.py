@@ -183,6 +183,7 @@ def main(argv=None) -> int:
             print(message, file=sys.stderr)
 
     started = time.time()
+    executor = None
     try:
         if args.quick:
             spec = quick_specs([args.bench])[0]
@@ -194,10 +195,14 @@ def main(argv=None) -> int:
             objectives=objectives,
             constraints=parse_constraints(args.constraint))
 
-        executor = cache = None
+        cache = None
         if args.jobs > 1:
-            from repro.serve import PoolExecutor
-            executor = PoolExecutor(jobs=args.jobs)
+            from repro.serve import SupervisedPool
+
+            # Warm persistent workers: the DSE loop re-evaluates the
+            # same workload across many configs, so candidate jobs ride
+            # on workers whose compile caches are already populated.
+            executor = SupervisedPool(jobs=args.jobs, warm=True)
         if args.cache:
             from repro.serve import ResultCache
             cache = ResultCache(args.cache)
@@ -238,6 +243,9 @@ def main(argv=None) -> int:
     except (ReproError, OSError, json.JSONDecodeError) as error:
         print(f"repro-tune: {error}", file=sys.stderr)
         return 1
+    finally:
+        if executor is not None:
+            executor.close()
 
     rendered = json.dumps(report, indent=2, sort_keys=True)
     if args.out:

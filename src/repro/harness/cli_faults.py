@@ -188,7 +188,10 @@ def main(argv=None) -> int:
     if arguments.jobs > 1:
         from repro.serve import SupervisedPool
 
-        executor = SupervisedPool(jobs=arguments.jobs)
+        # Warm persistent workers: every shard of every campaign in
+        # this invocation shares the same (workload, config) checker
+        # memos via affinity routing.
+        executor = SupervisedPool(jobs=arguments.jobs, warm=True)
 
     injections_done = [0]
 
@@ -327,6 +330,9 @@ def main(argv=None) -> int:
     except ReproError as error:
         print(f"repro-faults: {error}", file=sys.stderr)
         return 1
+    finally:
+        if executor is not None:
+            executor.close()
 
     gate_value = arguments.gate_checkpoint_speedup \
         if arguments.gate_checkpoint_speedup is not None \

@@ -635,7 +635,9 @@ def main(argv=None) -> int:
     if arguments.jobs > 1:
         from repro.serve import SupervisedPool
 
-        executor = SupervisedPool(jobs=arguments.jobs)
+        # Warm persistent workers: repeat (benchmark, machine) cells
+        # land on workers whose compile caches are already hot.
+        executor = SupervisedPool(jobs=arguments.jobs, warm=True)
 
     def on_cell(cell: Dict[str, object]) -> None:
         if not arguments.verbose:
@@ -657,6 +659,9 @@ def main(argv=None) -> int:
     except ReproError as error:
         print(f"repro-bench: {error}", file=sys.stderr)
         return 1
+    finally:
+        if executor is not None:
+            executor.close()
 
     with open(arguments.out, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2)

@@ -22,7 +22,11 @@ seed) triple.  This package turns those evaluations into first-class
   into a fault-tolerant fabric: worker heartbeats + hung-worker
   watchdog (SIGTERM -> SIGKILL reap escalation), retries with
   deterministic exponential backoff, poison-job quarantine, and
-  graceful degradation to in-process execution when spawning fails;
+  graceful degradation to in-process execution when spawning fails —
+  plus a **warm mode** (``warm=True``) of long-lived worker
+  incarnations with affinity routing, so compile caches and memoised
+  checkers survive across jobs (recycled after N jobs / an RSS
+  ceiling, with reuse/affinity telemetry);
 * :mod:`repro.serve.daemon` — a long-running HTTP/JSON job service
   (submit batches, stream results, peek the cache by digest) with a
   bounded back-pressured queue, per-client quotas, a durable spool,
@@ -75,7 +79,7 @@ from repro.serve.executors import (
 )
 from repro.serve.supervisor import SupervisedPool
 from repro.serve.cache import CacheStats, ResultCache, code_salt
-from repro.serve.worker import execute_spec
+from repro.serve.worker import CheckerMemo, execute_spec, worker_stats
 
 __all__ = [
     "JOB_KINDS",
@@ -104,7 +108,9 @@ __all__ = [
     "reap_process",
     "run_jobs",
     "CacheStats",
+    "CheckerMemo",
     "ResultCache",
     "code_salt",
     "execute_spec",
+    "worker_stats",
 ]

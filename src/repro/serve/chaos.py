@@ -21,9 +21,11 @@ chaos campaign is exactly reproducible, and two runs at the same seed
 inject the same faults no matter how the pool schedules workers.
 
 The capstone is :func:`run_chaos_differential`: run a sweep, a sharded
-fault campaign and a bench batch under chaos (twice — the replay pass
-forces reads of any corrupted cache records) and require the outcome
-tables to be **byte-identical** to a clean ``SerialExecutor`` run.
+fault campaign and a bench batch under chaos three ways — on the warm
+persistent pool (faulting long-lived worker incarnations mid-stream),
+on the fresh-process pool, and replayed through a corruptible cache —
+and require every outcome table to be **byte-identical** to a clean
+``SerialExecutor`` run.
 ``python -m repro.serve.chaos`` wraps it for CI with a global watchdog
 bound, a JSON report and the chaos event log as an artifact.
 """
@@ -247,12 +249,18 @@ def run_chaos_differential(specs: Sequence[JobSpec],
     """Prove chaos cannot touch a result table.
 
     1. Clean baseline: ``SerialExecutor``, no cache.
-    2. Chaos run: ``SupervisedPool`` with worker kill/hang injection,
-       writing through a cache whose records chaos may corrupt.
-    3. Replay: same batch again — cache hits except where records were
+    2. Warm chaos run: ``SupervisedPool(warm=True)`` with worker
+       kill/hang injection and no cache — chaos faults persistent
+       worker *incarnations* mid-stream (an incarnation may die with
+       warm state covering many served keys) and the fabric must
+       rebuild on fresh incarnations without a byte of drift.
+    3. Fresh chaos run: one-process-per-job ``SupervisedPool`` with the
+       same injection, writing through a cache whose records chaos may
+       corrupt.
+    4. Replay: same batch again — cache hits except where records were
        corrupted, which must be detected and recomputed.
 
-    All three outcome tables must be byte-identical.  Returns a JSON
+    All four outcome tables must be byte-identical.  Returns a JSON
     report; raises :class:`~repro.errors.ServeError` if any job fails
     outright.
     """
@@ -262,6 +270,21 @@ def run_chaos_differential(specs: Sequence[JobSpec],
                          max_faults_per_job=1, log=log)
     baseline = SerialExecutor().run(specs)
     raise_for_failures(baseline)
+
+    # Warm leg: same seed => the same (digest, attempt) draws fire, so
+    # the exact faults the fresh pool survives also hit warm workers.
+    warm_monkey = ChaosMonkey(seed=seed, kill_rate=kill_rate,
+                              hang_rate=hang_rate,
+                              max_faults_per_job=1, log=monkey.log)
+    with SupervisedPool(
+            jobs=jobs, timeout=timeout,
+            retries=warm_monkey.max_faults_per_job + 1,
+            heartbeat=heartbeat, watchdog=watchdog,
+            backoff_base=0.01, backoff_cap=0.1,
+            term_grace=1.0, chaos=warm_monkey, warm=True) as warm_pool:
+        warm = warm_pool.run(specs)
+        raise_for_failures(warm)
+        warm_telemetry = warm_pool.telemetry()
 
     cache = ChaosResultCache(cache_root, monkey)
     pool = SupervisedPool(
@@ -277,17 +300,22 @@ def run_chaos_differential(specs: Sequence[JobSpec],
 
     tables = {
         "serial": outcome_table(baseline),
+        "warm": outcome_table(warm),
         "chaos": outcome_table(chaotic),
         "replay": outcome_table(replay),
     }
-    identical = tables["serial"] == tables["chaos"] \
-        == tables["replay"]
+    identical = tables["serial"] == tables["warm"] \
+        == tables["chaos"] == tables["replay"]
     faulted = sum(1 for outcome in chaotic if outcome.attempts > 1)
+    warm_telemetry.pop("workers", None)  # per-incarnation detail
     return {
         "generated_by": "repro.serve.chaos",
         "identical": identical,
         "jobs": len(specs),
         "faulted_jobs": faulted,
+        "warm_faulted_jobs": sum(1 for outcome in warm
+                                 if outcome.attempts > 1),
+        "warm_telemetry": warm_telemetry,
         "replay_hits": sum(1 for outcome in replay if outcome.cached),
         "chaos_seed": seed,
         "chaos_events": monkey.log.counts(),
@@ -376,8 +404,8 @@ def main(argv=None) -> int:
         print("repro.serve.chaos: OUTCOME TABLES DIVERGED under chaos "
               f"(sha256 {report['tables_sha256']})", file=sys.stderr)
         return 1
-    print("outcome tables byte-identical: serial == chaos == replay "
-          f"(sha256 {report['tables_sha256']['serial'][:16]}...)")
+    print("outcome tables byte-identical: serial == warm == chaos == "
+          f"replay (sha256 {report['tables_sha256']['serial'][:16]}...)")
     return 0
 
 

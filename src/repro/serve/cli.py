@@ -6,8 +6,18 @@ Subcommands::
     repro-serve run    b.json --jobs 4 --cache .repro-cache --out r.json
     repro-serve warm   b.json --cache .repro-cache --jobs 4
     repro-serve verify b.json --cache .repro-cache
+    repro-serve warmgate b.json --jobs 4 --speedup 2  # warm-pool CI gate
     repro-serve daemon --spool .repro-spool          # long-running service
     repro-serve chaos  --seed 7 --out chaos.json     # differential gate
+
+Parallel runs (``--jobs N``, N > 1) execute on the **warm persistent
+worker pool** (:class:`~repro.serve.supervisor.SupervisedPool` with
+``warm=True``): long-lived workers whose compile caches and memoised
+checkers survive across jobs, with affinity routing.  Pass
+``--fresh-workers`` to restore the one-process-per-job strategy.
+``warmgate`` runs one batch serial, fresh and warm, requires all three
+outcome tables byte-identical and (optionally) a minimum warm-vs-fresh
+speedup — the CI gate for the warm fabric.
 
 ``batch`` writes a batch file describing one job per (benchmark,
 machine) cell — sweep evaluations, fault campaigns or dual-engine
@@ -63,11 +73,22 @@ def _specs_for(names: List[str], quick: bool):
     return [WORKLOADS[name]() for name in names]
 
 
-def _build_executor(jobs: int, timeout: Optional[float], retries: int):
+def _build_executor(jobs: int, timeout: Optional[float], retries: int,
+                    fresh: bool = False,
+                    recycle_after: Optional[int] = None):
+    """Parallel runs default to the warm persistent pool; ``fresh``
+    restores the one-process-per-job strategy."""
     if jobs > 1:
         return SupervisedPool(jobs=jobs, timeout=timeout,
-                              retries=retries)
+                              retries=retries, warm=not fresh,
+                              recycle_after=recycle_after)
     return SerialExecutor()
+
+
+def _close_executor(executor) -> None:
+    close = getattr(executor, "close", None)
+    if callable(close):
+        close()
 
 
 def _batch_command(arguments) -> int:
@@ -122,7 +143,8 @@ def _run_command(arguments, warm_only: bool = False) -> int:
     specs = load_batch(arguments.batch)
     cache = ResultCache(arguments.cache) if arguments.cache else None
     executor = _build_executor(arguments.jobs, arguments.timeout,
-                               arguments.retries)
+                               arguments.retries,
+                               fresh=arguments.fresh_workers)
 
     done = [0]
 
@@ -135,10 +157,22 @@ def _run_command(arguments, warm_only: bool = False) -> int:
                   f"{outcome.status} ({origin})", file=sys.stderr)
 
     started = perf_counter()
-    outcomes = run_jobs(specs, executor=executor, cache=cache,
-                        on_result=on_result)
+    try:
+        outcomes = run_jobs(specs, executor=executor, cache=cache,
+                            on_result=on_result)
+    finally:
+        _close_executor(executor)
     wall = perf_counter() - started
     report = _report(outcomes, wall, cache)
+    telemetry = getattr(executor, "telemetry", None)
+    if callable(telemetry):
+        report["warm_pool"] = telemetry()
+    if getattr(arguments, "telemetry_out", None):
+        with open(arguments.telemetry_out, "w",
+                  encoding="utf-8") as handle:
+            json.dump(report.get("warm_pool", {}), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
 
     if getattr(arguments, "out", None):
         with open(arguments.out, "w", encoding="utf-8") as handle:
@@ -174,10 +208,14 @@ def _verify_command(arguments) -> int:
     specs = load_batch(arguments.batch)
     cache = ResultCache(arguments.cache)
     executor = _build_executor(arguments.jobs, arguments.timeout,
-                               arguments.retries)
+                               arguments.retries,
+                               fresh=arguments.fresh_workers)
     # Recompute everything fresh (no cache on the run), then diff
     # against what the cache claims.
-    outcomes = run_jobs(specs, executor=executor, cache=None)
+    try:
+        outcomes = run_jobs(specs, executor=executor, cache=None)
+    finally:
+        _close_executor(executor)
     missing: List[str] = []
     stale: List[str] = []
     verified = 0
@@ -202,6 +240,81 @@ def _verify_command(arguments) -> int:
         print(f"  STALE: {job_id} — cached payload differs from a "
               "fresh run", file=sys.stderr)
     return 1 if stale else 0
+
+
+def _warmgate_command(arguments) -> int:
+    """CI gate: prove the warm pool is faster than the fresh pool on
+    the same batch *and* byte-identical to the serial executor."""
+    from repro.serve.chaos import outcome_table
+
+    specs = load_batch(arguments.batch)
+
+    # Pool legs run BEFORE the serial leg: on fork-start platforms a
+    # worker inherits every in-process memo (checker, compile caches)
+    # its parent has populated, so executing any job in this process
+    # first would hand the fresh pool pre-warmed children and erase
+    # the very cost the gate measures.
+    fresh_pool = SupervisedPool(jobs=arguments.jobs,
+                                timeout=arguments.timeout,
+                                retries=arguments.retries)
+    started = perf_counter()
+    fresh_outcomes = fresh_pool.run(specs)
+    fresh_wall = perf_counter() - started
+
+    with SupervisedPool(jobs=arguments.jobs,
+                        timeout=arguments.timeout,
+                        retries=arguments.retries, warm=True,
+                        recycle_after=arguments.recycle_after or None
+                        ) as warm_pool:
+        started = perf_counter()
+        warm_outcomes = warm_pool.run(specs)
+        warm_wall = perf_counter() - started
+        telemetry = warm_pool.telemetry()
+
+    started = perf_counter()
+    serial_outcomes = SerialExecutor().run(specs)
+    serial_wall = perf_counter() - started
+
+    tables = {
+        "serial": outcome_table(serial_outcomes),
+        "fresh": outcome_table(fresh_outcomes),
+        "warm": outcome_table(warm_outcomes),
+    }
+    identical = tables["serial"] == tables["fresh"] == tables["warm"]
+    speedup = fresh_wall / warm_wall if warm_wall > 0 else float("inf")
+    report = {
+        "generated_by": "repro-serve warmgate",
+        "jobs": len(specs),
+        "workers": arguments.jobs,
+        "identical": identical,
+        "serial_wall_seconds": round(serial_wall, 6),
+        "fresh_wall_seconds": round(fresh_wall, 6),
+        "warm_wall_seconds": round(warm_wall, 6),
+        "warm_vs_fresh_speedup": round(speedup, 3),
+        "required_speedup": arguments.speedup,
+        "warm_pool": telemetry,
+    }
+    if arguments.out:
+        with open(arguments.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    print(f"warmgate over {len(specs)} job(s) x {arguments.jobs} "
+          f"worker(s): serial {serial_wall:.3f}s, fresh "
+          f"{fresh_wall:.3f}s, warm {warm_wall:.3f}s "
+          f"({speedup:.2f}x warm-vs-fresh; reuse rate "
+          f"{telemetry['worker_reuse_rate'] * 100:.0f}%, affinity hit "
+          f"rate {telemetry['affinity_hit_rate'] * 100:.0f}%)")
+    if not identical:
+        print("repro-serve warmgate: OUTCOME TABLES DIVERGED "
+              "(serial vs fresh vs warm)", file=sys.stderr)
+        return 1
+    print("outcome tables byte-identical: serial == fresh == warm")
+    if arguments.speedup and speedup < arguments.speedup:
+        print(f"repro-serve warmgate: warm pool only {speedup:.2f}x "
+              f"over fresh (required {arguments.speedup:g}x)",
+              file=sys.stderr)
+        return 1
+    return 0
 
 
 def main(argv=None) -> int:
@@ -256,6 +369,9 @@ def main(argv=None) -> int:
                          help="per-job timeout in seconds")
         sub.add_argument("--retries", type=int, default=1,
                          help="retries after a worker crash (default 1)")
+        sub.add_argument("--fresh-workers", action="store_true",
+                         help="fork a fresh worker per job instead of "
+                              "the warm persistent pool")
         sub.add_argument("--verbose", action="store_true",
                          help="print one line per finished job")
 
@@ -265,6 +381,8 @@ def main(argv=None) -> int:
     run.add_argument("--out", help="write the JSON report here")
     run.add_argument("--json", action="store_true",
                      help="also print the JSON report to stdout")
+    run.add_argument("--telemetry-out",
+                     help="write warm-pool telemetry JSON here")
 
     warm = commands.add_parser(
         "warm", help="execute a batch purely to fill the cache")
@@ -273,6 +391,25 @@ def main(argv=None) -> int:
     verify = commands.add_parser(
         "verify", help="recompute a batch and diff against the cache")
     add_run_arguments(verify, needs_cache=True)
+
+    warmgate = commands.add_parser(
+        "warmgate",
+        help="gate: warm pool >= Nx over fresh pool, byte-identical "
+             "to serial")
+    warmgate.add_argument("batch", help="batch file of jobs to run")
+    warmgate.add_argument("--jobs", type=int, default=2, metavar="N",
+                          help="worker processes (default 2)")
+    warmgate.add_argument("--timeout", type=float, default=None,
+                          help="per-job timeout in seconds")
+    warmgate.add_argument("--retries", type=int, default=1,
+                          help="retries after a worker crash")
+    warmgate.add_argument("--recycle-after", type=int, default=0,
+                          help="warm-worker recycle bound (0: none)")
+    warmgate.add_argument("--speedup", type=float, default=0.0,
+                          help="minimum warm-vs-fresh speedup to pass "
+                               "(0 disables the perf gate)")
+    warmgate.add_argument("--out",
+                          help="write the JSON gate report here")
 
     # Registered for `repro-serve --help` only; dispatched above.
     commands.add_parser(
@@ -298,6 +435,8 @@ def main(argv=None) -> int:
             arguments.json = False
             arguments.out = None
             return _run_command(arguments, warm_only=True)
+        if arguments.command == "warmgate":
+            return _warmgate_command(arguments)
         return _verify_command(arguments)
     except ReproError as error:
         print(f"repro-serve: {error}", file=sys.stderr)

@@ -159,7 +159,7 @@ class ServeDaemon:
         self.cache = ResultCache(cache_root
                                  or os.path.join(spool, "cache"))
         self.executor = executor if executor is not None \
-            else SupervisedPool(jobs=2)
+            else SupervisedPool(jobs=2, warm=True)
         self.max_queue = max_queue
         self.max_client_jobs = max_client_jobs
         self.host = host
@@ -175,7 +175,10 @@ class ServeDaemon:
         self._draining = False
         self._drained = threading.Event()
         self._stopping = False
-        self._avg_seconds = 0.5
+        #: Per-job-kind EWMA of observed (uncached) job duration; a
+        #: campaign shard and a probe differ by orders of magnitude, so
+        #: one global average made Retry-After estimates meaningless.
+        self._avg_seconds: Dict[str, float] = {}
         self._scheduler: Optional[threading.Thread] = None
         self._server: Optional[ThreadingHTTPServer] = None
         self._server_thread: Optional[threading.Thread] = None
@@ -230,12 +233,39 @@ class ServeDaemon:
 
     # -- submission (back-pressure lives here) ------------------------
 
-    def retry_after(self, extra_jobs: int = 0) -> float:
-        """Seconds a refused client should wait before resubmitting."""
-        backlog = self._pending_jobs + extra_jobs
+    #: Duration assumed for a job kind never yet observed.
+    DEFAULT_AVG_SECONDS = 0.5
+
+    def avg_seconds(self, kind: str) -> float:
+        """Current duration estimate (EWMA) for one job kind."""
+        return self._avg_seconds.get(kind, self.DEFAULT_AVG_SECONDS)
+
+    def _kind_backlog(self) -> Dict[str, int]:
+        """Unfinished jobs per kind across all live batches.
+        Caller must hold ``self._lock``."""
+        backlog: Dict[str, int] = {}
+        for batch in self._batches.values():
+            if batch.state == STATE_DONE:
+                continue
+            finished = {entry["index"] for entry in batch.stream}
+            for index, spec in enumerate(batch.specs):
+                if index not in finished:
+                    backlog[spec.kind] = backlog.get(spec.kind, 0) + 1
+        return backlog
+
+    def retry_after(self, extra: Sequence[JobSpec] = ()) -> float:
+        """Seconds a refused client should wait before resubmitting:
+        the backlog costed per job *kind* with the observed per-kind
+        EWMA durations, divided across the workers, clamped to the
+        documented 1-60 s back-pressure band.  Caller must hold
+        ``self._lock``."""
+        backlog = self._kind_backlog()
+        for spec in extra:
+            backlog[spec.kind] = backlog.get(spec.kind, 0) + 1
         workers = max(1, getattr(self.executor, "jobs", 1))
-        return max(1.0, min(60.0,
-                            backlog * self._avg_seconds / workers))
+        seconds = sum(count * self.avg_seconds(kind)
+                      for kind, count in backlog.items())
+        return max(1.0, min(60.0, seconds / workers))
 
     def submit(self, specs: Sequence[JobSpec],
                client: str = "anonymous") -> Dict[str, object]:
@@ -254,7 +284,7 @@ class ServeDaemon:
                     f"submission queue is full "
                     f"({self._pending_jobs} pending + {len(specs)} "
                     f"submitted > {self.max_queue} max)",
-                    retry_after=self.retry_after(len(specs)))
+                    retry_after=self.retry_after(specs))
             if self.max_client_jobs is not None:
                 held = sum(
                     batch.total - batch.completed
@@ -266,7 +296,7 @@ class ServeDaemon:
                         f"client {client!r} holds {held} pending "
                         f"job(s); quota is {self.max_client_jobs}",
                         client=client,
-                        retry_after=self.retry_after(len(specs)))
+                        retry_after=self.retry_after(specs))
             batch_id = f"b{self._next_batch:06d}"
             self._next_batch += 1
             batch = _Batch(batch_id, client, specs)
@@ -315,6 +345,8 @@ class ServeDaemon:
     def status(self) -> Dict[str, object]:
         quarantine = getattr(self.executor, "quarantined", None)
         quarantined = len(quarantine()) if callable(quarantine) else 0
+        telemetry = getattr(self.executor, "telemetry", None)
+        warm_pool = telemetry() if callable(telemetry) else None
         with self._lock:
             clients: Dict[str, int] = {}
             for batch in self._batches.values():
@@ -332,11 +364,15 @@ class ServeDaemon:
                             for batch in self._batches.values()},
                 "draining": self._draining,
                 "drained": self._drained.is_set(),
+                "queue_by_kind": self._kind_backlog(),
+                "avg_seconds": {kind: round(value, 6) for kind, value
+                                in sorted(self._avg_seconds.items())},
                 "executor": {
                     "jobs": getattr(self.executor, "jobs", 1),
                     "degraded": getattr(self.executor, "degraded",
                                         False),
                     "quarantined": quarantined,
+                    "warm_pool": warm_pool,
                 },
                 "cache": self.cache.stats.as_dict(),
             }
@@ -350,8 +386,11 @@ class ServeDaemon:
                 batch.stream.append(entry)
                 self._pending_jobs = max(0, self._pending_jobs - 1)
                 if not outcome.cached and outcome.seconds > 0:
-                    self._avg_seconds = (0.8 * self._avg_seconds
-                                         + 0.2 * outcome.seconds)
+                    kind = outcome.spec.kind
+                    previous = self._avg_seconds.get(kind)
+                    self._avg_seconds[kind] = outcome.seconds \
+                        if previous is None \
+                        else 0.8 * previous + 0.2 * outcome.seconds
 
         try:
             run_jobs(batch.specs, executor=self.executor,
@@ -447,6 +486,9 @@ class ServeDaemon:
             self._server.server_close()
         if self._scheduler is not None:
             self._scheduler.join(timeout=30.0)
+        close = getattr(self.executor, "close", None)
+        if callable(close):
+            close()  # retire warm worker incarnations
 
 
 # -- HTTP plumbing -----------------------------------------------------
@@ -702,6 +744,15 @@ def main(argv=None) -> int:
                         help="per-job timeout in seconds")
     parser.add_argument("--retries", type=int, default=2,
                         help="retries after a worker crash or hang")
+    parser.add_argument("--fresh-workers", action="store_true",
+                        help="fork a fresh worker per job instead of "
+                             "the warm persistent pool")
+    parser.add_argument("--recycle-after", type=int, default=64,
+                        help="recycle a warm worker after this many "
+                             "jobs (0 disables)")
+    parser.add_argument("--max-worker-rss-mb", type=float, default=None,
+                        help="recycle a warm worker whose peak RSS "
+                             "exceeds this many MB")
     parser.add_argument("--max-queue", type=int, default=256,
                         help="bounded submission queue (jobs)")
     parser.add_argument("--max-client-jobs", type=int, default=None,
@@ -713,9 +764,13 @@ def main(argv=None) -> int:
     try:
         daemon = ServeDaemon(
             spool=arguments.spool, cache_root=arguments.cache,
-            executor=SupervisedPool(jobs=arguments.jobs,
-                                    timeout=arguments.timeout,
-                                    retries=arguments.retries),
+            executor=SupervisedPool(
+                jobs=arguments.jobs,
+                timeout=arguments.timeout,
+                retries=arguments.retries,
+                warm=not arguments.fresh_workers,
+                recycle_after=arguments.recycle_after or None,
+                max_worker_rss_mb=arguments.max_worker_rss_mb),
             max_queue=arguments.max_queue,
             max_client_jobs=arguments.max_client_jobs,
             host=arguments.host, port=arguments.port)

@@ -215,6 +215,23 @@ class JobSpec:
         subject = self.workload if self.kind != KIND_PROBE else self.behavior
         return f"{self.kind}:{subject}:{self.digest()[:10]}"
 
+    def affinity_key(self) -> str:
+        """Worker-affinity routing key: the (workload instance, machine)
+        cell this job's expensive per-process state is keyed by.
+
+        Every in-process cache a warm worker accumulates — the memoised
+        lockstep checker, the fastpath/trace compile caches, the golden
+        checkpoint stream — is keyed by the workload instance and the
+        machine configuration, never by the job's seed or fault slice.
+        Jobs sharing this key therefore reuse each other's warm state,
+        which is exactly what the warm pool routes on.  Probe jobs
+        carry no warm state and share one key.
+        """
+        if self.kind == KIND_PROBE:
+            return "probe"
+        args = ",".join(str(arg) for arg in self.workload_args)
+        return f"{self.workload}:{args}:{self.config.digest()[:16]}"
+
     def describe(self) -> str:
         if self.kind == KIND_PROBE:
             return f"probe({self.behavior})"

@@ -1,5 +1,5 @@
 """``SupervisedPool``: the process pool hardened into a fault-tolerant
-execution fabric.
+execution fabric — with an optional **warm persistent worker** mode.
 
 :class:`~repro.serve.executors.PoolExecutor` already gives per-job
 isolation, timeouts and bounded crash retries.  This module adds the
@@ -38,9 +38,41 @@ failure without corrupting results:
   the differential harness proves all of the above is invisible in the
   outcome tables.
 
+**Warm mode** (``warm=True``) replaces the one-fresh-process-per-job
+strategy with a fabric of **long-lived worker incarnations** that loop
+over a pipe-fed job queue.  The expensive per-process state a worker
+accumulates — the memoised lockstep checker
+(:data:`repro.serve.worker._CHECKER_MEMO`), the fastpath/trace compile
+caches, the golden checkpoint streams — survives from job to job
+instead of dying with the process, which removes the dominant
+spawn+recompile tax on compile-heavy sweeps:
+
+* **affinity routing** — jobs carry an
+  :meth:`~repro.serve.jobspec.JobSpec.affinity_key` (workload instance
+  + machine-config digest: exactly what the in-process memos are keyed
+  by) and the dispatcher prefers an idle worker that has already served
+  that key, so repeat keys land on hot caches;
+* **bounded incarnations** — a worker is recycled after
+  ``recycle_after`` jobs or once its peak RSS crosses
+  ``max_worker_rss_mb`` (reported by the worker with every result), so
+  warm state cannot grow into a leak;
+* **supervision unchanged** — heartbeats and the watchdog now span
+  every job of an incarnation, crashes cost only the incarnation (the
+  job retries on a fresh one), poison quarantine still counts crash
+  loops per digest, per-job timeouts still reap (sacrificing the
+  incarnation), and chaos ``kill``/``hang`` directives fault warm
+  incarnations mid-stream exactly like fresh workers.
+
+Both modes dispatch **event-driven**: the scheduler blocks in
+``multiprocessing.connection.wait`` over the worker pipes with a
+timeout derived from the *earliest actual deadline* (retry backoff
+expiry, per-job timeout, watchdog), not a fixed polling tick, so a job
+completion wakes the dispatcher immediately.
+
 The executor contract is unchanged: ``run(specs, on_result=None)``
-returns outcomes **in input order**, and no failure mode may hang the
-pool or drop a result.
+returns outcomes **in input order**, results are byte-identical to
+:class:`~repro.serve.executors.SerialExecutor`, and no failure mode
+may hang the pool or drop a result.
 """
 
 from __future__ import annotations
@@ -50,9 +82,9 @@ import os
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from multiprocessing.connection import wait as connection_wait
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import ReproError, ServeError, SpawnError
 from repro.serve.executors import (
@@ -67,20 +99,26 @@ from repro.serve.executors import (
     reap_process,
 )
 from repro.serve.jobspec import KIND_PROBE, JobSpec
-from repro.serve.worker import execute_payload, execute_spec
+from repro.serve.worker import execute_payload, execute_spec, worker_stats
 from repro.workloads import XorShift32
 
-#: Message tag workers interleave with their one result message.
+#: Message tag workers interleave with their result messages.
 HEARTBEAT = "heartbeat"
 
 #: Chaos directives a worker understands (see repro.serve.chaos).
 CHAOS_KILL = "kill"
 CHAOS_HANG = "hang"
 
+#: Upper bound on any single scheduler wait.  Waits normally end at the
+#: earliest real deadline or on a pipe event; this cap only insures
+#: against a lost-wakeup bug ever wedging the pool.
+_POLL_CAP = 1.0
+
 
 def _supervised_child_entry(payload, conn, heartbeat: float,
                             directive: Optional[str]) -> None:
-    """Worker body: heartbeat from a side thread, report one result.
+    """Fresh-mode worker body: heartbeat from a side thread, report one
+    result, exit.
 
     A chaos ``kill`` directive dies instantly without reporting (a
     machine-level worker loss); ``hang`` wedges *without* starting the
@@ -129,12 +167,107 @@ def _supervised_child_entry(payload, conn, heartbeat: float,
             pass
 
 
+def _warm_child_entry(conn, heartbeat: float) -> None:
+    """Warm-mode worker body: loop over pipe-fed jobs until told to
+    stop, heartbeating for the life of the incarnation.
+
+    Parent -> worker messages: ``("job", payload, directive)`` runs one
+    job; ``("stop",)`` (or EOF) ends the incarnation cleanly.  Chaos
+    directives fault *this* incarnation mid-stream: ``kill`` dies
+    without reporting, ``hang`` silences the heartbeat thread first and
+    then wedges — modelling a stop-the-world process hang the parent
+    watchdog (not the per-job timeout) must notice.
+
+    Every result message carries :func:`~repro.serve.worker.
+    worker_stats` (peak RSS + checker-memo counters), which the parent
+    uses for recycle decisions and warm-pool telemetry.
+    """
+    send_lock = threading.Lock()
+    stop = threading.Event()
+    if heartbeat > 0:
+        def beat() -> None:
+            sequence = 0
+            while not stop.wait(heartbeat):
+                sequence += 1
+                try:
+                    with send_lock:
+                        if stop.is_set():
+                            return
+                        conn.send((HEARTBEAT, sequence, None))
+                except OSError:  # pragma: no cover - parent went away
+                    return
+
+        threading.Thread(target=beat, daemon=True).start()
+    try:
+        while True:
+            try:
+                request = conn.recv()
+            except (EOFError, OSError):
+                break
+            if not isinstance(request, tuple) or not request \
+                    or request[0] != "job":
+                break  # ("stop",) — clean recycle
+            _, payload, directive = request
+            if directive == CHAOS_KILL:
+                os._exit(137)
+            if directive == CHAOS_HANG:
+                stop.set()
+                while True:  # pragma: no cover - reaped by the parent
+                    time.sleep(3600)
+            try:
+                result, meta = execute_payload(payload)
+                message = (STATUS_OK, result, meta, worker_stats())
+            except ReproError as error:
+                message = (STATUS_ERROR, str(error), None, worker_stats())
+            except Exception as error:  # noqa: BLE001 - report, don't die
+                message = (STATUS_ERROR,
+                           f"{type(error).__name__}: {error}", None,
+                           worker_stats())
+            with send_lock:
+                conn.send(message)
+    finally:
+        stop.set()
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - pipe already gone
+            pass
+
+
 @dataclass
 class _Worker:
+    """Fresh-mode bookkeeping: one worker, one job, then gone."""
+
     index: int
     process: multiprocessing.process.BaseProcess
     started: float
     last_beat: float
+
+
+@dataclass
+class _Assignment:
+    """The job a warm incarnation is currently executing."""
+
+    index: int
+    key: str
+    started: float
+    affinity_hit: bool
+
+
+@dataclass
+class _WarmWorker:
+    """One warm worker incarnation and the warm state it has built."""
+
+    generation: int
+    process: multiprocessing.process.BaseProcess
+    conn: object
+    last_beat: float
+    jobs_done: int = 0
+    #: Affinity keys this incarnation has served (== which in-process
+    #: memos are hot).
+    keys: Set[str] = field(default_factory=set)
+    current: Optional[_Assignment] = None
+    #: Last worker_stats() report (RSS, checker-memo counters).
+    last_stats: Optional[Dict[str, object]] = None
 
 
 class SupervisedPool:
@@ -161,6 +294,16 @@ class SupervisedPool:
     ``chaos``
         Optional :class:`~repro.serve.chaos.ChaosMonkey` consulted per
         (digest, attempt) for an injected worker fault.
+    ``warm``
+        Keep worker processes alive across jobs (and across ``run()``
+        calls) and route jobs onto workers whose in-process caches
+        already cover them.  Results remain byte-identical to serial
+        execution — warm reuse is a pure perf knob.
+    ``recycle_after``
+        Warm mode: retire an incarnation after this many jobs.
+    ``max_worker_rss_mb``
+        Warm mode: retire an incarnation whose reported peak RSS
+        exceeds this many MB.
     """
 
     def __init__(self, jobs: int = 2, timeout: Optional[float] = None,
@@ -171,7 +314,10 @@ class SupervisedPool:
                  backoff_base: float = 0.05, backoff_cap: float = 2.0,
                  backoff_seed: int = 0x5EED,
                  fallback_serial: bool = True,
-                 chaos=None):
+                 chaos=None,
+                 warm: bool = False,
+                 recycle_after: Optional[int] = None,
+                 max_worker_rss_mb: Optional[float] = None):
         if jobs < 1:
             raise ServeError("SupervisedPool needs jobs >= 1")
         if timeout is not None and timeout <= 0:
@@ -190,6 +336,10 @@ class SupervisedPool:
             raise ServeError("poison_after must be >= 1")
         if backoff_base < 0 or backoff_cap < backoff_base:
             raise ServeError("need 0 <= backoff_base <= backoff_cap")
+        if recycle_after is not None and recycle_after < 1:
+            raise ServeError("recycle_after must be >= 1")
+        if max_worker_rss_mb is not None and max_worker_rss_mb <= 0:
+            raise ServeError("max_worker_rss_mb must be positive")
         self.jobs = jobs
         self.timeout = timeout
         self.retries = retries
@@ -202,12 +352,28 @@ class SupervisedPool:
         self.backoff_seed = backoff_seed
         self.fallback_serial = fallback_serial
         self.chaos = chaos
-        #: Scheduler tick: bounds watchdog/backoff latency.
-        self.tick = 0.05
+        self.warm = warm
+        self.recycle_after = recycle_after
+        self.max_worker_rss_mb = max_worker_rss_mb
         #: True once the pool has fallen back to in-process execution.
         self.degraded = False
         #: digest -> quarantine reason, persistent across run() calls.
         self._quarantined: Dict[str, str] = {}
+        #: Warm incarnations, persistent across run() calls.
+        self._warm_workers: Dict[object, _WarmWorker] = {}
+        self._generations = 0
+        #: Warm-fabric telemetry (see :meth:`telemetry`).
+        self.counters: Dict[str, int] = {
+            "dispatched": 0,        # jobs sent to warm workers
+            "spawns": 0,            # incarnations started
+            "reused_jobs": 0,       # jobs run on a non-fresh incarnation
+            "affinity_hits": 0,     # routed onto a worker hot for the key
+            "affinity_misses": 0,
+            "recycles_jobs": 0,     # retired at the recycle_after bound
+            "recycles_rss": 0,      # retired at the RSS ceiling
+            "workers_lost": 0,      # incarnations that died uncommanded
+            "idle_culled": 0,       # silent idle incarnations reaped
+        }
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else methods[0]
@@ -243,10 +409,94 @@ class SupervisedPool:
             self.chaos.log.record("quarantine", digest=digest,
                                   reason=reason)
 
+    # -- warm-fabric lifecycle and telemetry ---------------------------
+
+    def telemetry(self) -> Dict[str, object]:
+        """Warm-fabric health: reuse and affinity rates, recycles,
+        per-incarnation job counts, RSS and live memo sizes."""
+        dispatched = self.counters["dispatched"]
+        routed = (self.counters["affinity_hits"]
+                  + self.counters["affinity_misses"])
+        workers = []
+        for worker in self._warm_workers.values():
+            stats = worker.last_stats or {}
+            workers.append({
+                "generation": worker.generation,
+                "jobs_done": worker.jobs_done,
+                "keys": len(worker.keys),
+                "busy": worker.current is not None,
+                "rss_kb": stats.get("rss_kb"),
+                "checker_memo": stats.get("checker_memo"),
+            })
+        return {
+            "warm": self.warm,
+            "degraded": self.degraded,
+            **self.counters,
+            "recycles": (self.counters["recycles_jobs"]
+                         + self.counters["recycles_rss"]),
+            "worker_reuse_rate": (self.counters["reused_jobs"] / dispatched
+                                  if dispatched else 0.0),
+            "affinity_hit_rate": (self.counters["affinity_hits"] / routed
+                                  if routed else 0.0),
+            "live_workers": len(self._warm_workers),
+            "workers": workers,
+        }
+
+    def _spawn_warm(self) -> _WarmWorker:
+        """Start one warm incarnation; raises OSError on spawn failure."""
+        parent_conn, child_conn = self._context.Pipe(duplex=True)
+        process = self._context.Process(
+            target=_warm_child_entry,
+            args=(child_conn, self.heartbeat),
+            daemon=True,
+        )
+        try:
+            process.start()
+        except OSError:
+            parent_conn.close()
+            child_conn.close()
+            raise
+        child_conn.close()
+        self._generations += 1
+        self.counters["spawns"] += 1
+        now = time.monotonic()
+        worker = _WarmWorker(self._generations, process, parent_conn, now)
+        self._warm_workers[parent_conn] = worker
+        return worker
+
+    def _drop_warm(self, worker: _WarmWorker, stop: bool) -> None:
+        """Remove one incarnation: politely (``stop``) or by reaping."""
+        self._warm_workers.pop(worker.conn, None)
+        if stop:
+            try:
+                worker.conn.send(("stop",))
+            except (OSError, ValueError):
+                pass
+        reap_process(worker.process, self.term_grace)
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+
+    def close(self) -> None:
+        """Retire every warm incarnation (idle and busy alike).
+
+        The pool remains usable — the next ``run()`` spawns fresh
+        incarnations — so ``close()`` doubles as a manual full recycle.
+        """
+        for worker in list(self._warm_workers.values()):
+            self._drop_warm(worker, stop=True)
+
+    def __enter__(self) -> "SupervisedPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     # -- spawning and degraded execution ------------------------------
 
     def _spawn(self, payload, directive: Optional[str]):
-        """Start one worker; returns (parent_conn, process)."""
+        """Start one fresh-mode worker; returns (parent_conn, process)."""
         parent_conn, child_conn = self._context.Pipe(duplex=False)
         process = self._context.Process(
             target=_supervised_child_entry,
@@ -292,11 +542,29 @@ class SupervisedPool:
                               seconds=time.perf_counter() - started,
                               attempts=attempt, meta={"degraded": True})
 
-    # -- the supervision loop -----------------------------------------
+    # -- shared scheduling helpers ------------------------------------
+
+    @staticmethod
+    def _wait_budget(now: float, deadlines: List[float]) -> float:
+        """Seconds the scheduler may block: until the earliest real
+        deadline, bounded by the lost-wakeup cap.  Pipe events always
+        wake it earlier."""
+        if not deadlines:
+            return _POLL_CAP
+        return min(_POLL_CAP, max(0.0, min(deadlines) - now))
+
+    # -- the supervision loop (dispatch) ------------------------------
 
     def run(self, specs: Sequence[JobSpec],
             on_result: Optional[OnResult] = None) -> List[JobOutcome]:
-        specs = list(specs)
+        if self.warm:
+            return self._run_warm(list(specs), on_result)
+        return self._run_fresh(list(specs), on_result)
+
+    # -- fresh mode: one process per job ------------------------------
+
+    def _run_fresh(self, specs: List[JobSpec],
+                   on_result: Optional[OnResult]) -> List[JobOutcome]:
         payloads = [spec.to_payload() for spec in specs]
         digests = [spec.digest() for spec in specs]
         results: Dict[int, JobOutcome] = {}
@@ -376,17 +644,25 @@ class SupervisedPool:
                 started = time.monotonic()
                 running[conn] = _Worker(index, process, started, started)
 
+            # Event-driven wait: block until a worker heartbeats,
+            # reports, or exits (EOF) — or until the earliest pending
+            # deadline (retry backoff, per-job timeout, watchdog).
+            deadlines: List[float] = []
+            for worker in running.values():
+                if self.timeout is not None:
+                    deadlines.append(worker.started + self.timeout)
+                if self.watchdog is not None:
+                    deadlines.append(worker.last_beat + self.watchdog)
+            if delayed:
+                deadlines.append(min(at for at, _ in delayed))
+            budget = self._wait_budget(time.monotonic(), deadlines)
             if not running:
-                if not ready and delayed:
-                    pause = min(ready_at for ready_at, _ in delayed) \
-                        - time.monotonic()
-                    if pause > 0:
-                        time.sleep(min(pause, self.tick))
+                if ready:
+                    continue  # degraded fast path: dispatch inline
+                if budget > 0:
+                    time.sleep(budget)
                 continue
-
-            # A connection is ready when the worker heartbeats, sends
-            # its result, or exits (EOF) — crashes wake us immediately.
-            for conn in connection_wait(list(running), timeout=self.tick):
+            for conn in connection_wait(list(running), timeout=budget):
                 worker = running[conn]
                 try:
                     message = conn.recv()
@@ -452,6 +728,331 @@ class SupervisedPool:
                         seconds=elapsed, attempts=attempts[index]))
                     continue
                 # Heartbeat silence: infrastructure fault, retried.
+                failures[index] += 1
+                silence = now - worker.last_beat
+                if self.chaos is not None:
+                    self.chaos.log.record(
+                        "watchdog-reap", digest=digests[index],
+                        attempt=attempts[index], ended_by=ended_by)
+
+                def hung_out(index=index, silence=silence,
+                             ended_by=ended_by,
+                             elapsed=elapsed) -> JobOutcome:
+                    return JobOutcome(
+                        spec=specs[index], index=index,
+                        status=STATUS_TIMEOUT,
+                        error=(f"watchdog declared the worker hung "
+                               f"(no heartbeat for {silence:.2f}s) on "
+                               f"all {attempts[index]} attempt(s); "
+                               f"last worker ended by {ended_by}"),
+                        seconds=elapsed, attempts=attempts[index])
+
+                retry_or(index, hung_out)
+
+        return [results[index] for index in range(len(specs))]
+
+    # -- warm mode: persistent workers with affinity routing ----------
+
+    def _route(self, ready: deque, keys: List[str]
+               ) -> Tuple[int, Optional[_WarmWorker], bool]:
+        """Pick the next (job, worker) pairing.
+
+        Affinity first: scan the ready queue (front to back) for any
+        job whose key an *idle* incarnation has already served, and
+        pair them.  Otherwise take the head job with no worker chosen
+        yet — the caller spawns a fresh incarnation if capacity allows,
+        else reuses the coldest idle one.  Routing order cannot affect
+        results (outcomes are assembled by input index).
+        """
+        idle = [worker for worker in self._warm_workers.values()
+                if worker.current is None]
+        if idle:
+            hot_keys = set()
+            for worker in idle:
+                hot_keys.update(worker.keys)
+            for position, index in enumerate(ready):
+                if keys[index] in hot_keys:
+                    del ready[position]
+                    worker = min(
+                        (w for w in idle if keys[index] in w.keys),
+                        key=lambda w: (w.jobs_done, w.generation))
+                    return index, worker, True
+        return ready.popleft(), None, False
+
+    def _run_warm(self, specs: List[JobSpec],
+                  on_result: Optional[OnResult]) -> List[JobOutcome]:
+        payloads = [spec.to_payload() for spec in specs]
+        digests = [spec.digest() for spec in specs]
+        keys = [spec.affinity_key() for spec in specs]
+        results: Dict[int, JobOutcome] = {}
+        ready: deque = deque(range(len(specs)))
+        delayed: List[Tuple[float, int]] = []   # (ready_at, index)
+        attempts = [0] * len(specs)
+        failures = [0] * len(specs)             # crashes + hangs
+
+        # Incarnations idle since the previous run() have stale beat
+        # stamps (nobody was reading their pipe); re-arm the watchdog
+        # before their buffered heartbeats drain.
+        now = time.monotonic()
+        for worker in self._warm_workers.values():
+            worker.last_beat = now
+
+        def finish(outcome: JobOutcome) -> None:
+            results[outcome.index] = outcome
+            if on_result is not None:
+                on_result(outcome)
+
+        def retry_or(index: int, make_outcome) -> None:
+            digest = digests[index]
+            if failures[index] >= self.poison_after:
+                reason = (f"crash-looped: {failures[index]} worker(s) "
+                          f"lost over {attempts[index]} attempt(s)")
+                self._quarantine(digest, reason)
+                finish(JobOutcome(
+                    spec=specs[index], index=index,
+                    status=STATUS_POISONED,
+                    error=f"job quarantined as poisoned ({reason})",
+                    attempts=attempts[index]))
+            elif attempts[index] <= self.retries:
+                delay = self.backoff_delay(digest, failures[index])
+                delayed.append((time.monotonic() + delay, index))
+            else:
+                finish(make_outcome())
+
+        def lose_incarnation(worker: _WarmWorker) -> None:
+            """An incarnation died or wedged uncommanded."""
+            self._drop_warm(worker, stop=False)
+            self.counters["workers_lost"] += 1
+
+        while len(results) < len(specs):
+            now = time.monotonic()
+            if delayed:
+                due = [entry for entry in delayed if entry[0] <= now]
+                if due:
+                    delayed = [entry for entry in delayed
+                               if entry[0] > now]
+                    ready.extend(sorted(index for _, index in due))
+
+            # -- dispatch: affinity routing onto idle/new incarnations
+            while ready:
+                if self.degraded:
+                    index = ready.popleft()
+                    digest = digests[index]
+                    if digest in self._quarantined:
+                        finish(JobOutcome(
+                            spec=specs[index], index=index,
+                            status=STATUS_POISONED,
+                            error=("job digest is quarantined: "
+                                   + self._quarantined[digest]),
+                            attempts=attempts[index]))
+                        continue
+                    attempts[index] += 1
+                    finish(self._run_inline(specs[index], index,
+                                            attempts[index],
+                                            "pool already degraded"))
+                    continue
+                have_idle = any(worker.current is None for worker
+                                in self._warm_workers.values())
+                if not have_idle \
+                        and len(self._warm_workers) >= self.jobs:
+                    break  # every incarnation is busy
+                index, worker, affinity_hit = self._route(ready, keys)
+                digest = digests[index]
+                if digest in self._quarantined:
+                    finish(JobOutcome(
+                        spec=specs[index], index=index,
+                        status=STATUS_POISONED,
+                        error=("job digest is quarantined: "
+                               + self._quarantined[digest]),
+                        attempts=attempts[index]))
+                    continue
+                if worker is None and \
+                        len(self._warm_workers) < self.jobs:
+                    try:
+                        worker = self._spawn_warm()
+                    except OSError as error:
+                        idle = [w for w in self._warm_workers.values()
+                                if w.current is None]
+                        if idle:
+                            # Spawning is refused but live incarnations
+                            # remain: keep serving on what we have.
+                            worker = min(idle, key=lambda w:
+                                         (len(w.keys), w.generation))
+                        elif not self.fallback_serial:
+                            raise SpawnError(
+                                f"cannot spawn a worker process: "
+                                f"{error}") from error
+                        else:
+                            self.degraded = True
+                            attempts[index] += 1
+                            finish(self._run_inline(
+                                specs[index], index, attempts[index],
+                                str(error)))
+                            continue
+                if worker is None:
+                    idle = [w for w in self._warm_workers.values()
+                            if w.current is None]
+                    worker = min(idle, key=lambda w:
+                                 (len(w.keys), w.generation))
+                attempt = attempts[index] + 1
+                directive = None
+                if self.chaos is not None:
+                    directive = self.chaos.worker_directive(digest,
+                                                            attempt)
+                try:
+                    worker.conn.send(("job", payloads[index],
+                                      directive))
+                except (OSError, ValueError):
+                    # The incarnation died while idle; the job never
+                    # reached it, so requeue without charging a
+                    # failure and replace the worker on the next pass.
+                    lose_incarnation(worker)
+                    ready.appendleft(index)
+                    continue
+                attempts[index] = attempt
+                worker.current = _Assignment(index, keys[index],
+                                             time.monotonic(),
+                                             affinity_hit)
+                self.counters["dispatched"] += 1
+                if worker.jobs_done > 0:
+                    self.counters["reused_jobs"] += 1
+                if affinity_hit:
+                    self.counters["affinity_hits"] += 1
+                else:
+                    self.counters["affinity_misses"] += 1
+
+            # -- event-driven wait over every incarnation's pipe
+            deadlines = []
+            for worker in self._warm_workers.values():
+                if worker.current is not None \
+                        and self.timeout is not None:
+                    deadlines.append(worker.current.started
+                                     + self.timeout)
+                if self.watchdog is not None:
+                    deadlines.append(worker.last_beat + self.watchdog)
+            if delayed:
+                deadlines.append(min(at for at, _ in delayed))
+            budget = self._wait_budget(time.monotonic(), deadlines)
+            conns = list(self._warm_workers)
+            if not conns:
+                if ready:
+                    continue  # degraded: dispatch inline immediately
+                if budget > 0:
+                    time.sleep(budget)
+                continue
+            for conn in connection_wait(conns, timeout=budget):
+                worker = self._warm_workers.get(conn)
+                if worker is None:
+                    continue  # retired within this wake-up
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    message = None
+                if message is not None and message[0] == HEARTBEAT:
+                    worker.last_beat = time.monotonic()
+                    continue
+                if message is None:
+                    # Incarnation lost (crash, chaos kill, OOM...).
+                    exit_code = worker.process.exitcode
+                    assignment = worker.current
+                    lose_incarnation(worker)
+                    if assignment is None:
+                        continue  # died idle: no job was owed
+                    index = assignment.index
+                    elapsed = time.monotonic() - assignment.started
+                    failures[index] += 1
+
+                    def crashed(index=index, exit_code=exit_code,
+                                elapsed=elapsed) -> JobOutcome:
+                        return JobOutcome(
+                            spec=specs[index], index=index,
+                            status=STATUS_CRASHED,
+                            error=(f"worker died without reporting "
+                                   f"(exit code {exit_code}) after "
+                                   f"{attempts[index]} attempt(s)"),
+                            seconds=elapsed, attempts=attempts[index])
+
+                    retry_or(index, crashed)
+                    continue
+                status, data, meta, wstats = message
+                worker.last_beat = time.monotonic()
+                worker.last_stats = wstats
+                assignment = worker.current
+                worker.current = None
+                if assignment is None:  # pragma: no cover - defensive
+                    continue
+                index = assignment.index
+                worker.jobs_done += 1
+                worker.keys.add(assignment.key)
+                elapsed = time.monotonic() - assignment.started
+                meta = dict(meta or {})
+                meta["worker"] = {
+                    "generation": worker.generation,
+                    "jobs_on_worker": worker.jobs_done,
+                    "affinity_hit": assignment.affinity_hit,
+                    "rss_kb": (wstats or {}).get("rss_kb"),
+                    "checker_memo": (wstats or {}).get("checker_memo"),
+                }
+                finish(JobOutcome(
+                    spec=specs[index], index=index,
+                    status=STATUS_OK if status == STATUS_OK
+                    else STATUS_ERROR,
+                    payload=data if status == STATUS_OK else None,
+                    error=None if status == STATUS_OK else data,
+                    meta=meta, seconds=elapsed,
+                    attempts=attempts[index]))
+                # Bounded incarnations: recycle on the job-count or
+                # RSS ceiling so warm state cannot leak unboundedly.
+                recycle = None
+                if self.recycle_after is not None \
+                        and worker.jobs_done >= self.recycle_after:
+                    recycle = "jobs"
+                elif self.max_worker_rss_mb is not None and wstats \
+                        and (wstats.get("rss_kb") or 0) \
+                        > self.max_worker_rss_mb * 1024:
+                    recycle = "rss"
+                if recycle is not None:
+                    self._drop_warm(worker, stop=True)
+                    self.counters["recycles_" + recycle] += 1
+
+            # -- deadline scan: per-job timeouts, hung incarnations
+            now = time.monotonic()
+            for conn, worker in list(self._warm_workers.items()):
+                assignment = worker.current
+                silent = self.watchdog is not None \
+                    and now - worker.last_beat >= self.watchdog
+                if assignment is None:
+                    if silent:
+                        # A wedged idle incarnation would eat the next
+                        # job routed to it; cull it now.
+                        self._drop_warm(worker, stop=False)
+                        self.counters["idle_culled"] += 1
+                    continue
+                index = assignment.index
+                overdue = self.timeout is not None \
+                    and now - assignment.started >= self.timeout
+                if not (overdue or silent):
+                    continue
+                self._warm_workers.pop(conn, None)
+                ended_by = reap_process(worker.process, self.term_grace)
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+                elapsed = now - assignment.started
+                if overdue:
+                    # Deterministic per-job budget: no retry.  The
+                    # incarnation is sacrificed with the job.
+                    finish(JobOutcome(
+                        spec=specs[index], index=index,
+                        status=STATUS_TIMEOUT,
+                        error=(f"job exceeded the {self.timeout:g}s "
+                               f"per-job timeout and was terminated "
+                               f"(worker ended by {ended_by})"),
+                        seconds=elapsed, attempts=attempts[index]))
+                    continue
+                # Heartbeat silence: infrastructure fault, retried.
+                self.counters["workers_lost"] += 1
                 failures[index] += 1
                 silence = now - worker.last_beat
                 if self.chaos is not None:

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import json
 import os
+import sys
 import time
 from typing import Dict, Tuple
 
@@ -66,12 +67,103 @@ def _execute_sweep(spec: JobSpec) -> Tuple[Payload, Payload]:
     return payload, {}
 
 
-#: Process-level campaign-checker memo: one MiniC -> IR -> EPIC compile,
-#: golden interpreter run and fault-free reference run per (workload,
-#: machine) pair per worker process, shared by every campaign shard the
-#: process executes.  Under a forking PoolExecutor a checker warmed in
-#: the parent is inherited by the workers for free.
-_CHECKER_MEMO: Dict[tuple, object] = {}
+class CheckerMemo:
+    """LRU-bounded memo of compiled lockstep checkers.
+
+    One MiniC -> IR -> EPIC compile, golden interpreter run and
+    fault-free reference run per (workload, machine) pair per worker
+    process, shared by every campaign shard the process executes.
+    Under a forking executor a checker warmed in the parent is
+    inherited by the workers for free.
+
+    Warm persistent workers (PR 10) keep this memo alive across many
+    jobs, so it must be *bounded*: the least-recently-used checker is
+    evicted once the memo exceeds ``limit`` entries (the
+    ``REPRO_CHECKER_MEMO`` env knob; checkers hold a compiled program,
+    a golden machine and a checkpoint stream each, so a handful is
+    already hundreds of MB on big workloads).  Eviction is a pure perf
+    event — a rebuilt checker is deterministic, so outcome tables
+    cannot observe it — and hit/miss/evict counts are surfaced in
+    campaign job meta for the warm-pool telemetry.
+    """
+
+    DEFAULT_LIMIT = 8
+
+    def __init__(self) -> None:
+        from collections import OrderedDict
+
+        self._entries: "OrderedDict[tuple, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def limit(self) -> int:
+        """Entry bound (``REPRO_CHECKER_MEMO`` env, read per lookup so
+        long-lived workers honour re-tuning without a restart)."""
+        try:
+            limit = int(os.environ.get("REPRO_CHECKER_MEMO",
+                                       self.DEFAULT_LIMIT))
+        except ValueError:
+            limit = self.DEFAULT_LIMIT
+        return max(1, limit)
+
+    def get(self, key: tuple):
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: tuple, checker: object) -> None:
+        self._entries[key] = checker
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.limit:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._entries
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": len(self._entries),
+            "limit": self.limit,
+        }
+
+
+#: The process-level campaign-checker memo (see :class:`CheckerMemo`).
+_CHECKER_MEMO = CheckerMemo()
+
+
+def worker_stats() -> Dict[str, object]:
+    """In-process state a warm worker reports with every result:
+    checker-memo counters plus this process's peak RSS, which the
+    parent pool uses for its recycle-on-memory-ceiling policy."""
+    rss_kb = 0
+    try:
+        import resource
+
+        rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        if sys.platform == "darwin":  # ru_maxrss is bytes on macOS
+            rss_kb //= 1024
+    except (ImportError, OSError):  # pragma: no cover - exotic host
+        pass
+    return {
+        "rss_kb": int(rss_kb),
+        "checker_memo": _CHECKER_MEMO.stats(),
+    }
 
 
 def checkpoints_enabled() -> bool:
@@ -110,7 +202,7 @@ def campaign_checker(spec: JobSpec):
                                   max_cycles=spec.max_cycles,
                                   checkpoints=checkpoints_enabled(),
                                   checkpoint_store=checkpoint_store())
-        _CHECKER_MEMO[key] = checker
+        _CHECKER_MEMO.put(key, checker)
     return checker
 
 
@@ -118,7 +210,9 @@ def _execute_campaign(spec: JobSpec) -> Tuple[Payload, Payload]:
     from repro.harness.faultcampaign import generate_faults, result_payload
 
     started = time.perf_counter()
+    memo_hits_before = _CHECKER_MEMO.hits
     checker = campaign_checker(spec)
+    memo_hit = _CHECKER_MEMO.hits > memo_hits_before
     before = checker.fastforward_stats()
     faults = generate_faults(checker, spec.n, spec.seed, spec.spaces)
     stop = spec.n if spec.fault_count < 0 \
@@ -153,6 +247,8 @@ def _execute_campaign(spec: JobSpec) -> Tuple[Payload, Payload]:
             after["cycles_skipped"] - before["cycles_skipped"],
         "ff_convergence_cuts":
             after["convergence_cuts"] - before["convergence_cuts"],
+        "checker_memo_hit": memo_hit,
+        "checker_memo": _CHECKER_MEMO.stats(),
     }
     if vstats is not None:
         meta.update({

@@ -92,6 +92,58 @@ class TestRunWarmVerify:
         assert report["summary"]["total"] == 2
 
 
+class TestWarmgate:
+    def test_gate_report_and_exit_zero(self, tmp_path, capsys):
+        batch = str(tmp_path / "probes.json")
+        dump_batch([JobSpec(kind="probe", behavior="ok", seed=n)
+                    for n in range(1, 5)], batch)
+        report_path = str(tmp_path / "warmgate.json")
+        # --speedup 0 keeps the perf gate off: probes are too cheap to
+        # make a timing promise, the identity gate is the point here.
+        assert serve_main(["warmgate", batch, "--jobs", "2",
+                           "--out", report_path]) == 0
+        report = json.loads(open(report_path).read())
+        assert report["identical"] is True
+        assert report["jobs"] == 4
+        assert report["warm_pool"]["warm"] is True
+        assert report["warm_pool"]["reused_jobs"] > 0
+        out = capsys.readouterr().out
+        assert "byte-identical" in out
+
+    def test_unreachable_speedup_fails_the_gate(self, tmp_path, capsys):
+        batch = str(tmp_path / "probes.json")
+        dump_batch([JobSpec(kind="probe", behavior="ok", seed=1)],
+                   batch)
+        # One probe job can never make warm reuse pay 1000000x.
+        assert serve_main(["warmgate", batch, "--jobs", "1",
+                           "--speedup", "1000000"]) == 1
+        assert "required 1e+06x" in capsys.readouterr().err
+
+    def test_run_fresh_vs_warm_telemetry(self, sweep_batch, tmp_path,
+                                         capsys):
+        fresh_report = str(tmp_path / "fresh.json")
+        warm_report = str(tmp_path / "warm.json")
+        telemetry_path = str(tmp_path / "telemetry.json")
+        assert serve_main(["run", sweep_batch, "--jobs", "2",
+                           "--fresh-workers",
+                           "--out", fresh_report]) == 0
+        assert serve_main(["run", sweep_batch, "--jobs", "2",
+                           "--telemetry-out", telemetry_path,
+                           "--out", warm_report]) == 0
+        fresh = json.loads(open(fresh_report).read())
+        warm = json.loads(open(warm_report).read())
+
+        def ledger(report):
+            return [(j["job_id"], j["digest"], j["status"],
+                     j["attempts"]) for j in report["jobs"]]
+
+        assert ledger(fresh) == ledger(warm)
+        assert "warm_pool" not in fresh or not fresh["warm_pool"]["warm"]
+        telemetry = json.loads(open(telemetry_path).read())
+        assert telemetry["warm"] is True
+        assert telemetry == warm["warm_pool"]
+
+
 class TestFailureSurfacing:
     def test_probe_failures_exit_nonzero_with_structure(self, tmp_path,
                                                         capsys):

@@ -300,3 +300,60 @@ class TestKillRestartLifecycle:
             if process.poll() is None:
                 process.kill()
                 process.wait(timeout=10)
+
+
+class TestWarmPoolStatus:
+    """/v1/status telemetry and the per-kind Retry-After estimate."""
+
+    def test_status_reports_warm_pool_telemetry(self, tmp_path):
+        from repro.serve import SupervisedPool
+
+        pool = SupervisedPool(jobs=1, warm=True, heartbeat=0.05,
+                              watchdog=5.0)
+        daemon = ServeDaemon(str(tmp_path / "spool"), executor=pool)
+        daemon.start()
+        try:
+            client = DaemonClient(daemon.host, daemon.port)
+            accepted = client.submit([probe(seed=n) for n in range(3)])
+            client.wait(accepted["batch"], timeout=30)
+            warm = client.status()["executor"]["warm_pool"]
+            assert warm["warm"] is True
+            assert warm["dispatched"] == 3
+            assert warm["worker_reuse_rate"] == pytest.approx(2 / 3)
+            assert warm["live_workers"] == 1
+            assert "recycles" in warm and "affinity_hit_rate" in warm
+        finally:
+            daemon.stop()
+        # stop() retires the warm incarnations.
+        assert pool.telemetry()["live_workers"] == 0
+
+    def test_serial_executor_reports_no_warm_pool(self, served):
+        daemon, client = served
+        assert client.status()["executor"]["warm_pool"] is None
+
+    def test_avg_seconds_tracked_per_kind(self, served):
+        daemon, client = served
+        accepted = client.submit([probe(seed=1, seconds=0.05)])
+        client.wait(accepted["batch"], timeout=30)
+        status = client.status()
+        assert "probe" in status["avg_seconds"]
+        assert status["avg_seconds"]["probe"] > 0
+        # Kinds never run carry no estimate entry.
+        assert "campaign" not in status["avg_seconds"]
+
+    def test_retry_after_costs_backlog_per_kind(self, tmp_path):
+        daemon = ServeDaemon(str(tmp_path / "spool"),
+                             executor=SerialExecutor(), max_queue=4)
+        # Teach the daemon that probes are slow: 10 s each.
+        daemon._avg_seconds["probe"] = 10.0
+        daemon.submit([probe(seed=n) for n in range(3)])
+        with pytest.raises(QueueFullError) as excinfo:
+            daemon.submit([probe(seed=n) for n in range(10, 13)])
+        # 6 probes x 10 s / 1 worker, clamped to the 60 s band cap.
+        assert excinfo.value.retry_after == 60.0
+
+    def test_status_reports_queue_by_kind(self, tmp_path):
+        daemon = ServeDaemon(str(tmp_path / "spool"),
+                             executor=SerialExecutor())
+        daemon.submit([probe(seed=1), probe(seed=2)])
+        assert daemon.status()["queue_by_kind"] == {"probe": 2}

@@ -83,3 +83,61 @@ class TestEnvironmentKnobs:
         checker = campaign_checker(job)
         assert not checker.checkpoints
         _CHECKER_MEMO.clear()
+
+
+class TestCheckerMemoLRU:
+    """The memo is bounded now that workers are long-lived (PR 10)."""
+
+    def _fresh(self):
+        from repro.serve.worker import CheckerMemo
+
+        return CheckerMemo()
+
+    def test_evicts_least_recently_used(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHECKER_MEMO", "2")
+        memo = self._fresh()
+        memo.put(("a",), "A")
+        memo.put(("b",), "B")
+        assert memo.get(("a",)) == "A"   # touch: "b" is now LRU
+        memo.put(("c",), "C")
+        assert ("b",) not in memo
+        assert memo.get(("a",)) == "A"
+        assert memo.get(("c",)) == "C"
+        assert memo.evictions == 1
+        assert len(memo) == 2
+
+    def test_counters_track_hits_and_misses(self):
+        memo = self._fresh()
+        assert memo.get(("x",)) is None
+        memo.put(("x",), 1)
+        assert memo.get(("x",)) == 1
+        stats = memo.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["evictions"] == 0
+        assert stats["size"] == 1
+
+    def test_limit_env_is_read_per_lookup(self, monkeypatch):
+        memo = self._fresh()
+        monkeypatch.setenv("REPRO_CHECKER_MEMO", "5")
+        assert memo.limit == 5
+        monkeypatch.setenv("REPRO_CHECKER_MEMO", "3")
+        assert memo.limit == 3
+
+    def test_limit_is_at_least_one_and_survives_garbage(self, monkeypatch):
+        memo = self._fresh()
+        monkeypatch.setenv("REPRO_CHECKER_MEMO", "0")
+        assert memo.limit == 1
+        monkeypatch.setenv("REPRO_CHECKER_MEMO", "banana")
+        assert memo.limit == memo.DEFAULT_LIMIT
+
+    def test_campaign_meta_reports_memo_stats(self, sha_job):
+        _CHECKER_MEMO.clear()
+        _, cold_meta = execute_spec(sha_job)
+        assert cold_meta["checker_memo_hit"] is False
+        _, warm_meta = execute_spec(sha_job)
+        assert warm_meta["checker_memo_hit"] is True
+        stats = warm_meta["checker_memo"]
+        assert stats["size"] >= 1
+        assert stats["hits"] >= 1
+        _CHECKER_MEMO.clear()
